@@ -1,0 +1,585 @@
+//! # cslack-adversary
+//!
+//! The Section-3 lower-bound adversary of *Commitment and Slack for
+//! Online Load Maximization*: a reactive job generator that plays the
+//! three-phase construction of Theorem 1 against **any**
+//! [`OnlineScheduler`], measuring the competitive ratio it forces.
+//!
+//! The construction (paper, Section 3):
+//!
+//! * **Phase 1** — submit `J_1(0, 1, d_1)` with a huge deadline. A
+//!   rejection makes the ratio unbounded; otherwise all later jobs are
+//!   released at the algorithm's committed start time `t`.
+//! * **Phase 2** — up to `m` subphases of up to `2m` identical jobs
+//!   `J_{2,h}(t, p_{2,h}, t + 2 p_{2,h})`, with `p_{2,h}` chosen by the
+//!   Lemma-1 interval-halving so that no machine can ever execute two of
+//!   them. A subphase ends at the first acceptance; a fully rejected
+//!   subphase `u` ends the phase (and the game, if `u < k`).
+//! * **Phase 3** — subphases `h = u..m` of up to `m` identical jobs
+//!   `J_{3,h}(t, (f_h - 1) p_{2,u}, t + p_{2,u} + p_{3,h})`; again a
+//!   subphase ends at the first acceptance and a fully rejected subphase
+//!   ends the game.
+//!
+//! The measured ratio divides a **certified witness schedule** (built
+//! per Lemmas 2/4 and validated against the submitted instance) by the
+//! algorithm's accepted load. [`tree`] renders the full decision tree of
+//! the construction (the paper's Fig. 2) and the schedule snapshots of
+//! Fig. 3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod script;
+pub mod yao;
+pub mod tree;
+
+use cslack_algorithms::{Decision, OnlineScheduler};
+use cslack_kernel::{Instance, InstanceBuilder, MachineId, Schedule, Time};
+use cslack_ratio::RatioFn;
+
+/// Configuration of one adversary game.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryConfig {
+    /// Number of machines.
+    pub m: usize,
+    /// System slack in `(0, 1]`.
+    pub eps: f64,
+    /// Lemma-1 overlap-interval width `beta` (small; the forced ratio is
+    /// within `O(beta)` of the analytic value).
+    pub beta: f64,
+    /// Deadline of the phase-1 job (must exceed every other deadline by
+    /// at least 1 so the witness can always run it).
+    pub d1: f64,
+}
+
+impl AdversaryConfig {
+    /// A sensible default configuration (`beta = 1e-4`; `d1` a few game
+    /// horizons out).
+    ///
+    /// `d1` is deliberately *not* astronomically large: an algorithm may
+    /// start `J_1` as late as `d1 - 1`, anchoring the whole game at
+    /// absolute time `~d1`, and the workspace's relative float tolerance
+    /// at that magnitude must stay far below `beta` for the Lemma-1
+    /// geometry to remain exact. A few multiples of the longest phase-3
+    /// deadline (`~(1 + eps)/eps`) is "huge" for every argument in the
+    /// construction while keeping `RTOL * d1 << beta`.
+    pub fn new(m: usize, eps: f64) -> AdversaryConfig {
+        assert!(m >= 1);
+        assert!(eps > 0.0 && eps <= 1.0, "the construction needs eps in (0,1]");
+        let beta = 1e-4;
+        let d1 = (4.0 + 4.0 * (1.0 + eps) / eps).max(16.0);
+        debug_assert!(
+            cslack_kernel::tol::RTOL * (d1 + 4.0 * (1.0 + eps) / eps) < 1e-2 * beta,
+            "float tolerance at game scale must stay far below beta"
+        );
+        AdversaryConfig { m, eps, beta, d1 }
+    }
+}
+
+/// Where the game ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopPhase {
+    /// The algorithm rejected `J_1`: unbounded ratio.
+    RejectedJ1,
+    /// Phase 2 ended with fully rejected subphase `u < k`.
+    Phase2 {
+        /// The fully rejected subphase.
+        u: usize,
+    },
+    /// Phase 3 ended in subphase `h` (fully rejected, or `h = m`
+    /// exhausted with an acceptance).
+    Phase3 {
+        /// The fully rejected phase-2 subphase that started phase 3.
+        u: usize,
+        /// The final phase-3 subphase.
+        h: usize,
+        /// Whether the final subphase ended by acceptance (only possible
+        /// at `h = m`).
+        accepted_last: bool,
+    },
+}
+
+/// Outcome of one adversary game.
+#[derive(Clone, Debug)]
+pub struct AdversaryOutcome {
+    /// Every submitted job, in submission order.
+    pub instance: Instance,
+    /// The algorithm's committed schedule.
+    pub online: Schedule,
+    /// The certified witness schedule (a feasible offline schedule whose
+    /// load lower-bounds OPT; per Lemmas 2/4 it is asymptotically
+    /// optimal as `beta -> 0`).
+    pub witness: Schedule,
+    /// Where the game stopped.
+    pub stop: StopPhase,
+    /// `witness load / online load` (infinite if the online load is 0).
+    pub ratio: f64,
+    /// The analytic prediction `c(eps, m)` of Theorem 1.
+    pub predicted: f64,
+}
+
+impl AdversaryOutcome {
+    /// Online accepted load.
+    pub fn online_load(&self) -> f64 {
+        self.online.accepted_load()
+    }
+
+    /// Witness (certified OPT lower bound) load.
+    pub fn witness_load(&self) -> f64 {
+        self.witness.accepted_load()
+    }
+}
+
+/// The overlap interval of Lemma 1.
+#[derive(Clone, Copy, Debug)]
+struct Overlap {
+    lo: f64,
+    hi: f64,
+}
+
+impl Overlap {
+    fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Drives one full game of the adversary against `algorithm`.
+///
+/// ```
+/// use cslack_adversary::{run, AdversaryConfig};
+/// use cslack_algorithms::Threshold;
+///
+/// let cfg = AdversaryConfig::new(2, 0.5);
+/// let out = run(&cfg, &mut Threshold::new(2, 0.5));
+/// // Theorem 1: the game forces (essentially exactly) c(0.5, 2) = 3.5.
+/// assert!((out.ratio - out.predicted).abs() < 0.01 * out.predicted);
+/// ```
+///
+/// # Panics
+/// Panics if the algorithm's machine count differs from `config.m`, or
+/// if the algorithm produces a commitment that is infeasible (the
+/// adversary maintains the authoritative schedule).
+pub fn run(config: &AdversaryConfig, algorithm: &mut dyn OnlineScheduler) -> AdversaryOutcome {
+    assert_eq!(
+        algorithm.machines(),
+        config.m,
+        "algorithm must schedule exactly m machines"
+    );
+    let m = config.m;
+    let ratio_fn = RatioFn::new(m);
+    let params = ratio_fn.eval(config.eps);
+    let k = params.k;
+    let predicted = params.c;
+
+    let mut builder = InstanceBuilder::new(m, config.eps);
+    let mut online = Schedule::new(m);
+
+    // Convenience: submit one job, record the decision authoritatively.
+    let submit = |builder: &mut InstanceBuilder,
+                      online: &mut Schedule,
+                      algorithm: &mut dyn OnlineScheduler,
+                      release: f64,
+                      p: f64,
+                      d: f64|
+     -> Option<(MachineId, Time)> {
+        let id = builder.push(Time::new(release), p, Time::new(d));
+        let job = cslack_kernel::Job::new(id, Time::new(release), p, Time::new(d));
+        match algorithm.offer(&job) {
+            Decision::Accept { machine, start } => {
+                online
+                    .commit(job, machine, start)
+                    .expect("algorithm produced an infeasible commitment");
+                Some((machine, start))
+            }
+            Decision::Reject => None,
+        }
+    };
+
+    // ---- Phase 1 ------------------------------------------------------
+    let Some((_, start1)) = submit(
+        &mut builder,
+        &mut online,
+        algorithm,
+        0.0,
+        1.0,
+        config.d1,
+    ) else {
+        // Rejected J_1: unbounded ratio; witness = run J_1 alone.
+        let instance = builder.build().expect("adversary instance is valid");
+        let mut witness = Schedule::new(m);
+        witness
+            .commit(instance.jobs()[0], MachineId(0), Time::ZERO)
+            .expect("witness J_1 alone is feasible");
+        return AdversaryOutcome {
+            instance,
+            online,
+            witness,
+            stop: StopPhase::RejectedJ1,
+            ratio: f64::INFINITY,
+            predicted,
+        };
+    };
+    let t = start1.raw();
+
+    // ---- Phase 2 ------------------------------------------------------
+    let mut overlap = Overlap {
+        lo: t + 1.0 - config.beta,
+        hi: t + 1.0,
+    };
+    let mut p2: Vec<f64> = Vec::new(); // p_{2,h} per subphase (1-based - 1)
+    let mut u = None; // fully rejected subphase
+    for _h in 1..=m {
+        let p = overlap.mid() - t;
+        p2.push(p);
+        let mut accepted = None;
+        for _ in 0..(2 * m) {
+            if let Some((_, s)) = submit(
+                &mut builder,
+                &mut online,
+                algorithm,
+                t,
+                p,
+                t + 2.0 * p,
+            ) {
+                accepted = Some(s.raw());
+                break;
+            }
+        }
+        match accepted {
+            Some(s) => {
+                // Lemma 1: the accepted job covers the lower half iff it
+                // starts at/before the interval's lower end.
+                if s <= overlap.lo + 1e-12 {
+                    overlap.hi = overlap.mid();
+                } else {
+                    overlap.lo = overlap.mid();
+                }
+            }
+            None => {
+                u = Some(p2.len());
+                break;
+            }
+        }
+    }
+    let u = u.expect(
+        "phase 2 must stop within m subphases: each acceptance occupies a fresh machine",
+    );
+    let p2u = p2[u - 1];
+
+    // Phase 2 verdict: u < k ends the game (Lemma 2).
+    if u < k {
+        let instance = builder.build().expect("adversary instance is valid");
+        let witness = phase2_witness(&instance, m, t, p2u, config);
+        let ratio = safe_ratio(witness.accepted_load(), online.accepted_load());
+        return AdversaryOutcome {
+            instance,
+            online,
+            witness,
+            stop: StopPhase::Phase2 { u },
+            ratio,
+            predicted,
+        };
+    }
+
+    // ---- Phase 3 ------------------------------------------------------
+    let mut final_h = u;
+    let mut accepted_last = false;
+    for h in u..=m {
+        final_h = h;
+        let p3 = (params.f(h) - 1.0) * p2u;
+        let d3 = t + p2u + p3;
+        let mut accepted = false;
+        for _ in 0..m {
+            if submit(&mut builder, &mut online, algorithm, t, p3, d3).is_some() {
+                accepted = true;
+                break;
+            }
+        }
+        accepted_last = accepted;
+        if !accepted {
+            break;
+        }
+    }
+
+    let instance = builder.build().expect("adversary instance is valid");
+    let p3_final = (params.f(final_h) - 1.0) * p2u;
+    let witness = phase3_witness(&instance, m, t, p2u, p3_final, config);
+    let ratio = safe_ratio(witness.accepted_load(), online.accepted_load());
+    AdversaryOutcome {
+        instance,
+        online,
+        witness,
+        stop: StopPhase::Phase3 {
+            u,
+            h: final_h,
+            accepted_last,
+        },
+        ratio,
+        predicted,
+    }
+}
+
+/// `OPT >= max(witness, online)`: the witness is one feasible offline
+/// schedule, and the online schedule itself is another.
+fn safe_ratio(witness: f64, online: f64) -> f64 {
+    if online <= 0.0 {
+        f64::INFINITY
+    } else {
+        witness.max(online) / online
+    }
+}
+
+/// Finds the submitted jobs with processing time `p` (tolerant match).
+fn jobs_with_size(instance: &Instance, p: f64) -> Vec<cslack_kernel::Job> {
+    instance
+        .jobs()
+        .iter()
+        .filter(|j| (j.proc_time - p).abs() <= 1e-9 * p.max(1.0))
+        .copied()
+        .collect()
+}
+
+/// Schedules `J_1` into the witness: before `t` if it fits, otherwise
+/// after every other deadline.
+fn place_j1(witness: &mut Schedule, instance: &Instance, t: f64, config: &AdversaryConfig) {
+    let j1 = instance.jobs()[0];
+    let start = if t >= 1.0 {
+        Time::ZERO
+    } else {
+        // After the largest non-J1 deadline.
+        let latest = instance
+            .jobs()
+            .iter()
+            .skip(1)
+            .map(|j| j.deadline)
+            .max()
+            .unwrap_or(Time::ZERO);
+        debug_assert!(latest.raw() + 1.0 <= config.d1);
+        latest
+    };
+    witness
+        .commit(j1, MachineId(0), start)
+        .expect("witness placement of J_1 is feasible");
+}
+
+/// Lemma-2 witness: `J_1` plus the `2m` jobs of the final phase-2
+/// subphase, two per machine.
+fn phase2_witness(
+    instance: &Instance,
+    m: usize,
+    t: f64,
+    p2u: f64,
+    config: &AdversaryConfig,
+) -> Schedule {
+    let mut w = Schedule::new(m);
+    let jobs = jobs_with_size(instance, p2u);
+    assert!(jobs.len() >= 2 * m, "final subphase submitted 2m jobs");
+    for (i, job) in jobs.iter().rev().take(2 * m).enumerate() {
+        let machine = MachineId((i % m) as u32);
+        let start = Time::new(t + (i / m) as f64 * p2u);
+        w.commit(*job, machine, start)
+            .expect("phase-2 witness commitment is feasible");
+    }
+    place_j1(&mut w, instance, t, config);
+    w
+}
+
+/// Lemma-4 witness: `J_1`, `m` jobs of the final phase-2 subphase and
+/// `m` jobs of the final phase-3 subphase, stacked per machine.
+fn phase3_witness(
+    instance: &Instance,
+    m: usize,
+    t: f64,
+    p2u: f64,
+    p3: f64,
+    config: &AdversaryConfig,
+) -> Schedule {
+    let mut w = Schedule::new(m);
+    let j2 = jobs_with_size(instance, p2u);
+    let j3 = jobs_with_size(instance, p3);
+    assert!(j2.len() >= 2 * m, "subphase u submitted 2m jobs");
+    // If p3 == p2u (possible when f_h = 2 exactly) the size filter mixes
+    // the generations; taking the *last* m of j3 and the *first* m of j2
+    // keeps them distinct because phase-3 jobs are submitted later.
+    let take3: Vec<_> = j3.iter().rev().take(m).collect();
+    let mut used: Vec<cslack_kernel::JobId> = take3.iter().map(|j| j.id).collect();
+    let take2: Vec<_> = j2
+        .iter()
+        .filter(|j| !used.contains(&j.id))
+        .take(m)
+        .collect();
+    used.extend(take2.iter().map(|j| j.id));
+    for (i, job) in take2.iter().enumerate() {
+        w.commit(**job, MachineId(i as u32), Time::new(t))
+            .expect("phase-3 witness J2 row is feasible");
+    }
+    for (i, job) in take3.iter().enumerate() {
+        w.commit(**job, MachineId(i as u32), Time::new(t + p2u))
+            .expect("phase-3 witness J3 row is feasible");
+    }
+    place_j1(&mut w, instance, t, config);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_algorithms::{Greedy, Threshold};
+    use cslack_kernel::validate;
+
+    #[test]
+    fn threshold_single_machine_forced_to_predicted_ratio() {
+        // m = 1: c(eps, 1) = 2 + 1/eps.
+        let eps = 0.25;
+        let cfg = AdversaryConfig::new(1, eps);
+        let mut alg = Threshold::new(1, eps);
+        let out = run(&cfg, &mut alg);
+        validate::assert_valid(&out.instance, &out.online);
+        validate::assert_valid(&out.instance, &out.witness);
+        assert!((out.predicted - 6.0).abs() < 1e-9);
+        assert!(
+            (out.ratio - out.predicted).abs() / out.predicted < 0.01,
+            "forced {} vs predicted {}",
+            out.ratio,
+            out.predicted
+        );
+    }
+
+    #[test]
+    fn threshold_two_machines_forced_close_to_prediction() {
+        for &eps in &[0.1, 0.3, 0.7, 1.0] {
+            let cfg = AdversaryConfig::new(2, eps);
+            let mut alg = Threshold::new(2, eps);
+            let out = run(&cfg, &mut alg);
+            validate::assert_valid(&out.instance, &out.online);
+            validate::assert_valid(&out.instance, &out.witness);
+            // Theorem 2: for m = 2 (k <= 2 <= 3) the bound is tight; the
+            // measured ratio must be within a few percent (beta effects)
+            // of c(eps, 2), and never above it by more than the noise.
+            assert!(
+                out.ratio <= out.predicted * 1.02 + 1e-9,
+                "eps={eps}: forced {} above prediction {}",
+                out.ratio,
+                out.predicted
+            );
+            assert!(
+                out.ratio >= out.predicted * 0.90,
+                "eps={eps}: forced {} far below prediction {} (adversary too weak)",
+                out.ratio,
+                out.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn witness_loads_match_lemma_formulas() {
+        let eps = 0.5;
+        let m = 2;
+        let cfg = AdversaryConfig::new(m, eps);
+        let mut alg = Threshold::new(m, eps);
+        let out = run(&cfg, &mut alg);
+        match out.stop {
+            StopPhase::Phase3 { u, h, .. } => {
+                let params = RatioFn::new(m).eval(eps);
+                // Witness = 1 + m * p2u + m * p3 with p2u ~ 1.
+                let expect =
+                    1.0 + m as f64 * (1.0 + (params.f(h) - 1.0)) * 1.0;
+                assert!(
+                    (out.witness_load() - expect).abs() < 0.05 * expect,
+                    "witness {} vs lemma {} (u={u}, h={h})",
+                    out.witness_load(),
+                    expect
+                );
+            }
+            other => panic!("Threshold should reach phase 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_is_hurt_more_than_threshold_at_small_slack() {
+        let eps = 0.05;
+        let m = 3;
+        let cfg = AdversaryConfig::new(m, eps);
+        let out_t = run(&cfg, &mut Threshold::new(m, eps));
+        let out_g = run(&cfg, &mut Greedy::new(m));
+        assert!(
+            out_g.ratio > out_t.ratio,
+            "greedy {} should exceed threshold {}",
+            out_g.ratio,
+            out_t.ratio
+        );
+    }
+
+    #[test]
+    fn rejecting_j1_gives_unbounded_ratio() {
+        struct Naysayer;
+        impl OnlineScheduler for Naysayer {
+            fn name(&self) -> &'static str {
+                "naysayer"
+            }
+            fn machines(&self) -> usize {
+                2
+            }
+            fn offer(&mut self, _job: &cslack_kernel::Job) -> Decision {
+                Decision::Reject
+            }
+            fn reset(&mut self) {}
+        }
+        let cfg = AdversaryConfig::new(2, 0.5);
+        let out = run(&cfg, &mut Naysayer);
+        assert_eq!(out.stop, StopPhase::RejectedJ1);
+        assert!(out.ratio.is_infinite());
+        assert_eq!(out.instance.len(), 1);
+    }
+
+    #[test]
+    fn all_submitted_jobs_satisfy_the_slack_condition() {
+        for m in 1..=4 {
+            for &eps in &[0.1, 0.5, 1.0] {
+                let cfg = AdversaryConfig::new(m, eps);
+                let mut alg = Threshold::new(m, eps);
+                let out = run(&cfg, &mut alg);
+                for j in out.instance.jobs() {
+                    assert!(
+                        j.satisfies_slack(eps),
+                        "m={m} eps={eps}: {:?} violates slack",
+                        j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_never_runs_two_phase2_jobs_on_one_machine() {
+        // Lemma 1's guarantee, checked against the real algorithm.
+        let cfg = AdversaryConfig::new(3, 0.4);
+        let mut alg = Threshold::new(3, 0.4);
+        let out = run(&cfg, &mut alg);
+        for mi in 0..3 {
+            let lane = out.online.lane(MachineId(mi));
+            let phase2ish = lane
+                .iter()
+                .filter(|c| c.job.proc_time < 1.0 + 1e-9 && c.job.id.0 > 0)
+                .count();
+            assert!(phase2ish <= 1, "machine {mi} runs {phase2ish} unit jobs");
+        }
+    }
+
+    #[test]
+    fn forced_ratio_grows_as_slack_shrinks() {
+        let m = 2;
+        let mut prev = 0.0;
+        for &eps in &[1.0, 0.5, 0.2, 0.1, 0.05] {
+            let cfg = AdversaryConfig::new(m, eps);
+            let out = run(&cfg, &mut Threshold::new(m, eps));
+            assert!(
+                out.ratio > prev,
+                "eps={eps}: ratio {} should exceed previous {}",
+                out.ratio,
+                prev
+            );
+            prev = out.ratio;
+        }
+    }
+}

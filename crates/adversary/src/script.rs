@@ -1,0 +1,169 @@
+//! A scripted player: replays a fixed accept/reject pattern against the
+//! adversary.
+//!
+//! Used to reproduce specific paths through the decision tree — notably
+//! the red path of the paper's Fig. 2/Fig. 3 — and to probe the
+//! adversary with algorithm behaviours that the real algorithms never
+//! exhibit.
+
+use cslack_algorithms::{Decision, OnlineScheduler};
+use cslack_kernel::{Job, MachineId, Time};
+
+/// Replays a fixed accept pattern (one flag per *offered* job, in
+/// order); when the pattern is exhausted every further job is rejected.
+///
+/// Accepted jobs go to the first machine that can run them, started as
+/// early as possible — except the very first job (the adversary's
+/// `J_1`), which is started at `max(release, j1_start)` so scripts can
+/// reproduce the paper's `t >= 1` figures.
+#[derive(Clone, Debug)]
+pub struct ScriptedPlayer {
+    m: usize,
+    pattern: Vec<bool>,
+    next: usize,
+    frontiers: Vec<Time>,
+    j1_start: f64,
+}
+
+impl ScriptedPlayer {
+    /// Builds a scripted player on `m` machines.
+    pub fn new(m: usize, pattern: Vec<bool>, j1_start: f64) -> ScriptedPlayer {
+        ScriptedPlayer {
+            m,
+            pattern,
+            next: 0,
+            frontiers: vec![Time::ZERO; m],
+            j1_start,
+        }
+    }
+
+    /// Convenience: the Fig. 2 "red path" pattern for `m = 3`:
+    /// accept `J_1`; accept the first job of phase-2 subphase 1; reject
+    /// all `2m` jobs of subphase 2; accept the first job of phase-3
+    /// subphase 2; reject all `m` jobs of subphase 3.
+    pub fn red_path_m3() -> ScriptedPlayer {
+        let mut pattern = vec![true, true];
+        pattern.extend(std::iter::repeat_n(false, 6)); // 2m = 6 rejects
+        pattern.push(true);
+        pattern.extend(std::iter::repeat_n(false, 3)); // m = 3 rejects
+        ScriptedPlayer::new(3, pattern, 1.0)
+    }
+}
+
+impl OnlineScheduler for ScriptedPlayer {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn offer(&mut self, job: &Job) -> Decision {
+        let idx = self.next;
+        self.next += 1;
+        let want = self.pattern.get(idx).copied().unwrap_or(false);
+        if !want {
+            return Decision::Reject;
+        }
+        let base = if idx == 0 {
+            job.release.max(Time::new(self.j1_start))
+        } else {
+            job.release
+        };
+        for (i, &frontier) in self.frontiers.iter().enumerate() {
+            let start = frontier.max(base);
+            if (start + job.proc_time).approx_le(job.deadline) {
+                self.frontiers[i] = start + job.proc_time;
+                return Decision::Accept {
+                    machine: MachineId(i as u32),
+                    start,
+                };
+            }
+        }
+        // Script demanded an acceptance that is infeasible: reject (the
+        // caller can detect this through the outcome if it matters).
+        Decision::Reject
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+        self.frontiers.fill(Time::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, AdversaryConfig, StopPhase};
+    use cslack_kernel::validate;
+    use cslack_ratio::RatioFn;
+
+    /// A slack in the paper's Fig. 2 regime for m = 3: `[eps_13, eps_23)`.
+    fn fig2_eps() -> f64 {
+        let r = RatioFn::new(3);
+        0.5 * (r.corner(1) + r.corner(2))
+    }
+
+    #[test]
+    fn red_path_reaches_phase3_subphase3() {
+        let eps = fig2_eps();
+        let cfg = AdversaryConfig::new(3, eps);
+        let mut player = ScriptedPlayer::red_path_m3();
+        let out = run(&cfg, &mut player);
+        assert_eq!(
+            out.stop,
+            StopPhase::Phase3 {
+                u: 2,
+                h: 3,
+                accepted_last: false
+            }
+        );
+        validate::assert_valid(&out.instance, &out.online);
+        validate::assert_valid(&out.instance, &out.witness);
+        // Online accepted: J_1 + one unit job + one phase-3 job.
+        assert_eq!(out.online.len(), 3);
+    }
+
+    #[test]
+    fn red_path_ratio_matches_lemma4_leaf() {
+        let eps = fig2_eps();
+        let cfg = AdversaryConfig::new(3, eps);
+        let out = run(&cfg, &mut ScriptedPlayer::red_path_m3());
+        let params = RatioFn::new(3).eval(eps);
+        let expected = crate::tree::phase3_leaf_ratio(&params, 2, 3);
+        assert!(
+            (out.ratio - expected).abs() < 0.01 * expected,
+            "measured {} vs Lemma 4 {}",
+            out.ratio,
+            expected
+        );
+        // u = k = 2, so the leaf sits on the equalized path: ratio = c.
+        assert!((expected - params.c).abs() < 1e-6 * params.c);
+    }
+
+    #[test]
+    fn j1_start_override_is_respected() {
+        let cfg = AdversaryConfig::new(3, fig2_eps());
+        let mut player = ScriptedPlayer::red_path_m3();
+        let out = run(&cfg, &mut player);
+        let j1 = out.online.commitment_of(cslack_kernel::JobId(0)).unwrap();
+        assert_eq!(j1.start, Time::new(1.0));
+    }
+
+    #[test]
+    fn exhausted_pattern_rejects_everything() {
+        let mut p = ScriptedPlayer::new(2, vec![], 0.0);
+        let j = Job::new(cslack_kernel::JobId(0), Time::ZERO, 1.0, Time::new(9.0));
+        assert_eq!(p.offer(&j), Decision::Reject);
+    }
+
+    #[test]
+    fn infeasible_scripted_accept_degrades_to_reject() {
+        let mut p = ScriptedPlayer::new(1, vec![true, true], 0.0);
+        let a = Job::new(cslack_kernel::JobId(0), Time::ZERO, 2.0, Time::new(2.0));
+        let b = Job::new(cslack_kernel::JobId(1), Time::ZERO, 2.0, Time::new(2.0));
+        assert!(p.offer(&a).is_accept());
+        assert_eq!(p.offer(&b), Decision::Reject); // no room, despite script
+    }
+}

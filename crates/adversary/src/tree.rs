@@ -1,0 +1,294 @@
+//! The adversary's decision tree (paper Fig. 2) and leaf-ratio algebra.
+//!
+//! The game of Section 3, viewed per *subphase*, is a finite tree: at
+//! every subphase the algorithm either accepts one job (moving to the
+//! next subphase) or rejects the whole subphase (ending the phase). The
+//! leaf ratios follow Lemmas 2 and 4 in the `beta -> 0` limit
+//! (`p_{2,u} -> 1`):
+//!
+//! * reject `J_1` — unbounded;
+//! * phase 2 stops at `u < k` — `(2m + 1) / u`;
+//! * phase 3 stops at subphase `h` after phase 2 stopped at `u >= k` —
+//!   `(1 + m f_h) / (u + sum_{i=u}^{h-1} (f_i - 1))`.
+//!
+//! At subphase `m` of phase 3 no algorithm can accept (Lemma 3), so that
+//! node has a single child. The adversary's parameter choice equalizes
+//! all `u = k` leaves at `c(eps, m)`; every other leaf is at least as
+//! large — [`DecisionTree::min_leaf_ratio`] verifies the minimax value.
+
+use cslack_ratio::{Params, RatioFn};
+use std::fmt::Write as _;
+
+/// One node of the adversary decision tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// An internal decision point.
+    Inner {
+        /// Human-readable description of the adversary's move.
+        label: String,
+        /// `(edge label, child)` pairs — the algorithm's possible replies.
+        children: Vec<(String, Node)>,
+    },
+    /// A leaf: the game ended.
+    Leaf {
+        /// Human-readable description.
+        label: String,
+        /// The forced competitive ratio (`None` = unbounded).
+        ratio: Option<f64>,
+    },
+}
+
+/// The full decision tree for `(m, eps)`.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    /// Machine count.
+    pub m: usize,
+    /// Slack.
+    pub eps: f64,
+    /// Phase index and parameters used.
+    pub params: Params,
+    /// The root node (submission of `J_1`).
+    pub root: Node,
+}
+
+impl DecisionTree {
+    /// Builds the tree for `m` machines and slack `eps`.
+    pub fn build(m: usize, eps: f64) -> DecisionTree {
+        let params = RatioFn::new(m).eval(eps);
+        let root = Node::Inner {
+            label: "submit J1(0, 1, d1)".to_string(),
+            children: vec![
+                (
+                    "reject".to_string(),
+                    Node::Leaf {
+                        label: "no further jobs".to_string(),
+                        ratio: None,
+                    },
+                ),
+                ("accept (start t)".to_string(), phase2_node(&params, 1)),
+            ],
+        };
+        DecisionTree {
+            m,
+            eps,
+            params,
+            root,
+        }
+    }
+
+    /// All finite leaf ratios.
+    pub fn leaf_ratios(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        collect(&self.root, &mut out);
+        out
+    }
+
+    /// The minimax value: the smallest finite leaf ratio — the ratio a
+    /// best-playing algorithm is forced into. Theorem 1 says this equals
+    /// `c(eps, m)`.
+    pub fn min_leaf_ratio(&self) -> f64 {
+        self.leaf_ratios()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the tree as indented ASCII.
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "adversary decision tree: m={}, eps={:.4} (phase k={}, c={:.4})",
+            self.m, self.eps, self.params.k, self.params.c
+        );
+        render(&self.root, "", &mut out);
+        out
+    }
+}
+
+fn collect(node: &Node, out: &mut Vec<f64>) {
+    match node {
+        Node::Leaf { ratio, .. } => {
+            if let Some(r) = ratio {
+                out.push(*r);
+            }
+        }
+        Node::Inner { children, .. } => {
+            for (_, child) in children {
+                collect(child, out);
+            }
+        }
+    }
+}
+
+fn render(node: &Node, indent: &str, out: &mut String) {
+    match node {
+        Node::Leaf { label, ratio } => {
+            let r = match ratio {
+                Some(r) => format!("{r:.4}"),
+                None => "unbounded".to_string(),
+            };
+            let _ = writeln!(out, "{indent}* {label} -> ratio {r}");
+        }
+        Node::Inner { label, children } => {
+            let _ = writeln!(out, "{indent}{label}");
+            for (edge, child) in children {
+                let _ = writeln!(out, "{indent}  [{edge}]");
+                render(child, &format!("{indent}    "), out);
+            }
+        }
+    }
+}
+
+/// Lemma-2 leaf ratio `(2m + 1)/u`.
+pub fn phase2_leaf_ratio(m: usize, u: usize) -> f64 {
+    (2.0 * m as f64 + 1.0) / u as f64
+}
+
+/// Lemma-4 leaf ratio `(1 + m f_h) / (u + sum_{i=u}^{h-1} (f_i - 1))`.
+pub fn phase3_leaf_ratio(params: &Params, u: usize, h: usize) -> f64 {
+    let m = params.m as f64;
+    let denom: f64 = u as f64
+        + (u..h)
+            .map(|i| params.f(i) - 1.0)
+            .sum::<f64>();
+    (1.0 + m * params.f(h)) / denom
+}
+
+fn phase2_node(params: &Params, h: usize) -> Node {
+    let m = params.m;
+    let k = params.k;
+    let reject_all = if h < k {
+        Node::Leaf {
+            label: format!("stop: phase 2 ended at u={h} < k={k} (Lemma 2)"),
+            ratio: Some(phase2_leaf_ratio(m, h)),
+        }
+    } else {
+        phase3_node(params, h, h)
+    };
+    let mut children = vec![(format!("reject all 2m jobs of subphase {h}"), reject_all)];
+    if h < m {
+        children.push((
+            format!("accept one job of subphase {h}"),
+            phase2_node(params, h + 1),
+        ));
+    }
+    Node::Inner {
+        label: format!("phase 2, subphase {h}: up to 2m jobs J2_{h}(t, p2_{h}, t+2*p2_{h})"),
+        children,
+    }
+}
+
+fn phase3_node(params: &Params, u: usize, h: usize) -> Node {
+    let m = params.m;
+    let reject_leaf = Node::Leaf {
+        label: format!("stop: phase 3 ended at subphase {h} (Lemma 4, u={u})"),
+        ratio: Some(phase3_leaf_ratio(params, u, h)),
+    };
+    let mut children = vec![(format!("reject all m jobs of subphase {h}"), reject_leaf)];
+    if h < m {
+        children.push((
+            format!("accept one job of subphase {h}"),
+            phase3_node(params, u, h + 1),
+        ));
+    }
+    // At h = m acceptance is impossible (Lemma 3): single-child node.
+    Node::Inner {
+        label: format!(
+            "phase 3, subphase {h}: up to m jobs J3_{h}(t, (f_{h}-1)*p2_u, t+p2_u+p3_{h})"
+        ),
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimax_value_equals_c() {
+        for m in 1..=5 {
+            for &eps in &[0.05, 0.2, 0.5, 1.0] {
+                let tree = DecisionTree::build(m, eps);
+                let min = tree.min_leaf_ratio();
+                assert!(
+                    (min - tree.params.c).abs() < 1e-6 * tree.params.c,
+                    "m={m} eps={eps}: minimax {min} vs c {}",
+                    tree.params.c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equalized_path_leaves_all_equal_c() {
+        // With u = k, every phase-3 stop yields exactly c (recursion 5).
+        let m = 4;
+        let eps = 0.05;
+        let tree = DecisionTree::build(m, eps);
+        let k = tree.params.k;
+        for h in k..=m {
+            let r = phase3_leaf_ratio(&tree.params, k, h);
+            assert!(
+                (r - tree.params.c).abs() < 1e-6 * tree.params.c,
+                "h={h}: {r} vs c {}",
+                tree.params.c
+            );
+        }
+    }
+
+    #[test]
+    fn every_leaf_is_at_least_c() {
+        for m in 2..=5 {
+            for &eps in &[0.03, 0.15, 0.4, 0.9] {
+                let tree = DecisionTree::build(m, eps);
+                for r in tree.leaf_ratios() {
+                    assert!(
+                        r >= tree.params.c * (1.0 - 1e-9),
+                        "m={m} eps={eps}: leaf {r} below c {}",
+                        tree.params.c
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_early_stop_leaves_use_lemma2() {
+        assert_eq!(phase2_leaf_ratio(3, 1), 7.0);
+        assert_eq!(phase2_leaf_ratio(3, 2), 3.5);
+    }
+
+    #[test]
+    fn leaf_count_matches_game_structure() {
+        // Phase-2 subphase h contributes: for h < k a Lemma-2 leaf, else
+        // the phase-3 chain of (m - h + 1) leaves; plus the reject-J1
+        // leaf (not counted: infinite).
+        let m = 3;
+        let eps = 0.2; // m = 3: eps_{1,3} ~ 0.09, eps_{2,3} ~ 0.46 => k = 2
+        let tree = DecisionTree::build(m, eps);
+        assert_eq!(tree.params.k, 2);
+        // u = 1: Lemma-2 leaf (1). u = 2: phase-3 chain h = 2,3 (2).
+        // u = 3: phase-3 chain h = 3 (1). Total finite leaves = 4.
+        assert_eq!(tree.leaf_ratios().len(), 4);
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_phases_and_ratios() {
+        let tree = DecisionTree::build(3, 0.2);
+        let s = tree.ascii();
+        assert!(s.contains("phase 2, subphase 1"));
+        assert!(s.contains("phase 3, subphase 3"));
+        assert!(s.contains("unbounded"));
+        assert!(s.contains("ratio"));
+    }
+
+    #[test]
+    fn single_machine_tree_is_minimal() {
+        // m = 1, any eps: k = 1; phase 2 has one subphase; reject-all
+        // leads to phase 3 with one subphase; no accept branches.
+        let tree = DecisionTree::build(1, 0.5);
+        let leaves = tree.leaf_ratios();
+        assert_eq!(leaves.len(), 1);
+        assert!((leaves[0] - 4.0).abs() < 1e-9); // c(0.5, 1) = 2 + 2
+    }
+}

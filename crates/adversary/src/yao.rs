@@ -1,0 +1,277 @@
+//! A distributional lower bound for *randomized* single-machine
+//! algorithms (Yao's principle) — the counterpart of Corollary 1.
+//!
+//! Corollary 1 gives a randomized `O(log 1/eps)` upper bound; this
+//! module builds the classic hard *distribution* showing that
+//! `Omega(log 1/eps)` is also necessary, so classify-and-select is
+//! optimal up to constants.
+//!
+//! ## The family
+//!
+//! On one machine, `K + 1` tight-slack jobs with geometric sizes
+//! `p_i = g^i`, `g = (0.95/eps)^{1/K}` (top size just below `1/eps` so
+//! the smallest job still blocks it), released back to back (separation
+//! `tau -> 0`). Accepting any job blocks every later (larger) one: the
+//! machine stays busy past the point where the next tight deadline
+//! could still be met (this requires `eps * g < 1`, which holds whenever
+//! `K >= 2` and `eps < 1`). A deterministic algorithm on a prefix of
+//! this stream therefore realizes exactly `p_a`, where `a` is the first
+//! index it would accept — or nothing, if the stream stops before `a`.
+//!
+//! ## The distribution
+//!
+//! The adversary stops after job `L`, with `P(L = l)` proportional to
+//! `1/p_l`. Then for *every* pure strategy `a`:
+//!
+//! ```text
+//! E[OPT] = (K + 1) / Z,   E[ALG_a] = P(L >= a) * p_a ~ 1/(Z (1 - 1/g)),
+//! ```
+//!
+//! so `E[OPT]/E[ALG_a] ~ (K + 1)(1 - 1/g)` — equalized over `a`, and
+//! `Theta(log(1/eps))` when `g` is a constant. By Yao's principle the
+//! expected competitive ratio of every randomized algorithm is at least
+//! the minimum over pure strategies, i.e. `Omega(log 1/eps)`.
+
+use cslack_algorithms::OnlineScheduler;
+use cslack_kernel::{Instance, InstanceBuilder, Time};
+
+/// The hard distribution over staircase prefixes.
+#[derive(Clone, Debug)]
+pub struct YaoFamily {
+    eps: f64,
+    /// Sizes `p_0 .. p_K` (geometric).
+    sizes: Vec<f64>,
+    /// Stopping probabilities `P(L = l)`, summing to 1.
+    probs: Vec<f64>,
+    /// Release separation between consecutive jobs.
+    tau: f64,
+}
+
+impl YaoFamily {
+    /// Builds the family for slack `eps` with `K + 1 = levels` jobs
+    /// (`levels >= 3` so the blocking condition `eps * g < 1` holds
+    /// comfortably for `eps <= 1/2`).
+    pub fn new(eps: f64, levels: usize) -> YaoFamily {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(levels >= 3);
+        let k = (levels - 1) as f64;
+        // Top size strictly below 1/eps: at exactly 1/eps the smallest
+        // job no longer blocks the largest (eps * p_K = p_0 boundary).
+        let g = (0.95 / eps).powf(1.0 / k);
+        assert!(
+            eps * g < 1.0,
+            "blocking needs eps * g < 1 (raise levels or lower eps)"
+        );
+        let sizes: Vec<f64> = (0..levels).map(|i| g.powi(i as i32)).collect();
+        debug_assert!(eps * sizes[levels - 1] < sizes[0], "pairwise blocking");
+        let z: f64 = sizes.iter().map(|p| 1.0 / p).sum();
+        let probs: Vec<f64> = sizes.iter().map(|p| (1.0 / p) / z).collect();
+        YaoFamily {
+            eps,
+            sizes,
+            probs,
+            tau: 1e-7,
+        }
+    }
+
+    /// Number of jobs in the longest prefix.
+    pub fn levels(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The geometric growth factor `g`.
+    pub fn growth(&self) -> f64 {
+        self.sizes[1] / self.sizes[0]
+    }
+
+    /// The instance consisting of jobs `0 ..= l` (single machine).
+    pub fn prefix_instance(&self, l: usize) -> Instance {
+        assert!(l < self.sizes.len());
+        let mut b = InstanceBuilder::with_capacity(1, self.eps, l + 1);
+        for (i, &p) in self.sizes.iter().take(l + 1).enumerate() {
+            b.push_tight(Time::new(i as f64 * self.tau), p);
+        }
+        b.build().expect("staircase prefix is valid")
+    }
+
+    /// `E[OPT]` under the stopping distribution: the largest job of the
+    /// prefix is always schedulable alone.
+    pub fn expected_opt(&self) -> f64 {
+        self.sizes
+            .iter()
+            .zip(&self.probs)
+            .map(|(p, pi)| p * pi)
+            .sum()
+    }
+
+    /// `E[ALG]` for a deterministic algorithm (fresh instance per
+    /// prefix via the factory).
+    pub fn expected_load<F>(&self, mut factory: F) -> f64
+    where
+        F: FnMut() -> Box<dyn OnlineScheduler>,
+    {
+        let mut expected = 0.0;
+        for l in 0..self.levels() {
+            let inst = self.prefix_instance(l);
+            let mut alg = factory();
+            assert_eq!(alg.machines(), 1, "the family is single-machine");
+            let mut load = 0.0;
+            for job in inst.jobs() {
+                if let cslack_algorithms::Decision::Accept { .. } = alg.offer(job) {
+                    load += job.proc_time;
+                }
+            }
+            expected += self.probs[l] * load;
+        }
+        expected
+    }
+
+    /// `E[OPT] / E[ALG]` for a deterministic algorithm.
+    pub fn expected_ratio<F>(&self, factory: F) -> f64
+    where
+        F: FnMut() -> Box<dyn OnlineScheduler>,
+    {
+        let load = self.expected_load(factory);
+        if load <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.expected_opt() / load
+        }
+    }
+
+    /// The analytic ratio of the pure strategy "accept the first job
+    /// with index >= a": `E[OPT] / (P(L >= a) * p_a)`.
+    pub fn pure_strategy_ratio(&self, a: usize) -> f64 {
+        assert!(a < self.levels());
+        let tail: f64 = self.probs[a..].iter().sum();
+        self.expected_opt() / (tail * self.sizes[a])
+    }
+
+    /// The Yao lower bound: the best (smallest) pure-strategy ratio. By
+    /// Yao's principle no randomized algorithm's expected ratio on this
+    /// distribution is below it.
+    pub fn lower_bound(&self) -> f64 {
+        (0..self.levels())
+            .map(|a| self.pure_strategy_ratio(a))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The asymptotic form `(K + 1)(1 - 1/g)` the bound approaches.
+    pub fn asymptotic_bound(&self) -> f64 {
+        self.levels() as f64 * (1.0 - 1.0 / self.growth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_algorithms::{GoldwasserKerbikov, Greedy, RandomizedClassifySelect, Threshold};
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let fam = YaoFamily::new(0.01, 8);
+        let total: f64 = fam.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(fam.probs.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sizes_span_one_to_one_over_eps() {
+        let fam = YaoFamily::new(0.01, 8);
+        assert!((fam.sizes[0] - 1.0).abs() < 1e-12);
+        assert!((fam.sizes.last().unwrap() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_strategies_are_nearly_equalized() {
+        let fam = YaoFamily::new(0.01, 8);
+        let ratios: Vec<f64> = (0..fam.levels())
+            .map(|a| fam.pure_strategy_ratio(a))
+            .collect();
+        let (lo, hi) = ratios
+            .iter()
+            .fold((f64::INFINITY, 0.0_f64), |(l, h), &r| (l.min(r), h.max(r)));
+        // The geometric tail makes later strategies slightly better; the
+        // spread stays within the tail factor 1/(1 - 1/g).
+        assert!(hi / lo < 1.0 / (1.0 - 1.0 / fam.growth()) + 0.2, "{ratios:?}");
+    }
+
+    #[test]
+    fn lower_bound_matches_asymptotic_form() {
+        let fam = YaoFamily::new(0.001, 10);
+        let lb = fam.lower_bound();
+        let asym = fam.asymptotic_bound();
+        assert!(
+            (lb - asym).abs() / asym < 0.35,
+            "lb {lb} vs asymptotic {asym}"
+        );
+        assert!(lb > 2.0, "should be a nontrivial bound");
+    }
+
+    #[test]
+    fn blocking_really_blocks() {
+        // On the full prefix, greedy accepts job 0 and nothing else.
+        let fam = YaoFamily::new(0.01, 8);
+        let inst = fam.prefix_instance(fam.levels() - 1);
+        let mut g = Greedy::new(1);
+        let mut accepted = Vec::new();
+        for j in inst.jobs() {
+            if g.offer(j).is_accept() {
+                accepted.push(j.id.0);
+            }
+        }
+        assert_eq!(accepted, vec![0], "greedy must be stuck with job 0");
+    }
+
+    #[test]
+    fn deterministic_algorithms_obey_the_yao_bound() {
+        let fam = YaoFamily::new(0.01, 8);
+        let lb = fam.lower_bound();
+        let tol = 1.0 - 1e-9;
+        let greedy = fam.expected_ratio(|| Box::new(Greedy::new(1)));
+        let gk = fam.expected_ratio(|| Box::new(GoldwasserKerbikov::new(0.01)));
+        let thr = fam.expected_ratio(|| Box::new(Threshold::new(1, 0.01)));
+        for (name, r) in [("greedy", greedy), ("gk", gk), ("threshold", thr)] {
+            assert!(r >= lb * tol, "{name}: E-ratio {r} below Yao bound {lb}");
+        }
+    }
+
+    #[test]
+    fn randomized_algorithm_obeys_the_yao_bound_in_expectation() {
+        // Average the randomized algorithm over selection seeds; its
+        // E[load] (over both its coin and the distribution) must also
+        // respect the bound.
+        let eps = 0.01;
+        let fam = YaoFamily::new(eps, 8);
+        let seeds = 64;
+        let mut mean_load = 0.0;
+        for seed in 0..seeds {
+            mean_load +=
+                fam.expected_load(|| Box::new(RandomizedClassifySelect::new(eps, seed)));
+        }
+        mean_load /= seeds as f64;
+        let ratio = fam.expected_opt() / mean_load.max(1e-12);
+        let lb = fam.lower_bound();
+        assert!(
+            ratio >= lb * 0.95,
+            "randomized E-ratio {ratio} below Yao bound {lb}"
+        );
+    }
+
+    #[test]
+    fn bound_grows_logarithmically_in_one_over_eps() {
+        // Fix the growth factor g ~ e by scaling levels with ln(1/eps):
+        // the bound then grows linearly in levels = Theta(log 1/eps).
+        let mut prev = 0.0;
+        for &eps in &[1e-2f64, 1e-4, 1e-6] {
+            let levels = ((1.0 / eps).ln().ceil() as usize).max(3);
+            let fam = YaoFamily::new(eps, levels);
+            let lb = fam.lower_bound();
+            assert!(lb > prev, "bound should grow as eps shrinks");
+            // Within a constant of (1 - 1/e) * levels.
+            let target = (1.0 - 1.0 / std::f64::consts::E) * levels as f64;
+            assert!(lb > 0.5 * target && lb < 2.0 * target, "lb={lb} target={target}");
+            prev = lb;
+        }
+    }
+}

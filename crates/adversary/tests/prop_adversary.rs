@@ -1,0 +1,101 @@
+//! Property tests for the adversary: soundness of the game against
+//! arbitrary (scripted-random) players.
+
+use cslack_adversary::{run, script::ScriptedPlayer, AdversaryConfig, StopPhase};
+use cslack_kernel::validate_schedule;
+use cslack_ratio::RatioFn;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whatever accept/reject pattern the player follows, the adversary
+    /// produces a legal instance, a valid witness, and a ratio >= 1.
+    #[test]
+    fn game_is_sound_against_random_players(
+        m in 1usize..=4,
+        eps in 0.05f64..=1.0,
+        pattern in prop::collection::vec(any::<bool>(), 0..64),
+        j1_start in 0.0f64..3.0,
+    ) {
+        let cfg = AdversaryConfig::new(m, eps);
+        let mut player = ScriptedPlayer::new(m, pattern, j1_start);
+        let out = run(&cfg, &mut player);
+        // Instance legality.
+        for j in out.instance.jobs() {
+            prop_assert!(j.satisfies_slack(eps), "slack violated: {j:?}");
+        }
+        // Schedules validate.
+        let online = validate_schedule(&out.instance, &out.online);
+        prop_assert!(online.is_valid(), "online: {:?}", online.violations);
+        let witness = validate_schedule(&out.instance, &out.witness);
+        prop_assert!(witness.is_valid(), "witness: {:?}", witness.violations);
+        // Ratio semantics.
+        if out.stop == StopPhase::RejectedJ1 {
+            prop_assert!(out.ratio.is_infinite());
+        } else {
+            prop_assert!(out.ratio >= 1.0 - 1e-9);
+            prop_assert!(out.ratio.is_finite());
+        }
+    }
+
+    /// Against *any* player that accepts J_1, the adversary forces at
+    /// least (a beta-discounted) c(eps, m) — the Theorem 1 statement.
+    #[test]
+    fn any_accepting_player_is_forced_to_c(
+        m in 1usize..=4,
+        eps in 0.05f64..=1.0,
+        pattern in prop::collection::vec(any::<bool>(), 0..64),
+    ) {
+        // Force the J_1 acceptance (first flag true).
+        let mut pat = pattern;
+        if pat.is_empty() { pat.push(true); } else { pat[0] = true; }
+        let cfg = AdversaryConfig::new(m, eps);
+        let mut player = ScriptedPlayer::new(m, pat, 0.0);
+        let out = run(&cfg, &mut player);
+        let c = RatioFn::new(m).lower_bound(eps);
+        prop_assert!(
+            out.ratio >= c * (1.0 - 20.0 * cfg.beta),
+            "m={m} eps={eps}: forced only {} < c = {c}",
+            out.ratio
+        );
+    }
+
+    /// The adversary's job count is bounded by the game structure:
+    /// 1 + 2m * m (phase 2) + m * (m + 1) (phase 3).
+    #[test]
+    fn submission_count_is_bounded(
+        m in 1usize..=5,
+        eps in 0.05f64..=1.0,
+        pattern in prop::collection::vec(any::<bool>(), 0..80),
+    ) {
+        let cfg = AdversaryConfig::new(m, eps);
+        let mut player = ScriptedPlayer::new(m, pattern, 0.0);
+        let out = run(&cfg, &mut player);
+        let cap = 1 + 2 * m * m + m * (m + 1);
+        prop_assert!(out.instance.len() <= cap,
+            "{} jobs > cap {cap}", out.instance.len());
+    }
+
+    /// Phase-2 processing times stay inside (1 - beta, 1): the Lemma-1
+    /// interval never escapes its initial bounds.
+    #[test]
+    fn phase2_sizes_stay_in_lemma1_window(
+        m in 1usize..=4,
+        eps in 0.05f64..=1.0,
+        pattern in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let cfg = AdversaryConfig::new(m, eps);
+        let mut player = ScriptedPlayer::new(m, pattern, 0.0);
+        let out = run(&cfg, &mut player);
+        for j in out.instance.jobs().iter().skip(1) {
+            // Phase-2 jobs are exactly those with d = r + 2p.
+            let is_phase2 = (j.deadline.raw() - (j.release.raw() + 2.0 * j.proc_time)).abs()
+                < 1e-9;
+            if is_phase2 {
+                prop_assert!(j.proc_time > 1.0 - cfg.beta - 1e-12);
+                prop_assert!(j.proc_time < 1.0);
+            }
+        }
+    }
+}

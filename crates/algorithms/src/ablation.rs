@@ -1,0 +1,164 @@
+//! Ablated variants of the Threshold algorithm (experiment E10).
+//!
+//! Each variant disables exactly one of the design choices that
+//! Section 1.1 of the paper motivates, so their degradation isolates that
+//! choice's contribution:
+//!
+//! * [`forced_k`] — pins the phase index instead of deriving it from the
+//!   corner values; `k = 1` makes every machine gate admission, `k = m`
+//!   leaves only the least loaded machine gating.
+//! * [`constant_factors`] — replaces the graded `f_k < ... < f_m` by the
+//!   flat anchor `(1 + eps)/eps` on all threshold machines.
+//! * [`worst_fit`] — allocates accepted jobs to the *least* loaded
+//!   candidate instead of the paper's best fit, spreading load and
+//!   inflating the admission threshold.
+//! * [`latest_start`] — starts accepted jobs as late as their deadline
+//!   allows instead of right after the outstanding load, manufacturing
+//!   idle gaps that count as load.
+
+use crate::threshold::{AllocPolicy, StartPolicy, ThresholdEngine, ThresholdPolicy};
+
+/// Threshold with a pinned phase index `k` (ignoring the corner values).
+pub fn forced_k(m: usize, eps: f64, k: usize) -> ThresholdEngine {
+    ThresholdEngine::with_policy(
+        "threshold-forced-k",
+        m,
+        eps,
+        ThresholdPolicy {
+            forced_k: Some(k),
+            ..ThresholdPolicy::default()
+        },
+    )
+}
+
+/// Threshold with the flat factor `(1 + eps)/eps` on every threshold
+/// machine (no graded `f_q`).
+pub fn constant_factors(m: usize, eps: f64) -> ThresholdEngine {
+    ThresholdEngine::with_policy(
+        "threshold-constant-f",
+        m,
+        eps,
+        ThresholdPolicy {
+            constant_f: true,
+            ..ThresholdPolicy::default()
+        },
+    )
+}
+
+/// Threshold allocating to the least loaded candidate (worst fit).
+pub fn worst_fit(m: usize, eps: f64) -> ThresholdEngine {
+    ThresholdEngine::with_policy(
+        "threshold-worst-fit",
+        m,
+        eps,
+        ThresholdPolicy {
+            alloc: AllocPolicy::WorstFit,
+            ..ThresholdPolicy::default()
+        },
+    )
+}
+
+/// Threshold starting accepted jobs as late as possible.
+pub fn latest_start(m: usize, eps: f64) -> ThresholdEngine {
+    ThresholdEngine::with_policy(
+        "threshold-latest-start",
+        m,
+        eps,
+        ThresholdPolicy {
+            start: StartPolicy::Latest,
+            ..ThresholdPolicy::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, OnlineScheduler};
+    use cslack_kernel::{Job, JobId, Time};
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn forced_k1_gates_on_every_machine() {
+        // m = 2, eps = 0.5: the paper's k is 2 (idle machine => accept
+        // everything); forcing k = 1 makes the *most* loaded machine
+        // gate admission too.
+        let mut a = forced_k(2, 0.5, 1);
+        assert_eq!(a.phase_k(), 1);
+        a.offer(&job(0, 0.0, 10.0, 100.0));
+        // dlim now includes l(m_1) * f_1 > 0 even though m_2 is idle.
+        assert!(a.current_dlim(Time::ZERO) > Time::ZERO);
+        // The paper's Threshold would accept this (idle machine):
+        let mut paper = crate::Threshold::new(2, 0.5);
+        paper.offer(&job(0, 0.0, 10.0, 100.0));
+        let tight = job(1, 0.0, 1.0, 1.5);
+        assert!(paper.offer(&tight).is_accept());
+        assert_eq!(a.offer(&tight), Decision::Reject);
+    }
+
+    #[test]
+    fn constant_factors_inflate_threshold() {
+        // eps = 0.05, m = 2, phase 1: the paper's graded f_1 ~ 4.39 is
+        // far below the flat anchor f = 21; with one loaded machine the
+        // flat variant's threshold is f/f_1 times larger, so a deadline
+        // between the two separates the algorithms.
+        let eps = 0.05;
+        let mut flat = constant_factors(2, eps);
+        let mut paper = crate::Threshold::new(2, eps);
+        for a in [&mut flat as &mut dyn OnlineScheduler, &mut paper] {
+            assert!(a.offer(&job(0, 0.0, 1.0, 1000.0)).is_accept());
+        }
+        // Loads {1, 0}: graded dlim = f_1 * 1, flat dlim = 21 * 1.
+        let f1 = paper.factor(1);
+        assert!(f1 < 21.0, "graded f_1 must be below the anchor");
+        let probe = job(1, 0.0, 0.2, 0.5 * (f1 + 21.0));
+        assert!(paper.offer(&probe).is_accept());
+        assert_eq!(flat.offer(&probe), Decision::Reject);
+    }
+
+    #[test]
+    fn worst_fit_spreads_load() {
+        let mut w = worst_fit(2, 1.0);
+        let m0 = match w.offer(&job(0, 0.0, 4.0, 100.0)) {
+            Decision::Accept { machine, .. } => machine,
+            _ => panic!(),
+        };
+        // Worst fit sends the second job to the *other* (idle) machine;
+        // the paper's best fit would stack it behind the first.
+        match w.offer(&job(1, 0.0, 1.0, 100.0)) {
+            Decision::Accept { machine, start } => {
+                assert_ne!(machine, m0);
+                assert_eq!(start, Time::ZERO);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn latest_start_defers_execution() {
+        let mut l = latest_start(1, 1.0);
+        match l.offer(&job(0, 0.0, 1.0, 10.0)) {
+            Decision::Accept { start, .. } => assert_eq!(start, Time::new(9.0)),
+            _ => panic!(),
+        }
+        // The gap [0, 9) counts as outstanding load for the engine, so a
+        // tight follow-up job is rejected even though the machine idles.
+        assert_eq!(l.offer(&job(1, 0.0, 1.0, 2.0)), Decision::Reject);
+    }
+
+    #[test]
+    fn ablations_have_distinct_names() {
+        let names = [
+            forced_k(2, 0.5, 1).name(),
+            constant_factors(2, 0.5).name(),
+            worst_fit(2, 0.5).name(),
+            latest_start(2, 0.5).name(),
+            crate::Threshold::new(2, 0.5).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

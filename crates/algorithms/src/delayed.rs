@@ -1,0 +1,291 @@
+//! The **delayed commitment** model: given the slack `eps` and a
+//! parameter `delta <= eps`, the scheduler may postpone the
+//! accept/reject decision for `J_j` until time `r_j + delta * p_j`
+//! (Chen–Eberle–Megow–Schewior–Stein's model, cited in the paper's
+//! introduction). Once made, the decision is irrevocable and — in our
+//! non-preemptive setting — fixes machine and start time like immediate
+//! commitment does.
+//!
+//! The value of the delay window is *information*: jobs released while
+//! a decision is pending can change it. The implementation couples a
+//! small event-driven driver (release events interleaved with
+//! decision-deadline events) with a simple benefit-extracting policy:
+//!
+//! * jobs wait in a pending pool until their decision deadline;
+//! * at a decision deadline the scheduler commits the pending job iff
+//!   appending it (best-fit, earliest start *now*) still meets its
+//!   deadline **and** no strictly larger pending job would be displaced
+//!   by it (larger jobs get first claim on the machines they fit);
+//! * `delta = 0` degenerates to the immediate-commitment greedy.
+//!
+//! Like the other alternative-model comparators, this type drives
+//! itself (`offer` + `finish`) and returns an ordinary non-preemptive
+//! [`Schedule`] that the kernel validator checks.
+
+use crate::park::MachinePark;
+use cslack_kernel::{Job, Schedule, Time};
+
+/// Delayed-commitment greedy with parameter `delta`.
+#[derive(Clone, Debug)]
+pub struct DelayedGreedy {
+    m: usize,
+    delta: f64,
+    now: Time,
+    park: MachinePark,
+    /// Admitted-to-the-pool jobs with their decision deadlines.
+    pending: Vec<(Job, Time)>,
+    schedule: Schedule,
+    accepted_load: f64,
+    rejected: Vec<cslack_kernel::JobId>,
+}
+
+impl DelayedGreedy {
+    /// Builds the algorithm on `m` machines with decision delay factor
+    /// `delta` (must satisfy `0 <= delta <= eps` for the model to be
+    /// meaningful; `delta` is not clamped here because the comparison
+    /// experiments sweep it).
+    pub fn new(m: usize, delta: f64) -> DelayedGreedy {
+        assert!(m >= 1 && delta >= 0.0);
+        DelayedGreedy {
+            m,
+            delta,
+            now: Time::ZERO,
+            park: MachinePark::new(m),
+            pending: Vec::new(),
+            schedule: Schedule::new(m),
+            accepted_load: 0.0,
+            rejected: Vec::new(),
+        }
+    }
+
+    /// The decision-delay factor.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// Load committed so far (excludes pending jobs, whose fate is
+    /// still open).
+    pub fn committed_load(&self) -> f64 {
+        self.accepted_load
+    }
+
+    /// Processes all decision deadlines up to time `t`.
+    fn advance_to(&mut self, t: Time) {
+        // Earliest decision deadline at or before t, repeatedly.
+        while let Some(pos) = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, dd))| *dd <= t)
+            .min_by(|a, b| (a.1).1.cmp(&(b.1).1))
+            .map(|(i, _)| i)
+        {
+            let (job, decision_time) = self.pending.remove(pos);
+            self.decide(job, decision_time);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Makes the irrevocable decision for `job` at `decision_time`.
+    fn decide(&mut self, job: Job, decision_time: Time) {
+        self.now = self.now.max(decision_time);
+        let candidates: Vec<_> = park_candidates(&self.park, &job, self.now);
+        if candidates.is_empty() {
+            self.rejected.push(job.id);
+            return;
+        }
+        // Priority rule (the point of the delay window): do not commit
+        // this job anywhere it would *kill* a strictly larger pending
+        // job — i.e. make a bigger job that currently fits somewhere
+        // lose its last feasible machine.
+        let chosen = candidates.iter().copied().find(|&machine| {
+            let start = self.park.earliest_start(machine, self.now);
+            let mut trial = self.park.clone();
+            trial.commit(machine, start, job.proc_time);
+            !self
+                .pending
+                .iter()
+                .filter(|(b, _)| b.proc_time > job.proc_time)
+                .any(|(bigger, _)| {
+                    !park_candidates(&self.park, bigger, self.now).is_empty()
+                        && park_candidates(&trial, bigger, self.now).is_empty()
+                })
+        });
+        let Some(machine) = chosen else {
+            self.rejected.push(job.id);
+            return;
+        };
+        let start = self.park.earliest_start(machine, self.now);
+        self.park.commit(machine, start, job.proc_time);
+        self.schedule
+            .commit(job, machine, start)
+            .expect("delayed commit is feasible by construction");
+        self.accepted_load += job.proc_time;
+    }
+
+    /// Offers a job at its release date; the decision happens by
+    /// `min(r + delta * p, d - p)` — the model allows deciding *before*
+    /// `r + delta p`, and an acceptance after the latest feasible start
+    /// would be worthless, so the window is trimmed to the laxity.
+    pub fn offer(&mut self, job: &Job) {
+        self.advance_to(job.release);
+        let window_end = job.release + self.delta * job.proc_time;
+        let decision_deadline = window_end.min(job.latest_start()).max(job.release);
+        self.pending.push((*job, decision_deadline));
+        if self.delta == 0.0 {
+            self.advance_to(job.release);
+        }
+    }
+
+    /// Flushes all pending decisions and returns the final schedule.
+    pub fn finish(mut self) -> Schedule {
+        let horizon = self
+            .pending
+            .iter()
+            .map(|(_, dd)| *dd)
+            .max()
+            .unwrap_or(self.now);
+        self.advance_to(horizon);
+        debug_assert!(self.pending.is_empty());
+        self.schedule
+    }
+}
+
+/// Machines that can complete `job` by its deadline when started after
+/// their outstanding load, most-loaded first (best fit order).
+fn park_candidates(
+    park: &MachinePark,
+    job: &Job,
+    now: Time,
+) -> Vec<cslack_kernel::MachineId> {
+    park.ranked(now)
+        .into_iter()
+        .filter(|rm| {
+            let start = park.earliest_start(rm.machine, now);
+            (start + job.proc_time).approx_le(job.deadline)
+        })
+        .map(|rm| rm.machine)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_kernel::JobId;
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn delta_zero_matches_greedy_decisions() {
+        use crate::{Greedy, OnlineScheduler};
+        let jobs = [
+            job(0, 0.0, 1.0, 1.5),
+            job(1, 0.0, 1.0, 1.5),
+            job(2, 0.2, 2.0, 10.0),
+            job(3, 0.5, 1.0, 1.8),
+        ];
+        let mut delayed = DelayedGreedy::new(2, 0.0);
+        let mut greedy = Greedy::new(2);
+        let mut greedy_accepts = Vec::new();
+        for j in &jobs {
+            delayed.offer(j);
+            if greedy.offer(j).is_accept() {
+                greedy_accepts.push(j.id);
+            }
+        }
+        let s = delayed.finish();
+        let delayed_accepts: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| s.contains(j.id))
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(delayed_accepts, greedy_accepts);
+    }
+
+    #[test]
+    fn delay_window_lets_a_big_job_displace_a_small_one() {
+        // Single machine. A small tight job arrives, then within its
+        // decision window a big tight job arrives that conflicts.
+        // Immediate greedy takes the small job and loses the big one;
+        // delayed commitment (delta = eps) keeps the big one.
+        let eps = 0.5;
+        let small = Job::tight(JobId(0), Time::ZERO, 1.0, eps); // window [0, 1.5]
+        // Big job whose window truly conflicts with a started small job:
+        // after [0, 1) the machine frees at 1, but 1 + 2 > 2.9.
+        let big = job(1, 0.1, 2.0, 2.9);
+        let mut delayed = DelayedGreedy::new(1, eps);
+        delayed.offer(&small); // decision due at 0.5
+        delayed.offer(&big); // decision due at 1.1
+        let s = delayed.finish();
+        assert!(s.contains(JobId(1)), "big job must be kept");
+        // The small job was displaced (machine reserved for the big).
+        assert!(!s.contains(JobId(0)));
+
+        let mut greedy = crate::Greedy::new(1);
+        use crate::OnlineScheduler;
+        assert!(greedy.offer(&small).is_accept());
+        assert!(!greedy.offer(&big).is_accept(), "greedy is stuck");
+    }
+
+    #[test]
+    fn non_conflicting_jobs_are_all_kept() {
+        let mut a = DelayedGreedy::new(2, 0.3);
+        for i in 0..6 {
+            a.offer(&job(i, i as f64 * 5.0, 1.0, i as f64 * 5.0 + 4.0));
+        }
+        let s = a.finish();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn final_schedule_is_kernel_valid() {
+        let mut b = cslack_kernel::InstanceBuilder::new(2, 0.25);
+        for i in 0..40 {
+            let r = (i % 9) as f64 * 0.5;
+            let p = 0.2 + (i % 6) as f64 * 0.5;
+            b.push_tight(Time::new(r), p);
+        }
+        let inst = b.build().unwrap();
+        let mut a = DelayedGreedy::new(2, 0.25);
+        for j in inst.jobs() {
+            a.offer(j);
+        }
+        let s = a.finish();
+        cslack_kernel::validate::assert_valid(&inst, &s);
+    }
+
+    #[test]
+    fn decision_respects_the_window_not_the_release() {
+        // The decision for a long job falls after a later small
+        // arrival: the pool sees both.
+        let mut a = DelayedGreedy::new(1, 1.0);
+        let long = job(0, 0.0, 4.0, 10.0); // decision due at 4.0
+        let tight = job(1, 1.0, 1.0, 2.2); // decision due at 2.0
+        a.offer(&long);
+        a.offer(&tight);
+        let s = a.finish();
+        // Tight decided first (earlier deadline): committed at 1.0.
+        // Long decided at 4.0: starts after tight.
+        assert!(s.contains(JobId(0)) && s.contains(JobId(1)));
+        let c_tight = s.commitment_of(JobId(1)).unwrap();
+        let c_long = s.commitment_of(JobId(0)).unwrap();
+        assert!(c_tight.start < c_long.start);
+        assert!(c_long.start.raw() >= 4.0 - 1e-9, "long decided at its window end");
+    }
+
+    #[test]
+    fn committed_load_excludes_pending() {
+        let mut a = DelayedGreedy::new(1, 1.0);
+        a.offer(&job(0, 0.0, 2.0, 10.0));
+        assert_eq!(a.committed_load(), 0.0); // still pending
+        a.advance_to(Time::new(3.0));
+        assert_eq!(a.committed_load(), 2.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Greedy best-fit list scheduling (accept everything that fits).
+//!
+//! The classical baseline: admit a job whenever *some* machine can still
+//! complete it by its deadline, allocating to the most loaded such
+//! machine and starting right after its outstanding load. The caption of
+//! the paper's Fig. 1 notes (via Kim and Chwa) that this greedy approach
+//! achieves exactly the single-machine ratio `2 + 1/eps` on parallel
+//! machines — it cannot exploit `m`, which is precisely what the paper's
+//! Threshold algorithm fixes.
+
+use crate::park::MachinePark;
+use crate::{Decision, OnlineScheduler};
+use cslack_kernel::Job;
+
+/// Accept-everything best-fit list scheduling.
+#[derive(Clone, Debug)]
+pub struct Greedy {
+    park: MachinePark,
+}
+
+impl Greedy {
+    /// Builds the greedy baseline on `m` machines.
+    pub fn new(m: usize) -> Greedy {
+        Greedy {
+            park: MachinePark::new(m),
+        }
+    }
+}
+
+impl OnlineScheduler for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn machines(&self) -> usize {
+        self.park.machines()
+    }
+
+    fn offer(&mut self, job: &Job) -> Decision {
+        let now = job.release;
+        // Most loaded machine that can still finish the job in time.
+        let chosen = self.park.ranked(now).into_iter().find(|rm| {
+            let earliest = self.park.earliest_start(rm.machine, now);
+            (earliest + job.proc_time).approx_le(job.deadline)
+        });
+        match chosen {
+            Some(rm) => {
+                let start = self.park.earliest_start(rm.machine, now);
+                self.park.commit(rm.machine, start, job.proc_time);
+                Decision::Accept {
+                    machine: rm.machine,
+                    start,
+                }
+            }
+            None => Decision::Reject,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.park.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_kernel::{JobId, MachineId, Time};
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn greedy_accepts_whatever_fits() {
+        let mut g = Greedy::new(1);
+        assert!(g.offer(&job(0, 0.0, 1.0, 1.1)).is_accept());
+        // Fits after the first job (1 + 1 <= 2.1).
+        assert!(g.offer(&job(1, 0.0, 1.0, 2.1)).is_accept());
+        // Does not fit anywhere (2 + 1 > 2.5).
+        assert_eq!(g.offer(&job(2, 0.0, 1.0, 2.5)), Decision::Reject);
+    }
+
+    #[test]
+    fn greedy_is_fooled_by_the_classic_small_job_trap() {
+        // The pattern behind the 1/eps lower bound for greedy: a tiny job
+        // first, then a huge tight job that no longer fits.
+        let eps = 0.1;
+        let mut g = Greedy::new(1);
+        let small = Job::tight(JobId(0), Time::ZERO, 1.0, eps);
+        assert!(g.offer(&small).is_accept());
+        // Huge job, tight slack, released just after acceptance: needs
+        // the machine idle (9 * 1.1 = 9.9 < 1 + 9).
+        let huge = Job::tight(JobId(1), Time::ZERO, 9.0, eps);
+        assert_eq!(g.offer(&huge), Decision::Reject);
+    }
+
+    #[test]
+    fn best_fit_stacks_on_most_loaded_feasible() {
+        let mut g = Greedy::new(2);
+        g.offer(&job(0, 0.0, 2.0, 100.0)); // M0: load 2
+        match g.offer(&job(1, 0.0, 1.0, 100.0)) {
+            Decision::Accept { machine, start } => {
+                assert_eq!(machine, MachineId(0));
+                assert_eq!(start, Time::new(2.0));
+            }
+            _ => panic!(),
+        }
+        // A tight job overflows to the idle machine.
+        match g.offer(&job(2, 0.0, 1.0, 1.5)) {
+            Decision::Accept { machine, start } => {
+                assert_eq!(machine, MachineId(1));
+                assert_eq!(start, Time::ZERO);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_lanes() {
+        let mut g = Greedy::new(2);
+        g.offer(&job(0, 0.0, 5.0, 100.0));
+        g.reset();
+        match g.offer(&job(1, 0.0, 1.0, 1.2)) {
+            Decision::Accept { start, .. } => assert_eq!(start, Time::ZERO),
+            _ => panic!(),
+        }
+    }
+}

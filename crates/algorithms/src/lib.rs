@@ -1,0 +1,111 @@
+//! # cslack-algorithms
+//!
+//! Online admission-control algorithms with *immediate commitment* for
+//! `Pm | online, eps, immediate | sum p_j (1 - U_j)`:
+//!
+//! * [`Threshold`] — **Algorithm 1 of the paper** (the primary
+//!   contribution): a machine-indexed deadline threshold built from the
+//!   `f_q(eps, m)` parameters, combined with best-fit allocation.
+//! * [`GoldwasserKerbikov`] — the optimal `2 + 1/eps` single-machine
+//!   deterministic algorithm (coincides with Threshold at `m = 1`).
+//! * [`Greedy`] — accept-everything best-fit list scheduling (Kim–Chwa);
+//!   per the caption of the paper's Fig. 1 its parallel-machine ratio
+//!   equals the `m = 1` curve `2 + 1/eps`.
+//! * [`LeeClassify`] — a size-classified reservation heuristic in the
+//!   spirit of Lee'03's `1 + m + m eps^{-1/m}` algorithm, adapted to
+//!   immediate commitment (documented substitution, see DESIGN.md).
+//! * [`RandomizedClassifySelect`] — Corollary 1: simulate `m` virtual
+//!   machines with Threshold, execute the jobs of one machine chosen
+//!   uniformly at random on the real single machine.
+//! * [`preemptive::PreemptiveEdf`] — DasGupta–Palis-style `1 + 1/eps`
+//!   comparator on the preemptive (no-migration) machine model, built on
+//!   its own preemptive schedule substrate.
+//! * [`ablation`] — Threshold variants that disable one design choice
+//!   each (forced phase index, constant factors, worst-fit allocation,
+//!   latest-start allocation) for experiment E10.
+//!
+//! All deterministic non-preemptive algorithms implement
+//! [`OnlineScheduler`]: one `offer` call per arriving job, returning an
+//! irrevocable [`Decision`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod delayed;
+pub mod greedy;
+pub mod lee;
+pub mod migration;
+pub mod notification;
+pub mod park;
+pub mod preemptive;
+pub mod randomized;
+pub mod threshold;
+
+pub use greedy::Greedy;
+pub use lee::LeeClassify;
+pub use randomized::RandomizedClassifySelect;
+pub use threshold::{GoldwasserKerbikov, Threshold};
+
+use cslack_kernel::{Job, MachineId, Time};
+
+/// The irrevocable reply to a job submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Admit the job on `machine`, starting exactly at `start`.
+    Accept {
+        /// The machine the job is bound to.
+        machine: MachineId,
+        /// The committed start time.
+        start: Time,
+    },
+    /// Reject the job (it is lost forever).
+    Reject,
+}
+
+impl Decision {
+    /// Whether this decision admits the job.
+    #[inline]
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Decision::Accept { .. })
+    }
+}
+
+/// An online admission-control algorithm with immediate commitment.
+///
+/// The driver calls [`OnlineScheduler::offer`] once per job, in release
+/// order. The returned [`Decision`] is binding: the simulator commits it
+/// to the authoritative [`cslack_kernel::Schedule`] and verifies that the
+/// algorithm never revises or violates it.
+pub trait OnlineScheduler {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of machines the algorithm schedules onto.
+    fn machines(&self) -> usize;
+
+    /// Decide irrevocably whether (and where/when) to run `job`.
+    ///
+    /// Invariant expected from callers: jobs arrive in non-decreasing
+    /// release order and satisfy the slack condition for the `eps` the
+    /// algorithm was configured with.
+    fn offer(&mut self, job: &Job) -> Decision;
+
+    /// Reset all internal state for a fresh run.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        let d = Decision::Accept {
+            machine: MachineId(0),
+            start: Time::ZERO,
+        };
+        assert!(d.is_accept());
+        assert!(!Decision::Reject.is_accept());
+    }
+}

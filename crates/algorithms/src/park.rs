@@ -1,0 +1,155 @@
+//! Shared machine-state bookkeeping for non-preemptive append-style
+//! algorithms.
+//!
+//! Every algorithm in this crate (except the preemptive comparator)
+//! maintains one *frontier* per physical machine: the completion time of
+//! the last job it committed there. The paper's *outstanding load*
+//! `l(m_i)` at the current time `t` is then `max(0, frontier - t)`, and
+//! the earliest feasible start for a new job is `t + l(m_i)` — "start it
+//! immediately after the completion of the preceding job on this machine"
+//! (Algorithm 1, line 10).
+
+use cslack_kernel::{MachineId, Time};
+
+/// Frontier-based machine state.
+#[derive(Clone, Debug)]
+pub struct MachinePark {
+    frontiers: Vec<Time>,
+}
+
+/// One machine's dynamic view when a job is offered: its physical id and
+/// its outstanding load, sorted by the park into the paper's dynamic
+/// index order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedMachine {
+    /// Physical machine.
+    pub machine: MachineId,
+    /// Outstanding load `l(m_i)` at the ranking time.
+    pub load: f64,
+}
+
+impl MachinePark {
+    /// `m` idle machines.
+    pub fn new(m: usize) -> MachinePark {
+        assert!(m > 0);
+        MachinePark {
+            frontiers: vec![Time::ZERO; m],
+        }
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// Completion time of the last commitment on `machine`.
+    #[inline]
+    pub fn frontier(&self, machine: MachineId) -> Time {
+        self.frontiers[machine.index()]
+    }
+
+    /// Outstanding load `l(m_i)` of `machine` at time `now` — zero once
+    /// the frontier lies in the past (the machine has gone idle).
+    #[inline]
+    pub fn outstanding(&self, machine: MachineId, now: Time) -> f64 {
+        (self.frontier(machine) - now).max(0.0)
+    }
+
+    /// Earliest feasible start of a new job on `machine` at time `now`
+    /// (i.e. `now + l(m_i)`).
+    #[inline]
+    pub fn earliest_start(&self, machine: MachineId, now: Time) -> Time {
+        self.frontier(machine).max(now)
+    }
+
+    /// Ranks all machines by **decreasing** outstanding load at `now`
+    /// (ties broken by ascending physical id, for determinism). The
+    /// element at index `h - 1` is the paper's machine `m_h`.
+    pub fn ranked(&self, now: Time) -> Vec<RankedMachine> {
+        let mut v: Vec<RankedMachine> = (0..self.machines())
+            .map(|i| {
+                let machine = MachineId(i as u32);
+                RankedMachine {
+                    machine,
+                    load: self.outstanding(machine, now),
+                }
+            })
+            .collect();
+        // Stable by construction order => ties keep ascending physical id.
+        v.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap());
+        v
+    }
+
+    /// Records a commitment: the machine's frontier advances to
+    /// `start + proc_time`.
+    ///
+    /// # Panics
+    /// Debug-asserts that the job does not overlap the existing frontier.
+    pub fn commit(&mut self, machine: MachineId, start: Time, proc_time: f64) {
+        debug_assert!(
+            start.approx_ge(self.frontier(machine)),
+            "append-style commit must start at/after the frontier"
+        );
+        self.frontiers[machine.index()] = start + proc_time;
+    }
+
+    /// Forgets everything (all machines idle again).
+    pub fn reset(&mut self) {
+        self.frontiers.fill(Time::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outstanding_is_zero_when_idle_or_past() {
+        let mut p = MachinePark::new(2);
+        assert_eq!(p.outstanding(MachineId(0), Time::ZERO), 0.0);
+        p.commit(MachineId(0), Time::ZERO, 2.0);
+        assert_eq!(p.outstanding(MachineId(0), Time::new(0.5)), 1.5);
+        assert_eq!(p.outstanding(MachineId(0), Time::new(3.0)), 0.0);
+    }
+
+    #[test]
+    fn earliest_start_respects_frontier_and_now() {
+        let mut p = MachinePark::new(1);
+        p.commit(MachineId(0), Time::ZERO, 2.0);
+        assert_eq!(p.earliest_start(MachineId(0), Time::new(1.0)), Time::new(2.0));
+        assert_eq!(p.earliest_start(MachineId(0), Time::new(5.0)), Time::new(5.0));
+    }
+
+    #[test]
+    fn ranked_sorts_descending_with_stable_ties() {
+        let mut p = MachinePark::new(3);
+        p.commit(MachineId(1), Time::ZERO, 4.0);
+        p.commit(MachineId(2), Time::ZERO, 4.0);
+        let r = p.ranked(Time::ZERO);
+        assert_eq!(r[0].machine, MachineId(1)); // tie: lower id first
+        assert_eq!(r[1].machine, MachineId(2));
+        assert_eq!(r[2].machine, MachineId(0));
+        assert_eq!(r[0].load, 4.0);
+        assert_eq!(r[2].load, 0.0);
+    }
+
+    #[test]
+    fn commits_chain_back_to_back() {
+        let mut p = MachinePark::new(1);
+        p.commit(MachineId(0), Time::ZERO, 1.5);
+        p.commit(MachineId(0), Time::new(1.5), 1.0);
+        assert_eq!(p.frontier(MachineId(0)), Time::new(2.5));
+        p.reset();
+        assert_eq!(p.frontier(MachineId(0)), Time::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "append-style")]
+    fn overlapping_commit_is_debug_caught() {
+        let mut p = MachinePark::new(1);
+        p.commit(MachineId(0), Time::ZERO, 2.0);
+        p.commit(MachineId(0), Time::new(1.0), 1.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The preemptive (no-migration) comparator: DasGupta–Palis-style EDF
+//! admission control with competitive ratio `1 + 1/eps`.
+//!
+//! This is a *different machine model* from the rest of the crate: jobs
+//! may be interrupted and resumed on their machine (never migrated), so
+//! commitments fix only the machine, not a start time — the paper calls
+//! this *immediate notification*. The related-work section uses it to
+//! position the non-preemptive Threshold result; experiment E9 compares
+//! the two models on shared workloads.
+//!
+//! Admission rule (DasGupta & Palis 2001): admit an arriving job on the
+//! first machine where EDF still meets every admitted deadline with the
+//! new job included. For a single machine with all admitted work already
+//! released, EDF feasibility is exactly the staircase test
+//! `sum_{d_i <= d} remaining_i <= d - now` for every deadline `d`.
+//!
+//! The module carries its own execution substrate: a per-machine EDF
+//! executor that materializes execution [`Slice`]s, which the tests
+//! validate (full service before deadline, no overlap, no migration).
+
+use cslack_kernel::{Job, JobId, MachineId, Time};
+
+/// A contiguous piece of executed work.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slice {
+    /// The job being executed.
+    pub job: JobId,
+    /// The executing machine.
+    pub machine: MachineId,
+    /// Slice start.
+    pub start: Time,
+    /// Slice end (exclusive).
+    pub end: Time,
+}
+
+impl Slice {
+    /// The amount of work the slice performs.
+    pub fn work(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ActiveJob {
+    id: JobId,
+    deadline: Time,
+    remaining: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MachineState {
+    /// Admitted jobs with remaining work, unordered.
+    active: Vec<ActiveJob>,
+}
+
+impl MachineState {
+    /// Runs EDF from `from` to `to`, appending slices.
+    fn advance(&mut self, machine: MachineId, from: Time, to: Time, out: &mut Vec<Slice>) {
+        let mut now = from;
+        while now < to {
+            // Earliest-deadline job with remaining work.
+            let Some(idx) = self
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.remaining > 0.0)
+                .min_by(|a, b| a.1.deadline.cmp(&b.1.deadline))
+                .map(|(i, _)| i)
+            else {
+                break; // idle until `to`
+            };
+            let j = &mut self.active[idx];
+            let run = j.remaining.min(to - now);
+            out.push(Slice {
+                job: j.id,
+                machine,
+                start: now,
+                end: now + run,
+            });
+            j.remaining -= run;
+            now += run;
+        }
+        self.active.retain(|j| j.remaining > 0.0);
+    }
+
+    /// EDF feasibility of the current active set plus `candidate` at time
+    /// `now`: staircase test over deadlines.
+    fn feasible_with(&self, candidate: &Job, now: Time) -> bool {
+        let mut jobs: Vec<(Time, f64)> = self
+            .active
+            .iter()
+            .map(|j| (j.deadline, j.remaining))
+            .collect();
+        jobs.push((candidate.deadline, candidate.proc_time));
+        jobs.sort_by_key(|a| a.0);
+        let mut work = 0.0;
+        for (deadline, remaining) in jobs {
+            work += remaining;
+            if !cslack_kernel::tol::approx_le(work, deadline - now) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Preemptive EDF admission control (immediate notification, no
+/// migration) — the `1 + 1/eps` comparator.
+#[derive(Clone, Debug)]
+pub struct PreemptiveEdf {
+    machines: Vec<MachineState>,
+    now: Time,
+    slices: Vec<Slice>,
+    accepted_load: f64,
+    accepted: Vec<(JobId, MachineId)>,
+}
+
+impl PreemptiveEdf {
+    /// Builds the algorithm on `m` machines.
+    pub fn new(m: usize) -> PreemptiveEdf {
+        assert!(m >= 1);
+        PreemptiveEdf {
+            machines: vec![MachineState::default(); m],
+            now: Time::ZERO,
+            slices: Vec::new(),
+            accepted_load: 0.0,
+            accepted: Vec::new(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Advances simulated time to `t`, executing EDF on every machine.
+    pub fn run_to(&mut self, t: Time) {
+        if t <= self.now {
+            return;
+        }
+        for (i, ms) in self.machines.iter_mut().enumerate() {
+            ms.advance(MachineId(i as u32), self.now, t, &mut self.slices);
+        }
+        self.now = t;
+    }
+
+    /// Offers a job at its release date: returns the admission machine,
+    /// or `None` for rejection. The decision is immediate and
+    /// irrevocable (the job *will* be fully served by its deadline).
+    pub fn offer(&mut self, job: &Job) -> Option<MachineId> {
+        self.run_to(job.release);
+        let idx = (0..self.machines.len())
+            .find(|&i| self.machines[i].feasible_with(job, self.now))?;
+        self.machines[idx].active.push(ActiveJob {
+            id: job.id,
+            deadline: job.deadline,
+            remaining: job.proc_time,
+        });
+        self.accepted_load += job.proc_time;
+        let machine = MachineId(idx as u32);
+        self.accepted.push((job.id, machine));
+        Some(machine)
+    }
+
+    /// Runs every admitted job to completion and returns the execution
+    /// trace (sorted per machine by construction).
+    pub fn finish(mut self) -> PreemptiveRun {
+        let horizon = self
+            .machines
+            .iter()
+            .flat_map(|ms| ms.active.iter().map(|j| j.deadline))
+            .max()
+            .unwrap_or(self.now);
+        self.run_to(horizon);
+        debug_assert!(self.machines.iter().all(|ms| ms.active.is_empty()));
+        PreemptiveRun {
+            slices: self.slices,
+            accepted_load: self.accepted_load,
+            accepted: self.accepted,
+        }
+    }
+
+    /// Total processing time of all admitted jobs.
+    pub fn accepted_load(&self) -> f64 {
+        self.accepted_load
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&mut self) {
+        let m = self.machines.len();
+        *self = PreemptiveEdf::new(m);
+    }
+}
+
+/// The completed execution of a [`PreemptiveEdf`] run.
+#[derive(Clone, Debug)]
+pub struct PreemptiveRun {
+    /// Every executed slice, in execution order per machine.
+    pub slices: Vec<Slice>,
+    /// Total admitted processing time (the objective value).
+    pub accepted_load: f64,
+    /// Admitted jobs and their machines, in admission order.
+    pub accepted: Vec<(JobId, MachineId)>,
+}
+
+impl PreemptiveRun {
+    /// Total executed work on `machine`.
+    pub fn machine_work(&self, machine: MachineId) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.machine == machine)
+            .map(Slice::work)
+            .sum()
+    }
+
+    /// Work executed for one job (should equal its processing time).
+    pub fn job_work(&self, job: JobId) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.job == job)
+            .map(Slice::work)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_kernel::tol;
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut a = PreemptiveEdf::new(1);
+        assert_eq!(a.offer(&job(0, 0.0, 2.0, 3.0)), Some(MachineId(0)));
+        let run = a.finish();
+        assert!(tol::approx_eq(run.job_work(JobId(0)), 2.0));
+        assert_eq!(run.accepted_load, 2.0);
+    }
+
+    #[test]
+    fn preemption_admits_what_nonpreemptive_cannot() {
+        // Long lax job, then a short tight one: non-preemptive greedy
+        // must run them back to back and the tight one misses; EDF
+        // preempts and serves both.
+        let mut a = PreemptiveEdf::new(1);
+        assert!(a.offer(&job(0, 0.0, 4.0, 10.0)).is_some());
+        assert!(a.offer(&job(1, 0.0, 1.0, 1.0)).is_some(), "EDF preempts");
+        let run = a.finish();
+        assert!(tol::approx_eq(run.job_work(JobId(0)), 4.0));
+        assert!(tol::approx_eq(run.job_work(JobId(1)), 1.0));
+        // The tight job must be served entirely before t = 1.
+        for s in run.slices.iter().filter(|s| s.job == JobId(1)) {
+            assert!(s.end.approx_le(Time::new(1.0)));
+        }
+    }
+
+    #[test]
+    fn staircase_test_rejects_overload() {
+        let mut a = PreemptiveEdf::new(1);
+        assert!(a.offer(&job(0, 0.0, 2.0, 2.5)).is_some());
+        // 2 + 1 = 3 > 2.9: infeasible even with preemption.
+        assert!(a.offer(&job(1, 0.0, 1.0, 2.9)).is_none());
+        // But feasible by deadline 3.0 exactly.
+        assert!(a.offer(&job(2, 0.0, 1.0, 3.0)).is_some());
+    }
+
+    #[test]
+    fn no_migration_each_job_stays_on_its_machine() {
+        let mut a = PreemptiveEdf::new(2);
+        for i in 0..6 {
+            a.offer(&job(i, 0.0, 1.0, 4.0));
+        }
+        let run = a.finish();
+        for (jid, machine) in &run.accepted {
+            for s in run.slices.iter().filter(|s| s.job == *jid) {
+                assert_eq!(s.machine, *machine, "{jid} migrated");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_never_overlap_per_machine() {
+        let mut a = PreemptiveEdf::new(2);
+        let spec = [
+            (0u32, 0.0, 2.0, 9.0),
+            (1, 0.5, 1.0, 2.0),
+            (2, 0.5, 3.0, 9.0),
+            (3, 1.0, 0.5, 2.0),
+            (4, 2.0, 1.0, 4.0),
+        ];
+        for (id, r, p, d) in spec {
+            a.offer(&job(id, r, p, d));
+        }
+        let run = a.finish();
+        for m in 0..2 {
+            let mut lane: Vec<&Slice> = run
+                .slices
+                .iter()
+                .filter(|s| s.machine == MachineId(m))
+                .collect();
+            lane.sort_by_key(|a| a.start);
+            for w in lane.windows(2) {
+                assert!(
+                    w[0].end.approx_le(w[1].start),
+                    "overlap on machine {m}: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_admitted_job_is_fully_served_before_deadline() {
+        let mut a = PreemptiveEdf::new(2);
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| {
+                let r = (i % 7) as f64 * 0.5;
+                let p = 0.3 + (i % 5) as f64 * 0.4;
+                Job::tight(JobId(i), Time::new(r), p, 0.2)
+            })
+            .collect();
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|a| a.release);
+        let mut admitted = Vec::new();
+        for j in &sorted {
+            if a.offer(j).is_some() {
+                admitted.push(*j);
+            }
+        }
+        assert!(!admitted.is_empty());
+        let run = a.finish();
+        for j in &admitted {
+            assert!(
+                tol::approx_eq(run.job_work(j.id), j.proc_time),
+                "{} under-served",
+                j.id
+            );
+            for s in run.slices.iter().filter(|s| s.job == j.id) {
+                assert!(s.start.approx_ge(j.release), "{} ran early", j.id);
+                assert!(s.end.approx_le(j.deadline), "{} ran late", j.id);
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_load_tracks_admissions() {
+        let mut a = PreemptiveEdf::new(1);
+        a.offer(&job(0, 0.0, 2.0, 10.0));
+        a.offer(&job(1, 0.0, 3.0, 10.0));
+        a.offer(&job(2, 0.0, 9.0, 10.0)); // rejected: 14 > 10
+        assert_eq!(a.accepted_load(), 5.0);
+        a.reset();
+        assert_eq!(a.accepted_load(), 0.0);
+    }
+}

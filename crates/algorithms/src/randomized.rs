@@ -1,0 +1,197 @@
+//! Corollary 1: the randomized single-machine algorithm via
+//! *static classification and select*.
+//!
+//! "Our general idea is the simulation of `m` parallel machines followed
+//! by scheduling the jobs of a randomly selected machine." — the
+//! algorithm runs the deterministic [`crate::Threshold`]
+//! policy on `m` *virtual* machines and physically executes, on the one
+//! real machine, exactly the jobs that the virtual run places on a
+//! machine index chosen uniformly at random up front. Each virtual lane
+//! is itself a feasible single-machine schedule (jobs on one lane never
+//! overlap and all meet their deadlines), so the commitments transfer
+//! verbatim.
+//!
+//! With `m = Theta(log(1/eps))` the expected competitive ratio is
+//! `O(log(1/eps))`, beating the deterministic single-machine optimum
+//! `2 + 1/eps` for small slack (experiment E8 measures the crossover).
+
+use crate::threshold::Threshold;
+use crate::{Decision, OnlineScheduler};
+use cslack_kernel::{Job, MachineId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Randomized classify-and-select wrapper around Threshold (Corollary 1).
+#[derive(Clone, Debug)]
+pub struct RandomizedClassifySelect {
+    virtual_threshold: Threshold,
+    /// The virtual machine whose jobs are really executed.
+    selected: MachineId,
+    eps: f64,
+    virtual_m: usize,
+    seed: u64,
+}
+
+impl RandomizedClassifySelect {
+    /// Default number of virtual machines, `max(2, ceil(log2(1/eps)))`.
+    pub fn default_virtual_machines(eps: f64) -> usize {
+        ((1.0 / eps.min(1.0)).log2().ceil() as usize).max(2)
+    }
+
+    /// Builds the algorithm with the default virtual machine count for
+    /// `eps`, drawing the selected machine from `seed`.
+    pub fn new(eps: f64, seed: u64) -> RandomizedClassifySelect {
+        Self::with_virtual_machines(eps, Self::default_virtual_machines(eps), seed)
+    }
+
+    /// Builds the algorithm with an explicit virtual machine count.
+    pub fn with_virtual_machines(
+        eps: f64,
+        virtual_m: usize,
+        seed: u64,
+    ) -> RandomizedClassifySelect {
+        assert!(virtual_m >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let selected = MachineId(rng.gen_range(0..virtual_m as u32));
+        RandomizedClassifySelect {
+            virtual_threshold: Threshold::new(virtual_m, eps),
+            selected,
+            eps,
+            virtual_m,
+            seed,
+        }
+    }
+
+    /// The virtual machine index the random draw selected.
+    pub fn selected_machine(&self) -> MachineId {
+        self.selected
+    }
+
+    /// Number of simulated virtual machines.
+    pub fn virtual_machines(&self) -> usize {
+        self.virtual_m
+    }
+}
+
+impl OnlineScheduler for RandomizedClassifySelect {
+    fn name(&self) -> &'static str {
+        "randomized-classify-select"
+    }
+
+    /// The *real* machine count: one.
+    fn machines(&self) -> usize {
+        1
+    }
+
+    fn offer(&mut self, job: &Job) -> Decision {
+        match self.virtual_threshold.offer(job) {
+            Decision::Accept { machine, start } if machine == self.selected => {
+                // The virtual lane is a feasible single-machine schedule;
+                // replay the commitment on the single real machine.
+                Decision::Accept {
+                    machine: MachineId(0),
+                    start,
+                }
+            }
+            // Virtually accepted on an unselected lane, or rejected: the
+            // real machine does not run it. (The virtual state must keep
+            // the unselected acceptance — that is what "simulation"
+            // means — so the inner offer above is unconditional.)
+            _ => Decision::Reject,
+        }
+    }
+
+    fn reset(&mut self) {
+        // Fresh run, fresh draw from the same seed for reproducibility.
+        *self = RandomizedClassifySelect::with_virtual_machines(
+            self.eps,
+            self.virtual_m,
+            self.seed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_kernel::{JobId, Time};
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn virtual_machine_count_scales_with_log_inverse_eps() {
+        assert_eq!(RandomizedClassifySelect::default_virtual_machines(0.25), 2);
+        assert_eq!(RandomizedClassifySelect::default_virtual_machines(1.0 / 1024.0), 10);
+        assert_eq!(RandomizedClassifySelect::default_virtual_machines(1.0), 2);
+    }
+
+    #[test]
+    fn accepts_only_jobs_on_the_selected_lane() {
+        // Tight unit jobs (d = 1.5) spread across virtual lanes: each
+        // lane can hold at most one, so whatever lane is selected, at
+        // most one of the eight jobs is really executed.
+        let mut a = RandomizedClassifySelect::with_virtual_machines(0.5, 4, 7);
+        let mut accepted = 0;
+        for i in 0..8 {
+            if a.offer(&job(i, 0.0, 1.0, 1.5)).is_accept() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 1, "lane filter must keep at most one job");
+    }
+
+    #[test]
+    fn accepted_commitments_are_single_machine_feasible() {
+        let mut a = RandomizedClassifySelect::new(0.125, 42);
+        let mut last_end = Time::ZERO;
+        let mut r = 0.0;
+        for i in 0..100 {
+            let p = 0.2 + (i % 5) as f64 * 0.4;
+            let j = Job::tight(JobId(i), Time::new(r), p, 0.125);
+            if let Decision::Accept { machine, start } = a.offer(&j) {
+                assert_eq!(machine, MachineId(0), "real machine is single");
+                assert!(
+                    start.approx_ge(last_end),
+                    "lane replay must not overlap: start {start:?} < end {last_end:?}"
+                );
+                assert!((start + j.proc_time).approx_le(j.deadline));
+                last_end = start + j.proc_time;
+            }
+            r += 0.3;
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_run() {
+        let mk = || RandomizedClassifySelect::with_virtual_machines(0.25, 4, 99);
+        let (mut a, mut b) = (mk(), mk());
+        assert_eq!(a.selected_machine(), b.selected_machine());
+        for i in 0..20 {
+            let j = job(i, i as f64 * 0.1, 1.0, 1000.0);
+            assert_eq!(a.offer(&j), b.offer(&j));
+        }
+    }
+
+    #[test]
+    fn different_seeds_eventually_select_different_lanes() {
+        let lanes: std::collections::HashSet<u32> = (0..32)
+            .map(|s| {
+                RandomizedClassifySelect::with_virtual_machines(0.25, 4, s)
+                    .selected_machine()
+                    .0
+            })
+            .collect();
+        assert!(lanes.len() > 1, "draws should vary across seeds");
+    }
+
+    #[test]
+    fn reset_redraws_deterministically() {
+        let mut a = RandomizedClassifySelect::with_virtual_machines(0.25, 4, 5);
+        let lane = a.selected_machine();
+        a.offer(&job(0, 0.0, 1.0, 100.0));
+        a.reset();
+        assert_eq!(a.selected_machine(), lane);
+    }
+}

@@ -1,0 +1,24 @@
+//! Cost of one full adversary game (phases 1–3 plus witness
+//! construction and validation-grade commitment bookkeeping).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cslack_adversary::{run, AdversaryConfig};
+use cslack_algorithms::Threshold;
+
+fn adversary_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_vs_threshold");
+    for &m in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let eps = 0.1;
+            let cfg = AdversaryConfig::new(m, eps);
+            b.iter(|| {
+                let mut alg = Threshold::new(m, eps);
+                black_box(run(black_box(&cfg), &mut alg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adversary_run);
+criterion_main!(benches);

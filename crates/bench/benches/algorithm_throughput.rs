@@ -1,0 +1,34 @@
+//! End-to-end simulation throughput (jobs/second) of every
+//! non-preemptive algorithm on a shared 2000-job workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cslack_sim::simulate;
+use cslack_sim::sweep::AlgoKind;
+use cslack_workloads::WorkloadSpec;
+
+fn algorithm_throughput(c: &mut Criterion) {
+    let m = 8;
+    let eps = 0.25;
+    let n = 2000;
+    let instance = WorkloadSpec::default_spec(m, eps, n, 42)
+        .generate()
+        .expect("bench workload");
+    let mut group = c.benchmark_group("simulate_2000_jobs");
+    group.throughput(Throughput::Elements(n as u64));
+    for &algo in AlgoKind::baselines() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut alg = algo.build(m, eps, 0);
+                    black_box(simulate(&instance, alg.as_mut()).expect("clean run"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algorithm_throughput);
+criterion_main!(benches);

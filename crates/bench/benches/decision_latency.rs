@@ -1,0 +1,34 @@
+//! Per-decision latency of the Threshold algorithm as the machine count
+//! grows — the hot path of an admission controller.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cslack_algorithms::{OnlineScheduler, Threshold};
+use cslack_kernel::{Job, JobId, Time};
+
+fn decision_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_offer");
+    for &m in &[1usize, 4, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let eps = 0.1;
+            let mut alg = Threshold::new(m, eps);
+            // Warm the machine park with load.
+            let mut r = 0.0;
+            for i in 0..m as u32 {
+                let j = Job::tight(JobId(i), Time::new(r), 1.0, 2.0);
+                alg.offer(&j);
+                r += 0.01;
+            }
+            let mut id = m as u32;
+            b.iter(|| {
+                let j = Job::tight(JobId(id), Time::new(r), 1.0, 0.1);
+                id = id.wrapping_add(1);
+                r += 1e-6;
+                black_box(alg.offer(black_box(&j)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decision_latency);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Cost of the `c(eps, m)` machinery: corner-value precomputation
+//! (`RatioFn::new`) and per-point evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cslack_ratio::RatioFn;
+
+fn ratio_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ratio_fn_new");
+    for &m in &[2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(RatioFn::new(black_box(m))));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ratio_fn_eval");
+    for &m in &[2usize, 8, 32, 128] {
+        let r = RatioFn::new(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut eps = 0.013;
+            b.iter(|| {
+                eps = if eps > 0.9 { 0.013 } else { eps * 1.37 };
+                black_box(r.eval(black_box(eps)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ratio_solver);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Parallel efficiency of the rayon sweep harness: the same cell grid
+//! on 1 thread vs all cores.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cslack_sim::sweep::{grid, run, AlgoKind};
+use cslack_workloads::WorkloadSpec;
+
+fn sweep_scaling(c: &mut Criterion) {
+    let base = WorkloadSpec::default_spec(4, 0.25, 60, 0);
+    let seeds: Vec<u64> = (0..16).collect();
+    let cells = grid(&base, AlgoKind::baselines(), &[0.1, 0.5], &seeds);
+
+    let mut group = c.benchmark_group("sweep_96_cells");
+    group.sample_size(10);
+    for &threads in &[1usize, 0] {
+        let label = if threads == 0 { "all-cores" } else { "1-thread" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool");
+            b.iter(|| pool.install(|| black_box(run(black_box(&cells), 0))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E2 — Equation (1) and the closed-form phases: validates the numeric
+//! recursion solver against every analytic expression the paper states
+//! (`m = 1`; Eq. (1) for `m = 2` with its `eps = 2/7` transition; the
+//! phases `k in {m, m-1, m-2}` for general `m`).
+//!
+//! Output: `results/eq1_closed_forms.csv` with per-point absolute and
+//! relative errors; non-zero exit if any deviation exceeds `1e-7`
+//! relative.
+
+use cslack_bench::{fmt, out_dir, Table};
+use cslack_ratio::{closed, recursion, RatioFn};
+
+fn main() {
+    let dir = out_dir();
+    let mut table = Table::new(vec!["case", "m", "eps", "numeric", "closed", "rel_err"]);
+    let mut worst: f64 = 0.0;
+
+    let mut check = |case: &str, m: usize, eps: f64, numeric: f64, closed: f64| {
+        let rel = (numeric - closed).abs() / closed.abs().max(1e-12);
+        worst = worst.max(rel);
+        table.row(vec![
+            case.to_string(),
+            m.to_string(),
+            fmt(eps),
+            fmt(numeric),
+            fmt(closed),
+            format!("{rel:.2e}"),
+        ]);
+    };
+
+    // m = 1: c = 2 + 1/eps.
+    let r1 = RatioFn::new(1);
+    for &eps in &[0.01, 0.05, 0.25, 0.5, 1.0] {
+        check("m=1 (GK)", 1, eps, r1.lower_bound(eps), closed::c_m1(eps));
+    }
+
+    // Equation (1), both phases and the transition point 2/7.
+    let r2 = RatioFn::new(2);
+    for &eps in &[0.01, 0.1, 0.2, 2.0 / 7.0, 0.3, 0.5, 0.75, 1.0] {
+        check("m=2 (Eq. 1)", 2, eps, r2.lower_bound(eps), closed::c_m2(eps));
+    }
+
+    // Last three phases for m up to 8.
+    for m in 2..=8 {
+        let r = RatioFn::new(m);
+        // Phase k = m (midpoint of its interval).
+        let lo = if m == 1 { 0.0 } else { r.corner(m - 1) };
+        let eps = 0.5 * (lo + 1.0);
+        check("k=m", m, eps, r.lower_bound(eps), closed::c_phase_m(eps, m));
+        // Phase k = m-1.
+        let lo = if m >= 3 { r.corner(m - 2) } else { 0.0 };
+        let eps = 0.5 * (lo + r.corner(m - 1));
+        check(
+            "k=m-1",
+            m,
+            eps,
+            r.lower_bound(eps),
+            closed::c_phase_m1(eps, m),
+        );
+        // Phase k = m-2.
+        if m >= 3 {
+            let lo = if m >= 4 { r.corner(m - 3) } else { 0.0 };
+            let eps = 0.5 * (lo + r.corner(m - 2));
+            check(
+                "k=m-2",
+                m,
+                eps,
+                r.lower_bound(eps),
+                closed::c_phase_m2(eps, m),
+            );
+        }
+    }
+
+    // The m = 2 transition really happens at 2/7: the two branch
+    // expressions of Eq. (1) intersect there.
+    let at = 2.0 / 7.0;
+    let sqrt_branch = 2.0 * (25.0 / 16.0_f64 + 1.0 / at).sqrt() + 0.5;
+    let lin_branch = 1.5 + 1.0 / at;
+    check("Eq.1 branch agreement at 2/7", 2, at, sqrt_branch, lin_branch);
+
+    // The corner value recursion itself: eps_{1,2} = 2/7 analytically.
+    check(
+        "corner eps_{1,2}",
+        2,
+        2.0 / 7.0,
+        recursion::corner_value(2, 1),
+        2.0 / 7.0,
+    );
+
+    println!("Equation (1) and closed-form phase validation");
+    println!();
+    println!("{}", table.render());
+    table.write_csv(&dir.join("eq1_closed_forms.csv"));
+    println!("worst relative error: {worst:.2e}");
+    println!("CSV written to {}", dir.display());
+    if worst > 1e-7 {
+        eprintln!("FAIL: closed forms and solver disagree beyond 1e-7");
+        std::process::exit(1);
+    }
+    println!("PASS: numeric solver matches every closed form");
+}

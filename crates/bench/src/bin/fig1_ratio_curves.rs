@@ -1,0 +1,93 @@
+//! E1 — Figure 1: tight competitive-ratio curves `c(eps, m)` for
+//! `m = 1..4` over the slack interval `(0, 1]`, with the phase
+//! transition points ("circles" in the paper's figure).
+//!
+//! Output: `results/fig1_curves.csv` (one row per sample point per m),
+//! `results/fig1_corners.csv` (the transition points), and an ASCII
+//! rendition of the figure on stdout.
+
+use cslack_bench::{ascii_plot_logx, fmt, out_dir, svg, Table};
+use cslack_ratio::RatioFn;
+
+fn main() {
+    let dir = out_dir();
+    let ms = [1usize, 2, 3, 4];
+    let (eps_lo, eps_hi, n) = (0.01, 1.0, 400);
+
+    let mut curves = Table::new(vec!["m", "eps", "c"]);
+    let mut corner_table = Table::new(vec!["m", "k", "eps_km", "c_at_corner"]);
+    let mut series_data: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut corner_points: Vec<(f64, f64)> = Vec::new();
+
+    for &m in &ms {
+        let r = RatioFn::new(m);
+        let pts = r.curve(eps_lo, eps_hi, n);
+        for &(eps, c) in &pts {
+            curves.row(vec![m.to_string(), fmt(eps), fmt(c)]);
+        }
+        series_data.push((format!("m={m}"), pts));
+        for k in 1..=m {
+            let eps = r.corner(k);
+            if eps >= eps_lo {
+                corner_table.row(vec![
+                    m.to_string(),
+                    k.to_string(),
+                    fmt(eps),
+                    fmt(r.lower_bound(eps)),
+                ]);
+                if k < m {
+                    corner_points.push((eps, r.lower_bound(eps)));
+                }
+            }
+        }
+    }
+
+    curves.write_csv(&dir.join("fig1_curves.csv"));
+    corner_table.write_csv(&dir.join("fig1_corners.csv"));
+
+    // SVG rendition of Fig. 1 (m = 1 dashed, as in the paper; the y
+    // axis is clipped to the paper's visible range by restricting eps).
+    let colors = ["#555555", "#1f77b4", "#2ca02c", "#9467bd"];
+    let svg_series: Vec<svg::Series> = series_data
+        .iter()
+        .zip(colors)
+        .map(|((label, pts), color)| svg::Series {
+            label: label.clone(),
+            color: color.to_string(),
+            points: pts.iter().copied().filter(|p| p.1 <= 30.0).collect(),
+            dashed: label == "m=1",
+        })
+        .collect();
+    let chart = svg::Chart {
+        title: "Fig. 1 — tight competitive ratios c(eps, m)".into(),
+        x_label: "slack eps (log scale)".into(),
+        y_label: "competitive ratio".into(),
+        log_x: true,
+        ..svg::Chart::default()
+    };
+    let markers = vec![svg::Markers {
+        color: "#222".into(),
+        points: corner_points.into_iter().filter(|p| p.1 <= 30.0).collect(),
+    }];
+    std::fs::write(
+        dir.join("fig1.svg"),
+        svg::render(&chart, &svg_series, &markers),
+    )
+    .expect("write fig1.svg");
+
+    println!("Figure 1 — tight competitive ratios c(eps, m), eps in [{eps_lo}, {eps_hi}]");
+    println!();
+    let series: Vec<(&str, &[(f64, f64)])> = series_data
+        .iter()
+        .map(|(name, pts)| (name.as_str(), pts.as_slice()))
+        .collect();
+    println!("{}", ascii_plot_logx(&series, 100, 28));
+    println!("phase transitions (the circles in Fig. 1):");
+    println!("{}", corner_table.render());
+    println!(
+        "reference points: c(1, 1) = {} (Goldwasser–Kerbikov), c(1, 2) = {} (Eq. 1)",
+        fmt(RatioFn::new(1).lower_bound(1.0)),
+        fmt(RatioFn::new(2).lower_bound(1.0))
+    );
+    println!("CSV written to {}", dir.display());
+}

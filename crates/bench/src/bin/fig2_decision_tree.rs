@@ -1,0 +1,53 @@
+//! E3 — Figure 2: the adversary's decision tree for `m = 3` and
+//! `eps in [eps_{1,3}, eps_{2,3})`, i.e. phase `k = 2`, with the forced
+//! ratio at every leaf, plus the same tree for other `(m, eps)` pairs.
+//!
+//! Output: the ASCII tree on stdout and `results/fig2_leaves.csv` with
+//! one row per leaf.
+
+use cslack_adversary::tree::DecisionTree;
+use cslack_bench::{fmt, out_dir, Table};
+use cslack_ratio::RatioFn;
+
+fn main() {
+    let dir = out_dir();
+
+    // The paper's exact regime: m = 3, eps in [eps_{1,3}, eps_{2,3}).
+    let r3 = RatioFn::new(3);
+    let eps_fig2 = 0.5 * (r3.corner(1) + r3.corner(2));
+    let tree = DecisionTree::build(3, eps_fig2);
+    println!(
+        "Figure 2 — adversary decision tree, m = 3, eps = {:.4} in [{:.4}, {:.4})",
+        eps_fig2,
+        r3.corner(1),
+        r3.corner(2)
+    );
+    println!();
+    println!("{}", tree.ascii());
+    println!(
+        "minimax (best algorithm play): {}  |  Theorem 1 c(eps, m): {}",
+        fmt(tree.min_leaf_ratio()),
+        fmt(tree.params.c)
+    );
+    println!();
+
+    // Leaf inventory across a grid of regimes.
+    let mut leaves = Table::new(vec!["m", "eps", "k", "leaf_ratio", "is_minimax"]);
+    for m in 1..=4 {
+        for &eps in &[0.05, 0.2, 0.5, 1.0] {
+            let t = DecisionTree::build(m, eps);
+            let min = t.min_leaf_ratio();
+            for r in t.leaf_ratios() {
+                leaves.row(vec![
+                    m.to_string(),
+                    fmt(eps),
+                    t.params.k.to_string(),
+                    fmt(r),
+                    ((r - min).abs() < 1e-9 * min).to_string(),
+                ]);
+            }
+        }
+    }
+    leaves.write_csv(&dir.join("fig2_leaves.csv"));
+    println!("leaf inventory for m = 1..4 written to {}", dir.display());
+}

@@ -1,0 +1,54 @@
+//! Runs every experiment binary in sequence (E1–E11) and prints a
+//! one-line verdict per experiment. Convenience driver for regenerating
+//! all paper artifacts:
+//!
+//! ```text
+//! cargo run --release -p cslack-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1_ratio_curves", "E1  Fig. 1 ratio curves"),
+    ("eq1_closed_forms", "E2  Eq. (1) + closed forms"),
+    ("fig2_decision_tree", "E3  Fig. 2 decision tree"),
+    ("fig3_schedules", "E4  Fig. 3 schedules"),
+    ("table_lower_bound", "E5  Theorem 1 (adversary)"),
+    ("table_upper_bound", "E6  Theorem 2 (upper bound)"),
+    ("prop1_asymptotics", "E7  Proposition 1 asymptotics"),
+    ("table_randomized", "E8  Corollary 1 randomized"),
+    ("table_baselines", "E9  baseline comparison"),
+    ("table_ablation", "E10 design ablation"),
+    ("table_commitment_models", "E11 commitment landscape"),
+    ("table_delay_sweep", "E12 delayed-commitment sweep"),
+    ("cover_diagnostics", "E13 covered-interval diagnostics"),
+    ("table_yao_bound", "E14 Yao randomized lower bound"),
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = 0;
+    for (bin, label) in EXPERIMENTS {
+        let path = bin_dir.join(bin);
+        let start = std::time::Instant::now();
+        let out = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("cannot run {bin}: {e}"));
+        let secs = start.elapsed().as_secs_f64();
+        if out.status.success() {
+            println!("PASS {label:<32} ({secs:.1}s)");
+        } else {
+            failures += 1;
+            println!("FAIL {label:<32} ({secs:.1}s)");
+            eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        }
+    }
+    println!();
+    if failures == 0 {
+        println!("all {} experiments regenerated into results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

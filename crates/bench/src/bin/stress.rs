@@ -1,0 +1,75 @@
+//! Large-scale stress run: stream 10^6 jobs through each non-preemptive
+//! algorithm and report sustained decision throughput and memory-free
+//! behaviour (the simulator's schedule is the only growing state).
+//!
+//! ```text
+//! cargo run --release -p cslack-bench --bin stress [n_jobs] [m]
+//! ```
+
+use cslack_bench::{fmt, Table};
+use cslack_sim::sweep::AlgoKind;
+use cslack_workloads::{ArrivalLaw, SizeLaw, SlackLaw, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let eps = 0.25;
+
+    println!("stress: {n} jobs, m = {m}, eps = {eps}");
+    let gen_start = Instant::now();
+    let inst = WorkloadSpec {
+        m,
+        eps,
+        n,
+        arrivals: ArrivalLaw::Poisson { rate: m as f64 },
+        sizes: SizeLaw::BoundedPareto {
+            alpha: 1.3,
+            lo: 0.1,
+            hi: 20.0,
+        },
+        slack: SlackLaw::UniformIn { max: 1.0 },
+        seed: 1,
+    }
+    .generate()
+    .expect("stress workload");
+    println!(
+        "generated in {:.2}s ({:.1} total volume)",
+        gen_start.elapsed().as_secs_f64(),
+        inst.total_load()
+    );
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "accepted",
+        "load_fraction",
+        "wall_s",
+        "jobs_per_s",
+    ]);
+    for &algo in AlgoKind::baselines() {
+        let mut alg = algo.build(m, eps, 0);
+        // Drive the algorithm directly (no authoritative schedule) so
+        // the measurement isolates decision cost; correctness at this
+        // scale is covered by the test suite on smaller runs.
+        let t0 = Instant::now();
+        let mut accepted = 0usize;
+        let mut load = 0.0;
+        for job in inst.jobs() {
+            if let cslack_algorithms::Decision::Accept { .. } = alg.offer(job) {
+                accepted += 1;
+                load += job.proc_time;
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        table.row(vec![
+            alg.name().to_string(),
+            accepted.to_string(),
+            fmt(load / inst.total_load()),
+            fmt(wall),
+            format!("{:.0}", n as f64 / wall),
+        ]);
+    }
+    println!();
+    println!("{}", table.render());
+}

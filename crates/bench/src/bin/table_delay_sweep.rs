@@ -1,0 +1,86 @@
+//! E12 (extension) — the value of decision delay: sweeping the
+//! delayed-commitment parameter `delta` from 0 (immediate commitment)
+//! to `eps` (the model's maximum) and measuring the accepted load on
+//! workloads where waiting pays.
+//!
+//! The paper's introduction cites delta-delayed commitment as the
+//! intermediate model between immediate commitment and commitment on
+//! admission; this experiment quantifies the transition.
+//!
+//! Output: `results/table_delay_sweep.csv`.
+
+use cslack_algorithms::delayed::DelayedGreedy;
+use cslack_bench::{fmt, mean, out_dir, Table};
+use cslack_kernel::Instance;
+use cslack_workloads::scenarios;
+
+fn delayed_load(inst: &Instance, delta: f64) -> f64 {
+    let mut a = DelayedGreedy::new(inst.machines(), delta);
+    for j in inst.jobs() {
+        a.offer(j);
+    }
+    a.finish().accepted_load()
+}
+
+/// A named family of seeded instance generators.
+type Family<'a> = (&'a str, Box<dyn Fn(u64) -> Instance>);
+
+fn main() {
+    let dir = out_dir();
+    let mut table = Table::new(vec![
+        "workload",
+        "m",
+        "eps",
+        "delta/eps",
+        "mean_load",
+        "gain_vs_immediate",
+    ]);
+
+    let m = 4;
+    let seeds: Vec<u64> = (0..10).collect();
+    for &eps in &[0.1, 0.5] {
+        let families: Vec<Family<'_>> = vec![
+            (
+                "small_job_flood",
+                Box::new(move |s| scenarios::small_job_flood(m, eps, s)),
+            ),
+            (
+                "bursty_heavy_tail",
+                Box::new(move |s| scenarios::bursty_heavy_tail(m, eps, 120, s)),
+            ),
+            (
+                "iaas_mix",
+                Box::new(move |s| scenarios::iaas_mix(m, eps, 120, s)),
+            ),
+        ];
+        for (name, make) in &families {
+            let mut base_mean = 0.0;
+            for &frac in &[0.0, 0.25, 0.5, 1.0] {
+                let delta = frac * eps;
+                let loads: Vec<f64> = seeds.iter().map(|&s| delayed_load(&make(s), delta)).collect();
+                let mu = mean(&loads);
+                if frac == 0.0 {
+                    base_mean = mu;
+                }
+                table.row(vec![
+                    name.to_string(),
+                    m.to_string(),
+                    fmt(eps),
+                    fmt(frac),
+                    fmt(mu),
+                    fmt(mu / base_mean.max(1e-12)),
+                ]);
+            }
+        }
+    }
+
+    println!("The value of decision delay (delayed commitment, delta in [0, eps])");
+    println!();
+    println!("{}", table.render());
+    table.write_csv(&dir.join("table_delay_sweep.csv"));
+    println!("CSV written to {}", dir.display());
+    println!();
+    println!("reading guide: delta/eps = 0 is immediate-commitment greedy; growing the");
+    println!("decision window lets large jobs displace small conflicting ones, which");
+    println!("pays most on the flood workload and is near-neutral on benign streams.");
+}

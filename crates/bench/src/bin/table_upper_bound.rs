@@ -1,0 +1,73 @@
+//! E6 — Theorem 2 empirically: on random and adversarial workloads the
+//! measured ratio of the Threshold algorithm never exceeds the
+//! theorem's bound (`c(eps, m)` for `k <= 3`, `+ (3-e)/(e-1)` beyond).
+//!
+//! Small instances use the exact offline optimum; larger ones the flow
+//! relaxation (which can only overstate the measured ratio, keeping the
+//! check conservative).
+//!
+//! Output: `results/table_upper_bound.csv`; non-zero exit on violation.
+
+use cslack_bench::{fmt, fmt_mean_ci, out_dir, Table};
+use cslack_ratio::RatioFn;
+use cslack_sim::sweep::{grid, run, AlgoKind};
+use cslack_workloads::WorkloadSpec;
+
+fn main() {
+    let dir = out_dir();
+    let mut table = Table::new(vec![
+        "m",
+        "eps",
+        "k",
+        "n",
+        "seeds",
+        "mean_ratio_ci95",
+        "max_ratio",
+        "bound",
+        "opt_exact",
+    ]);
+    let mut violated = false;
+
+    let seeds: Vec<u64> = (0..12).collect();
+    for &m in &[1usize, 2, 3, 4] {
+        let rfn = RatioFn::new(m);
+        for &eps in &[0.05, 0.1, 0.3, 0.6, 1.0] {
+            for (n, exact_limit) in [(12usize, 14usize), (200, 0)] {
+                let base = WorkloadSpec::default_spec(m, eps, n, 0);
+                let cells = grid(&base, &[AlgoKind::Threshold], &[eps], &seeds);
+                let rows = run(&cells, exact_limit);
+                let ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+                let bound = rfn.threshold_upper_bound(eps);
+                let max = ratios.iter().cloned().fold(0.0_f64, f64::max);
+                let all_exact = rows.iter().all(|r| r.opt_is_exact);
+                if all_exact && max > bound + 1e-6 {
+                    violated = true;
+                }
+                table.row(vec![
+                    m.to_string(),
+                    fmt(eps),
+                    rfn.phase(eps).to_string(),
+                    n.to_string(),
+                    seeds.len().to_string(),
+                    fmt_mean_ci(&ratios),
+                    fmt(max),
+                    fmt(bound),
+                    all_exact.to_string(),
+                ]);
+            }
+        }
+    }
+
+    println!("Theorem 2 — measured Threshold ratio vs the upper bound");
+    println!();
+    println!("{}", table.render());
+    table.write_csv(&dir.join("table_upper_bound.csv"));
+    println!("CSV written to {}", dir.display());
+    if violated {
+        eprintln!("FAIL: a measured ratio with exact OPT exceeded the Theorem 2 bound");
+        std::process::exit(1);
+    }
+    println!();
+    println!("PASS: no exact-OPT run exceeded the bound (rows with opt_exact = false use");
+    println!("the preemptive flow relaxation as denominator, which overstates the ratio).");
+}

@@ -1,0 +1,276 @@
+//! Shared infrastructure for the `cslack` experiment binaries.
+//!
+//! Each binary regenerates one artifact of the paper (a figure, an
+//! equation check, or a table; see DESIGN.md's experiment index) and
+//! * prints a human-readable table/plot to stdout, and
+//! * writes the raw series as CSV under `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod svg;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The output directory for experiment artifacts (`results/`, created on
+/// demand; override with the `CSLACK_RESULTS` environment variable).
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("CSLACK_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// A minimal aligned text table with CSV export.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * ncol;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) {
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        fs::write(path, s).expect("cannot write CSV");
+    }
+}
+
+/// Formats a float with 4 significant decimals (table cells).
+pub fn fmt(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// A crude ASCII line plot with a logarithmic x-axis — enough to see the
+/// shape and phase transitions of Fig. 1 in a terminal.
+pub fn ascii_plot_logx(
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!series.is_empty());
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in series {
+        for &(x, y) in *pts {
+            x0 = x0.min(x.ln());
+            x1 = x1.max(x.ln());
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+    }
+    let yspan = (y1 - y0).max(1e-9);
+    let xspan = (x1 - x0).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    let glyphs = ['1', '2', '3', '4', '5', '6', '7', '8', '9'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in *pts {
+            let cx = (((x.ln() - x0) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / yspan) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "y: {y0:.2} .. {y1:.2}   x (log scale): {:.4} .. {:.4}", x0.exp(), x1.exp());
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  [{}] {}", glyphs[si % glyphs.len()], name);
+    }
+    out
+}
+
+/// Mean of a slice (NaN-free inputs assumed; 0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Half-width of an approximate 95% confidence interval for the mean
+/// (normal approximation with the sample standard deviation; adequate
+/// for the seed counts the experiments use).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let sample_var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+    1.96 * (sample_var / n as f64).sqrt()
+}
+
+/// Formats `mean ± ci95` for a sample.
+pub fn fmt_mean_ci(xs: &[f64]) -> String {
+    format!("{} ± {}", fmt(mean(xs)), fmt(ci95_half_width(xs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_exports_csv() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["300", "4,5"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() == 4);
+        let dir = std::env::temp_dir().join("cslack-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        t.write_csv(&p);
+        let csv = std::fs::read_to_string(&p).unwrap();
+        assert!(csv.contains("\"4,5\""));
+        assert_eq!(csv.lines().count(), 3);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_enforced() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn plot_contains_all_series_glyphs() {
+        let s1: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 0.1, i as f64)).collect();
+        let s2: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 0.1, 11.0 - i as f64)).collect();
+        let p = ascii_plot_logx(&[("up", &s1), ("down", &s2)], 40, 10);
+        assert!(p.contains('1'));
+        assert!(p.contains('2'));
+        assert!(p.contains("up"));
+        assert!(p.contains("down"));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn fmt_handles_infinity() {
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert_eq!(fmt(1.23456), "1.2346");
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_size() {
+        // Same spread, more samples => tighter interval (1/sqrt(n)).
+        let small: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..128).map(|i| (i % 2) as f64).collect();
+        let a = ci95_half_width(&small);
+        let b = ci95_half_width(&large);
+        assert!(a > b, "{a} should exceed {b}");
+        let expected_ratio = (128.0f64 / 8.0).sqrt();
+        assert!((a / b - expected_ratio).abs() / expected_ratio < 0.1); // n-1 vs n
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn fmt_mean_ci_renders_both_parts() {
+        let s = fmt_mean_ci(&[1.0, 3.0]);
+        assert!(s.starts_with("2.0000 ±"), "{s}");
+    }
+}

@@ -1,0 +1,414 @@
+//! A small dependency-free SVG line-chart writer, sufficient to render
+//! the paper's Fig. 1 (log-x curves with marked phase transitions).
+
+use std::fmt::Write as _;
+
+/// One data series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Stroke color (any CSS color).
+    pub color: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+    /// Dashed stroke?
+    pub dashed: bool,
+}
+
+/// Points drawn as circles (the phase-transition markers of Fig. 1).
+#[derive(Clone, Debug)]
+pub struct Markers {
+    /// Fill color.
+    pub color: String,
+    /// `(x, y)` marker positions.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis?
+    pub log_x: bool,
+    /// Pixel width.
+    pub width: f64,
+    /// Pixel height.
+    pub height: f64,
+}
+
+impl Default for Chart {
+    fn default() -> Chart {
+        Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            width: 860.0,
+            height: 520.0,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 140.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+
+/// Renders the chart to an SVG string.
+pub fn render(chart: &Chart, series: &[Series], markers: &[Markers]) -> String {
+    let tx = |x: f64| if chart.log_x { x.ln() } else { x };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x0 = x0.min(tx(x));
+            x1 = x1.max(tx(x));
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+    }
+    assert!(x0.is_finite() && y0.is_finite(), "chart needs data");
+    // A little y headroom.
+    let pad = 0.04 * (y1 - y0).max(1e-9);
+    let (y0, y1) = (y0 - pad, y1 + pad);
+
+    let plot_w = chart.width - MARGIN_L - MARGIN_R;
+    let plot_h = chart.height - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (tx(x) - x0) / (x1 - x0).max(1e-12) * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0).max(1e-12)) * plot_h;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}" font-family="sans-serif">"#,
+        chart.width, chart.height, chart.width, chart.height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+        chart.width / 2.0,
+        xml(&chart.title)
+    );
+
+    // Axes frame.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+    );
+
+    // Y ticks (6 levels).
+    for i in 0..=5 {
+        let y = y0 + (y1 - y0) * i as f64 / 5.0;
+        let yy = py(y);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{MARGIN_L}" y1="{yy}" x2="{}" y2="{yy}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{:.1}</text>"#,
+            MARGIN_L - 6.0,
+            yy + 4.0,
+            y
+        );
+    }
+    // X ticks: decades when log, 6 linear ticks otherwise.
+    let xticks: Vec<f64> = if chart.log_x {
+        let mut t = Vec::new();
+        let mut v = 10f64.powf(x0.exp().log10().floor());
+        while v <= x1.exp() * 1.0001 {
+            for mult in [1.0, 2.0, 5.0] {
+                let tick = v * mult;
+                if tick >= x0.exp() * 0.999 && tick <= x1.exp() * 1.001 {
+                    t.push(tick);
+                }
+            }
+            v *= 10.0;
+        }
+        t
+    } else {
+        (0..=5)
+            .map(|i| x0 + (x1 - x0) * i as f64 / 5.0)
+            .collect()
+    };
+    for &x in &xticks {
+        let xx = px(x);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{xx}" y1="{MARGIN_T}" x2="{xx}" y2="{}" stroke="#eee"/>"##,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{xx}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            trim(x)
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        chart.height - 12.0,
+        xml(&chart.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml(&chart.y_label)
+    );
+
+    // Series.
+    for s in series {
+        let mut d = String::new();
+        for (i, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(d, "{}{:.2},{:.2} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+        }
+        let dash = if s.dashed {
+            r#" stroke-dasharray="6,4""#
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            r#"<path d="{d}" fill="none" stroke="{}" stroke-width="1.8"{dash}/>"#,
+            s.color
+        );
+    }
+    // Markers.
+    for m in markers {
+        for &(x, y) in &m.points {
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="4" fill="white" stroke="{}" stroke-width="1.6"/>"#,
+                px(x),
+                py(y),
+                m.color
+            );
+        }
+    }
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let ly = MARGIN_T + 14.0 + 20.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 12.0;
+        let dash = if s.dashed {
+            r#" stroke-dasharray="6,4""#
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{}" stroke-width="2"{dash}/>"#,
+            lx + 22.0,
+            s.color
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            xml(&s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a non-preemptive [`Schedule`](cslack_kernel::Schedule) as an
+/// SVG Gantt chart (one horizontal lane per machine, one block per
+/// commitment, labelled with the job id) — the vector form of the
+/// paper's Fig. 3 panels.
+pub fn render_gantt(title: &str, schedule: &cslack_kernel::Schedule, width: f64) -> String {
+    let m = schedule.machines();
+    let lane_h = 34.0;
+    let top = 42.0;
+    let left = 46.0;
+    let right = 16.0;
+    let height = top + m as f64 * lane_h + 34.0;
+    let horizon = schedule.makespan().raw().max(1e-9);
+    let plot_w = width - left - right;
+    let px = |t: f64| left + t / horizon * plot_w;
+
+    const FILLS: &[&str] = &[
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="22" font-size="14" text-anchor="middle">{}</text>"#,
+        width / 2.0,
+        xml(title)
+    );
+    for lane in 0..m {
+        let y = top + lane as f64 * lane_h;
+        let _ = writeln!(
+            out,
+            r##"<line x1="{left}" y1="{}" x2="{}" y2="{}" stroke="#ccc"/>"##,
+            y + lane_h - 4.0,
+            left + plot_w,
+            y + lane_h - 4.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="end">M{lane}</text>"#,
+            left - 6.0,
+            y + lane_h / 2.0 + 4.0
+        );
+        for c in schedule.lane(cslack_kernel::MachineId(lane as u32)) {
+            let x0 = px(c.start.raw());
+            let x1 = px(c.completion().raw());
+            let fill = FILLS[c.job.id.index() % FILLS.len()];
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" stroke="#333" stroke-width="0.6"/>"##,
+                x0,
+                y,
+                (x1 - x0).max(0.8),
+                lane_h - 8.0
+            );
+            if x1 - x0 > 22.0 {
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.2}" y="{:.2}" font-size="10" fill="white" text-anchor="middle">{}</text>"#,
+                    0.5 * (x0 + x1),
+                    y + lane_h / 2.0 + 1.0,
+                    c.job.id
+                );
+            }
+        }
+    }
+    // Time axis labels.
+    for i in 0..=5 {
+        let t = horizon * i as f64 / 5.0;
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.2}" y="{}" font-size="10" text-anchor="middle">{t:.2}</text>"#,
+            px(t),
+            top + m as f64 * lane_h + 16.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn trim(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "up".into(),
+                color: "#1f77b4".into(),
+                points: (1..=20).map(|i| (i as f64 * 0.05, i as f64)).collect(),
+                dashed: false,
+            },
+            Series {
+                label: "down & dashed".into(),
+                color: "#d62728".into(),
+                points: (1..=20).map(|i| (i as f64 * 0.05, 21.0 - i as f64)).collect(),
+                dashed: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let chart = Chart {
+            title: "T<est>".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            ..Chart::default()
+        };
+        let markers = vec![Markers {
+            color: "#000".into(),
+            points: vec![(0.5, 10.0)],
+        }];
+        let svg = render(&chart, &demo_series(), &markers);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("T&lt;est&gt;")); // escaped title
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("<circle"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        // Balanced tags (cheap well-formedness check).
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn linear_axis_also_works() {
+        let chart = Chart::default();
+        let svg = render(&chart, &demo_series(), &[]);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_chart_panics() {
+        let _ = render(&Chart::default(), &[], &[]);
+    }
+
+    #[test]
+    fn gantt_renders_every_commitment() {
+        use cslack_kernel::{Job, JobId, MachineId, Schedule, Time};
+        let mut s = Schedule::new(2);
+        s.commit(
+            Job::new(JobId(0), Time::ZERO, 3.0, Time::new(9.0)),
+            MachineId(0),
+            Time::ZERO,
+        )
+        .unwrap();
+        s.commit(
+            Job::new(JobId(1), Time::ZERO, 2.0, Time::new(9.0)),
+            MachineId(1),
+            Time::new(1.0),
+        )
+        .unwrap();
+        let svg = render_gantt("demo & test", &s, 600.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("demo &amp; test"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 2); // background + 2 jobs
+        assert!(svg.contains(">M0<") && svg.contains(">M1<"));
+        assert!(svg.contains(">J0<") && svg.contains(">J1<"));
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule_is_wellformed() {
+        use cslack_kernel::Schedule;
+        let svg = render_gantt("empty", &Schedule::new(3), 400.0);
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains(">M2<"));
+    }
+}

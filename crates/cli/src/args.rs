@@ -1,0 +1,88 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Opts {
+    map: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parses a `--key value [--key value ...]` list.
+    pub fn parse(argv: &[String]) -> Result<Opts, String> {
+        let mut map = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected `--option`, got `{key}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for `--{name}`"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Opts { map })
+    }
+
+    /// Raw string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required option `--{name}`"))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for `--{name}`: `{raw}`")),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self.require(name)?;
+        raw.parse()
+            .map_err(|_| format!("invalid value for `--{name}`: `{raw}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_values() {
+        let o = Opts::parse(&sv(&["--m", "4", "--eps", "0.1"])).unwrap();
+        assert_eq!(o.get("m"), Some("4"));
+        assert_eq!(o.get_or::<usize>("m", 1).unwrap(), 4);
+        assert_eq!(o.get_or::<f64>("eps", 0.5).unwrap(), 0.1);
+        assert_eq!(o.get_or::<f64>("missing", 0.5).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Opts::parse(&sv(&["m", "4"])).is_err());
+        assert!(Opts::parse(&sv(&["--m"])).is_err());
+    }
+
+    #[test]
+    fn typed_errors_are_descriptive() {
+        let o = Opts::parse(&sv(&["--m", "four"])).unwrap();
+        let err = o.get_or::<usize>("m", 1).unwrap_err();
+        assert!(err.contains("four"));
+        assert!(o.require("absent").is_err());
+        assert!(o.require_as::<usize>("m").is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! The CLI subcommands.
+
+use crate::args::Opts;
+use cslack_adversary::{run as adversary_run, AdversaryConfig};
+use cslack_algorithms::{
+    ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
+};
+use cslack_kernel::Instance;
+use cslack_ratio::RatioFn;
+use cslack_sim::simulate as run_sim;
+use cslack_workloads::{trace, WorkloadSpec};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cslack — Commitment and Slack for Online Load Maximization (SPAA 2020)
+
+USAGE:
+  cslack ratio     --m <int> [--eps <float>]
+  cslack generate  --m <int> --eps <float> --n <int> [--seed <int>] --out <file>
+  cslack simulate  --algo <name> (--trace <file> | --m <int> --eps <float> --n <int> [--seed <int>])
+  cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
+  cslack opt       --trace <file> [--exact-limit <int>]
+  cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
+                   [--seed <int>] [--procs-scale true] [--time-scale <float>]
+  cslack tree      --m <int> --eps <float>
+  cslack cover     --algo <name> (--trace <file> | --m <int> --eps <float> --n <int>)
+
+ALGORITHMS:
+  threshold (paper's Algorithm 1), greedy, lee, randomized,
+  threshold-k1, threshold-km, threshold-constant-f, threshold-worst-fit,
+  threshold-latest-start";
+
+/// Builds an algorithm by CLI name.
+fn build_algo(
+    name: &str,
+    m: usize,
+    eps: f64,
+    seed: u64,
+) -> Result<Box<dyn OnlineScheduler>, String> {
+    Ok(match name {
+        "threshold" => Box::new(Threshold::new(m, eps)),
+        "greedy" => Box::new(Greedy::new(m)),
+        "lee" => Box::new(LeeClassify::new(m, eps)),
+        "randomized" => Box::new(RandomizedClassifySelect::new(eps, seed)),
+        "threshold-k1" => Box::new(ablation::forced_k(m, eps, 1)),
+        "threshold-km" => Box::new(ablation::forced_k(m, eps, m)),
+        "threshold-constant-f" => Box::new(ablation::constant_factors(m, eps)),
+        "threshold-worst-fit" => Box::new(ablation::worst_fit(m, eps)),
+        "threshold-latest-start" => Box::new(ablation::latest_start(m, eps)),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn load_or_generate(opts: &Opts) -> Result<Instance, String> {
+    if let Some(path) = opts.get("trace") {
+        return trace::load(Path::new(path)).map_err(|e| e.to_string());
+    }
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let n: usize = opts.require_as("n")?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    WorkloadSpec::default_spec(m, eps, n, seed)
+        .generate()
+        .map_err(|e| e.to_string())
+}
+
+/// `cslack ratio` — print the c(eps, m) structure.
+pub fn ratio(opts: &Opts) -> Result<(), String> {
+    let m: usize = opts.require_as("m")?;
+    let r = RatioFn::new(m);
+    println!("c(eps, m) for m = {m}");
+    for k in 1..=m {
+        println!("  corner eps_({k},{m}) = {:.6}", r.corner(k));
+    }
+    if let Some(raw) = opts.get("eps") {
+        let eps: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid --eps `{raw}`"))?;
+        let p = r.eval(eps);
+        println!("at eps = {eps}: phase k = {}", p.k);
+        println!("  c(eps, m)           = {:.6}", p.c);
+        println!("  Threshold guarantee = {:.6}", r.threshold_upper_bound(eps));
+        for h in p.k..=m {
+            println!("  f_{h} = {:.6}", p.f(h));
+        }
+    }
+    Ok(())
+}
+
+/// `cslack generate` — write a workload trace.
+pub fn generate(opts: &Opts) -> Result<(), String> {
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let n: usize = opts.require_as("n")?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let out = opts.require("out")?;
+    let inst = WorkloadSpec::default_spec(m, eps, n, seed)
+        .generate()
+        .map_err(|e| e.to_string())?;
+    trace::save(&inst, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {n} jobs (m = {m}, eps = {eps}, volume {:.3}) to {out}",
+        inst.total_load()
+    );
+    Ok(())
+}
+
+/// `cslack simulate` — run an algorithm on a trace or generated load.
+pub fn simulate_cmd_inner(opts: &Opts) -> Result<(), String> {
+    let inst = load_or_generate(opts)?;
+    let algo_name = opts.get("algo").unwrap_or("threshold");
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let mut alg = build_algo(algo_name, inst.machines(), inst.slack(), seed)?;
+    if alg.machines() != inst.machines() {
+        return Err(format!(
+            "`{algo_name}` runs on {} machine(s); the instance has {}",
+            alg.machines(),
+            inst.machines()
+        ));
+    }
+    let report = run_sim(&inst, alg.as_mut()).map_err(|e| e.to_string())?;
+    println!(
+        "{}: accepted {}/{} jobs, load {:.4} of {:.4} ({:.1}%)",
+        report.algorithm,
+        report.accepted_count(),
+        inst.len(),
+        report.accepted_load(),
+        report.offered_load,
+        report.load_fraction() * 100.0
+    );
+    let est = cslack_opt::estimate(&inst, opts.get_or("exact-limit", 16)?);
+    println!(
+        "offline denominator: {:.4} ({}) => measured ratio {:.4}",
+        est.denominator(),
+        if est.exact.is_some() {
+            "exact"
+        } else {
+            "flow upper bound"
+        },
+        report.ratio_against(est.denominator()),
+    );
+    if opts.get("gantt").map(|v| v == "true").unwrap_or(false) {
+        print!("{}", report.schedule.gantt_ascii(100));
+    }
+    Ok(())
+}
+
+/// `cslack simulate` entry point.
+pub fn simulate(opts: &Opts) -> Result<(), String> {
+    simulate_cmd_inner(opts)
+}
+
+/// `cslack adversary` — play the Theorem-1 game.
+pub fn adversary(opts: &Opts) -> Result<(), String> {
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let algo_name = opts.get("algo").unwrap_or("threshold");
+    let mut alg = build_algo(algo_name, m, eps, seed)?;
+    let mut cfg = AdversaryConfig::new(m, eps);
+    cfg.beta = opts.get_or("beta", cfg.beta)?;
+    let out = adversary_run(&cfg, alg.as_mut());
+    println!("adversary vs {}: m = {m}, eps = {eps}", alg.name());
+    println!("  stop: {:?}", out.stop);
+    println!("  online load : {:.4}", out.online_load());
+    println!("  witness OPT : {:.4}", out.witness_load());
+    println!("  forced ratio: {:.4}", out.ratio);
+    println!("  c(eps, m)   : {:.4}  (ratio/c = {:.4})", out.predicted, out.ratio / out.predicted);
+    Ok(())
+}
+
+/// `cslack import-swf` — convert a Standard Workload Format log into a
+/// cslack trace (deadlines synthesized per the system slack).
+pub fn import_swf(opts: &Opts) -> Result<(), String> {
+    use cslack_workloads::swf;
+    let file = opts.require("file")?;
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let out = opts.require("out")?;
+    let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+    let jobs = swf::parse_swf(&text).map_err(|e| e.to_string())?;
+    let mut import = swf::SwfImport::new(m, eps, opts.get_or("seed", 0)?);
+    import.procs_scale = opts.get("procs-scale").map(|v| v == "true").unwrap_or(false);
+    import.time_scale = opts.get_or("time-scale", import.time_scale)?;
+    let inst = swf::swf_to_instance(&jobs, &import).map_err(|e| e.to_string())?;
+    trace::save(&inst, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "imported {} SWF jobs -> {} (m = {m}, eps = {eps}, volume {:.3})",
+        inst.len(),
+        out,
+        inst.total_load()
+    );
+    Ok(())
+}
+
+/// `cslack tree` — print the Fig.-2 style adversary decision tree.
+pub fn tree(opts: &Opts) -> Result<(), String> {
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let t = cslack_adversary::tree::DecisionTree::build(m, eps);
+    print!("{}", t.ascii());
+    println!(
+        "minimax = {:.4}  (Theorem 1 c(eps, m) = {:.4})",
+        t.min_leaf_ratio(),
+        t.params.c
+    );
+    Ok(())
+}
+
+/// `cslack cover` — covered-interval diagnostics of one run.
+pub fn cover(opts: &Opts) -> Result<(), String> {
+    let inst = load_or_generate(opts)?;
+    let algo_name = opts.get("algo").unwrap_or("threshold");
+    let mut alg = build_algo(algo_name, inst.machines(), inst.slack(), opts.get_or("seed", 0)?)?;
+    let report = run_sim(&inst, alg.as_mut()).map_err(|e| e.to_string())?;
+    let a = cslack_sim::analysis::cover_analysis(&inst, &report);
+    println!(
+        "{}: {} covered interval(s) over horizon {:.3} ({:.1}% covered)",
+        report.algorithm,
+        a.covered.len(),
+        a.horizon,
+        100.0 * a.covered_time() / a.horizon.max(1e-12)
+    );
+    for c in &a.covered {
+        println!(
+            "  [{:.3}, {:.3})  rejected {:>3} jobs ({:.3} volume)  online load {:.3}/{:.3} ({:.0}%)",
+            c.interval.start,
+            c.interval.end,
+            c.rejected_jobs,
+            c.rejected_volume,
+            c.online_load,
+            c.capacity,
+            100.0 * c.utilization()
+        );
+    }
+    Ok(())
+}
+
+/// `cslack opt` — offline bounds for a trace.
+pub fn opt(opts: &Opts) -> Result<(), String> {
+    let inst = load_or_generate(opts)?;
+    let limit: usize = opts.get_or("exact-limit", 16)?;
+    let est = cslack_opt::estimate(&inst, limit);
+    println!("jobs: {}, machines: {}, volume {:.4}", inst.len(), inst.machines(), inst.total_load());
+    println!("  certified lower bound: {:.4}", est.lower);
+    println!("  certified upper bound: {:.4}", est.upper);
+    match est.exact {
+        Some(x) => println!("  exact optimum: {x:.4}"),
+        None => {
+            println!("  exact optimum: skipped (n > {limit}; raise --exact-limit)");
+            let rounds: usize = opts.get_or("local-search", 0)?;
+            if rounds > 0 {
+                let ls = cslack_opt::bounds::local_search_lower_bound(&inst, rounds);
+                println!("  local-search lower bound ({rounds} rounds): {ls:.4}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `cslack` — command-line interface to the library.
+//!
+//! ```text
+//! cslack ratio     --m 4 --eps 0.1
+//! cslack generate  --m 4 --eps 0.1 --n 100 --seed 7 --out trace.json
+//! cslack simulate  --algo threshold --trace trace.json
+//! cslack simulate  --algo greedy --m 4 --eps 0.1 --n 100 --seed 7
+//! cslack adversary --algo threshold --m 3 --eps 0.25
+//! cslack opt       --trace trace.json
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", cmd::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Opts::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cmd::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "ratio" => cmd::ratio(&opts),
+        "generate" => cmd::generate(&opts),
+        "simulate" => cmd::simulate(&opts),
+        "adversary" => cmd::adversary(&opts),
+        "opt" => cmd::opt(&opts),
+        "import-swf" => cmd::import_swf(&opts),
+        "tree" => cmd::tree(&opts),
+        "cover" => cmd::cover(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmd::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

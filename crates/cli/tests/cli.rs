@@ -1,0 +1,137 @@
+//! End-to-end CLI tests (spawn the real binary).
+
+use std::process::Command;
+
+fn cslack(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cslack"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn ratio_prints_corners_and_phase() {
+    let (ok, stdout, _) = cslack(&["ratio", "--m", "2", "--eps", "0.5"]);
+    assert!(ok);
+    assert!(stdout.contains("corner eps_(1,2) = 0.285714")); // 2/7
+    assert!(stdout.contains("phase k = 2"));
+    assert!(stdout.contains("f_2 = 3.000000"));
+}
+
+#[test]
+fn generate_then_simulate_then_opt_round_trip() {
+    let dir = std::env::temp_dir().join("cslack-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = cslack(&[
+        "generate", "--m", "2", "--eps", "0.4", "--n", "10", "--seed", "3", "--out", path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote 10 jobs"));
+
+    let (ok, stdout, stderr) = cslack(&["simulate", "--algo", "threshold", "--trace", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("threshold: accepted"));
+    assert!(stdout.contains("measured ratio"));
+
+    let (ok, stdout, stderr) = cslack(&["opt", "--trace", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("exact optimum"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn adversary_reports_forced_ratio() {
+    let (ok, stdout, _) = cslack(&["adversary", "--algo", "threshold", "--m", "1", "--eps", "0.25"]);
+    assert!(ok);
+    assert!(stdout.contains("c(eps, m)   : 6.0000"));
+    assert!(stdout.contains("ratio/c = 1.00"));
+}
+
+#[test]
+fn unknown_command_and_algo_fail_cleanly() {
+    let (ok, _, stderr) = cslack(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = cslack(&["adversary", "--algo", "nope", "--m", "2", "--eps", "0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+
+    let (ok, _, stderr) = cslack(&["simulate", "--algo", "threshold"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing required option"));
+}
+
+#[test]
+fn import_swf_produces_a_usable_trace() {
+    let dir = std::env::temp_dir().join("cslack-cli-swf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let swf = dir.join("log.swf");
+    let out = dir.join("trace.json");
+    std::fs::write(
+        &swf,
+        "; comment\n1 0 -1 3600 2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n\
+         2 1800 -1 7200 4 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = cslack(&[
+        "import-swf",
+        "--file",
+        swf.to_str().unwrap(),
+        "--m",
+        "2",
+        "--eps",
+        "0.25",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("imported 2 SWF jobs"));
+    let (ok, stdout, stderr) = cslack(&["simulate", "--trace", out.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("threshold: accepted"));
+    std::fs::remove_file(&swf).ok();
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn tree_prints_minimax_matching_c() {
+    let (ok, stdout, _) = cslack(&["tree", "--m", "2", "--eps", "0.5"]);
+    assert!(ok);
+    assert!(stdout.contains("minimax = 3.5000"));
+    assert!(stdout.contains("Lemma 2"));
+}
+
+#[test]
+fn cover_reports_intervals() {
+    let (ok, stdout, stderr) = cslack(&[
+        "cover", "--algo", "greedy", "--m", "1", "--eps", "0.1", "--n", "20", "--seed", "3",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("covered interval"));
+}
+
+#[test]
+fn help_is_available() {
+    let (ok, stdout, _) = cslack(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("threshold"));
+}
+
+#[test]
+fn randomized_algo_machine_mismatch_is_reported() {
+    let (ok, _, stderr) = cslack(&[
+        "simulate", "--algo", "randomized", "--m", "3", "--eps", "0.2", "--n", "5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("machine"), "{stderr}");
+}

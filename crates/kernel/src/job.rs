@@ -1,0 +1,187 @@
+//! The job model `J_j = (r_j, p_j, d_j)`.
+
+use crate::time::Time;
+use crate::tol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, copyable job identifier.
+///
+/// Identifiers are assigned by [`crate::InstanceBuilder`] in submission
+/// order, which makes them double as the online arrival order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A job with release date, processing time and deadline.
+///
+/// In the paper's notation: `J_j(r_j, p_j, d_j)`. The deadline is a *hard*
+/// completion deadline; an admission algorithm that accepts the job commits
+/// to finishing it by `d_j`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier (also the submission order).
+    pub id: JobId,
+    /// Release date `r_j`: the job becomes known and startable at this time.
+    pub release: Time,
+    /// Processing time `p_j > 0`.
+    pub proc_time: f64,
+    /// Deadline `d_j`: hard latest completion time.
+    pub deadline: Time,
+}
+
+impl Job {
+    /// Creates a job. Use [`crate::InstanceBuilder`] for validated
+    /// construction within an instance.
+    pub fn new(id: JobId, release: Time, proc_time: f64, deadline: Time) -> Job {
+        Job {
+            id,
+            release,
+            proc_time,
+            deadline,
+        }
+    }
+
+    /// Creates a job with **tight slack** `d = r + (1 + eps) * p`, the
+    /// extremal case of condition (3) of the paper.
+    pub fn tight(id: JobId, release: Time, proc_time: f64, eps: f64) -> Job {
+        Job::new(id, release, proc_time, release + (1.0 + eps) * proc_time)
+    }
+
+    /// The latest feasible start time `d_j - p_j`.
+    #[inline]
+    pub fn latest_start(&self) -> Time {
+        self.deadline - self.proc_time
+    }
+
+    /// The job's *laxity window* length `d_j - r_j - p_j >= eps * p_j`.
+    #[inline]
+    pub fn laxity(&self) -> f64 {
+        self.deadline - self.release - self.proc_time
+    }
+
+    /// The job's individual slack factor `(d_j - r_j)/p_j - 1`.
+    ///
+    /// The slack condition (3) requires this to be at least the system
+    /// slack `eps`.
+    #[inline]
+    pub fn slack_factor(&self) -> f64 {
+        (self.deadline - self.release) / self.proc_time - 1.0
+    }
+
+    /// Checks the slack condition (3): `d_j >= (1 + eps) * p_j + r_j`
+    /// (up to tolerance).
+    #[inline]
+    pub fn satisfies_slack(&self, eps: f64) -> bool {
+        tol::approx_ge(
+            self.deadline.raw(),
+            (1.0 + eps) * self.proc_time + self.release.raw(),
+        )
+    }
+
+    /// Whether the slack condition holds *with equality* (a "tight slack"
+    /// job in the paper's terminology).
+    #[inline]
+    pub fn has_tight_slack(&self, eps: f64) -> bool {
+        tol::approx_eq(
+            self.deadline.raw(),
+            (1.0 + eps) * self.proc_time + self.release.raw(),
+        )
+    }
+
+    /// Whether the job can be started at `start` and still meet its
+    /// deadline (up to tolerance): `start >= r_j` and
+    /// `start + p_j <= d_j`.
+    #[inline]
+    pub fn feasible_start(&self, start: Time) -> bool {
+        start.approx_ge(self.release) && (start + self.proc_time).approx_le(self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(0), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn tight_slack_constructor_hits_equality() {
+        let j = Job::tight(JobId(3), Time::new(2.0), 4.0, 0.25);
+        assert_eq!(j.deadline.raw(), 2.0 + 1.25 * 4.0);
+        assert!(j.has_tight_slack(0.25));
+        assert!(j.satisfies_slack(0.25));
+        // ...but a larger system slack is violated.
+        assert!(!j.satisfies_slack(0.5));
+    }
+
+    #[test]
+    fn latest_start_and_laxity() {
+        let j = job(1.0, 2.0, 5.0);
+        assert_eq!(j.latest_start().raw(), 3.0);
+        assert_eq!(j.laxity(), 2.0);
+        assert!((j.slack_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasible_start_window() {
+        let j = job(1.0, 2.0, 5.0);
+        assert!(j.feasible_start(Time::new(1.0))); // earliest
+        assert!(j.feasible_start(Time::new(3.0))); // latest
+        assert!(!j.feasible_start(Time::new(0.5))); // before release
+        assert!(!j.feasible_start(Time::new(3.1))); // misses deadline
+    }
+
+    #[test]
+    fn feasible_start_tolerates_exact_boundary_arithmetic() {
+        // start + p == d computed via an expression with rounding noise.
+        let p = 0.1 + 0.2;
+        let j = Job::new(JobId(1), Time::ZERO, p, Time::new(0.3));
+        assert!(j.feasible_start(Time::ZERO));
+    }
+
+    #[test]
+    fn slack_condition_respects_tolerance() {
+        // Exactly-tight job expressed with noisy arithmetic.
+        let eps = 0.1;
+        let p = 0.7;
+        let j = Job::new(JobId(2), Time::new(0.3), p, Time::new(0.3 + (1.0 + eps) * p));
+        assert!(j.satisfies_slack(eps));
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(format!("{}", JobId(7)), "J7");
+        assert_eq!(format!("{:?}", JobId(7)), "J7");
+        assert_eq!(JobId(7).index(), 7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let j = job(1.0, 2.0, 5.0);
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, j);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cslack-kernel
+//!
+//! Foundational types for the `cslack` reproduction of
+//! *Commitment and Slack for Online Load Maximization* (SPAA 2020):
+//! time arithmetic with an explicit tolerance discipline, the job model
+//! `J_j = (r_j, p_j, d_j)`, problem instances with the slack condition
+//! `d_j >= (1 + eps) * p_j + r_j`, committed schedules on `m` identical
+//! non-preemptive machines, and a validator that re-checks every invariant
+//! the paper relies on.
+//!
+//! Everything downstream (the Threshold algorithm, the lower-bound
+//! adversary, the offline solvers, the simulator) is built on these types.
+//!
+//! ## Conventions
+//!
+//! * Time is a continuous `f64` quantity wrapped in [`Time`]; durations are
+//!   plain `f64` seconds (the paper is unitless).
+//! * All inequality checks that the theory states with exact reals are
+//!   performed with the centralized tolerances in [`tol`], so that
+//!   adversarial constructions that hold "with equality" validate cleanly.
+//! * Machines are indexed `0..m` by [`MachineId`]. Note the paper indexes
+//!   machines *dynamically* by decreasing outstanding load; that dynamic
+//!   index lives inside the algorithms, never in the schedule.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod instance;
+pub mod job;
+pub mod schedule;
+pub mod time;
+pub mod tol;
+pub mod validate;
+
+pub use error::KernelError;
+pub use instance::{Instance, InstanceBuilder};
+pub use job::{Job, JobId};
+pub use schedule::{Commitment, MachineId, Schedule};
+pub use time::Time;
+pub use validate::{validate_schedule, ValidationReport, Violation};

@@ -1,0 +1,445 @@
+//! Committed schedules on `m` identical non-preemptive machines.
+//!
+//! A [`Schedule`] is an *append-only* record of irrevocable commitments:
+//! once a job is committed to `(machine, start)`, the pair can never change
+//! — this is exactly the paper's *immediate commitment* model. All
+//! feasibility invariants (release, deadline, non-overlap) are enforced at
+//! commit time; [`crate::validate`] re-checks them independently after the
+//! fact.
+
+use crate::error::KernelError;
+use crate::job::{Job, JobId};
+use crate::time::Time;
+use crate::tol;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a physical machine, `0..m`.
+///
+/// The paper's machine indices `m_1..m_m` are *dynamic* (sorted by
+/// outstanding load); `MachineId` is the *physical* identity that a
+/// commitment names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// An irrevocable allocation of a job to a machine and start time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Commitment {
+    /// The committed job (full copy: commitments are self-contained).
+    pub job: Job,
+    /// The executing machine.
+    pub machine: MachineId,
+    /// The fixed start time.
+    pub start: Time,
+}
+
+impl Commitment {
+    /// Completion time `start + p_j`.
+    #[inline]
+    pub fn completion(&self) -> Time {
+        self.start + self.job.proc_time
+    }
+
+    /// Whether the job is executing at time `t` (half-open `[start, end)`).
+    #[inline]
+    pub fn executing_at(&self, t: Time) -> bool {
+        self.start <= t && t < self.completion()
+    }
+}
+
+/// An append-only committed schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    m: usize,
+    /// Commitments per machine, kept sorted by start time.
+    lanes: Vec<Vec<Commitment>>,
+    /// Committed job ids (for duplicate detection and lookup).
+    index: HashMap<JobId, MachineId>,
+    /// Running total of committed processing time.
+    accepted_load: f64,
+}
+
+impl Schedule {
+    /// An empty schedule on `m` machines.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Schedule {
+        assert!(m > 0, "schedule needs at least one machine");
+        Schedule {
+            m,
+            lanes: vec![Vec::new(); m],
+            index: HashMap::new(),
+            accepted_load: 0.0,
+        }
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// Number of committed jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether nothing has been committed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total committed processing time `sum p_j (1 - U_j)` — the objective
+    /// value of the paper.
+    #[inline]
+    pub fn accepted_load(&self) -> f64 {
+        self.accepted_load
+    }
+
+    /// Whether `job` has been committed.
+    #[inline]
+    pub fn contains(&self, job: JobId) -> bool {
+        self.index.contains_key(&job)
+    }
+
+    /// The machine a committed job runs on, if committed.
+    #[inline]
+    pub fn machine_of(&self, job: JobId) -> Option<MachineId> {
+        self.index.get(&job).copied()
+    }
+
+    /// The commitment of a job, if committed.
+    pub fn commitment_of(&self, job: JobId) -> Option<&Commitment> {
+        let machine = self.index.get(&job)?;
+        self.lanes[machine.index()].iter().find(|c| c.job.id == job)
+    }
+
+    /// The commitments on one machine, sorted by start time.
+    pub fn lane(&self, machine: MachineId) -> &[Commitment] {
+        &self.lanes[machine.index()]
+    }
+
+    /// Iterates over all commitments (machine order, then start order).
+    pub fn iter(&self) -> impl Iterator<Item = &Commitment> {
+        self.lanes.iter().flatten()
+    }
+
+    /// Completion time of the last commitment on `machine`, or `ZERO`.
+    pub fn frontier(&self, machine: MachineId) -> Time {
+        self.lanes[machine.index()]
+            .last()
+            .map(|c| c.completion())
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The *outstanding load* `l(m_i)` of the paper at time `now`:
+    /// committed work still to be executed on `machine` at or after `now`.
+    ///
+    /// For gap-free lanes (which the Threshold algorithm produces by
+    /// starting each job right after the previous load completes) this
+    /// equals `max(0, frontier - now)`; for general lanes the gaps after
+    /// `now` are excluded.
+    pub fn outstanding(&self, machine: MachineId, now: Time) -> f64 {
+        let mut total = 0.0;
+        for c in self.lanes[machine.index()].iter().rev() {
+            let end = c.completion();
+            if end <= now {
+                break;
+            }
+            let start = c.start.max(now);
+            total += end - start;
+        }
+        tol::clamp_nonneg(total)
+    }
+
+    /// Number of machines executing a job at time `t`.
+    pub fn busy_machines_at(&self, t: Time) -> usize {
+        self.lanes
+            .iter()
+            .filter(|lane| lane.iter().any(|c| c.executing_at(t)))
+            .count()
+    }
+
+    /// Largest completion time over all machines (`ZERO` when empty).
+    pub fn makespan(&self) -> Time {
+        (0..self.m)
+            .map(|i| self.frontier(MachineId(i as u32)))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Commits `job` to `machine` starting at `start`.
+    ///
+    /// Enforces, up to the workspace tolerance:
+    /// * `machine < m`,
+    /// * the job was not committed before (irrevocability),
+    /// * `start >= r_j`,
+    /// * `start + p_j <= d_j`,
+    /// * no overlap with existing commitments on the machine.
+    pub fn commit(&mut self, job: Job, machine: MachineId, start: Time) -> Result<(), KernelError> {
+        if machine.index() >= self.m {
+            return Err(KernelError::BadMachine { machine, m: self.m });
+        }
+        if self.index.contains_key(&job.id) {
+            return Err(KernelError::DuplicateCommitment { job: job.id });
+        }
+        if !start.approx_ge(job.release) {
+            return Err(KernelError::StartBeforeRelease { job: job.id });
+        }
+        let completion = start + job.proc_time;
+        if !completion.approx_le(job.deadline) {
+            return Err(KernelError::DeadlineMiss {
+                job: job.id,
+                completion: completion.raw(),
+                deadline: job.deadline.raw(),
+            });
+        }
+        let lane = &mut self.lanes[machine.index()];
+        // Find insertion point by start time.
+        let pos = lane.partition_point(|c| c.start <= start);
+        // Overlap with predecessor: pred.completion must be <= start.
+        if pos > 0 {
+            let pred = &lane[pos - 1];
+            if tol::definitely_gt(pred.completion().raw(), start.raw()) {
+                return Err(KernelError::Overlap {
+                    job: job.id,
+                    existing: pred.job.id,
+                    machine,
+                });
+            }
+        }
+        // Overlap with successor: completion must be <= succ.start.
+        if pos < lane.len() {
+            let succ = &lane[pos];
+            if tol::definitely_gt(completion.raw(), succ.start.raw()) {
+                return Err(KernelError::Overlap {
+                    job: job.id,
+                    existing: succ.job.id,
+                    machine,
+                });
+            }
+        }
+        lane.insert(
+            pos,
+            Commitment {
+                job,
+                machine,
+                start,
+            },
+        );
+        self.index.insert(job.id, machine);
+        self.accepted_load += job.proc_time;
+        Ok(())
+    }
+
+    /// Renders a fixed-width ASCII Gantt chart (for the Fig. 3 style
+    /// schedule snapshots). `width` is the number of character cells the
+    /// time axis is divided into.
+    pub fn gantt_ascii(&self, width: usize) -> String {
+        let horizon = self.makespan().raw().max(1e-9);
+        let mut out = String::new();
+        for (mi, lane) in self.lanes.iter().enumerate() {
+            let mut row = vec!['.'; width];
+            for c in lane {
+                let s = ((c.start.raw() / horizon) * width as f64).floor() as usize;
+                let e = ((c.completion().raw() / horizon) * width as f64).ceil() as usize;
+                let label = glyph_for(c.job.id);
+                for cell in row.iter_mut().take(e.min(width)).skip(s.min(width)) {
+                    *cell = label;
+                }
+            }
+            out.push_str(&format!("M{mi} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "     0{:>w$}\n",
+            format!("{:.3}", horizon),
+            w = width - 1
+        ));
+        out
+    }
+}
+
+fn glyph_for(id: JobId) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[id.index() % GLYPHS.len()] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, r: f64, p: f64, d: f64) -> Job {
+        Job::new(JobId(id), Time::new(r), p, Time::new(d))
+    }
+
+    #[test]
+    fn commit_accumulates_load_and_frontier() {
+        let mut s = Schedule::new(2);
+        s.commit(job(0, 0.0, 1.0, 5.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        s.commit(job(1, 0.0, 2.0, 5.0), MachineId(0), Time::new(1.0))
+            .unwrap();
+        assert_eq!(s.accepted_load(), 3.0);
+        assert_eq!(s.frontier(MachineId(0)), Time::new(3.0));
+        assert_eq!(s.frontier(MachineId(1)), Time::ZERO);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.machine_of(JobId(1)), Some(MachineId(0)));
+    }
+
+    #[test]
+    fn duplicate_commitment_is_refused() {
+        let mut s = Schedule::new(1);
+        let j = job(0, 0.0, 1.0, 5.0);
+        s.commit(j, MachineId(0), Time::ZERO).unwrap();
+        let err = s.commit(j, MachineId(0), Time::new(2.0)).unwrap_err();
+        assert!(matches!(err, KernelError::DuplicateCommitment { .. }));
+        assert_eq!(s.accepted_load(), 1.0); // unchanged
+    }
+
+    #[test]
+    fn overlap_is_refused_in_both_directions() {
+        let mut s = Schedule::new(1);
+        s.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::new(2.0))
+            .unwrap();
+        // Successor overlap: starts inside [2,4).
+        let err = s
+            .commit(job(1, 0.0, 1.0, 9.0), MachineId(0), Time::new(3.0))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Overlap { .. }));
+        // Predecessor overlap: would run [1,3) over [2,4).
+        let err = s
+            .commit(job(2, 0.0, 2.0, 9.0), MachineId(0), Time::new(1.0))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Overlap { .. }));
+        // Exactly abutting is fine.
+        s.commit(job(3, 0.0, 2.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        s.commit(job(4, 0.0, 1.0, 9.0), MachineId(0), Time::new(4.0))
+            .unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn release_and_deadline_are_enforced() {
+        let mut s = Schedule::new(1);
+        assert!(matches!(
+            s.commit(job(0, 1.0, 1.0, 5.0), MachineId(0), Time::ZERO),
+            Err(KernelError::StartBeforeRelease { .. })
+        ));
+        assert!(matches!(
+            s.commit(job(1, 0.0, 2.0, 3.0), MachineId(0), Time::new(1.5)),
+            Err(KernelError::DeadlineMiss { .. })
+        ));
+        assert!(matches!(
+            s.commit(job(2, 0.0, 1.0, 5.0), MachineId(7), Time::ZERO),
+            Err(KernelError::BadMachine { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_exactly_at_deadline_is_accepted() {
+        let mut s = Schedule::new(1);
+        s.commit(job(0, 0.0, 3.0, 3.0), MachineId(0), Time::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn outstanding_load_excludes_past_and_counts_partial() {
+        let mut s = Schedule::new(1);
+        s.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        s.commit(job(1, 0.0, 3.0, 9.0), MachineId(0), Time::new(2.0))
+            .unwrap();
+        assert_eq!(s.outstanding(MachineId(0), Time::ZERO), 5.0);
+        assert_eq!(s.outstanding(MachineId(0), Time::new(1.0)), 4.0);
+        assert_eq!(s.outstanding(MachineId(0), Time::new(5.0)), 0.0);
+        assert_eq!(s.outstanding(MachineId(0), Time::new(99.0)), 0.0);
+    }
+
+    #[test]
+    fn outstanding_load_skips_future_gaps() {
+        let mut s = Schedule::new(1);
+        // Job at [5, 6): at time 0 the outstanding *work* is 1, not 6.
+        s.commit(job(0, 0.0, 1.0, 9.0), MachineId(0), Time::new(5.0))
+            .unwrap();
+        assert_eq!(s.outstanding(MachineId(0), Time::ZERO), 1.0);
+    }
+
+    #[test]
+    fn busy_machines_counting() {
+        let mut s = Schedule::new(3);
+        s.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        s.commit(job(1, 0.0, 1.0, 9.0), MachineId(1), Time::new(1.0))
+            .unwrap();
+        assert_eq!(s.busy_machines_at(Time::new(0.5)), 1);
+        assert_eq!(s.busy_machines_at(Time::new(1.5)), 2);
+        assert_eq!(s.busy_machines_at(Time::new(2.0)), 0); // half-open
+    }
+
+    #[test]
+    fn out_of_order_insertion_keeps_lane_sorted() {
+        let mut s = Schedule::new(1);
+        s.commit(job(0, 0.0, 1.0, 9.0), MachineId(0), Time::new(3.0))
+            .unwrap();
+        s.commit(job(1, 0.0, 1.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        let starts: Vec<f64> = s.lane(MachineId(0)).iter().map(|c| c.start.raw()).collect();
+        assert_eq!(starts, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn makespan_and_gantt_render() {
+        let mut s = Schedule::new(2);
+        s.commit(job(0, 0.0, 4.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        s.commit(job(1, 0.0, 2.0, 9.0), MachineId(1), Time::new(2.0))
+            .unwrap();
+        assert_eq!(s.makespan(), Time::new(4.0));
+        let g = s.gantt_ascii(40);
+        assert!(g.contains("M0 |"));
+        assert!(g.contains("M1 |"));
+        assert!(g.contains('0')); // glyph of J0
+        assert!(g.contains('1')); // glyph of J1
+    }
+
+    #[test]
+    fn commitment_lookup() {
+        let mut s = Schedule::new(2);
+        let j = job(5, 1.0, 2.0, 9.0);
+        s.commit(j, MachineId(1), Time::new(1.5)).unwrap();
+        let c = s.commitment_of(JobId(5)).unwrap();
+        assert_eq!(c.start, Time::new(1.5));
+        assert_eq!(c.completion(), Time::new(3.5));
+        assert!(c.executing_at(Time::new(2.0)));
+        assert!(!c.executing_at(Time::new(3.5)));
+        assert!(s.commitment_of(JobId(99)).is_none());
+    }
+}

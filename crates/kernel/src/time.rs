@@ -1,0 +1,218 @@
+//! The [`Time`] newtype: a point on the (unitless, continuous) time axis.
+//!
+//! Durations are plain `f64`s; `Time ± f64 -> Time` and `Time - Time -> f64`
+//! so that the scheduling code reads like the paper's arithmetic while the
+//! type system still keeps instants and durations from being confused in
+//! function signatures.
+
+use crate::tol;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant on the time axis.
+///
+/// `Time` is `Copy`, totally ordered (NaN is rejected at construction in
+/// debug builds and never produced by the library), and supports the
+/// tolerance-aware comparisons of [`crate::tol`] through
+/// [`Time::approx_le`] and friends.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(f64);
+
+impl Time {
+    /// The origin of the time axis.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a `Time` from a raw coordinate.
+    ///
+    /// # Panics
+    /// Panics (in all builds) if `t` is NaN; infinite values are allowed and
+    /// used as "never" sentinels (e.g. the large `d_1` of the adversary).
+    #[inline]
+    pub fn new(t: f64) -> Time {
+        assert!(!t.is_nan(), "Time cannot be NaN");
+        Time(t)
+    }
+
+    /// The raw `f64` coordinate.
+    #[inline]
+    pub fn raw(self) -> f64 {
+        self.0
+    }
+
+    /// `self <= other` up to the workspace tolerance.
+    #[inline]
+    pub fn approx_le(self, other: Time) -> bool {
+        tol::approx_le(self.0, other.0)
+    }
+
+    /// `self >= other` up to the workspace tolerance.
+    #[inline]
+    pub fn approx_ge(self, other: Time) -> bool {
+        tol::approx_ge(self.0, other.0)
+    }
+
+    /// `self == other` up to the workspace tolerance.
+    #[inline]
+    pub fn approx_eq(self, other: Time) -> bool {
+        tol::approx_eq(self.0, other.0)
+    }
+
+    /// `self < other` by more than the workspace tolerance.
+    #[inline]
+    pub fn definitely_lt(self, other: Time) -> bool {
+        tol::definitely_lt(self.0, other.0)
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Pointwise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.partial_cmp(other).expect("Time is never NaN")
+    }
+}
+
+impl From<f64> for Time {
+    #[inline]
+    fn from(t: f64) -> Time {
+        Time::new(t)
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: f64) -> Time {
+        Time::new(self.0 + d)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: f64) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, d: f64) -> Time {
+        Time::new(self.0 - d)
+    }
+}
+
+impl SubAssign<f64> for Time {
+    #[inline]
+    fn sub_assign(&mut self, d: f64) {
+        *self = *self - d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = f64;
+    #[inline]
+    fn sub(self, other: Time) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_f64() {
+        let t = Time::new(1.5);
+        assert_eq!((t + 0.5).raw(), 2.0);
+        assert_eq!((t - 0.5).raw(), 1.0);
+        assert_eq!(Time::new(3.0) - Time::new(1.0), 2.0);
+    }
+
+    #[test]
+    fn ordering_is_total_on_non_nan() {
+        let mut v = vec![Time::new(2.0), Time::new(-1.0), Time::new(0.5)];
+        v.sort();
+        assert_eq!(v, vec![Time::new(-1.0), Time::new(0.5), Time::new(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn infinite_deadline_sentinel_is_allowed() {
+        let never = Time::new(f64::INFINITY);
+        assert!(Time::new(1e300) < never);
+    }
+
+    #[test]
+    fn approx_comparisons_delegate_to_tol() {
+        let a = Time::new(0.1 + 0.2);
+        let b = Time::new(0.3);
+        assert!(a.approx_eq(b));
+        assert!(a.approx_le(b));
+        assert!(!a.definitely_lt(b));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Time::new(1.25);
+        let s = serde_json::to_string(&t).unwrap();
+        assert_eq!(s, "1.25");
+        let back: Time = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut t = Time::ZERO;
+        t += 2.0;
+        t -= 0.5;
+        assert_eq!(t.raw(), 1.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Centralized floating-point tolerance discipline.
+//!
+//! The paper's constructions frequently hold *with equality* (tight slack,
+//! jobs completing exactly at their deadline, adversary jobs whose deadline
+//! equals `t + p_{2,u} + p_{3,h}`). Validating such schedules with exact
+//! `f64` comparisons would spuriously fail on the last ulp, so every
+//! inequality that the theory states over the reals goes through the helpers
+//! in this module.
+//!
+//! The tolerance is *relative* with an absolute floor: two values `a`, `b`
+//! are considered equal when `|a - b| <= ATOL + RTOL * max(|a|, |b|)`.
+
+/// Relative tolerance used across the workspace.
+pub const RTOL: f64 = 1e-9;
+
+/// Absolute tolerance floor used across the workspace.
+pub const ATOL: f64 = 1e-12;
+
+/// Returns the comparison slack for magnitudes `a` and `b`.
+#[inline]
+pub fn eps_for(a: f64, b: f64) -> f64 {
+    ATOL + RTOL * a.abs().max(b.abs())
+}
+
+/// `a == b` up to tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= eps_for(a, b)
+}
+
+/// `a <= b` up to tolerance (i.e. `a` may exceed `b` by at most the slack).
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + eps_for(a, b)
+}
+
+/// `a >= b` up to tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    b <= a + eps_for(a, b)
+}
+
+/// `a < b` strictly even after granting the tolerance to `a`.
+#[inline]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a + eps_for(a, b) < b
+}
+
+/// `a > b` strictly even after granting the tolerance to `b`.
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    definitely_lt(b, a)
+}
+
+/// Clamps tiny negative values (rounding debris) to exactly zero.
+///
+/// Outstanding machine load is mathematically non-negative but computed as
+/// `frontier - now`; this keeps it clean.
+#[inline]
+pub fn clamp_nonneg(x: f64) -> f64 {
+    if x < 0.0 && x > -eps_for(x, 0.0) {
+        0.0
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_compare_equal() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_ge(1.0, 1.0));
+    }
+
+    #[test]
+    fn last_ulp_noise_is_forgiven() {
+        let a = 0.1 + 0.2; // 0.30000000000000004
+        assert!(approx_eq(a, 0.3));
+        assert!(approx_le(a, 0.3));
+        assert!(!definitely_gt(a, 0.3));
+    }
+
+    #[test]
+    fn genuinely_different_values_are_distinguished() {
+        assert!(!approx_eq(1.0, 1.0001));
+        assert!(definitely_lt(1.0, 1.0001));
+        assert!(definitely_gt(1.0001, 1.0));
+        assert!(!approx_le(1.0001, 1.0));
+    }
+
+    #[test]
+    fn relative_scaling_kicks_in_for_large_magnitudes() {
+        let big = 1e12;
+        assert!(approx_eq(big, big + 1e-1)); // 1e-1 is far below RTOL * 1e12
+        assert!(!approx_eq(big, big + 1e4));
+    }
+
+    #[test]
+    fn clamp_nonneg_zeroes_debris_only() {
+        assert_eq!(clamp_nonneg(-1e-15), 0.0);
+        assert_eq!(clamp_nonneg(0.5), 0.5);
+        assert_eq!(clamp_nonneg(-0.5), -0.5); // real negatives pass through
+    }
+
+    #[test]
+    fn definitely_lt_is_irreflexive_and_asymmetric() {
+        assert!(!definitely_lt(2.0, 2.0));
+        assert!(definitely_lt(1.0, 2.0));
+        assert!(!definitely_lt(2.0, 1.0));
+    }
+}

@@ -1,0 +1,233 @@
+//! Independent schedule validation.
+//!
+//! [`Schedule::commit`](crate::Schedule::commit) already enforces
+//! feasibility incrementally, but the simulator and the tests treat the
+//! schedule produced by an algorithm as *untrusted* and re-verify every
+//! invariant from scratch here — including invariants that only make sense
+//! against the originating [`Instance`] (job identity, slack condition,
+//! every committed job actually belongs to the instance).
+
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::schedule::Schedule;
+use crate::tol;
+use std::collections::HashSet;
+
+/// One invariant violation found by [`validate_schedule`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Committed job id does not exist in the instance.
+    UnknownJob(JobId),
+    /// Committed job data differs from the instance's job data (an
+    /// algorithm must not rewrite `r`, `p` or `d`).
+    TamperedJob(JobId),
+    /// Start before release date.
+    EarlyStart(JobId),
+    /// Completion after deadline.
+    LateCompletion(JobId),
+    /// Two commitments overlap on a machine.
+    MachineOverlap(JobId, JobId),
+    /// Schedule machine count differs from the instance's.
+    MachineCountMismatch {
+        /// Machines in the schedule.
+        schedule: usize,
+        /// Machines in the instance.
+        instance: usize,
+    },
+    /// The recorded accepted load disagrees with the recomputed sum.
+    LoadMismatch {
+        /// Load recorded by the schedule.
+        recorded: f64,
+        /// Load recomputed from the commitments.
+        recomputed: f64,
+    },
+}
+
+/// The result of validating a schedule against its instance.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All violations found (empty = valid).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// Whether the schedule satisfied every invariant.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Re-checks every schedule invariant against the instance.
+pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    if schedule.machines() != instance.machines() {
+        report.violations.push(Violation::MachineCountMismatch {
+            schedule: schedule.machines(),
+            instance: instance.machines(),
+        });
+    }
+
+    let known: HashSet<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    let mut recomputed = 0.0;
+
+    for mi in 0..schedule.machines() {
+        let lane = schedule.lane(crate::MachineId(mi as u32));
+        for (idx, c) in lane.iter().enumerate() {
+            recomputed += c.job.proc_time;
+            if !known.contains(&c.job.id) {
+                report.violations.push(Violation::UnknownJob(c.job.id));
+                continue;
+            }
+            let original = instance.job(c.job.id);
+            if *original != c.job {
+                report.violations.push(Violation::TamperedJob(c.job.id));
+            }
+            if !c.start.approx_ge(original.release) {
+                report.violations.push(Violation::EarlyStart(c.job.id));
+            }
+            if !c.completion().approx_le(original.deadline) {
+                report.violations.push(Violation::LateCompletion(c.job.id));
+            }
+            if idx + 1 < lane.len() {
+                let next = &lane[idx + 1];
+                if tol::definitely_gt(c.completion().raw(), next.start.raw()) {
+                    report
+                        .violations
+                        .push(Violation::MachineOverlap(c.job.id, next.job.id));
+                }
+            }
+        }
+    }
+
+    if !tol::approx_eq(recomputed, schedule.accepted_load()) {
+        report.violations.push(Violation::LoadMismatch {
+            recorded: schedule.accepted_load(),
+            recomputed,
+        });
+    }
+    report
+}
+
+/// Convenience: asserts a schedule is valid, panicking with the violation
+/// list otherwise. Used pervasively in tests.
+pub fn assert_valid(instance: &Instance, schedule: &Schedule) {
+    let report = validate_schedule(instance, schedule);
+    assert!(
+        report.is_valid(),
+        "schedule violates invariants: {:?}",
+        report.violations
+    );
+}
+
+/// Checks that `later` is a *superset extension* of `earlier`: every
+/// commitment present in `earlier` appears in `later` unchanged. This is
+/// the immutability half of immediate commitment — the simulator snapshots
+/// the schedule after every decision and verifies no revision happened.
+pub fn extends_without_revision(earlier: &Schedule, later: &Schedule) -> bool {
+    if earlier.machines() != later.machines() {
+        return false;
+    }
+    earlier.iter().all(|c| {
+        later
+            .commitment_of(c.job.id)
+            .map(|c2| c2.machine == c.machine && c2.start == c.start && c2.job == c.job)
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::job::Job;
+    use crate::schedule::MachineId;
+    use crate::time::Time;
+
+    fn two_job_instance() -> Instance {
+        InstanceBuilder::new(2, 0.5)
+            .job(Time::ZERO, 1.0, Time::new(4.0))
+            .job(Time::new(1.0), 2.0, Time::new(8.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let inst = two_job_instance();
+        let mut s = Schedule::new(2);
+        s.commit(inst.jobs()[0], MachineId(0), Time::ZERO).unwrap();
+        s.commit(inst.jobs()[1], MachineId(1), Time::new(1.0))
+            .unwrap();
+        assert_valid(&inst, &s);
+    }
+
+    #[test]
+    fn unknown_and_tampered_jobs_are_flagged() {
+        let inst = two_job_instance();
+        let mut s = Schedule::new(2);
+        // Unknown id.
+        let ghost = Job::new(JobId(42), Time::ZERO, 1.0, Time::new(9.0));
+        s.commit(ghost, MachineId(0), Time::ZERO).unwrap();
+        // Tampered copy of J0 (deadline stretched by the "algorithm").
+        let mut fake = inst.jobs()[0];
+        fake.deadline = Time::new(100.0);
+        s.commit(fake, MachineId(1), Time::new(50.0)).unwrap();
+        let report = validate_schedule(&inst, &s);
+        assert!(report
+            .violations
+            .contains(&Violation::UnknownJob(JobId(42))));
+        assert!(report
+            .violations
+            .contains(&Violation::TamperedJob(JobId(0))));
+        // The tampered start (50.0) also misses the true deadline.
+        assert!(report
+            .violations
+            .contains(&Violation::LateCompletion(JobId(0))));
+    }
+
+    #[test]
+    fn machine_count_mismatch_is_flagged() {
+        let inst = two_job_instance();
+        let s = Schedule::new(3);
+        let report = validate_schedule(&inst, &s);
+        assert!(matches!(
+            report.violations[0],
+            Violation::MachineCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn extends_without_revision_detects_moved_job() {
+        let inst = two_job_instance();
+        let mut a = Schedule::new(2);
+        a.commit(inst.jobs()[0], MachineId(0), Time::ZERO).unwrap();
+
+        // Proper extension.
+        let mut b = a.clone();
+        b.commit(inst.jobs()[1], MachineId(1), Time::new(1.0))
+            .unwrap();
+        assert!(extends_without_revision(&a, &b));
+
+        // "Revised" run: same job on a different machine.
+        let mut c = Schedule::new(2);
+        c.commit(inst.jobs()[0], MachineId(1), Time::ZERO).unwrap();
+        assert!(!extends_without_revision(&a, &c));
+
+        // Dropped commitment.
+        let d = Schedule::new(2);
+        assert!(!extends_without_revision(&a, &d));
+    }
+
+    #[test]
+    fn exactly_tight_completion_validates() {
+        let inst = InstanceBuilder::new(1, 1.0)
+            .job(Time::ZERO, 2.0, Time::new(4.0))
+            .build()
+            .unwrap();
+        let mut s = Schedule::new(1);
+        // Completes exactly at the deadline.
+        s.commit(inst.jobs()[0], MachineId(0), Time::new(2.0))
+            .unwrap();
+        assert_valid(&inst, &s);
+    }
+}

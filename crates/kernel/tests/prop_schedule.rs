@@ -1,0 +1,144 @@
+//! Property tests for the kernel: schedule invariants under random
+//! commitment streams, and agreement between `commit`-time enforcement
+//! and the independent validator.
+
+use cslack_kernel::{
+    validate_schedule, InstanceBuilder, Job, JobId, MachineId, Schedule, Time,
+};
+use proptest::prelude::*;
+
+/// A random "commitment request": job shape plus a target machine and a
+/// start offset within the feasible window.
+#[derive(Clone, Debug)]
+struct Req {
+    release: f64,
+    proc_time: f64,
+    slack_factor: f64,
+    machine: usize,
+    start_frac: f64,
+}
+
+fn arb_req() -> impl Strategy<Value = Req> {
+    (
+        0.0f64..10.0,
+        0.1f64..3.0,
+        0.1f64..2.0,
+        0usize..4,
+        0.0f64..1.5, // > 1 intentionally produces infeasible starts
+    )
+        .prop_map(|(release, proc_time, slack_factor, machine, start_frac)| Req {
+            release,
+            proc_time,
+            slack_factor,
+            machine,
+            start_frac,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever mix of feasible and infeasible commitment requests is
+    /// thrown at a schedule, the accepted subset always passes the
+    /// independent validator, and the recorded load matches.
+    #[test]
+    fn random_commit_streams_stay_valid(reqs in prop::collection::vec(arb_req(), 1..40)) {
+        let m = 4;
+        let eps = 0.1;
+        let mut builder = InstanceBuilder::new(m, eps);
+        let mut jobs = Vec::new();
+        for r in &reqs {
+            let p = r.proc_time;
+            let rel = Time::new(r.release);
+            let d = rel + (1.0 + eps.max(r.slack_factor)) * p;
+            let id = builder.push(rel, p, d);
+            jobs.push(Job::new(id, rel, p, d));
+        }
+        let inst = builder.build().unwrap();
+        // The builder may have re-sorted by release; use its jobs.
+        let mut schedule = Schedule::new(m);
+        let mut accepted = 0.0;
+        for (job, r) in inst.jobs().iter().zip(&reqs) {
+            let window = job.laxity();
+            let start = job.release + window * r.start_frac;
+            if schedule.commit(*job, MachineId(r.machine as u32), start).is_ok() {
+                accepted += job.proc_time;
+            }
+        }
+        prop_assert!((schedule.accepted_load() - accepted).abs() < 1e-9);
+        let report = validate_schedule(&inst, &schedule);
+        prop_assert!(report.is_valid(), "{:?}", report.violations);
+    }
+
+    /// `outstanding` is non-negative, non-increasing in `now`, and zero
+    /// after the makespan.
+    #[test]
+    fn outstanding_is_monotone(
+        starts in prop::collection::vec((0.0f64..20.0, 0.1f64..2.0), 1..10),
+        probe in 0.0f64..30.0,
+    ) {
+        let mut schedule = Schedule::new(1);
+        let mut frontier = 0.0;
+        for (i, (gap, p)) in starts.iter().enumerate() {
+            let start = frontier + gap;
+            let job = Job::new(
+                JobId(i as u32),
+                Time::new(start),
+                *p,
+                Time::new(start + 10.0 * p),
+            );
+            schedule.commit(job, MachineId(0), Time::new(start)).unwrap();
+            frontier = start + p;
+        }
+        let m0 = MachineId(0);
+        let a = schedule.outstanding(m0, Time::new(probe));
+        let b = schedule.outstanding(m0, Time::new(probe + 1.0));
+        prop_assert!(a >= 0.0 && b >= 0.0);
+        prop_assert!(b <= a + 1e-9, "outstanding increased over time");
+        prop_assert!(schedule.outstanding(m0, schedule.makespan()) < 1e-9);
+    }
+
+    /// Busy-machine counts are bounded by m and consistent with lanes.
+    #[test]
+    fn busy_counts_are_bounded(
+        jobs in prop::collection::vec((0.0f64..5.0, 0.1f64..2.0, 0usize..3), 1..20),
+        probe in 0.0f64..10.0,
+    ) {
+        let m = 3;
+        let mut schedule = Schedule::new(m);
+        let mut frontiers = vec![0.0f64; m];
+        for (i, (rel, p, mach)) in jobs.iter().enumerate() {
+            let start = frontiers[*mach].max(*rel);
+            let job = Job::new(
+                JobId(i as u32),
+                Time::new(*rel),
+                *p,
+                Time::new(start + p + 1.0),
+            );
+            schedule.commit(job, MachineId(*mach as u32), Time::new(start)).unwrap();
+            frontiers[*mach] = start + p;
+        }
+        let busy = schedule.busy_machines_at(Time::new(probe));
+        prop_assert!(busy <= m);
+        let manual = (0..m)
+            .filter(|&i| {
+                schedule
+                    .lane(MachineId(i as u32))
+                    .iter()
+                    .any(|c| c.executing_at(Time::new(probe)))
+            })
+            .count();
+        prop_assert_eq!(busy, manual);
+    }
+
+    /// Tight jobs constructed by the builder always satisfy the slack
+    /// condition with equality, never more.
+    #[test]
+    fn tight_jobs_are_exactly_tight(release in 0.0f64..100.0, p in 0.01f64..50.0, eps in 0.01f64..1.0) {
+        let job = Job::tight(JobId(0), Time::new(release), p, eps);
+        prop_assert!(job.has_tight_slack(eps));
+        prop_assert!(job.satisfies_slack(eps));
+        // A visibly larger requirement must fail.
+        prop_assert!(!job.satisfies_slack(eps * 1.5 + 0.01));
+    }
+}

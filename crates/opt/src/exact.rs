@@ -1,0 +1,528 @@
+//! Exact offline maximum-load solver (small instances).
+//!
+//! Dynamic program over job subsets. A state is the sorted vector of
+//! machine *frontiers* (completion time of the last job per machine)
+//! reachable by scheduling exactly the subset `mask`; for each mask we
+//! keep only the Pareto-minimal frontier vectors. Transitions append a
+//! job `j ∉ mask` to any machine: `start = max(r_j, frontier)` — every
+//! feasible schedule can be normalized to such left-shifted per-machine
+//! sequences, so the DP is exact. The optimum is the heaviest reachable
+//! mask; parent pointers reconstruct a concrete witness
+//! [`cslack_kernel::Schedule`].
+//!
+//! Complexity is `O(2^n · S · n · m)` with `S` the Pareto width; with
+//! the pruning it is comfortable to ~20 jobs, which covers every exact
+//! comparison in the experiments (larger runs use the flow bound).
+
+use cslack_kernel::{Instance, MachineId, Schedule, Time};
+
+/// Hard cap on the job count the solver accepts (memory guard).
+pub const MAX_JOBS: usize = 24;
+
+/// Result of the exact solver.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The optimal load.
+    pub load: f64,
+    /// Bitmask of the accepted jobs (bit `i` = job index `i`).
+    pub mask: u32,
+    /// A witness schedule achieving `load`.
+    pub schedule: Schedule,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Parent {
+    state: u32,
+    job: u8,
+    /// Frontier value the job was appended after.
+    replaced: f64,
+    start: f64,
+}
+
+#[derive(Clone, Debug)]
+struct State {
+    /// Sorted ascending machine frontiers.
+    f: Vec<f64>,
+    parent: Option<Parent>,
+}
+
+/// `a` dominates `b` when every frontier is at most the corresponding
+/// one (both sorted ascending).
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| *x <= *y + 1e-12)
+}
+
+fn pareto_insert(states: &mut Vec<State>, cand: State) {
+    for s in states.iter() {
+        if dominates(&s.f, &cand.f) {
+            return;
+        }
+    }
+    states.retain(|s| !dominates(&cand.f, &s.f));
+    states.push(cand);
+}
+
+/// Solves the instance exactly.
+///
+/// # Panics
+/// Panics if the instance has more than [`MAX_JOBS`] jobs.
+pub fn max_load(instance: &Instance) -> ExactResult {
+    let n = instance.len();
+    assert!(
+        n <= MAX_JOBS,
+        "exact solver capped at {MAX_JOBS} jobs (got {n}); use the flow bound"
+    );
+    let m = instance.machines();
+    if n == 0 {
+        return ExactResult {
+            load: 0.0,
+            mask: 0,
+            schedule: Schedule::new(m),
+        };
+    }
+    let jobs = instance.jobs();
+
+    let full = 1u32 << n;
+    let mut dp: Vec<Vec<State>> = vec![Vec::new(); full as usize];
+    dp[0].push(State {
+        f: vec![0.0; m],
+        parent: None,
+    });
+
+    let load_of = |mask: u32| -> f64 {
+        (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| jobs[i].proc_time)
+            .sum()
+    };
+
+    let mut best = (0.0_f64, 0u32, 0usize); // (load, mask, state idx)
+    for mask in 0..full {
+        if dp[mask as usize].is_empty() {
+            continue;
+        }
+        let mask_load = load_of(mask);
+        if mask_load > best.0 {
+            best = (mask_load, mask, 0);
+        }
+        #[allow(clippy::needless_range_loop)] // j doubles as the mask bit
+        for j in 0..n {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let job = &jobs[j];
+            let next_mask = (mask | (1 << j)) as usize;
+            for sidx in 0..dp[mask as usize].len() {
+                let mut last = f64::NEG_INFINITY;
+                for i in 0..m {
+                    let frontier = dp[mask as usize][sidx].f[i];
+                    if (frontier - last).abs() <= 1e-15 {
+                        continue; // identical frontier => identical branch
+                    }
+                    last = frontier;
+                    let start = frontier.max(job.release.raw());
+                    if start + job.proc_time <= job.deadline.raw() + 1e-12 {
+                        let mut f = dp[mask as usize][sidx].f.clone();
+                        f[i] = start + job.proc_time;
+                        f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        let cand = State {
+                            f,
+                            parent: Some(Parent {
+                                state: sidx as u32,
+                                job: j as u8,
+                                replaced: frontier,
+                                start,
+                            }),
+                        };
+                        // Split borrows: masks differ (next_mask > mask).
+                        let (lo, hi) = dp.split_at_mut(next_mask);
+                        let _ = &lo[mask as usize];
+                        pareto_insert(&mut hi[0], cand);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconstruct the witness schedule by walking parents.
+    let mut chain: Vec<Parent> = Vec::new();
+    let (mut mask, mut sidx) = (best.1, best.2);
+    while let Some(p) = dp[mask as usize][sidx].parent {
+        chain.push(p);
+        mask &= !(1u32 << p.job);
+        sidx = p.state as usize;
+    }
+    chain.reverse();
+
+    let mut schedule = Schedule::new(m);
+    let mut frontiers = vec![0.0_f64; m];
+    for p in chain {
+        let machine = frontiers
+            .iter()
+            .position(|f| (f - p.replaced).abs() <= 1e-9 * f.abs().max(1.0))
+            .expect("replaced frontier must match a machine");
+        let job = jobs[p.job as usize];
+        schedule
+            .commit(job, MachineId(machine as u32), Time::new(p.start))
+            .expect("reconstructed commitment must be feasible");
+        frontiers[machine] = p.start + job.proc_time;
+    }
+    debug_assert!((schedule.accepted_load() - best.0).abs() < 1e-9 * best.0.max(1.0));
+
+    ExactResult {
+        load: best.0,
+        mask: best.1,
+        schedule,
+    }
+}
+
+/// Parallel variant of [`max_load`]: a *pull-based* layer dynamic
+/// program. Masks are processed by ascending popcount; every mask of
+/// the current layer gathers its states from its `popcount` predecessor
+/// masks (one cleared bit each), which all live in the previous,
+/// finished layer — so the layer can be computed with rayon without any
+/// synchronization on the table.
+///
+/// Results are identical to [`max_load`] up to tie-breaking inside
+/// equal-load optima (the witness may differ; the load never does).
+pub fn max_load_parallel(instance: &Instance) -> ExactResult {
+    use rayon::prelude::*;
+
+    let n = instance.len();
+    assert!(
+        n <= MAX_JOBS,
+        "exact solver capped at {MAX_JOBS} jobs (got {n}); use the flow bound"
+    );
+    let m = instance.machines();
+    if n == 0 {
+        return ExactResult {
+            load: 0.0,
+            mask: 0,
+            schedule: Schedule::new(m),
+        };
+    }
+    let jobs = instance.jobs();
+    let full = 1usize << n;
+    let mut dp: Vec<Vec<State>> = vec![Vec::new(); full];
+    dp[0].push(State {
+        f: vec![0.0; m],
+        parent: None,
+    });
+
+    // Masks grouped by popcount.
+    let mut layers: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+    for mask in 1..full as u32 {
+        layers[mask.count_ones() as usize].push(mask);
+    }
+
+    for layer in &layers[1..] {
+        // Pull: each destination reads only finished layers.
+        let computed: Vec<(u32, Vec<State>)> = layer
+            .par_iter()
+            .map(|&dest| {
+                let mut states: Vec<State> = Vec::new();
+                #[allow(clippy::needless_range_loop)] // j doubles as the mask bit
+                for j in 0..n {
+                    if dest & (1 << j) == 0 {
+                        continue;
+                    }
+                    let src = (dest & !(1u32 << j)) as usize;
+                    let job = &jobs[j];
+                    for (sidx, state) in dp[src].iter().enumerate() {
+                        let mut last = f64::NEG_INFINITY;
+                        for i in 0..m {
+                            let frontier = state.f[i];
+                            if (frontier - last).abs() <= 1e-15 {
+                                continue;
+                            }
+                            last = frontier;
+                            let start = frontier.max(job.release.raw());
+                            if start + job.proc_time <= job.deadline.raw() + 1e-12 {
+                                let mut f = state.f.clone();
+                                f[i] = start + job.proc_time;
+                                f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                                pareto_insert(
+                                    &mut states,
+                                    State {
+                                        f,
+                                        parent: Some(Parent {
+                                            state: sidx as u32,
+                                            job: j as u8,
+                                            replaced: frontier,
+                                            start,
+                                        }),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                (dest, states)
+            })
+            .collect();
+        for (dest, states) in computed {
+            dp[dest as usize] = states;
+        }
+    }
+
+    // Best reachable mask.
+    let mut best = (0.0_f64, 0u32);
+    for mask in 0..full as u32 {
+        if dp[mask as usize].is_empty() {
+            continue;
+        }
+        let load: f64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| jobs[i].proc_time)
+            .sum();
+        if load > best.0 {
+            best = (load, mask);
+        }
+    }
+
+    // Reconstruct (parent.state indexes the *source mask's* state list,
+    // which in pull-based order is dp[dest without parent.job]).
+    let mut chain: Vec<Parent> = Vec::new();
+    let mut mask = best.1;
+    let mut sidx = 0usize;
+    while let Some(p) = dp[mask as usize][sidx].parent {
+        chain.push(p);
+        mask &= !(1u32 << p.job);
+        sidx = p.state as usize;
+    }
+    chain.reverse();
+    let mut schedule = Schedule::new(m);
+    let mut frontiers = vec![0.0_f64; m];
+    for p in chain {
+        let machine = frontiers
+            .iter()
+            .position(|f| (f - p.replaced).abs() <= 1e-9 * f.abs().max(1.0))
+            .expect("replaced frontier must match a machine");
+        let job = jobs[p.job as usize];
+        schedule
+            .commit(job, MachineId(machine as u32), Time::new(p.start))
+            .expect("reconstructed commitment must be feasible");
+        frontiers[machine] = p.start + job.proc_time;
+    }
+    ExactResult {
+        load: best.0,
+        mask: best.1,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::preemptive_load_bound;
+    use cslack_kernel::{validate, InstanceBuilder};
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new(2, 0.5).build().unwrap();
+        let r = max_load(&inst);
+        assert_eq!(r.load, 0.0);
+        assert_eq!(r.mask, 0);
+    }
+
+    #[test]
+    fn conflicting_jobs_pick_the_heavier() {
+        // One machine, both jobs need [0, ~1]: only one fits; OPT takes
+        // the big one.
+        let inst = InstanceBuilder::new(1, 0.5)
+            .tight_job(Time::ZERO, 1.0)
+            .tight_job(Time::ZERO, 1.4)
+            .build()
+            .unwrap();
+        let r = max_load(&inst);
+        assert!((r.load - 1.4).abs() < 1e-12);
+        assert_eq!(r.mask, 0b10);
+        validate::assert_valid(&inst, &r.schedule);
+    }
+
+    #[test]
+    fn optimal_requires_out_of_release_order_dispatch() {
+        // j0 released first but must *wait* so the tight j1 can go first.
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 3.0, Time::new(10.0))
+            .job(Time::new(1.0), 1.0, Time::new(2.5))
+            .build()
+            .unwrap();
+        let r = max_load(&inst);
+        assert!((r.load - 4.0).abs() < 1e-12, "load={}", r.load);
+        validate::assert_valid(&inst, &r.schedule);
+        // Greedy (release order, best fit) only gets j0.
+        assert!(crate::bounds::greedy_lower_bound(&inst) < 4.0);
+    }
+
+    #[test]
+    fn two_machines_run_conflicts_in_parallel() {
+        let inst = InstanceBuilder::new(2, 0.5)
+            .tight_job(Time::ZERO, 1.0)
+            .tight_job(Time::ZERO, 1.0)
+            .tight_job(Time::ZERO, 1.0)
+            .build()
+            .unwrap();
+        let r = max_load(&inst);
+        assert!((r.load - 2.0).abs() < 1e-12);
+        validate::assert_valid(&inst, &r.schedule);
+    }
+
+    #[test]
+    fn stacking_within_deadlines_is_found() {
+        // Two jobs both fit sequentially on one machine (d = 2 each...
+        // second must wait): deadlines 2 and 2.5.
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 1.0, Time::new(2.0))
+            .job(Time::ZERO, 1.0, Time::new(2.5))
+            .build()
+            .unwrap();
+        let r = max_load(&inst);
+        assert!((r.load - 2.0).abs() < 1e-12);
+    }
+
+    /// Independent brute-force: try every subset, test feasibility by
+    /// recursive dispatch search (any next job on any machine).
+    fn brute_force(inst: &Instance) -> f64 {
+        fn feasible(jobs: &[cslack_kernel::Job], remaining: u32, frontiers: &mut Vec<f64>) -> bool {
+            if remaining == 0 {
+                return true;
+            }
+            let n = jobs.len();
+            for j in 0..n {
+                if remaining & (1 << j) == 0 {
+                    continue;
+                }
+                for i in 0..frontiers.len() {
+                    let start = frontiers[i].max(jobs[j].release.raw());
+                    if start + jobs[j].proc_time <= jobs[j].deadline.raw() + 1e-12 {
+                        let saved = frontiers[i];
+                        frontiers[i] = start + jobs[j].proc_time;
+                        if feasible(jobs, remaining & !(1 << j), frontiers) {
+                            frontiers[i] = saved;
+                            return true;
+                        }
+                        frontiers[i] = saved;
+                    }
+                }
+            }
+            false
+        }
+        let n = inst.len();
+        let mut best = 0.0_f64;
+        for mask in 0..(1u32 << n) {
+            let load: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| inst.jobs()[i].proc_time)
+                .sum();
+            if load > best {
+                let mut fr = vec![0.0; inst.machines()];
+                if feasible(inst.jobs(), mask, &mut fr) {
+                    best = load;
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_independent_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for trial in 0..25 {
+            let m = rng.gen_range(1..=3);
+            let n = rng.gen_range(1..=7);
+            let eps = [0.1, 0.3, 0.7][rng.gen_range(0..3)];
+            let mut b = InstanceBuilder::new(m, eps);
+            for _ in 0..n {
+                let r = rng.gen_range(0.0..3.0);
+                let p = rng.gen_range(0.2..2.0);
+                let slack: f64 = rng.gen_range(eps..1.5);
+                b.push(
+                    Time::new(r),
+                    p,
+                    Time::new(r + (1.0 + slack) * p),
+                );
+            }
+            let inst = b.build().unwrap();
+            let dp = max_load(&inst);
+            let bf = brute_force(&inst);
+            assert!(
+                (dp.load - bf).abs() < 1e-9,
+                "trial {trial}: dp={} bf={}",
+                dp.load,
+                bf
+            );
+            validate::assert_valid(&inst, &dp.schedule);
+        }
+    }
+
+    #[test]
+    fn exact_is_bounded_by_flow_relaxation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..15 {
+            let m = rng.gen_range(1..=3);
+            let n = rng.gen_range(2..=9);
+            let mut b = InstanceBuilder::new(m, 0.25);
+            for _ in 0..n {
+                let r = rng.gen_range(0.0..2.0);
+                let p = rng.gen_range(0.2..1.5);
+                b.push_tight(Time::new(r), p);
+            }
+            let inst = b.build().unwrap();
+            let exact = max_load(&inst).load;
+            let flow = preemptive_load_bound(&inst);
+            assert!(exact <= flow + 1e-9, "exact {exact} > flow {flow}");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let m = rng.gen_range(1..=3);
+            let n = rng.gen_range(1..=10);
+            let mut b = InstanceBuilder::new(m, 0.2);
+            for _ in 0..n {
+                let r = rng.gen_range(0.0..3.0);
+                let p = rng.gen_range(0.2..2.0);
+                let slack: f64 = rng.gen_range(0.2..1.4);
+                b.push(Time::new(r), p, Time::new(r + (1.0 + slack) * p));
+            }
+            let inst = b.build().unwrap();
+            let serial = max_load(&inst);
+            let parallel = max_load_parallel(&inst);
+            assert!(
+                (serial.load - parallel.load).abs() < 1e-9,
+                "trial {trial}: serial {} vs parallel {}",
+                serial.load,
+                parallel.load
+            );
+            validate::assert_valid(&inst, &parallel.schedule);
+            assert!(
+                (parallel.schedule.accepted_load() - parallel.load).abs() < 1e-9,
+                "trial {trial}: witness load mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_solver_empty_instance() {
+        let inst = InstanceBuilder::new(2, 0.5).build().unwrap();
+        let r = max_load_parallel(&inst);
+        assert_eq!(r.load, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn job_cap_is_enforced() {
+        let mut b = InstanceBuilder::new(1, 0.5);
+        for i in 0..(MAX_JOBS + 1) {
+            b.push_tight(Time::new(i as f64 * 10.0), 1.0);
+        }
+        let inst = b.build().unwrap();
+        let _ = max_load(&inst);
+    }
+}

@@ -1,0 +1,490 @@
+//! The preemptive-with-migration relaxation as maximum flow.
+//!
+//! By Horn's theorem, a set of (released) jobs is feasible on `m`
+//! preemptive machines with migration iff the natural flow network
+//! saturates every job: source → job `j` (capacity `p_j`), job →
+//! event-interval `I` (capacity `|I|` if `I ⊆ [r_j, d_j]`), interval →
+//! sink (capacity `m * |I|`), where event intervals are the segments
+//! between consecutive distinct release/deadline values.
+//!
+//! Dropping the "every job saturated" requirement, the **maximum-flow
+//! value itself** is the largest total work any preemptive schedule can
+//! execute within deadlines — which upper-bounds the non-preemptive
+//! optimum `OPT` (any non-preemptive schedule of an accepted subset is a
+//! feasible flow). [`preemptive_load_bound`] returns that value.
+//!
+//! The solver is a self-contained Dinic implementation (O(V²E), far
+//! beyond sufficient for the experiment sizes).
+
+use cslack_kernel::Instance;
+
+/// A self-contained Dinic max-flow solver on f64 capacities.
+#[derive(Clone, Debug)]
+pub struct Dinic {
+    /// Adjacency list: node -> edge indices.
+    adj: Vec<Vec<usize>>,
+    /// Edge targets.
+    to: Vec<usize>,
+    /// Residual capacities (edge `i` and its reverse `i ^ 1`).
+    cap: Vec<f64>,
+    /// Numerical floor below which residual capacity counts as zero.
+    eps: f64,
+}
+
+impl Dinic {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Dinic {
+        Dinic {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            eps: 1e-12,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `u -> v` with the given capacity.
+    pub fn add_edge(&mut self, u: usize, v: usize, capacity: f64) {
+        assert!(capacity >= 0.0);
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(capacity);
+        self.adj[u].push(e);
+        self.to.push(u);
+        self.cap.push(0.0);
+        self.adj[v].push(e + 1);
+    }
+
+    fn bfs(&self, s: usize, t: usize, level: &mut [i32]) -> bool {
+        level.fill(-1);
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if level[v] < 0 && self.cap[e] > self.eps {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, pushed: f64, level: &[i32], it: &mut [usize]) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let e = self.adj[u][it[u]];
+            let v = self.to[e];
+            if level[v] == level[u] + 1 && self.cap[e] > self.eps {
+                let d = self.dfs(v, t, pushed.min(self.cap[e]), level, it);
+                if d > self.eps {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t);
+        let n = self.nodes();
+        let mut flow = 0.0;
+        let mut level = vec![-1; n];
+        while self.bfs(s, t, &mut level) {
+            let mut it = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= self.eps {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// Flow currently routed through a *forward* edge (the `i`-th call
+    /// to [`Dinic::add_edge`] created forward edge `2 i`). The reverse
+    /// edge starts at capacity 0, so its residual equals the pushed
+    /// flow.
+    pub fn flow_on(&self, add_edge_index: usize) -> f64 {
+        self.cap[2 * add_edge_index + 1]
+    }
+}
+
+/// The maximum total work a preemptive (migration allowed) schedule can
+/// execute within the deadlines — an upper bound on the non-preemptive
+/// optimum load.
+pub fn preemptive_load_bound(instance: &Instance) -> f64 {
+    let n = instance.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Event points: all releases and (finite) deadlines.
+    let mut events: Vec<f64> = Vec::with_capacity(2 * n);
+    for j in instance.jobs() {
+        events.push(j.release.raw());
+        if j.deadline.raw().is_finite() {
+            events.push(j.deadline.raw());
+        } else {
+            // Infinite-deadline jobs can always run after everything
+            // else; cap their window at the finite horizon plus their
+            // total volume (enough room to run all of them serially).
+            let cap = instance.horizon().raw() + instance.total_load();
+            events.push(cap);
+        }
+    }
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(1.0).max(b.abs()));
+    let intervals: Vec<(f64, f64)> = events.windows(2).map(|w| (w[0], w[1])).collect();
+    let k = intervals.len();
+
+    // Nodes: 0 = source, 1..=n jobs, n+1..n+k intervals, n+k+1 = sink.
+    let source = 0;
+    let job_node = |j: usize| 1 + j;
+    let iv_node = |i: usize| 1 + n + i;
+    let sink = 1 + n + k;
+    let mut net = Dinic::new(sink + 1);
+
+    for (jidx, job) in instance.jobs().iter().enumerate() {
+        net.add_edge(source, job_node(jidx), job.proc_time);
+        let d = if job.deadline.raw().is_finite() {
+            job.deadline.raw()
+        } else {
+            f64::INFINITY
+        };
+        for (i, &(a, b)) in intervals.iter().enumerate() {
+            // Interval must lie inside [r_j, d_j] (tolerant inclusion).
+            if a >= job.release.raw() - 1e-12 && b <= d + 1e-12 {
+                net.add_edge(job_node(jidx), iv_node(i), b - a);
+            }
+        }
+    }
+    let m = instance.machines() as f64;
+    for (i, &(a, b)) in intervals.iter().enumerate() {
+        net.add_edge(iv_node(i), sink, m * (b - a));
+    }
+    net.max_flow(source, sink)
+}
+
+/// A pending piece of work for the feasibility/planning API: remaining
+/// processing time and absolute deadline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pending {
+    /// Remaining work.
+    pub remaining: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+}
+
+/// Per-interval work assignment produced by [`migration_plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalAlloc {
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// `(pending index, units of work inside the interval)`, only
+    /// strictly positive entries.
+    pub work: Vec<(usize, f64)>,
+}
+
+/// Horn feasibility for *released* work on `m` preemptive machines with
+/// migration: can every pending item be fully served by its deadline
+/// starting at `now`? Returns the plan on success, `None` otherwise.
+///
+/// The plan's intervals partition `[now, max deadline)` at the deadline
+/// event points; within an interval no item receives more than the
+/// interval length (no self-parallelism) and the total does not exceed
+/// `m * length` — exactly what McNaughton's wrap-around rule needs to
+/// realize it on physical machines.
+pub fn migration_plan(pending: &[Pending], m: usize, now: f64) -> Option<Vec<IntervalAlloc>> {
+    assert!(m >= 1);
+    let total: f64 = pending.iter().map(|p| p.remaining).sum();
+    if pending.is_empty() || total <= 0.0 {
+        return Some(Vec::new());
+    }
+    // Quick necessary check: every deadline in the future.
+    for p in pending {
+        if p.remaining > 0.0 && p.deadline < now - 1e-12 {
+            return None;
+        }
+    }
+    let mut events: Vec<f64> = pending
+        .iter()
+        .filter(|p| p.remaining > 0.0)
+        .map(|p| p.deadline)
+        .collect();
+    events.push(now);
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(1.0).max(b.abs()));
+    let intervals: Vec<(f64, f64)> = events
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|(a, b)| b > a)
+        .collect();
+    let k = intervals.len();
+    if k == 0 {
+        return None; // positive work, no room
+    }
+
+    let n = pending.len();
+    let source = 0;
+    let job_node = |j: usize| 1 + j;
+    let iv_node = |i: usize| 1 + n + i;
+    let sink = 1 + n + k;
+    let mut net = Dinic::new(sink + 1);
+    // Track add_edge indices of job->interval edges for extraction.
+    let mut edge_of: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (interval, edge idx)
+    let mut n_edges = 0usize;
+    let mut add = |net: &mut Dinic, u: usize, v: usize, c: f64| {
+        net.add_edge(u, v, c);
+        n_edges += 1;
+        n_edges - 1
+    };
+    for (j, p) in pending.iter().enumerate() {
+        if p.remaining <= 0.0 {
+            continue;
+        }
+        add(&mut net, source, job_node(j), p.remaining);
+        for (i, &(a, b)) in intervals.iter().enumerate() {
+            if b <= p.deadline + 1e-12 && a >= now - 1e-12 {
+                let e = add(&mut net, job_node(j), iv_node(i), b - a);
+                edge_of[j].push((i, e));
+            }
+        }
+    }
+    for (i, &(a, b)) in intervals.iter().enumerate() {
+        add(&mut net, iv_node(i), sink, m as f64 * (b - a));
+    }
+    let flow = net.max_flow(source, sink);
+    if flow + 1e-9 * total.max(1.0) < total {
+        return None;
+    }
+    let mut plan: Vec<IntervalAlloc> = intervals
+        .iter()
+        .map(|&(start, end)| IntervalAlloc {
+            start,
+            end,
+            work: Vec::new(),
+        })
+        .collect();
+    for (j, edges) in edge_of.iter().enumerate() {
+        for &(i, e) in edges {
+            let f = net.flow_on(e);
+            if f > 1e-12 {
+                plan[i].work.push((j, f));
+            }
+        }
+    }
+    Some(plan)
+}
+
+/// Pure feasibility variant of [`migration_plan`].
+pub fn migration_feasible(pending: &[Pending], m: usize, now: f64) -> bool {
+    migration_plan(pending, m, now).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_kernel::{InstanceBuilder, Time};
+
+    #[test]
+    fn dinic_textbook_network() {
+        // Classic 4-node diamond: max flow 2.
+        let mut net = Dinic::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 1.0);
+        net.add_edge(1, 2, 1.0); // cross edge changes nothing
+        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dinic_bottleneck() {
+        let mut net = Dinic::new(3);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(1, 2, 3.5);
+        assert!((net.max_flow(0, 2) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dinic_disconnected_is_zero() {
+        let mut net = Dinic::new(4);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(2, 3, 5.0);
+        assert_eq!(net.max_flow(0, 3), 0.0);
+    }
+
+    #[test]
+    fn single_feasible_job_is_fully_counted() {
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 2.0, Time::new(3.0))
+            .build()
+            .unwrap();
+        assert!((preemptive_load_bound(&inst) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_window_is_capped_by_capacity() {
+        // Three unit jobs, all in [0, 1.5], one machine: at most 1.5.
+        let mut b = InstanceBuilder::new(1, 0.5);
+        for _ in 0..3 {
+            b.push_tight(Time::ZERO, 1.0);
+        }
+        let inst = b.build().unwrap();
+        assert!((preemptive_load_bound(&inst) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_machines_multiply_capacity() {
+        let mut b = InstanceBuilder::new(2, 0.5);
+        for _ in 0..3 {
+            b.push_tight(Time::ZERO, 1.0);
+        }
+        let inst = b.build().unwrap();
+        // Two machines, window [0, 1.5]: all three jobs fit preemptively
+        // (each needs 1 unit in a 1.5 window; total 3 <= 2 * 1.5, and
+        // per-job windows allow it).
+        assert!((preemptive_load_bound(&inst) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemption_bound_dominates_nonpreemptive_reality() {
+        // Non-preemptively one machine can run only one of these two
+        // (each needs the middle of the window); preemptively both fit
+        // partially: bound must be >= any non-preemptive schedule.
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 2.0, Time::new(3.0))
+            .job(Time::new(1.0), 1.0, Time::new(2.5))
+            .build()
+            .unwrap();
+        let bound = preemptive_load_bound(&inst);
+        assert!(bound >= 2.0 - 1e-9);
+        assert!(bound <= 3.0 + 1e-9);
+        // Exact: intervals allow all 3 units? Window [0,3] has capacity 3,
+        // job 2 confined to [1, 2.5]: both saturate => bound = 3.
+        assert!((bound - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_windows_sum_up() {
+        let inst = InstanceBuilder::new(1, 1.0)
+            .job(Time::ZERO, 1.0, Time::new(2.0))
+            .job(Time::new(5.0), 1.0, Time::new(7.0))
+            .build()
+            .unwrap();
+        assert!((preemptive_load_bound(&inst) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_plan_single_item() {
+        let plan = migration_plan(
+            &[Pending {
+                remaining: 2.0,
+                deadline: 3.0,
+            }],
+            1,
+            0.0,
+        )
+        .expect("feasible");
+        let total: f64 = plan.iter().flat_map(|iv| iv.work.iter().map(|w| w.1)).sum();
+        assert!((total - 2.0).abs() < 1e-9);
+        // No interval gives the item more time than its length.
+        for iv in &plan {
+            for &(_, units) in &iv.work {
+                assert!(units <= iv.end - iv.start + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn migration_plan_infeasible_overload() {
+        // Three units of work by deadline 2 on one machine.
+        let pending = vec![
+            Pending {
+                remaining: 1.5,
+                deadline: 2.0,
+            },
+            Pending {
+                remaining: 1.5,
+                deadline: 2.0,
+            },
+        ];
+        assert!(migration_plan(&pending, 1, 0.0).is_none());
+        // ... but feasible on two machines.
+        assert!(migration_plan(&pending, 2, 0.0).is_some());
+    }
+
+    #[test]
+    fn migration_plan_needs_migration_to_fit() {
+        // Classic: 3 items of 2 units, deadline 3, on 2 machines: total
+        // 6 = 2 * 3 exactly; only a migrating schedule fits.
+        let pending = vec![
+            Pending {
+                remaining: 2.0,
+                deadline: 3.0
+            };
+            3
+        ];
+        let plan = migration_plan(&pending, 2, 0.0).expect("feasible with migration");
+        let total: f64 = plan.iter().flat_map(|iv| iv.work.iter().map(|w| w.1)).sum();
+        assert!((total - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_plan_respects_now() {
+        let p = [Pending {
+            remaining: 1.0,
+            deadline: 2.0,
+        }];
+        assert!(migration_feasible(&p, 1, 1.0));
+        assert!(!migration_feasible(&p, 1, 1.5));
+        assert!(!migration_feasible(&p, 1, 3.0), "deadline in the past");
+    }
+
+    #[test]
+    fn migration_plan_empty_and_zero_work() {
+        assert_eq!(migration_plan(&[], 2, 5.0), Some(Vec::new()));
+        let zero = [Pending {
+            remaining: 0.0,
+            deadline: 0.5,
+        }];
+        assert_eq!(migration_plan(&zero, 1, 5.0), Some(Vec::new()));
+    }
+
+    #[test]
+    fn flow_on_reports_pushed_flow() {
+        let mut net = Dinic::new(3);
+        net.add_edge(0, 1, 5.0); // edge 0
+        net.add_edge(1, 2, 3.0); // edge 1
+        let f = net.max_flow(0, 2);
+        assert!((f - 3.0).abs() < 1e-9);
+        assert!((net.flow_on(0) - 3.0).abs() < 1e-9);
+        assert!((net.flow_on(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_deadline_jobs_do_not_break_the_network() {
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 1.0, Time::new(f64::INFINITY))
+            .job(Time::ZERO, 1.0, Time::new(1.5))
+            .build()
+            .unwrap();
+        let bound = preemptive_load_bound(&inst);
+        assert!((bound - 2.0).abs() < 1e-9, "bound={bound}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Analytic closed forms for the phases the paper can solve exactly.
+//!
+//! The paper (Section 1.1) notes that Identity (2)/(5) admits analytic
+//! expressions only for the phases represented by `k in {m-2, m-1, m}`;
+//! everything else requires numerical evaluation. This module implements
+//! those closed forms — they serve both as a fast path and as independent
+//! ground truth for validating the bisection solver (experiment E2).
+//!
+//! Derivations (with `F = f_m = (1+eps)/eps` and `D_q` as in
+//! [`crate::recursion`]):
+//!
+//! * `k = m`: the single equation `c = (1 + m F)/m = 1/m + F`.
+//! * `k = m-1`: substituting `f_{m-1} = (c (m-1) - 1)/m` into
+//!   `c (m - 2 + f_{m-1}) = 1 + m F` gives
+//!   `(m-1) c^2 + (m^2 - 2m - 1) c - (m + m^2 F) = 0`.
+//! * `k = m-2` (requires `m >= 3`): one more substitution gives the cubic
+//!   `(B/m) c^3 + (B + A/m) c^2 + (A - 1 - 1/m) c - (1 + m F) = 0` with
+//!   `A = (m(m-3) - 1)/m` and `B = (m-2)/m`.
+//! * `m = 1`: `c = 2 + 1/eps` (Goldwasser–Kerbikov).
+//! * `m = 2`: Equation (1) of the paper.
+
+use crate::poly;
+
+/// `c(eps, 1) = 2 + 1/eps` — the single-machine closed form.
+pub fn c_m1(eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    2.0 + 1.0 / eps
+}
+
+/// Equation (1): the closed form of `c(eps, 2)` with its phase transition
+/// at `eps = 2/7`.
+pub fn c_m2(eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    if eps < 2.0 / 7.0 {
+        2.0 * (25.0 / 16.0 + 1.0 / eps).sqrt() + 0.5
+    } else {
+        1.5 + 1.0 / eps
+    }
+}
+
+/// Closed form of the last phase `k = m`: `c = 1/m + (1+eps)/eps`.
+pub fn c_phase_m(eps: f64, m: usize) -> f64 {
+    assert!(eps > 0.0 && m >= 1);
+    1.0 / m as f64 + (1.0 + eps) / eps
+}
+
+/// Closed form of phase `k = m - 1` (quadratic; requires `m >= 2`).
+///
+/// Returns the unique root above `(2m+1)/(m-1)`'s natural range — i.e. the
+/// positive root of `(m-1) c^2 + (m^2 - 2m - 1) c - (m + m^2 F) = 0`.
+pub fn c_phase_m1(eps: f64, m: usize) -> f64 {
+    assert!(eps > 0.0 && m >= 2);
+    let mf = m as f64;
+    let big_f = (1.0 + eps) / eps;
+    let a = mf - 1.0;
+    let b = mf * mf - 2.0 * mf - 1.0;
+    let c = -(mf + mf * mf * big_f);
+    let roots = poly::quadratic_roots(a, b, c);
+    *roots
+        .iter()
+        .find(|&&r| r > 0.0)
+        .expect("phase m-1 quadratic must have a positive root")
+}
+
+/// Closed form of phase `k = m - 2` (cubic; requires `m >= 3`).
+///
+/// The positive root of
+/// `(B/m) c^3 + (B + A/m) c^2 + (A - 1 - 1/m) c - (1 + m F) = 0`
+/// with `A = (m(m-3) - 1)/m`, `B = (m-2)/m`.
+pub fn c_phase_m2(eps: f64, m: usize) -> f64 {
+    assert!(eps > 0.0 && m >= 3);
+    let mf = m as f64;
+    let big_f = (1.0 + eps) / eps;
+    let a_coef = (mf * (mf - 3.0) - 1.0) / mf;
+    let b_coef = (mf - 2.0) / mf;
+    let c3 = b_coef / mf;
+    let c2 = b_coef + a_coef / mf;
+    let c1 = a_coef - 1.0 - 1.0 / mf;
+    let c0 = -(1.0 + mf * big_f);
+    let roots = poly::cubic_roots(c3, c2, c1, c0);
+    *roots
+        .iter()
+        .find(|&&r| r > 0.0)
+        .expect("phase m-2 cubic must have a positive root")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recursion;
+
+    /// Midpoint of phase `k`'s slack interval for `m` machines.
+    fn phase_mid(m: usize, k: usize) -> f64 {
+        let lo = if k == 1 {
+            0.0
+        } else {
+            recursion::corner_value(m, k - 1)
+        };
+        let hi = recursion::corner_value(m, k);
+        0.5 * (lo + hi)
+    }
+
+    #[test]
+    fn m1_closed_form_matches_solver() {
+        for &eps in &[0.01, 0.3, 1.0] {
+            let (c, _) = recursion::solve(1, 1, eps);
+            assert!((c - c_m1(eps)).abs() < 1e-9 * c);
+        }
+    }
+
+    #[test]
+    fn m2_closed_form_matches_solver_on_both_phases() {
+        for &eps in &[0.02, 0.15, 2.0 / 7.0 - 1e-6, 2.0 / 7.0, 0.5, 1.0] {
+            let k = if eps <= 2.0 / 7.0 { 1 } else { 2 };
+            let (c, _) = recursion::solve(2, k, eps);
+            assert!((c - c_m2(eps)).abs() < 1e-8 * c, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn phase_m_closed_form_matches_solver() {
+        for m in 1..=10 {
+            let eps = phase_mid(m, m);
+            let (c, _) = recursion::solve(m, m, eps);
+            assert!((c - c_phase_m(eps, m)).abs() < 1e-9 * c, "m={m}");
+        }
+    }
+
+    #[test]
+    fn phase_m1_closed_form_matches_solver() {
+        for m in 2..=10 {
+            let eps = phase_mid(m, m - 1);
+            let (c, _) = recursion::solve(m, m - 1, eps);
+            let closed = c_phase_m1(eps, m);
+            assert!(
+                (c - closed).abs() < 1e-8 * c,
+                "m={m}: solver {c} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_m2_closed_form_matches_solver() {
+        for m in 3..=10 {
+            let eps = phase_mid(m, m - 2);
+            let (c, _) = recursion::solve(m, m - 2, eps);
+            let closed = c_phase_m2(eps, m);
+            assert!(
+                (c - closed).abs() < 1e-8 * c,
+                "m={m}: solver {c} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn m2_phase1_is_the_quadratic_special_case() {
+        // c_phase_m1 with m = 2 must coincide with Equation (1)'s sqrt form.
+        for &eps in &[0.05, 0.2, 0.28] {
+            assert!((c_phase_m1(eps, 2) - c_m2(eps)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_forms_decrease_in_eps() {
+        for m in 3..=5 {
+            let lo = phase_mid(m, m - 2);
+            assert!(c_phase_m2(lo, m) > c_phase_m2(lo * 1.01, m));
+            assert!(c_phase_m1(0.3, m) > c_phase_m1(0.31, m));
+            assert!(c_phase_m(0.9, m) > c_phase_m(0.95, m));
+        }
+    }
+}

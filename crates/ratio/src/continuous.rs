@@ -1,0 +1,163 @@
+//! The continuous relaxation behind Proposition 1.
+//!
+//! For `m → ∞` the paper replaces the discrete parameters `f_q` by a
+//! function `f(x)` of the normalized machine index `x = q/m` and the
+//! recursion (5) by the integral identity (8); differentiating yields
+//! the linear ODE
+//!
+//! ```text
+//! f'(x) = c · (f(x) − 1),     f(1) = (1 + eps)/eps,
+//! ```
+//!
+//! whose solution is `f(x) = 1 + (f(x₀) − 1) e^{c (x − x₀)}`. Two
+//! boundary regimes matter:
+//!
+//! * `f(x₀) = 2` at `x₀ = 2/c` (constraint (6) active — the interior
+//!   phase boundary) gives `e^{c − 2} = 1/eps`, i.e.
+//!   `c = 2 + ln(1/eps)`;
+//! * `x₀ → 0` with the paper's `1/m ↦ f(0)/c` normalization and
+//!   `f(0) = 2` gives `e^c = 1/eps`, i.e. `c = ln(1/eps)` —
+//!   Proposition 1's constant.
+//!
+//! This module integrates the ODE numerically (RK4) so the closed-form
+//! manipulations above are themselves machine-checked, and provides the
+//! continuous profile `f(x)` for comparison against the discrete
+//! `f_q(eps, m)` at large `m` (the error is `O(c/m)`).
+
+/// Integrates `f' = c (f - 1)` from `x0` (value `f0`) to `x1` with RK4.
+pub fn integrate_f(c: f64, x0: f64, f0: f64, x1: f64, steps: usize) -> f64 {
+    assert!(steps > 0 && x1 >= x0);
+    let h = (x1 - x0) / steps as f64;
+    let deriv = |f: f64| c * (f - 1.0);
+    let mut f = f0;
+    for _ in 0..steps {
+        let k1 = deriv(f);
+        let k2 = deriv(f + 0.5 * h * k1);
+        let k3 = deriv(f + 0.5 * h * k2);
+        let k4 = deriv(f + h * k3);
+        f += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    }
+    f
+}
+
+/// The exact solution `f(x) = 1 + (f0 - 1) e^{c (x - x0)}`.
+pub fn exact_f(c: f64, x0: f64, f0: f64, x: f64) -> f64 {
+    1.0 + (f0 - 1.0) * (c * (x - x0)).exp()
+}
+
+/// Solves the interior continuous limit: the `c` with boundary
+/// `f(2/c) = 2` and anchor `f(1) = (1 + eps)/eps` — analytically
+/// `c = 2 + ln(1/eps)`.
+pub fn interior_c(eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    2.0 + (1.0 / eps).ln()
+}
+
+/// Solves the first-phase continuous limit with the paper's
+/// normalization (`f(0) = 2`): `c = ln(1/eps)` (Proposition 1).
+pub fn proposition1_c(eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    (1.0 / eps).ln()
+}
+
+/// The continuous parameter profile at normalized index `x` in
+/// `[2/c, 1]` for the interior regime.
+pub fn interior_profile(eps: f64, x: f64) -> f64 {
+    let c = interior_c(eps);
+    let x0 = 2.0 / c;
+    assert!(x >= x0 - 1e-12 && x <= 1.0 + 1e-12);
+    exact_f(c, x0, 2.0, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RatioFn;
+
+    #[test]
+    fn rk4_matches_the_exact_solution() {
+        let (c, x0, f0) = (5.0, 0.1, 2.0);
+        for &x1 in &[0.2, 0.5, 1.0] {
+            let numeric = integrate_f(c, x0, f0, x1, 2000);
+            let exact = exact_f(c, x0, f0, x1);
+            assert!(
+                (numeric - exact).abs() < 1e-9 * exact,
+                "x1={x1}: {numeric} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_boundary_reproduces_the_anchor() {
+        // With c = 2 + ln(1/eps) and f(2/c) = 2, the ODE must hit
+        // f(1) = (1 + eps)/eps... in the eps -> 0 limit; at finite eps
+        // the anchor is matched up to the (1 + eps) factor's log.
+        for &eps in &[1e-3, 1e-6, 1e-9] {
+            let c = interior_c(eps);
+            let f1 = exact_f(c, 2.0 / c, 2.0, 1.0);
+            let anchor = (1.0 + eps) / eps;
+            let rel = (f1 - anchor).abs() / anchor;
+            assert!(rel < 2.0 * eps + 1e-12, "eps={eps}: rel={rel}");
+        }
+    }
+
+    #[test]
+    fn discrete_parameters_approach_the_interior_profile() {
+        // Large m, moderate eps: the discrete f_q at x = q/m should sit
+        // close to the continuous profile.
+        let eps = 0.01;
+        let m = 2048;
+        let params = RatioFn::new(m).eval(eps);
+        let k = params.k;
+        // Compare at a few interior sample points.
+        for &frac in &[0.25, 0.5, 0.75, 1.0] {
+            let q = k + ((m - k) as f64 * frac) as usize;
+            let x = q as f64 / m as f64;
+            let discrete = params.f(q);
+            let continuous = interior_profile(eps, x.clamp(2.0 / interior_c(eps), 1.0));
+            let rel = (discrete - continuous).abs() / continuous;
+            assert!(
+                rel < 0.08,
+                "q={q} (x={x:.3}): discrete {discrete:.4} vs continuous {continuous:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_c_matches_the_discrete_limit() {
+        let eps = 1e-4;
+        let c_discrete = RatioFn::new(2048).lower_bound(eps);
+        let c_cont = interior_c(eps);
+        assert!(
+            (c_discrete - c_cont).abs() / c_cont < 0.01,
+            "{c_discrete} vs {c_cont}"
+        );
+    }
+
+    #[test]
+    fn proposition1_constant_is_the_x0_to_zero_limit() {
+        // As the boundary x0 -> 0 (with f(x0) = 2), the solved c drops
+        // from 2 + ln(1/eps) toward ln(1/eps)... solving
+        // e^{c(1 - x0)} = 1/eps at x0 = 0 gives exactly ln(1/eps).
+        let eps: f64 = 1e-6;
+        // c solves (f(1) - 1) = (2 - 1) e^{c (1 - 0)} = 1/eps.
+        let c_at_zero = (1.0 / eps).ln();
+        assert!((c_at_zero - proposition1_c(eps)).abs() < 1e-12);
+        assert!(proposition1_c(eps) < interior_c(eps));
+    }
+
+    #[test]
+    fn profile_is_increasing_and_anchored() {
+        let eps = 0.05;
+        let c = interior_c(eps);
+        let x0 = 2.0 / c;
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let x = x0 + (1.0 - x0) * i as f64 / 10.0;
+            let f = interior_profile(eps, x);
+            assert!(f > prev, "profile must increase");
+            prev = f;
+        }
+        assert!((interior_profile(eps, x0) - 2.0).abs() < 1e-12);
+    }
+}

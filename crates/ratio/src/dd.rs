@@ -1,0 +1,294 @@
+//! Double-double arithmetic (~31 significant digits) for verifying the
+//! conditioning of the `c(eps, m)` solver.
+//!
+//! The forward recursion multiplies and accumulates `m` times; for
+//! large `m` or tiny `eps` one may reasonably worry about error growth
+//! in the `f64` bisection. This module re-implements the recursion and
+//! the bisection on *double-double* numbers (an unevaluated sum of two
+//! `f64`s, Dekker/Knuth error-free transformations), giving an
+//! independent high-precision reference that the tests compare the fast
+//! solver against.
+//!
+//! Only the operations the recursion needs are implemented: `+`, `-`,
+//! `*`, `/`, comparisons, and conversions.
+
+use std::cmp::Ordering;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A double-double number `hi + lo` with `|lo| <= ulp(hi)/2`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error component.
+    pub lo: f64,
+}
+
+/// Error-free transformation: `a + b = s + err` exactly (Knuth).
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    (s, err)
+}
+
+/// Error-free transformation for `|a| >= |b|` (Dekker).
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let err = b - (s - a);
+    (s, err)
+}
+
+/// Error-free product via FMA: `a * b = p + err` exactly.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let err = f64::mul_add(a, b, -p);
+    (p, err)
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+
+    /// Constructs from a single `f64`.
+    #[inline]
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Renormalizes a `(hi, lo)` pair.
+    #[inline]
+    fn renorm(hi: f64, lo: f64) -> Dd {
+        let (s, e) = quick_two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// Rounds to the nearest `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+}
+
+impl From<f64> for Dd {
+    fn from(x: f64) -> Dd {
+        Dd::from_f64(x)
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    #[inline]
+    fn add(self, o: Dd) -> Dd {
+        let (s1, e1) = two_sum(self.hi, o.hi);
+        let (s2, e2) = two_sum(self.lo, o.lo);
+        let (s1, e1b) = quick_two_sum(s1, e1 + s2);
+        Dd::renorm(s1, e1b + e2)
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, o: Dd) -> Dd {
+        self + (-o)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    #[inline]
+    fn mul(self, o: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, o.hi);
+        let e = e + self.hi * o.lo + self.lo * o.hi;
+        Dd::renorm(p, e)
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    #[inline]
+    fn div(self, o: Dd) -> Dd {
+        // Long division with one Newton correction.
+        let q1 = self.hi / o.hi;
+        let r = self - o * Dd::from_f64(q1);
+        let q2 = r.hi / o.hi;
+        let r2 = r - o * Dd::from_f64(q2);
+        let q3 = r2.hi / o.hi;
+        Dd::renorm(q1, q2) + Dd::from_f64(q3)
+    }
+}
+
+impl PartialEq for Dd {
+    fn eq(&self, o: &Dd) -> bool {
+        self.hi == o.hi && self.lo == o.lo
+    }
+}
+
+impl PartialOrd for Dd {
+    fn partial_cmp(&self, o: &Dd) -> Option<Ordering> {
+        match self.hi.partial_cmp(&o.hi) {
+            Some(Ordering::Equal) => self.lo.partial_cmp(&o.lo),
+            other => other,
+        }
+    }
+}
+
+/// The forward recursion of Equation (5) in double-double precision:
+/// returns `f_m` for phase variant `k` and candidate ratio `c`.
+pub fn forward_last_dd(m: usize, k: usize, c: Dd) -> Dd {
+    let mf = Dd::from_f64(m as f64);
+    let mut d = Dd::from_f64(k as f64);
+    let mut fq = Dd::ZERO;
+    for _q in k..=m {
+        fq = (c * d - Dd::ONE) / mf;
+        d = d + fq - Dd::ONE;
+    }
+    fq
+}
+
+/// High-precision bisection solve of the phase-`k` recursion at slack
+/// `eps`: the double-double counterpart of
+/// [`crate::recursion::solve`]'s ratio output.
+pub fn solve_c_dd(m: usize, k: usize, eps: f64) -> Dd {
+    let target = (Dd::ONE + Dd::from_f64(eps)) / Dd::from_f64(eps);
+    let mut lo = (Dd::from_f64(2.0 * m as f64) + Dd::ONE) / Dd::from_f64(k as f64);
+    let mut hi = (Dd::ONE + Dd::from_f64(m as f64) * target) / Dd::from_f64(k as f64)
+        * Dd::from_f64(1.0 + 1e-9);
+    let mut guard = 0;
+    while forward_last_dd(m, k, lo) > target {
+        lo = Dd::ONE + (lo - Dd::ONE) * Dd::from_f64(0.5);
+        guard += 1;
+        assert!(guard < 300, "failed to bracket c from below");
+    }
+    for _ in 0..300 {
+        let mid = (lo + hi) * Dd::from_f64(0.5);
+        if forward_last_dd(m, k, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        let width = (hi - lo).abs().to_f64();
+        if width <= 1e-28 * hi.to_f64().max(1.0) {
+            break;
+        }
+    }
+    (lo + hi) * Dd::from_f64(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{recursion, RatioFn};
+
+    #[test]
+    fn error_free_sums_capture_the_lost_bits() {
+        // 1 + 2^-60 is not representable in f64; Dd keeps it.
+        let a = Dd::from_f64(1.0) + Dd::from_f64(2f64.powi(-60));
+        assert_eq!(a.hi, 1.0);
+        assert_eq!(a.lo, 2f64.powi(-60));
+        assert!((a - Dd::from_f64(1.0)).to_f64() == 2f64.powi(-60));
+    }
+
+    #[test]
+    fn multiplication_is_exact_for_exact_products() {
+        let a = Dd::from_f64(3.0) * Dd::from_f64(7.0);
+        assert_eq!(a.to_f64(), 21.0);
+        assert_eq!(a.lo, 0.0);
+    }
+
+    #[test]
+    fn division_round_trips() {
+        let x = Dd::from_f64(1.0) / Dd::from_f64(3.0);
+        let back = x * Dd::from_f64(3.0);
+        assert!((back - Dd::ONE).abs().to_f64() < 1e-30);
+    }
+
+    #[test]
+    fn comparisons_see_the_low_word() {
+        let a = Dd::from_f64(1.0) + Dd::from_f64(1e-25);
+        assert!(a > Dd::from_f64(1.0));
+        assert!(Dd::from_f64(1.0) < a);
+    }
+
+    #[test]
+    fn dd_recursion_agrees_with_f64_at_low_precision() {
+        for m in [1usize, 2, 4, 8] {
+            for k in 1..=m {
+                let c = 2.0 + m as f64;
+                let fast = recursion::forward_last(m, k, c);
+                let precise = forward_last_dd(m, k, Dd::from_f64(c)).to_f64();
+                assert!(
+                    (fast - precise).abs() <= 1e-12 * precise.abs().max(1.0),
+                    "m={m} k={k}: {fast} vs {precise}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f64_solver_is_well_conditioned() {
+        // The production bisection must agree with the double-double
+        // reference to ~1e-12 relative across phases and slacks,
+        // including the stress cases (large m, tiny eps).
+        for &(m, eps) in &[
+            (2usize, 0.5f64),
+            (2, 0.01),
+            (4, 0.1),
+            (8, 0.003),
+            (16, 0.2),
+            (32, 1e-4),
+            (64, 0.05),
+        ] {
+            let r = RatioFn::new(m);
+            let k = r.phase(eps);
+            let fast = r.lower_bound(eps);
+            let precise = solve_c_dd(m, k, eps).to_f64();
+            let rel = (fast - precise).abs() / precise;
+            assert!(
+                rel < 1e-11,
+                "m={m} eps={eps}: f64 {fast} vs dd {precise} (rel {rel:.2e})"
+            );
+        }
+    }
+
+    #[test]
+    fn eq1_closed_form_verified_at_high_precision() {
+        // Equation (1), first phase, in double-double: the solved c
+        // satisfies c^2 - c - (6 + 4/eps) = 0 to ~1e-25.
+        let eps = 0.1;
+        let c = solve_c_dd(2, 1, eps);
+        let residual = c * c - c
+            - (Dd::from_f64(6.0) + Dd::from_f64(4.0) / Dd::from_f64(eps));
+        assert!(
+            residual.abs().to_f64() < 1e-24 * c.to_f64().powi(2),
+            "residual {}",
+            residual.to_f64()
+        );
+    }
+}

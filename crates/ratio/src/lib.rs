@@ -1,0 +1,490 @@
+//! # cslack-ratio
+//!
+//! The competitive-ratio function `c(eps, m)` of *Commitment and Slack for
+//! Online Load Maximization* (SPAA 2020), Section 2.
+//!
+//! For `m` machines and slack `eps` in `(0, 1]` the paper defines a family
+//! of parameters `f_q(eps, m)` for `q` in `{k, ..., m}` by the recursion
+//!
+//! ```text
+//! f_m(eps, m) = (1 + eps) / eps                                  (4)
+//! c(eps, m)   = (1 + m * f_q) / (k + sum_{h=k}^{q-1} (f_h - 1))  (5)
+//! ```
+//!
+//! where (5) must hold *simultaneously for every* `q`, which pins down
+//! `f_k, ..., f_{m-1}` and `c` given the anchor (4). The integer phase
+//! index `k` is the unique value making every parameter satisfy
+//! `f_q >= 2` (6); its breakpoints are the *corner values* `eps_{k,m}`
+//! defined by `f_k(eps_{k,m}, m) = 2` (7), which partition `(0, 1]` into
+//! `m` phases.
+//!
+//! This crate computes all of it:
+//!
+//! * [`recursion`] — the forward recursion and the bisection solver
+//!   (works for every `m`, `k`).
+//! * [`closed`] — the analytic closed forms the paper states: `m = 1`
+//!   (Goldwasser–Kerbikov's `2 + 1/eps`), Equation (1) for `m = 2`, and
+//!   the quadratic/cubic forms for the last three phases
+//!   `k in {m-2, m-1, m}`.
+//! * [`RatioFn`] — the cached, user-facing evaluator, including the
+//!   Theorem-2 upper bound and the Proposition-1 asymptote `ln(1/eps)`.
+//!
+//! ## Derivation used by the solver
+//!
+//! Write `D_q = k + sum_{h=k}^{q-1} (f_h - 1)` (so `D_k = k`). Then (5)
+//! reads `c * D_q = 1 + m * f_q`, i.e. `f_q = (c * D_q - 1) / m`, and
+//! `D_{q+1} = D_q + f_q - 1`. Given a candidate `c` this produces all
+//! `f_q` forward in `O(m)`; `c` itself is the root of
+//! `f_m(c) = (1 + eps)/eps`, which is strictly increasing in `c` on the
+//! relevant bracket, so bisection converges unconditionally.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod closed;
+pub mod continuous;
+pub mod dd;
+pub mod poly;
+pub mod recursion;
+
+use serde::{Deserialize, Serialize};
+
+/// The additive gap `(3 - e)/(e - 1)` of Theorem 2 for phases `k > 3`.
+pub const THEOREM2_GAP: f64 = (3.0 - std::f64::consts::E) / (std::f64::consts::E - 1.0);
+
+/// Everything `c(eps, m)` evaluates to at one point: the phase `k`, the
+/// ratio `c`, and the parameters `f_k ..= f_m`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Number of machines.
+    pub m: usize,
+    /// Slack the parameters were computed for.
+    pub eps: f64,
+    /// Phase index `k` with `eps` in `(eps_{k-1,m}, eps_{k,m}]`.
+    pub k: usize,
+    /// The competitive ratio `c(eps, m) = (m * f_k + 1)/k`.
+    pub c: f64,
+    /// `f[h - k]` is `f_h(eps, m)` for `h` in `k ..= m` (paper's 1-based
+    /// machine index).
+    f: Vec<f64>,
+}
+
+impl Params {
+    /// The parameter `f_h(eps, m)` for `h` in `k ..= m` (paper indexing).
+    ///
+    /// # Panics
+    /// Panics if `h < k` (those parameters do not exist: machines below
+    /// `k` never determine the threshold) or `h > m`.
+    #[inline]
+    pub fn f(&self, h: usize) -> f64 {
+        assert!(
+            h >= self.k && h <= self.m,
+            "f_h defined only for h in {}..={}, got {}",
+            self.k,
+            self.m,
+            h
+        );
+        self.f[h - self.k]
+    }
+
+    /// All parameters `f_k ..= f_m` in order.
+    #[inline]
+    pub fn f_all(&self) -> &[f64] {
+        &self.f
+    }
+}
+
+/// Cached evaluator of `c(eps, m)` for a fixed machine count.
+///
+/// Construction precomputes the `m` corner values `eps_{k,m}`; evaluation
+/// then resolves the phase by lookup and solves the recursion for `c`.
+///
+/// ```
+/// use cslack_ratio::RatioFn;
+///
+/// let r2 = RatioFn::new(2);
+/// // Equation (1), second phase: c(1, 2) = 3/2 + 1 = 5/2.
+/// assert!((r2.lower_bound(1.0) - 2.5).abs() < 1e-9);
+/// // Phase transition of m = 2 sits at eps = 2/7.
+/// assert!((r2.corner(1) - 2.0 / 7.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RatioFn {
+    m: usize,
+    /// `corners[k - 1] = eps_{k,m}` for `k = 1 ..= m`; strictly increasing,
+    /// with `corners[m - 1] = 1`.
+    corners: Vec<f64>,
+}
+
+impl RatioFn {
+    /// Builds the evaluator for `m >= 1` machines.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> RatioFn {
+        assert!(m >= 1, "need at least one machine");
+        let corners = (1..=m).map(|k| recursion::corner_value(m, k)).collect();
+        RatioFn { m, corners }
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// The corner value `eps_{k,m}` for `k` in `1 ..= m`
+    /// (`eps_{m,m} = 1`).
+    #[inline]
+    pub fn corner(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.m, "corner index out of range");
+        self.corners[k - 1]
+    }
+
+    /// All corner values `eps_{1,m} .. eps_{m,m}`.
+    #[inline]
+    pub fn corners(&self) -> &[f64] {
+        &self.corners
+    }
+
+    /// The phase index `k` with `eps` in `(eps_{k-1,m}, eps_{k,m}]`.
+    ///
+    /// Slack values above 1 are clamped to phase `m` (the paper restricts
+    /// the analysis to `(0, 1]`; for larger slack constant-competitive
+    /// greedy algorithms exist).
+    pub fn phase(&self, eps: f64) -> usize {
+        assert!(eps > 0.0, "slack must be positive");
+        match self
+            .corners
+            .iter()
+            .position(|&corner| eps <= corner + 1e-15)
+        {
+            Some(idx) => idx + 1,
+            None => self.m,
+        }
+    }
+
+    /// Full evaluation: phase, ratio and parameters at `eps`.
+    pub fn eval(&self, eps: f64) -> Params {
+        let k = self.phase(eps);
+        let (c, f) = recursion::solve(self.m, k, eps);
+        Params {
+            m: self.m,
+            eps,
+            k,
+            c,
+            f,
+        }
+    }
+
+    /// The lower bound `c(eps, m)` of Theorem 1 — conjectured tight.
+    #[inline]
+    pub fn lower_bound(&self, eps: f64) -> f64 {
+        self.eval(eps).c
+    }
+
+    /// The upper bound of Theorem 2 for Algorithm 1 (Threshold):
+    /// `c(eps, m)` when `k <= 3`, and `c(eps, m) + (3 - e)/(e - 1)` when
+    /// `k > 3` (delayed execution, Lemma 11).
+    pub fn threshold_upper_bound(&self, eps: f64) -> f64 {
+        let p = self.eval(eps);
+        if p.k <= 3 {
+            p.c
+        } else {
+            p.c + THEOREM2_GAP
+        }
+    }
+
+    /// The Proposition-1 asymptote `ln(1/eps)`: the limit of `c(eps, m)`
+    /// as `m -> infinity` *on the first phase* `eps <= eps_{1,m}` (note
+    /// that `eps_{1,m} -> 0` roughly like `m * e^{-2m}`, so this regime
+    /// requires the slack to shrink with `m`).
+    #[inline]
+    pub fn asymptote(eps: f64) -> f64 {
+        (1.0 / eps).ln()
+    }
+
+    /// The interior asymptote `2 + ln(1/eps)`: the limit of `c(eps, m)`
+    /// as `m -> infinity` for a *fixed* slack `eps`.
+    ///
+    /// For fixed `eps` the phase index `k` grows with `m` such that
+    /// `f_k -> 2` (the boundary of constraint (6)); taking the continuous
+    /// limit of the recursion `g' = c g - 1` with boundary `f(x_0) = 2`
+    /// (i.e. `x_0 = 2/c`) and anchor `f(1) = (1+eps)/eps` yields
+    /// `e^{c - 2} = 1/eps`, hence `c = 2 + ln(1/eps)`. This is the same
+    /// differential equation as in the proof of Proposition 1, evaluated
+    /// at the interior phase boundary instead of `k = 1`; experiment E7
+    /// verifies both regimes numerically.
+    #[inline]
+    pub fn asymptote_interior(eps: f64) -> f64 {
+        2.0 + (1.0 / eps).ln()
+    }
+
+    /// Samples the curve `eps -> c(eps, m)` on a logarithmic grid of
+    /// `n` points over `[eps_lo, eps_hi]` — the raw series behind Fig. 1.
+    pub fn curve(&self, eps_lo: f64, eps_hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(eps_lo > 0.0 && eps_hi >= eps_lo && n >= 2);
+        let (l0, l1) = (eps_lo.ln(), eps_hi.ln());
+        (0..n)
+            .map(|i| {
+                let eps = (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp();
+                (eps, self.lower_bound(eps))
+            })
+            .collect()
+    }
+}
+
+/// Lee'03's multi-machine guarantee `1 + m + m * eps^{-1/m}` (commitment
+/// on admission) — the prior bound the paper's Section 1.1 compares
+/// against.
+pub fn lee_bound(eps: f64, m: usize) -> f64 {
+    1.0 + m as f64 + m as f64 * eps.powf(-1.0 / m as f64)
+}
+
+/// DasGupta–Palis' preemptive (no-migration) guarantee `1 + 1/eps`.
+pub fn dasgupta_palis_bound(eps: f64) -> f64 {
+    1.0 + 1.0 / eps
+}
+
+/// Goldwasser–Kerbikov's optimal single-machine deterministic ratio
+/// `2 + 1/eps` (equals `c(eps, 1)`).
+pub fn goldwasser_kerbikov_bound(eps: f64) -> f64 {
+    2.0 + 1.0 / eps
+}
+
+/// Schwiegelshohn²'16 preemption+migration bound
+/// `(1 + eps) * log((1 + eps)/eps)` (large `m`), cited for context.
+pub fn migration_bound(eps: f64) -> f64 {
+    (1.0 + eps) * ((1.0 + eps) / eps).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_matches_goldwasser_kerbikov_everywhere() {
+        let r = RatioFn::new(1);
+        for &eps in &[0.01, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let c = r.lower_bound(eps);
+            assert!(
+                (c - goldwasser_kerbikov_bound(eps)).abs() < 1e-9,
+                "eps={eps}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn m2_matches_equation_1() {
+        let r = RatioFn::new(2);
+        // First phase: eps < 2/7.
+        for &eps in &[0.01, 0.1, 0.2, 0.28] {
+            let want = 2.0 * (25.0 / 16.0_f64 + 1.0 / eps).sqrt() + 0.5;
+            assert!((r.lower_bound(eps) - want).abs() < 1e-8, "eps={eps}");
+        }
+        // Second phase: 2/7 <= eps <= 1.
+        for &eps in &[2.0 / 7.0, 0.3, 0.5, 0.75, 1.0] {
+            let want = 1.5 + 1.0 / eps;
+            assert!((r.lower_bound(eps) - want).abs() < 1e-8, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn corner_of_m2_is_two_sevenths_and_last_corner_is_one() {
+        let r = RatioFn::new(2);
+        assert!((r.corner(1) - 2.0 / 7.0).abs() < 1e-10);
+        assert!((r.corner(2) - 1.0).abs() < 1e-10);
+        for m in 1..=8 {
+            let r = RatioFn::new(m);
+            assert!((r.corner(m) - 1.0).abs() < 1e-9, "eps_mm should be 1");
+        }
+    }
+
+    #[test]
+    fn corners_strictly_increase() {
+        for m in 2..=10 {
+            let r = RatioFn::new(m);
+            for k in 2..=m {
+                assert!(
+                    r.corner(k) > r.corner(k - 1),
+                    "m={m}: corners not increasing"
+                );
+            }
+            assert!(r.corner(1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn phase_lookup_brackets_correctly() {
+        let r = RatioFn::new(3);
+        let e1 = r.corner(1);
+        let e2 = r.corner(2);
+        assert_eq!(r.phase(e1 * 0.5), 1);
+        assert_eq!(r.phase(e1), 1); // right-closed interval
+        assert_eq!(r.phase(e1 + 1e-6), 2);
+        assert_eq!(r.phase(e2), 2);
+        assert_eq!(r.phase(1.0), 3);
+        assert_eq!(r.phase(2.0), 3); // clamped above 1
+    }
+
+    #[test]
+    fn continuity_at_corners() {
+        // (5) evaluated with variant k and k+1 agree at eps_{k,m}.
+        for m in 2..=6 {
+            let r = RatioFn::new(m);
+            for k in 1..m {
+                let eps = r.corner(k);
+                let (c_left, _) = recursion::solve(m, k, eps);
+                let (c_right, _) = recursion::solve(m, k + 1, eps);
+                assert!(
+                    (c_left - c_right).abs() < 1e-7,
+                    "m={m} k={k}: c discontinuous at corner ({c_left} vs {c_right})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_decreases_in_eps_and_in_m() {
+        for m in 1..=5 {
+            let r = RatioFn::new(m);
+            let mut prev = f64::INFINITY;
+            for i in 1..=60 {
+                let eps = i as f64 / 60.0;
+                let c = r.lower_bound(eps);
+                assert!(c <= prev + 1e-9, "m={m}: c not decreasing at eps={eps}");
+                prev = c;
+            }
+        }
+        for &eps in &[0.05, 0.2, 0.6, 1.0] {
+            let mut prev = f64::INFINITY;
+            for m in 1..=8 {
+                let c = RatioFn::new(m).lower_bound(eps);
+                assert!(c <= prev + 1e-9, "eps={eps}: c not decreasing at m={m}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn params_expose_f_with_paper_indexing() {
+        let r = RatioFn::new(3);
+        let p = r.eval(0.9); // phase 3 => only f_3 exists
+        assert_eq!(p.k, 3);
+        assert!((p.f(3) - (1.0 + 0.9) / 0.9).abs() < 1e-12);
+        let p = r.eval(0.05); // phase 1 => f_1, f_2, f_3
+        assert_eq!(p.k, 1);
+        assert_eq!(p.f_all().len(), 3);
+        assert!(p.f(1) < p.f(2) && p.f(2) < p.f(3), "f must increase in q");
+        assert!(p.f(1) >= 2.0 - 1e-9, "constraint (6)");
+    }
+
+    #[test]
+    #[should_panic(expected = "f_h defined only")]
+    fn params_reject_out_of_phase_index() {
+        let p = RatioFn::new(3).eval(0.9);
+        let _ = p.f(2); // k = 3, so f_2 does not exist
+    }
+
+    #[test]
+    fn theorem2_upper_bound_adds_gap_only_beyond_k3() {
+        let r = RatioFn::new(8);
+        // Small eps => k = 1; eps near 1 => k = m = 8 > 3.
+        let small = r.eval(r.corner(1) * 0.5);
+        assert_eq!(small.k, 1);
+        assert_eq!(r.threshold_upper_bound(small.eps), small.c);
+        let big = r.eval(0.99);
+        assert_eq!(big.k, 8);
+        assert!((r.threshold_upper_bound(0.99) - (big.c + THEOREM2_GAP)).abs() < 1e-12);
+        assert!((THEOREM2_GAP - 0.1639).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lower_bound_formula_matches_theorem_1_form() {
+        // c = (m f_k + 1)/k must equal the solved c.
+        for m in 1..=6 {
+            let r = RatioFn::new(m);
+            for &eps in &[0.03, 0.11, 0.37, 0.8, 1.0] {
+                let p = r.eval(eps);
+                let direct = (m as f64 * p.f(p.k) + 1.0) / p.k as f64;
+                assert!((p.c - direct).abs() < 1e-7 * p.c, "m={m} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition1_log_asymptote_as_slack_vanishes() {
+        // Proposition 1 ("the competitive ratio approaches ln(1/eps) for
+        // small slack values as m tends to infinity"): with m large, the
+        // relative gap c/ln(1/eps) - 1 decreases toward 0 as eps -> 0.
+        // The sharper interior statement is c - ln(1/eps) -> 2 (see
+        // `asymptote_interior`); relative to ln(1/eps) the +2 washes out.
+        let r = RatioFn::new(1024);
+        let mut prev_rel = f64::INFINITY;
+        for &eps in &[1e-2, 1e-4, 1e-6, 1e-8] {
+            let c = r.lower_bound(eps);
+            let rel = c / RatioFn::asymptote(eps) - 1.0;
+            assert!(rel > 0.0, "limit approached from above");
+            assert!(rel < prev_rel, "eps={eps}: gap {rel} not shrinking");
+            let diff = c - RatioFn::asymptote(eps);
+            assert!(
+                (1.9..=2.3).contains(&diff),
+                "eps={eps}: c - ln(1/eps) = {diff}, expected near 2"
+            );
+            prev_rel = rel;
+        }
+        assert!(prev_rel < 0.13, "eps=1e-8: relative gap {prev_rel}");
+    }
+
+    #[test]
+    fn interior_asymptote_for_fixed_eps() {
+        // For a *fixed* slack the limit is 2 + ln(1/eps): the phase index
+        // grows with m so f_k sits at the boundary-of-(6) value 2.
+        let eps = 0.01;
+        let target = RatioFn::asymptote_interior(eps);
+        let mut prev = f64::INFINITY;
+        for &m in &[1usize, 4, 16, 64, 256, 1024] {
+            let c = RatioFn::new(m).lower_bound(eps);
+            assert!(c < prev, "convergence should be monotone from above");
+            prev = c;
+        }
+        assert!(
+            (prev - target) / target < 0.005,
+            "m=1024: c={prev}, 2+ln(1/eps)={target}"
+        );
+        assert!(prev > target, "limit approached from above");
+    }
+
+    #[test]
+    fn literature_bounds_are_sane() {
+        assert!((goldwasser_kerbikov_bound(1.0) - 3.0).abs() < 1e-12);
+        assert!((dasgupta_palis_bound(0.5) - 3.0).abs() < 1e-12);
+        assert!(lee_bound(1.0, 1) >= goldwasser_kerbikov_bound(1.0));
+        // Paper: Threshold "slightly improves" on Lee's bound — equality
+        // at m = 1 (both are 2 + 1/eps), strictly better for m >= 2.
+        for m in 1..=6 {
+            let r = RatioFn::new(m);
+            for &eps in &[0.05, 0.3, 1.0] {
+                let ours = r.threshold_upper_bound(eps);
+                let lee = lee_bound(eps, m);
+                if m == 1 {
+                    assert!(ours <= lee + 1e-9, "m=1, eps={eps}");
+                } else {
+                    assert!(ours < lee, "m={m}, eps={eps}: {ours} vs {lee}");
+                }
+            }
+        }
+        assert!(migration_bound(0.1) > 0.0);
+    }
+
+    #[test]
+    fn curve_sampling_is_log_spaced_and_inclusive() {
+        let r = RatioFn::new(2);
+        let pts = r.curve(0.01, 1.0, 5);
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].0 - 0.01).abs() < 1e-12);
+        assert!((pts[4].0 - 1.0).abs() < 1e-12);
+        assert!((pts[2].0 - 0.1).abs() < 1e-3); // geometric midpoint
+        assert!(pts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

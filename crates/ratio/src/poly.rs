@@ -1,0 +1,161 @@
+//! Small real-root solvers for the closed-form phases.
+//!
+//! The paper gives analytic expressions for `c(eps, m)` only on the last
+//! three phases `k in {m-2, m-1, m}`; eliminating the `f_q` from
+//! Equation (5) there yields a linear, quadratic and cubic equation in `c`
+//! respectively. This module provides numerically careful quadratic and
+//! cubic solvers (the cubic via the trigonometric method for three real
+//! roots and Cardano otherwise).
+
+/// Real roots of `a x^2 + b x + c = 0`, ascending. Degenerate (`a == 0`)
+/// inputs fall back to the linear case.
+pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a == 0.0 {
+        if b == 0.0 {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    let sq = disc.sqrt();
+    // Citardauq form: avoids cancellation when b and the root's sign agree.
+    let q = -0.5 * (b + b.signum() * sq);
+    let mut roots = if q == 0.0 {
+        vec![0.0, 0.0]
+    } else {
+        vec![q / a, c / q]
+    };
+    roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    roots
+}
+
+/// Real roots of `a x^3 + b x^2 + c x + d = 0`, ascending.
+/// Degenerate leading coefficients fall back to [`quadratic_roots`].
+pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
+    if a == 0.0 {
+        return quadratic_roots(b, c, d);
+    }
+    // Depressed cubic t^3 + p t + q with x = t - b/(3a).
+    let (b, c, d) = (b / a, c / a, d / a);
+    let shift = b / 3.0;
+    let p = c - b * b / 3.0;
+    let q = 2.0 * b * b * b / 27.0 - b * c / 3.0 + d;
+    let half_q = q / 2.0;
+    let third_p = p / 3.0;
+    let disc = half_q * half_q + third_p * third_p * third_p;
+    let mut roots = if disc > 0.0 {
+        // One real root (Cardano).
+        let sq = disc.sqrt();
+        let u = (-half_q + sq).cbrt();
+        let v = (-half_q - sq).cbrt();
+        vec![u + v - shift]
+    } else if disc == 0.0 {
+        if p == 0.0 {
+            vec![-shift]
+        } else {
+            let u = (-half_q).cbrt();
+            vec![2.0 * u - shift, -u - shift]
+        }
+    } else {
+        // Three real roots (trigonometric method); p < 0 here.
+        let r = (-third_p).sqrt();
+        let phi = (-half_q / (r * r * r)).clamp(-1.0, 1.0).acos();
+        (0..3)
+            .map(|j| 2.0 * r * ((phi + 2.0 * std::f64::consts::PI * j as f64) / 3.0).cos() - shift)
+            .collect()
+    };
+    roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // One Newton polish per root (the closed-form tests compare to 1e-9).
+    let f = |x: f64| ((a_horner(x, b) + c) * x) + d;
+    let fp = |x: f64| 3.0 * x * x + 2.0 * b * x + c;
+    for root in roots.iter_mut() {
+        for _ in 0..3 {
+            let df = fp(*root);
+            if df.abs() > 1e-300 {
+                *root -= f(*root) / df;
+            }
+        }
+    }
+    roots
+}
+
+#[inline]
+fn a_horner(x: f64, b: f64) -> f64 {
+    (x + b) * x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "{a:?} vs {b:?}");
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9 * y.abs().max(1.0), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn quadratic_simple() {
+        assert_close(&quadratic_roots(1.0, -3.0, 2.0), &[1.0, 2.0]);
+        assert_close(&quadratic_roots(2.0, 0.0, -8.0), &[-2.0, 2.0]);
+        assert!(quadratic_roots(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_degenerates_to_linear() {
+        assert_close(&quadratic_roots(0.0, 2.0, -4.0), &[2.0]);
+        assert!(quadratic_roots(0.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_avoids_cancellation() {
+        // x^2 - 1e8 x + 1 = 0: roots ~1e8 and ~1e-8.
+        let r = quadratic_roots(1.0, -1e8, 1.0);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 1e-8).abs() < 1e-16);
+        assert!((r[1] - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        assert_close(&cubic_roots(1.0, -6.0, 11.0, -6.0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cubic_single_real_root() {
+        // (x-2)(x^2+1) = x^3 - 2x^2 + x - 2
+        assert_close(&cubic_roots(1.0, -2.0, 1.0, -2.0), &[2.0]);
+    }
+
+    #[test]
+    fn cubic_with_repeated_root() {
+        // (x-1)^2 (x+2) = x^3 - 3x + 2
+        let r = cubic_roots(1.0, 0.0, -3.0, 2.0);
+        assert_eq!(r.len(), 2);
+        assert_close(&r, &[-2.0, 1.0]);
+    }
+
+    #[test]
+    fn cubic_degenerates_to_quadratic() {
+        assert_close(&cubic_roots(0.0, 1.0, -3.0, 2.0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x-2)^3 = x^3 - 6x^2 + 12x - 8
+        let r = cubic_roots(1.0, -6.0, 12.0, -8.0);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cubic_nonmonic() {
+        // 2(x-1)(x-2)(x-3)
+        assert_close(&cubic_roots(2.0, -12.0, 22.0, -12.0), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The forward recursion behind Equation (5) and the bisection solver.
+//!
+//! With `D_q = k + sum_{h=k}^{q-1} (f_h - 1)` (so `D_k = k`), Equation (5)
+//! reads `c * D_q = 1 + m * f_q` for every `q` in `{k, ..., m}`. Given a
+//! candidate ratio `c` the sequence is therefore determined forward:
+//!
+//! ```text
+//! D_k = k
+//! f_q = (c * D_q - 1) / m
+//! D_{q+1} = D_q + f_q - 1
+//! ```
+//!
+//! and the anchor (4), `f_m = (1 + eps)/eps`, becomes a scalar root-finding
+//! problem in `c`. On the bracket used here (where every `f_q >= 2 - o(1)`,
+//! cf. constraint (6)) the map `c -> f_m(c)` is strictly increasing, so
+//! plain bisection is robust for any `(m, k, eps)`.
+
+/// Absolute/relative bisection tolerance on `c`.
+const C_TOL: f64 = 1e-13;
+/// Hard iteration cap (2^-200 of the initial bracket; unreachable in
+/// practice before `C_TOL` stops it).
+const MAX_ITERS: usize = 200;
+
+/// Runs the forward recursion for phase variant `k` with candidate ratio
+/// `c`, returning the parameters `f_k ..= f_m` (length `m - k + 1`).
+pub fn forward(m: usize, k: usize, c: f64) -> Vec<f64> {
+    assert!(k >= 1 && k <= m, "phase k must lie in 1..=m");
+    let mf = m as f64;
+    let mut d = k as f64;
+    let mut f = Vec::with_capacity(m - k + 1);
+    for _q in k..=m {
+        let fq = (c * d - 1.0) / mf;
+        f.push(fq);
+        d += fq - 1.0;
+    }
+    f
+}
+
+/// The value `f_m` produced by the forward recursion (last element of
+/// [`forward`]) without allocating.
+pub fn forward_last(m: usize, k: usize, c: f64) -> f64 {
+    let mf = m as f64;
+    let mut d = k as f64;
+    let mut fq = 0.0;
+    for _q in k..=m {
+        fq = (c * d - 1.0) / mf;
+        d += fq - 1.0;
+    }
+    fq
+}
+
+/// Solves the phase-`k` recursion at slack `eps`: returns
+/// `(c, [f_k, ..., f_m])` such that (4) and (5) hold.
+///
+/// The bracket is `[ (2m + 1)/k, (1 + m * f_m^target)/k ]`:
+/// * at the left end `f_k = 2`, so by monotonicity of the recursion the
+///   produced `f_m` is the corner anchor, which is `<=` the target for any
+///   `eps <= eps_{k,m}`;
+/// * at the right end `f_k` already equals the target `f_m`, and the
+///   remaining parameters only grow, so the produced `f_m` overshoots.
+///
+/// For `eps > eps_{k,m}` (caller picked a variant left of the slack's true
+/// phase) the left end may already overshoot; the bracket is then widened
+/// downward so the function still returns the analytic continuation, which
+/// is what the corner-continuity tests exercise.
+pub fn solve(m: usize, k: usize, eps: f64) -> (f64, Vec<f64>) {
+    assert!(eps > 0.0, "slack must be positive");
+    let target = (1.0 + eps) / eps; // f_m anchor (4)
+    let mut lo = (2.0 * m as f64 + 1.0) / k as f64;
+    // At hi the recursion reproduces the target exactly (up to rounding)
+    // when k = m; the relative headroom keeps the bracket valid in floats.
+    let mut hi = (1.0 + m as f64 * target) / k as f64 * (1.0 + 1e-9);
+    // Widen downward if needed (analytic continuation past the corner).
+    let mut guard = 0;
+    while forward_last(m, k, lo) > target {
+        lo = 1.0 + (lo - 1.0) * 0.5;
+        guard += 1;
+        assert!(guard < 200, "failed to bracket c from below");
+    }
+    debug_assert!(forward_last(m, k, hi) >= target);
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if forward_last(m, k, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= C_TOL * hi.max(1.0) {
+            break;
+        }
+    }
+    let c = 0.5 * (lo + hi);
+    (c, forward(m, k, c))
+}
+
+/// The corner value `eps_{k,m}` defined by `f_k(eps_{k,m}, m) = 2` (7).
+///
+/// At the corner, `c = (m * f_k + 1)/k = (2m + 1)/k`; running the
+/// recursion forward from that `c` yields the anchor `f_m`, and inverting
+/// (4) gives `eps = 1/(f_m - 1)`.
+pub fn corner_value(m: usize, k: usize) -> f64 {
+    let c = (2.0 * m as f64 + 1.0) / k as f64;
+    let fm = forward_last(m, k, c);
+    1.0 / (fm - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_with_k_equals_m_is_just_the_anchor_formula() {
+        // Single step: f_m = (c m - 1)/m.
+        let f = forward(4, 4, 3.0);
+        assert_eq!(f.len(), 1);
+        assert!((f[0] - (3.0 * 4.0 - 1.0) / 4.0).abs() < 1e-15);
+        assert_eq!(forward_last(4, 4, 3.0), f[0]);
+    }
+
+    #[test]
+    fn forward_last_agrees_with_forward() {
+        for m in 1..=8 {
+            for k in 1..=m {
+                let c = 2.0 + m as f64;
+                let f = forward(m, k, c);
+                assert_eq!(*f.last().unwrap(), forward_last(m, k, c));
+                assert_eq!(f.len(), m - k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_monotone_in_c() {
+        for m in 2..=6 {
+            for k in 1..=m {
+                let base = (2.0 * m as f64 + 1.0) / k as f64;
+                let mut prev = forward_last(m, k, base);
+                for i in 1..20 {
+                    let c = base + i as f64 * 0.5;
+                    let cur = forward_last(m, k, c);
+                    assert!(cur > prev, "m={m} k={k}: f_m not increasing in c");
+                    prev = cur;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_reproduces_the_anchor() {
+        for m in 1..=8 {
+            for k in 1..=m {
+                // Pick eps inside phase k.
+                let lo = if k == 1 { 0.0 } else { corner_value(m, k - 1) };
+                let hi = corner_value(m, k);
+                let eps = 0.5 * (lo + hi);
+                let (_c, f) = solve(m, k, eps);
+                let fm = *f.last().unwrap();
+                assert!(
+                    (fm - (1.0 + eps) / eps).abs() < 1e-8 * fm,
+                    "m={m} k={k}: anchor violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_parameters_increase_in_q_and_respect_constraint_6() {
+        for m in 2..=8 {
+            for k in 1..=m {
+                let lo = if k == 1 { 0.0 } else { corner_value(m, k - 1) };
+                let hi = corner_value(m, k);
+                let eps = 0.25 * lo + 0.75 * hi;
+                let (_, f) = solve(m, k, eps);
+                for w in f.windows(2) {
+                    assert!(w[0] < w[1], "m={m} k={k}: f_q not increasing");
+                }
+                assert!(f[0] >= 2.0 - 1e-9, "m={m} k={k}: f_k < 2 inside phase");
+            }
+        }
+    }
+
+    #[test]
+    fn corner_value_m2_k1_is_two_sevenths() {
+        assert!((corner_value(2, 1) - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_value_k_equals_m_is_one() {
+        for m in 1..=10 {
+            assert!((corner_value(m, m) - 1.0).abs() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn at_corner_f_k_is_exactly_two() {
+        for m in 2..=8 {
+            for k in 1..=m {
+                let eps = corner_value(m, k);
+                let (_, f) = solve(m, k, eps);
+                assert!((f[0] - 2.0).abs() < 1e-7, "m={m} k={k}: f_k={}", f[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_handles_tiny_slack() {
+        let (c, f) = solve(4, 1, 1e-9);
+        assert!(c.is_finite() && c > 0.0);
+        assert!((f.last().unwrap() - (1.0 + 1e-9) / 1e-9).abs() / f.last().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn analytic_continuation_past_corner_still_solves() {
+        // eps beyond the k-phase: solve still matches the anchor.
+        let m = 3;
+        let eps = 0.9; // true phase is 3, ask for variant 1
+        let (_, f) = solve(m, 1, eps);
+        let fm = *f.last().unwrap();
+        assert!((fm - (1.0 + eps) / eps).abs() < 1e-8 * fm.max(1.0));
+    }
+}

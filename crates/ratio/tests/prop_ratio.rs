@@ -1,0 +1,109 @@
+//! Property tests for the ratio machinery: structural invariants of
+//! `c(eps, m)` and the `f_q` parameters over randomized `(m, eps)`.
+
+use cslack_ratio::{recursion, RatioFn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solved parameters satisfy the defining recursion (5): the
+    /// ratio (1 + m f_q) / D_q is the same for every q.
+    #[test]
+    fn recursion_identity_holds(m in 1usize..=10, eps in 0.001f64..=1.0) {
+        let r = RatioFn::new(m);
+        let p = r.eval(eps);
+        let mf = m as f64;
+        let mut d = p.k as f64;
+        for h in p.k..=m {
+            let lhs = (1.0 + mf * p.f(h)) / d;
+            prop_assert!(
+                (lhs - p.c).abs() < 1e-6 * p.c,
+                "m={m} eps={eps} h={h}: {lhs} vs c {}", p.c
+            );
+            d += p.f(h) - 1.0;
+        }
+    }
+
+    /// The anchor (4): f_m = (1 + eps)/eps, always.
+    #[test]
+    fn anchor_holds(m in 1usize..=10, eps in 0.001f64..=1.0) {
+        let p = RatioFn::new(m).eval(eps);
+        let anchor = (1.0 + eps) / eps;
+        prop_assert!((p.f(m) - anchor).abs() < 1e-6 * anchor);
+    }
+
+    /// Constraint (6): every parameter in the chosen phase is >= 2, and
+    /// the parameters strictly increase in q.
+    #[test]
+    fn constraint6_and_monotonicity(m in 2usize..=10, eps in 0.001f64..=1.0) {
+        let p = RatioFn::new(m).eval(eps);
+        let f = p.f_all();
+        prop_assert!(f[0] >= 2.0 - 1e-7, "f_k = {} < 2", f[0]);
+        for w in f.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "f not nondecreasing: {w:?}");
+        }
+    }
+
+    /// c is decreasing in eps (sampled pairwise).
+    #[test]
+    fn c_is_decreasing_in_eps(m in 1usize..=8, eps in 0.001f64..=0.9, bump in 0.01f64..=0.1) {
+        let r = RatioFn::new(m);
+        let a = r.lower_bound(eps);
+        let b = r.lower_bound((eps + bump).min(1.0));
+        prop_assert!(b <= a + 1e-9, "c increased: c({eps})={a} < c({})={b}", eps + bump);
+    }
+
+    /// c is decreasing in m.
+    #[test]
+    fn c_is_decreasing_in_m(m in 1usize..=9, eps in 0.001f64..=1.0) {
+        let a = RatioFn::new(m).lower_bound(eps);
+        let b = RatioFn::new(m + 1).lower_bound(eps);
+        prop_assert!(b <= a + 1e-9, "c(m={}) = {b} > c(m={m}) = {a}", m + 1);
+    }
+
+    /// Theorem 1 form: c = (m f_k + 1)/k.
+    #[test]
+    fn theorem1_form(m in 1usize..=10, eps in 0.001f64..=1.0) {
+        let p = RatioFn::new(m).eval(eps);
+        let direct = (m as f64 * p.f(p.k) + 1.0) / p.k as f64;
+        prop_assert!((p.c - direct).abs() < 1e-6 * p.c);
+    }
+
+    /// Phase lookup agrees with the corner values: eps is inside its
+    /// phase's interval.
+    #[test]
+    fn phase_lookup_consistent(m in 1usize..=10, eps in 0.001f64..=1.0) {
+        let r = RatioFn::new(m);
+        let k = r.phase(eps);
+        prop_assert!(eps <= r.corner(k) + 1e-12);
+        if k > 1 {
+            prop_assert!(eps > r.corner(k - 1) - 1e-9);
+        }
+    }
+
+    /// Forward recursion round trip: solving then re-running `forward`
+    /// with the solved c reproduces the same parameters.
+    #[test]
+    fn forward_round_trip(m in 1usize..=10, k_off in 0usize..3, eps in 0.001f64..=1.0) {
+        let r = RatioFn::new(m);
+        let k_true = r.phase(eps);
+        let k = (k_true + k_off).min(m); // also exercise off-phase variants
+        let (c, f) = recursion::solve(m, k, eps);
+        let f2 = recursion::forward(m, k, c);
+        prop_assert_eq!(f.len(), f2.len());
+        for (a, b) in f.iter().zip(&f2) {
+            prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    /// The lower bound is always strictly above 1 (no instance is
+    /// trivially solvable online) and below 3 + 1/eps + 1/m (sanity
+    /// ceiling from the m = 1 curve).
+    #[test]
+    fn c_is_sane(m in 1usize..=12, eps in 0.001f64..=1.0) {
+        let c = RatioFn::new(m).lower_bound(eps);
+        prop_assert!(c > 1.0);
+        prop_assert!(c <= 2.0 + 1.0 / eps + 1e-9, "c exceeds the m=1 curve");
+    }
+}

@@ -1,0 +1,452 @@
+//! Post-run analysis in the vocabulary of the paper's Theorem-2 proof:
+//! *covered intervals*, per-interval load, and machine utilization.
+//!
+//! Definition 1 of the paper calls an interval *uncovered* when it
+//! intersects no rejected job's window `[r_j, d_j)`; removing the
+//! uncovered intervals from the horizon leaves the *covered intervals*
+//! (Definition 2), and the performance analysis bounds each covered
+//! interval separately: inside a covered interval the adversary "kept
+//! pressure up", so the online load there is what the competitive ratio
+//! is made of.
+//!
+//! This module computes the covered-interval decomposition of a
+//! simulated run and per-interval statistics. It is a diagnostic: the
+//! full Definition-3 performance ratio needs the unmeasurable `P⁻`
+//! term, but the measurable parts (interval capacity `m·|I|` vs online
+//! load inside `I`) already show where a run concentrated its losses.
+
+use crate::SimReport;
+use cslack_kernel::Instance;
+
+/// A half-open interval `[start, end)` on the time axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: f64,
+    /// Exclusive end.
+    pub end: f64,
+}
+
+impl Interval {
+    /// Interval length.
+    pub fn len(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Whether the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Length of the overlap with `[a, b)`.
+    pub fn overlap(&self, a: f64, b: f64) -> f64 {
+        (self.end.min(b) - self.start.max(a)).max(0.0)
+    }
+}
+
+/// Merges a set of (possibly overlapping, unsorted) windows into
+/// disjoint sorted intervals.
+pub fn merge_windows(mut windows: Vec<Interval>) -> Vec<Interval> {
+    windows.retain(|w| !w.is_empty());
+    windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    let mut merged: Vec<Interval> = Vec::with_capacity(windows.len());
+    for w in windows {
+        match merged.last_mut() {
+            Some(last) if w.start <= last.end + 1e-12 => {
+                last.end = last.end.max(w.end);
+            }
+            _ => merged.push(w),
+        }
+    }
+    merged
+}
+
+/// One covered interval with its measured load statistics.
+#[derive(Clone, Debug)]
+pub struct CoveredInterval {
+    /// The interval itself.
+    pub interval: Interval,
+    /// Rejected jobs whose windows intersect the interval.
+    pub rejected_jobs: usize,
+    /// Rejected processing volume whose windows intersect the interval.
+    pub rejected_volume: f64,
+    /// Online executed work inside the interval (over all machines).
+    pub online_load: f64,
+    /// Capacity `m * |I|`.
+    pub capacity: f64,
+}
+
+impl CoveredInterval {
+    /// Fraction of the interval's machine-time capacity the online
+    /// schedule used.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            0.0
+        } else {
+            self.online_load / self.capacity
+        }
+    }
+}
+
+/// The covered/uncovered decomposition of one run.
+#[derive(Clone, Debug)]
+pub struct CoverAnalysis {
+    /// Covered intervals in time order.
+    pub covered: Vec<CoveredInterval>,
+    /// Uncovered intervals in time order (within `[0, horizon)`).
+    pub uncovered: Vec<Interval>,
+    /// The analysis horizon (largest finite deadline).
+    pub horizon: f64,
+}
+
+impl CoverAnalysis {
+    /// Total covered time.
+    pub fn covered_time(&self) -> f64 {
+        self.covered.iter().map(|c| c.interval.len()).sum()
+    }
+
+    /// Total online load inside covered intervals.
+    pub fn covered_load(&self) -> f64 {
+        self.covered.iter().map(|c| c.online_load).sum()
+    }
+}
+
+/// Computes the covered-interval decomposition of a run.
+pub fn cover_analysis(instance: &Instance, report: &SimReport) -> CoverAnalysis {
+    let horizon = instance.horizon().raw();
+    let m = instance.machines() as f64;
+
+    // Rejected windows.
+    let mut windows = Vec::new();
+    for d in &report.decisions {
+        if !d.accepted {
+            let job = instance.job(d.job);
+            let end = job.deadline.raw().min(horizon);
+            windows.push(Interval {
+                start: job.release.raw(),
+                end,
+            });
+        }
+    }
+    let covered_iv = merge_windows(windows);
+
+    // Uncovered = complement within [0, horizon).
+    let mut uncovered = Vec::new();
+    let mut cursor = 0.0;
+    for iv in &covered_iv {
+        if iv.start > cursor + 1e-12 {
+            uncovered.push(Interval {
+                start: cursor,
+                end: iv.start,
+            });
+        }
+        cursor = cursor.max(iv.end);
+    }
+    if cursor < horizon - 1e-12 {
+        uncovered.push(Interval {
+            start: cursor,
+            end: horizon,
+        });
+    }
+
+    // Per-interval statistics.
+    let covered = covered_iv
+        .into_iter()
+        .map(|interval| {
+            let mut online_load = 0.0;
+            for c in report.schedule.iter() {
+                online_load += interval.overlap(c.start.raw(), c.completion().raw());
+            }
+            let mut rejected_jobs = 0;
+            let mut rejected_volume = 0.0;
+            for d in &report.decisions {
+                if !d.accepted {
+                    let job = instance.job(d.job);
+                    if interval.overlap(job.release.raw(), job.deadline.raw()) > 0.0 {
+                        rejected_jobs += 1;
+                        rejected_volume += job.proc_time;
+                    }
+                }
+            }
+            CoveredInterval {
+                interval,
+                rejected_jobs,
+                rejected_volume,
+                online_load,
+                capacity: m * interval.len(),
+            }
+        })
+        .collect();
+
+    CoverAnalysis {
+        covered,
+        uncovered,
+        horizon,
+    }
+}
+
+/// A step function over time: value `values[i]` holds on
+/// `[times[i], times[i+1])` (and the last value onward).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepSeries {
+    /// Breakpoints, strictly increasing.
+    pub times: Vec<f64>,
+    /// Values, one per breakpoint.
+    pub values: Vec<f64>,
+}
+
+impl StepSeries {
+    /// The value at time `t` (0 before the first breakpoint).
+    pub fn at(&self, t: f64) -> f64 {
+        match self.times.partition_point(|&x| x <= t) {
+            0 => 0.0,
+            i => self.values[i - 1],
+        }
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// The number of busy machines over time (step function with
+/// breakpoints at every commitment start/end).
+pub fn occupancy_timeline(report: &SimReport) -> StepSeries {
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(2 * report.schedule.len());
+    for c in report.schedule.iter() {
+        events.push((c.start.raw(), 1));
+        events.push((c.completion().raw(), -1));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut times: Vec<f64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut busy = 0i64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && (events[i].0 - t).abs() <= 1e-12 {
+            busy += events[i].1;
+            i += 1;
+        }
+        if times.last().map(|&lt| t > lt).unwrap_or(true) {
+            times.push(t);
+            values.push(busy as f64);
+        } else {
+            *values.last_mut().expect("non-empty") = busy as f64;
+        }
+    }
+    StepSeries { times, values }
+}
+
+/// Cumulative accepted load as a function of *decision* time (jumps at
+/// each accepted job's release date).
+pub fn accepted_load_timeline(instance: &Instance, report: &SimReport) -> StepSeries {
+    let mut times: Vec<f64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut total = 0.0;
+    for d in &report.decisions {
+        if d.accepted {
+            let job = instance.job(d.job);
+            total += job.proc_time;
+            if times.last().map(|&lt| job.release.raw() > lt).unwrap_or(true) {
+                times.push(job.release.raw());
+                values.push(total);
+            } else {
+                *values.last_mut().expect("non-empty") = total;
+            }
+        }
+    }
+    StepSeries { times, values }
+}
+
+/// Per-machine utilization over `[0, makespan)` of a run.
+pub fn machine_utilization(report: &SimReport) -> Vec<f64> {
+    let span = report.schedule.makespan().raw().max(1e-12);
+    (0..report.schedule.machines())
+        .map(|i| {
+            let busy: f64 = report
+                .schedule
+                .lane(cslack_kernel::MachineId(i as u32))
+                .iter()
+                .map(|c| c.job.proc_time)
+                .sum();
+            busy / span
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use cslack_algorithms::Threshold;
+    use cslack_kernel::{InstanceBuilder, Time};
+
+    fn iv(a: f64, b: f64) -> Interval {
+        Interval { start: a, end: b }
+    }
+
+    #[test]
+    fn merge_windows_merges_and_sorts() {
+        let merged = merge_windows(vec![iv(3.0, 4.0), iv(0.0, 1.0), iv(0.5, 2.0), iv(4.0, 5.0)]);
+        assert_eq!(merged, vec![iv(0.0, 2.0), iv(3.0, 5.0)]);
+    }
+
+    #[test]
+    fn merge_windows_drops_empties() {
+        assert!(merge_windows(vec![iv(1.0, 1.0), iv(2.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn all_accepted_run_has_no_covered_intervals() {
+        let inst = InstanceBuilder::new(2, 1.0)
+            .job(Time::ZERO, 1.0, Time::new(10.0))
+            .job(Time::ZERO, 1.0, Time::new(10.0))
+            .build()
+            .unwrap();
+        let report = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+        assert_eq!(report.rejected_count(), 0);
+        let a = cover_analysis(&inst, &report);
+        assert!(a.covered.is_empty());
+        assert_eq!(a.uncovered.len(), 1);
+        assert_eq!(a.uncovered[0], iv(0.0, 10.0));
+    }
+
+    #[test]
+    fn rejected_window_becomes_a_covered_interval() {
+        // One machine, eps = 0.5 (f_1 = 3): a long job then a tight one
+        // that gets rejected.
+        let inst = InstanceBuilder::new(1, 0.5)
+            .job(Time::ZERO, 2.0, Time::new(100.0))
+            .tight_job(Time::ZERO, 1.0) // d = 1.5 < dlim = 6 -> rejected
+            .build()
+            .unwrap();
+        let report = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+        assert_eq!(report.rejected_count(), 1);
+        let a = cover_analysis(&inst, &report);
+        assert_eq!(a.covered.len(), 1);
+        let c = &a.covered[0];
+        assert_eq!(c.interval, iv(0.0, 1.5));
+        assert_eq!(c.rejected_jobs, 1);
+        assert_eq!(c.rejected_volume, 1.0);
+        // The accepted job runs [0, 2): overlap with [0, 1.5) is 1.5.
+        assert!((c.online_load - 1.5).abs() < 1e-9);
+        assert!((c.capacity - 1.5).abs() < 1e-9);
+        assert!((c.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covered_and_uncovered_partition_the_horizon() {
+        let inst = cslack_workloads::WorkloadSpec::default_spec(2, 0.2, 60, 5)
+            .generate()
+            .unwrap();
+        let report = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+        let a = cover_analysis(&inst, &report);
+        let total: f64 = a.covered_time() + a.uncovered.iter().map(Interval::len).sum::<f64>();
+        assert!(
+            (total - a.horizon).abs() < 1e-6 * a.horizon,
+            "covered {total} vs horizon {}",
+            a.horizon
+        );
+        // Intervals are disjoint and ordered.
+        let mut all: Vec<Interval> = a
+            .covered
+            .iter()
+            .map(|c| c.interval)
+            .chain(a.uncovered.iter().copied())
+            .collect();
+        all.sort_by(|x, y| x.start.partial_cmp(&y.start).unwrap());
+        for w in all.windows(2) {
+            assert!(w[0].end <= w[1].start + 1e-9);
+        }
+        // Load inside covered intervals never exceeds capacity.
+        for c in &a.covered {
+            assert!(c.online_load <= c.capacity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_rejected_window_is_inside_covered_time() {
+        let inst = cslack_workloads::WorkloadSpec::default_spec(1, 0.1, 40, 9)
+            .generate()
+            .unwrap();
+        let report = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+        let a = cover_analysis(&inst, &report);
+        for d in &report.decisions {
+            if !d.accepted {
+                let job = inst.job(d.job);
+                let (r, dl) = (job.release.raw(), job.deadline.raw().min(a.horizon));
+                let inside: f64 = a
+                    .covered
+                    .iter()
+                    .map(|c| c.interval.overlap(r, dl))
+                    .sum();
+                assert!(
+                    (inside - (dl - r)).abs() < 1e-9 * (dl - r).max(1.0),
+                    "{}'s window not fully covered",
+                    d.job
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_per_machine() {
+        let inst = InstanceBuilder::new(2, 1.0)
+            .job(Time::ZERO, 4.0, Time::new(100.0))
+            .job(Time::ZERO, 2.0, Time::new(100.0))
+            .build()
+            .unwrap();
+        let report = simulate(&inst, &mut cslack_algorithms::Greedy::new(2)).unwrap();
+        let u = machine_utilization(&report);
+        assert_eq!(u.len(), 2);
+        // Best fit stacks both on machine 0 (6 units / makespan 6).
+        assert!((u[0] - 1.0).abs() < 1e-9, "{u:?}");
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn occupancy_timeline_tracks_busy_counts() {
+        let inst = InstanceBuilder::new(2, 1.0)
+            .job(Time::ZERO, 2.0, Time::new(100.0))
+            .job(Time::ZERO, 1.0, Time::new(3.0))
+            .build()
+            .unwrap();
+        let report = simulate(&inst, &mut cslack_algorithms::Greedy::new(2)).unwrap();
+        let occ = occupancy_timeline(&report);
+        // J0 on M0 [0,2); J1 tight-ish: best fit M0? 2+1 = 3 <= 3: stacks
+        // on M0 -> busy count 1 throughout [0,3).
+        assert_eq!(occ.at(0.5), 1.0);
+        assert_eq!(occ.at(2.5), 1.0);
+        assert_eq!(occ.at(3.5), 0.0);
+        assert_eq!(occ.at(-1.0), 0.0);
+        // Consistency with the schedule's own counter at breakpoints.
+        for (i, &t) in occ.times.iter().enumerate() {
+            assert_eq!(
+                occ.values[i] as usize,
+                report.schedule.busy_machines_at(Time::new(t)),
+                "mismatch at breakpoint {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepted_load_timeline_is_monotone_and_ends_at_total() {
+        let inst = cslack_workloads::WorkloadSpec::default_spec(2, 0.3, 40, 8)
+            .generate()
+            .unwrap();
+        let report = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+        let series = accepted_load_timeline(&inst, &report);
+        assert!(series.values.windows(2).all(|w| w[0] <= w[1]));
+        assert!(series.times.windows(2).all(|w| w[0] < w[1]));
+        let last = series.values.last().copied().unwrap_or(0.0);
+        assert!((last - report.accepted_load()).abs() < 1e-9);
+        assert_eq!(series.at(f64::INFINITY), last);
+    }
+}

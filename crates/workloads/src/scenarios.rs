@@ -1,0 +1,227 @@
+//! Named workload presets used across the experiment binaries.
+
+use crate::{ArrivalLaw, SizeLaw, SlackLaw, WorkloadSpec};
+use cslack_kernel::{Instance, InstanceBuilder, Time};
+
+/// An IaaS-style service-level mix: a majority of small time-sensitive
+/// (tight-slack) interactive jobs interleaved with fewer large batch
+/// jobs that have generous deadlines — the motivating workload of the
+/// paper's introduction.
+///
+/// Implemented as a merge of two sub-streams; the merged instance keeps
+/// the system slack `eps` (interactive jobs are tight, batch jobs have
+/// per-job slack `4 eps`).
+pub fn iaas_mix(m: usize, eps: f64, n: usize, seed: u64) -> Instance {
+    let interactive = WorkloadSpec {
+        m,
+        eps,
+        n: (n * 3) / 4,
+        arrivals: ArrivalLaw::Poisson { rate: 2.0 * m as f64 },
+        sizes: SizeLaw::Uniform { lo: 0.1, hi: 0.5 },
+        slack: SlackLaw::Tight,
+        seed,
+    }
+    .generate()
+    .expect("interactive stream");
+    let batch = WorkloadSpec {
+        m,
+        eps,
+        n: n - (n * 3) / 4,
+        arrivals: ArrivalLaw::Poisson {
+            rate: 0.5 * m as f64,
+        },
+        sizes: SizeLaw::BoundedPareto {
+            alpha: 1.5,
+            lo: 1.0,
+            hi: 20.0,
+        },
+        slack: SlackLaw::Generous { factor: 4.0 * eps },
+        seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+    }
+    .generate()
+    .expect("batch stream");
+    merge(m, eps, &interactive, &batch)
+}
+
+/// A flood of identical small tight jobs followed by a few huge tight
+/// jobs — the pattern behind the greedy lower bound (small jobs poison
+/// the machines, then the valuable work arrives).
+pub fn small_job_flood(m: usize, eps: f64, seed: u64) -> Instance {
+    let flood = WorkloadSpec {
+        m,
+        eps,
+        n: 4 * m,
+        arrivals: ArrivalLaw::Simultaneous,
+        sizes: SizeLaw::Constant(1.0),
+        slack: SlackLaw::Tight,
+        seed,
+    }
+    .generate()
+    .expect("flood");
+    // Big jobs arrive just after the flood (slightly positive release so
+    // the decisions on the flood are already made).
+    let mut b = InstanceBuilder::with_capacity(m, eps, flood.len() + m);
+    for j in flood.jobs() {
+        b.push(j.release, j.proc_time, j.deadline);
+    }
+    let big = 0.9 / eps;
+    for _ in 0..m {
+        b.push_tight(Time::new(1e-6), big);
+    }
+    b.build().expect("flood + big jobs")
+}
+
+/// A bursty heavy-tail stream: batches of Pareto-sized jobs with mixed
+/// urgency, the stress scenario for threshold admission.
+pub fn bursty_heavy_tail(m: usize, eps: f64, n: usize, seed: u64) -> Instance {
+    WorkloadSpec {
+        m,
+        eps,
+        n,
+        arrivals: ArrivalLaw::Bursty {
+            burst: 2 * m,
+            rate: 0.5,
+        },
+        sizes: SizeLaw::BoundedPareto {
+            alpha: 1.2,
+            lo: 0.2,
+            hi: 10.0,
+        },
+        slack: SlackLaw::UniformIn { max: 1.0 },
+        seed,
+    }
+    .generate()
+    .expect("bursty stream")
+}
+
+/// A diurnal stream: a nonhomogeneous Poisson process whose rate swings
+/// sinusoidally between `0.2 * peak` and `peak` over a period of
+/// `day` time units (thinning construction), with uniform job sizes and
+/// mixed urgency — the 24h load curve of a real cluster, miniaturized.
+pub fn diurnal(m: usize, eps: f64, n: usize, day: f64, seed: u64) -> Instance {
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0xd1f2_a3b4_c5d6_e7f8);
+    let peak = 2.0 * m as f64;
+    let mut b = InstanceBuilder::with_capacity(m, eps, n);
+    let mut t = 0.0_f64;
+    while b.len() < n {
+        // Thinning: candidate arrivals at the peak rate, accepted with
+        // probability rate(t)/peak.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / peak;
+        let phase = (t / day) * std::f64::consts::TAU;
+        let rate_frac = 0.6 + 0.4 * phase.sin(); // in [0.2, 1.0]
+        if rng.gen_range(0.0..1.0) <= rate_frac {
+            let p = rng.gen_range(0.2..2.0);
+            let slack = rng.gen_range(eps..(2.0 * eps + 0.5));
+            b.push(Time::new(t), p, Time::new(t + (1.0 + slack) * p));
+        }
+    }
+    b.build().expect("diurnal stream")
+}
+
+/// A tiny deterministic smoke-test instance (no randomness), used in
+/// examples and doc tests.
+pub fn smoke(m: usize, eps: f64) -> Instance {
+    let mut b = InstanceBuilder::new(m, eps);
+    b.push_tight(Time::ZERO, 1.0);
+    b.push_tight(Time::ZERO, 1.0);
+    b.push(Time::new(0.5), 2.0, Time::new(0.5 + 2.0 * (1.0 + eps) + 1.0));
+    b.push_tight(Time::new(1.0), 0.5);
+    b.build().expect("smoke instance")
+}
+
+/// Merges two instances (same `m`, `eps`) into one stream ordered by
+/// release date.
+fn merge(m: usize, eps: f64, a: &Instance, b: &Instance) -> Instance {
+    let mut all: Vec<_> = a.jobs().iter().chain(b.jobs().iter()).collect();
+    all.sort_by_key(|x| x.release);
+    let mut builder = InstanceBuilder::with_capacity(m, eps, all.len());
+    for j in all {
+        builder.push(j.release, j.proc_time, j.deadline);
+    }
+    builder.build().expect("merged instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iaas_mix_has_both_job_kinds_and_valid_slack() {
+        let inst = iaas_mix(4, 0.25, 100, 1);
+        assert_eq!(inst.len(), 100);
+        let small = inst.jobs().iter().filter(|j| j.proc_time <= 0.5).count();
+        let big = inst.jobs().iter().filter(|j| j.proc_time >= 1.0).count();
+        assert!(small >= 60, "small={small}");
+        assert!(big >= 10, "big={big}");
+        for j in inst.jobs() {
+            assert!(j.satisfies_slack(0.25));
+        }
+        // Releases are sorted (merge invariant).
+        assert!(inst
+            .jobs()
+            .windows(2)
+            .all(|w| w[0].release <= w[1].release));
+    }
+
+    #[test]
+    fn small_job_flood_shape() {
+        let m = 3;
+        let eps = 0.1;
+        let inst = small_job_flood(m, eps, 2);
+        assert_eq!(inst.len(), 4 * m + m);
+        let big = 0.9 / eps;
+        let n_big = inst
+            .jobs()
+            .iter()
+            .filter(|j| (j.proc_time - big).abs() < 1e-12)
+            .count();
+        assert_eq!(n_big, m);
+    }
+
+    #[test]
+    fn bursty_stream_is_valid_and_deterministic() {
+        let a = bursty_heavy_tail(2, 0.5, 60, 9);
+        let b = bursty_heavy_tail(2, 0.5, 60, 9);
+        assert_eq!(a, b);
+        for j in a.jobs() {
+            assert!(j.satisfies_slack(0.5));
+        }
+    }
+
+    #[test]
+    fn smoke_is_tiny_and_valid() {
+        let s = smoke(2, 0.5);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.machines(), 2);
+    }
+
+    #[test]
+    fn diurnal_is_valid_and_shows_rate_variation() {
+        let day = 50.0;
+        let inst = diurnal(4, 0.2, 600, day, 3);
+        assert_eq!(inst.len(), 600);
+        for j in inst.jobs() {
+            assert!(j.satisfies_slack(0.2));
+        }
+        // Count arrivals in the "peak" vs "trough" half-periods of the
+        // first full day present in the stream.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for j in inst.jobs() {
+            let phase = (j.release.raw() / day) * std::f64::consts::TAU;
+            if phase.sin() > 0.0 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak > trough,
+            "diurnal rate should concentrate arrivals in the peak ({peak} vs {trough})"
+        );
+        // Deterministic.
+        assert_eq!(diurnal(4, 0.2, 600, day, 3), inst);
+    }
+}

@@ -1,0 +1,134 @@
+//! JSON persistence for instances ("traces").
+//!
+//! Experiments save the exact instances they ran so results can be
+//! replayed and debugged; [`save`]/[`load`] wrap `serde_json` with a
+//! versioned envelope so old traces fail loudly instead of silently
+//! deserializing wrong.
+
+use cslack_kernel::Instance;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    instance: Instance,
+}
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The file is a trace of an incompatible version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::VersionMismatch { found } => {
+                write!(f, "trace version {found} != supported {TRACE_VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+/// Serializes an instance to a JSON string.
+pub fn to_string(instance: &Instance) -> Result<String, TraceError> {
+    Ok(serde_json::to_string_pretty(&Envelope {
+        version: TRACE_VERSION,
+        instance: instance.clone(),
+    })?)
+}
+
+/// Deserializes an instance from a JSON string.
+pub fn from_string(s: &str) -> Result<Instance, TraceError> {
+    let env: Envelope = serde_json::from_str(s)?;
+    if env.version != TRACE_VERSION {
+        return Err(TraceError::VersionMismatch { found: env.version });
+    }
+    Ok(env.instance)
+}
+
+/// Writes an instance trace to `path`.
+pub fn save(instance: &Instance, path: &Path) -> Result<(), TraceError> {
+    fs::write(path, to_string(instance)?)?;
+    Ok(())
+}
+
+/// Reads an instance trace from `path`.
+pub fn load(path: &Path) -> Result<Instance, TraceError> {
+    from_string(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    #[test]
+    fn string_round_trip() {
+        let inst = WorkloadSpec::default_spec(2, 0.5, 10, 3).generate().unwrap();
+        let s = to_string(&inst).unwrap();
+        assert_eq!(from_string(&s).unwrap(), inst);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let inst = WorkloadSpec::default_spec(3, 0.25, 20, 4).generate().unwrap();
+        let dir = std::env::temp_dir().join("cslack-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        save(&inst, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), inst);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let inst = WorkloadSpec::default_spec(1, 0.5, 2, 5).generate().unwrap();
+        let s = to_string(&inst).unwrap().replace("\"version\": 1", "\"version\": 99");
+        match from_string(&s) {
+            Err(TraceError::VersionMismatch { found: 99 }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn junk_is_a_json_error() {
+        assert!(matches!(from_string("not json"), Err(TraceError::Json(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = Path::new("/nonexistent/definitely/not/here.json");
+        assert!(matches!(load(p), Err(TraceError::Io(_))));
+    }
+}

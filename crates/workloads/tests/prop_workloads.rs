@@ -1,0 +1,83 @@
+//! Property tests for workload generation: every law combination yields
+//! legal instances, deterministically.
+
+use cslack_workloads::{trace, ArrivalLaw, SizeLaw, SlackLaw, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1usize..=6,
+        0.02f64..=1.0,
+        0usize..=80,
+        any::<u64>(),
+        prop_oneof![
+            Just(ArrivalLaw::Simultaneous),
+            (0.1f64..5.0).prop_map(|rate| ArrivalLaw::Poisson { rate }),
+            (1usize..6, 0.1f64..3.0).prop_map(|(burst, rate)| ArrivalLaw::Bursty { burst, rate }),
+        ],
+        prop_oneof![
+            (0.1f64..5.0).prop_map(SizeLaw::Constant),
+            (0.1f64..1.0, 1.0f64..8.0).prop_map(|(lo, hi)| SizeLaw::Uniform { lo, hi }),
+            (0.5f64..2.5, 0.1f64..1.0, 2.0f64..50.0)
+                .prop_map(|(alpha, lo, hi)| SizeLaw::BoundedPareto { alpha, lo, hi }),
+            (0.0f64..=1.0, 0.1f64..1.0, 2.0f64..9.0)
+                .prop_map(|(p_small, small, large)| SizeLaw::Bimodal { p_small, small, large }),
+        ],
+        prop_oneof![
+            Just(SlackLaw::Tight),
+            (1.0f64..4.0).prop_map(|max| SlackLaw::UniformIn { max }),
+            (0.0f64..4.0).prop_map(|factor| SlackLaw::Generous { factor }),
+        ],
+    )
+        .prop_map(|(m, eps, n, seed, arrivals, sizes, slack)| WorkloadSpec {
+            m,
+            eps,
+            n,
+            arrivals,
+            sizes,
+            slack,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated instance is legal: correct count, sorted
+    /// releases, positive sizes, slack condition everywhere.
+    #[test]
+    fn generated_instances_are_legal(spec in arb_spec()) {
+        let inst = spec.generate().unwrap();
+        prop_assert_eq!(inst.len(), spec.n);
+        prop_assert_eq!(inst.machines(), spec.m);
+        for w in inst.jobs().windows(2) {
+            prop_assert!(w[0].release <= w[1].release);
+        }
+        for j in inst.jobs() {
+            prop_assert!(j.proc_time > 0.0);
+            prop_assert!(j.satisfies_slack(spec.eps), "slack violated: {j:?}");
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        prop_assert_eq!(spec.generate().unwrap(), spec.generate().unwrap());
+    }
+
+    /// Trace round trip preserves the instance bit for bit.
+    #[test]
+    fn trace_round_trip_is_exact(spec in arb_spec()) {
+        let inst = spec.generate().unwrap();
+        let s = trace::to_string(&inst).unwrap();
+        prop_assert_eq!(trace::from_string(&s).unwrap(), inst);
+    }
+
+    /// Spec JSON round trip regenerates the identical instance.
+    #[test]
+    fn spec_round_trip_regenerates(spec in arb_spec()) {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.generate().unwrap(), spec.generate().unwrap());
+    }
+}

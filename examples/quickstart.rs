@@ -1,0 +1,71 @@
+//! Quickstart: build an instance, run the paper's Threshold algorithm,
+//! inspect the committed schedule.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cslack::prelude::*;
+
+fn main() {
+    // A 2-machine system with slack eps = 1/2: every job's deadline
+    // leaves at least 50% headroom over its processing time.
+    let eps = 0.5;
+    let inst = InstanceBuilder::new(2, eps)
+        // Two tight unit jobs at time 0 (deadline = 1.5).
+        .tight_job(Time::ZERO, 1.0)
+        .tight_job(Time::ZERO, 1.0)
+        // A long job with a comfortable deadline.
+        .job(Time::new(0.25), 4.0, Time::new(10.0))
+        // A tight job arriving while the machines are busy.
+        .tight_job(Time::new(0.5), 1.0)
+        .build()
+        .expect("valid instance");
+
+    // Algorithm 1 of the paper, configured from the instance.
+    let mut alg = Threshold::for_instance(&inst);
+    println!(
+        "Threshold on m = {} machines, eps = {eps}: phase k = {}, factors f_h:",
+        inst.machines(),
+        alg.phase_k()
+    );
+    for h in alg.phase_k()..=inst.machines() {
+        println!("  f_{h} = {:.4}", alg.factor(h));
+    }
+    println!();
+
+    // The simulator replays the jobs and enforces every commitment.
+    let report = simulate(&inst, &mut alg).expect("clean run");
+    for d in &report.decisions {
+        let job = inst.job(d.job);
+        if d.accepted {
+            let c = report.schedule.commitment_of(d.job).unwrap();
+            println!(
+                "{}: ACCEPT on {} at t={:.2} (p={}, d={})",
+                d.job, c.machine, c.start, job.proc_time, job.deadline
+            );
+        } else {
+            println!("{}: reject (p={}, d={})", d.job, job.proc_time, job.deadline);
+        }
+    }
+    println!();
+    println!(
+        "accepted load: {:.2} of {:.2} offered ({:.0}% of jobs)",
+        report.accepted_load(),
+        report.offered_load,
+        report.acceptance_rate() * 100.0
+    );
+    println!();
+    println!("schedule:");
+    print!("{}", report.schedule.gantt_ascii(72));
+
+    // How good is that? Compare against the exact offline optimum.
+    let opt = cslack::opt::estimate(&inst, 16);
+    println!();
+    println!(
+        "offline optimum: {:.2}  =>  measured ratio {:.3} (Theorem 2 bound: {:.3})",
+        opt.denominator(),
+        report.ratio_against(opt.denominator()),
+        RatioFn::new(inst.machines()).threshold_upper_bound(eps)
+    );
+}

@@ -1,0 +1,63 @@
+//! Explore the competitive-ratio function `c(eps, m)` from the command
+//! line: phases, corner values, the `f_q` parameters, and how the
+//! bounds of the surrounding literature compare.
+//!
+//! ```text
+//! cargo run --example ratio_explorer [m] [eps]
+//! ```
+
+use cslack::ratio::{
+    dasgupta_palis_bound, goldwasser_kerbikov_bound, lee_bound, migration_bound, RatioFn,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let eps: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+
+    let r = RatioFn::new(m);
+    println!("c(eps, m) for m = {m}");
+    println!();
+    println!("phase corners eps_(k,m) (the circles of Fig. 1):");
+    for k in 1..=m {
+        println!("  k = {k}: eps <= {:.6}", r.corner(k));
+    }
+    println!();
+
+    let p = r.eval(eps);
+    println!("at eps = {eps}: phase k = {}", p.k);
+    println!("  c(eps, m)            = {:.6}   (Theorem 1 lower bound)", p.c);
+    println!(
+        "  Threshold guarantee  = {:.6}   (Theorem 2{})",
+        r.threshold_upper_bound(eps),
+        if p.k <= 3 { ", tight" } else { ", +0.164 gap" }
+    );
+    println!("  parameters f_q (threshold factors of Algorithm 1):");
+    for h in p.k..=m {
+        println!("    f_{h} = {:.6}", p.f(h));
+    }
+    println!();
+    println!("literature context at this eps:");
+    println!(
+        "  greedy / 1 machine (Goldwasser-Kerbikov) : {:.4}",
+        goldwasser_kerbikov_bound(eps)
+    );
+    println!("  Lee'03 commit-on-admission, m machines   : {:.4}", lee_bound(eps, m));
+    println!(
+        "  DasGupta-Palis preemptive (no migration) : {:.4}",
+        dasgupta_palis_bound(eps)
+    );
+    println!(
+        "  Schwiegelshohn^2 preemption + migration  : {:.4}",
+        migration_bound(eps)
+    );
+    println!(
+        "  ln(1/eps) asymptote (Proposition 1)      : {:.4}",
+        RatioFn::asymptote(eps)
+    );
+    println!();
+    println!("curve sample (10 log-spaced points on (0.01, 1]):");
+    for (e, c) in r.curve(0.01, 1.0, 10) {
+        println!("  eps = {e:.4}  c = {c:.4}  (phase {})", r.phase(e));
+    }
+}

@@ -1,0 +1,70 @@
+//! Real-trace pipeline: synthesize a Standard Workload Format log (the
+//! format of the Parallel Workloads Archive), import it with a slack
+//! policy, and compare admission algorithms on it.
+//!
+//! ```text
+//! cargo run --example swf_pipeline
+//! ```
+
+use cslack::prelude::*;
+use cslack::workloads::swf::{parse_swf, swf_to_instance, write_swf, SwfImport, SwfJob};
+use cslack::workloads::SlackLaw;
+
+fn main() {
+    // 1. Synthesize a small cluster log (in a real deployment this is a
+    //    file from the archive).
+    let mut jobs = Vec::new();
+    let mut submit = 0.0;
+    for i in 0..200 {
+        submit += 120.0 + (i % 7) as f64 * 90.0; // seconds between submits
+        jobs.push(SwfJob {
+            job_number: i + 1,
+            submit,
+            run_time: 600.0 + ((i * 37) % 11) as f64 * 900.0, // 10–160 min
+            processors: 1 + (i % 4),
+        });
+    }
+    let swf_text = write_swf(&jobs);
+    println!("synthesized SWF log: {} lines", swf_text.lines().count());
+
+    // 2. Parse and import with a slack policy (the paper's model needs
+    //    deadlines; SWF has none, so they are drawn per-job in
+    //    [eps, 1.0] on top of the system slack eps).
+    let parsed = parse_swf(&swf_text).expect("well-formed SWF");
+    let m = 8;
+    let eps = 0.15;
+    let import = SwfImport {
+        slack: SlackLaw::UniformIn { max: 1.0 },
+        procs_scale: true, // volume = runtime * processors
+        ..SwfImport::new(m, eps, 42)
+    };
+    let inst = swf_to_instance(&parsed, &import).expect("import");
+    println!(
+        "imported {} jobs onto m = {m}, eps = {eps}: volume {:.1} machine-hours",
+        inst.len(),
+        inst.total_load()
+    );
+
+    // 3. Compare the admission policies on the imported trace.
+    let ceiling = cslack::opt::flow::preemptive_load_bound(&inst);
+    println!("preemptive ceiling: {ceiling:.1}");
+    println!();
+    for mk in ["threshold", "greedy"] {
+        let mut alg: Box<dyn OnlineScheduler> = match mk {
+            "threshold" => Box::new(Threshold::new(m, eps)),
+            _ => Box::new(Greedy::new(m)),
+        };
+        let rep = simulate(&inst, alg.as_mut()).expect("clean run");
+        println!(
+            "{:<10} accepted {:>3}/{} jobs, load {:>8.1} ({:.0}% of ceiling)",
+            rep.algorithm,
+            rep.accepted_count(),
+            inst.len(),
+            rep.accepted_load(),
+            100.0 * rep.accepted_load() / ceiling
+        );
+    }
+    println!();
+    println!("tip: `cslack import-swf --file <log> --m 8 --eps 0.15 --out trace.json`");
+    println!("does steps 1-2 for a real archive file from the command line.");
+}

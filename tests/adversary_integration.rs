@@ -1,0 +1,134 @@
+//! Adversary-vs-algorithm integration: the Theorem-1 game against every
+//! algorithm family, cross-checked with the decision-tree algebra.
+
+use cslack::adversary::{run, tree::DecisionTree, AdversaryConfig, StopPhase};
+use cslack::kernel::validate;
+use cslack::prelude::*;
+use cslack::ratio::RatioFn;
+use cslack::sim::sweep::AlgoKind;
+
+/// Every adversary game produces schedules that validate against the
+/// submitted instance, for every algorithm family.
+#[test]
+fn games_validate_for_every_algorithm() {
+    for m in 1..=4 {
+        for &eps in &[0.08, 0.3, 0.9] {
+            for &algo in AlgoKind::ablations().iter().chain(AlgoKind::baselines()) {
+                let mut alg = algo.build(m, eps, 3);
+                if alg.machines() != m {
+                    continue;
+                }
+                let out = run(&AdversaryConfig::new(m, eps), alg.as_mut());
+                validate::assert_valid(&out.instance, &out.online);
+                validate::assert_valid(&out.instance, &out.witness);
+                assert!(
+                    out.ratio >= 1.0 - 1e-9,
+                    "{algo:?} m={m} eps={eps}: ratio {} < 1",
+                    out.ratio
+                );
+            }
+        }
+    }
+}
+
+/// The reactive game against Threshold lands on a leaf of the decision
+/// tree, and the measured ratio matches that leaf's algebraic value.
+#[test]
+fn game_outcome_matches_tree_leaf_algebra() {
+    for m in 1..=4 {
+        for &eps in &[0.05, 0.25, 0.6, 1.0] {
+            let out = run(&AdversaryConfig::new(m, eps), &mut Threshold::new(m, eps));
+            let params = RatioFn::new(m).eval(eps);
+            let algebraic = match out.stop {
+                StopPhase::Phase2 { u } => cslack::adversary::tree::phase2_leaf_ratio(m, u),
+                StopPhase::Phase3 { u, h, .. } => {
+                    cslack::adversary::tree::phase3_leaf_ratio(&params, u, h)
+                }
+                StopPhase::RejectedJ1 => panic!("Threshold never rejects J1"),
+            };
+            assert!(
+                (out.ratio - algebraic).abs() < 0.02 * algebraic,
+                "m={m} eps={eps}: game {} vs tree {algebraic}",
+                out.ratio
+            );
+        }
+    }
+}
+
+/// The tree's minimax value is c; Threshold achieves (does not exceed)
+/// it for k <= 3 — Theorems 1 + 2 working together.
+#[test]
+fn threshold_plays_the_minimax_strategy() {
+    for m in 1..=3 {
+        for &eps in &[0.1, 0.4, 1.0] {
+            let tree = DecisionTree::build(m, eps);
+            let out = run(&AdversaryConfig::new(m, eps), &mut Threshold::new(m, eps));
+            let minimax = tree.min_leaf_ratio();
+            assert!(
+                out.ratio <= minimax * 1.02,
+                "m={m} eps={eps}: Threshold forced past minimax ({} > {minimax})",
+                out.ratio
+            );
+        }
+    }
+}
+
+/// Under the adversary, greedy's forced ratio scales like 1/eps while
+/// Threshold's scales like c(eps, m) — the gap widens as eps shrinks.
+#[test]
+fn greedy_gap_widens_with_shrinking_slack() {
+    let m = 3;
+    let mut prev_gap = 0.0;
+    for &eps in &[0.4, 0.2, 0.1, 0.05] {
+        let cfg = AdversaryConfig::new(m, eps);
+        let t = run(&cfg, &mut Threshold::new(m, eps)).ratio;
+        let g = run(&cfg, &mut Greedy::new(m)).ratio;
+        let gap = g / t;
+        assert!(
+            gap >= prev_gap * 0.95,
+            "eps={eps}: gap {gap} stopped growing (prev {prev_gap})"
+        );
+        prev_gap = gap;
+    }
+    assert!(prev_gap > 2.0, "greedy should be at least 2x worse by eps=0.05");
+}
+
+/// Adversary beta controls precision: smaller beta => closer to c.
+#[test]
+fn beta_controls_forced_ratio_precision() {
+    let m = 2;
+    let eps = 0.3;
+    let c = RatioFn::new(m).lower_bound(eps);
+    let mut errs = Vec::new();
+    for &beta in &[1e-2, 1e-4] {
+        let cfg = AdversaryConfig {
+            beta,
+            ..AdversaryConfig::new(m, eps)
+        };
+        let out = run(&cfg, &mut Threshold::new(m, eps));
+        errs.push((out.ratio - c).abs());
+    }
+    assert!(
+        errs[1] < errs[0],
+        "smaller beta should tighten the game: {errs:?}"
+    );
+    assert!(errs[1] < 1e-3 * c);
+}
+
+/// The instance the adversary builds is a legal online input: releases
+/// are non-decreasing and every job satisfies the slack condition.
+#[test]
+fn adversary_instances_are_legal_inputs() {
+    for m in 1..=5 {
+        let eps = 0.15;
+        let out = run(&AdversaryConfig::new(m, eps), &mut Greedy::new(m));
+        let jobs = out.instance.jobs();
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for j in jobs {
+            assert!(j.satisfies_slack(eps));
+            assert!(j.proc_time > 0.0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Immediate-commitment contract tests: commitments are decided at
+//! submission, never revised, and enforced against hostile schedulers.
+
+use cslack::algorithms::{Decision, OnlineScheduler};
+use cslack::kernel::validate::extends_without_revision;
+use cslack::prelude::*;
+use cslack::workloads::WorkloadSpec;
+
+/// Replay an instance step by step, snapshotting the schedule after
+/// every decision: each snapshot must extend the previous one without
+/// revising any commitment (the definition of immediate commitment).
+#[test]
+fn threshold_never_revises_a_commitment() {
+    let inst = WorkloadSpec::default_spec(3, 0.3, 80, 21).generate().unwrap();
+    let mut alg = Threshold::for_instance(&inst);
+    let mut schedule = Schedule::new(inst.machines());
+    let mut prev = schedule.clone();
+    for job in inst.jobs() {
+        if let Decision::Accept { machine, start } = alg.offer(job) {
+            schedule.commit(*job, machine, start).expect("feasible");
+        }
+        assert!(
+            extends_without_revision(&prev, &schedule),
+            "schedule revised at {}",
+            job.id
+        );
+        prev = schedule.clone();
+    }
+}
+
+/// The decision must be made with information available at submission:
+/// rerunning the algorithm on any prefix of the stream reproduces the
+/// prefix of the decisions (online-ness / no lookahead).
+#[test]
+fn decisions_depend_only_on_the_past() {
+    let inst = WorkloadSpec::default_spec(2, 0.5, 30, 4).generate().unwrap();
+    let full = cslack::sim::simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+    for cut in [1usize, 7, 15, 29] {
+        let mut alg = Threshold::for_instance(&inst);
+        for (i, job) in inst.jobs().iter().take(cut).enumerate() {
+            let d = alg.offer(job);
+            assert_eq!(
+                d.is_accept(),
+                full.decisions[i].accepted,
+                "cut={cut}, job {i}: decision changed with a shorter future"
+            );
+        }
+    }
+}
+
+/// A scheduler that tries to move an already-committed job is refused by
+/// the authoritative schedule.
+#[test]
+fn double_commitment_is_refused() {
+    let inst = InstanceBuilder::new(1, 0.5)
+        .job(Time::ZERO, 1.0, Time::new(10.0))
+        .build()
+        .unwrap();
+    let job = inst.jobs()[0];
+    let mut schedule = Schedule::new(1);
+    schedule.commit(job, MachineId(0), Time::ZERO).unwrap();
+    // "Revision" attempt: same job, later start.
+    let err = schedule.commit(job, MachineId(0), Time::new(5.0));
+    assert!(err.is_err(), "revision must be refused");
+    // The original commitment is untouched.
+    assert_eq!(
+        schedule.commitment_of(JobId(0)).unwrap().start,
+        Time::ZERO
+    );
+}
+
+/// A hostile scheduler accepting everything at slot 0 is caught by the
+/// simulator on the first infeasible commitment, not silently absorbed.
+#[test]
+fn hostile_scheduler_is_rejected_by_the_simulator() {
+    struct Stacker;
+    impl OnlineScheduler for Stacker {
+        fn name(&self) -> &'static str {
+            "stacker"
+        }
+        fn machines(&self) -> usize {
+            2
+        }
+        fn offer(&mut self, _job: &Job) -> Decision {
+            Decision::Accept {
+                machine: MachineId(0),
+                start: Time::ZERO,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+    let inst = InstanceBuilder::new(2, 0.5)
+        .job(Time::ZERO, 1.0, Time::new(10.0))
+        .job(Time::ZERO, 1.0, Time::new(10.0))
+        .build()
+        .unwrap();
+    assert!(cslack::sim::simulate(&inst, &mut Stacker).is_err());
+}
+
+/// Reset restores complete determinism: run, reset, run again — byte-
+/// identical decisions (no hidden state leaks across runs).
+#[test]
+fn reset_gives_identical_reruns() {
+    let inst = WorkloadSpec::default_spec(3, 0.2, 50, 77).generate().unwrap();
+    let mut alg = Threshold::for_instance(&inst);
+    let first = cslack::sim::simulate(&inst, &mut alg).unwrap();
+    alg.reset();
+    let second = cslack::sim::simulate(&inst, &mut alg).unwrap();
+    assert_eq!(first.decisions, second.decisions);
+    assert_eq!(first.accepted_load(), second.accepted_load());
+}

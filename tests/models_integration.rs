@@ -1,0 +1,156 @@
+//! Cross-model integration: the commitment/machine-model hierarchy on
+//! shared scenario workloads.
+
+use cslack::algorithms::delayed::DelayedGreedy;
+use cslack::algorithms::migration::MigratoryAdmission;
+use cslack::algorithms::notification::NotificationEdf;
+use cslack::algorithms::preemptive::PreemptiveEdf;
+use cslack::prelude::*;
+use cslack::workloads::scenarios;
+
+fn model_loads(inst: &cslack::kernel::Instance) -> Vec<(&'static str, f64)> {
+    let m = inst.machines();
+    let eps = inst.slack();
+    let mut out = Vec::new();
+
+    let rep = simulate(inst, &mut Threshold::new(m, eps)).unwrap();
+    out.push(("threshold", rep.accepted_load()));
+    let rep = simulate(inst, &mut Greedy::new(m)).unwrap();
+    out.push(("greedy", rep.accepted_load()));
+
+    let mut d = DelayedGreedy::new(m, eps);
+    for j in inst.jobs() {
+        d.offer(j);
+    }
+    out.push(("delayed", d.finish().accepted_load()));
+
+    let mut n = NotificationEdf::new(m);
+    for j in inst.jobs() {
+        let _ = cslack::algorithms::OnlineScheduler::offer(&mut n, j);
+    }
+    out.push(("notification", n.accepted_load()));
+
+    let mut p = PreemptiveEdf::new(m);
+    for j in inst.jobs() {
+        p.offer(j);
+    }
+    out.push(("preemptive", p.accepted_load()));
+
+    let mut mig = MigratoryAdmission::new(m);
+    for j in inst.jobs() {
+        mig.offer(j);
+    }
+    out.push(("migration", mig.accepted_load()));
+    out
+}
+
+/// Every model's load stays within the preemptive flow ceiling, on
+/// every scenario family.
+#[test]
+fn all_models_respect_the_flow_ceiling() {
+    for (name, inst) in [
+        ("iaas", scenarios::iaas_mix(3, 0.2, 80, 2)),
+        ("flood", scenarios::small_job_flood(3, 0.2, 2)),
+        ("bursty", scenarios::bursty_heavy_tail(3, 0.2, 80, 2)),
+        ("diurnal", scenarios::diurnal(3, 0.2, 120, 30.0, 2)),
+    ] {
+        let ceiling = cslack::opt::flow::preemptive_load_bound(&inst);
+        for (model, load) in model_loads(&inst) {
+            assert!(
+                load <= ceiling + 1e-6 * ceiling.max(1.0),
+                "{name}/{model}: load {load} above ceiling {ceiling}"
+            );
+            assert!(load >= 0.0);
+        }
+    }
+}
+
+/// The non-preemptive models produce kernel-valid schedules on shared
+/// inputs (the preemptive ones are validated by their own run types).
+#[test]
+fn nonpreemptive_models_produce_valid_schedules() {
+    let inst = scenarios::diurnal(2, 0.3, 100, 25.0, 5);
+    let eps = inst.slack();
+
+    let rep = simulate(&inst, &mut Threshold::new(2, eps)).unwrap();
+    cslack::kernel::validate::assert_valid(&inst, &rep.schedule);
+
+    let mut d = DelayedGreedy::new(2, eps);
+    for j in inst.jobs() {
+        d.offer(j);
+    }
+    cslack::kernel::validate::assert_valid(&inst, &d.finish());
+
+    let mut n = NotificationEdf::new(2);
+    for j in inst.jobs() {
+        let _ = cslack::algorithms::OnlineScheduler::offer(&mut n, j);
+    }
+    cslack::kernel::validate::assert_valid(&inst, &n.finish());
+}
+
+/// On the flood trap, the hierarchy tells the paper's story: Threshold
+/// (admission discipline) and delayed commitment (displacement) both
+/// beat plain greedy.
+#[test]
+fn flood_trap_separates_the_models() {
+    let inst = scenarios::small_job_flood(4, 0.1, 9);
+    let loads: std::collections::HashMap<&str, f64> =
+        model_loads(&inst).into_iter().collect();
+    assert!(
+        loads["threshold"] > 2.0 * loads["greedy"],
+        "threshold {} vs greedy {}",
+        loads["threshold"],
+        loads["greedy"]
+    );
+    assert!(
+        loads["delayed"] > 2.0 * loads["greedy"],
+        "delayed {} vs greedy {}",
+        loads["delayed"],
+        loads["greedy"]
+    );
+}
+
+/// Migration accepts at least as much as every other model on the
+/// capacity-exact synthetic instance where only migration can pack the
+/// work (3 jobs of 2 units, deadline 3, 2 machines).
+#[test]
+fn migration_wins_the_capacity_exact_instance() {
+    let inst = InstanceBuilder::new(2, 0.5)
+        .job(Time::ZERO, 2.0, Time::new(3.0))
+        .job(Time::ZERO, 2.0, Time::new(3.0))
+        .job(Time::ZERO, 2.0, Time::new(3.0))
+        .build()
+        .unwrap();
+    let loads: std::collections::HashMap<&str, f64> =
+        model_loads(&inst).into_iter().collect();
+    assert!((loads["migration"] - 6.0).abs() < 1e-6, "{loads:?}");
+    for (model, load) in &loads {
+        if *model != "migration" {
+            assert!(
+                *load <= 4.0 + 1e-9,
+                "{model} cannot exceed two whole jobs, got {load}"
+            );
+        }
+    }
+}
+
+/// Timeline analyses agree with the report's totals on a busy run.
+#[test]
+fn timelines_are_consistent_with_reports() {
+    use cslack::sim::analysis::{accepted_load_timeline, occupancy_timeline};
+    let inst = scenarios::bursty_heavy_tail(3, 0.4, 90, 4);
+    let rep = simulate(&inst, &mut Greedy::new(3)).unwrap();
+    let occ = occupancy_timeline(&rep);
+    // Occupancy integrates to the executed volume.
+    let mut integral = 0.0;
+    for w in occ.times.windows(2) {
+        integral += occ.at(w[0]) * (w[1] - w[0]);
+    }
+    assert!(
+        (integral - rep.accepted_load()).abs() < 1e-6 * rep.accepted_load(),
+        "occupancy integral {integral} vs load {}",
+        rep.accepted_load()
+    );
+    let series = accepted_load_timeline(&inst, &rep);
+    assert!((series.values.last().unwrap() - rep.accepted_load()).abs() < 1e-9);
+}

@@ -1,0 +1,48 @@
+//! Trace persistence integration: a saved instance replays to identical
+//! results after a round trip through JSON.
+
+use cslack::prelude::*;
+use cslack::workloads::{scenarios, trace, WorkloadSpec};
+
+#[test]
+fn saved_trace_replays_identically() {
+    let dir = std::env::temp_dir().join("cslack-it-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.json");
+
+    let inst = WorkloadSpec::default_spec(3, 0.25, 64, 99).generate().unwrap();
+    let before = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
+
+    trace::save(&inst, &path).unwrap();
+    let loaded = trace::load(&path).unwrap();
+    assert_eq!(loaded, inst);
+
+    let after = simulate(&loaded, &mut Threshold::for_instance(&loaded)).unwrap();
+    assert_eq!(before.decisions, after.decisions);
+    assert_eq!(before.accepted_load(), after.accepted_load());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn scenario_instances_round_trip_through_strings() {
+    for inst in [
+        scenarios::smoke(2, 0.5),
+        scenarios::iaas_mix(3, 0.2, 40, 1),
+        scenarios::bursty_heavy_tail(2, 0.4, 30, 2),
+    ] {
+        let s = trace::to_string(&inst).unwrap();
+        assert_eq!(trace::from_string(&s).unwrap(), inst);
+    }
+}
+
+#[test]
+fn adversary_instances_round_trip_too() {
+    use cslack::adversary::{run, AdversaryConfig};
+    let out = run(&AdversaryConfig::new(2, 0.3), &mut Greedy::new(2));
+    let s = trace::to_string(&out.instance).unwrap();
+    let loaded = trace::from_string(&s).unwrap();
+    assert_eq!(loaded, out.instance);
+    // Replaying greedy on the loaded instance reproduces the same load.
+    let replay = simulate(&loaded, &mut Greedy::new(2)).unwrap();
+    assert!((replay.accepted_load() - out.online_load()).abs() < 1e-9);
+}
