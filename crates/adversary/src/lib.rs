@@ -30,8 +30,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod script;
-pub mod yao;
 pub mod tree;
+pub mod yao;
 
 use cslack_algorithms::{Decision, OnlineScheduler};
 use cslack_kernel::{Instance, InstanceBuilder, MachineId, Schedule, Time};
@@ -65,7 +65,10 @@ impl AdversaryConfig {
     /// construction while keeping `RTOL * d1 << beta`.
     pub fn new(m: usize, eps: f64) -> AdversaryConfig {
         assert!(m >= 1);
-        assert!(eps > 0.0 && eps <= 1.0, "the construction needs eps in (0,1]");
+        assert!(
+            eps > 0.0 && eps <= 1.0,
+            "the construction needs eps in (0,1]"
+        );
         let beta = 1e-4;
         let d1 = (4.0 + 4.0 * (1.0 + eps) / eps).max(16.0);
         debug_assert!(
@@ -176,11 +179,11 @@ pub fn run(config: &AdversaryConfig, algorithm: &mut dyn OnlineScheduler) -> Adv
 
     // Convenience: submit one job, record the decision authoritatively.
     let submit = |builder: &mut InstanceBuilder,
-                      online: &mut Schedule,
-                      algorithm: &mut dyn OnlineScheduler,
-                      release: f64,
-                      p: f64,
-                      d: f64|
+                  online: &mut Schedule,
+                  algorithm: &mut dyn OnlineScheduler,
+                  release: f64,
+                  p: f64,
+                  d: f64|
      -> Option<(MachineId, Time)> {
         let id = builder.push(Time::new(release), p, Time::new(d));
         let job = cslack_kernel::Job::new(id, Time::new(release), p, Time::new(d));
@@ -196,14 +199,8 @@ pub fn run(config: &AdversaryConfig, algorithm: &mut dyn OnlineScheduler) -> Adv
     };
 
     // ---- Phase 1 ------------------------------------------------------
-    let Some((_, start1)) = submit(
-        &mut builder,
-        &mut online,
-        algorithm,
-        0.0,
-        1.0,
-        config.d1,
-    ) else {
+    let Some((_, start1)) = submit(&mut builder, &mut online, algorithm, 0.0, 1.0, config.d1)
+    else {
         // Rejected J_1: unbounded ratio; witness = run J_1 alone.
         let instance = builder.build().expect("adversary instance is valid");
         let mut witness = Schedule::new(m);
@@ -233,14 +230,7 @@ pub fn run(config: &AdversaryConfig, algorithm: &mut dyn OnlineScheduler) -> Adv
         p2.push(p);
         let mut accepted = None;
         for _ in 0..(2 * m) {
-            if let Some((_, s)) = submit(
-                &mut builder,
-                &mut online,
-                algorithm,
-                t,
-                p,
-                t + 2.0 * p,
-            ) {
+            if let Some((_, s)) = submit(&mut builder, &mut online, algorithm, t, p, t + 2.0 * p) {
                 accepted = Some(s.raw());
                 break;
             }
@@ -261,9 +251,8 @@ pub fn run(config: &AdversaryConfig, algorithm: &mut dyn OnlineScheduler) -> Adv
             }
         }
     }
-    let u = u.expect(
-        "phase 2 must stop within m subphases: each acceptance occupies a fresh machine",
-    );
+    let u =
+        u.expect("phase 2 must stop within m subphases: each acceptance occupies a fresh machine");
     let p2u = p2[u - 1];
 
     // Phase 2 verdict: u < k ends the game (Lemma 2).
@@ -482,8 +471,7 @@ mod tests {
             StopPhase::Phase3 { u, h, .. } => {
                 let params = RatioFn::new(m).eval(eps);
                 // Witness = 1 + m * p2u + m * p3 with p2u ~ 1.
-                let expect =
-                    1.0 + m as f64 * (1.0 + (params.f(h) - 1.0)) * 1.0;
+                let expect = 1.0 + m as f64 * (1.0 + (params.f(h) - 1.0)) * 1.0;
                 assert!(
                     (out.witness_load() - expect).abs() < 0.05 * expect,
                     "witness {} vs lemma {} (u={u}, h={h})",

@@ -87,9 +87,7 @@ impl DecisionTree {
     /// best-playing algorithm is forced into. Theorem 1 says this equals
     /// `c(eps, m)`.
     pub fn min_leaf_ratio(&self) -> f64 {
-        self.leaf_ratios()
-            .into_iter()
-            .fold(f64::INFINITY, f64::min)
+        self.leaf_ratios().into_iter().fold(f64::INFINITY, f64::min)
     }
 
     /// Renders the tree as indented ASCII.
@@ -147,10 +145,7 @@ pub fn phase2_leaf_ratio(m: usize, u: usize) -> f64 {
 /// Lemma-4 leaf ratio `(1 + m f_h) / (u + sum_{i=u}^{h-1} (f_i - 1))`.
 pub fn phase3_leaf_ratio(params: &Params, u: usize, h: usize) -> f64 {
     let m = params.m as f64;
-    let denom: f64 = u as f64
-        + (u..h)
-            .map(|i| params.f(i) - 1.0)
-            .sum::<f64>();
+    let denom: f64 = u as f64 + (u..h).map(|i| params.f(i) - 1.0).sum::<f64>();
     (1.0 + m * params.f(h)) / denom
 }
 

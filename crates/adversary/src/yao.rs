@@ -193,7 +193,10 @@ mod tests {
             .fold((f64::INFINITY, 0.0_f64), |(l, h), &r| (l.min(r), h.max(r)));
         // The geometric tail makes later strategies slightly better; the
         // spread stays within the tail factor 1/(1 - 1/g).
-        assert!(hi / lo < 1.0 / (1.0 - 1.0 / fam.growth()) + 0.2, "{ratios:?}");
+        assert!(
+            hi / lo < 1.0 / (1.0 - 1.0 / fam.growth()) + 0.2,
+            "{ratios:?}"
+        );
     }
 
     #[test]
@@ -246,8 +249,7 @@ mod tests {
         let seeds = 64;
         let mut mean_load = 0.0;
         for seed in 0..seeds {
-            mean_load +=
-                fam.expected_load(|| Box::new(RandomizedClassifySelect::new(eps, seed)));
+            mean_load += fam.expected_load(|| Box::new(RandomizedClassifySelect::new(eps, seed)));
         }
         mean_load /= seeds as f64;
         let ratio = fam.expected_opt() / mean_load.max(1e-12);
@@ -270,7 +272,10 @@ mod tests {
             assert!(lb > prev, "bound should grow as eps shrinks");
             // Within a constant of (1 - 1/e) * levels.
             let target = (1.0 - 1.0 / std::f64::consts::E) * levels as f64;
-            assert!(lb > 0.5 * target && lb < 2.0 * target, "lb={lb} target={target}");
+            assert!(
+                lb > 0.5 * target && lb < 2.0 * target,
+                "lb={lb} target={target}"
+            );
             prev = lb;
         }
     }

@@ -158,11 +158,7 @@ impl DelayedGreedy {
 
 /// Machines that can complete `job` by its deadline when started after
 /// their outstanding load, most-loaded first (best fit order).
-fn park_candidates(
-    park: &MachinePark,
-    job: &Job,
-    now: Time,
-) -> Vec<cslack_kernel::MachineId> {
+fn park_candidates(park: &MachinePark, job: &Job, now: Time) -> Vec<cslack_kernel::MachineId> {
     park.ranked(now)
         .into_iter()
         .filter(|rm| {
@@ -217,8 +213,8 @@ mod tests {
         // delayed commitment (delta = eps) keeps the big one.
         let eps = 0.5;
         let small = Job::tight(JobId(0), Time::ZERO, 1.0, eps); // window [0, 1.5]
-        // Big job whose window truly conflicts with a started small job:
-        // after [0, 1) the machine frees at 1, but 1 + 2 > 2.9.
+                                                                // Big job whose window truly conflicts with a started small job:
+                                                                // after [0, 1) the machine frees at 1, but 1 + 2 > 2.9.
         let big = job(1, 0.1, 2.0, 2.9);
         let mut delayed = DelayedGreedy::new(1, eps);
         delayed.offer(&small); // decision due at 0.5
@@ -277,7 +273,10 @@ mod tests {
         let c_tight = s.commitment_of(JobId(1)).unwrap();
         let c_long = s.commitment_of(JobId(0)).unwrap();
         assert!(c_tight.start < c_long.start);
-        assert!(c_long.start.raw() >= 4.0 - 1e-9, "long decided at its window end");
+        assert!(
+            c_long.start.raw() >= 4.0 - 1e-9,
+            "long decided at its window end"
+        );
     }
 
     #[test]

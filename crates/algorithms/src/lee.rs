@@ -106,10 +106,9 @@ mod tests {
         let d0 = a.offer(&job(0, 0.0, 1.0, 100.0));
         let d1 = a.offer(&job(1, 0.0, 1.5, 100.0)); // same class [1, 2)
         match (d0, d1) {
-            (
-                Decision::Accept { machine: m0, .. },
-                Decision::Accept { machine: m1, .. },
-            ) => assert_eq!(m0, m1),
+            (Decision::Accept { machine: m0, .. }, Decision::Accept { machine: m1, .. }) => {
+                assert_eq!(m0, m1)
+            }
             _ => panic!("both should be accepted"),
         }
     }
@@ -154,8 +153,8 @@ mod tests {
         let mut a = LeeClassify::new(2, 0.25); // g = 2
         a.offer(&job(0, 0.0, 1.0, 100.0));
         a.offer(&job(1, 0.0, 1.0, 100.0)); // same machine, load 2
-        // Tight same-class job can no longer make it on its machine,
-        // even though the other machine is idle: reservation forbids it.
+                                           // Tight same-class job can no longer make it on its machine,
+                                           // even though the other machine is idle: reservation forbids it.
         let tight = job(2, 0.0, 1.0, 1.5);
         assert_eq!(a.offer(&tight), Decision::Reject);
     }
@@ -163,7 +162,7 @@ mod tests {
     #[test]
     fn class_wrapping_is_modular() {
         let a = LeeClassify::new(2, 0.25); // g = 2, m = 2
-        // Class index of p = 8 relative to base 1: log2(8) = 3 -> 3 mod 2.
+                                           // Class index of p = 8 relative to base 1: log2(8) = 3 -> 3 mod 2.
         assert_eq!(a.class_of(8.0, 1.0), MachineId(1));
         // Smaller than base wraps negatively: log2(0.25) = -2 -> 0.
         assert_eq!(a.class_of(0.25, 1.0), MachineId(0));

@@ -77,7 +77,11 @@ impl Decision {
 /// order. The returned [`Decision`] is binding: the simulator commits it
 /// to the authoritative [`cslack_kernel::Schedule`] and verifies that the
 /// algorithm never revises or violates it.
-pub trait OnlineScheduler {
+///
+/// Schedulers are `Send` so that drivers may move them onto worker
+/// threads (the sharded service engine runs one scheduler per shard
+/// thread); they still receive offers strictly sequentially.
+pub trait OnlineScheduler: Send {
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 

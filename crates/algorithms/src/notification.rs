@@ -192,7 +192,7 @@ mod tests {
         assert!(a.offer(&job(0, 0.0, 1.0, 2.0)).is_accept());
         assert!(a.offer(&job(1, 0.0, 1.0, 2.0)).is_accept());
         assert!(a.offer(&job(2, 0.0, 1.0, 2.0)).is_accept()); // 2nd slot on a machine
-        // EDF re-ordering still fits a tighter job: it runs first.
+                                                              // EDF re-ordering still fits a tighter job: it runs first.
         assert!(a.offer(&job(3, 0.0, 1.0, 1.5)).is_accept());
         // ...but capacity is exhausted: 5 units by deadline 2 > 2 * 2.
         assert!(!a.offer(&job(4, 0.0, 1.0, 2.0)).is_accept());

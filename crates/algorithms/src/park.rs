@@ -117,8 +117,14 @@ mod tests {
     fn earliest_start_respects_frontier_and_now() {
         let mut p = MachinePark::new(1);
         p.commit(MachineId(0), Time::ZERO, 2.0);
-        assert_eq!(p.earliest_start(MachineId(0), Time::new(1.0)), Time::new(2.0));
-        assert_eq!(p.earliest_start(MachineId(0), Time::new(5.0)), Time::new(5.0));
+        assert_eq!(
+            p.earliest_start(MachineId(0), Time::new(1.0)),
+            Time::new(2.0)
+        );
+        assert_eq!(
+            p.earliest_start(MachineId(0), Time::new(5.0)),
+            Time::new(5.0)
+        );
     }
 
     #[test]

@@ -149,8 +149,8 @@ impl PreemptiveEdf {
     /// irrevocable (the job *will* be fully served by its deadline).
     pub fn offer(&mut self, job: &Job) -> Option<MachineId> {
         self.run_to(job.release);
-        let idx = (0..self.machines.len())
-            .find(|&i| self.machines[i].feasible_with(job, self.now))?;
+        let idx =
+            (0..self.machines.len()).find(|&i| self.machines[i].feasible_with(job, self.now))?;
         self.machines[idx].active.push(ActiveJob {
             id: job.id,
             deadline: job.deadline,

@@ -103,11 +103,8 @@ impl OnlineScheduler for RandomizedClassifySelect {
 
     fn reset(&mut self) {
         // Fresh run, fresh draw from the same seed for reproducibility.
-        *self = RandomizedClassifySelect::with_virtual_machines(
-            self.eps,
-            self.virtual_m,
-            self.seed,
-        );
+        *self =
+            RandomizedClassifySelect::with_virtual_machines(self.eps, self.virtual_m, self.seed);
     }
 }
 
@@ -123,7 +120,10 @@ mod tests {
     #[test]
     fn virtual_machine_count_scales_with_log_inverse_eps() {
         assert_eq!(RandomizedClassifySelect::default_virtual_machines(0.25), 2);
-        assert_eq!(RandomizedClassifySelect::default_virtual_machines(1.0 / 1024.0), 10);
+        assert_eq!(
+            RandomizedClassifySelect::default_virtual_machines(1.0 / 1024.0),
+            10
+        );
         assert_eq!(RandomizedClassifySelect::default_virtual_machines(1.0), 2);
     }
 

@@ -234,12 +234,7 @@ impl Threshold {
     /// Builds Threshold for `m` machines and slack `eps`.
     pub fn new(m: usize, eps: f64) -> Threshold {
         Threshold {
-            engine: ThresholdEngine::with_policy(
-                "threshold",
-                m,
-                eps,
-                ThresholdPolicy::default(),
-            ),
+            engine: ThresholdEngine::with_policy("threshold", m, eps, ThresholdPolicy::default()),
         }
     }
 
@@ -379,7 +374,7 @@ mod tests {
         let mut t = Threshold::new(2, 0.5);
         assert_eq!(t.phase_k(), 2);
         t.offer(&job(0, 0.0, 10.0, 100.0)); // load M? <- 10
-        // Second machine idle => dlim = 0: everything is accepted.
+                                            // Second machine idle => dlim = 0: everything is accepted.
         assert_eq!(t.current_dlim(Time::ZERO), Time::ZERO);
         assert!(t.offer(&job(1, 0.0, 1.0, 1.5)).is_accept());
         // Now both loaded: dlim = 1 * 3 = 3 from the less loaded machine.
@@ -393,8 +388,8 @@ mod tests {
         t.offer(&job(0, 0.0, 4.0, 100.0)); // M0 load 4
         t.offer(&job(1, 0.0, 1.0, 100.0)); // best fit would pick the
                                            // loaded machine if feasible
-        // Job 1: deadline 100, start after load 4 => completes at 5: fits
-        // on the most loaded machine.
+                                           // Job 1: deadline 100, start after load 4 => completes at 5: fits
+                                           // on the most loaded machine.
         let c = t.engine.park.frontier(MachineId(0));
         assert_eq!(c, Time::new(5.0), "both jobs should stack on M0");
     }
@@ -403,8 +398,8 @@ mod tests {
     fn best_fit_falls_through_to_less_loaded_machine() {
         let mut t = Threshold::new(2, 1.0);
         t.offer(&job(0, 0.0, 4.0, 100.0)); // M0 load 4
-        // Deadline 3 can't wait for load 4 — must go to idle M1. The
-        // threshold is 0 (idle machine present), so it is accepted.
+                                           // Deadline 3 can't wait for load 4 — must go to idle M1. The
+                                           // threshold is 0 (idle machine present), so it is accepted.
         match t.offer(&job(1, 0.0, 1.0, 3.0)) {
             Decision::Accept { machine, start } => {
                 assert_eq!(machine, MachineId(1));

@@ -1,0 +1,43 @@
+//! End-to-end throughput of the sharded admission engine: one engine
+//! lifecycle (start, submit every job, drain, merge) per iteration,
+//! swept over shard counts so single-shard vs multi-shard scaling is
+//! visible in one report.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cslack_algorithms::{OnlineScheduler, Threshold};
+use cslack_engine::{Engine, EngineConfig};
+use cslack_workloads::WorkloadSpec;
+
+fn engine_throughput(c: &mut Criterion) {
+    let m = 8;
+    let eps = 0.25;
+    let n = 20_000;
+    let instance = WorkloadSpec::default_spec(m, eps, n, 42)
+        .generate()
+        .expect("bench workload");
+    let mut group = c.benchmark_group("engine_20k_jobs");
+    group.throughput(Throughput::Elements(n as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}-shard")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let builder = |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> {
+                        Box::new(Threshold::new(g, eps))
+                    };
+                    let engine =
+                        Engine::start(m, EngineConfig::new(shards), builder).expect("engine start");
+                    for job in instance.jobs() {
+                        engine.submit(*job).expect("submit");
+                    }
+                    black_box(engine.finish().expect("drain"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

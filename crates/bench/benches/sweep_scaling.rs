@@ -13,7 +13,11 @@ fn sweep_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_96_cells");
     group.sample_size(10);
     for &threads in &[1usize, 0] {
-        let label = if threads == 0 { "all-cores" } else { "1-thread" };
+        let label = if threads == 0 {
+            "all-cores"
+        } else {
+            "1-thread"
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(t)

@@ -54,7 +54,12 @@ fn main() {
     // The adversarial instance (generated against Threshold, replayed
     // for greedy too).
     let adv = adversary_run(&AdversaryConfig::new(m, eps), &mut Threshold::new(m, eps));
-    analyze(&mut table, "adversary", &adv.instance, &mut Threshold::new(m, eps));
+    analyze(
+        &mut table,
+        "adversary",
+        &adv.instance,
+        &mut Threshold::new(m, eps),
+    );
     analyze(&mut table, "adversary", &adv.instance, &mut Greedy::new(m));
 
     for (name, inst) in [

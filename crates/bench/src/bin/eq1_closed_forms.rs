@@ -37,7 +37,13 @@ fn main() {
     // Equation (1), both phases and the transition point 2/7.
     let r2 = RatioFn::new(2);
     for &eps in &[0.01, 0.1, 0.2, 2.0 / 7.0, 0.3, 0.5, 0.75, 1.0] {
-        check("m=2 (Eq. 1)", 2, eps, r2.lower_bound(eps), closed::c_m2(eps));
+        check(
+            "m=2 (Eq. 1)",
+            2,
+            eps,
+            r2.lower_bound(eps),
+            closed::c_m2(eps),
+        );
     }
 
     // Last three phases for m up to 8.
@@ -76,7 +82,13 @@ fn main() {
     let at = 2.0 / 7.0;
     let sqrt_branch = 2.0 * (25.0 / 16.0_f64 + 1.0 / at).sqrt() + 0.5;
     let lin_branch = 1.5 + 1.0 / at;
-    check("Eq.1 branch agreement at 2/7", 2, at, sqrt_branch, lin_branch);
+    check(
+        "Eq.1 branch agreement at 2/7",
+        2,
+        at,
+        sqrt_branch,
+        lin_branch,
+    );
 
     // The corner value recursion itself: eps_{1,2} = 2/7 analytically.
     check(

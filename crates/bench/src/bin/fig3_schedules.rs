@@ -40,7 +40,11 @@ fn main() {
     // Vector renditions of both panels.
     std::fs::write(
         dir.join("fig3_online.svg"),
-        cslack_bench::svg::render_gantt("Fig. 3 — online schedule (Threshold-path)", &out.online, 900.0),
+        cslack_bench::svg::render_gantt(
+            "Fig. 3 — online schedule (Threshold-path)",
+            &out.online,
+            900.0,
+        ),
     )
     .expect("write fig3_online.svg");
     std::fs::write(
@@ -49,7 +53,9 @@ fn main() {
     )
     .expect("write fig3_witness.svg");
 
-    let mut commitments = Table::new(vec!["schedule", "job", "machine", "start", "end", "deadline"]);
+    let mut commitments = Table::new(vec![
+        "schedule", "job", "machine", "start", "end", "deadline",
+    ]);
     for (name, sched) in [("online", &out.online), ("witness", &out.witness)] {
         for c in sched.iter() {
             commitments.row(vec![

@@ -46,7 +46,10 @@ fn main() {
     }
     println!();
     if failures == 0 {
-        println!("all {} experiments regenerated into results/", EXPERIMENTS.len());
+        println!(
+            "all {} experiments regenerated into results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("{failures} experiment(s) failed");
         std::process::exit(1);

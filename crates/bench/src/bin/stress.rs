@@ -13,7 +13,10 @@ use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let n: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
     let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     let eps = 0.25;
 

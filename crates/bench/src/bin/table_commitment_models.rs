@@ -97,10 +97,8 @@ fn main() {
             let shared_loads = loads(shared);
 
             // Random workloads: mean fraction of offered volume.
-            let mut fracs: Vec<(&str, Vec<f64>)> = shared_loads
-                .iter()
-                .map(|(n, _)| (*n, Vec::new()))
-                .collect();
+            let mut fracs: Vec<(&str, Vec<f64>)> =
+                shared_loads.iter().map(|(n, _)| (*n, Vec::new())).collect();
             for &seed in &seeds {
                 let inst = scenarios::bursty_heavy_tail(m, eps, 120, seed);
                 let total = inst.total_load();

@@ -57,7 +57,10 @@ fn main() {
             let mut base_mean = 0.0;
             for &frac in &[0.0, 0.25, 0.5, 1.0] {
                 let delta = frac * eps;
-                let loads: Vec<f64> = seeds.iter().map(|&s| delayed_load(&make(s), delta)).collect();
+                let loads: Vec<f64> = seeds
+                    .iter()
+                    .map(|&s| delayed_load(&make(s), delta))
+                    .collect();
                 let mu = mean(&loads);
                 if frac == 0.0 {
                     base_mean = mu;

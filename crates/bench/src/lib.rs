@@ -124,11 +124,7 @@ pub fn fmt(x: f64) -> String {
 
 /// A crude ASCII line plot with a logarithmic x-axis — enough to see the
 /// shape and phase transitions of Fig. 1 in a terminal.
-pub fn ascii_plot_logx(
-    series: &[(&str, &[(f64, f64)])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_plot_logx(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     assert!(!series.is_empty());
     let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -153,7 +149,12 @@ pub fn ascii_plot_logx(
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "y: {y0:.2} .. {y1:.2}   x (log scale): {:.4} .. {:.4}", x0.exp(), x1.exp());
+    let _ = writeln!(
+        out,
+        "y: {y0:.2} .. {y1:.2}   x (log scale): {:.4} .. {:.4}",
+        x0.exp(),
+        x1.exp()
+    );
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -233,7 +234,9 @@ mod tests {
     #[test]
     fn plot_contains_all_series_glyphs() {
         let s1: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 0.1, i as f64)).collect();
-        let s2: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 0.1, 11.0 - i as f64)).collect();
+        let s2: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64 * 0.1, 11.0 - i as f64))
+            .collect();
         let p = ascii_plot_logx(&[("up", &s1), ("down", &s2)], 40, 10);
         assert!(p.contains('1'));
         assert!(p.contains('2'));

@@ -135,9 +135,7 @@ pub fn render(chart: &Chart, series: &[Series], markers: &[Markers]) -> String {
         }
         t
     } else {
-        (0..=5)
-            .map(|i| x0 + (x1 - x0) * i as f64 / 5.0)
-            .collect()
+        (0..=5).map(|i| x0 + (x1 - x0) * i as f64 / 5.0).collect()
     };
     for &x in &xticks {
         let xx = px(x);
@@ -172,7 +170,13 @@ pub fn render(chart: &Chart, series: &[Series], markers: &[Markers]) -> String {
     for s in series {
         let mut d = String::new();
         for (i, &(x, y)) in s.points.iter().enumerate() {
-            let _ = write!(d, "{}{:.2},{:.2} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+            let _ = write!(
+                d,
+                "{}{:.2},{:.2} ",
+                if i == 0 { "M" } else { "L" },
+                px(x),
+                py(y)
+            );
         }
         let dash = if s.dashed {
             r#" stroke-dasharray="6,4""#
@@ -308,7 +312,9 @@ pub fn render_gantt(title: &str, schedule: &cslack_kernel::Schedule, width: f64)
 }
 
 fn xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn trim(x: f64) -> String {
@@ -337,7 +343,9 @@ mod tests {
             Series {
                 label: "down & dashed".into(),
                 color: "#d62728".into(),
-                points: (1..=20).map(|i| (i as f64 * 0.05, 21.0 - i as f64)).collect(),
+                points: (1..=20)
+                    .map(|i| (i as f64 * 0.05, 21.0 - i as f64))
+                    .collect(),
                 dashed: true,
             },
         ]

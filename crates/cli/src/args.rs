@@ -10,19 +10,36 @@ pub struct Opts {
 
 impl Opts {
     /// Parses a `--key value [--key value ...]` list.
+    #[allow(dead_code)] // retained API; the binary itself always passes flags
     pub fn parse(argv: &[String]) -> Result<Opts, String> {
+        Opts::parse_with_flags(argv, &[])
+    }
+
+    /// Like [`Opts::parse`], but the names in `flags` are boolean
+    /// switches that take no value (`--json`); a present flag is stored
+    /// as `"true"`.
+    pub fn parse_with_flags(argv: &[String], flags: &[&str]) -> Result<Opts, String> {
         let mut map = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected `--option`, got `{key}`"));
             };
+            if flags.contains(&name) {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("missing value for `--{name}`"))?;
             map.insert(name.to_string(), value.clone());
         }
         Ok(Opts { map })
+    }
+
+    /// Whether a boolean switch is set (`--json`, or `--json true`).
+    pub fn flag(&self, name: &str) -> bool {
+        matches!(self.get(name), Some("true"))
     }
 
     /// Raw string option.
@@ -75,6 +92,16 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(Opts::parse(&sv(&["m", "4"])).is_err());
         assert!(Opts::parse(&sv(&["--m"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let o = Opts::parse_with_flags(&sv(&["--json", "--m", "4"]), &["json"]).unwrap();
+        assert!(o.flag("json"));
+        assert_eq!(o.get_or::<usize>("m", 1).unwrap(), 4);
+        assert!(!o.flag("gantt"));
+        // Unlisted options still require values.
+        assert!(Opts::parse_with_flags(&sv(&["--m"]), &["json"]).is_err());
     }
 
     #[test]

@@ -5,10 +5,12 @@ use cslack_adversary::{run as adversary_run, AdversaryConfig};
 use cslack_algorithms::{
     ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
 };
+use cslack_engine::{Engine, EngineConfig, EngineMetrics};
 use cslack_kernel::Instance;
 use cslack_ratio::RatioFn;
 use cslack_sim::simulate as run_sim;
 use cslack_workloads::{trace, WorkloadSpec};
+use serde::Serialize;
 use std::path::Path;
 
 /// Top-level usage text.
@@ -18,7 +20,9 @@ cslack — Commitment and Slack for Online Load Maximization (SPAA 2020)
 USAGE:
   cslack ratio     --m <int> [--eps <float>]
   cslack generate  --m <int> --eps <float> --n <int> [--seed <int>] --out <file>
-  cslack simulate  --algo <name> (--trace <file> | --m <int> --eps <float> --n <int> [--seed <int>])
+  cslack simulate  --algo <name> (--trace <file> | --m <int> --eps <float> --n <int> [--seed <int>]) [--json]
+  cslack serve-bench --algo <name> --shards <int> --m <int> --eps <float> --n <int>
+                   [--seed <int>] [--queue-cap <int>] [--batch <int>] [--json]
   cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
   cslack opt       --trace <file> [--exact-limit <int>]
   cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
@@ -74,13 +78,14 @@ pub fn ratio(opts: &Opts) -> Result<(), String> {
         println!("  corner eps_({k},{m}) = {:.6}", r.corner(k));
     }
     if let Some(raw) = opts.get("eps") {
-        let eps: f64 = raw
-            .parse()
-            .map_err(|_| format!("invalid --eps `{raw}`"))?;
+        let eps: f64 = raw.parse().map_err(|_| format!("invalid --eps `{raw}`"))?;
         let p = r.eval(eps);
         println!("at eps = {eps}: phase k = {}", p.k);
         println!("  c(eps, m)           = {:.6}", p.c);
-        println!("  Threshold guarantee = {:.6}", r.threshold_upper_bound(eps));
+        println!(
+            "  Threshold guarantee = {:.6}",
+            r.threshold_upper_bound(eps)
+        );
         for h in p.k..=m {
             println!("  f_{h} = {:.6}", p.f(h));
         }
@@ -120,6 +125,13 @@ pub fn simulate_cmd_inner(opts: &Opts) -> Result<(), String> {
         ));
     }
     let report = run_sim(&inst, alg.as_mut()).map_err(|e| e.to_string())?;
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     println!(
         "{}: accepted {}/{} jobs, load {:.4} of {:.4} ({:.1}%)",
         report.algorithm,
@@ -151,6 +163,118 @@ pub fn simulate(opts: &Opts) -> Result<(), String> {
     simulate_cmd_inner(opts)
 }
 
+/// The serializable outcome of one `serve-bench` run.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    algorithm: String,
+    metrics: EngineMetrics,
+    schedule_valid: bool,
+    violations: usize,
+    offered_load: f64,
+    opt_upper_bound: f64,
+    measured_ratio: f64,
+    paper_bound: f64,
+}
+
+/// `cslack serve-bench` — stream a generated workload through the
+/// sharded admission-control engine and report throughput plus the
+/// competitive ratio against a cheap offline upper bound.
+pub fn serve_bench(opts: &Opts) -> Result<(), String> {
+    let m: usize = opts.require_as("m")?;
+    let eps: f64 = opts.require_as("eps")?;
+    let n: usize = opts.require_as("n")?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let shards: usize = opts.get_or("shards", m.min(4))?;
+    let algo_name = opts.get("algo").unwrap_or("threshold");
+    let inst = WorkloadSpec::default_spec(m, eps, n, seed)
+        .generate()
+        .map_err(|e| e.to_string())?;
+
+    // Validate the algorithm name once up front (shard groups may have
+    // different sizes; the builder below cannot return an error).
+    build_algo(algo_name, m, eps, seed)?;
+    let mut config = EngineConfig::new(shards);
+    config.queue_capacity = opts.get_or("queue-cap", config.queue_capacity)?;
+    config.batch_size = opts.get_or("batch", config.batch_size)?;
+    let engine = Engine::start(m, config, |shard, group| {
+        build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
+            .expect("algorithm name validated above")
+    })
+    .map_err(|e| e.to_string())?;
+
+    for job in inst.jobs() {
+        engine.submit(*job).map_err(|e| e.to_string())?;
+    }
+    let report = engine.finish().map_err(|e| e.to_string())?;
+
+    let validation = cslack_kernel::validate_schedule(&inst, &report.schedule);
+    let opt_bound = cslack_opt::bounds::capacity_upper_bound(&inst).min(inst.total_load());
+    let accepted_load = report.schedule.accepted_load();
+    let measured_ratio = if accepted_load > 0.0 {
+        opt_bound / accepted_load
+    } else {
+        f64::INFINITY
+    };
+    let paper_bound = RatioFn::new(m).eval(eps).c;
+    let out = ServeBenchReport {
+        algorithm: algo_name.to_string(),
+        metrics: report.metrics,
+        schedule_valid: validation.is_valid(),
+        violations: validation.violations.len(),
+        offered_load: inst.total_load(),
+        opt_upper_bound: opt_bound,
+        measured_ratio,
+        paper_bound,
+    };
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "serve-bench {}: shards = {}, m = {m}, eps = {eps}, n = {n}",
+            out.algorithm, out.metrics.shards
+        );
+        println!(
+            "  accepted {}/{} jobs, load {:.4} of {:.4} ({:.1}%)",
+            out.metrics.accepted,
+            out.metrics.submitted,
+            out.metrics.accepted_load,
+            out.offered_load,
+            100.0 * out.metrics.accepted_load / out.offered_load.max(1e-12)
+        );
+        println!(
+            "  merged schedule: {} ({} violation(s))",
+            if out.schedule_valid {
+                "valid"
+            } else {
+                "INVALID"
+            },
+            out.violations
+        );
+        println!(
+            "  throughput: {:.0} decisions/sec over {:.3}s",
+            out.metrics.decisions_per_sec, out.metrics.elapsed_secs
+        );
+        println!(
+            "  offline upper bound: {:.4} => measured ratio {:.4} (paper c(eps, m) = {:.4})",
+            out.opt_upper_bound, out.measured_ratio, out.paper_bound
+        );
+        println!(
+            "  metrics: {}",
+            serde_json::to_string(&out.metrics).map_err(|e| e.to_string())?
+        );
+    }
+    if !out.schedule_valid {
+        return Err(format!(
+            "merged schedule failed validation with {} violation(s)",
+            out.violations
+        ));
+    }
+    Ok(())
+}
+
 /// `cslack adversary` — play the Theorem-1 game.
 pub fn adversary(opts: &Opts) -> Result<(), String> {
     let m: usize = opts.require_as("m")?;
@@ -166,7 +290,11 @@ pub fn adversary(opts: &Opts) -> Result<(), String> {
     println!("  online load : {:.4}", out.online_load());
     println!("  witness OPT : {:.4}", out.witness_load());
     println!("  forced ratio: {:.4}", out.ratio);
-    println!("  c(eps, m)   : {:.4}  (ratio/c = {:.4})", out.predicted, out.ratio / out.predicted);
+    println!(
+        "  c(eps, m)   : {:.4}  (ratio/c = {:.4})",
+        out.predicted,
+        out.ratio / out.predicted
+    );
     Ok(())
 }
 
@@ -181,7 +309,10 @@ pub fn import_swf(opts: &Opts) -> Result<(), String> {
     let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
     let jobs = swf::parse_swf(&text).map_err(|e| e.to_string())?;
     let mut import = swf::SwfImport::new(m, eps, opts.get_or("seed", 0)?);
-    import.procs_scale = opts.get("procs-scale").map(|v| v == "true").unwrap_or(false);
+    import.procs_scale = opts
+        .get("procs-scale")
+        .map(|v| v == "true")
+        .unwrap_or(false);
     import.time_scale = opts.get_or("time-scale", import.time_scale)?;
     let inst = swf::swf_to_instance(&jobs, &import).map_err(|e| e.to_string())?;
     trace::save(&inst, Path::new(out)).map_err(|e| e.to_string())?;
@@ -212,7 +343,12 @@ pub fn tree(opts: &Opts) -> Result<(), String> {
 pub fn cover(opts: &Opts) -> Result<(), String> {
     let inst = load_or_generate(opts)?;
     let algo_name = opts.get("algo").unwrap_or("threshold");
-    let mut alg = build_algo(algo_name, inst.machines(), inst.slack(), opts.get_or("seed", 0)?)?;
+    let mut alg = build_algo(
+        algo_name,
+        inst.machines(),
+        inst.slack(),
+        opts.get_or("seed", 0)?,
+    )?;
     let report = run_sim(&inst, alg.as_mut()).map_err(|e| e.to_string())?;
     let a = cslack_sim::analysis::cover_analysis(&inst, &report);
     println!(
@@ -242,7 +378,12 @@ pub fn opt(opts: &Opts) -> Result<(), String> {
     let inst = load_or_generate(opts)?;
     let limit: usize = opts.get_or("exact-limit", 16)?;
     let est = cslack_opt::estimate(&inst, limit);
-    println!("jobs: {}, machines: {}, volume {:.4}", inst.len(), inst.machines(), inst.total_load());
+    println!(
+        "jobs: {}, machines: {}, volume {:.4}",
+        inst.len(),
+        inst.machines(),
+        inst.total_load()
+    );
     println!("  certified lower bound: {:.4}", est.lower);
     println!("  certified upper bound: {:.4}", est.upper);
     match est.exact {

@@ -20,7 +20,7 @@ fn main() -> ExitCode {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
     };
-    let opts = match args::Opts::parse(rest) {
+    let opts = match args::Opts::parse_with_flags(rest, &["json"]) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "ratio" => cmd::ratio(&opts),
         "generate" => cmd::generate(&opts),
         "simulate" => cmd::simulate(&opts),
+        "serve-bench" => cmd::serve_bench(&opts),
         "adversary" => cmd::adversary(&opts),
         "opt" => cmd::opt(&opts),
         "import-swf" => cmd::import_swf(&opts),

@@ -49,7 +49,15 @@ fn generate_then_simulate_then_opt_round_trip() {
 
 #[test]
 fn adversary_reports_forced_ratio() {
-    let (ok, stdout, _) = cslack(&["adversary", "--algo", "threshold", "--m", "1", "--eps", "0.25"]);
+    let (ok, stdout, _) = cslack(&[
+        "adversary",
+        "--algo",
+        "threshold",
+        "--m",
+        "1",
+        "--eps",
+        "0.25",
+    ]);
     assert!(ok);
     assert!(stdout.contains("c(eps, m)   : 6.0000"));
     assert!(stdout.contains("ratio/c = 1.00"));
@@ -130,7 +138,15 @@ fn help_is_available() {
 #[test]
 fn randomized_algo_machine_mismatch_is_reported() {
     let (ok, _, stderr) = cslack(&[
-        "simulate", "--algo", "randomized", "--m", "3", "--eps", "0.2", "--n", "5",
+        "simulate",
+        "--algo",
+        "randomized",
+        "--m",
+        "3",
+        "--eps",
+        "0.2",
+        "--n",
+        "5",
     ]);
     assert!(!ok);
     assert!(stderr.contains("machine"), "{stderr}");

@@ -1,0 +1,690 @@
+//! # cslack-engine
+//!
+//! A sharded, thread-safe admission-control *service* wrapping any
+//! [`OnlineScheduler`] behind a submission API — the paper's
+//! immediate-commitment model lifted from a replayed trace to a
+//! concurrent server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!               try_submit / submit (bounded MPSC, backpressure)
+//!  producers ──────────────┬─────────────────┬──────────────────┐
+//!                          v                 v                  v
+//!                   [queue shard 0]   [queue shard 1]  …  [queue shard S-1]
+//!                          │                 │                  │
+//!                   worker thread 0   worker thread 1     worker thread S-1
+//!                   scheduler shard   scheduler shard     scheduler shard
+//!                   machines 0..g0    machines g0..g1     machines ..m
+//!                          │                 │                  │
+//!                          └────────── finish(): drain, join ───┘
+//!                                            v
+//!                        merge via cslack_kernel::merge_schedules
+//!                        (every commitment re-validated on merge)
+//! ```
+//!
+//! * The cluster's `m` machines are split into `S` disjoint contiguous
+//!   groups; shard `s` owns group `s` and runs its own scheduler
+//!   instance sized to that group.
+//! * Jobs are routed by the deterministic [`shard_of`] function (job id
+//!   modulo shard count), so a given instance always lands on the same
+//!   shards in the same per-shard order — the accepted set is
+//!   reproducible across runs regardless of thread scheduling.
+//! * Each shard drains its queue in batches, asks its scheduler for an
+//!   irrevocable [`Decision`] per job, and commits accepts to a
+//!   shard-local [`Schedule`] through the same contract-check the
+//!   sequential simulator uses ([`cslack_sim::apply_decision`]).
+//! * [`Engine::finish`] closes the queues, joins every worker, and
+//!   merges the shard schedules into one cluster-wide [`Schedule`];
+//!   the merge re-validates every commitment, so shards can never
+//!   silently double-commit a job or overlap a lane.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use cslack_algorithms::OnlineScheduler;
+use cslack_kernel::{merge_schedules, Job, JobId, KernelError, MachineId, Schedule};
+use cslack_sim::apply_decision;
+use serde::Serialize;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Deterministic shard routing: the shard a job is offered to.
+///
+/// Depends only on the job id and the shard count, never on timing, so
+/// the same instance submitted to an engine with the same shard count
+/// always produces the same per-shard job streams.
+#[inline]
+pub fn shard_of(job: JobId, shards: usize) -> usize {
+    job.index() % shards.max(1)
+}
+
+/// Splits `m` machines into `shards` disjoint contiguous groups.
+///
+/// Group sizes differ by at most one (`m mod shards` leading groups get
+/// the extra machine); every machine belongs to exactly one group.
+pub fn machine_groups(m: usize, shards: usize) -> Vec<Vec<MachineId>> {
+    assert!(shards >= 1 && shards <= m, "need 1 <= shards <= m");
+    (0..shards)
+        .map(|s| {
+            let lo = s * m / shards;
+            let hi = (s + 1) * m / shards;
+            (lo..hi).map(|i| MachineId(i as u32)).collect()
+        })
+        .collect()
+}
+
+/// Tuning knobs for [`Engine::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shards (worker threads / scheduler instances).
+    pub shards: usize,
+    /// Bounded capacity of each shard's submission queue; a full queue
+    /// makes [`Engine::try_submit`] fail and [`Engine::submit`] block.
+    pub queue_capacity: usize,
+    /// Maximum jobs a shard drains from its queue per wakeup.
+    pub batch_size: usize,
+}
+
+impl EngineConfig {
+    /// A config with `shards` shards and default queue/batch sizing.
+    pub fn new(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            queue_capacity: 1024,
+            batch_size: 64,
+        }
+    }
+}
+
+/// What a shard thread hands back when it drains.
+struct ShardOutcome {
+    schedule: Schedule,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    batches: u64,
+    latency: LatencyAgg,
+}
+
+/// Running aggregate of per-decision latencies (nanoseconds).
+#[derive(Clone, Copy, Debug, Default)]
+struct LatencyAgg {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyAgg {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    fn merge(&mut self, other: &LatencyAgg) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+/// Decision-latency summary over all shards, in nanoseconds.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencyStats {
+    /// Fastest single decision.
+    pub min_ns: u64,
+    /// Mean over all decisions.
+    pub mean_ns: u64,
+    /// Slowest single decision.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    fn from_agg(agg: &LatencyAgg) -> LatencyStats {
+        LatencyStats {
+            min_ns: agg.min_ns,
+            mean_ns: agg.sum_ns.checked_div(agg.count).unwrap_or(0),
+            max_ns: agg.max_ns,
+        }
+    }
+}
+
+/// Per-shard slice of an [`EngineMetrics`] snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardMetrics {
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Machines in this shard's group.
+    pub machines: usize,
+    /// Jobs routed to this shard.
+    pub submitted: u64,
+    /// Jobs the shard's scheduler admitted.
+    pub accepted: u64,
+    /// Jobs the shard's scheduler rejected.
+    pub rejected: u64,
+    /// Committed processing volume on this shard.
+    pub accepted_load: f64,
+    /// Busy fraction of the shard's machines over its own makespan
+    /// (`accepted_load / (machines * makespan)`), 0 when idle.
+    pub utilization: f64,
+    /// Queue wakeups (each drains up to `batch_size` jobs).
+    pub batches: u64,
+}
+
+/// Aggregate snapshot of one engine run, serializable for reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineMetrics {
+    /// Machines in the cluster.
+    pub m: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Total jobs submitted (and decided — the engine drains fully).
+    pub submitted: u64,
+    /// Total accepted jobs.
+    pub accepted: u64,
+    /// Total rejected jobs.
+    pub rejected: u64,
+    /// Objective value `sum p_j (1 - U_j)` of the merged schedule.
+    pub accepted_load: f64,
+    /// Wall-clock seconds from `start` to the end of `finish`.
+    pub elapsed_secs: f64,
+    /// Decisions per wall-clock second.
+    pub decisions_per_sec: f64,
+    /// Decision-latency summary across all shards.
+    pub latency: LatencyStats,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+/// The result of a drained engine: the merged cluster schedule plus the
+/// metrics snapshot.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// The cluster-wide merged schedule (all invariants re-validated).
+    pub schedule: Schedule,
+    /// Metrics snapshot for the run.
+    pub metrics: EngineMetrics,
+}
+
+/// Failure modes of the engine lifecycle.
+#[derive(Debug)]
+pub enum EngineError {
+    /// `shards` was zero or exceeded the machine count.
+    BadShardCount {
+        /// Requested shard count.
+        shards: usize,
+        /// Cluster machine count.
+        m: usize,
+    },
+    /// A shard's scheduler violated the commitment contract.
+    Contract {
+        /// The offending shard.
+        shard: usize,
+        /// The simulator-level contract error.
+        error: String,
+    },
+    /// A shard thread panicked.
+    ShardPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// The merged schedule violated a kernel invariant (double commit
+    /// or cross-shard overlap — shards are not trusted either).
+    Merge(KernelError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadShardCount { shards, m } => {
+                write!(f, "cannot run {shards} shard(s) on {m} machine(s)")
+            }
+            EngineError::Contract { shard, error } => {
+                write!(f, "shard {shard} broke the commitment contract: {error}")
+            }
+            EngineError::ShardPanicked { shard } => {
+                write!(f, "shard {shard} worker thread panicked")
+            }
+            EngineError::Merge(e) => write!(f, "merging shard schedules failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Why a submission was not enqueued.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The target shard's queue is at capacity (backpressure); the job
+    /// is returned so the caller can retry or drop it.
+    Full(Job),
+    /// The engine is shutting down; the job is returned.
+    Closed(Job),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full(j) => write!(f, "queue full, {} not enqueued", j.id),
+            SubmitError::Closed(j) => write!(f, "engine closed, {} not enqueued", j.id),
+        }
+    }
+}
+
+struct ShardHandle {
+    tx: Option<Sender<Job>>,
+    join: JoinHandle<Result<ShardOutcome, String>>,
+    machines: Vec<MachineId>,
+}
+
+/// A running sharded admission-control service.
+///
+/// Submissions are routed to shard queues; worker threads decide and
+/// commit. `&Engine` is `Sync`, so many producer threads can submit
+/// concurrently. Shut down with [`Engine::finish`], which drains every
+/// queue, joins the workers, and merges the shard schedules.
+pub struct Engine {
+    m: usize,
+    config: EngineConfig,
+    shards: Vec<ShardHandle>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Starts the service: spawns one worker thread per shard, each
+    /// owning a scheduler built by `builder` for its machine group.
+    ///
+    /// `builder` receives `(shard index, machines in the shard's
+    /// group)` and returns the scheduler instance that shard runs; the
+    /// scheduler's machine ids are shard-local (`0..group size`) and
+    /// are remapped to the global group on merge.
+    pub fn start<F>(m: usize, config: EngineConfig, builder: F) -> Result<Engine, EngineError>
+    where
+        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
+    {
+        if config.shards == 0 || config.shards > m {
+            return Err(EngineError::BadShardCount {
+                shards: config.shards,
+                m,
+            });
+        }
+        let groups = machine_groups(m, config.shards);
+        let mut shards = Vec::with_capacity(config.shards);
+        for (index, group) in groups.into_iter().enumerate() {
+            let scheduler = builder(index, group.len());
+            let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+            let group_len = group.len();
+            let batch = config.batch_size.max(1);
+            let join = std::thread::Builder::new()
+                .name(format!("cslack-shard-{index}"))
+                .spawn(move || shard_worker(rx, scheduler, group_len, batch))
+                .expect("failed to spawn shard worker");
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                join,
+                machines: group,
+            });
+        }
+        Ok(Engine {
+            m,
+            config,
+            shards,
+            started: Instant::now(),
+        })
+    }
+
+    /// Cluster machine count.
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global machine group owned by `shard`.
+    pub fn shard_machines(&self, shard: usize) -> &[MachineId] {
+        &self.shards[shard].machines
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// Fails with [`SubmitError::Full`] when the target shard's queue
+    /// is at capacity — the backpressure signal for callers that must
+    /// not block.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let shard = shard_of(job.id, self.shards.len());
+        match &self.shards[shard].tx {
+            Some(tx) => tx.try_send(job).map_err(|e| match e {
+                TrySendError::Full(j) => SubmitError::Full(j),
+                TrySendError::Disconnected(j) => SubmitError::Closed(j),
+            }),
+            None => Err(SubmitError::Closed(job)),
+        }
+    }
+
+    /// Enqueues a job, blocking while the target shard's queue is full.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let shard = shard_of(job.id, self.shards.len());
+        match &self.shards[shard].tx {
+            Some(tx) => tx
+                .send(job)
+                .map_err(|e| SubmitError::Closed(e.into_inner())),
+            None => Err(SubmitError::Closed(job)),
+        }
+    }
+
+    /// Graceful shutdown: closes every shard queue, waits for the
+    /// workers to drain and exit, merges the shard-local schedules into
+    /// one cluster schedule, and returns it with the metrics snapshot.
+    pub fn finish(mut self) -> Result<EngineReport, EngineError> {
+        // Dropping the senders closes the queues; workers drain what is
+        // left and return their outcomes.
+        for shard in &mut self.shards {
+            shard.tx = None;
+        }
+        let mut outcomes = Vec::with_capacity(self.shards.len());
+        let mut groups = Vec::with_capacity(self.shards.len());
+        for (index, shard) in self.shards.into_iter().enumerate() {
+            let outcome = shard
+                .join
+                .join()
+                .map_err(|_| EngineError::ShardPanicked { shard: index })?
+                .map_err(|error| EngineError::Contract {
+                    shard: index,
+                    error,
+                })?;
+            outcomes.push(outcome);
+            groups.push(shard.machines);
+        }
+        let merged = merge_schedules(
+            self.m,
+            outcomes
+                .iter()
+                .zip(&groups)
+                .map(|(o, g)| (&o.schedule, g.as_slice())),
+        )
+        .map_err(EngineError::Merge)?;
+        let elapsed = self.started.elapsed().as_secs_f64();
+
+        let mut latency = LatencyAgg::default();
+        let (mut submitted, mut accepted, mut rejected) = (0u64, 0u64, 0u64);
+        let mut per_shard = Vec::with_capacity(outcomes.len());
+        for (index, o) in outcomes.iter().enumerate() {
+            latency.merge(&o.latency);
+            submitted += o.submitted;
+            accepted += o.accepted;
+            rejected += o.rejected;
+            let g = groups[index].len();
+            let makespan = o.schedule.makespan().raw();
+            let utilization = if makespan > 0.0 {
+                o.schedule.accepted_load() / (g as f64 * makespan)
+            } else {
+                0.0
+            };
+            per_shard.push(ShardMetrics {
+                shard: index,
+                machines: g,
+                submitted: o.submitted,
+                accepted: o.accepted,
+                rejected: o.rejected,
+                accepted_load: o.schedule.accepted_load(),
+                utilization,
+                batches: o.batches,
+            });
+        }
+        let metrics = EngineMetrics {
+            m: self.m,
+            shards: self.config.shards,
+            submitted,
+            accepted,
+            rejected,
+            accepted_load: merged.accepted_load(),
+            elapsed_secs: elapsed,
+            decisions_per_sec: if elapsed > 0.0 {
+                submitted as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_agg(&latency),
+            per_shard,
+        };
+        Ok(EngineReport {
+            schedule: merged,
+            metrics,
+        })
+    }
+}
+
+/// One shard's worker loop: block for a job, drain a batch, decide and
+/// commit each job in arrival order, repeat until the queue closes.
+fn shard_worker(
+    rx: Receiver<Job>,
+    mut scheduler: Box<dyn OnlineScheduler>,
+    group_len: usize,
+    batch_size: usize,
+) -> Result<ShardOutcome, String> {
+    let mut schedule = Schedule::new(group_len.max(1));
+    let mut out = ShardOutcome {
+        schedule: Schedule::new(group_len.max(1)),
+        submitted: 0,
+        accepted: 0,
+        rejected: 0,
+        batches: 0,
+        latency: LatencyAgg::default(),
+    };
+    let mut batch = Vec::with_capacity(batch_size);
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        out.batches += 1;
+        for job in batch.drain(..) {
+            out.submitted += 1;
+            let t0 = Instant::now();
+            let decision = scheduler.offer(&job);
+            out.latency
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            match apply_decision(&mut schedule, &job, decision) {
+                Ok(true) => out.accepted += 1,
+                Ok(false) => out.rejected += 1,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    out.schedule = schedule;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cslack_algorithms::{Decision, Greedy};
+    use cslack_kernel::{InstanceBuilder, Time};
+
+    fn greedy_builder(_shard: usize, g: usize) -> Box<dyn OnlineScheduler> {
+        Box::new(Greedy::new(g))
+    }
+
+    #[test]
+    fn machine_groups_partition_the_cluster() {
+        for m in 1..=16 {
+            for s in 1..=m {
+                let groups = machine_groups(m, s);
+                assert_eq!(groups.len(), s);
+                let flat: Vec<u32> = groups.iter().flatten().map(|id| id.0).collect();
+                assert_eq!(flat, (0..m as u32).collect::<Vec<u32>>());
+                let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+                let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "uneven split for m={m} s={s}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_deterministic() {
+        for shards in 1..=5 {
+            for id in 0..100u32 {
+                let s = shard_of(JobId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(JobId(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_engine_matches_sequential_simulation() {
+        let inst = InstanceBuilder::new(2, 0.5)
+            .tight_job(Time::ZERO, 1.0)
+            .tight_job(Time::ZERO, 1.0)
+            .tight_job(Time::ZERO, 1.0)
+            .job(Time::new(0.5), 2.0, Time::new(10.0))
+            .build()
+            .unwrap();
+        let engine = Engine::start(2, EngineConfig::new(1), greedy_builder).unwrap();
+        for job in inst.jobs() {
+            engine.submit(*job).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        let sequential = cslack_sim::simulate(&inst, &mut Greedy::new(2)).unwrap();
+        assert_eq!(report.schedule.accepted_load(), sequential.accepted_load());
+        assert_eq!(report.schedule.len(), sequential.accepted_count());
+        assert_eq!(report.metrics.submitted, inst.len() as u64);
+        assert!(cslack_kernel::validate_schedule(&inst, &report.schedule).is_valid());
+    }
+
+    #[test]
+    fn backpressure_surfaces_as_full() {
+        // A deliberately slow scheduler so the tiny queue fills faster
+        // than the worker drains it.
+        struct Slow(Greedy);
+        impl OnlineScheduler for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn machines(&self) -> usize {
+                self.0.machines()
+            }
+            fn offer(&mut self, job: &Job) -> Decision {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                self.0.offer(job)
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+        }
+        let engine = Engine::start(
+            1,
+            EngineConfig {
+                shards: 1,
+                queue_capacity: 1,
+                batch_size: 1,
+            },
+            |_, g| Box::new(Slow(Greedy::new(g))),
+        )
+        .unwrap();
+        let mut saw_full = false;
+        for id in 0..10_000u32 {
+            let job = Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9));
+            match engine.try_submit(job) {
+                Ok(()) => {}
+                Err(SubmitError::Full(j)) => {
+                    assert_eq!(j.id, JobId(id));
+                    saw_full = true;
+                    break;
+                }
+                Err(SubmitError::Closed(_)) => panic!("engine closed early"),
+            }
+        }
+        assert!(saw_full, "bounded queue never exerted backpressure");
+        engine.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_shard_count_is_rejected() {
+        assert!(matches!(
+            Engine::start(2, EngineConfig::new(0), greedy_builder),
+            Err(EngineError::BadShardCount { .. })
+        ));
+        assert!(matches!(
+            Engine::start(2, EngineConfig::new(3), greedy_builder),
+            Err(EngineError::BadShardCount { .. })
+        ));
+    }
+
+    #[test]
+    fn contract_violation_is_reported_not_merged() {
+        struct Liar;
+        impl OnlineScheduler for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn machines(&self) -> usize {
+                1
+            }
+            fn offer(&mut self, _job: &Job) -> Decision {
+                Decision::Accept {
+                    machine: MachineId(0),
+                    start: Time::ZERO,
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let engine = Engine::start(1, EngineConfig::new(1), |_, _| Box::new(Liar)).unwrap();
+        // Two overlapping accepts at t = 0 on the same machine.
+        engine
+            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        engine
+            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        match engine.finish() {
+            Err(EngineError::Contract { shard: 0, error }) => {
+                assert!(error.contains("J1"), "unexpected error: {error}");
+            }
+            other => panic!("expected contract violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let engine = Engine::start(2, EngineConfig::new(2), greedy_builder).unwrap();
+        engine
+            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        engine
+            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        let report = engine.finish().unwrap();
+        let json = serde_json::to_string(&report.metrics).unwrap();
+        assert!(json.contains("\"decisions_per_sec\""));
+        assert!(json.contains("\"per_shard\""));
+        assert!(json.contains("\"latency\""));
+        assert_eq!(report.metrics.accepted, 2);
+        assert_eq!(report.metrics.per_shard.len(), 2);
+    }
+}

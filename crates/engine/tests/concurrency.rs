@@ -1,0 +1,130 @@
+//! Concurrency guarantees of the sharded engine.
+//!
+//! * **Determinism** — for a fixed instance and shard count, a
+//!   single-producer run accepts exactly the same job set every time,
+//!   regardless of how the OS schedules the shard worker threads:
+//!   routing depends only on the job id, and each shard consumes its
+//!   queue in FIFO order.
+//! * **Stress** — many producer threads hammering one engine still
+//!   yield a merged schedule that passes full kernel validation, with
+//!   every accepted job committed exactly once.
+
+use std::collections::BTreeSet;
+
+use cslack_algorithms::{OnlineScheduler, Threshold};
+use cslack_engine::{shard_of, Engine, EngineConfig, EngineReport};
+use cslack_kernel::{validate_schedule, Instance, JobId};
+use cslack_workloads::WorkloadSpec;
+
+const M: usize = 8;
+const EPS: f64 = 0.4;
+
+fn workload(n: usize, seed: u64) -> Instance {
+    WorkloadSpec::default_spec(M, EPS, n, seed)
+        .generate()
+        .expect("workload generation")
+}
+
+fn threshold_builder(shard: usize, group: usize) -> Box<dyn OnlineScheduler> {
+    let _ = shard;
+    Box::new(Threshold::new(group, EPS))
+}
+
+fn accepted_ids(report: &EngineReport) -> BTreeSet<u32> {
+    report.schedule.iter().map(|c| c.job.id.0).collect()
+}
+
+/// Single producer, fixed shard count: the accepted set is a pure
+/// function of (instance, shard count), independent of thread timing.
+#[test]
+fn same_instance_and_shards_give_identical_accepted_set() {
+    let inst = workload(2_000, 11);
+    for shards in [1, 2, 4] {
+        let mut runs: Vec<BTreeSet<u32>> = Vec::new();
+        for _ in 0..3 {
+            let engine = Engine::start(M, EngineConfig::new(shards), threshold_builder)
+                .expect("engine start");
+            for job in inst.jobs() {
+                engine.submit(*job).expect("submit");
+            }
+            let report = engine.finish().expect("drain");
+            assert!(
+                validate_schedule(&inst, &report.schedule).is_valid(),
+                "merged schedule invalid at shards={shards}"
+            );
+            runs.push(accepted_ids(&report));
+        }
+        assert_eq!(runs[0], runs[1], "run 0 vs 1 diverged at shards={shards}");
+        assert_eq!(runs[1], runs[2], "run 1 vs 2 diverged at shards={shards}");
+        assert!(!runs[0].is_empty(), "degenerate run at shards={shards}");
+    }
+}
+
+/// Many producers submitting concurrently: the merged schedule must
+/// validate against the instance and contain no duplicate commitments.
+#[test]
+fn stress_many_producers_merge_cleanly() {
+    const PRODUCERS: usize = 8;
+    let inst = workload(4_000, 23);
+    let shards = 4;
+    let engine = Engine::start(
+        M,
+        EngineConfig {
+            shards,
+            queue_capacity: 64, // small queue: force backpressure paths
+            batch_size: 16,
+        },
+        threshold_builder,
+    )
+    .expect("engine start");
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let engine = &engine;
+            let jobs = inst.jobs().iter().skip(p).step_by(PRODUCERS);
+            scope.spawn(move || {
+                for job in jobs {
+                    engine.submit(*job).expect("blocking submit");
+                }
+            });
+        }
+    });
+
+    let report = engine.finish().expect("drain");
+    let metrics = &report.metrics;
+    assert_eq!(metrics.submitted, inst.len() as u64);
+    assert_eq!(metrics.accepted + metrics.rejected, metrics.submitted);
+
+    // No double-commit: every accepted job appears exactly once.
+    let ids = accepted_ids(&report);
+    assert_eq!(ids.len() as u64, metrics.accepted);
+    assert_eq!(ids.len(), report.schedule.len());
+
+    // Every accepted job landed on a machine owned by its shard.
+    for c in report.schedule.iter() {
+        let shard = shard_of(c.job.id, shards);
+        assert!(
+            engine_shard_owns(shards, c.job.id, c.machine.index()),
+            "job {:?} on machine {} outside shard {shard}'s group",
+            c.job.id,
+            c.machine.index()
+        );
+    }
+
+    let validation = validate_schedule(&inst, &report.schedule);
+    assert!(
+        validation.is_valid(),
+        "stress schedule has violations: {:?}",
+        validation.violations
+    );
+    assert!(metrics.accepted > 0, "stress run accepted nothing");
+}
+
+/// Reconstructs the contiguous machine-group split used by the engine
+/// and checks ownership of `machine` by `job`'s shard.
+fn engine_shard_owns(shards: usize, job: JobId, machine: usize) -> bool {
+    let s = shard_of(job, shards);
+    let lo = s * M / shards;
+    let hi = (s + 1) * M / shards;
+    (lo..hi).contains(&machine)
+}

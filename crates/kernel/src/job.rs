@@ -166,7 +166,12 @@ mod tests {
         // Exactly-tight job expressed with noisy arithmetic.
         let eps = 0.1;
         let p = 0.7;
-        let j = Job::new(JobId(2), Time::new(0.3), p, Time::new(0.3 + (1.0 + eps) * p));
+        let j = Job::new(
+            JobId(2),
+            Time::new(0.3),
+            p,
+            Time::new(0.3 + (1.0 + eps) * p),
+        );
         assert!(j.satisfies_slack(eps));
     }
 

@@ -36,6 +36,6 @@ pub mod validate;
 pub use error::KernelError;
 pub use instance::{Instance, InstanceBuilder};
 pub use job::{Job, JobId};
-pub use schedule::{Commitment, MachineId, Schedule};
+pub use schedule::{merge_schedules, Commitment, MachineId, Schedule};
 pub use time::Time;
 pub use validate::{validate_schedule, ValidationReport, Violation};

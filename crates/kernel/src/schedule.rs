@@ -257,6 +257,32 @@ impl Schedule {
         Ok(())
     }
 
+    /// Re-commits every commitment of `part` into `self`, remapping
+    /// `part`'s machine `i` to the global machine `lane_map[i]`.
+    ///
+    /// Every re-commitment goes through [`Schedule::commit`], so all
+    /// invariants (release, deadline, overlap, duplicate ids) are
+    /// enforced across the merge: two parts that committed the same job
+    /// or produced overlapping work on a shared target lane are caught
+    /// here, not silently combined.
+    ///
+    /// # Panics
+    /// Panics if `lane_map.len() != part.machines()`.
+    pub fn absorb(&mut self, part: &Schedule, lane_map: &[MachineId]) -> Result<(), KernelError> {
+        assert_eq!(
+            lane_map.len(),
+            part.machines(),
+            "lane map must name a global machine for every lane of the part"
+        );
+        for (local, lane) in part.lanes.iter().enumerate() {
+            let global = lane_map[local];
+            for c in lane {
+                self.commit(c.job, global, c.start)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Renders a fixed-width ASCII Gantt chart (for the Fig. 3 style
     /// schedule snapshots). `width` is the number of character cells the
     /// time axis is divided into.
@@ -284,6 +310,25 @@ impl Schedule {
         ));
         out
     }
+}
+
+/// Merges shard-local schedules into one cluster-wide schedule on `m`
+/// machines.
+///
+/// Each part comes with a lane map naming the global machine of each of
+/// its local lanes; the maps of distinct parts are expected to cover
+/// disjoint machine groups, but that is not assumed — every commitment
+/// is re-validated by [`Schedule::commit`], so colliding parts produce a
+/// [`KernelError`] instead of a corrupt schedule.
+pub fn merge_schedules<'a>(
+    m: usize,
+    parts: impl IntoIterator<Item = (&'a Schedule, &'a [MachineId])>,
+) -> Result<Schedule, KernelError> {
+    let mut merged = Schedule::new(m);
+    for (part, lane_map) in parts {
+        merged.absorb(part, lane_map)?;
+    }
+    Ok(merged)
 }
 
 fn glyph_for(id: JobId) -> char {
@@ -428,6 +473,64 @@ mod tests {
         assert!(g.contains("M1 |"));
         assert!(g.contains('0')); // glyph of J0
         assert!(g.contains('1')); // glyph of J1
+    }
+
+    #[test]
+    fn absorb_remaps_lanes_into_disjoint_groups() {
+        // Two shard-local schedules on 1 and 2 machines, merged into a
+        // 3-machine cluster: lanes keep their contents under new ids.
+        let mut a = Schedule::new(1);
+        a.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        let mut b = Schedule::new(2);
+        b.commit(job(1, 0.0, 1.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        b.commit(job(2, 0.0, 3.0, 9.0), MachineId(1), Time::new(1.0))
+            .unwrap();
+        let merged = merge_schedules(
+            3,
+            [
+                (&a, &[MachineId(0)][..]),
+                (&b, &[MachineId(1), MachineId(2)][..]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.accepted_load(), 6.0);
+        assert_eq!(merged.machine_of(JobId(0)), Some(MachineId(0)));
+        assert_eq!(merged.machine_of(JobId(1)), Some(MachineId(1)));
+        assert_eq!(merged.machine_of(JobId(2)), Some(MachineId(2)));
+        assert_eq!(merged.frontier(MachineId(2)), Time::new(4.0));
+    }
+
+    #[test]
+    fn merge_catches_double_commit_and_lane_collisions() {
+        let mut a = Schedule::new(1);
+        a.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        let mut dup = Schedule::new(1);
+        dup.commit(job(0, 0.0, 2.0, 9.0), MachineId(0), Time::new(3.0))
+            .unwrap();
+        let err = merge_schedules(2, [(&a, &[MachineId(0)][..]), (&dup, &[MachineId(1)][..])])
+            .unwrap_err();
+        assert!(matches!(err, KernelError::DuplicateCommitment { .. }));
+
+        // Distinct jobs, but both parts mapped onto the same global lane
+        // with overlapping intervals.
+        let mut c = Schedule::new(1);
+        c.commit(job(7, 0.0, 2.0, 9.0), MachineId(0), Time::new(1.0))
+            .unwrap();
+        let err =
+            merge_schedules(2, [(&a, &[MachineId(0)][..]), (&c, &[MachineId(0)][..])]).unwrap_err();
+        assert!(matches!(err, KernelError::Overlap { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane map")]
+    fn absorb_rejects_short_lane_map() {
+        let part = Schedule::new(2);
+        let mut s = Schedule::new(2);
+        let _ = s.absorb(&part, &[MachineId(0)]);
     }
 
     #[test]

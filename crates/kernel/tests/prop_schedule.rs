@@ -2,9 +2,7 @@
 //! commitment streams, and agreement between `commit`-time enforcement
 //! and the independent validator.
 
-use cslack_kernel::{
-    validate_schedule, InstanceBuilder, Job, JobId, MachineId, Schedule, Time,
-};
+use cslack_kernel::{validate_schedule, InstanceBuilder, Job, JobId, MachineId, Schedule, Time};
 use proptest::prelude::*;
 
 /// A random "commitment request": job shape plus a target machine and a
@@ -26,13 +24,15 @@ fn arb_req() -> impl Strategy<Value = Req> {
         0usize..4,
         0.0f64..1.5, // > 1 intentionally produces infeasible starts
     )
-        .prop_map(|(release, proc_time, slack_factor, machine, start_frac)| Req {
-            release,
-            proc_time,
-            slack_factor,
-            machine,
-            start_frac,
-        })
+        .prop_map(
+            |(release, proc_time, slack_factor, machine, start_frac)| Req {
+                release,
+                proc_time,
+                slack_factor,
+                machine,
+                start_frac,
+            },
+        )
 }
 
 proptest! {

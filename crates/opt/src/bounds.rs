@@ -73,7 +73,11 @@ pub fn greedy_schedule(instance: &Instance) -> Schedule {
 fn edf_dispatch(instance: &Instance, set: &[usize]) -> Option<Schedule> {
     let m = instance.machines();
     let mut order: Vec<usize> = set.to_vec();
-    order.sort_by(|&a, &b| instance.jobs()[a].deadline.cmp(&instance.jobs()[b].deadline));
+    order.sort_by(|&a, &b| {
+        instance.jobs()[a]
+            .deadline
+            .cmp(&instance.jobs()[b].deadline)
+    });
     let mut schedule = Schedule::new(m);
     let mut frontiers = vec![Time::ZERO; m];
     for idx in order {

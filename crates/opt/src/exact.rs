@@ -432,17 +432,13 @@ mod tests {
         for trial in 0..25 {
             let m = rng.gen_range(1..=3);
             let n = rng.gen_range(1..=7);
-            let eps = [0.1, 0.3, 0.7][rng.gen_range(0..3)];
+            let eps = [0.1, 0.3, 0.7][rng.gen_range(0..3usize)];
             let mut b = InstanceBuilder::new(m, eps);
             for _ in 0..n {
                 let r = rng.gen_range(0.0..3.0);
                 let p = rng.gen_range(0.2..2.0);
                 let slack: f64 = rng.gen_range(eps..1.5);
-                b.push(
-                    Time::new(r),
-                    p,
-                    Time::new(r + (1.0 + slack) * p),
-                );
+                b.push(Time::new(r), p, Time::new(r + (1.0 + slack) * p));
             }
             let inst = b.build().unwrap();
             let dp = max_load(&inst);

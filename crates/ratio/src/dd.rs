@@ -283,8 +283,7 @@ mod tests {
         // satisfies c^2 - c - (6 + 4/eps) = 0 to ~1e-25.
         let eps = 0.1;
         let c = solve_c_dd(2, 1, eps);
-        let residual = c * c - c
-            - (Dd::from_f64(6.0) + Dd::from_f64(4.0) / Dd::from_f64(eps));
+        let residual = c * c - c - (Dd::from_f64(6.0) + Dd::from_f64(4.0) / Dd::from_f64(eps));
         assert!(
             residual.abs().to_f64() < 1e-24 * c.to_f64().powi(2),
             "residual {}",

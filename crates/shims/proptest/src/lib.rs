@@ -1,0 +1,466 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use as a
+//! deterministic random-sampling runner: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`strategy::Just`], [`strategy::OneOf`],
+//! `prop::collection::vec`, `any::<T>()`, and the [`proptest!`] /
+//! [`prop_oneof!`] / `prop_assert*!` macros. No shrinking: a failing
+//! case fails the test directly with the assertion message. Every run
+//! uses a fixed seed, so failures reproduce exactly.
+
+pub mod test_runner {
+    //! The deterministic RNG driving each `proptest!` block.
+
+    pub use rand::Rng;
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+    /// RNG handed to strategies. A fixed seed keeps case generation
+    /// reproducible across runs (this shim does not shrink).
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// The runner's canonical generator.
+        pub fn deterministic() -> TestRng {
+            TestRng(StdRng::seed_from_u64(0x70726f70_74657374))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Per-block configuration (only `cases` is meaningful here).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test function runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent second-stage strategy from each value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Boxes a strategy (used by `prop_oneof!` for type unification).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, W> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+        fn sample(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from a non-empty alternative list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait ArbitraryValue: Sized {
+        /// Draws an unconstrained value.
+        fn any_sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn any_sample(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn any_sample(rng: &mut TestRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for f64 {
+        fn any_sample(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = rng.gen_range(-9.0f64..9.0);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * 10f64.powf(mag)
+        }
+    }
+
+    /// Strategy for [`ArbitraryValue`] types; see [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::any_sample(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::{AnyStrategy, ArbitraryValue};
+
+    /// Strategy producing unconstrained values of `T`.
+    pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a vec-length specification.
+    pub trait SizeBounds {
+        /// Inclusive `(lo, hi)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeBounds for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..=self.hi);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(args in strategies) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__cfg.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-flavoured name (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Law {
+        A,
+        B(f64),
+    }
+
+    fn arb_law() -> impl Strategy<Value = Law> {
+        prop_oneof![Just(Law::A), (0.5f64..1.5).prop_map(Law::B),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuple_and_ranges(m in 1usize..=4, eps in 0.05f64..=1.0, k in 0usize..3) {
+            prop_assert!((1..=4).contains(&m));
+            prop_assert!((0.05..=1.0).contains(&eps));
+            prop_assert!(k < 3);
+        }
+
+        #[test]
+        fn vec_and_any(xs in prop::collection::vec((0.0f64..5.0, 0.1f64..2.0), 1..20), seed in any::<u64>()) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for (a, b) in &xs {
+                prop_assert!((0.0..5.0).contains(a) && (0.1..2.0).contains(b));
+            }
+            let _ = seed;
+        }
+
+        #[test]
+        fn tuple_pattern_destructuring((a, b) in (0u32..10, 10u32..20)) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_and_flat_map(law in arb_law(), pair in (1usize..5).prop_flat_map(|n| (Just(n), 0usize..5))) {
+            match law {
+                Law::A => {}
+                Law::B(x) => prop_assert!((0.5..1.5).contains(&x)),
+            }
+            prop_assert!(pair.1 < 5);
+            prop_assert_eq!(pair.0, pair.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec(0.0f64..1.0, 0..10);
+        let mut r1 = crate::test_runner::TestRng::deterministic();
+        let mut r2 = crate::test_runner::TestRng::deterministic();
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset this workspace uses:
+//! `slice.par_iter()` followed by `map` / `enumerate` / `for_each` /
+//! `for_each_with` / `collect`. Each adapter stage runs eagerly,
+//! splitting its items into contiguous chunks across
+//! `available_parallelism()` scoped threads; result order is
+//! preserved, matching rayon's indexed collect semantics.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// `0` means "use every core".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The effective worker count for the calling thread.
+fn current_threads() -> usize {
+    let configured = POOL_THREADS.with(Cell::get);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (thread count only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (all cores) configuration.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Caps the pool at `n` worker threads; `0` means all cores.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim, but keeps rayon's
+    /// fallible signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type matching `rayon::ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count policy: parallel work run under
+/// [`ThreadPool::install`] uses this pool's thread cap.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// Runs `f` over `items` on a pool of scoped threads, preserving
+/// order. Falls back to the current thread for tiny inputs.
+fn run_parallel<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut iter = items.into_iter();
+    let chunks: Vec<Vec<I>> = (0..threads)
+        .map(|_| iter.by_ref().take(chunk).collect())
+        .collect();
+    let fref = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(fref).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager "parallel iterator" holding its items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Applies `f` to every item in parallel, keeping order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParIter {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Consumes every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_parallel(self.items, |item| f(item));
+    }
+
+    /// Like [`ParIter::for_each`], but each worker thread gets its own
+    /// clone of `init` (rayon's `for_each_with`).
+    pub fn for_each_with<S, F>(self, init: S, f: F)
+    where
+        S: Clone + Send,
+        F: Fn(&mut S, I) + Sync,
+    {
+        let n = self.items.len();
+        let threads = current_threads().min(n);
+        if threads <= 1 {
+            let mut state = init;
+            for item in self.items {
+                f(&mut state, item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let mut iter = self.items.into_iter();
+        let chunks: Vec<Vec<I>> = (0..threads)
+            .map(|_| iter.by_ref().take(chunk).collect())
+            .collect();
+        let fref = &f;
+        std::thread::scope(|s| {
+            for c in chunks {
+                let mut state = init.clone();
+                s.spawn(move || {
+                    for item in c {
+                        fref(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Collects the (already ordered) items into any collection.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Extension trait putting `.par_iter()` on slices (and, via deref,
+/// on `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| (x as u64) * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn enumerate_for_each_sees_all_indices() {
+        let xs = vec![10u32; 257];
+        let sum = AtomicU64::new(0);
+        xs.par_iter().enumerate().for_each(|(i, &x)| {
+            sum.fetch_add(i as u64 + x as u64, Ordering::Relaxed);
+        });
+        let expect: u64 = (0..257).map(|i| i + 10).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn for_each_with_clones_state() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let xs: Vec<u32> = (0..100).collect();
+        xs.par_iter().for_each_with(tx, |tx, &x| {
+            tx.send(x).unwrap();
+        });
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn thread_pool_install_caps_parallelism() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let xs: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = pool.install(|| xs.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out, (1..=100).collect::<Vec<u32>>());
+        // The override is scoped to the install call.
+        assert_eq!(super::POOL_THREADS.with(std::cell::Cell::get), 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        xs.par_iter().for_each(|_| panic!("must not run"));
+    }
+}

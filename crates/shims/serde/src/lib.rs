@@ -1,0 +1,477 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace ships
+//! a minimal, self-consistent (de)serialization framework under the
+//! `serde` package name. It keeps the two public touch points the code
+//! base actually uses — `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` — source-compatible, while the
+//! machinery underneath is a simple value-tree model:
+//!
+//! * [`Serialize`] renders a type into a [`Value`] tree;
+//! * [`Deserialize`] rebuilds a type from a [`Value`] tree;
+//! * the `serde_json` shim turns [`Value`] trees into real JSON text
+//!   and back.
+//!
+//! The derive macros (re-exported from the `serde_derive` shim) follow
+//! serde's external data model conventions: structs become maps, unit
+//! enum variants become strings, data-carrying variants become
+//! single-key maps, and single-field tuple structs are transparent.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization tree (the shim's data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A deserialization error (message only, like `serde::de::Error`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from anything displayable.
+    pub fn custom<T: fmt::Display>(msg: T) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches a struct field from a map value; missing fields surface as
+/// [`Value::Null`] so `Option` fields deserialize to `None` while any
+/// other type reports a clear error.
+pub fn get_field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    v.get(name).unwrap_or(&Value::Null)
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, DeError> {
+    Err(DeError(format!("expected {expected}, got {}", got.kind())))
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => return type_err("unsigned integer", other),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::U64(x as u64)
+                } else {
+                    Value::I64(x)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range")))?,
+                    other => return type_err("integer", other),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    other => type_err("number", other),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+// ---- generic impls -----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| {
+                    DeError(format!("expected sequence, got {}", v.kind()))
+                })?;
+                let want = [$($i),+].len();
+                if seq.len() != want {
+                    return Err(DeError(format!(
+                        "expected {}-tuple, got {} elements", want, seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$i])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Serializes a map key: scalar values render as their string form, so
+/// integer-keyed maps become JSON objects (like real `serde_json`).
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(u) => u.to_string(),
+        Value::I64(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::F64(x) => x.to_string(),
+        other => panic!("unsupported map key type: {}", other.kind()),
+    }
+}
+
+/// Parses a map key back into the most specific scalar [`Value`].
+fn key_from_string(s: &str) -> Value {
+    if let Ok(u) = s.parse::<u64>() {
+        return Value::U64(u);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::I64(i);
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        return Value::F64(x);
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(s.to_string()),
+    }
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(String, Value)> = entries
+        .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+        .collect();
+    // Deterministic output regardless of hash order.
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Map(out)
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize>(
+    v: &Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| DeError(format!("expected map, got {}", v.kind())))?;
+    entries
+        .iter()
+        .map(|(ks, vv)| {
+            let key = K::from_value(&key_from_string(ks))
+                .or_else(|_| K::from_value(&Value::Str(ks.clone())))?;
+            Ok((key, V::from_value(vv)?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_missing_fields() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        let map = Value::Map(vec![]);
+        assert_eq!(get_field(&map, "absent"), &Value::Null);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert_eq!(i32::from_value(&Value::I64(-5)).unwrap(), -5);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn hashmap_round_trip_is_sorted_and_exact() {
+        let mut m = HashMap::new();
+        m.insert(10u32, 1.5f64);
+        m.insert(2u32, -0.25f64);
+        let v = m.to_value();
+        let keys: Vec<&str> = v
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["10", "2"]); // lexicographic, deterministic
+        let back: HashMap<u32, f64> = HashMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

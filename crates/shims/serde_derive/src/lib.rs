@@ -1,0 +1,390 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The macros parse the item declaration directly from the token stream
+//! (no `syn`/`quote` — the build environment is offline) and emit impls
+//! of the shim's `serde::Serialize` / `serde::Deserialize` traits
+//! following serde's external data model:
+//!
+//! * named struct        -> map of fields
+//! * newtype struct      -> transparent (the inner value)
+//! * tuple struct        -> sequence
+//! * unit enum variant   -> the variant name as a string
+//! * newtype variant     -> `{ "Variant": inner }`
+//! * tuple variant       -> `{ "Variant": [..] }`
+//! * struct variant      -> `{ "Variant": { fields } }`
+//!
+//! `#[serde(...)]` attributes are accepted (so existing annotations such
+//! as `#[serde(transparent)]` parse) but ignored: newtype structs are
+//! always transparent, which matches every annotation in the workspace.
+//! Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on commas that sit outside `<...>` nesting.
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses `name: Type` field declarations from a brace group.
+fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level_commas(toks) {
+        let i = skip_attrs_and_vis(&field, 0);
+        if i >= field.len() {
+            continue; // trailing comma
+        }
+        match &field[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found `{other}`")),
+        }
+        match field.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    names.last().unwrap()
+                ))
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple struct/variant paren group.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    split_top_level_commas(toks)
+        .into_iter()
+        .filter(|seg| skip_attrs_and_vis(seg, 0) < seg.len())
+        .count()
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_top_level_commas(toks) {
+        let i = skip_attrs_and_vis(&seg, 0);
+        if i >= seg.len() {
+            continue;
+        }
+        let name = match &seg[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let body = match seg.get(i + 1) {
+            None => Body::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Body::Tuple(
+                count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("discriminant on variant `{name}` is unsupported"))
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in variant `{name}`")),
+        };
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is unsupported by the serde shim derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Named(
+                    parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+                ),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => return Err(format!("unexpected struct body `{other:?}`")),
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?,
+            }),
+            other => Err(format!("unexpected enum body `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde shim derive produced invalid code: {e}")))
+}
+
+// ---- Serialize ---------------------------------------------------------
+
+fn serialize_named(fields: &[String], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({accessor}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, body } => (name, Some(body)),
+        Item::Enum { name, .. } => (name, None),
+    };
+    let inner = match item {
+        Item::Struct { .. } => match body.unwrap() {
+            Body::Named(fields) => serialize_named(fields, "&self."),
+            Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            }
+            Body::Unit => "::serde::Value::Null".to_string(),
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Body::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {inner}\n    }}\n}}\n"
+    )
+}
+
+// ---- Deserialize -------------------------------------------------------
+
+fn deserialize_named(fields: &[String], ctor: &str, source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::get_field({source}, \"{f}\"))?")
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, inner) = match item {
+        Item::Struct { name, body } => {
+            let inner = match body {
+                Body::Named(fields) => format!(
+                    "if __v.as_map().is_none() {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected map for struct {name}, got {{}}\", __v.kind()))); }}\n        ::std::result::Result::Ok({})",
+                    deserialize_named(fields, name, "__v")
+                ),
+                Body::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError(::std::format!(\"expected sequence for {name}, got {{}}\", __v.kind())))?;\n        if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected {n} elements for {name}, got {{}}\", __seq.len()))); }}\n        ::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Body::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, inner)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.body, Body::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Body::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __seq = __inner.as_seq().ok_or_else(|| ::serde::DeError(::std::string::String::from(\"expected sequence for variant {vn}\")))?; if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(::std::string::String::from(\"wrong arity for variant {vn}\"))); }} ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                elems.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({}),",
+                            deserialize_named(fields, &format!("{name}::{vn}"), "__inner")
+                        ),
+                        Body::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            let inner = format!(
+                "match __v {{\n            ::serde::Value::Str(__s) => match __s.as_str() {{\n                {unit}\n                __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n            }},\n            ::serde::Value::Map(__entries) => {{\n                if __entries.len() != 1 {{ return ::std::result::Result::Err(::serde::DeError(::std::string::String::from(\"expected single-key map for enum {name}\"))); }}\n                let (__tag, __inner) = &__entries[0];\n                match __tag.as_str() {{\n                    {data}\n                    __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n                }}\n            }},\n            __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected string or map for enum {name}, got {{}}\", __other.kind()))),\n        }}",
+                unit = unit_arms.join("\n                "),
+                data = data_arms.join("\n                    "),
+            );
+            (name, inner)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {inner}\n    }}\n}}\n"
+    )
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit(gen_serialize(&item)),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit(gen_deserialize(&item)),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -254,7 +254,11 @@ pub fn accepted_load_timeline(instance: &Instance, report: &SimReport) -> StepSe
         if d.accepted {
             let job = instance.job(d.job);
             total += job.proc_time;
-            if times.last().map(|&lt| job.release.raw() > lt).unwrap_or(true) {
+            if times
+                .last()
+                .map(|&lt| job.release.raw() > lt)
+                .unwrap_or(true)
+            {
                 times.push(job.release.raw());
                 values.push(total);
             } else {
@@ -382,11 +386,7 @@ mod tests {
             if !d.accepted {
                 let job = inst.job(d.job);
                 let (r, dl) = (job.release.raw(), job.deadline.raw().min(a.horizon));
-                let inside: f64 = a
-                    .covered
-                    .iter()
-                    .map(|c| c.interval.overlap(r, dl))
-                    .sum();
+                let inside: f64 = a.covered.iter().map(|c| c.interval.overlap(r, dl)).sum();
                 assert!(
                     (inside - (dl - r)).abs() < 1e-9 * (dl - r).max(1.0),
                     "{}'s window not fully covered",

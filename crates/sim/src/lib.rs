@@ -23,7 +23,7 @@ pub mod sweep;
 
 use cslack_algorithms::{Decision, OnlineScheduler};
 use cslack_kernel::{
-    validate_schedule, Instance, JobId, KernelError, Schedule, ValidationReport,
+    validate_schedule, Instance, Job, JobId, KernelError, Schedule, ValidationReport,
 };
 use serde::Serialize;
 use std::fmt;
@@ -142,6 +142,34 @@ impl SimReport {
     }
 }
 
+/// Applies one irrevocable [`Decision`] to the authoritative schedule,
+/// enforcing the commitment contract.
+///
+/// Returns `Ok(true)` if the job was accepted and committed, `Ok(false)`
+/// if it was rejected, and [`SimError::BadCommitment`] if the decision
+/// violates any schedule invariant (release, deadline, overlap,
+/// duplicate id). This is the single contract-check shared by the
+/// sequential [`simulate`] driver and the sharded service engine: both
+/// treat algorithms as untrusted.
+pub fn apply_decision(
+    schedule: &mut Schedule,
+    job: &Job,
+    decision: Decision,
+) -> Result<bool, SimError> {
+    match decision {
+        Decision::Accept { machine, start } => {
+            schedule
+                .commit(*job, machine, start)
+                .map_err(|source| SimError::BadCommitment {
+                    job: job.id,
+                    source,
+                })?;
+            Ok(true)
+        }
+        Decision::Reject => Ok(false),
+    }
+}
+
 /// Replays `instance` through `algorithm`, enforcing commitments.
 pub fn simulate(
     instance: &Instance,
@@ -156,24 +184,12 @@ pub fn simulate(
     let mut schedule = Schedule::new(instance.machines());
     let mut decisions = Vec::with_capacity(instance.len());
     for job in instance.jobs() {
-        match algorithm.offer(job) {
-            Decision::Accept { machine, start } => {
-                schedule
-                    .commit(*job, machine, start)
-                    .map_err(|source| SimError::BadCommitment {
-                        job: job.id,
-                        source,
-                    })?;
-                decisions.push(JobDecision {
-                    job: job.id,
-                    accepted: true,
-                });
-            }
-            Decision::Reject => decisions.push(JobDecision {
-                job: job.id,
-                accepted: false,
-            }),
-        }
+        let decision = algorithm.offer(job);
+        let accepted = apply_decision(&mut schedule, job, decision)?;
+        decisions.push(JobDecision {
+            job: job.id,
+            accepted,
+        });
     }
     let validation = validate_schedule(instance, &schedule);
     if !validation.is_valid() {

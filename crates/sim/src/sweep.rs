@@ -122,7 +122,9 @@ pub fn run_cell(cell: &Cell, exact_limit: usize) -> Result<Row, SimError> {
         .expect("workload specs in sweeps must be valid");
     // The randomized algorithm runs on a single real machine regardless
     // of the spec's m; everything else matches the instance.
-    let mut algo = cell.algo.build(instance.machines(), instance.slack(), cell.spec.seed);
+    let mut algo = cell
+        .algo
+        .build(instance.machines(), instance.slack(), cell.spec.seed);
     let (report, instance) = if algo.machines() != instance.machines() {
         let single = remachine(&instance, algo.machines());
         (simulate(&single, algo.as_mut())?, single)
@@ -147,8 +149,7 @@ pub fn run_cell(cell: &Cell, exact_limit: usize) -> Result<Row, SimError> {
 
 /// Rebuilds an instance with a different machine count (same jobs).
 fn remachine(instance: &Instance, m: usize) -> Instance {
-    let mut b =
-        cslack_kernel::InstanceBuilder::with_capacity(m, instance.slack(), instance.len());
+    let mut b = cslack_kernel::InstanceBuilder::with_capacity(m, instance.slack(), instance.len());
     for j in instance.jobs() {
         b.push(j.release, j.proc_time, j.deadline);
     }

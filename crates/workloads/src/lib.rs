@@ -231,8 +231,12 @@ mod tests {
 
     #[test]
     fn different_seed_different_instance() {
-        let a = WorkloadSpec::default_spec(2, 0.5, 64, 1).generate().unwrap();
-        let b = WorkloadSpec::default_spec(2, 0.5, 64, 2).generate().unwrap();
+        let a = WorkloadSpec::default_spec(2, 0.5, 64, 1)
+            .generate()
+            .unwrap();
+        let b = WorkloadSpec::default_spec(2, 0.5, 64, 2)
+            .generate()
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -291,7 +295,10 @@ mod tests {
     #[test]
     fn bursts_share_release_dates() {
         let spec = WorkloadSpec {
-            arrivals: ArrivalLaw::Bursty { burst: 5, rate: 1.0 },
+            arrivals: ArrivalLaw::Bursty {
+                burst: 5,
+                rate: 1.0,
+            },
             ..WorkloadSpec::default_spec(2, 0.5, 25, 13)
         };
         let inst = spec.generate().unwrap();

@@ -16,7 +16,9 @@ pub fn iaas_mix(m: usize, eps: f64, n: usize, seed: u64) -> Instance {
         m,
         eps,
         n: (n * 3) / 4,
-        arrivals: ArrivalLaw::Poisson { rate: 2.0 * m as f64 },
+        arrivals: ArrivalLaw::Poisson {
+            rate: 2.0 * m as f64,
+        },
         sizes: SizeLaw::Uniform { lo: 0.1, hi: 0.5 },
         slack: SlackLaw::Tight,
         seed,
@@ -127,7 +129,11 @@ pub fn smoke(m: usize, eps: f64) -> Instance {
     let mut b = InstanceBuilder::new(m, eps);
     b.push_tight(Time::ZERO, 1.0);
     b.push_tight(Time::ZERO, 1.0);
-    b.push(Time::new(0.5), 2.0, Time::new(0.5 + 2.0 * (1.0 + eps) + 1.0));
+    b.push(
+        Time::new(0.5),
+        2.0,
+        Time::new(0.5 + 2.0 * (1.0 + eps) + 1.0),
+    );
     b.push_tight(Time::new(1.0), 0.5);
     b.build().expect("smoke instance")
 }
@@ -160,10 +166,7 @@ mod tests {
             assert!(j.satisfies_slack(0.25));
         }
         // Releases are sorted (merge invariant).
-        assert!(inst
-            .jobs()
-            .windows(2)
-            .all(|w| w[0].release <= w[1].release));
+        assert!(inst.jobs().windows(2).all(|w| w[0].release <= w[1].release));
     }
 
     #[test]

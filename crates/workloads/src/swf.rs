@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn short_and_malformed_lines_are_reported_with_position() {
-        assert_eq!(
-            parse_swf("1 2 3"),
-            Err(SwfError::ShortLine { line: 1 })
-        );
+        assert_eq!(parse_swf("1 2 3"), Err(SwfError::ShortLine { line: 1 }));
         let bad = "\n; c\n1 abc 3 4 5";
         assert_eq!(
             parse_swf(bad),

@@ -95,14 +95,18 @@ mod tests {
 
     #[test]
     fn string_round_trip() {
-        let inst = WorkloadSpec::default_spec(2, 0.5, 10, 3).generate().unwrap();
+        let inst = WorkloadSpec::default_spec(2, 0.5, 10, 3)
+            .generate()
+            .unwrap();
         let s = to_string(&inst).unwrap();
         assert_eq!(from_string(&s).unwrap(), inst);
     }
 
     #[test]
     fn file_round_trip() {
-        let inst = WorkloadSpec::default_spec(3, 0.25, 20, 4).generate().unwrap();
+        let inst = WorkloadSpec::default_spec(3, 0.25, 20, 4)
+            .generate()
+            .unwrap();
         let dir = std::env::temp_dir().join("cslack-trace-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.json");
@@ -114,7 +118,9 @@ mod tests {
     #[test]
     fn version_mismatch_is_detected() {
         let inst = WorkloadSpec::default_spec(1, 0.5, 2, 5).generate().unwrap();
-        let s = to_string(&inst).unwrap().replace("\"version\": 1", "\"version\": 99");
+        let s = to_string(&inst)
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
         match from_string(&s) {
             Err(TraceError::VersionMismatch { found: 99 }) => {}
             other => panic!("expected version mismatch, got {other:?}"),

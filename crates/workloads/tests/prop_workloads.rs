@@ -20,8 +20,13 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
             (0.1f64..1.0, 1.0f64..8.0).prop_map(|(lo, hi)| SizeLaw::Uniform { lo, hi }),
             (0.5f64..2.5, 0.1f64..1.0, 2.0f64..50.0)
                 .prop_map(|(alpha, lo, hi)| SizeLaw::BoundedPareto { alpha, lo, hi }),
-            (0.0f64..=1.0, 0.1f64..1.0, 2.0f64..9.0)
-                .prop_map(|(p_small, small, large)| SizeLaw::Bimodal { p_small, small, large }),
+            (0.0f64..=1.0, 0.1f64..1.0, 2.0f64..9.0).prop_map(|(p_small, small, large)| {
+                SizeLaw::Bimodal {
+                    p_small,
+                    small,
+                    large,
+                }
+            }),
         ],
         prop_oneof![
             Just(SlackLaw::Tight),

@@ -16,7 +16,10 @@
 use cslack::prelude::*;
 use cslack::workloads::scenarios;
 
-fn run_policy(inst: &cslack::kernel::Instance, alg: &mut dyn OnlineScheduler) -> (String, f64, f64) {
+fn run_policy(
+    inst: &cslack::kernel::Instance,
+    alg: &mut dyn OnlineScheduler,
+) -> (String, f64, f64) {
     let report = simulate(inst, alg).expect("clean run");
     let ceiling = cslack::opt::flow::preemptive_load_bound(inst);
     (
@@ -42,7 +45,10 @@ fn main() {
         run_policy(&mix, &mut Threshold::new(m, eps)),
         run_policy(&mix, &mut Greedy::new(m)),
     ] {
-        println!("  {name:<12} revenue {load:8.2}   ({:.0}% of preemptive ceiling)", frac * 100.0);
+        println!(
+            "  {name:<12} revenue {load:8.2}   ({:.0}% of preemptive ceiling)",
+            frac * 100.0
+        );
     }
 
     println!();
@@ -64,7 +70,10 @@ fn main() {
         run_policy(&flood, &mut Threshold::new(m, eps)),
         run_policy(&flood, &mut Greedy::new(m)),
     ] {
-        println!("  {name:<12} revenue {load:8.2}   ({:.0}% of preemptive ceiling)", frac * 100.0);
+        println!(
+            "  {name:<12} revenue {load:8.2}   ({:.0}% of preemptive ceiling)",
+            frac * 100.0
+        );
     }
     println!();
     println!("greedy sells every cheap slot and has nothing left for premium work;");

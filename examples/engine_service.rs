@@ -1,0 +1,98 @@
+//! Service engine demo: several producer threads stream jobs into a
+//! sharded admission engine; each shard runs its own `Threshold`
+//! scheduler over a disjoint machine group, and the shard schedules
+//! are merged into one validated cluster schedule at drain time.
+//!
+//! ```text
+//! cargo run --example engine_service
+//! ```
+
+use cslack::engine::{Engine, EngineConfig, SubmitError};
+use cslack::kernel::validate_schedule;
+use cslack::prelude::*;
+use cslack::workloads::WorkloadSpec;
+
+fn main() {
+    let (m, eps, n, shards) = (8, 0.4, 10_000, 4);
+    let inst = WorkloadSpec::default_spec(m, eps, n, 7)
+        .generate()
+        .expect("workload");
+
+    // One Threshold instance per shard, each sized to its machine group.
+    let builder = |_shard: usize, group: usize| -> Box<dyn OnlineScheduler> {
+        Box::new(Threshold::new(group, eps))
+    };
+    let engine = Engine::start(m, EngineConfig::new(shards), builder).expect("engine start");
+    println!(
+        "engine up: {} machines across {} shards {:?}",
+        engine.machines(),
+        engine.shard_count(),
+        (0..shards)
+            .map(|s| engine.shard_machines(s).len())
+            .collect::<Vec<_>>()
+    );
+
+    // Four producers interleave submissions; `try_submit` shows the
+    // backpressure path, falling back to the blocking `submit`.
+    let mut retried = 0u64;
+    std::thread::scope(|scope| {
+        let retried = &mut retried;
+        let counters: Vec<_> = (0..4)
+            .map(|p| {
+                let engine = &engine;
+                let jobs = inst.jobs().iter().skip(p).step_by(4);
+                scope.spawn(move || {
+                    let mut retries = 0u64;
+                    for job in jobs {
+                        match engine.try_submit(*job) {
+                            Ok(()) => {}
+                            Err(SubmitError::Full(job)) => {
+                                retries += 1;
+                                engine.submit(job).expect("blocking submit");
+                            }
+                            Err(SubmitError::Closed(_)) => unreachable!("engine still open"),
+                        }
+                    }
+                    retries
+                })
+            })
+            .collect();
+        *retried = counters.into_iter().map(|h| h.join().unwrap()).sum();
+    });
+
+    // Drain: join the shards, merge their schedules, re-validate.
+    let report = engine.finish().expect("drain");
+    let metrics = &report.metrics;
+    println!(
+        "accepted {}/{} jobs, load {:.1} ({} submissions hit backpressure)",
+        metrics.accepted, metrics.submitted, metrics.accepted_load, retried
+    );
+    println!(
+        "throughput {:.0} decisions/sec, latency min/mean/max = {}/{}/{} ns",
+        metrics.decisions_per_sec,
+        metrics.latency.min_ns,
+        metrics.latency.mean_ns,
+        metrics.latency.max_ns
+    );
+    for s in &metrics.per_shard {
+        println!(
+            "  shard {}: {} machines, {}/{} accepted, utilization {:.1}%",
+            s.shard,
+            s.machines,
+            s.accepted,
+            s.submitted,
+            s.utilization * 100.0
+        );
+    }
+
+    let validation = validate_schedule(&inst, &report.schedule);
+    println!(
+        "merged schedule: {} ({} violations)",
+        if validation.is_valid() {
+            "VALID"
+        } else {
+            "INVALID"
+        },
+        validation.violations.len()
+    );
+}

@@ -81,8 +81,7 @@ fn main() {
          {:.0}% of the horizon covered, covered-capacity utilization {:.0}%",
         a.covered.len(),
         100.0 * a.covered_time() / a.horizon,
-        100.0 * a.covered_load()
-            / a.covered.iter().map(|c| c.capacity).sum::<f64>().max(1e-12)
+        100.0 * a.covered_load() / a.covered.iter().map(|c| c.capacity).sum::<f64>().max(1e-12)
     );
     println!();
     println!("every relaxation of the commitment/machine model buys load — the gap");

@@ -45,7 +45,10 @@ fn main() {
                 d.job, c.machine, c.start, job.proc_time, job.deadline
             );
         } else {
-            println!("{}: reject (p={}, d={})", d.job, job.proc_time, job.deadline);
+            println!(
+                "{}: reject (p={}, d={})",
+                d.job, job.proc_time, job.deadline
+            );
         }
     }
     println!();

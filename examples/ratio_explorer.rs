@@ -26,7 +26,10 @@ fn main() {
 
     let p = r.eval(eps);
     println!("at eps = {eps}: phase k = {}", p.k);
-    println!("  c(eps, m)            = {:.6}   (Theorem 1 lower bound)", p.c);
+    println!(
+        "  c(eps, m)            = {:.6}   (Theorem 1 lower bound)",
+        p.c
+    );
     println!(
         "  Threshold guarantee  = {:.6}   (Theorem 2{})",
         r.threshold_upper_bound(eps),
@@ -42,7 +45,10 @@ fn main() {
         "  greedy / 1 machine (Goldwasser-Kerbikov) : {:.4}",
         goldwasser_kerbikov_bound(eps)
     );
-    println!("  Lee'03 commit-on-admission, m machines   : {:.4}", lee_bound(eps, m));
+    println!(
+        "  Lee'03 commit-on-admission, m machines   : {:.4}",
+        lee_bound(eps, m)
+    );
     println!(
         "  DasGupta-Palis preemptive (no migration) : {:.4}",
         dasgupta_palis_bound(eps)

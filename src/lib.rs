@@ -16,6 +16,7 @@
 //! * [`workloads`] — random instance generators.
 //! * [`opt`] — offline optimal and upper bounds.
 //! * [`sim`] — the simulator and parallel sweep harness.
+//! * [`engine`] — the sharded concurrent admission-control service.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use cslack_adversary as adversary;
 pub use cslack_algorithms as algorithms;
+pub use cslack_engine as engine;
 pub use cslack_kernel as kernel;
 pub use cslack_opt as opt;
 pub use cslack_ratio as ratio;
@@ -46,9 +48,8 @@ pub use cslack_workloads as workloads;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use cslack_algorithms::{Decision, Greedy, OnlineScheduler, Threshold};
-    pub use cslack_kernel::{
-        Instance, InstanceBuilder, Job, JobId, MachineId, Schedule, Time,
-    };
+    pub use cslack_engine::{Engine, EngineConfig, EngineMetrics, EngineReport};
+    pub use cslack_kernel::{Instance, InstanceBuilder, Job, JobId, MachineId, Schedule, Time};
     pub use cslack_ratio::RatioFn;
     pub use cslack_sim::{simulate, SimReport};
 }

@@ -90,7 +90,10 @@ fn greedy_gap_widens_with_shrinking_slack() {
         );
         prev_gap = gap;
     }
-    assert!(prev_gap > 2.0, "greedy should be at least 2x worse by eps=0.05");
+    assert!(
+        prev_gap > 2.0,
+        "greedy should be at least 2x worse by eps=0.05"
+    );
 }
 
 /// Adversary beta controls precision: smaller beta => closer to c.

@@ -11,7 +11,9 @@ use cslack::workloads::WorkloadSpec;
 /// revising any commitment (the definition of immediate commitment).
 #[test]
 fn threshold_never_revises_a_commitment() {
-    let inst = WorkloadSpec::default_spec(3, 0.3, 80, 21).generate().unwrap();
+    let inst = WorkloadSpec::default_spec(3, 0.3, 80, 21)
+        .generate()
+        .unwrap();
     let mut alg = Threshold::for_instance(&inst);
     let mut schedule = Schedule::new(inst.machines());
     let mut prev = schedule.clone();
@@ -33,7 +35,9 @@ fn threshold_never_revises_a_commitment() {
 /// prefix of the decisions (online-ness / no lookahead).
 #[test]
 fn decisions_depend_only_on_the_past() {
-    let inst = WorkloadSpec::default_spec(2, 0.5, 30, 4).generate().unwrap();
+    let inst = WorkloadSpec::default_spec(2, 0.5, 30, 4)
+        .generate()
+        .unwrap();
     let full = cslack::sim::simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
     for cut in [1usize, 7, 15, 29] {
         let mut alg = Threshold::for_instance(&inst);
@@ -63,10 +67,7 @@ fn double_commitment_is_refused() {
     let err = schedule.commit(job, MachineId(0), Time::new(5.0));
     assert!(err.is_err(), "revision must be refused");
     // The original commitment is untouched.
-    assert_eq!(
-        schedule.commitment_of(JobId(0)).unwrap().start,
-        Time::ZERO
-    );
+    assert_eq!(schedule.commitment_of(JobId(0)).unwrap().start, Time::ZERO);
 }
 
 /// A hostile scheduler accepting everything at slot 0 is caught by the
@@ -101,7 +102,9 @@ fn hostile_scheduler_is_rejected_by_the_simulator() {
 /// identical decisions (no hidden state leaks across runs).
 #[test]
 fn reset_gives_identical_reruns() {
-    let inst = WorkloadSpec::default_spec(3, 0.2, 50, 77).generate().unwrap();
+    let inst = WorkloadSpec::default_spec(3, 0.2, 50, 77)
+        .generate()
+        .unwrap();
     let mut alg = Threshold::for_instance(&inst);
     let first = cslack::sim::simulate(&inst, &mut alg).unwrap();
     alg.reset();

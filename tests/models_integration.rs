@@ -94,8 +94,7 @@ fn nonpreemptive_models_produce_valid_schedules() {
 #[test]
 fn flood_trap_separates_the_models() {
     let inst = scenarios::small_job_flood(4, 0.1, 9);
-    let loads: std::collections::HashMap<&str, f64> =
-        model_loads(&inst).into_iter().collect();
+    let loads: std::collections::HashMap<&str, f64> = model_loads(&inst).into_iter().collect();
     assert!(
         loads["threshold"] > 2.0 * loads["greedy"],
         "threshold {} vs greedy {}",
@@ -121,8 +120,7 @@ fn migration_wins_the_capacity_exact_instance() {
         .job(Time::ZERO, 2.0, Time::new(3.0))
         .build()
         .unwrap();
-    let loads: std::collections::HashMap<&str, f64> =
-        model_loads(&inst).into_iter().collect();
+    let loads: std::collections::HashMap<&str, f64> = model_loads(&inst).into_iter().collect();
     assert!((loads["migration"] - 6.0).abs() < 1e-6, "{loads:?}");
     for (model, load) in &loads {
         if *model != "migration" {

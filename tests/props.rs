@@ -9,13 +9,13 @@ use proptest::prelude::*;
 
 fn arb_spec(max_n: usize) -> impl Strategy<Value = WorkloadSpec> {
     (
-        1usize..=4,            // m
-        0.05f64..=1.0,         // eps
-        1usize..=max_n,        // n
-        any::<u64>(),          // seed
-        0usize..3,             // arrival law selector
-        0usize..4,             // size law selector
-        0usize..3,             // slack law selector
+        1usize..=4,     // m
+        0.05f64..=1.0,  // eps
+        1usize..=max_n, // n
+        any::<u64>(),   // seed
+        0usize..3,      // arrival law selector
+        0usize..4,      // size law selector
+        0usize..3,      // slack law selector
     )
         .prop_map(|(m, eps, n, seed, al, sl, dl)| WorkloadSpec {
             m,
@@ -24,7 +24,10 @@ fn arb_spec(max_n: usize) -> impl Strategy<Value = WorkloadSpec> {
             arrivals: match al {
                 0 => ArrivalLaw::Simultaneous,
                 1 => ArrivalLaw::Poisson { rate: 2.0 },
-                _ => ArrivalLaw::Bursty { burst: 3, rate: 1.0 },
+                _ => ArrivalLaw::Bursty {
+                    burst: 3,
+                    rate: 1.0,
+                },
             },
             sizes: match sl {
                 0 => SizeLaw::Constant(1.0),

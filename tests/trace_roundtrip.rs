@@ -10,7 +10,9 @@ fn saved_trace_replays_identically() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("roundtrip.json");
 
-    let inst = WorkloadSpec::default_spec(3, 0.25, 64, 99).generate().unwrap();
+    let inst = WorkloadSpec::default_spec(3, 0.25, 64, 99)
+        .generate()
+        .unwrap();
     let before = simulate(&inst, &mut Threshold::for_instance(&inst)).unwrap();
 
     trace::save(&inst, &path).unwrap();
