@@ -9,8 +9,9 @@
 //! Threshold algorithm fixes.
 
 use crate::park::MachinePark;
-use crate::{Decision, OnlineScheduler};
+use crate::{Decision, DecisionInfo, OnlineScheduler};
 use cslack_kernel::Job;
+use cslack_obs::RejectReason;
 
 /// Accept-everything best-fit list scheduling.
 #[derive(Clone, Debug)]
@@ -37,22 +38,43 @@ impl OnlineScheduler for Greedy {
     }
 
     fn offer(&mut self, job: &Job) -> Decision {
+        self.offer_explained(job).0
+    }
+
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
         let now = job.release;
+        let ranked = self.park.ranked(now);
+        let mut info = DecisionInfo {
+            candidates: 0,
+            // Greedy has no admission threshold — only feasibility.
+            threshold: None,
+            min_load: Some(ranked[ranked.len() - 1].load),
+            reject_reason: None,
+        };
         // Most loaded machine that can still finish the job in time.
-        let chosen = self.park.ranked(now).into_iter().find(|rm| {
+        let mut evaluated = 0u32;
+        let chosen = ranked.into_iter().find(|rm| {
+            evaluated += 1;
             let earliest = self.park.earliest_start(rm.machine, now);
             (earliest + job.proc_time).approx_le(job.deadline)
         });
+        info.candidates = evaluated;
         match chosen {
             Some(rm) => {
                 let start = self.park.earliest_start(rm.machine, now);
                 self.park.commit(rm.machine, start, job.proc_time);
-                Decision::Accept {
-                    machine: rm.machine,
-                    start,
-                }
+                (
+                    Decision::Accept {
+                        machine: rm.machine,
+                        start,
+                    },
+                    info,
+                )
             }
-            None => Decision::Reject,
+            None => {
+                info.reject_reason = Some(RejectReason::NoFeasibleMachine);
+                (Decision::Reject, info)
+            }
         }
     }
 

@@ -48,6 +48,7 @@ pub use randomized::RandomizedClassifySelect;
 pub use threshold::{GoldwasserKerbikov, Threshold};
 
 use cslack_kernel::{Job, MachineId, Time};
+use cslack_obs::RejectReason;
 
 /// The irrevocable reply to a job submission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +69,42 @@ impl Decision {
     #[inline]
     pub fn is_accept(&self) -> bool {
         matches!(self, Decision::Accept { .. })
+    }
+}
+
+/// Observability sidecar of a [`Decision`]: what the algorithm looked
+/// at while deciding, in the vocabulary of [`cslack_obs`].
+///
+/// Produced by [`OnlineScheduler::offer_explained`]; the service engine
+/// copies it into the per-shard decision trace so a rejection is never
+/// an opaque boolean.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DecisionInfo {
+    /// Machine candidates the allocator evaluated (0 when the job was
+    /// rejected before allocation).
+    pub candidates: u32,
+    /// The admission threshold (`d_lim` for Threshold) the job's
+    /// deadline was tested against, when the algorithm has one.
+    pub threshold: Option<f64>,
+    /// Outstanding load of the least loaded machine at decision time,
+    /// when the algorithm tracks it.
+    pub min_load: Option<f64>,
+    /// Typed cause for a rejection (`None` for accepts).
+    pub reject_reason: Option<RejectReason>,
+}
+
+impl DecisionInfo {
+    /// The fallback explanation for algorithms that do not override
+    /// [`OnlineScheduler::offer_explained`]: rejections are
+    /// [`RejectReason::Unattributed`], nothing else is known.
+    pub fn unattributed(decision: &Decision) -> DecisionInfo {
+        DecisionInfo {
+            reject_reason: match decision {
+                Decision::Accept { .. } => None,
+                Decision::Reject => Some(RejectReason::Unattributed),
+            },
+            ..DecisionInfo::default()
+        }
     }
 }
 
@@ -94,6 +131,21 @@ pub trait OnlineScheduler: Send {
     /// release order and satisfy the slack condition for the `eps` the
     /// algorithm was configured with.
     fn offer(&mut self, job: &Job) -> Decision;
+
+    /// Like [`OnlineScheduler::offer`], additionally explaining the
+    /// decision for tracing.
+    ///
+    /// The default implementation wraps `offer` and reports rejections
+    /// as [`RejectReason::Unattributed`]; algorithms that know *why*
+    /// they reject (Threshold, Greedy, ...) override this with the
+    /// typed cause and the threshold/load values they computed anyway.
+    /// Same contract as `offer`: the returned decision is irrevocable
+    /// and the call mutates scheduler state exactly once.
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        let decision = self.offer(job);
+        let info = DecisionInfo::unattributed(&decision);
+        (decision, info)
+    }
 
     /// Reset all internal state for a fresh run.
     fn reset(&mut self);

@@ -84,7 +84,12 @@ impl OnlineScheduler for RandomizedClassifySelect {
     }
 
     fn offer(&mut self, job: &Job) -> Decision {
-        match self.virtual_threshold.offer(job) {
+        self.offer_explained(job).0
+    }
+
+    fn offer_explained(&mut self, job: &Job) -> (Decision, crate::DecisionInfo) {
+        let (virtual_decision, mut info) = self.virtual_threshold.offer_explained(job);
+        let decision = match virtual_decision {
             Decision::Accept { machine, start } if machine == self.selected => {
                 // The virtual lane is a feasible single-machine schedule;
                 // replay the commitment on the single real machine.
@@ -93,12 +98,18 @@ impl OnlineScheduler for RandomizedClassifySelect {
                     start,
                 }
             }
-            // Virtually accepted on an unselected lane, or rejected: the
-            // real machine does not run it. (The virtual state must keep
-            // the unselected acceptance — that is what "simulation"
-            // means — so the inner offer above is unconditional.)
-            _ => Decision::Reject,
-        }
+            // Virtually accepted on an unselected lane: the real machine
+            // does not run it — a policy rejection, not a load one. (The
+            // virtual state must keep the unselected acceptance — that is
+            // what "simulation" means — so the inner offer above is
+            // unconditional.) A virtual rejection keeps its inner reason.
+            Decision::Accept { .. } => {
+                info.reject_reason = Some(cslack_obs::RejectReason::PolicyFiltered);
+                Decision::Reject
+            }
+            Decision::Reject => Decision::Reject,
+        };
+        (decision, info)
     }
 
     fn reset(&mut self) {

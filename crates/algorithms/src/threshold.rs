@@ -23,8 +23,9 @@
 //! ablation variants of [`crate::ablation`].
 
 use crate::park::MachinePark;
-use crate::{Decision, OnlineScheduler};
+use crate::{Decision, DecisionInfo, OnlineScheduler};
 use cslack_kernel::{Instance, Job, Time};
+use cslack_obs::RejectReason;
 use cslack_ratio::RatioFn;
 
 /// Which machine among the feasible candidates receives an accepted job.
@@ -146,6 +147,79 @@ impl ThresholdEngine {
         }
         dlim
     }
+
+    /// The full Algorithm-1 decision with its trace explanation: the
+    /// threshold the job was tested against, the least loaded machine's
+    /// outstanding load, how many candidates the allocator evaluated,
+    /// and — for rejections — the typed [`RejectReason`].
+    fn decide(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        let now = job.release;
+        let ranked = self.park.ranked(now);
+
+        // Decision phase: d_lim = max_{h in k..m} (now + l(m_h) f_h).
+        let dlim = {
+            let _span = cslack_obs::span!("threshold_eval");
+            let mut dlim = now;
+            for h in self.k..=self.m {
+                let l = ranked[h - 1].load;
+                dlim = dlim.max(now + l * self.factor(h));
+            }
+            dlim
+        };
+        let mut info = DecisionInfo {
+            candidates: 0,
+            threshold: Some(dlim.raw()),
+            min_load: Some(ranked[self.m - 1].load),
+            reject_reason: None,
+        };
+        // Accept iff d_j >= d_lim (paper line 5: reject if d_j < d_lim).
+        if !job.deadline.approx_ge(dlim) {
+            info.reject_reason = Some(RejectReason::ThresholdExceeded);
+            return (Decision::Reject, info);
+        }
+
+        // Allocation phase: candidate machines can complete the job on
+        // time when started right after their outstanding load.
+        let candidate = |rm: &crate::park::RankedMachine| {
+            let earliest = self.park.earliest_start(rm.machine, now);
+            (earliest + job.proc_time).approx_le(job.deadline)
+        };
+        let mut evaluated = 0u32;
+        let chosen = match self.policy.alloc {
+            // `ranked` is sorted by decreasing load, so the first feasible
+            // entry is the most loaded candidate, the last the least.
+            AllocPolicy::BestFit => ranked.iter().find(|rm| {
+                evaluated += 1;
+                candidate(rm)
+            }),
+            AllocPolicy::WorstFit => ranked.iter().rev().find(|rm| {
+                evaluated += 1;
+                candidate(rm)
+            }),
+        };
+        info.candidates = evaluated;
+        let Some(rm) = chosen else {
+            // Claim 1 guarantees the least loaded machine is always a
+            // candidate for the paper's parameters; ablated parameter
+            // sets can break that guarantee, in which case the job must
+            // be rejected to preserve commitment feasibility.
+            info.reject_reason = Some(RejectReason::NoFeasibleMachine);
+            return (Decision::Reject, info);
+        };
+        let earliest = self.park.earliest_start(rm.machine, now);
+        let start = match self.policy.start {
+            StartPolicy::Earliest => earliest,
+            StartPolicy::Latest => (job.deadline - job.proc_time).max(earliest),
+        };
+        self.park.commit(rm.machine, start, job.proc_time);
+        (
+            Decision::Accept {
+                machine: rm.machine,
+                start,
+            },
+            info,
+        )
+    }
 }
 
 impl OnlineScheduler for ThresholdEngine {
@@ -158,49 +232,11 @@ impl OnlineScheduler for ThresholdEngine {
     }
 
     fn offer(&mut self, job: &Job) -> Decision {
-        let now = job.release;
-        let ranked = self.park.ranked(now);
+        self.decide(job).0
+    }
 
-        // Decision phase: d_lim = max_{h in k..m} (now + l(m_h) f_h).
-        let mut dlim = now;
-        for h in self.k..=self.m {
-            let l = ranked[h - 1].load;
-            dlim = dlim.max(now + l * self.factor(h));
-        }
-        // Accept iff d_j >= d_lim (paper line 5: reject if d_j < d_lim).
-        if !job.deadline.approx_ge(dlim) {
-            return Decision::Reject;
-        }
-
-        // Allocation phase: candidate machines can complete the job on
-        // time when started right after their outstanding load.
-        let candidate = |rm: &crate::park::RankedMachine| {
-            let earliest = self.park.earliest_start(rm.machine, now);
-            (earliest + job.proc_time).approx_le(job.deadline)
-        };
-        let chosen = match self.policy.alloc {
-            // `ranked` is sorted by decreasing load, so the first feasible
-            // entry is the most loaded candidate, the last the least.
-            AllocPolicy::BestFit => ranked.iter().find(|rm| candidate(rm)),
-            AllocPolicy::WorstFit => ranked.iter().rev().find(|rm| candidate(rm)),
-        };
-        let Some(rm) = chosen else {
-            // Claim 1 guarantees the least loaded machine is always a
-            // candidate for the paper's parameters; ablated parameter
-            // sets can break that guarantee, in which case the job must
-            // be rejected to preserve commitment feasibility.
-            return Decision::Reject;
-        };
-        let earliest = self.park.earliest_start(rm.machine, now);
-        let start = match self.policy.start {
-            StartPolicy::Earliest => earliest,
-            StartPolicy::Latest => (job.deadline - job.proc_time).max(earliest),
-        };
-        self.park.commit(rm.machine, start, job.proc_time);
-        Decision::Accept {
-            machine: rm.machine,
-            start,
-        }
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        self.decide(job)
     }
 
     fn reset(&mut self) {
@@ -269,6 +305,9 @@ impl OnlineScheduler for Threshold {
     fn offer(&mut self, job: &Job) -> Decision {
         self.engine.offer(job)
     }
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        self.engine.offer_explained(job)
+    }
     fn reset(&mut self) {
         self.engine.reset();
     }
@@ -309,6 +348,9 @@ impl OnlineScheduler for GoldwasserKerbikov {
     }
     fn offer(&mut self, job: &Job) -> Decision {
         self.engine.offer(job)
+    }
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        self.engine.offer_explained(job)
     }
     fn reset(&mut self) {
         self.engine.reset();

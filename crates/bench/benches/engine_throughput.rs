@@ -2,41 +2,177 @@
 //! lifecycle (start, submit every job, drain, merge) per iteration,
 //! swept over shard counts so single-shard vs multi-shard scaling is
 //! visible in one report.
+//!
+//! A second pass measures the observability tax: the same workload is
+//! run dark, with a live [`MetricsRegistry`] alone, and with the
+//! registry plus a full decision trace; the comparison (throughput,
+//! p50/p99/p999 decision latency from the log-bucketed histograms) is
+//! written to `BENCH_obs.json` at the workspace root. The registry-only
+//! overhead is the budgeted one (< 5%).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cslack_algorithms::{OnlineScheduler, Threshold};
-use cslack_engine::{Engine, EngineConfig};
+use cslack_engine::{Engine, EngineConfig, EngineReport, ObsConfig};
+use cslack_kernel::Instance;
+use cslack_obs::MetricsRegistry;
 use cslack_workloads::WorkloadSpec;
+use serde::Serialize;
+use std::sync::Arc;
+
+const M: usize = 8;
+const EPS: f64 = 0.25;
+const N: usize = 20_000;
+
+fn bench_workload() -> Instance {
+    WorkloadSpec::default_spec(M, EPS, N, 42)
+        .generate()
+        .expect("bench workload")
+}
+
+fn run_engine(instance: &Instance, shards: usize, obs: ObsConfig) -> EngineReport {
+    let builder =
+        |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> { Box::new(Threshold::new(g, EPS)) };
+    let engine =
+        Engine::start_observed(M, EngineConfig::new(shards), obs, builder).expect("engine start");
+    for job in instance.jobs() {
+        engine.submit(*job).expect("submit");
+    }
+    engine.finish().expect("drain")
+}
 
 fn engine_throughput(c: &mut Criterion) {
-    let m = 8;
-    let eps = 0.25;
-    let n = 20_000;
-    let instance = WorkloadSpec::default_spec(m, eps, n, 42)
-        .generate()
-        .expect("bench workload");
+    let instance = bench_workload();
     let mut group = c.benchmark_group("engine_20k_jobs");
-    group.throughput(Throughput::Elements(n as u64));
+    group.throughput(Throughput::Elements(N as u64));
     for shards in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{shards}-shard")),
             &shards,
             |b, &shards| {
+                b.iter(|| black_box(run_engine(&instance, shards, ObsConfig::default())));
+            },
+        );
+    }
+    // The same engine with the full observability stack live: a shared
+    // registry recording every decision plus a trace ring sized to the
+    // whole run. Comparing this series against the dark ones above
+    // exposes the per-decision recording cost.
+    for shards in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}-shard-observed")),
+            &shards,
+            |b, &shards| {
                 b.iter(|| {
-                    let builder = |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> {
-                        Box::new(Threshold::new(g, eps))
+                    let obs = ObsConfig {
+                        registry: Some(Arc::new(MetricsRegistry::enabled())),
+                        trace_capacity: N,
                     };
-                    let engine =
-                        Engine::start(m, EngineConfig::new(shards), builder).expect("engine start");
-                    for job in instance.jobs() {
-                        engine.submit(*job).expect("submit");
-                    }
-                    black_box(engine.finish().expect("drain"))
+                    black_box(run_engine(&instance, shards, obs))
                 });
             },
         );
     }
     group.finish();
+
+    write_obs_artifact(&instance);
+}
+
+/// One side of the dark-vs-observed comparison in `BENCH_obs.json`.
+#[derive(Serialize)]
+struct ObsSide {
+    decisions_per_sec: f64,
+    latency_p50_ns: u64,
+    latency_p99_ns: u64,
+    latency_p999_ns: u64,
+    queue_wait_p99_ns: u64,
+}
+
+impl ObsSide {
+    fn from_report(report: &EngineReport) -> ObsSide {
+        ObsSide {
+            decisions_per_sec: report.metrics.decisions_per_sec,
+            latency_p50_ns: report.metrics.latency.p50_ns,
+            latency_p99_ns: report.metrics.latency.p99_ns,
+            latency_p999_ns: report.metrics.latency.p999_ns,
+            queue_wait_p99_ns: report.metrics.queue_wait.p99_ns,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ObsArtifact {
+    m: usize,
+    eps: f64,
+    n: usize,
+    shards: usize,
+    rounds: usize,
+    /// Baseline: no registry, no trace.
+    dark: ObsSide,
+    /// Live enabled `MetricsRegistry`, no trace — the steady-state
+    /// monitoring configuration. Budget: < 5% below `dark`.
+    registry: ObsSide,
+    /// Registry plus a decision-trace ring holding the whole run — the
+    /// debugging configuration (pays one event struct per decision).
+    full_trace: ObsSide,
+    /// Relative throughput cost of `registry` vs `dark`, percent
+    /// (positive = slower). Best round on each side.
+    registry_overhead_pct: f64,
+    /// Relative throughput cost of `full_trace` vs `dark`, percent.
+    full_trace_overhead_pct: f64,
+}
+
+/// Measures the observability tax outside criterion (best-of-`rounds`
+/// on each side to denoise) and writes `BENCH_obs.json` at the
+/// workspace root.
+fn write_obs_artifact(instance: &Instance) {
+    let shards = 4;
+    let rounds = 5;
+    let best = |mk_obs: &dyn Fn() -> ObsConfig| -> EngineReport {
+        (0..rounds)
+            .map(|_| run_engine(instance, shards, mk_obs()))
+            .max_by(|a, b| {
+                a.metrics
+                    .decisions_per_sec
+                    .total_cmp(&b.metrics.decisions_per_sec)
+            })
+            .expect("at least one round")
+    };
+    let dark = best(&ObsConfig::default);
+    let registry = best(&|| ObsConfig {
+        registry: Some(Arc::new(MetricsRegistry::enabled())),
+        trace_capacity: 0,
+    });
+    let full_trace = best(&|| ObsConfig {
+        registry: Some(Arc::new(MetricsRegistry::enabled())),
+        trace_capacity: N,
+    });
+    let overhead = |side: &EngineReport| -> f64 {
+        100.0 * (dark.metrics.decisions_per_sec - side.metrics.decisions_per_sec)
+            / dark.metrics.decisions_per_sec.max(f64::MIN_POSITIVE)
+    };
+    let artifact = ObsArtifact {
+        m: M,
+        eps: EPS,
+        n: N,
+        shards,
+        rounds,
+        registry_overhead_pct: overhead(&registry),
+        full_trace_overhead_pct: overhead(&full_trace),
+        dark: ObsSide::from_report(&dark),
+        registry: ObsSide::from_report(&registry),
+        full_trace: ObsSide::from_report(&full_trace),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(path, json + "\n").expect("write BENCH_obs.json");
+    println!(
+        "observability tax vs dark {:.0}/s: registry {:+.2}%, registry+trace {:+.2}%; p99 {} ns -> {} ns [BENCH_obs.json]",
+        artifact.dark.decisions_per_sec,
+        artifact.registry_overhead_pct,
+        artifact.full_trace_overhead_pct,
+        artifact.dark.latency_p99_ns,
+        artifact.registry.latency_p99_ns,
+    );
 }
 
 criterion_group!(benches, engine_throughput);

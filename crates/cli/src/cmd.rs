@@ -5,13 +5,16 @@ use cslack_adversary::{run as adversary_run, AdversaryConfig};
 use cslack_algorithms::{
     ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
 };
-use cslack_engine::{Engine, EngineConfig, EngineMetrics};
+use cslack_engine::{Engine, EngineConfig, EngineMetrics, ObsConfig};
 use cslack_kernel::Instance;
+use cslack_obs::MetricsRegistry;
 use cslack_ratio::RatioFn;
 use cslack_sim::simulate as run_sim;
 use cslack_workloads::{trace, WorkloadSpec};
 use serde::Serialize;
+use std::io::{BufReader, BufWriter, Write as _};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -23,6 +26,9 @@ USAGE:
   cslack simulate  --algo <name> (--trace <file> | --m <int> --eps <float> --n <int> [--seed <int>]) [--json]
   cslack serve-bench --algo <name> --shards <int> --m <int> --eps <float> --n <int>
                    [--seed <int>] [--queue-cap <int>] [--batch <int>] [--json]
+                   [--trace-out <jsonl>] [--trace-cap <int>]
+                   [--metrics-out <json>] [--prom-out <txt>] [--spans]
+  cslack trace-summary <jsonl> [--json]
   cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
   cslack opt       --trace <file> [--exact-limit <int>]
   cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
@@ -174,11 +180,19 @@ struct ServeBenchReport {
     opt_upper_bound: f64,
     measured_ratio: f64,
     paper_bound: f64,
+    trace_events: usize,
+    trace_dropped: u64,
 }
 
 /// `cslack serve-bench` — stream a generated workload through the
 /// sharded admission-control engine and report throughput plus the
 /// competitive ratio against a cheap offline upper bound.
+///
+/// Observability options: `--trace-out <jsonl>` writes the decision
+/// trace (default ring capacity covers the whole run; cap it with
+/// `--trace-cap`), `--metrics-out <json>` writes the live registry
+/// snapshot, `--prom-out <txt>` writes a Prometheus text exposition,
+/// and `--spans` turns on the `span!` profiling timers.
 pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let m: usize = opts.require_as("m")?;
     let eps: f64 = opts.require_as("eps")?;
@@ -190,13 +204,32 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         .generate()
         .map_err(|e| e.to_string())?;
 
+    let trace_out = opts.get("trace-out");
+    let metrics_out = opts.get("metrics-out");
+    let prom_out = opts.get("prom-out");
+    if opts.flag("spans") {
+        cslack_obs::set_spans_enabled(true);
+    }
+    // The registry is only worth streaming into when some output wants
+    // its counters; the engine's own metrics are always collected.
+    let registry =
+        (metrics_out.is_some() || prom_out.is_some()).then(|| Arc::new(MetricsRegistry::enabled()));
+    // Default the ring to hold the entire run so `trace-summary` can
+    // reproduce the engine's counters exactly; `--trace-cap` bounds it.
+    let trace_capacity: usize =
+        opts.get_or("trace-cap", if trace_out.is_some() { n.max(1) } else { 0 })?;
+    let obs = ObsConfig {
+        registry: registry.clone(),
+        trace_capacity,
+    };
+
     // Validate the algorithm name once up front (shard groups may have
     // different sizes; the builder below cannot return an error).
     build_algo(algo_name, m, eps, seed)?;
     let mut config = EngineConfig::new(shards);
     config.queue_capacity = opts.get_or("queue-cap", config.queue_capacity)?;
     config.batch_size = opts.get_or("batch", config.batch_size)?;
-    let engine = Engine::start(m, config, |shard, group| {
+    let engine = Engine::start_observed(m, config, obs, |shard, group| {
         build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
             .expect("algorithm name validated above")
     })
@@ -206,6 +239,24 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         engine.submit(*job).map_err(|e| e.to_string())?;
     }
     let report = engine.finish().map_err(|e| e.to_string())?;
+
+    if let Some(path) = trace_out {
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let mut w = BufWriter::new(file);
+        cslack_obs::write_jsonl(&report.trace, &mut w).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = metrics_out {
+        let reg = registry.as_ref().expect("registry created for metrics-out");
+        let json = serde_json::to_string_pretty(&reg.snapshot()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = prom_out {
+        let reg = registry.as_ref().expect("registry created for prom-out");
+        std::fs::write(path, reg.render_prometheus())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
 
     let validation = cslack_kernel::validate_schedule(&inst, &report.schedule);
     let opt_bound = cslack_opt::bounds::capacity_upper_bound(&inst).min(inst.total_load());
@@ -225,6 +276,8 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         opt_upper_bound: opt_bound,
         measured_ratio,
         paper_bound,
+        trace_events: report.trace.len(),
+        trace_dropped: report.trace_dropped,
     };
     if opts.flag("json") {
         println!(
@@ -258,6 +311,19 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
             out.metrics.decisions_per_sec, out.metrics.elapsed_secs
         );
         println!(
+            "  decision latency: p50 {} ns, p99 {} ns, max {} ns (queue-wait p99 {} ns)",
+            out.metrics.latency.p50_ns,
+            out.metrics.latency.p99_ns,
+            out.metrics.latency.max_ns,
+            out.metrics.queue_wait.p99_ns
+        );
+        if trace_out.is_some() {
+            println!(
+                "  trace: {} event(s) recorded, {} dropped",
+                out.trace_events, out.trace_dropped
+            );
+        }
+        println!(
             "  offline upper bound: {:.4} => measured ratio {:.4} (paper c(eps, m) = {:.4})",
             out.opt_upper_bound, out.measured_ratio, out.paper_bound
         );
@@ -271,6 +337,59 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
             "merged schedule failed validation with {} violation(s)",
             out.violations
         ));
+    }
+    Ok(())
+}
+
+/// `cslack trace-summary` — aggregate a decision-trace JSONL file back
+/// into counters and latency distributions. The totals reproduce the
+/// engine's own metrics exactly when the trace captured every event.
+pub fn trace_summary(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("in")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let events = cslack_obs::read_jsonl(BufReader::new(file))?;
+    let summary = cslack_obs::summarize(&events);
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "trace {path}: {} decision(s), accepted {}, rejected {}",
+        summary.decisions,
+        summary.accepted,
+        summary.rejected.total()
+    );
+    for reason in cslack_obs::RejectReason::ALL {
+        let count = summary.rejected.get(reason);
+        if count > 0 {
+            println!("  rejected[{}] = {count}", reason.as_str());
+        }
+    }
+    println!(
+        "  decision latency: p50 {} ns, p90 {} ns, p99 {} ns, max {} ns",
+        summary.latency.p50_ns,
+        summary.latency.p90_ns,
+        summary.latency.p99_ns,
+        summary.latency.max_ns
+    );
+    println!(
+        "  queue wait:       p50 {} ns, p90 {} ns, p99 {} ns, max {} ns",
+        summary.queue_wait.p50_ns,
+        summary.queue_wait.p90_ns,
+        summary.queue_wait.p99_ns,
+        summary.queue_wait.max_ns
+    );
+    for s in &summary.per_shard {
+        println!(
+            "  shard {}: {} decision(s), accepted {}, rejected {}",
+            s.shard,
+            s.decisions,
+            s.accepted,
+            s.rejected.total()
+        );
     }
     Ok(())
 }

@@ -20,7 +20,17 @@ fn main() -> ExitCode {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
     };
-    let opts = match args::Opts::parse_with_flags(rest, &["json"]) {
+    // `trace-summary` takes its input file as a positional argument
+    // (`cslack trace-summary trace.jsonl`); rewrite it to `--in`.
+    let mut rest: Vec<String> = rest.to_vec();
+    if command == "trace-summary" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                rest.insert(0, "--in".to_string());
+            }
+        }
+    }
+    let opts = match args::Opts::parse_with_flags(&rest, &["json", "spans"]) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -33,6 +43,7 @@ fn main() -> ExitCode {
         "generate" => cmd::generate(&opts),
         "simulate" => cmd::simulate(&opts),
         "serve-bench" => cmd::serve_bench(&opts),
+        "trace-summary" => cmd::trace_summary(&opts),
         "adversary" => cmd::adversary(&opts),
         "opt" => cmd::opt(&opts),
         "import-swf" => cmd::import_swf(&opts),

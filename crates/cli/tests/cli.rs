@@ -136,6 +136,132 @@ fn help_is_available() {
 }
 
 #[test]
+fn serve_bench_writes_trace_and_summary_reproduces_counters() {
+    let dir = std::env::temp_dir().join("cslack-cli-obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+    let prom = dir.join("metrics.prom");
+    let (ok, stdout, stderr) = cslack(&[
+        "serve-bench",
+        "--algo",
+        "threshold",
+        "--m",
+        "4",
+        "--shards",
+        "2",
+        "--eps",
+        "0.25",
+        "--n",
+        "200",
+        "--seed",
+        "7",
+        "--json",
+        "--spans",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--prom-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"trace_events\": 200"), "{stdout}");
+    assert!(stdout.contains("\"trace_dropped\": 0"));
+    assert!(stdout.contains("\"p99_ns\""));
+    assert!(stdout.contains("\"rejected_by_reason\""));
+
+    // The JSONL trace has one line per submission and typed reasons.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert_eq!(text.lines().count(), 200);
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        if line.contains("\"accepted\":false") {
+            assert!(
+                !line.contains("\"reject_reason\":null"),
+                "rejections must be typed: {line}"
+            );
+        }
+    }
+
+    // trace-summary (positional arg) reproduces the engine counters.
+    let (ok, summary, stderr) = cslack(&["trace-summary", trace.to_str().unwrap(), "--json"]);
+    assert!(ok, "{stderr}");
+    assert!(summary.contains("\"decisions\": 200"));
+    // Pull accepted/rejected out of the serve-bench JSON and compare.
+    let grab = |hay: &str, key: &str| -> u64 {
+        let at = hay.find(key).unwrap_or_else(|| panic!("{key} in {hay}"));
+        hay[at + key.len()..]
+            .trim_start_matches([':', ' '])
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        grab(&summary, "\"accepted\""),
+        grab(&stdout, "\"accepted\""),
+        "trace-summary must reproduce the engine's accepted counter"
+    );
+
+    // Registry snapshot and Prometheus exposition were written.
+    let snap = std::fs::read_to_string(&metrics).unwrap();
+    assert!(snap.contains("\"submitted\": 200"));
+    assert!(snap.contains("\"decision_latency\""));
+    assert!(snap.contains("\"backpressure_stalls\""));
+    let exposition = std::fs::read_to_string(&prom).unwrap();
+    assert!(exposition.contains("cslack_submitted_total 200"));
+    assert!(exposition.contains("# TYPE cslack_decision_latency_ns histogram"));
+    assert!(
+        exposition.contains("cslack_span_duration_ns_bucket{span=\"route\""),
+        "--spans should expose span histograms:\n{exposition}"
+    );
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&prom).ok();
+}
+
+#[test]
+fn serve_bench_zero_jobs_reports_all_zero_latency() {
+    let (ok, stdout, stderr) = cslack(&[
+        "serve-bench",
+        "--algo",
+        "greedy",
+        "--m",
+        "2",
+        "--shards",
+        "1",
+        "--eps",
+        "0.5",
+        "--n",
+        "0",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"submitted\": 0"), "{stdout}");
+    // Empty histograms must report zeros, not uninitialized sentinels.
+    assert!(stdout.contains("\"min_ns\": 0"));
+    assert!(stdout.contains("\"p99_ns\": 0"));
+    assert!(!stdout.contains(&u64::MAX.to_string()));
+}
+
+#[test]
+fn trace_summary_rejects_garbage_input() {
+    let dir = std::env::temp_dir().join("cslack-cli-obs-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let (ok, _, stderr) = cslack(&["trace-summary", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    let (ok, _, stderr) = cslack(&["trace-summary"]);
+    assert!(!ok);
+    assert!(stderr.contains("--in"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
 fn randomized_algo_machine_mismatch_is_reported() {
     let (ok, _, stderr) = cslack(&[
         "simulate",

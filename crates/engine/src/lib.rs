@@ -38,6 +38,25 @@
 //!   merges the shard schedules into one cluster-wide [`Schedule`];
 //!   the merge re-validates every commitment, so shards can never
 //!   silently double-commit a job or overlap a lane.
+//!
+//! ## Observability
+//!
+//! Every decision is measured into log-bucketed [`cslack_obs`]
+//! histograms (decision latency and enqueue-to-decision queue wait) and
+//! every rejection carries a typed [`RejectReason`] obtained through
+//! [`OnlineScheduler::offer_explained`]. Pass an [`ObsConfig`] to
+//! [`Engine::start_observed`] to additionally:
+//!
+//! * stream live counters/histograms into a shared
+//!   [`MetricsRegistry`] (Prometheus-exposable; flushed shard-locally
+//!   once per batch so the hot path never contends on it), and
+//! * record a bounded per-shard decision trace
+//!   ([`cslack_obs::DecisionEvent`] ring buffers) returned in
+//!   [`EngineReport::trace`], drainable as JSONL.
+//!
+//! The hot path is instrumented with `cslack_obs::span!("route")`
+//! (plus `"threshold_eval"` inside the Threshold algorithm); span
+//! timers are no-ops unless [`cslack_obs::set_spans_enabled`] is on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -45,11 +64,16 @@
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use cslack_algorithms::OnlineScheduler;
 use cslack_kernel::{merge_schedules, Job, JobId, KernelError, MachineId, Schedule};
+use cslack_obs::{
+    DecisionEvent, DecisionRing, Histogram, MetricsRegistry, RejectCounts, RejectReason,
+};
 use cslack_sim::apply_decision;
 use serde::Serialize;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Deterministic shard routing: the shard a job is offered to.
 ///
@@ -99,73 +123,57 @@ impl EngineConfig {
     }
 }
 
+/// Observability wiring for [`Engine::start_observed`].
+///
+/// The default is fully dark: no registry, no trace, and the built-in
+/// histograms still populate [`EngineMetrics`] (they are shard-local,
+/// contention-free, and cheap).
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Shared metrics registry the workers stream counters and
+    /// histogram samples into while running (only when the registry is
+    /// [enabled](MetricsRegistry::is_enabled)). Workers accumulate
+    /// shard-locally and flush once per drained batch, so a live
+    /// registry adds no per-decision contention; scraped values trail
+    /// the truth by at most one batch. `None` skips registry writes
+    /// entirely.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Per-shard decision-trace ring capacity; `0` disables tracing.
+    /// When a shard decides more jobs than this, the oldest events are
+    /// overwritten and counted in [`EngineReport::trace_dropped`].
+    pub trace_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Tracing with per-shard capacity `trace_capacity`, no registry.
+    pub fn traced(trace_capacity: usize) -> ObsConfig {
+        ObsConfig {
+            registry: None,
+            trace_capacity,
+        }
+    }
+}
+
 /// What a shard thread hands back when it drains.
 struct ShardOutcome {
     schedule: Schedule,
     submitted: u64,
     accepted: u64,
-    rejected: u64,
+    rejected: RejectCounts,
     batches: u64,
-    latency: LatencyAgg,
+    latency: Histogram,
+    queue_wait: Histogram,
+    events: Vec<DecisionEvent>,
+    events_dropped: u64,
 }
 
-/// Running aggregate of per-decision latencies (nanoseconds).
-#[derive(Clone, Copy, Debug, Default)]
-struct LatencyAgg {
-    count: u64,
-    sum_ns: u64,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-impl LatencyAgg {
-    fn record(&mut self, ns: u64) {
-        if self.count == 0 {
-            self.min_ns = ns;
-            self.max_ns = ns;
-        } else {
-            self.min_ns = self.min_ns.min(ns);
-            self.max_ns = self.max_ns.max(ns);
-        }
-        self.count += 1;
-        self.sum_ns += ns;
-    }
-
-    fn merge(&mut self, other: &LatencyAgg) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = *other;
-            return;
-        }
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-    }
-}
-
-/// Decision-latency summary over all shards, in nanoseconds.
-#[derive(Clone, Copy, Debug, Serialize)]
-pub struct LatencyStats {
-    /// Fastest single decision.
-    pub min_ns: u64,
-    /// Mean over all decisions.
-    pub mean_ns: u64,
-    /// Slowest single decision.
-    pub max_ns: u64,
-}
-
-impl LatencyStats {
-    fn from_agg(agg: &LatencyAgg) -> LatencyStats {
-        LatencyStats {
-            min_ns: agg.min_ns,
-            mean_ns: agg.sum_ns.checked_div(agg.count).unwrap_or(0),
-            max_ns: agg.max_ns,
-        }
-    }
-}
+/// Decision-latency / queue-wait summary over all shards, nanoseconds.
+///
+/// Rebuilt from exact log-bucketed histogram merges, so the quantiles
+/// are the same whether one shard or sixteen recorded the samples. An
+/// engine that decided zero jobs reports all-zero stats (not garbage
+/// minima).
+pub type LatencyStats = cslack_obs::HistogramSummary;
 
 /// Per-shard slice of an [`EngineMetrics`] snapshot.
 #[derive(Clone, Debug, Serialize)]
@@ -180,6 +188,8 @@ pub struct ShardMetrics {
     pub accepted: u64,
     /// Jobs the shard's scheduler rejected.
     pub rejected: u64,
+    /// Rejections split by typed reason.
+    pub rejected_by_reason: RejectCounts,
     /// Committed processing volume on this shard.
     pub accepted_load: f64,
     /// Busy fraction of the shard's machines over its own makespan
@@ -202,26 +212,40 @@ pub struct EngineMetrics {
     pub accepted: u64,
     /// Total rejected jobs.
     pub rejected: u64,
+    /// Rejections split by typed [`RejectReason`].
+    pub rejected_by_reason: RejectCounts,
+    /// Blocking submissions that found their shard queue full and had
+    /// to wait (no job is ever lost to backpressure).
+    pub backpressure_stalls: u64,
     /// Objective value `sum p_j (1 - U_j)` of the merged schedule.
     pub accepted_load: f64,
     /// Wall-clock seconds from `start` to the end of `finish`.
     pub elapsed_secs: f64,
     /// Decisions per wall-clock second.
     pub decisions_per_sec: f64,
-    /// Decision-latency summary across all shards.
+    /// Decision-latency summary (with percentiles) across all shards.
     pub latency: LatencyStats,
+    /// Enqueue-to-decision wait summary across all shards.
+    pub queue_wait: LatencyStats,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardMetrics>,
 }
 
 /// The result of a drained engine: the merged cluster schedule plus the
-/// metrics snapshot.
+/// metrics snapshot and the recorded decision trace.
 #[derive(Debug)]
 pub struct EngineReport {
     /// The cluster-wide merged schedule (all invariants re-validated).
     pub schedule: Schedule,
     /// Metrics snapshot for the run.
     pub metrics: EngineMetrics,
+    /// Decision events recorded by the per-shard trace rings, ordered
+    /// by `(shard, seq)`. Empty unless [`ObsConfig::trace_capacity`]
+    /// was non-zero.
+    pub trace: Vec<DecisionEvent>,
+    /// Events the bounded rings overwrote (0 when the capacity covered
+    /// the whole run).
+    pub trace_dropped: u64,
 }
 
 /// Failure modes of the engine lifecycle.
@@ -289,8 +313,12 @@ impl fmt::Display for SubmitError {
     }
 }
 
+/// Queue payload: the job plus its enqueue instant, so the worker can
+/// attribute queue wait per job.
+type Submission = (Job, Instant);
+
 struct ShardHandle {
-    tx: Option<Sender<Job>>,
+    tx: Option<Sender<Submission>>,
     join: JoinHandle<Result<ShardOutcome, String>>,
     machines: Vec<MachineId>,
 }
@@ -304,19 +332,37 @@ struct ShardHandle {
 pub struct Engine {
     m: usize,
     config: EngineConfig,
+    obs: ObsConfig,
     shards: Vec<ShardHandle>,
+    stalls: AtomicU64,
     started: Instant,
 }
 
 impl Engine {
-    /// Starts the service: spawns one worker thread per shard, each
-    /// owning a scheduler built by `builder` for its machine group.
+    /// Starts the service with observability dark (no registry, no
+    /// trace): spawns one worker thread per shard, each owning a
+    /// scheduler built by `builder` for its machine group.
     ///
     /// `builder` receives `(shard index, machines in the shard's
     /// group)` and returns the scheduler instance that shard runs; the
     /// scheduler's machine ids are shard-local (`0..group size`) and
     /// are remapped to the global group on merge.
     pub fn start<F>(m: usize, config: EngineConfig, builder: F) -> Result<Engine, EngineError>
+    where
+        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
+    {
+        Engine::start_observed(m, config, ObsConfig::default(), builder)
+    }
+
+    /// Starts the service with explicit observability wiring: a shared
+    /// [`MetricsRegistry`] to stream into and/or a per-shard decision
+    /// trace (see [`ObsConfig`]).
+    pub fn start_observed<F>(
+        m: usize,
+        config: EngineConfig,
+        obs: ObsConfig,
+        builder: F,
+    ) -> Result<Engine, EngineError>
     where
         F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
     {
@@ -330,12 +376,17 @@ impl Engine {
         let mut shards = Vec::with_capacity(config.shards);
         for (index, group) in groups.into_iter().enumerate() {
             let scheduler = builder(index, group.len());
-            let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
-            let group_len = group.len();
-            let batch = config.batch_size.max(1);
+            let (tx, rx) = bounded::<Submission>(config.queue_capacity.max(1));
+            let ctx = ShardCtx {
+                shard: index,
+                group: group.clone(),
+                batch_size: config.batch_size.max(1),
+                registry: obs.registry.clone(),
+                trace_capacity: obs.trace_capacity,
+            };
             let join = std::thread::Builder::new()
                 .name(format!("cslack-shard-{index}"))
-                .spawn(move || shard_worker(rx, scheduler, group_len, batch))
+                .spawn(move || shard_worker(rx, scheduler, ctx))
                 .expect("failed to spawn shard worker");
             shards.push(ShardHandle {
                 tx: Some(tx),
@@ -346,7 +397,9 @@ impl Engine {
         Ok(Engine {
             m,
             config,
+            obs,
             shards,
+            stalls: AtomicU64::new(0),
             started: Instant::now(),
         })
     }
@@ -366,6 +419,11 @@ impl Engine {
         &self.shards[shard].machines
     }
 
+    /// Blocking submissions that found their queue full so far.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
     /// Enqueues a job without blocking.
     ///
     /// Fails with [`SubmitError::Full`] when the target shard's queue
@@ -374,28 +432,46 @@ impl Engine {
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
         let shard = shard_of(job.id, self.shards.len());
         match &self.shards[shard].tx {
-            Some(tx) => tx.try_send(job).map_err(|e| match e {
-                TrySendError::Full(j) => SubmitError::Full(j),
-                TrySendError::Disconnected(j) => SubmitError::Closed(j),
+            Some(tx) => tx.try_send((job, Instant::now())).map_err(|e| match e {
+                TrySendError::Full((j, _)) => SubmitError::Full(j),
+                TrySendError::Disconnected((j, _)) => SubmitError::Closed(j),
             }),
             None => Err(SubmitError::Closed(job)),
         }
     }
 
     /// Enqueues a job, blocking while the target shard's queue is full.
+    ///
+    /// A full queue is counted as a backpressure stall (metric
+    /// `backpressure_stalls`) and then waited out — the job is never
+    /// dropped.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
         let shard = shard_of(job.id, self.shards.len());
-        match &self.shards[shard].tx {
-            Some(tx) => tx
-                .send(job)
-                .map_err(|e| SubmitError::Closed(e.into_inner())),
-            None => Err(SubmitError::Closed(job)),
-        }
+        let tx = match &self.shards[shard].tx {
+            Some(tx) => tx,
+            None => return Err(SubmitError::Closed(job)),
+        };
+        let payload = match tx.try_send((job, Instant::now())) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected((j, _))) => return Err(SubmitError::Closed(j)),
+            Err(TrySendError::Full(payload)) => {
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = &self.obs.registry {
+                    if reg.is_enabled() {
+                        reg.backpressure_stalls.inc();
+                    }
+                }
+                payload
+            }
+        };
+        tx.send(payload)
+            .map_err(|e| SubmitError::Closed(e.into_inner().0))
     }
 
     /// Graceful shutdown: closes every shard queue, waits for the
     /// workers to drain and exit, merges the shard-local schedules into
-    /// one cluster schedule, and returns it with the metrics snapshot.
+    /// one cluster schedule, and returns it with the metrics snapshot
+    /// and the recorded decision trace.
     pub fn finish(mut self) -> Result<EngineReport, EngineError> {
         // Dropping the senders closes the queues; workers drain what is
         // left and return their outcomes.
@@ -426,14 +502,19 @@ impl Engine {
         .map_err(EngineError::Merge)?;
         let elapsed = self.started.elapsed().as_secs_f64();
 
-        let mut latency = LatencyAgg::default();
-        let (mut submitted, mut accepted, mut rejected) = (0u64, 0u64, 0u64);
+        let mut latency = Histogram::new();
+        let mut queue_wait = Histogram::new();
+        let mut rejected_by_reason = RejectCounts::default();
+        let (mut submitted, mut accepted) = (0u64, 0u64);
         let mut per_shard = Vec::with_capacity(outcomes.len());
+        let mut trace = Vec::new();
+        let mut trace_dropped = 0u64;
         for (index, o) in outcomes.iter().enumerate() {
             latency.merge(&o.latency);
+            queue_wait.merge(&o.queue_wait);
+            rejected_by_reason.merge(&o.rejected);
             submitted += o.submitted;
             accepted += o.accepted;
-            rejected += o.rejected;
             let g = groups[index].len();
             let makespan = o.schedule.makespan().raw();
             let utilization = if makespan > 0.0 {
@@ -446,18 +527,28 @@ impl Engine {
                 machines: g,
                 submitted: o.submitted,
                 accepted: o.accepted,
-                rejected: o.rejected,
+                rejected: o.rejected.total(),
+                rejected_by_reason: o.rejected,
                 accepted_load: o.schedule.accepted_load(),
                 utilization,
                 batches: o.batches,
             });
+            trace_dropped += o.events_dropped;
+        }
+        // Shards are visited in index order and each ring is already in
+        // per-shard arrival order, so the concatenation is sorted by
+        // (shard, seq).
+        for o in &mut outcomes {
+            trace.append(&mut o.events);
         }
         let metrics = EngineMetrics {
             m: self.m,
             shards: self.config.shards,
             submitted,
             accepted,
-            rejected,
+            rejected: rejected_by_reason.total(),
+            rejected_by_reason,
+            backpressure_stalls: self.stalls.load(Ordering::Relaxed),
             accepted_load: merged.accepted_load(),
             elapsed_secs: elapsed,
             decisions_per_sec: if elapsed > 0.0 {
@@ -465,65 +556,188 @@ impl Engine {
             } else {
                 0.0
             },
-            latency: LatencyStats::from_agg(&latency),
+            latency: latency.summary(),
+            queue_wait: queue_wait.summary(),
             per_shard,
         };
         Ok(EngineReport {
             schedule: merged,
             metrics,
+            trace,
+            trace_dropped,
         })
+    }
+}
+
+/// Everything a shard worker needs besides its queue and scheduler.
+struct ShardCtx {
+    shard: usize,
+    /// Global machine ids of this shard's group, for remapping the
+    /// scheduler's shard-local machine ids in trace events.
+    group: Vec<MachineId>,
+    batch_size: usize,
+    registry: Option<Arc<MetricsRegistry>>,
+    trace_capacity: usize,
+}
+
+#[inline]
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Shard-local accumulator for the shared [`MetricsRegistry`]: the
+/// worker records every decision here (plain, contention-free) and
+/// publishes the delta once per drained batch, so concurrent shards
+/// never fight over the registry's cache lines on the per-decision
+/// path. Live readers see counters at most one batch behind.
+#[derive(Default)]
+struct RegistryDelta {
+    submitted: u64,
+    accepted: u64,
+    rejected: RejectCounts,
+    latency: Histogram,
+    queue_wait: Histogram,
+}
+
+impl RegistryDelta {
+    fn flush(&mut self, reg: &MetricsRegistry) {
+        if self.submitted == 0 {
+            return;
+        }
+        reg.submitted.add(self.submitted);
+        reg.accepted.add(self.accepted);
+        for reason in RejectReason::ALL {
+            let n = self.rejected.get(reason);
+            if n > 0 {
+                reg.rejected(reason).add(n);
+            }
+        }
+        reg.decision_latency.merge_histogram(&self.latency);
+        reg.queue_wait.merge_histogram(&self.queue_wait);
+        *self = RegistryDelta::default();
     }
 }
 
 /// One shard's worker loop: block for a job, drain a batch, decide and
 /// commit each job in arrival order, repeat until the queue closes.
 fn shard_worker(
-    rx: Receiver<Job>,
+    rx: Receiver<Submission>,
     mut scheduler: Box<dyn OnlineScheduler>,
-    group_len: usize,
-    batch_size: usize,
+    ctx: ShardCtx,
 ) -> Result<ShardOutcome, String> {
+    let group_len = ctx.group.len();
     let mut schedule = Schedule::new(group_len.max(1));
     let mut out = ShardOutcome {
         schedule: Schedule::new(group_len.max(1)),
         submitted: 0,
         accepted: 0,
-        rejected: 0,
+        rejected: RejectCounts::default(),
         batches: 0,
-        latency: LatencyAgg::default(),
+        latency: Histogram::new(),
+        queue_wait: Histogram::new(),
+        events: Vec::new(),
+        events_dropped: 0,
     };
-    let mut batch = Vec::with_capacity(batch_size);
+    let mut ring = DecisionRing::new(ctx.trace_capacity);
+    let mut delta = RegistryDelta::default();
+    let mut batch: Vec<Submission> = Vec::with_capacity(ctx.batch_size);
     while let Ok(first) = rx.recv() {
         batch.clear();
         batch.push(first);
-        while batch.len() < batch_size {
+        while batch.len() < ctx.batch_size {
             match rx.try_recv() {
                 Ok(job) => batch.push(job),
                 Err(_) => break,
             }
         }
         out.batches += 1;
-        for job in batch.drain(..) {
+        // Checked once per batch: toggling the registry mid-run takes
+        // effect at the next wakeup, and the per-decision path stays
+        // free of shared-state loads.
+        let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
+        for (job, enqueued) in batch.drain(..) {
+            let seq = out.submitted;
             out.submitted += 1;
+            let queue_wait_ns = saturating_ns(enqueued.elapsed());
             let t0 = Instant::now();
-            let decision = scheduler.offer(&job);
-            out.latency
-                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-            match apply_decision(&mut schedule, &job, decision) {
-                Ok(true) => out.accepted += 1,
-                Ok(false) => out.rejected += 1,
-                Err(e) => return Err(e.to_string()),
+            let (decision, info) = {
+                let _route = cslack_obs::span!("route");
+                scheduler.offer_explained(&job)
+            };
+            let latency_ns = saturating_ns(t0.elapsed());
+            out.latency.record(latency_ns);
+            out.queue_wait.record(queue_wait_ns);
+            if recording.is_some() {
+                delta.submitted += 1;
+                delta.latency.record(latency_ns);
+                delta.queue_wait.record(queue_wait_ns);
             }
+            let accepted = match apply_decision(&mut schedule, &job, decision) {
+                Ok(true) => {
+                    out.accepted += 1;
+                    if recording.is_some() {
+                        delta.accepted += 1;
+                    }
+                    true
+                }
+                Ok(false) => {
+                    let reason = info.reject_reason.unwrap_or(RejectReason::Unattributed);
+                    out.rejected.bump(reason);
+                    if recording.is_some() {
+                        delta.rejected.bump(reason);
+                    }
+                    false
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            if ctx.trace_capacity > 0 {
+                let (machine, start) = match decision {
+                    cslack_algorithms::Decision::Accept { machine, start } => {
+                        // Remap the scheduler's shard-local machine id
+                        // to the global cluster id.
+                        let global = ctx
+                            .group
+                            .get(machine.0 as usize)
+                            .map(|id| id.0)
+                            .unwrap_or(machine.0);
+                        (Some(global), Some(start.raw()))
+                    }
+                    cslack_algorithms::Decision::Reject => (None, None),
+                };
+                ring.push(DecisionEvent {
+                    seq,
+                    job: job.id.0,
+                    shard: ctx.shard,
+                    release: job.release.raw(),
+                    proc_time: job.proc_time,
+                    deadline: job.deadline.raw(),
+                    candidates: info.candidates,
+                    threshold: info.threshold,
+                    min_load: info.min_load,
+                    accepted,
+                    machine,
+                    start,
+                    reject_reason: info.reject_reason,
+                    latency_ns,
+                    queue_wait_ns,
+                });
+            }
+        }
+        if let Some(reg) = recording {
+            delta.flush(reg);
         }
     }
     out.schedule = schedule;
+    let (events, events_dropped) = ring.into_events();
+    out.events = events;
+    out.events_dropped = events_dropped;
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cslack_algorithms::{Decision, Greedy};
+    use cslack_algorithms::{Decision, Greedy, Threshold};
     use cslack_kernel::{InstanceBuilder, Time};
 
     fn greedy_builder(_shard: usize, g: usize) -> Box<dyn OnlineScheduler> {
@@ -625,6 +839,176 @@ mod tests {
     }
 
     #[test]
+    fn blocking_submit_counts_stalls_and_loses_nothing() {
+        // Slow scheduler + capacity-1 queue: blocking submissions must
+        // stall (and be counted) but every job still gets decided.
+        struct Slow(Greedy);
+        impl OnlineScheduler for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn machines(&self) -> usize {
+                self.0.machines()
+            }
+            fn offer(&mut self, job: &Job) -> Decision {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                self.0.offer(job)
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+        }
+        let registry = Arc::new(MetricsRegistry::enabled());
+        let obs = ObsConfig {
+            registry: Some(Arc::clone(&registry)),
+            trace_capacity: 0,
+        };
+        let engine = Engine::start_observed(
+            1,
+            EngineConfig {
+                shards: 1,
+                queue_capacity: 1,
+                batch_size: 1,
+            },
+            obs,
+            |_, g| Box::new(Slow(Greedy::new(g))),
+        )
+        .unwrap();
+        let n = 50u32;
+        for id in 0..n {
+            let job = Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9));
+            engine.submit(job).unwrap();
+        }
+        assert!(
+            engine.backpressure_stalls() > 0,
+            "capacity-1 queue with a slow worker must stall blocking submits"
+        );
+        let report = engine.finish().unwrap();
+        assert_eq!(report.metrics.submitted, n as u64, "no submission lost");
+        assert_eq!(
+            report.metrics.accepted + report.metrics.rejected,
+            n as u64,
+            "every submission decided"
+        );
+        assert!(report.metrics.backpressure_stalls > 0);
+        assert_eq!(
+            report.metrics.backpressure_stalls,
+            registry.backpressure_stalls.get(),
+            "registry and report must agree on stalls"
+        );
+    }
+
+    #[test]
+    fn zero_submissions_yield_all_zero_latency_stats() {
+        let engine = Engine::start(2, EngineConfig::new(2), greedy_builder).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.metrics.submitted, 0);
+        assert_eq!(report.metrics.latency, LatencyStats::default());
+        assert_eq!(report.metrics.queue_wait, LatencyStats::default());
+        assert_eq!(report.metrics.latency.min_ns, 0, "no garbage minima");
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_reproduces_counters_and_types_every_rejection() {
+        // Tight unit jobs on a small threshold cluster: a healthy mix
+        // of accepts and threshold rejections.
+        let n = 400u32;
+        let registry = Arc::new(MetricsRegistry::enabled());
+        let obs = ObsConfig {
+            registry: Some(Arc::clone(&registry)),
+            trace_capacity: n as usize,
+        };
+        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
+            Box::new(Threshold::new(g, 0.5))
+        })
+        .unwrap();
+        for id in 0..n {
+            let job = Job::tight(JobId(id), Time::new((id / 8) as f64 * 0.1), 1.0, 0.5);
+            engine.submit(job).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.trace_dropped, 0);
+        assert_eq!(report.trace.len(), n as usize);
+        // Trace is ordered by (shard, seq).
+        for pair in report.trace.windows(2) {
+            assert!(
+                (pair[0].shard, pair[0].seq) < (pair[1].shard, pair[1].seq),
+                "trace must be sorted by (shard, seq)"
+            );
+        }
+        let summary = cslack_obs::summarize(&report.trace);
+        assert_eq!(summary.decisions, report.metrics.submitted);
+        assert_eq!(summary.accepted, report.metrics.accepted);
+        assert_eq!(summary.rejected, report.metrics.rejected_by_reason);
+        assert_eq!(summary.rejected.total(), report.metrics.rejected);
+        assert!(report.metrics.rejected > 0, "instance should reject some");
+        for event in &report.trace {
+            if event.accepted {
+                assert!(event.reject_reason.is_none());
+                assert!(event.machine.is_some() && event.start.is_some());
+                assert!(
+                    event.machine.unwrap() < 4,
+                    "machine ids in the trace are global"
+                );
+            } else {
+                assert!(
+                    event.reject_reason.is_some(),
+                    "every rejection must carry a typed reason"
+                );
+                assert_eq!(
+                    event.reject_reason,
+                    Some(RejectReason::ThresholdExceeded),
+                    "threshold is the only reject cause for paper params"
+                );
+                assert!(event.threshold.is_some(), "threshold value recorded");
+            }
+        }
+        // The live registry saw the same totals.
+        assert_eq!(registry.submitted.get(), report.metrics.submitted);
+        assert_eq!(registry.accepted.get(), report.metrics.accepted);
+        assert_eq!(registry.reject_counts(), report.metrics.rejected_by_reason);
+        assert_eq!(
+            registry.decision_latency.snapshot().count(),
+            report.metrics.submitted
+        );
+    }
+
+    #[test]
+    fn trace_ring_bounds_memory_and_counts_drops() {
+        let obs = ObsConfig::traced(8);
+        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
+        for id in 0..32u32 {
+            engine
+                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
+                .unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.trace.len(), 8, "ring caps the trace");
+        assert_eq!(report.trace_dropped, 24);
+        // The kept window is the most recent one.
+        let seqs: Vec<u64> = report.trace.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (24..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let registry = Arc::new(MetricsRegistry::new()); // not enabled
+        let obs = ObsConfig {
+            registry: Some(Arc::clone(&registry)),
+            trace_capacity: 0,
+        };
+        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
+        engine
+            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.metrics.submitted, 1);
+        assert_eq!(registry.submitted.get(), 0, "disabled registry stays dark");
+        assert_eq!(registry.decision_latency.snapshot().count(), 0);
+    }
+
+    #[test]
     fn bad_shard_count_is_rejected() {
         assert!(matches!(
             Engine::start(2, EngineConfig::new(0), greedy_builder),
@@ -684,6 +1068,10 @@ mod tests {
         assert!(json.contains("\"decisions_per_sec\""));
         assert!(json.contains("\"per_shard\""));
         assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"queue_wait\""));
+        assert!(json.contains("\"rejected_by_reason\""));
+        assert!(json.contains("\"backpressure_stalls\""));
         assert_eq!(report.metrics.accepted, 2);
         assert_eq!(report.metrics.per_shard.len(), 2);
     }

@@ -1,0 +1,390 @@
+//! Log-bucketed histograms for latency-style measurements.
+//!
+//! Values (nanoseconds, or any `u64` unit) land in power-of-two buckets:
+//! bucket `0` holds the value `0`, bucket `i >= 1` holds the range
+//! `[2^(i-1), 2^i - 1]`. 65 buckets cover the whole `u64` domain, so
+//! recording never saturates and merging histograms is exact bucket-wise
+//! addition — commutative and associative, which makes per-shard
+//! aggregates safe to combine in any order.
+//!
+//! Two flavours share the bucket layout:
+//!
+//! * [`Histogram`] — plain counters for a single-owner writer (one shard
+//!   worker records into its own histogram, merged at drain time);
+//! * [`AtomicHistogram`] — lock-free relaxed atomic counters for
+//!   concurrent writers (the process-wide [`crate::MetricsRegistry`] and
+//!   span timers).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value `0` plus one bucket per bit position.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A single-writer log-bucketed histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Exact: bucket-wise addition, so merge
+    /// is commutative and associative and loses no information.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0 when empty.
+    #[inline]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts (index via [`bucket_index`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), estimated as the upper bound
+    /// of the bucket containing the rank-`ceil(q * count)` observation,
+    /// clamped to the exact observed `[min, max]` range. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializable summary (all zeros for an empty histogram).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min_ns: self.min(),
+            mean_ns: self.mean(),
+            max_ns: self.max(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+        }
+    }
+}
+
+/// Percentile summary of a histogram, in the unit it was recorded in
+/// (nanoseconds throughout this workspace). An empty histogram reports
+/// all-zero stats — never uninitialized sentinels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Smallest observation.
+    pub min_ns: u64,
+    /// Mean observation.
+    pub mean_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+    /// Median (bucket upper bound, clamped to observed range).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+}
+
+/// A lock-free log-bucketed histogram for concurrent writers.
+///
+/// All updates are relaxed atomics; [`AtomicHistogram::snapshot`] folds
+/// the counters into a plain [`Histogram`]. Snapshots taken while
+/// writers are active are internally consistent per counter but not
+/// across counters (count/sum may lag each other by in-flight updates),
+/// which is the usual contract for scrape-style metrics.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    #[allow(clippy::declare_interior_mutable_const)]
+    pub const fn new() -> AtomicHistogram {
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (lock-free, relaxed ordering).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds the atomic counters into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+
+    /// Folds a plain [`Histogram`] into the atomic one — the bulk-flush
+    /// path for writers that accumulate locally and publish in batches.
+    /// Touches only non-empty buckets, so flushing a sparse delta costs
+    /// a handful of relaxed adds instead of one per observation.
+    pub fn merge_histogram(&self, h: &Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        for (dst, &n) in self.buckets.iter().zip(h.buckets().iter()) {
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(h.count(), Ordering::Relaxed);
+        self.sum.fetch_add(h.sum(), Ordering::Relaxed);
+        self.min.fetch_min(h.min(), Ordering::Relaxed);
+        self.max.fetch_max(h.max(), Ordering::Relaxed);
+    }
+
+    /// Resets every counter to the empty state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn quantiles_track_observed_range() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 500);
+        // Bucket upper bounds over-estimate, but never beyond max.
+        assert!(h.quantile(0.5) >= 500 && h.quantile(0.5) <= 1000);
+        assert!(h.quantile(0.999) <= 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX, 42] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 900, 1 << 33] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_equals_plain() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [5u64, 0, 123456, 99] {
+            ah.record(v);
+            h.record(v);
+        }
+        assert_eq!(ah.snapshot(), h);
+        ah.reset();
+        assert_eq!(ah.snapshot(), Histogram::new());
+    }
+
+    #[test]
+    fn atomic_merge_histogram_equals_per_value_recording() {
+        let ah = AtomicHistogram::new();
+        ah.record(10);
+        let mut delta = Histogram::new();
+        for v in [0u64, 3, 3, 1 << 40, 7] {
+            delta.record(v);
+        }
+        ah.merge_histogram(&delta);
+        ah.merge_histogram(&Histogram::new()); // empty flush is a no-op
+        let mut expect = Histogram::new();
+        for v in [10u64, 0, 3, 3, 1 << 40, 7] {
+            expect.record(v);
+        }
+        assert_eq!(ah.snapshot(), expect);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let ah = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ah = &ah;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        ah.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.buckets().iter().sum::<u64>(), 4000);
+    }
+}

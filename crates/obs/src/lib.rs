@@ -1,0 +1,40 @@
+//! # cslack-obs
+//!
+//! The observability layer of the cslack stack — std-only (like the
+//! dependency shims, it pulls in nothing external) and cheap enough to
+//! stay wired into the hot path permanently:
+//!
+//! * **Decision traces** ([`trace`]): every submission becomes a
+//!   [`DecisionEvent`] carrying the job, the shard, the threshold it
+//!   was tested against, and — for rejections — a typed
+//!   [`RejectReason`]. Events sit in a bounded per-shard
+//!   [`DecisionRing`] and drain to JSONL.
+//! * **Histogram metrics** ([`hist`], [`metrics`]): log-bucketed
+//!   [`Histogram`]s with p50/p90/p99/p999 summaries replace min/max
+//!   aggregates; the [`MetricsRegistry`] holds atomic counters
+//!   (submitted / accepted / rejected-by-reason / backpressure stalls)
+//!   and renders a Prometheus-style text exposition.
+//! * **Profiling spans** ([`span`], [`span!`]): `span!("route")`-style
+//!   scope timers that cost one atomic load when disabled.
+//!
+//! The crate sits at the bottom of the workspace graph (no cslack
+//! dependencies), so algorithms, the engine, the CLI, and benches can
+//! all speak the same observability vocabulary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hist;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
+pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot};
+pub use span::{
+    reset_spans, set_spans_enabled, span_histogram, span_snapshot, spans_enabled, SpanGuard,
+};
+pub use trace::{
+    read_jsonl, summarize, write_jsonl, DecisionEvent, DecisionRing, RejectCounts, RejectReason,
+    ShardTraceSummary, TraceSummary,
+};

@@ -1,0 +1,340 @@
+//! A cheap process-wide metrics registry: atomic counters, lock-free
+//! histograms, and a Prometheus-style text exposition.
+//!
+//! The registry is always safe to share (`&MetricsRegistry` from any
+//! thread); recording is a relaxed atomic add. When disabled (the
+//! default), instrumented call sites skip recording after a single
+//! atomic flag load, so carrying a registry through the hot path costs
+//! close to nothing.
+
+use crate::hist::{bucket_upper_bound, AtomicHistogram, Histogram, BUCKETS};
+use crate::span::span_snapshot;
+use crate::trace::{RejectCounts, RejectReason};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The engine-facing metric family: submission counters, rejection
+/// counters by [`RejectReason`], backpressure stalls, and latency /
+/// queue-wait histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    /// Jobs offered to the service.
+    pub submitted: Counter,
+    /// Jobs admitted.
+    pub accepted: Counter,
+    /// Jobs rejected because the deadline fell below the threshold.
+    pub rejected_threshold_exceeded: Counter,
+    /// Jobs rejected because no machine could finish them in time.
+    pub rejected_no_feasible_machine: Counter,
+    /// Jobs rejected by a load-independent policy.
+    pub rejected_policy_filtered: Counter,
+    /// Jobs rejected without a structured cause.
+    pub rejected_unattributed: Counter,
+    /// Submissions that found their shard queue full.
+    pub backpressure_stalls: Counter,
+    /// Scheduler decision latency, nanoseconds.
+    pub decision_latency: AtomicHistogram,
+    /// Enqueue-to-decision wait, nanoseconds.
+    pub queue_wait: AtomicHistogram,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry (recording gated off).
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: AtomicBool::new(false),
+            submitted: Counter::new(),
+            accepted: Counter::new(),
+            rejected_threshold_exceeded: Counter::new(),
+            rejected_no_feasible_machine: Counter::new(),
+            rejected_policy_filtered: Counter::new(),
+            rejected_unattributed: Counter::new(),
+            backpressure_stalls: Counter::new(),
+            decision_latency: AtomicHistogram::new(),
+            queue_wait: AtomicHistogram::new(),
+        }
+    }
+
+    /// An enabled registry.
+    pub fn enabled() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r
+    }
+
+    /// Turns recording on or off (also gates span timers that consult
+    /// this registry via the engine).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether instrumented call sites should record.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The rejection counter for `reason`.
+    pub fn rejected(&self, reason: RejectReason) -> &Counter {
+        match reason {
+            RejectReason::ThresholdExceeded => &self.rejected_threshold_exceeded,
+            RejectReason::NoFeasibleMachine => &self.rejected_no_feasible_machine,
+            RejectReason::PolicyFiltered => &self.rejected_policy_filtered,
+            RejectReason::Unattributed => &self.rejected_unattributed,
+        }
+    }
+
+    /// Rejection counters folded into a [`RejectCounts`] snapshot.
+    pub fn reject_counts(&self) -> RejectCounts {
+        RejectCounts {
+            threshold_exceeded: self.rejected_threshold_exceeded.get(),
+            no_feasible_machine: self.rejected_no_feasible_machine.get(),
+            policy_filtered: self.rejected_policy_filtered.get(),
+            unattributed: self.rejected_unattributed.get(),
+        }
+    }
+
+    /// Serializable snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.get(),
+            accepted: self.accepted.get(),
+            rejected: self.reject_counts(),
+            backpressure_stalls: self.backpressure_stalls.get(),
+            decision_latency: self.decision_latency.snapshot().summary(),
+            queue_wait: self.queue_wait.snapshot().summary(),
+        }
+    }
+
+    /// Prometheus text exposition (v0.0.4) of the registry, including
+    /// every span histogram registered in the process.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "cslack_submitted_total",
+            "Jobs offered to the admission service.",
+            self.submitted.get(),
+        );
+        counter(
+            &mut out,
+            "cslack_accepted_total",
+            "Jobs admitted with a commitment.",
+            self.accepted.get(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP cslack_rejected_total Jobs rejected, by typed reason."
+        );
+        let _ = writeln!(out, "# TYPE cslack_rejected_total counter");
+        for reason in RejectReason::ALL {
+            let _ = writeln!(
+                out,
+                "cslack_rejected_total{{reason=\"{}\"}} {}",
+                reason.as_str(),
+                self.rejected(reason).get()
+            );
+        }
+        counter(
+            &mut out,
+            "cslack_backpressure_stalls_total",
+            "Submissions that found their shard queue full.",
+            self.backpressure_stalls.get(),
+        );
+        render_histogram(
+            &mut out,
+            "cslack_decision_latency_ns",
+            "Scheduler decision latency in nanoseconds.",
+            &[],
+            &self.decision_latency.snapshot(),
+        );
+        render_histogram(
+            &mut out,
+            "cslack_queue_wait_ns",
+            "Enqueue-to-decision wait in nanoseconds.",
+            &[],
+            &self.queue_wait.snapshot(),
+        );
+        for (name, hist) in span_snapshot() {
+            render_histogram(
+                &mut out,
+                "cslack_span_duration_ns",
+                "Instrumented span duration in nanoseconds.",
+                &[("span", name)],
+                &hist,
+            );
+        }
+        out
+    }
+}
+
+/// Serializable snapshot of a [`MetricsRegistry`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Jobs offered.
+    pub submitted: u64,
+    /// Jobs admitted.
+    pub accepted: u64,
+    /// Rejections by reason.
+    pub rejected: RejectCounts,
+    /// Full-queue submission stalls.
+    pub backpressure_stalls: u64,
+    /// Decision latency summary.
+    pub decision_latency: crate::hist::HistogramSummary,
+    /// Queue-wait summary.
+    pub queue_wait: crate::hist::HistogramSummary,
+}
+
+/// Renders one histogram in Prometheus exposition format: cumulative
+/// `_bucket{le="..."}` series over the non-empty prefix of the log
+/// buckets, then `_sum` and `_count`.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+) {
+    // Only the first time for a metric family would normally emit HELP /
+    // TYPE; emitting per series with identical text is also accepted by
+    // the format, so keep it simple and always emit for the first label
+    // set only when the output does not already name the family.
+    if !out.contains(&format!("# TYPE {name} ")) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+    }
+    let label = |extra: &str| -> String {
+        let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        if !extra.is_empty() {
+            parts.push(extra.to_string());
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    // Highest non-empty bucket bounds the useful `le` range.
+    let top = h
+        .buckets()
+        .iter()
+        .rposition(|&n| n > 0)
+        .map(|i| i + 1)
+        .unwrap_or(1)
+        .min(BUCKETS - 1);
+    let mut cumulative = 0u64;
+    for i in 0..top {
+        cumulative += h.buckets()[i];
+        let le = bucket_upper_bound(i);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label(&format!("le=\"{le}\""))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", label("le=\"+Inf\""), h.count());
+    let _ = writeln!(out, "{name}_sum{} {}", label(""), h.sum());
+    let _ = writeln!(out, "{name}_count{} {}", label(""), h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_enabled_on_demand() {
+        let r = MetricsRegistry::new();
+        assert!(!r.is_enabled());
+        r.set_enabled(true);
+        assert!(r.is_enabled());
+        assert!(MetricsRegistry::enabled().is_enabled());
+    }
+
+    #[test]
+    fn counters_and_snapshot_line_up() {
+        let r = MetricsRegistry::enabled();
+        r.submitted.add(5);
+        r.accepted.add(3);
+        r.rejected(RejectReason::ThresholdExceeded).inc();
+        r.rejected(RejectReason::NoFeasibleMachine).inc();
+        r.backpressure_stalls.inc();
+        r.decision_latency.record(1000);
+        r.queue_wait.record(50);
+        let s = r.snapshot();
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.rejected.total(), 2);
+        assert_eq!(s.backpressure_stalls, 1);
+        assert_eq!(s.decision_latency.count, 1);
+        assert_eq!(s.queue_wait.count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_all_families() {
+        let r = MetricsRegistry::enabled();
+        r.submitted.add(2);
+        r.accepted.inc();
+        r.rejected(RejectReason::ThresholdExceeded).inc();
+        r.decision_latency.record(999);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE cslack_submitted_total counter"));
+        assert!(text.contains("cslack_submitted_total 2"));
+        assert!(text.contains("cslack_rejected_total{reason=\"threshold_exceeded\"} 1"));
+        assert!(text.contains("cslack_rejected_total{reason=\"no_feasible_machine\"} 0"));
+        assert!(text.contains("# TYPE cslack_decision_latency_ns histogram"));
+        assert!(text.contains("cslack_decision_latency_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cslack_decision_latency_ns_sum 999"));
+        assert!(text.contains("cslack_decision_latency_ns_count 1"));
+        assert!(text.contains("cslack_backpressure_stalls_total 0"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket 1 (le 1)
+        h.record(3); // bucket 2 (le 3)
+        h.record(3);
+        let mut out = String::new();
+        render_histogram(&mut out, "x_ns", "help", &[], &h);
+        assert!(out.contains("x_ns_bucket{le=\"1\"} 1"));
+        assert!(out.contains("x_ns_bucket{le=\"3\"} 3"));
+        assert!(out.contains("x_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("x_ns_count 3"));
+    }
+}

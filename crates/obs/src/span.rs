@@ -1,0 +1,163 @@
+//! Lightweight span timers for profiling hot paths.
+//!
+//! `span!("route")` starts a timer whose elapsed nanoseconds are
+//! recorded into a process-wide [`AtomicHistogram`] named after the
+//! span when the guard drops. Spans are globally gated: while disabled
+//! (the default) the macro expands to a single relaxed atomic load and
+//! **no** `Instant::now()` call, so instrumentation left in the hot
+//! path is effectively free.
+//!
+//! ```
+//! cslack_obs::set_spans_enabled(true);
+//! {
+//!     let _span = cslack_obs::span!("threshold_eval");
+//!     // ... timed work ...
+//! }
+//! let spans = cslack_obs::span_snapshot();
+//! assert!(spans.iter().any(|(name, h)| *name == "threshold_eval" && h.count() == 1));
+//! # cslack_obs::set_spans_enabled(false);
+//! ```
+
+use crate::hist::{AtomicHistogram, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Registered span histograms. Registration (first use of a span name)
+/// takes a mutex and leaks one allocation; recording afterwards touches
+/// only the returned `&'static` histogram — lock-free on the hot path.
+static SPANS: OnceLock<Mutex<Vec<(&'static str, &'static AtomicHistogram)>>> = OnceLock::new();
+
+fn spans() -> &'static Mutex<Vec<(&'static str, &'static AtomicHistogram)>> {
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Globally enables or disables span timing.
+pub fn set_spans_enabled(on: bool) {
+    SPANS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timers currently record.
+#[inline]
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide histogram for span `name`, created on first use.
+///
+/// The histogram outlives every caller (intentionally leaked; span
+/// names are a small static set), so call sites can cache the
+/// reference in a `OnceLock` — the [`crate::span!`] macro does exactly
+/// that.
+pub fn span_histogram(name: &'static str) -> &'static AtomicHistogram {
+    let mut table = spans().lock().expect("span registry poisoned");
+    if let Some((_, h)) = table.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let hist: &'static AtomicHistogram = Box::leak(Box::new(AtomicHistogram::new()));
+    table.push((name, hist));
+    hist
+}
+
+/// Snapshot of every registered span histogram, in registration order.
+pub fn span_snapshot() -> Vec<(&'static str, Histogram)> {
+    spans()
+        .lock()
+        .expect("span registry poisoned")
+        .iter()
+        .map(|(name, h)| (*name, h.snapshot()))
+        .collect()
+}
+
+/// Resets every registered span histogram (names stay registered).
+pub fn reset_spans() {
+    for (_, h) in spans().lock().expect("span registry poisoned").iter() {
+        h.reset();
+    }
+}
+
+/// Records elapsed nanoseconds into a span histogram on drop.
+pub struct SpanGuard {
+    hist: &'static AtomicHistogram,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Starts timing against `hist`.
+    #[inline]
+    pub fn new(hist: &'static AtomicHistogram) -> SpanGuard {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+    }
+}
+
+/// Times the rest of the enclosing scope under the given span name.
+///
+/// Expands to an `Option<SpanGuard>` bound at the call site: `None`
+/// (no clock read, no allocation) while spans are disabled, a running
+/// timer otherwise. The span's histogram lookup happens once per call
+/// site and is cached in a `OnceLock`.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __CSLACK_SPAN_HIST: ::std::sync::OnceLock<&'static $crate::AtomicHistogram> =
+            ::std::sync::OnceLock::new();
+        if $crate::spans_enabled() {
+            ::std::option::Option::Some($crate::SpanGuard::new(
+                __CSLACK_SPAN_HIST.get_or_init(|| $crate::span_histogram($name)),
+            ))
+        } else {
+            ::std::option::Option::None
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        set_spans_enabled(false);
+        {
+            let _g = crate::span!("test_disabled_span");
+        }
+        assert!(!span_snapshot()
+            .iter()
+            .any(|(name, _)| *name == "test_disabled_span"));
+    }
+
+    #[test]
+    fn enabled_spans_record_durations() {
+        set_spans_enabled(true);
+        for _ in 0..3 {
+            let _g = crate::span!("test_enabled_span");
+        }
+        set_spans_enabled(false);
+        let snap = span_snapshot();
+        let (_, h) = snap
+            .iter()
+            .find(|(name, _)| *name == "test_enabled_span")
+            .expect("span registered");
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn span_histogram_is_stable_per_name() {
+        let a = span_histogram("stable_name") as *const _;
+        let b = span_histogram("stable_name") as *const _;
+        assert_eq!(a, b);
+    }
+}

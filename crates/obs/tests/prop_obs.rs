@@ -1,0 +1,117 @@
+//! Property tests for the observability primitives: histogram merge is
+//! commutative and associative, bucket counts always sum to the total
+//! observation count, and quantiles stay inside the observed range.
+
+use cslack_obs::hist::{bucket_index, BUCKETS};
+use cslack_obs::trace::{RejectCounts, RejectReason};
+use cslack_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Observations spanning the full bucket range: uniform in a small
+/// window, plus shifted by random powers of two for the high buckets.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u64..1024, 0u32..60), 0..64).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(v, shift)| v << (shift % 54))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_values(), b in arb_values(), c in arb_values()) {
+        // (a + b) + c
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a + (b + c)
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_single_stream(a in arb_values(), b in arb_values()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut combined: Vec<u64> = a.clone();
+        combined.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&combined));
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_total(values in arb_values()) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // Every observation landed in exactly the bucket its value maps to.
+        let mut expected = [0u64; BUCKETS];
+        for &v in &values {
+            expected[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(h.buckets(), &expected);
+    }
+
+    #[test]
+    fn quantiles_lie_in_observed_range(values in arb_values(), q in 0.0f64..=1.0) {
+        let h = hist_of(&values);
+        let x = h.quantile(q);
+        if values.is_empty() {
+            prop_assert_eq!(x, 0);
+        } else {
+            let min = *values.iter().min().unwrap();
+            let max = *values.iter().max().unwrap();
+            prop_assert!(x >= min && x <= max, "q={} -> {} outside [{}, {}]", q, x, min, max);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in arb_values(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let h = hist_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn reject_counts_merge_is_commutative(
+        a in prop::collection::vec(0usize..4, 0..32),
+        b in prop::collection::vec(0usize..4, 0..32),
+    ) {
+        let fill = |picks: &[usize]| {
+            let mut c = RejectCounts::default();
+            for &i in picks {
+                c.bump(RejectReason::ALL[i]);
+            }
+            c
+        };
+        let (ca, cb) = (fill(&a), fill(&b));
+        let mut ab = ca;
+        ab.merge(&cb);
+        let mut ba = cb;
+        ba.merge(&ca);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.total(), (a.len() + b.len()) as u64);
+    }
+}

@@ -68,11 +68,12 @@ fn main() {
         metrics.accepted, metrics.submitted, metrics.accepted_load, retried
     );
     println!(
-        "throughput {:.0} decisions/sec, latency min/mean/max = {}/{}/{} ns",
+        "throughput {:.0} decisions/sec, latency min/mean/max = {}/{}/{} ns (p99 {} ns)",
         metrics.decisions_per_sec,
         metrics.latency.min_ns,
         metrics.latency.mean_ns,
-        metrics.latency.max_ns
+        metrics.latency.max_ns,
+        metrics.latency.p99_ns
     );
     for s in &metrics.per_shard {
         println!(

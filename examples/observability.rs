@@ -1,0 +1,100 @@
+//! Observability demo: run the sharded engine with the full
+//! observability stack live — a shared metrics registry, a decision
+//! trace with typed reject reasons, and span profiling timers — then
+//! show the three export surfaces (JSONL trace, metrics snapshot,
+//! Prometheus text exposition).
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use cslack::engine::{Engine, EngineConfig, ObsConfig};
+use cslack::obs;
+use cslack::prelude::*;
+use cslack::workloads::WorkloadSpec;
+use std::sync::Arc;
+
+fn main() {
+    let (m, eps, n, shards) = (4, 0.25, 2_000, 2);
+    let inst = WorkloadSpec::default_spec(m, eps, n, 11)
+        .generate()
+        .expect("workload");
+
+    // Span timers are process-global and off by default; turning them
+    // on makes `span!("route")` / `span!("threshold_eval")` record.
+    obs::set_spans_enabled(true);
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let wiring = ObsConfig {
+        registry: Some(Arc::clone(&registry)),
+        trace_capacity: n, // hold the entire run
+    };
+
+    let engine = Engine::start_observed(m, EngineConfig::new(shards), wiring, |_shard, group| {
+        Box::new(Threshold::new(group, eps)) as Box<dyn OnlineScheduler>
+    })
+    .expect("engine start");
+    for job in inst.jobs() {
+        engine.submit(*job).expect("submit");
+    }
+    let report = engine.finish().expect("drain");
+
+    // 1. The decision trace: every submission, with a typed reason on
+    //    every rejection. `summarize` reproduces the engine counters.
+    let summary = obs::summarize(&report.trace);
+    println!(
+        "trace: {} decisions ({} accepted), {} dropped by the ring",
+        summary.decisions, summary.accepted, report.trace_dropped
+    );
+    for reason in RejectReason::ALL {
+        let count = summary.rejected.get(reason);
+        if count > 0 {
+            println!("  rejected[{}] = {count}", reason.as_str());
+        }
+    }
+    assert_eq!(summary.accepted, report.metrics.accepted);
+    assert_eq!(summary.rejected.total(), report.metrics.rejected);
+    if let Some(event) = report.trace.iter().find(|e| !e.accepted) {
+        let mut buf = Vec::new();
+        obs::write_jsonl(std::slice::from_ref(event), &mut buf).expect("serialize event");
+        print!(
+            "  sample rejection (JSONL): {}",
+            String::from_utf8_lossy(&buf)
+        );
+    }
+
+    // 2. Histogram metrics: percentiles from log-bucketed histograms.
+    let metrics = &report.metrics;
+    println!(
+        "latency: p50 {} ns, p90 {} ns, p99 {} ns, max {} ns",
+        metrics.latency.p50_ns,
+        metrics.latency.p90_ns,
+        metrics.latency.p99_ns,
+        metrics.latency.max_ns
+    );
+    println!(
+        "queue wait: p50 {} ns, p99 {} ns (backpressure stalls: {})",
+        metrics.queue_wait.p50_ns, metrics.queue_wait.p99_ns, metrics.backpressure_stalls
+    );
+
+    // 3. The registry's export surfaces.
+    let snapshot = registry.snapshot();
+    println!(
+        "registry: submitted {}, accepted {}, rejected {:?}",
+        snapshot.submitted, snapshot.accepted, snapshot.rejected
+    );
+    let exposition = registry.render_prometheus();
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("cslack_") && !l.contains("_bucket"))
+        .take(12)
+    {
+        println!("  {line}");
+    }
+    println!(
+        "spans recorded: {:?}",
+        obs::span_snapshot()
+            .iter()
+            .map(|(name, h)| (*name, h.count()))
+            .collect::<Vec<_>>()
+    );
+}

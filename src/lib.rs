@@ -17,6 +17,8 @@
 //! * [`opt`] — offline optimal and upper bounds.
 //! * [`sim`] — the simulator and parallel sweep harness.
 //! * [`engine`] — the sharded concurrent admission-control service.
+//! * [`obs`] — observability: decision traces with typed reject
+//!   reasons, log-bucketed histogram metrics, span profiling timers.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use cslack_adversary as adversary;
 pub use cslack_algorithms as algorithms;
 pub use cslack_engine as engine;
 pub use cslack_kernel as kernel;
+pub use cslack_obs as obs;
 pub use cslack_opt as opt;
 pub use cslack_ratio as ratio;
 pub use cslack_sim as sim;
@@ -48,8 +51,9 @@ pub use cslack_workloads as workloads;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use cslack_algorithms::{Decision, Greedy, OnlineScheduler, Threshold};
-    pub use cslack_engine::{Engine, EngineConfig, EngineMetrics, EngineReport};
+    pub use cslack_engine::{Engine, EngineConfig, EngineMetrics, EngineReport, ObsConfig};
     pub use cslack_kernel::{Instance, InstanceBuilder, Job, JobId, MachineId, Schedule, Time};
+    pub use cslack_obs::{MetricsRegistry, RejectReason};
     pub use cslack_ratio::RatioFn;
     pub use cslack_sim::{simulate, SimReport};
 }
