@@ -22,7 +22,7 @@
 //! itself (`offer` + `finish`) and returns an ordinary non-preemptive
 //! [`Schedule`] that the kernel validator checks.
 
-use crate::park::MachinePark;
+use crate::alloc::AllocCore;
 use cslack_kernel::{Job, Schedule, Time};
 
 /// Delayed-commitment greedy with parameter `delta`.
@@ -31,7 +31,7 @@ pub struct DelayedGreedy {
     m: usize,
     delta: f64,
     now: Time,
-    park: MachinePark,
+    core: AllocCore,
     /// Admitted-to-the-pool jobs with their decision deadlines.
     pending: Vec<(Job, Time)>,
     schedule: Schedule,
@@ -50,7 +50,7 @@ impl DelayedGreedy {
             m,
             delta,
             now: Time::ZERO,
-            park: MachinePark::new(m),
+            core: AllocCore::new(m),
             pending: Vec::new(),
             schedule: Schedule::new(m),
             accepted_load: 0.0,
@@ -94,7 +94,8 @@ impl DelayedGreedy {
     /// Makes the irrevocable decision for `job` at `decision_time`.
     fn decide(&mut self, job: Job, decision_time: Time) {
         self.now = self.now.max(decision_time);
-        let candidates: Vec<_> = park_candidates(&self.park, &job, self.now);
+        let now = self.now;
+        let candidates = self.core.candidates(&job, now);
         if candidates.is_empty() {
             self.rejected.push(job.id);
             return;
@@ -102,26 +103,33 @@ impl DelayedGreedy {
         // Priority rule (the point of the delay window): do not commit
         // this job anywhere it would *kill* a strictly larger pending
         // job — i.e. make a bigger job that currently fits somewhere
-        // lose its last feasible machine.
+        // lose its last feasible machine. Whether a bigger job fits
+        // *before* the trial commit is candidate-independent, so that
+        // half of the check is hoisted out of the per-candidate loop.
+        let bigger: Vec<Job> = self
+            .pending
+            .iter()
+            .filter(|(b, _)| b.proc_time > job.proc_time)
+            .map(|(b, _)| *b)
+            .collect();
+        let bigger_fitting: Vec<Job> = bigger
+            .into_iter()
+            .filter(|b| !self.core.candidates(b, now).is_empty())
+            .collect();
         let chosen = candidates.iter().copied().find(|&machine| {
-            let start = self.park.earliest_start(machine, self.now);
-            let mut trial = self.park.clone();
+            let start = self.core.earliest_start(machine, now);
+            let mut trial = self.core.clone();
             trial.commit(machine, start, job.proc_time);
-            !self
-                .pending
+            !bigger_fitting
                 .iter()
-                .filter(|(b, _)| b.proc_time > job.proc_time)
-                .any(|(bigger, _)| {
-                    !park_candidates(&self.park, bigger, self.now).is_empty()
-                        && park_candidates(&trial, bigger, self.now).is_empty()
-                })
+                .any(|bigger| trial.candidates(bigger, now).is_empty())
         });
         let Some(machine) = chosen else {
             self.rejected.push(job.id);
             return;
         };
-        let start = self.park.earliest_start(machine, self.now);
-        self.park.commit(machine, start, job.proc_time);
+        let start = self.core.earliest_start(machine, now);
+        self.core.commit(machine, start, job.proc_time);
         self.schedule
             .commit(job, machine, start)
             .expect("delayed commit is feasible by construction");
@@ -154,19 +162,6 @@ impl DelayedGreedy {
         debug_assert!(self.pending.is_empty());
         self.schedule
     }
-}
-
-/// Machines that can complete `job` by its deadline when started after
-/// their outstanding load, most-loaded first (best fit order).
-fn park_candidates(park: &MachinePark, job: &Job, now: Time) -> Vec<cslack_kernel::MachineId> {
-    park.ranked(now)
-        .into_iter()
-        .filter(|rm| {
-            let start = park.earliest_start(rm.machine, now);
-            (start + job.proc_time).approx_le(job.deadline)
-        })
-        .map(|rm| rm.machine)
-        .collect()
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! machines — it cannot exploit `m`, which is precisely what the paper's
 //! Threshold algorithm fixes.
 
-use crate::park::MachinePark;
+use crate::alloc::{AllocCore, AllocPolicy, Placement, StartPolicy};
 use crate::{Decision, DecisionInfo, OnlineScheduler};
 use cslack_kernel::Job;
 use cslack_obs::RejectReason;
@@ -16,14 +16,14 @@ use cslack_obs::RejectReason;
 /// Accept-everything best-fit list scheduling.
 #[derive(Clone, Debug)]
 pub struct Greedy {
-    park: MachinePark,
+    core: AllocCore,
 }
 
 impl Greedy {
     /// Builds the greedy baseline on `m` machines.
     pub fn new(m: usize) -> Greedy {
         Greedy {
-            park: MachinePark::new(m),
+            core: AllocCore::new(m),
         }
     }
 }
@@ -34,7 +34,7 @@ impl OnlineScheduler for Greedy {
     }
 
     fn machines(&self) -> usize {
-        self.park.machines()
+        self.core.machines()
     }
 
     fn offer(&mut self, job: &Job) -> Decision {
@@ -43,35 +43,28 @@ impl OnlineScheduler for Greedy {
 
     fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
         let now = job.release;
-        let ranked = self.park.ranked(now);
         let mut info = DecisionInfo {
             candidates: 0,
             // Greedy has no admission threshold — only feasibility.
             threshold: None,
-            min_load: Some(ranked[ranked.len() - 1].load),
+            min_load: Some(self.core.min_load(now)),
             reject_reason: None,
         };
         // Most loaded machine that can still finish the job in time.
-        let mut evaluated = 0u32;
-        let chosen = ranked.into_iter().find(|rm| {
-            evaluated += 1;
-            let earliest = self.park.earliest_start(rm.machine, now);
-            (earliest + job.proc_time).approx_le(job.deadline)
-        });
-        info.candidates = evaluated;
-        match chosen {
-            Some(rm) => {
-                let start = self.park.earliest_start(rm.machine, now);
-                self.park.commit(rm.machine, start, job.proc_time);
-                (
-                    Decision::Accept {
-                        machine: rm.machine,
-                        start,
-                    },
-                    info,
-                )
+        match self
+            .core
+            .place(job, now, AllocPolicy::BestFit, StartPolicy::Earliest)
+        {
+            Placement::Committed {
+                machine,
+                start,
+                evaluated,
+            } => {
+                info.candidates = evaluated;
+                (Decision::Accept { machine, start }, info)
             }
-            None => {
+            Placement::Infeasible { evaluated } => {
+                info.candidates = evaluated;
                 info.reject_reason = Some(RejectReason::NoFeasibleMachine);
                 (Decision::Reject, info)
             }
@@ -79,7 +72,7 @@ impl OnlineScheduler for Greedy {
     }
 
     fn reset(&mut self) {
-        self.park.reset();
+        self.core.reset();
     }
 }
 

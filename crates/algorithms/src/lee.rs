@@ -19,7 +19,7 @@
 //! class machine. The price is the `1 + m` additive term — visible in
 //! experiment E9 as a constant-factor loss on benign workloads.
 
-use crate::park::MachinePark;
+use crate::alloc::AllocCore;
 use crate::{Decision, OnlineScheduler};
 use cslack_kernel::{Job, MachineId};
 
@@ -28,7 +28,7 @@ use cslack_kernel::{Job, MachineId};
 #[derive(Clone, Debug)]
 pub struct LeeClassify {
     eps: f64,
-    park: MachinePark,
+    core: AllocCore,
     /// Size of the first offered job; classes are geometric around it.
     base: Option<f64>,
 }
@@ -39,7 +39,7 @@ impl LeeClassify {
         assert!(m >= 1 && eps > 0.0);
         LeeClassify {
             eps,
-            park: MachinePark::new(m),
+            core: AllocCore::new(m),
             base: None,
         }
     }
@@ -48,7 +48,7 @@ impl LeeClassify {
     pub fn growth(&self) -> f64 {
         self.eps
             .min(1.0)
-            .powf(-1.0 / self.park.machines() as f64)
+            .powf(-1.0 / self.core.machines() as f64)
             .max(1.0 + 1e-9)
     }
 
@@ -56,7 +56,7 @@ impl LeeClassify {
     fn class_of(&self, proc_time: f64, base: f64) -> MachineId {
         let g = self.growth();
         let idx = (proc_time / base).ln() / g.ln();
-        let m = self.park.machines() as i64;
+        let m = self.core.machines() as i64;
         let wrapped = (idx.floor() as i64).rem_euclid(m);
         MachineId(wrapped as u32)
     }
@@ -68,24 +68,22 @@ impl OnlineScheduler for LeeClassify {
     }
 
     fn machines(&self) -> usize {
-        self.park.machines()
+        self.core.machines()
     }
 
     fn offer(&mut self, job: &Job) -> Decision {
         let base = *self.base.get_or_insert(job.proc_time);
         let machine = self.class_of(job.proc_time, base);
-        let now = job.release;
-        let start = self.park.earliest_start(machine, now);
-        if (start + job.proc_time).approx_le(job.deadline) {
-            self.park.commit(machine, start, job.proc_time);
-            Decision::Accept { machine, start }
-        } else {
-            Decision::Reject
+        // Reservation pins the machine, so placement is fixed-lane: no
+        // ranking, just a feasibility check on the class machine.
+        match self.core.place_on(machine, job, job.release) {
+            Some(start) => Decision::Accept { machine, start },
+            None => Decision::Reject,
         }
     }
 
     fn reset(&mut self) {
-        self.park.reset();
+        self.core.reset();
         self.base = None;
     }
 }

@@ -27,11 +27,17 @@
 //! All deterministic non-preemptive algorithms implement
 //! [`OnlineScheduler`]: one `offer` call per arriving job, returning an
 //! irrevocable [`Decision`].
+//!
+//! The non-preemptive algorithms share one allocation substrate: the
+//! [`alloc::AllocCore`] (candidate scan, best/worst-fit selection, start
+//! policy, cached machine ranking) layered over the incremental
+//! [`park::MachinePark`] ranking structure.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod alloc;
 pub mod delayed;
 pub mod greedy;
 pub mod lee;
@@ -42,6 +48,7 @@ pub mod preemptive;
 pub mod randomized;
 pub mod threshold;
 
+pub use alloc::{AllocCore, AllocPolicy, RankingMode, StartPolicy};
 pub use greedy::Greedy;
 pub use lee::LeeClassify;
 pub use randomized::RandomizedClassifySelect;

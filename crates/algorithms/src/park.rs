@@ -8,13 +8,54 @@
 //! the earliest feasible start for a new job is `t + l(m_i)` — "start it
 //! immediately after the completion of the preceding job on this machine"
 //! (Algorithm 1, line 10).
+//!
+//! # Incremental ranking
+//!
+//! The paper's dynamic machine index (rank by decreasing outstanding
+//! load) is the structural hot path: every offer needs it. Sorting per
+//! offer costs `O(m log m)` with float comparisons; this park instead
+//! maintains the order *incrementally*, exploiting two facts:
+//!
+//! * between commits, every outstanding load decays by the same `Δt`, so
+//!   the relative order of busy machines is **time-invariant** — the only
+//!   rank events are machines clamping to zero as `now` passes their
+//!   frontier (they "go idle"); and
+//! * a commit changes exactly **one** machine's frontier.
+//!
+//! Concretely it keeps a *ladder*: the possibly-busy machines sorted by
+//! `(frontier desc, id asc)`, plus an id-sorted idle list. Ranking at a
+//! non-decreasing `now` lazily migrates the ladder's tail (machines whose
+//! frontier fell at or below `now`) into the idle list; a commit repairs
+//! the ladder with two binary searches (`O(log m)` compares plus a `u32`
+//! memmove). Querying an *earlier* `now` than before (trial clones,
+//! adversarial replays) falls back to a full rebuild, so the structure is
+//! correct for any call pattern.
+//!
+//! The produced order is bit-identical to the stable full sort it
+//! replaces: busy machines have `load = frontier - now > 0`, so load
+//! order is frontier order and equal loads are equal frontiers (ties
+//! break by ascending physical id either way); idle machines all have
+//! load `+0.0` and appear in ascending id order, exactly as the stable
+//! sort leaves them. [`MachinePark::ranked`] keeps the sort-based
+//! reference implementation (also the property-test oracle);
+//! [`MachinePark::ranked_into`] is the incremental path.
 
 use cslack_kernel::{MachineId, Time};
+use std::cmp::Reverse;
 
-/// Frontier-based machine state.
+/// Frontier-based machine state with an incrementally maintained ranking.
 #[derive(Clone, Debug)]
 pub struct MachinePark {
     frontiers: Vec<Time>,
+    /// Possibly-busy machines, sorted by `(frontier desc, id asc)`.
+    /// Machines whose frontier has fallen to/below the last ranking
+    /// instant form a suffix and migrate to `idle` lazily.
+    ladder: Vec<u32>,
+    /// Machines known idle at `last_now`, ascending id.
+    idle: Vec<u32>,
+    /// The most recent ranking instant (ranking at an earlier time
+    /// triggers a rebuild).
+    last_now: Time,
 }
 
 /// One machine's dynamic view when a job is offered: its physical id and
@@ -34,6 +75,9 @@ impl MachinePark {
         assert!(m > 0);
         MachinePark {
             frontiers: vec![Time::ZERO; m],
+            ladder: Vec::new(),
+            idle: (0..m as u32).collect(),
+            last_now: Time::ZERO,
         }
     }
 
@@ -66,6 +110,12 @@ impl MachinePark {
     /// Ranks all machines by **decreasing** outstanding load at `now`
     /// (ties broken by ascending physical id, for determinism). The
     /// element at index `h - 1` is the paper's machine `m_h`.
+    ///
+    /// This is the sort-based *reference* implementation: it allocates
+    /// and sorts on every call. The decision path uses the incremental
+    /// [`MachinePark::ranked_into`], which produces the identical
+    /// sequence; this form remains for `&self` callers (threshold
+    /// introspection) and as the property-test oracle.
     pub fn ranked(&self, now: Time) -> Vec<RankedMachine> {
         let mut v: Vec<RankedMachine> = (0..self.machines())
             .map(|i| {
@@ -76,13 +126,89 @@ impl MachinePark {
                 }
             })
             .collect();
-        // Stable by construction order => ties keep ascending physical id.
-        v.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap());
+        // Stable by construction order => ties keep ascending physical
+        // id. Loads are never NaN (Time arithmetic rejects NaN), and
+        // `total_cmp` keeps the comparator total even if they were.
+        v.sort_by(|a, b| b.load.total_cmp(&a.load));
         v
     }
 
+    /// Fills `out` with the same sequence [`MachinePark::ranked`] would
+    /// return, from the incrementally maintained ladder: no sort, no
+    /// allocation beyond `out`'s capacity.
+    ///
+    /// Amortized cost is `O(m)` to write the view (each machine goes
+    /// idle at most once per commit, so lazy migration is amortized
+    /// `O(log m)` per call); ranking at a `now` earlier than the
+    /// previous call costs one `O(m log m)` rebuild.
+    pub fn ranked_into(&mut self, now: Time, out: &mut Vec<RankedMachine>) {
+        self.refresh(now);
+        out.clear();
+        out.reserve(self.machines());
+        for &id in &self.ladder {
+            let machine = MachineId(id);
+            out.push(RankedMachine {
+                machine,
+                load: self.outstanding(machine, now),
+            });
+        }
+        for &id in &self.idle {
+            let machine = MachineId(id);
+            out.push(RankedMachine {
+                machine,
+                load: self.outstanding(machine, now),
+            });
+        }
+    }
+
+    /// Advances the ladder/idle split to the ranking instant `now`.
+    fn refresh(&mut self, now: Time) {
+        if now < self.last_now {
+            self.rebuild(now);
+            return;
+        }
+        self.last_now = now;
+        // The ladder is sorted by frontier descending, so every machine
+        // that went idle by `now` sits in its suffix.
+        while let Some(&id) = self.ladder.last() {
+            if self.frontiers[id as usize] > now {
+                break;
+            }
+            self.ladder.pop();
+            let pos = self
+                .idle
+                .binary_search(&id)
+                .expect_err("machine cannot be in both ladder and idle");
+            self.idle.insert(pos, id);
+        }
+    }
+
+    /// Rebuilds ladder and idle list from scratch for an arbitrary `now`.
+    fn rebuild(&mut self, now: Time) {
+        self.ladder.clear();
+        self.idle.clear();
+        for id in 0..self.frontiers.len() as u32 {
+            if self.frontiers[id as usize] > now {
+                self.ladder.push(id);
+            } else {
+                self.idle.push(id);
+            }
+        }
+        let frontiers = &self.frontiers;
+        self.ladder
+            .sort_by_key(|&id| (Reverse(frontiers[id as usize]), id));
+        self.last_now = now;
+    }
+
+    /// The `(frontier desc, id asc)` ladder sort key of a machine.
+    #[inline]
+    fn ladder_key(&self, id: u32) -> (Reverse<Time>, u32) {
+        (Reverse(self.frontiers[id as usize]), id)
+    }
+
     /// Records a commitment: the machine's frontier advances to
-    /// `start + proc_time`.
+    /// `start + proc_time`. Repairs the ranking ladder in `O(log m)`
+    /// compares (one removal, one keyed re-insertion).
     ///
     /// # Panics
     /// Debug-asserts that the job does not overlap the existing frontier.
@@ -91,18 +217,51 @@ impl MachinePark {
             start.approx_ge(self.frontier(machine)),
             "append-style commit must start at/after the frontier"
         );
+        let id = machine.0;
+        // Remove from whichever structure currently holds the machine
+        // (lazy migration means an idle-by-time machine may still sit in
+        // the ladder; its old key finds it either way).
+        if let Ok(pos) = self.idle.binary_search(&id) {
+            self.idle.remove(pos);
+        } else {
+            let key = self.ladder_key(id);
+            let pos = self
+                .ladder
+                .binary_search_by(|&x| self.ladder_key(x).cmp(&key))
+                .expect("committed machine must be tracked in ladder or idle");
+            self.ladder.remove(pos);
+        }
         self.frontiers[machine.index()] = start + proc_time;
+        // Re-insert under the new key; if the new frontier is already in
+        // the past, the next refresh migrates it back to idle.
+        let key = self.ladder_key(id);
+        let pos = self
+            .ladder
+            .binary_search_by(|&x| self.ladder_key(x).cmp(&key))
+            .expect_err("ladder keys are unique per machine");
+        self.ladder.insert(pos, id);
     }
 
     /// Forgets everything (all machines idle again).
     pub fn reset(&mut self) {
         self.frontiers.fill(Time::ZERO);
+        self.ladder.clear();
+        self.idle.clear();
+        self.idle.extend(0..self.frontiers.len() as u32);
+        self.last_now = Time::ZERO;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The incremental view, for comparing against the reference sort.
+    fn ranked_inc(p: &mut MachinePark, now: Time) -> Vec<RankedMachine> {
+        let mut out = Vec::new();
+        p.ranked_into(now, &mut out);
+        out
+    }
 
     #[test]
     fn outstanding_is_zero_when_idle_or_past() {
@@ -138,6 +297,43 @@ mod tests {
         assert_eq!(r[2].machine, MachineId(0));
         assert_eq!(r[0].load, 4.0);
         assert_eq!(r[2].load, 0.0);
+        // The incremental path produces the identical view.
+        assert_eq!(ranked_inc(&mut p, Time::ZERO), r);
+    }
+
+    #[test]
+    fn incremental_matches_reference_through_idle_transitions() {
+        let mut p = MachinePark::new(4);
+        p.commit(MachineId(2), Time::ZERO, 3.0);
+        p.commit(MachineId(0), Time::ZERO, 5.0);
+        p.commit(MachineId(3), Time::ZERO, 1.0);
+        for &t in &[0.0, 0.5, 1.0, 2.9999, 3.0, 4.0, 5.0, 7.0] {
+            let now = Time::new(t);
+            assert_eq!(ranked_inc(&mut p, now), p.ranked(now), "now={t}");
+        }
+        // Going *backwards* in time (trial replays) rebuilds correctly.
+        for &t in &[2.0, 0.0, 6.0, 1.0] {
+            let now = Time::new(t);
+            assert_eq!(ranked_inc(&mut p, now), p.ranked(now), "now={t}");
+        }
+    }
+
+    #[test]
+    fn commit_repairs_the_ladder_after_lazy_idling() {
+        let mut p = MachinePark::new(3);
+        p.commit(MachineId(1), Time::ZERO, 1.0);
+        p.commit(MachineId(2), Time::ZERO, 4.0);
+        // Rank at t=2: machine 1 went idle (lazy migration fires).
+        let now = Time::new(2.0);
+        assert_eq!(ranked_inc(&mut p, now), p.ranked(now));
+        // Commit on a machine that idled *without* an intervening rank.
+        let mut q = MachinePark::new(3);
+        q.commit(MachineId(1), Time::ZERO, 1.0);
+        q.commit(MachineId(1), Time::new(1.0), 1.0); // still in ladder
+        let now = Time::new(5.0);
+        assert_eq!(ranked_inc(&mut q, now), q.ranked(now));
+        q.commit(MachineId(1), Time::new(5.0), 2.0); // was lazily idled
+        assert_eq!(ranked_inc(&mut q, now), q.ranked(now));
     }
 
     #[test]
@@ -148,6 +344,7 @@ mod tests {
         assert_eq!(p.frontier(MachineId(0)), Time::new(2.5));
         p.reset();
         assert_eq!(p.frontier(MachineId(0)), Time::ZERO);
+        assert_eq!(ranked_inc(&mut p, Time::ZERO), p.ranked(Time::ZERO));
     }
 
     #[test]

@@ -22,29 +22,16 @@
 //! The same engine, parameterized by [`ThresholdPolicy`], also powers the
 //! ablation variants of [`crate::ablation`].
 
-use crate::park::MachinePark;
+use crate::alloc::{AllocCore, Placement};
 use crate::{Decision, DecisionInfo, OnlineScheduler};
 use cslack_kernel::{Instance, Job, Time};
 use cslack_obs::RejectReason;
 use cslack_ratio::RatioFn;
+use std::sync::Arc;
 
-/// Which machine among the feasible candidates receives an accepted job.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AllocPolicy {
-    /// Paper's choice: the most loaded candidate ("best fit").
-    BestFit,
-    /// Ablation: the least loaded candidate ("worst fit").
-    WorstFit,
-}
-
-/// When an accepted job is started on its machine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StartPolicy {
-    /// Paper's choice: immediately after the machine's outstanding load.
-    Earliest,
-    /// Ablation: as late as the deadline allows (`d_j - p_j`).
-    Latest,
-}
+// The policy vocabulary lives in the shared allocator core; re-exported
+// here because Threshold is where callers historically found it.
+pub use crate::alloc::{AllocPolicy, RankingMode, StartPolicy};
 
 /// Tunable engine behind [`Threshold`] and the ablation variants.
 #[derive(Clone, Debug)]
@@ -57,6 +44,9 @@ pub struct ThresholdPolicy {
     pub alloc: AllocPolicy,
     /// Start-time rule for accepted jobs.
     pub start: StartPolicy,
+    /// How the machine ranking is produced (decision-identical either
+    /// way; [`RankingMode::FullSort`] is the reference/bench baseline).
+    pub ranking: RankingMode,
 }
 
 impl Default for ThresholdPolicy {
@@ -66,6 +56,7 @@ impl Default for ThresholdPolicy {
             constant_f: false,
             alloc: AllocPolicy::BestFit,
             start: StartPolicy::Earliest,
+            ranking: RankingMode::Incremental,
         }
     }
 }
@@ -78,14 +69,22 @@ pub struct ThresholdEngine {
     eps: f64,
     /// Phase index `k` (1-based, paper notation).
     k: usize,
-    /// `f[h - k] = f_h` for `h in k ..= m`.
-    f: Vec<f64>,
+    /// `f[h - k] = f_h` for `h in k ..= m` — shared through the memoized
+    /// [`cslack_ratio::table`], so engines with equal parameters point at
+    /// one vector.
+    f: Arc<Vec<f64>>,
     policy: ThresholdPolicy,
-    park: MachinePark,
+    core: AllocCore,
 }
 
 impl ThresholdEngine {
     /// Builds the engine for `m` machines and slack `eps` under `policy`.
+    ///
+    /// Parameter derivation (corner values, the `f_q` recursion) is
+    /// served from the process-wide [`cslack_ratio::table`]: only the
+    /// first engine for a given `(m, k, eps)` pays the bisection; engine
+    /// shards, adversary games and sweeps constructed after it share the
+    /// cached vectors.
     pub fn with_policy(
         name: &'static str,
         m: usize,
@@ -102,10 +101,9 @@ impl ThresholdEngine {
         let k = policy.forced_k.unwrap_or_else(|| ratio.phase(eps_params));
         assert!(k >= 1 && k <= m, "phase index must lie in 1..=m");
         let f = if policy.constant_f {
-            vec![(1.0 + eps_params) / eps_params; m - k + 1]
+            Arc::new(vec![(1.0 + eps_params) / eps_params; m - k + 1])
         } else {
-            let (_c, f) = cslack_ratio::recursion::solve(m, k, eps_params);
-            f
+            cslack_ratio::table::solve(m, k, eps_params).f
         };
         ThresholdEngine {
             name,
@@ -113,8 +111,8 @@ impl ThresholdEngine {
             eps,
             k,
             f,
+            core: AllocCore::with_mode(m, policy.ranking),
             policy,
-            park: MachinePark::new(m),
         }
     }
 
@@ -138,8 +136,12 @@ impl ThresholdEngine {
 
     /// The current system threshold `d_lim` a job released at `now` would
     /// be tested against (Eq. 9 and 10). Exposed for tests and traces.
+    ///
+    /// This is a `&self` introspection path, so it ranks through the
+    /// sort-based reference implementation; the decision path proper
+    /// uses the incremental ranking, which produces the identical view.
     pub fn current_dlim(&self, now: Time) -> Time {
-        let ranked = self.park.ranked(now);
+        let ranked = self.core.park().ranked(now);
         let mut dlim = now;
         for h in self.k..=self.m {
             let l = ranked[h - 1].load;
@@ -154,22 +156,24 @@ impl ThresholdEngine {
     /// and — for rejections — the typed [`RejectReason`].
     fn decide(&mut self, job: &Job) -> (Decision, DecisionInfo) {
         let now = job.release;
-        let ranked = self.park.ranked(now);
 
         // Decision phase: d_lim = max_{h in k..m} (now + l(m_h) f_h).
-        let dlim = {
+        // The ranking computed here stays cached in the core, so the
+        // allocation phase below does not rank again.
+        let (dlim, min_load) = {
             let _span = cslack_obs::span!("threshold_eval");
+            let ranked = self.core.rank(now);
             let mut dlim = now;
             for h in self.k..=self.m {
                 let l = ranked[h - 1].load;
-                dlim = dlim.max(now + l * self.factor(h));
+                dlim = dlim.max(now + l * self.f[h - self.k]);
             }
-            dlim
+            (dlim, ranked[self.m - 1].load)
         };
         let mut info = DecisionInfo {
             candidates: 0,
             threshold: Some(dlim.raw()),
-            min_load: Some(ranked[self.m - 1].load),
+            min_load: Some(min_load),
             reject_reason: None,
         };
         // Accept iff d_j >= d_lim (paper line 5: reject if d_j < d_lim).
@@ -178,47 +182,31 @@ impl ThresholdEngine {
             return (Decision::Reject, info);
         }
 
-        // Allocation phase: candidate machines can complete the job on
-        // time when started right after their outstanding load.
-        let candidate = |rm: &crate::park::RankedMachine| {
-            let earliest = self.park.earliest_start(rm.machine, now);
-            (earliest + job.proc_time).approx_le(job.deadline)
-        };
-        let mut evaluated = 0u32;
-        let chosen = match self.policy.alloc {
-            // `ranked` is sorted by decreasing load, so the first feasible
-            // entry is the most loaded candidate, the last the least.
-            AllocPolicy::BestFit => ranked.iter().find(|rm| {
-                evaluated += 1;
-                candidate(rm)
-            }),
-            AllocPolicy::WorstFit => ranked.iter().rev().find(|rm| {
-                evaluated += 1;
-                candidate(rm)
-            }),
-        };
-        info.candidates = evaluated;
-        let Some(rm) = chosen else {
-            // Claim 1 guarantees the least loaded machine is always a
-            // candidate for the paper's parameters; ablated parameter
-            // sets can break that guarantee, in which case the job must
-            // be rejected to preserve commitment feasibility.
-            info.reject_reason = Some(RejectReason::NoFeasibleMachine);
-            return (Decision::Reject, info);
-        };
-        let earliest = self.park.earliest_start(rm.machine, now);
-        let start = match self.policy.start {
-            StartPolicy::Earliest => earliest,
-            StartPolicy::Latest => (job.deadline - job.proc_time).max(earliest),
-        };
-        self.park.commit(rm.machine, start, job.proc_time);
-        (
-            Decision::Accept {
-                machine: rm.machine,
+        // Allocation phase, via the shared core: candidate machines can
+        // complete the job on time when started right after their
+        // outstanding load.
+        match self
+            .core
+            .place(job, now, self.policy.alloc, self.policy.start)
+        {
+            Placement::Committed {
+                machine,
                 start,
-            },
-            info,
-        )
+                evaluated,
+            } => {
+                info.candidates = evaluated;
+                (Decision::Accept { machine, start }, info)
+            }
+            Placement::Infeasible { evaluated } => {
+                // Claim 1 guarantees the least loaded machine is always a
+                // candidate for the paper's parameters; ablated parameter
+                // sets can break that guarantee, in which case the job
+                // must be rejected to preserve commitment feasibility.
+                info.candidates = evaluated;
+                info.reject_reason = Some(RejectReason::NoFeasibleMachine);
+                (Decision::Reject, info)
+            }
+        }
     }
 }
 
@@ -240,7 +228,7 @@ impl OnlineScheduler for ThresholdEngine {
     }
 
     fn reset(&mut self) {
-        self.park.reset();
+        self.core.reset();
     }
 }
 
@@ -432,7 +420,7 @@ mod tests {
                                            // loaded machine if feasible
                                            // Job 1: deadline 100, start after load 4 => completes at 5: fits
                                            // on the most loaded machine.
-        let c = t.engine.park.frontier(MachineId(0));
+        let c = t.engine.core.park().frontier(MachineId(0));
         assert_eq!(c, Time::new(5.0), "both jobs should stack on M0");
     }
 
@@ -509,6 +497,42 @@ mod tests {
         assert_eq!(t.phase_k(), 2);
         assert!((t.factor(2) - 2.0).abs() < 1e-9); // (1+1)/1
         assert!(t.offer(&job(0, 0.0, 1.0, 4.0)).is_accept());
+    }
+
+    #[test]
+    fn ranking_modes_are_decision_identical() {
+        // The incremental ladder and the full sort must produce the same
+        // decision stream — spot check here, property-tested at scale in
+        // tests/prop_algorithms.rs.
+        let mk = |ranking| {
+            ThresholdEngine::with_policy(
+                "mode-test",
+                4,
+                0.3,
+                ThresholdPolicy {
+                    ranking,
+                    ..ThresholdPolicy::default()
+                },
+            )
+        };
+        let mut inc = mk(RankingMode::Incremental);
+        let mut srt = mk(RankingMode::FullSort);
+        let jobs = [
+            job(0, 0.0, 2.0, 9.0),
+            job(1, 0.0, 2.0, 2.7),
+            job(2, 0.4, 1.0, 3.0),
+            job(3, 0.4, 3.0, 30.0),
+            job(4, 2.5, 0.5, 3.4),
+            job(5, 2.5, 2.0, 5.0),
+        ];
+        for j in &jobs {
+            assert_eq!(
+                inc.offer_explained(j),
+                srt.offer_explained(j),
+                "modes diverged on {:?}",
+                j.id
+            );
+        }
     }
 
     #[test]

@@ -127,6 +127,32 @@ proptest! {
         }
     }
 
+    /// The incremental ladder ranking and the reference full sort are
+    /// decision-identical on arbitrary streams — the refactor's key
+    /// bit-identity guarantee, including threshold values and candidate
+    /// counts, not just accept/reject.
+    #[test]
+    fn ranking_modes_are_decision_identical((eps, jobs) in arb_stream(50), m in 1usize..=8) {
+        use cslack_algorithms::threshold::{RankingMode, ThresholdEngine, ThresholdPolicy};
+        let mk = |ranking| ThresholdEngine::with_policy(
+            "prop-mode",
+            m,
+            eps,
+            ThresholdPolicy { ranking, ..ThresholdPolicy::default() },
+        );
+        let mut inc = mk(RankingMode::Incremental);
+        let mut srt = mk(RankingMode::FullSort);
+        for job in &jobs {
+            prop_assert_eq!(inc.offer_explained(job), srt.offer_explained(job));
+        }
+        // And after a reset the streams stay locked together.
+        inc.reset();
+        srt.reset();
+        for job in &jobs {
+            prop_assert_eq!(inc.offer_explained(job), srt.offer_explained(job));
+        }
+    }
+
     /// Determinism: the same algorithm object, after reset, reproduces
     /// exactly the same decisions.
     #[test]

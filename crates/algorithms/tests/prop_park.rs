@@ -1,0 +1,132 @@
+//! Property tests for the incremental machine ranking: under random
+//! interleavings of commits, forward time advances, and backwards
+//! (rebuild-path) queries, the ladder-maintained ranking must stay
+//! bit-identical to the reference full sort.
+
+use cslack_algorithms::park::{MachinePark, RankedMachine};
+use cslack_kernel::{MachineId, Time};
+use proptest::prelude::*;
+
+/// One step of a randomized park workload.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Advance `now` by the given gap and query the ranking.
+    Query { gap: f64 },
+    /// Query the ranking at a time *before* the last query (exercises
+    /// the full-rebuild fallback used by trial clones / the adversary).
+    QueryBack { fraction: f64 },
+    /// Commit a job on the machine at rank-independent index
+    /// `machine_sel % m`, starting at its earliest feasible start plus
+    /// `delay`, for `proc` units.
+    Commit {
+        machine_sel: usize,
+        delay: f64,
+        proc: f64,
+    },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0.0f64..2.0).prop_map(|gap| Step::Query { gap }),
+        (0.0f64..1.0).prop_map(|fraction| Step::QueryBack { fraction }),
+        (0usize..16, 0.0f64..0.5, 0.05f64..3.0).prop_map(|(machine_sel, delay, proc)| {
+            Step::Commit {
+                machine_sel,
+                delay,
+                proc,
+            }
+        }),
+    ]
+}
+
+/// The incremental (mutating, lazily-migrated) ranking view.
+fn ranked_inc(park: &mut MachinePark, now: Time) -> Vec<RankedMachine> {
+    let mut out = Vec::new();
+    park.ranked_into(now, &mut out);
+    out
+}
+
+/// Exact equality — ranks, machine ids, and load *bits* must all agree.
+fn assert_identical(inc: &[RankedMachine], reference: &[RankedMachine]) {
+    assert_eq!(inc.len(), reference.len());
+    for (a, b) in inc.iter().zip(reference) {
+        assert_eq!(a.machine, b.machine, "rank order diverged");
+        assert_eq!(
+            a.load.to_bits(),
+            b.load.to_bits(),
+            "load bits diverged on {}",
+            a.machine
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental ranking == reference sort after every step of a
+    /// random commit/advance/backwards-query interleaving.
+    #[test]
+    fn incremental_ranking_matches_full_sort(
+        m in 1usize..=12,
+        steps in prop::collection::vec(arb_step(), 1..60),
+    ) {
+        let mut park = MachinePark::new(m);
+        let mut now = Time::ZERO;
+        for step in steps {
+            match step {
+                Step::Query { gap } => {
+                    now += gap;
+                }
+                Step::QueryBack { fraction } => {
+                    let back = Time::new(now.raw() * fraction);
+                    let reference = park.ranked(back);
+                    let inc = ranked_inc(&mut park, back);
+                    assert_identical(&inc, &reference);
+                    // Leave `now` unchanged: the next forward query must
+                    // recover from the rebuild at the earlier instant.
+                }
+                Step::Commit { machine_sel, delay, proc } => {
+                    let machine = MachineId((machine_sel % m) as u32);
+                    let start = park.earliest_start(machine, now) + delay;
+                    park.commit(machine, start, proc);
+                }
+            }
+            let reference = park.ranked(now);
+            let inc = ranked_inc(&mut park, now);
+            assert_identical(&inc, &reference);
+        }
+    }
+
+    /// The ranking is internally consistent with the park's own
+    /// aggregates: loads are the outstanding loads, sorted descending,
+    /// with ascending machine ids inside every tie group.
+    #[test]
+    fn ranking_is_sorted_and_tie_broken_by_id(
+        m in 1usize..=8,
+        commits in prop::collection::vec((0usize..8, 0.05f64..2.0), 0..30),
+        probe in 0.0f64..20.0,
+    ) {
+        let mut park = MachinePark::new(m);
+        let mut now = Time::ZERO;
+        for (sel, proc) in commits {
+            let machine = MachineId((sel % m) as u32);
+            let start = park.earliest_start(machine, now);
+            park.commit(machine, start, proc);
+            now += proc * 0.25;
+        }
+        let at = Time::new(probe);
+        let ranked = ranked_inc(&mut park, at);
+        prop_assert_eq!(ranked.len(), m);
+        for w in ranked.windows(2) {
+            prop_assert!(
+                w[0].load > w[1].load
+                    || (w[0].load == w[1].load && w[0].machine.0 < w[1].machine.0),
+                "not (load desc, id asc): {:?}",
+                w
+            );
+        }
+        for rm in &ranked {
+            prop_assert_eq!(rm.load.to_bits(), park.outstanding(rm.machine, at).to_bits());
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! overhead is the budgeted one (< 5%).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cslack_algorithms::threshold::{RankingMode, ThresholdEngine, ThresholdPolicy};
 use cslack_algorithms::{OnlineScheduler, Threshold};
 use cslack_engine::{Engine, EngineConfig, EngineReport, ObsConfig};
 use cslack_kernel::Instance;
@@ -29,6 +30,18 @@ fn bench_workload() -> Instance {
         .expect("bench workload")
 }
 
+/// `CSLACK_BENCH_QUICK=1` shrinks the refactor artifact to a CI-smoke
+/// size and skips the criterion sweep and the obs artifact entirely.
+fn quick_mode() -> bool {
+    std::env::var("CSLACK_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// `CSLACK_BENCH_REFACTOR_ONLY=1` runs the full-size refactor artifact
+/// (baseline generation) without the criterion sweep / obs artifact.
+fn refactor_only() -> bool {
+    std::env::var("CSLACK_BENCH_REFACTOR_ONLY").is_ok_and(|v| v == "1")
+}
+
 fn run_engine(instance: &Instance, shards: usize, obs: ObsConfig) -> EngineReport {
     let builder =
         |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> { Box::new(Threshold::new(g, EPS)) };
@@ -41,6 +54,10 @@ fn run_engine(instance: &Instance, shards: usize, obs: ObsConfig) -> EngineRepor
 }
 
 fn engine_throughput(c: &mut Criterion) {
+    if quick_mode() || refactor_only() {
+        write_refactor_artifact();
+        return;
+    }
     let instance = bench_workload();
     let mut group = c.benchmark_group("engine_20k_jobs");
     group.throughput(Throughput::Elements(N as u64));
@@ -75,6 +92,7 @@ fn engine_throughput(c: &mut Criterion) {
     group.finish();
 
     write_obs_artifact(&instance);
+    write_refactor_artifact();
 }
 
 /// One side of the dark-vs-observed comparison in `BENCH_obs.json`.
@@ -173,6 +191,139 @@ fn write_obs_artifact(instance: &Instance) {
         artifact.dark.latency_p99_ns,
         artifact.registry.latency_p99_ns,
     );
+}
+
+/// One machine count of the sorted-vs-incremental ranking comparison
+/// in `BENCH_refactor.json`.
+#[derive(Serialize)]
+struct RefactorRow {
+    m: usize,
+    n: usize,
+    /// Decisions/sec of the raw Threshold offer loop with the
+    /// pre-refactor full sort per offer.
+    sorted_dps: f64,
+    /// Decisions/sec with the incrementally maintained ranking ladder.
+    incremental_dps: f64,
+    /// `incremental_dps / sorted_dps`.
+    speedup: f64,
+    /// Decisions/sec of the single-shard engine end to end (queueing,
+    /// commitment, trace plumbing) on top of the incremental ranking.
+    engine_dps: f64,
+    /// Whether the two ranking modes produced bit-identical decision
+    /// streams (decision + threshold + candidate counts) on this
+    /// workload. Must always be `true`.
+    decision_streams_identical: bool,
+}
+
+/// The before/after record of the decision-path refactor.
+#[derive(Serialize)]
+struct RefactorArtifact {
+    eps: f64,
+    rounds: usize,
+    rows: Vec<RefactorRow>,
+}
+
+/// A Threshold engine pinned to one ranking mode.
+fn mode_engine(m: usize, mode: RankingMode) -> ThresholdEngine {
+    ThresholdEngine::with_policy(
+        "bench-mode",
+        m,
+        EPS,
+        ThresholdPolicy {
+            ranking: mode,
+            ..ThresholdPolicy::default()
+        },
+    )
+}
+
+/// Best-of-`rounds` decisions/sec of the raw offer loop (no engine,
+/// no channels: the decision path alone).
+fn offer_loop_dps(m: usize, instance: &Instance, mode: RankingMode, rounds: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        let mut eng = mode_engine(m, mode);
+        let t0 = std::time::Instant::now();
+        for job in instance.jobs() {
+            black_box(eng.offer(job));
+        }
+        let dt = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        best = best.max(instance.jobs().len() as f64 / dt);
+    }
+    best
+}
+
+/// Replays the workload through both ranking modes in lockstep and
+/// checks full decision-stream equality (decision, threshold, candidate
+/// count, reject reason).
+fn streams_identical(m: usize, instance: &Instance) -> bool {
+    let mut inc = mode_engine(m, RankingMode::Incremental);
+    let mut srt = mode_engine(m, RankingMode::FullSort);
+    instance
+        .jobs()
+        .iter()
+        .all(|job| inc.offer_explained(job) == srt.offer_explained(job))
+}
+
+/// Measures the decision-path refactor (incremental ranking ladder vs
+/// the old sort-per-offer) and writes `BENCH_refactor.json`.
+///
+/// Knobs: `CSLACK_BENCH_QUICK=1` shrinks the workload for the CI smoke
+/// check; `CSLACK_BENCH_OUT` overrides the output path.
+fn write_refactor_artifact() {
+    let (n, rounds) = if quick_mode() { (2_000, 2) } else { (N, 5) };
+    let mut rows = Vec::new();
+    for m in [8usize, 64] {
+        let instance = WorkloadSpec::default_spec(m, EPS, n, 42)
+            .generate()
+            .expect("refactor workload");
+        let sorted_dps = offer_loop_dps(m, &instance, RankingMode::FullSort, rounds);
+        let incremental_dps = offer_loop_dps(m, &instance, RankingMode::Incremental, rounds);
+        let engine_dps = (0..rounds)
+            .map(|_| {
+                let builder = |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> {
+                    Box::new(Threshold::new(g, EPS))
+                };
+                let engine =
+                    Engine::start_observed(m, EngineConfig::new(1), ObsConfig::default(), builder)
+                        .expect("engine start");
+                for job in instance.jobs() {
+                    engine.submit(*job).expect("submit");
+                }
+                engine.finish().expect("drain").metrics.decisions_per_sec
+            })
+            .fold(0.0f64, f64::max);
+        rows.push(RefactorRow {
+            m,
+            n,
+            sorted_dps,
+            incremental_dps,
+            speedup: incremental_dps / sorted_dps.max(f64::MIN_POSITIVE),
+            engine_dps,
+            decision_streams_identical: streams_identical(m, &instance),
+        });
+    }
+    let artifact = RefactorArtifact {
+        eps: EPS,
+        rounds,
+        rows,
+    };
+    let path = std::env::var("CSLACK_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refactor.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize refactor artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_refactor.json");
+    for row in &artifact.rows {
+        println!(
+            "decision path m={}: sorted {:.0}/s -> incremental {:.0}/s ({:.2}x), engine {:.0}/s, streams identical: {} [{}]",
+            row.m,
+            row.sorted_dps,
+            row.incremental_dps,
+            row.speedup,
+            row.engine_dps,
+            row.decision_streams_identical,
+            path,
+        );
+    }
 }
 
 criterion_group!(benches, engine_throughput);

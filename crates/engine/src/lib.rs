@@ -357,6 +357,11 @@ impl Engine {
     /// Starts the service with explicit observability wiring: a shared
     /// [`MetricsRegistry`] to stream into and/or a per-shard decision
     /// trace (see [`ObsConfig`]).
+    ///
+    /// `builder` runs sequentially on the calling thread, one shard at
+    /// a time: threshold-style schedulers that solve for their ratio
+    /// parameters hit the process-wide `cslack_ratio::table` cache, so
+    /// the first shard pays for the solve and the rest reuse it.
     pub fn start_observed<F>(
         m: usize,
         config: EngineConfig,

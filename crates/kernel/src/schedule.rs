@@ -70,15 +70,31 @@ impl Commitment {
 }
 
 /// An append-only committed schedule.
+///
+/// Alongside the authoritative per-machine lanes, the schedule keeps
+/// per-lane aggregates — the frontier (largest completion time) and the
+/// committed load of every lane — incrementally up to date on each
+/// commit, so the hot read paths ([`Schedule::frontier`],
+/// [`Schedule::lane_load`], [`Schedule::makespan`]) are `O(1)` and a
+/// committed job resolves to its lane position by binary search
+/// ([`Schedule::commitment_of`]). The aggregates are *caches*: the lanes
+/// remain the source of truth, and [`crate::validate`] re-derives every
+/// invariant from them independently.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Schedule {
     m: usize,
     /// Commitments per machine, kept sorted by start time.
     lanes: Vec<Vec<Commitment>>,
-    /// Committed job ids (for duplicate detection and lookup).
-    index: HashMap<JobId, MachineId>,
+    /// Committed job id -> (machine, start): enough to find the lane and
+    /// binary-search the position without scanning.
+    index: HashMap<JobId, (MachineId, Time)>,
     /// Running total of committed processing time.
     accepted_load: f64,
+    /// Cached per-lane frontier: the largest completion time on the lane
+    /// (`ZERO` while empty).
+    frontiers: Vec<Time>,
+    /// Cached per-lane committed processing time.
+    lane_loads: Vec<f64>,
 }
 
 impl Schedule {
@@ -93,6 +109,8 @@ impl Schedule {
             lanes: vec![Vec::new(); m],
             index: HashMap::new(),
             accepted_load: 0.0,
+            frontiers: vec![Time::ZERO; m],
+            lane_loads: vec![0.0; m],
         }
     }
 
@@ -130,13 +148,30 @@ impl Schedule {
     /// The machine a committed job runs on, if committed.
     #[inline]
     pub fn machine_of(&self, job: JobId) -> Option<MachineId> {
-        self.index.get(&job).copied()
+        self.index.get(&job).map(|&(machine, _)| machine)
     }
 
     /// The commitment of a job, if committed.
+    ///
+    /// `O(log lane)`: the index records the committed start time, and the
+    /// lane is sorted by start, so the position is a binary search away.
     pub fn commitment_of(&self, job: JobId) -> Option<&Commitment> {
-        let machine = self.index.get(&job)?;
-        self.lanes[machine.index()].iter().find(|c| c.job.id == job)
+        let &(machine, start) = self.index.get(&job)?;
+        let lane = &self.lanes[machine.index()];
+        let mut pos = lane.partition_point(|c| c.start < start);
+        // Distinct commitments normally have distinct starts; walk the
+        // (tolerance-rare) run of equal starts to the matching id.
+        while let Some(c) = lane.get(pos) {
+            if c.start != start {
+                break;
+            }
+            if c.job.id == job {
+                return Some(c);
+            }
+            pos += 1;
+        }
+        debug_assert!(false, "indexed commitment must exist in its lane");
+        None
     }
 
     /// The commitments on one machine, sorted by start time.
@@ -149,12 +184,18 @@ impl Schedule {
         self.lanes.iter().flatten()
     }
 
-    /// Completion time of the last commitment on `machine`, or `ZERO`.
+    /// Largest completion time on `machine`, or `ZERO` while the lane is
+    /// empty. `O(1)` from the cached aggregate.
+    #[inline]
     pub fn frontier(&self, machine: MachineId) -> Time {
-        self.lanes[machine.index()]
-            .last()
-            .map(|c| c.completion())
-            .unwrap_or(Time::ZERO)
+        self.frontiers[machine.index()]
+    }
+
+    /// Total committed processing time on `machine`. `O(1)` from the
+    /// cached aggregate.
+    #[inline]
+    pub fn lane_load(&self, machine: MachineId) -> f64 {
+        self.lane_loads[machine.index()]
     }
 
     /// The *outstanding load* `l(m_i)` of the paper at time `now`:
@@ -165,6 +206,10 @@ impl Schedule {
     /// equals `max(0, frontier - now)`; for general lanes the gaps after
     /// `now` are excluded.
     pub fn outstanding(&self, machine: MachineId, now: Time) -> f64 {
+        // Fast path off the cached frontier: nothing completes after it.
+        if self.frontiers[machine.index()] <= now {
+            return 0.0;
+        }
         let mut total = 0.0;
         for c in self.lanes[machine.index()].iter().rev() {
             let end = c.completion();
@@ -186,11 +231,9 @@ impl Schedule {
     }
 
     /// Largest completion time over all machines (`ZERO` when empty).
+    /// `O(m)` over the cached frontiers.
     pub fn makespan(&self) -> Time {
-        (0..self.m)
-            .map(|i| self.frontier(MachineId(i as u32)))
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.frontiers.iter().copied().max().unwrap_or(Time::ZERO)
     }
 
     /// Commits `job` to `machine` starting at `start`.
@@ -252,8 +295,13 @@ impl Schedule {
                 start,
             },
         );
-        self.index.insert(job.id, machine);
+        self.index.insert(job.id, (machine, start));
         self.accepted_load += job.proc_time;
+        self.lane_loads[machine.index()] += job.proc_time;
+        // Out-of-order inserts may not extend the frontier, so max, not
+        // assign.
+        let frontier = &mut self.frontiers[machine.index()];
+        *frontier = (*frontier).max(completion);
         Ok(())
     }
 
@@ -531,6 +579,57 @@ mod tests {
         let part = Schedule::new(2);
         let mut s = Schedule::new(2);
         let _ = s.absorb(&part, &[MachineId(0)]);
+    }
+
+    #[test]
+    fn commitment_lookup_agrees_with_lane_after_out_of_order_commits() {
+        // Regression for the linear-scan -> binary-search change: commit
+        // in shuffled start order onto two lanes, then every id must
+        // resolve to exactly the lane entry holding it.
+        let mut s = Schedule::new(2);
+        let reqs = [
+            (0u32, 0usize, 6.0),
+            (1, 0, 0.0),
+            (2, 1, 3.0),
+            (3, 0, 3.0),
+            (4, 1, 0.0),
+            (5, 0, 9.0),
+            (6, 1, 6.0),
+        ];
+        for &(id, mach, start) in &reqs {
+            s.commit(
+                job(id, 0.0, 2.0, 99.0),
+                MachineId(mach as u32),
+                Time::new(start),
+            )
+            .unwrap();
+        }
+        for &(id, mach, _) in &reqs {
+            let c = s.commitment_of(JobId(id)).expect("committed job resolves");
+            let by_scan = s
+                .lane(MachineId(mach as u32))
+                .iter()
+                .find(|c| c.job.id == JobId(id))
+                .expect("job is in its lane");
+            assert_eq!(c, by_scan, "J{id}: lookup disagrees with lane scan");
+        }
+        assert!(s.commitment_of(JobId(99)).is_none());
+    }
+
+    #[test]
+    fn lane_aggregates_track_out_of_order_commits() {
+        let mut s = Schedule::new(2);
+        assert_eq!(s.lane_load(MachineId(0)), 0.0);
+        // Later-starting job first: frontier must stay at the max
+        // completion, not the last insert's.
+        s.commit(job(0, 0.0, 1.0, 99.0), MachineId(0), Time::new(5.0))
+            .unwrap();
+        s.commit(job(1, 0.0, 2.0, 99.0), MachineId(0), Time::ZERO)
+            .unwrap();
+        assert_eq!(s.frontier(MachineId(0)), Time::new(6.0));
+        assert_eq!(s.lane_load(MachineId(0)), 3.0);
+        assert_eq!(s.lane_load(MachineId(1)), 0.0);
+        assert_eq!(s.makespan(), Time::new(6.0));
     }
 
     #[test]

@@ -131,6 +131,74 @@ proptest! {
         prop_assert_eq!(busy, manual);
     }
 
+    /// The cached per-lane aggregates (frontier, lane load, accepted
+    /// load) always equal values recomputed from scratch out of the lane
+    /// contents, under arbitrary (including out-of-order) commit streams.
+    #[test]
+    fn lane_aggregates_match_recomputation(
+        commits in prop::collection::vec((0.0f64..15.0, 0.1f64..2.0, 0usize..4), 1..30),
+    ) {
+        let m = 4;
+        let mut schedule = Schedule::new(m);
+        for (i, (start, p, mach)) in commits.iter().enumerate() {
+            // Deadline generous enough for commit to always succeed;
+            // overlap-rejected requests are part of the workload.
+            let job = Job::new(
+                JobId(i as u32),
+                Time::new(*start),
+                *p,
+                Time::new(start + p + 1.0),
+            );
+            let _ = schedule.commit(job, MachineId(*mach as u32), Time::new(*start));
+            let mut total = 0.0;
+            for lane_id in 0..m {
+                let machine = MachineId(lane_id as u32);
+                let lane = schedule.lane(machine);
+                let frontier = lane
+                    .iter()
+                    .map(|c| c.completion())
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let load: f64 = lane.iter().map(|c| c.job.proc_time).sum();
+                total += load;
+                prop_assert_eq!(schedule.frontier(machine), frontier);
+                prop_assert!((schedule.lane_load(machine) - load).abs() < 1e-9);
+            }
+            prop_assert!((schedule.accepted_load() - total).abs() < 1e-9);
+        }
+    }
+
+    /// `commitment_of` (position-indexed binary search) agrees with a
+    /// linear scan over all lanes, for every committed job, after
+    /// arbitrary out-of-order commit sequences.
+    #[test]
+    fn commitment_lookup_agrees_with_linear_scan(
+        commits in prop::collection::vec((0.0f64..12.0, 0.1f64..1.5, 0usize..3), 1..25),
+    ) {
+        let m = 3;
+        let mut schedule = Schedule::new(m);
+        let mut committed = Vec::new();
+        for (i, (start, p, mach)) in commits.iter().enumerate() {
+            let id = JobId(i as u32);
+            let job = Job::new(id, Time::new(*start), *p, Time::new(start + p + 1.0));
+            if schedule.commit(job, MachineId(*mach as u32), Time::new(*start)).is_ok() {
+                committed.push(id);
+            }
+        }
+        for id in committed {
+            let fast = schedule.commitment_of(id).expect("committed job must resolve");
+            let slow = (0..m)
+                .flat_map(|lane| schedule.lane(MachineId(lane as u32)).iter())
+                .find(|c| c.job.id == id)
+                .expect("committed job must be in some lane");
+            prop_assert_eq!(fast.job.id, slow.job.id);
+            prop_assert_eq!(fast.machine, slow.machine);
+            prop_assert_eq!(fast.start, slow.start);
+        }
+        // Never-committed ids resolve to nothing.
+        prop_assert!(schedule.commitment_of(JobId(10_000)).is_none());
+    }
+
     /// Tight jobs constructed by the builder always satisfy the slack
     /// condition with equality, never more.
     #[test]

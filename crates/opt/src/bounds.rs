@@ -134,8 +134,7 @@ pub fn local_search_schedule(instance: &Instance, max_rounds: usize) -> Schedule
         adds.sort_by(|&a, &b| {
             instance.jobs()[b]
                 .proc_time
-                .partial_cmp(&instance.jobs()[a].proc_time)
-                .unwrap()
+                .total_cmp(&instance.jobs()[a].proc_time)
         });
         for r in adds {
             let mut trial = accepted.clone();

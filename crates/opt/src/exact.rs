@@ -124,7 +124,7 @@ pub fn max_load(instance: &Instance) -> ExactResult {
                     if start + job.proc_time <= job.deadline.raw() + 1e-12 {
                         let mut f = dp[mask as usize][sidx].f.clone();
                         f[i] = start + job.proc_time;
-                        f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        f.sort_by(|a, b| a.total_cmp(b));
                         let cand = State {
                             f,
                             parent: Some(Parent {
@@ -240,7 +240,7 @@ pub fn max_load_parallel(instance: &Instance) -> ExactResult {
                             if start + job.proc_time <= job.deadline.raw() + 1e-12 {
                                 let mut f = state.f.clone();
                                 f[i] = start + job.proc_time;
-                                f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                                f.sort_by(|a, b| a.total_cmp(b));
                                 pareto_insert(
                                     &mut states,
                                     State {

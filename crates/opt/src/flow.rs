@@ -145,7 +145,7 @@ pub fn preemptive_load_bound(instance: &Instance) -> f64 {
             events.push(cap);
         }
     }
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.sort_by(|a, b| a.total_cmp(b));
     events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(1.0).max(b.abs()));
     let intervals: Vec<(f64, f64)> = events.windows(2).map(|w| (w[0], w[1])).collect();
     let k = intervals.len();
@@ -227,7 +227,7 @@ pub fn migration_plan(pending: &[Pending], m: usize, now: f64) -> Option<Vec<Int
         .map(|p| p.deadline)
         .collect();
     events.push(now);
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.sort_by(|a, b| a.total_cmp(b));
     events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(1.0).max(b.abs()));
     let intervals: Vec<(f64, f64)> = events
         .windows(2)

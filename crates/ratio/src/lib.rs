@@ -28,6 +28,9 @@
 //!   `k in {m-2, m-1, m}`.
 //! * [`RatioFn`] — the cached, user-facing evaluator, including the
 //!   Theorem-2 upper bound and the Proposition-1 asymptote `ln(1/eps)`.
+//! * [`table`] — process-wide memoized solve/corner tables behind
+//!   `RatioFn`, so engines, shards, sweeps and the adversary never
+//!   re-run the bisection for parameters already derived.
 //!
 //! ## Derivation used by the solver
 //!
@@ -46,8 +49,10 @@ pub mod continuous;
 pub mod dd;
 pub mod poly;
 pub mod recursion;
+pub mod table;
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The additive gap `(3 - e)/(e - 1)` of Theorem 2 for phases `k > 3`.
 pub const THEOREM2_GAP: f64 = (3.0 - std::f64::consts::E) / (std::f64::consts::E - 1.0);
@@ -112,19 +117,26 @@ impl Params {
 pub struct RatioFn {
     m: usize,
     /// `corners[k - 1] = eps_{k,m}` for `k = 1 ..= m`; strictly increasing,
-    /// with `corners[m - 1] = 1`.
-    corners: Vec<f64>,
+    /// with `corners[m - 1] = 1`. Shared through the process-wide
+    /// [`table`], so repeated construction for the same `m` is cheap.
+    corners: Arc<Vec<f64>>,
 }
 
 impl RatioFn {
     /// Builds the evaluator for `m >= 1` machines.
     ///
+    /// The corner values come from the memoized [`table`]: only the first
+    /// construction for a given `m` in the process pays the `O(m^2)`
+    /// corner computation.
+    ///
     /// # Panics
     /// Panics if `m == 0`.
     pub fn new(m: usize) -> RatioFn {
         assert!(m >= 1, "need at least one machine");
-        let corners = (1..=m).map(|k| recursion::corner_value(m, k)).collect();
-        RatioFn { m, corners }
+        RatioFn {
+            m,
+            corners: table::corners(m),
+        }
     }
 
     /// Number of machines.
@@ -165,15 +177,18 @@ impl RatioFn {
     }
 
     /// Full evaluation: phase, ratio and parameters at `eps`.
+    ///
+    /// The recursion solution is served from the memoized [`table`];
+    /// repeated evaluation at the same `(m, eps)` does no float work.
     pub fn eval(&self, eps: f64) -> Params {
         let k = self.phase(eps);
-        let (c, f) = recursion::solve(self.m, k, eps);
+        let solved = table::solve(self.m, k, eps);
         Params {
             m: self.m,
             eps,
             k,
-            c,
-            f,
+            c: solved.c,
+            f: (*solved.f).clone(),
         }
     }
 

@@ -28,7 +28,7 @@ pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
     } else {
         vec![q / a, c / q]
     };
-    roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    roots.sort_by(|x, y| x.total_cmp(y));
     roots
 }
 
@@ -67,7 +67,7 @@ pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
             .map(|j| 2.0 * r * ((phi + 2.0 * std::f64::consts::PI * j as f64) / 3.0).cos() - shift)
             .collect()
     };
-    roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    roots.sort_by(|x, y| x.total_cmp(y));
     // One Newton polish per root (the closed-form tests compare to 1e-9).
     let f = |x: f64| ((a_horner(x, b) + c) * x) + d;
     let fp = |x: f64| 3.0 * x * x + 2.0 * b * x + c;

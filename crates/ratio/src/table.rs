@@ -1,0 +1,166 @@
+//! Process-wide memoized ratio tables.
+//!
+//! Solving the parameter recursion is the only expensive step of building
+//! a Threshold engine: [`crate::recursion::solve`] runs a ~200-iteration
+//! bisection with an `O(m)` forward pass per iteration, and
+//! [`crate::RatioFn::new`] computes `m` corner values of `O(m)` each.
+//! Both are pure functions of small keys — `(m, k, eps)` and `m` — yet
+//! before this module every engine shard, every adversary game, and every
+//! sweep row re-derived them from scratch.
+//!
+//! This module holds one lazily filled, process-wide table per function:
+//!
+//! * [`solve`] memoizes `recursion::solve(m, k, eps)` keyed by
+//!   `(m, k, eps.to_bits())` — exact-bit keying, so two callers share an
+//!   entry iff they would have computed bit-identical parameters;
+//! * [`corners`] memoizes the corner-value vector `eps_{1,m}..eps_{m,m}`
+//!   keyed by `m`.
+//!
+//! Entries are immutable once inserted and handed out behind [`Arc`], so
+//! a cache hit is a lock-guarded `HashMap` lookup plus a refcount bump —
+//! no float work at all. The sharded engine constructs its per-shard
+//! schedulers sequentially on the caller thread, so the first shard warms
+//! the table and the remaining shards (and any later engine, adversary,
+//! or sweep using the same parameters) hit it.
+
+use crate::recursion;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A memoized solution of the parameter recursion for one `(m, k, eps)`.
+#[derive(Clone, Debug)]
+pub struct Solved {
+    /// The competitive ratio `c(eps, m)` under phase `k`.
+    pub c: f64,
+    /// `f[h - k] = f_h(eps, m)` for `h in k ..= m` (shared, immutable).
+    pub f: Arc<Vec<f64>>,
+}
+
+/// Hit/miss counters of the process-wide tables (both tables combined).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to run the underlying computation.
+    pub misses: u64,
+}
+
+struct Tables {
+    solved: Mutex<HashMap<(usize, usize, u64), Solved>>,
+    corners: Mutex<HashMap<usize, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| Tables {
+        solved: Mutex::new(HashMap::new()),
+        corners: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Memoized [`recursion::solve`]: identical inputs return clones of one
+/// shared entry (the parameter vector itself is behind an [`Arc`] and is
+/// never recomputed).
+///
+/// # Panics
+/// Panics on the same inputs `recursion::solve` panics on (`k` outside
+/// `1..=m`, non-positive `eps`).
+pub fn solve(m: usize, k: usize, eps: f64) -> Solved {
+    let t = tables();
+    let key = (m, k, eps.to_bits());
+    // Fast path: an existing entry.
+    if let Some(hit) = t.solved.lock().unwrap().get(&key) {
+        t.hits.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    // Solve outside the lock: the bisection is the expensive part, and
+    // concurrent first requests for the same key are rare and idempotent.
+    let (c, f) = recursion::solve(m, k, eps);
+    let entry = Solved { c, f: Arc::new(f) };
+    t.misses.fetch_add(1, Ordering::Relaxed);
+    t.solved.lock().unwrap().entry(key).or_insert(entry).clone()
+}
+
+/// Memoized corner-value vector `eps_{1,m} ..= eps_{m,m}` for `m`
+/// machines (strictly increasing, last entry `1`).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn corners(m: usize) -> Arc<Vec<f64>> {
+    assert!(m >= 1, "need at least one machine");
+    let t = tables();
+    if let Some(hit) = t.corners.lock().unwrap().get(&m) {
+        t.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    let computed: Arc<Vec<f64>> =
+        Arc::new((1..=m).map(|k| recursion::corner_value(m, k)).collect());
+    t.misses.fetch_add(1, Ordering::Relaxed);
+    Arc::clone(t.corners.lock().unwrap().entry(m).or_insert(computed))
+}
+
+/// Cumulative hit/miss counters since process start.
+pub fn stats() -> TableStats {
+    let t = tables();
+    TableStats {
+        hits: t.hits.load(Ordering::Relaxed),
+        misses: t.misses.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share the process-wide table with every other test in
+    // the binary, so they assert sharing through `Arc::ptr_eq` on their
+    // own unique keys instead of through the global counters.
+
+    #[test]
+    fn repeated_solves_share_one_entry() {
+        let eps = 0.123_456_789_012; // unlikely to collide with other tests
+        let a = solve(5, 2, eps);
+        let b = solve(5, 2, eps);
+        assert!(Arc::ptr_eq(&a.f, &b.f), "second lookup must hit the table");
+        assert_eq!(a.c, b.c);
+        // The memoized entry is bit-identical to the direct computation.
+        let (c, f) = recursion::solve(5, 2, eps);
+        assert_eq!(a.c, c);
+        assert_eq!(*a.f, f);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let a = solve(4, 2, 0.111_222_333);
+        let b = solve(4, 3, 0.111_222_333);
+        let c = solve(4, 2, 0.111_222_334);
+        assert!(!Arc::ptr_eq(&a.f, &b.f));
+        assert!(!Arc::ptr_eq(&a.f, &c.f));
+    }
+
+    #[test]
+    fn corners_are_shared_and_correct() {
+        let a = corners(37);
+        let b = corners(37);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 37);
+        for k in 1..=37 {
+            assert_eq!(a[k - 1], recursion::corner_value(37, k));
+        }
+        assert!((a[36] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_move_forward() {
+        let before = stats();
+        let _ = solve(6, 3, 0.987_654_321);
+        let _ = solve(6, 3, 0.987_654_321);
+        let after = stats();
+        assert!(after.hits + after.misses >= before.hits + before.misses + 2);
+    }
+}

@@ -48,7 +48,7 @@ impl Interval {
 /// disjoint sorted intervals.
 pub fn merge_windows(mut windows: Vec<Interval>) -> Vec<Interval> {
     windows.retain(|w| !w.is_empty());
-    windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    windows.sort_by(|a, b| a.start.total_cmp(&b.start));
     let mut merged: Vec<Interval> = Vec::with_capacity(windows.len());
     for w in windows {
         match merged.last_mut() {
@@ -223,7 +223,7 @@ pub fn occupancy_timeline(report: &SimReport) -> StepSeries {
         events.push((c.start.raw(), 1));
         events.push((c.completion().raw(), -1));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut times: Vec<f64> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     let mut busy = 0i64;
@@ -365,7 +365,7 @@ mod tests {
             .map(|c| c.interval)
             .chain(a.uncovered.iter().copied())
             .collect();
-        all.sort_by(|x, y| x.start.partial_cmp(&y.start).unwrap());
+        all.sort_by(|x, y| x.start.total_cmp(&y.start));
         for w in all.windows(2) {
             assert!(w[0].end <= w[1].start + 1e-9);
         }

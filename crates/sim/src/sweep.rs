@@ -274,6 +274,9 @@ mod tests {
             &[10, 20, 30],
         );
         for row in run(&cells, 14) {
+            // Per-row RatioFn construction is cheap: the corner values
+            // and parameter solves come from cslack_ratio::table's
+            // process-wide cache, not a fresh recursion per row.
             let bound = cslack_ratio::RatioFn::new(row.m).threshold_upper_bound(row.eps);
             assert!(
                 row.ratio <= bound + 1e-6,

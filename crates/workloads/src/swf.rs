@@ -138,7 +138,7 @@ pub fn swf_to_instance(jobs: &[SwfJob], opts: &SwfImport) -> Result<Instance, Ke
     assert!(opts.time_scale > 0.0);
     let mut rng = ChaCha12Rng::seed_from_u64(opts.seed);
     let mut sorted: Vec<&SwfJob> = jobs.iter().collect();
-    sorted.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap());
+    sorted.sort_by(|a, b| a.submit.total_cmp(&b.submit));
     let mut b = InstanceBuilder::with_capacity(opts.m, opts.eps, sorted.len());
     for j in sorted {
         let release = (j.submit / opts.time_scale).max(0.0);
