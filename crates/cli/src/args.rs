@@ -57,18 +57,24 @@ impl Opts {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("invalid value for `--{name}`: `{raw}`")),
+            Some(raw) => raw.parse().map_err(|_| parse_error::<T>(name, raw)),
         }
     }
 
     /// Required typed option.
     pub fn require_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
         let raw = self.require(name)?;
-        raw.parse()
-            .map_err(|_| format!("invalid value for `--{name}`: `{raw}`"))
+        raw.parse().map_err(|_| parse_error::<T>(name, raw))
     }
+}
+
+/// A parse failure naming the flag, the offending value, *and* the
+/// expected type, so `--m four` says it wanted a `usize` (with the
+/// module path stripped: `std::net::SocketAddr` reads as `SocketAddr`).
+fn parse_error<T>(name: &str, raw: &str) -> String {
+    let full = std::any::type_name::<T>();
+    let short = full.rsplit("::").next().unwrap_or(full);
+    format!("invalid value for `--{name}`: `{raw}` is not a valid {short}")
 }
 
 #[cfg(test)]
@@ -111,5 +117,24 @@ mod tests {
         assert!(err.contains("four"));
         assert!(o.require("absent").is_err());
         assert!(o.require_as::<usize>("m").is_err());
+    }
+
+    #[test]
+    fn typed_errors_name_flag_value_and_expected_type() {
+        let o = Opts::parse(&sv(&["--m", "four", "--eps", "high"])).unwrap();
+        let err = o.require_as::<usize>("m").unwrap_err();
+        assert!(err.contains("--m"), "{err}");
+        assert!(err.contains("`four`"), "{err}");
+        assert!(err.contains("usize"), "{err}");
+        let err = o.get_or::<f64>("eps", 0.5).unwrap_err();
+        assert!(err.contains("--eps"), "{err}");
+        assert!(err.contains("`high`"), "{err}");
+        assert!(err.contains("f64"), "{err}");
+        // Module paths are stripped to the bare type name.
+        let err = o
+            .get_or::<std::net::SocketAddr>("m", "0.0.0.0:0".parse().unwrap())
+            .unwrap_err();
+        assert!(err.contains("SocketAddr"), "{err}");
+        assert!(!err.contains("std::net"), "{err}");
     }
 }

@@ -28,7 +28,11 @@ USAGE:
                    [--seed <int>] [--queue-cap <int>] [--batch <int>] [--json]
                    [--trace-out <jsonl>] [--trace-cap <int>]
                    [--metrics-out <json>] [--prom-out <txt>] [--spans]
+                   [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
+                   [--serve-metrics <addr>] [--hold <secs>]
   cslack trace-summary <jsonl> [--json]
+  cslack replay    <run.cfr> [--json]
+  cslack audit     <run.cfr> [--json]
   cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
   cslack opt       --trace <file> [--exact-limit <int>]
   cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
@@ -182,6 +186,9 @@ struct ServeBenchReport {
     paper_bound: f64,
     trace_events: usize,
     trace_dropped: u64,
+    flight_events: usize,
+    flight_dropped: u64,
+    audit_violations: Option<usize>,
 }
 
 /// `cslack serve-bench` — stream a generated workload through the
@@ -193,6 +200,15 @@ struct ServeBenchReport {
 /// `--trace-cap`), `--metrics-out <json>` writes the live registry
 /// snapshot, `--prom-out <txt>` writes a Prometheus text exposition,
 /// and `--spans` turns on the `span!` profiling timers.
+///
+/// Flight-recorder options: `--flight-out <cfr>` records the run and
+/// writes a `.cfr` flight recording replayable with `cslack replay`
+/// (default ring capacity covers the whole run; cap it with
+/// `--flight-cap`), `--flight-audit` runs the invariant auditor over
+/// the recording at shutdown, `--serve-metrics <addr>` serves live
+/// `/metrics`, `/healthz` and `/flight/snapshot` over HTTP while the
+/// run lasts, and `--hold <secs>` keeps the engine (and the endpoint)
+/// alive that long after the workload drains so scrapers can connect.
 pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let m: usize = opts.require_as("m")?;
     let eps: f64 = opts.require_as("eps")?;
@@ -207,20 +223,48 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let trace_out = opts.get("trace-out");
     let metrics_out = opts.get("metrics-out");
     let prom_out = opts.get("prom-out");
+    let flight_out = opts.get("flight-out");
+    let flight_audit = opts.flag("flight-audit");
+    let serve_metrics: Option<std::net::SocketAddr> = match opts.get("serve-metrics") {
+        Some(_) => Some(opts.require_as("serve-metrics")?),
+        None => None,
+    };
     if opts.flag("spans") {
         cslack_obs::set_spans_enabled(true);
     }
     // The registry is only worth streaming into when some output wants
     // its counters; the engine's own metrics are always collected.
-    let registry =
-        (metrics_out.is_some() || prom_out.is_some()).then(|| Arc::new(MetricsRegistry::enabled()));
+    // (`--serve-metrics` makes the engine create an enabled registry of
+    // its own when none is passed.)
+    let registry = (metrics_out.is_some() || prom_out.is_some() || serve_metrics.is_some())
+        .then(|| Arc::new(MetricsRegistry::enabled()));
     // Default the ring to hold the entire run so `trace-summary` can
     // reproduce the engine's counters exactly; `--trace-cap` bounds it.
     let trace_capacity: usize =
         opts.get_or("trace-cap", if trace_out.is_some() { n.max(1) } else { 0 })?;
+    // The ring stores one compact record per decision (submissions and
+    // commitments are synthesized from it at snapshot time) and shard
+    // routing splits jobs evenly, so ceil(n / shards) per shard covers
+    // any run completely.
+    let flight_wanted = flight_out.is_some() || flight_audit || serve_metrics.is_some();
+    let flight_capacity: usize = opts.get_or(
+        "flight-cap",
+        if flight_wanted {
+            n.max(1).div_ceil(shards.max(1))
+        } else {
+            0
+        },
+    )?;
+    let flight = (flight_capacity > 0).then(|| {
+        let mut cfg = cslack_engine::FlightConfig::new(flight_capacity, algo_name, eps, seed);
+        cfg.audit_on_finish = flight_audit;
+        cfg
+    });
     let obs = ObsConfig {
         registry: registry.clone(),
         trace_capacity,
+        flight,
+        serve_metrics,
     };
 
     // Validate the algorithm name once up front (shard groups may have
@@ -235,8 +279,16 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
 
+    if let Some(addr) = engine.metrics_addr() {
+        // On stderr so `--json` consumers keep a clean stdout.
+        eprintln!("serving telemetry on http://{addr} (/metrics /healthz /flight/snapshot)");
+    }
     for job in inst.jobs() {
         engine.submit(*job).map_err(|e| e.to_string())?;
+    }
+    let hold: f64 = opts.get_or("hold", 0.0)?;
+    if hold > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(hold));
     }
     let report = engine.finish().map_err(|e| e.to_string())?;
 
@@ -256,6 +308,31 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         let reg = registry.as_ref().expect("registry created for prom-out");
         std::fs::write(path, reg.render_prometheus())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = flight_out {
+        let snap = report
+            .flight
+            .as_ref()
+            .ok_or("flight recording requested but none was produced")?;
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let mut w = BufWriter::new(file);
+        snap.write_cfr(&mut w).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    if report.trace_dropped > 0 {
+        eprintln!(
+            "warning: decision-trace ring dropped {} event(s); raise --trace-cap for a \
+             complete trace",
+            report.trace_dropped
+        );
+    }
+    let flight_dropped = report.flight.as_ref().map_or(0, |s| s.total_dropped());
+    if flight_dropped > 0 {
+        eprintln!(
+            "warning: flight recorder dropped {flight_dropped} record(s); the recording \
+             cannot be replayed — raise --flight-cap"
+        );
     }
 
     let validation = cslack_kernel::validate_schedule(&inst, &report.schedule);
@@ -278,6 +355,9 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         paper_bound,
         trace_events: report.trace.len(),
         trace_dropped: report.trace_dropped,
+        flight_events: report.flight.as_ref().map_or(0, |s| s.len()),
+        flight_dropped,
+        audit_violations: report.audit.as_ref().map(|a| a.violations.len()),
     };
     if opts.flag("json") {
         println!(
@@ -323,6 +403,26 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
                 out.trace_events, out.trace_dropped
             );
         }
+        if flight_wanted {
+            println!(
+                "  flight: {} record(s) recorded, {} dropped{}",
+                out.flight_events,
+                out.flight_dropped,
+                flight_out
+                    .map(|p| format!(", written to {p}"))
+                    .unwrap_or_default()
+            );
+        }
+        if let Some(v) = out.audit_violations {
+            println!(
+                "  audit: {}",
+                if v == 0 {
+                    "clean".to_string()
+                } else {
+                    format!("{v} violation(s)")
+                }
+            );
+        }
         println!(
             "  offline upper bound: {:.4} => measured ratio {:.4} (paper c(eps, m) = {:.4})",
             out.opt_upper_bound, out.measured_ratio, out.paper_bound
@@ -338,7 +438,134 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
             out.violations
         ));
     }
+    if let Some(audit) = &report.audit {
+        if !audit.is_clean() {
+            let first = &audit.violations[0];
+            return Err(format!(
+                "flight audit found {} violation(s), first [{}]: {}",
+                audit.violations.len(),
+                first.check,
+                first.message
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Reads and checksums a `.cfr` flight recording.
+fn read_cfr_file(path: &str) -> Result<cslack_obs::FlightSnapshot, String> {
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    cslack_obs::FlightSnapshot::read_cfr(&mut file)
+}
+
+/// `cslack replay <run.cfr>` — rebuild the recorded run's schedulers
+/// from the `.cfr` header, feed each shard its recorded submission
+/// stream, and verify the regenerated decision stream is bit-identical
+/// to the recorded one. A divergence (or an incomplete recording) is a
+/// hard error naming the first differing decision.
+pub fn replay(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("in")?;
+    let snap = read_cfr_file(path)?;
+    let algo = snap.header.algorithm.clone();
+    let eps = snap.header.eps;
+    let seed = snap.header.seed;
+    // Validate the algorithm label once up front; per-shard builders
+    // below cannot return an error.
+    build_algo(&algo, (snap.header.m as usize).max(1), eps, seed)?;
+    let report = cslack_sim::audit::replay_snapshot(&snap, |shard, group| {
+        build_algo(&algo, group, eps, seed.wrapping_add(shard as u64))
+            .expect("algorithm label validated above")
+    })?;
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "replay {path}: {} (m = {}, shards = {}, eps = {}, algo = {algo})",
+            if report.is_identical() {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+            snap.header.m,
+            snap.header.shards,
+            eps
+        );
+        println!(
+            "  {} decision(s) re-derived and compared",
+            report.decisions_replayed
+        );
+    }
+    match report.divergence {
+        None => Ok(()),
+        Some(d) => Err(format!(
+            "replay diverged at shard {} seq {} (job {}): {} recorded as {} but \
+             regenerated as {}",
+            d.shard, d.seq, d.job, d.field, d.recorded, d.regenerated
+        )),
+    }
+}
+
+/// `cslack audit <run.cfr>` — re-derive every invariant the paper's
+/// model imposes from the trace alone: lane exclusivity, commitment
+/// windows (`r_j <= s_j <= d_j - p_j`), the slack condition at
+/// admission, threshold accept/reject consistency against the recorded
+/// load and the `c(eps, m)` table, and counter agreement. Any violation
+/// is a hard error.
+pub fn audit(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("in")?;
+    let snap = read_cfr_file(path)?;
+    let report = cslack_sim::audit::audit_snapshot(&snap);
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "audit {path}: {} (m = {}, shards = {}, eps = {}, algo = {})",
+            if report.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", report.violations.len())
+            },
+            snap.header.m,
+            snap.header.shards,
+            snap.header.eps,
+            snap.header.algorithm
+        );
+        println!(
+            "  {} decision(s), {} commitment(s) checked; counters {}; {} dropped record(s)",
+            report.decisions_checked,
+            report.commitments_checked,
+            if report.counters_checked {
+                "cross-checked"
+            } else {
+                "skipped (incomplete window)"
+            },
+            report.dropped
+        );
+        for v in &report.violations {
+            let mut site = String::new();
+            if let Some(s) = v.shard {
+                site.push_str(&format!(" shard {s}"));
+            }
+            if let Some(j) = v.job {
+                site.push_str(&format!(" job {j}"));
+            }
+            println!("  [{}]{}: {}", v.check, site, v.message);
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "flight audit found {} violation(s)",
+            report.violations.len()
+        ))
+    }
 }
 
 /// `cslack trace-summary` — aggregate a decision-trace JSONL file back
@@ -362,6 +589,13 @@ pub fn trace_summary(opts: &Opts) -> Result<(), String> {
         summary.accepted,
         summary.rejected.total()
     );
+    if summary.dropped > 0 {
+        println!(
+            "  WARNING: ring dropped {} event(s) (inferred from seq gaps); totals below \
+             cover only the recorded window",
+            summary.dropped
+        );
+    }
     for reason in cslack_obs::RejectReason::ALL {
         let count = summary.rejected.get(reason);
         if count > 0 {
@@ -384,11 +618,12 @@ pub fn trace_summary(opts: &Opts) -> Result<(), String> {
     );
     for s in &summary.per_shard {
         println!(
-            "  shard {}: {} decision(s), accepted {}, rejected {}",
+            "  shard {}: {} decision(s), accepted {}, rejected {}, dropped {}",
             s.shard,
             s.decisions,
             s.accepted,
-            s.rejected.total()
+            s.rejected.total(),
+            s.dropped
         );
     }
     Ok(())

@@ -7,6 +7,8 @@
 //! cslack simulate  --algo greedy --m 4 --eps 0.1 --n 100 --seed 7
 //! cslack adversary --algo threshold --m 3 --eps 0.25
 //! cslack opt       --trace trace.json
+//! cslack replay    run.cfr
+//! cslack audit     run.cfr
 //! ```
 
 use std::process::ExitCode;
@@ -20,17 +22,18 @@ fn main() -> ExitCode {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
     };
-    // `trace-summary` takes its input file as a positional argument
-    // (`cslack trace-summary trace.jsonl`); rewrite it to `--in`.
+    // `trace-summary`, `replay` and `audit` take their input file as a
+    // positional argument (`cslack replay run.cfr`); rewrite it to
+    // `--in`.
     let mut rest: Vec<String> = rest.to_vec();
-    if command == "trace-summary" {
+    if matches!(command.as_str(), "trace-summary" | "replay" | "audit") {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 rest.insert(0, "--in".to_string());
             }
         }
     }
-    let opts = match args::Opts::parse_with_flags(&rest, &["json", "spans"]) {
+    let opts = match args::Opts::parse_with_flags(&rest, &["json", "spans", "flight-audit"]) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -44,6 +47,8 @@ fn main() -> ExitCode {
         "simulate" => cmd::simulate(&opts),
         "serve-bench" => cmd::serve_bench(&opts),
         "trace-summary" => cmd::trace_summary(&opts),
+        "replay" => cmd::replay(&opts),
+        "audit" => cmd::audit(&opts),
         "adversary" => cmd::adversary(&opts),
         "opt" => cmd::opt(&opts),
         "import-swf" => cmd::import_swf(&opts),

@@ -64,13 +64,21 @@
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use cslack_algorithms::OnlineScheduler;
 use cslack_kernel::{merge_schedules, Job, JobId, KernelError, MachineId, Schedule};
+use cslack_obs::flight::{
+    expand_decision_stream, FlightEvent, FlightHeader, FlightRing, FlightSnapshot, ShardFlight,
+};
 use cslack_obs::{
     DecisionEvent, DecisionRing, Histogram, MetricsRegistry, RejectCounts, RejectReason,
 };
 use cslack_sim::apply_decision;
+use cslack_sim::audit::{audit_snapshot, AuditReport};
+use parking_lot::Mutex;
 use serde::Serialize;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -142,6 +150,17 @@ pub struct ObsConfig {
     /// When a shard decides more jobs than this, the oldest events are
     /// overwritten and counted in [`EngineReport::trace_dropped`].
     pub trace_capacity: usize,
+    /// Flight-recorder wiring; `None` records nothing. See
+    /// [`FlightConfig`].
+    pub flight: Option<FlightConfig>,
+    /// Bind address for the live telemetry HTTP endpoint serving
+    /// `/metrics` (Prometheus text), `/healthz`, and `/flight/snapshot`
+    /// (the current `.cfr` bytes, when a flight recorder is active).
+    /// Port 0 binds an ephemeral port — read it back with
+    /// [`Engine::metrics_addr`]. When set without a registry, an
+    /// enabled [`MetricsRegistry`] is created automatically so
+    /// `/metrics` has data to serve.
+    pub serve_metrics: Option<SocketAddr>,
 }
 
 impl ObsConfig {
@@ -150,6 +169,59 @@ impl ObsConfig {
         ObsConfig {
             registry: None,
             trace_capacity,
+            flight: None,
+            serve_metrics: None,
+        }
+    }
+}
+
+/// Flight-recorder wiring for [`Engine::start_observed`].
+///
+/// The recorder captures the complete causal record of the run —
+/// submissions (arrival order + shard routing), full decisions, and
+/// irrevocable commitments — in bounded per-shard binary rings
+/// ([`FlightRing`]). Workers buffer encoded records batch-locally and
+/// flush under a per-shard mutex once per drained batch, so the
+/// per-decision path takes no locks while live readers
+/// (`/flight/snapshot`, error snapshots) can still see everything up to
+/// the last completed batch.
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Per-shard ring capacity in records; `0` disables recording.
+    /// Each decision costs exactly one record — the submission and
+    /// commitment events in a snapshot are synthesized from it.
+    pub capacity: usize,
+    /// Algorithm label written into the `.cfr` header, in the CLI
+    /// vocabulary (`threshold`, `greedy`, ...) — replay rebuilds the
+    /// schedulers from it, and the auditor gates the `c(eps, m)` check
+    /// on it.
+    pub algorithm: String,
+    /// System slack the schedulers were configured with.
+    pub eps: f64,
+    /// Base RNG seed (shard `s` derives `seed + s` by convention).
+    pub seed: u64,
+    /// Write a `.cfr` snapshot here when [`Engine::finish`] fails with
+    /// a contract violation, a shard panic, or a merge error — the
+    /// crash-dump path.
+    pub snapshot_on_error: Option<PathBuf>,
+    /// Run the trace-driven invariant auditor over the final snapshot
+    /// inside [`Engine::finish`]; the result lands in
+    /// [`EngineReport::audit`].
+    pub audit_on_finish: bool,
+}
+
+impl FlightConfig {
+    /// A recorder of `capacity` records per shard describing a run of
+    /// `algorithm` under `eps`/`seed`, with no error snapshot and no
+    /// finish-time audit.
+    pub fn new(capacity: usize, algorithm: impl Into<String>, eps: f64, seed: u64) -> FlightConfig {
+        FlightConfig {
+            capacity,
+            algorithm: algorithm.into(),
+            eps,
+            seed,
+            snapshot_on_error: None,
+            audit_on_finish: false,
         }
     }
 }
@@ -246,6 +318,13 @@ pub struct EngineReport {
     /// Events the bounded rings overwrote (0 when the capacity covered
     /// the whole run).
     pub trace_dropped: u64,
+    /// The flight recording of the run, with header counters taken from
+    /// the engine's own metrics. `None` unless [`ObsConfig::flight`]
+    /// was set with a nonzero capacity.
+    pub flight: Option<FlightSnapshot>,
+    /// The finish-time invariant audit of the flight recording. `None`
+    /// unless [`FlightConfig::audit_on_finish`] was requested.
+    pub audit: Option<AuditReport>,
 }
 
 /// Failure modes of the engine lifecycle.
@@ -273,6 +352,11 @@ pub enum EngineError {
     /// The merged schedule violated a kernel invariant (double commit
     /// or cross-shard overlap — shards are not trusted either).
     Merge(KernelError),
+    /// The live telemetry endpoint could not be started.
+    Telemetry {
+        /// The bind/spawn error, rendered.
+        error: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -288,6 +372,9 @@ impl fmt::Display for EngineError {
                 write!(f, "shard {shard} worker thread panicked")
             }
             EngineError::Merge(e) => write!(f, "merging shard schedules failed: {e}"),
+            EngineError::Telemetry { error } => {
+                write!(f, "telemetry endpoint failed to start: {error}")
+            }
         }
     }
 }
@@ -336,6 +423,149 @@ pub struct Engine {
     shards: Vec<ShardHandle>,
     stalls: AtomicU64,
     started: Instant,
+    flight: Option<Arc<FlightState>>,
+    telemetry: Option<TelemetryHandle>,
+}
+
+/// Shared flight-recorder state: one bounded binary ring per shard plus
+/// the run metadata the `.cfr` header needs. Workers flush encoded
+/// batches under the per-shard mutex; snapshot readers (finish, the
+/// telemetry endpoint, error dumps) lock one shard at a time.
+struct FlightState {
+    rings: Vec<Mutex<FlightRing>>,
+    cfg: FlightConfig,
+    m: usize,
+    shard_count: usize,
+}
+
+impl FlightState {
+    /// Assembles a [`FlightSnapshot`] from the current ring contents.
+    ///
+    /// `counters` carries the engine's own totals when they are known
+    /// (the finish path); live and error snapshots pass `None` and the
+    /// header counters are recomputed from the buffered decisions, so
+    /// they stay consistent with the (possibly partial) event window.
+    fn snapshot(&self, counters: Option<(u64, u64, RejectCounts)>) -> FlightSnapshot {
+        let mut shards = Vec::with_capacity(self.rings.len());
+        for (index, ring) in self.rings.iter().enumerate() {
+            let guard = ring.lock();
+            let dropped = guard.dropped();
+            let compact = guard.snapshot_events();
+            drop(guard);
+            // Expansion allocates and copies outside the lock so the
+            // shard worker is never stalled behind it.
+            shards.push(ShardFlight {
+                shard: index as u32,
+                dropped,
+                events: expand_decision_stream(compact),
+            });
+        }
+        let (submitted, accepted, rejected) = counters.unwrap_or_else(|| {
+            let mut submitted = 0u64;
+            let mut accepted = 0u64;
+            let mut rejected = RejectCounts::default();
+            for shard in &shards {
+                for event in &shard.events {
+                    if let FlightEvent::Decision(d) = event {
+                        submitted += 1;
+                        if d.accepted {
+                            accepted += 1;
+                        } else if let Some(reason) = d.reject_reason {
+                            rejected.bump(reason);
+                        }
+                    }
+                }
+            }
+            (submitted, accepted, rejected)
+        });
+        FlightSnapshot {
+            header: FlightHeader {
+                m: self.m as u32,
+                shards: self.shard_count as u32,
+                eps: self.cfg.eps,
+                seed: self.cfg.seed,
+                algorithm: self.cfg.algorithm.clone(),
+                submitted,
+                accepted,
+                rejected,
+            },
+            shards,
+        }
+    }
+}
+
+/// The running telemetry endpoint: its bound address, the stop flag the
+/// accept loop polls, and the thread to join on shutdown.
+struct TelemetryHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    join: JoinHandle<()>,
+}
+
+/// Read-only state the telemetry thread serves from.
+struct TelemetryShared {
+    registry: Arc<MetricsRegistry>,
+    flight: Option<Arc<FlightState>>,
+}
+
+/// Accept loop of the telemetry endpoint: nonblocking accept polled
+/// every 5 ms so the stop flag is honoured promptly; each connection is
+/// handled inline (scrapes are rare and tiny).
+fn serve_telemetry(listener: TcpListener, shared: TelemetryShared, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_telemetry_request(stream, &shared);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serves one HTTP/1.1 request: `/metrics` (Prometheus text format),
+/// `/healthz`, or `/flight/snapshot` (the current `.cfr` bytes).
+fn handle_telemetry_request(
+    mut stream: TcpStream,
+    shared: &TelemetryShared,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.registry.render_prometheus().into_bytes(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", b"ok\n".to_vec()),
+        "/flight/snapshot" => match &shared.flight {
+            Some(state) => {
+                let mut bytes = Vec::new();
+                state.snapshot(None).write_cfr(&mut bytes)?;
+                ("200 OK", "application/octet-stream", bytes)
+            }
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                b"no flight recorder configured\n".to_vec(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            b"not found\n".to_vec(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
 }
 
 impl Engine {
@@ -365,7 +595,7 @@ impl Engine {
     pub fn start_observed<F>(
         m: usize,
         config: EngineConfig,
-        obs: ObsConfig,
+        mut obs: ObsConfig,
         builder: F,
     ) -> Result<Engine, EngineError>
     where
@@ -377,6 +607,59 @@ impl Engine {
                 m,
             });
         }
+        if obs.serve_metrics.is_some() && obs.registry.is_none() {
+            // `/metrics` with no registry would always scrape zeros;
+            // give the endpoint a live one.
+            obs.registry = Some(Arc::new(MetricsRegistry::enabled()));
+        }
+        let flight = obs.flight.as_ref().filter(|f| f.capacity > 0).map(|cfg| {
+            Arc::new(FlightState {
+                rings: (0..config.shards)
+                    .map(|_| {
+                        // Touch the full ring now, on the caller's
+                        // thread: a shard's first pass over a lazily
+                        // reserved multi-megabyte buffer would otherwise
+                        // page-fault inside the decision loop.
+                        let mut ring = FlightRing::new(cfg.capacity);
+                        ring.preallocate();
+                        Mutex::new(ring)
+                    })
+                    .collect(),
+                cfg: cfg.clone(),
+                m,
+                shard_count: config.shards,
+            })
+        });
+        // Bind the telemetry listener before spawning workers so a bad
+        // address fails the start instead of leaking shard threads.
+        let telemetry = match obs.serve_metrics {
+            Some(addr) => {
+                let telemetry_err = |e: std::io::Error| EngineError::Telemetry {
+                    error: e.to_string(),
+                };
+                let listener = TcpListener::bind(addr).map_err(telemetry_err)?;
+                listener.set_nonblocking(true).map_err(telemetry_err)?;
+                let local = listener.local_addr().map_err(telemetry_err)?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let shared = TelemetryShared {
+                    registry: Arc::clone(obs.registry.as_ref().expect("registry set above")),
+                    flight: flight.clone(),
+                };
+                let join = std::thread::Builder::new()
+                    .name("cslack-telemetry".to_string())
+                    .spawn({
+                        let stop = Arc::clone(&stop);
+                        move || serve_telemetry(listener, shared, stop)
+                    })
+                    .map_err(telemetry_err)?;
+                Some(TelemetryHandle {
+                    stop,
+                    addr: local,
+                    join,
+                })
+            }
+            None => None,
+        };
         let groups = machine_groups(m, config.shards);
         let mut shards = Vec::with_capacity(config.shards);
         for (index, group) in groups.into_iter().enumerate() {
@@ -388,6 +671,7 @@ impl Engine {
                 batch_size: config.batch_size.max(1),
                 registry: obs.registry.clone(),
                 trace_capacity: obs.trace_capacity,
+                flight: flight.clone(),
             };
             let join = std::thread::Builder::new()
                 .name(format!("cslack-shard-{index}"))
@@ -406,6 +690,8 @@ impl Engine {
             shards,
             stalls: AtomicU64::new(0),
             started: Instant::now(),
+            flight,
+            telemetry,
         })
     }
 
@@ -427,6 +713,31 @@ impl Engine {
     /// Blocking submissions that found their queue full so far.
     pub fn backpressure_stalls(&self) -> u64 {
         self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// The bound address of the live telemetry endpoint, if one was
+    /// requested via [`ObsConfig::serve_metrics`]. With port 0 this is
+    /// the ephemeral port the listener actually got.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.telemetry.as_ref().map(|t| t.addr)
+    }
+
+    /// A live snapshot of the flight recording — what `/flight/snapshot`
+    /// serves — with header counters recomputed from the buffered
+    /// window. `None` unless a recorder is active.
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        self.flight.as_ref().map(|s| s.snapshot(None))
+    }
+
+    /// Writes the crash-dump `.cfr` if the flight config asked for one.
+    fn write_error_snapshot(&self) {
+        let Some(state) = &self.flight else { return };
+        let Some(path) = &state.cfg.snapshot_on_error else {
+            return;
+        };
+        if let Ok(mut file) = std::fs::File::create(path) {
+            let _ = state.snapshot(None).write_cfr(&mut file);
+        }
     }
 
     /// Enqueues a job without blocking.
@@ -479,32 +790,46 @@ impl Engine {
     /// and the recorded decision trace.
     pub fn finish(mut self) -> Result<EngineReport, EngineError> {
         // Dropping the senders closes the queues; workers drain what is
-        // left and return their outcomes.
+        // left and return their outcomes. `take` (rather than moving
+        // out of `self`) keeps `self` whole for the error-snapshot
+        // writer and the `Drop` impl that stops the telemetry thread.
         for shard in &mut self.shards {
             shard.tx = None;
         }
-        let mut outcomes = Vec::with_capacity(self.shards.len());
-        let mut groups = Vec::with_capacity(self.shards.len());
-        for (index, shard) in self.shards.into_iter().enumerate() {
-            let outcome = shard
-                .join
-                .join()
-                .map_err(|_| EngineError::ShardPanicked { shard: index })?
-                .map_err(|error| EngineError::Contract {
-                    shard: index,
-                    error,
-                })?;
+        let handles = std::mem::take(&mut self.shards);
+        let mut outcomes = Vec::with_capacity(handles.len());
+        let mut groups = Vec::with_capacity(handles.len());
+        for (index, shard) in handles.into_iter().enumerate() {
+            let outcome = match shard.join.join() {
+                Err(_) => {
+                    self.write_error_snapshot();
+                    return Err(EngineError::ShardPanicked { shard: index });
+                }
+                Ok(Err(error)) => {
+                    self.write_error_snapshot();
+                    return Err(EngineError::Contract {
+                        shard: index,
+                        error,
+                    });
+                }
+                Ok(Ok(outcome)) => outcome,
+            };
             outcomes.push(outcome);
             groups.push(shard.machines);
         }
-        let merged = merge_schedules(
+        let merged = match merge_schedules(
             self.m,
             outcomes
                 .iter()
                 .zip(&groups)
                 .map(|(o, g)| (&o.schedule, g.as_slice())),
-        )
-        .map_err(EngineError::Merge)?;
+        ) {
+            Ok(merged) => merged,
+            Err(e) => {
+                self.write_error_snapshot();
+                return Err(EngineError::Merge(e));
+            }
+        };
         let elapsed = self.started.elapsed().as_secs_f64();
 
         let mut latency = Histogram::new();
@@ -565,12 +890,44 @@ impl Engine {
             queue_wait: queue_wait.summary(),
             per_shard,
         };
+        // The final snapshot carries the engine's own counters (not the
+        // window-recomputed ones), so the auditor can cross-check them
+        // against what the trace implies.
+        let flight = self.flight.as_ref().map(|state| {
+            state.snapshot(Some((
+                metrics.submitted,
+                metrics.accepted,
+                metrics.rejected_by_reason,
+            )))
+        });
+        let audit = match (&self.flight, &flight) {
+            (Some(state), Some(snap)) if state.cfg.audit_on_finish => Some(audit_snapshot(snap)),
+            _ => None,
+        };
         Ok(EngineReport {
             schedule: merged,
             metrics,
             trace,
             trace_dropped,
+            flight,
+            audit,
         })
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Close the queues so workers drain even on an abandoned engine
+        // (their outcomes are discarded), then stop and join the
+        // telemetry thread. `finish` consumes `self`, so this also runs
+        // at the end of every finish path.
+        for shard in &mut self.shards {
+            shard.tx = None;
+        }
+        if let Some(t) = self.telemetry.take() {
+            t.stop.store(true, Ordering::Relaxed);
+            let _ = t.join.join();
+        }
     }
 }
 
@@ -583,6 +940,7 @@ struct ShardCtx {
     batch_size: usize,
     registry: Option<Arc<MetricsRegistry>>,
     trace_capacity: usize,
+    flight: Option<Arc<FlightState>>,
 }
 
 #[inline]
@@ -660,6 +1018,17 @@ fn shard_worker(
         // effect at the next wakeup, and the per-decision path stays
         // free of shared-state loads.
         let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
+        // The flight ring is locked once per batch and each decision
+        // encodes straight into its slot — a single write pass, no
+        // batch-local staging buffer. The guard is dropped before the
+        // next blocking recv, so live snapshot readers wait at most one
+        // batch's decision loop. Only the compact decision record is
+        // stored; submission and commitment events are synthesized from
+        // it at snapshot time.
+        let mut flight_ring = ctx
+            .flight
+            .as_deref()
+            .map(|state| state.rings[ctx.shard].lock());
         for (job, enqueued) in batch.drain(..) {
             let seq = out.submitted;
             out.submitted += 1;
@@ -693,9 +1062,26 @@ fn shard_worker(
                     }
                     false
                 }
-                Err(e) => return Err(e.to_string()),
+                Err(e) => {
+                    // Record the failing job's submission (its decision
+                    // never completed, so nothing else will carry it)
+                    // before surfacing the contract error — the error
+                    // snapshot then shows what the scheduler was
+                    // offered.
+                    if let Some(mut guard) = flight_ring {
+                        guard.record(&FlightEvent::Submission {
+                            seq,
+                            shard: ctx.shard as u32,
+                            job: job.id.0,
+                            release: job.release.raw(),
+                            proc_time: job.proc_time,
+                            deadline: job.deadline.raw(),
+                        });
+                    }
+                    return Err(e.to_string());
+                }
             };
-            if ctx.trace_capacity > 0 {
+            if ctx.trace_capacity > 0 || ctx.flight.is_some() {
                 let (machine, start) = match decision {
                     cslack_algorithms::Decision::Accept { machine, start } => {
                         // Remap the scheduler's shard-local machine id
@@ -709,7 +1095,7 @@ fn shard_worker(
                     }
                     cslack_algorithms::Decision::Reject => (None, None),
                 };
-                ring.push(DecisionEvent {
+                let build = || DecisionEvent {
                     seq,
                     job: job.id.0,
                     shard: ctx.shard,
@@ -725,9 +1111,23 @@ fn shard_worker(
                     reject_reason: info.reject_reason,
                     latency_ns,
                     queue_wait_ns,
-                });
+                };
+                if ctx.trace_capacity > 0 {
+                    let event = build();
+                    if let Some(guard) = flight_ring.as_mut() {
+                        guard.record_decision(&event);
+                    }
+                    ring.push(event);
+                } else if let Some(guard) = flight_ring.as_mut() {
+                    // Flight-only (the always-on configuration): the
+                    // ~140-byte record is built straight in its ring
+                    // slot, the single write this path pays per
+                    // decision.
+                    guard.record_with(|| FlightEvent::Decision(build()));
+                }
             }
         }
+        drop(flight_ring);
         if let Some(reg) = recording {
             delta.flush(reg);
         }
@@ -866,7 +1266,7 @@ mod tests {
         let registry = Arc::new(MetricsRegistry::enabled());
         let obs = ObsConfig {
             registry: Some(Arc::clone(&registry)),
-            trace_capacity: 0,
+            ..ObsConfig::default()
         };
         let engine = Engine::start_observed(
             1,
@@ -923,6 +1323,7 @@ mod tests {
         let obs = ObsConfig {
             registry: Some(Arc::clone(&registry)),
             trace_capacity: n as usize,
+            ..ObsConfig::default()
         };
         let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
             Box::new(Threshold::new(g, 0.5))
@@ -1001,7 +1402,7 @@ mod tests {
         let registry = Arc::new(MetricsRegistry::new()); // not enabled
         let obs = ObsConfig {
             registry: Some(Arc::clone(&registry)),
-            trace_capacity: 0,
+            ..ObsConfig::default()
         };
         let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
         engine
@@ -1079,5 +1480,207 @@ mod tests {
         assert!(json.contains("\"backpressure_stalls\""));
         assert_eq!(report.metrics.accepted, 2);
         assert_eq!(report.metrics.per_shard.len(), 2);
+    }
+
+    #[test]
+    fn shard_group_bounds_match_engine_machine_groups() {
+        // The auditor reconstructs the engine's machine layout from
+        // (m, shards) alone — the two formulas must stay identical.
+        for m in 1..=16 {
+            for s in 1..=m {
+                let groups = machine_groups(m, s);
+                for (shard, group) in groups.iter().enumerate() {
+                    let (lo, hi) = cslack_sim::audit::shard_group_bounds(m, s, shard);
+                    assert_eq!(lo, group.first().map(|id| id.0 as usize).unwrap_or(lo));
+                    assert_eq!(hi - lo, group.len(), "m={m} s={s} shard={shard}");
+                }
+            }
+        }
+    }
+
+    fn flight_workload(n: u32) -> Vec<Job> {
+        (0..n)
+            .map(|id| Job::tight(JobId(id), Time::new((id / 8) as f64 * 0.1), 1.0, 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn flight_recording_replays_bit_identically_and_audits_clean() {
+        for shards in [1usize, 2, 4] {
+            let eps = 0.5;
+            let obs = ObsConfig {
+                flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
+                ..ObsConfig::default()
+            };
+            let engine = Engine::start_observed(4, EngineConfig::new(shards), obs, |_, g| {
+                Box::new(Threshold::new(g, eps))
+            })
+            .unwrap();
+            for job in flight_workload(200) {
+                engine.submit(job).unwrap();
+            }
+            let report = engine.finish().unwrap();
+            let snap = report.flight.expect("flight recording present");
+            assert_eq!(snap.header.submitted, report.metrics.submitted);
+            assert_eq!(snap.header.accepted, report.metrics.accepted);
+            assert_eq!(snap.total_dropped(), 0);
+            let replay =
+                cslack_sim::audit::replay_snapshot(&snap, |_, g| Box::new(Threshold::new(g, eps)))
+                    .unwrap();
+            assert!(
+                replay.is_identical(),
+                "shards={shards} diverged: {:?}",
+                replay.divergence
+            );
+            assert_eq!(replay.decisions_replayed, report.metrics.submitted);
+            let audit = cslack_sim::audit::audit_snapshot(&snap);
+            assert!(audit.is_clean(), "shards={shards}: {:?}", audit.violations);
+            assert!(audit.counters_checked);
+        }
+    }
+
+    #[test]
+    fn audit_on_finish_lands_in_the_report() {
+        let eps = 0.5;
+        let mut flight = FlightConfig::new(4096, "threshold", eps, 0);
+        flight.audit_on_finish = true;
+        let obs = ObsConfig {
+            flight: Some(flight),
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, move |_, g| {
+            Box::new(Threshold::new(g, eps))
+        })
+        .unwrap();
+        for job in flight_workload(100) {
+            engine.submit(job).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        let audit = report.audit.expect("audit requested");
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        assert_eq!(audit.decisions_checked, report.metrics.submitted);
+    }
+
+    #[test]
+    fn flight_ring_bounds_memory_and_counts_drops() {
+        let obs = ObsConfig {
+            flight: Some(FlightConfig::new(8, "greedy", 0.5, 0)),
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
+        for id in 0..32u32 {
+            engine
+                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
+                .unwrap();
+        }
+        let report = engine.finish().unwrap();
+        let snap = report.flight.unwrap();
+        // The ring kept the last 8 decision records; each expands to
+        // submission + decision + commitment in the snapshot.
+        assert_eq!(snap.len(), 24, "ring caps the recording");
+        // 32 accepted jobs produce 32 decision records; the ring kept 8.
+        assert_eq!(snap.total_dropped(), 24);
+        // The header still carries the engine's true totals.
+        assert_eq!(snap.header.submitted, 32);
+        assert_eq!(snap.header.accepted, 32);
+    }
+
+    #[test]
+    fn telemetry_endpoint_serves_metrics_health_and_flight() {
+        use std::io::{Read as _, Write as _};
+        let obs = ObsConfig {
+            flight: Some(FlightConfig::new(1024, "greedy", 0.5, 0)),
+            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(2, EngineConfig::new(2), obs, greedy_builder).unwrap();
+        for id in 0..16u32 {
+            engine
+                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
+                .unwrap();
+        }
+        let addr = engine.metrics_addr().expect("endpoint bound");
+        let get = |path: &str| -> (String, Vec<u8>) {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut raw = Vec::new();
+            stream.read_to_end(&mut raw).unwrap();
+            let split = raw
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .expect("header terminator");
+            (
+                String::from_utf8_lossy(&raw[..split]).to_string(),
+                raw[split + 4..].to_vec(),
+            )
+        };
+        let (head, body) = get("/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, b"ok\n");
+        let (head, body) = get("/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("# TYPE"), "prometheus exposition: {text}");
+        let (head, body) = get("/flight/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let snap = FlightSnapshot::read_cfr(&mut body.as_slice()).unwrap();
+        assert_eq!(snap.header.m, 2);
+        let (head, _) = get("/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        engine.finish().unwrap();
+    }
+
+    #[test]
+    fn contract_violation_writes_error_snapshot() {
+        struct Liar;
+        impl OnlineScheduler for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn machines(&self) -> usize {
+                1
+            }
+            fn offer(&mut self, _job: &Job) -> Decision {
+                Decision::Accept {
+                    machine: MachineId(0),
+                    start: Time::ZERO,
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let path =
+            std::env::temp_dir().join(format!("cslack-flight-error-{}.cfr", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut flight = FlightConfig::new(1024, "liar", 0.5, 0);
+        flight.snapshot_on_error = Some(path.clone());
+        let obs = ObsConfig {
+            flight: Some(flight),
+            ..ObsConfig::default()
+        };
+        let engine =
+            Engine::start_observed(1, EngineConfig::new(1), obs, |_, _| Box::new(Liar)).unwrap();
+        engine
+            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        engine
+            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
+            .unwrap();
+        assert!(matches!(
+            engine.finish(),
+            Err(EngineError::Contract { shard: 0, .. })
+        ));
+        let mut file = std::fs::File::open(&path).expect("error snapshot written");
+        let snap = FlightSnapshot::read_cfr(&mut file).unwrap();
+        // The overlapping job that broke the contract left its
+        // submission in the dump even though its batch never completed.
+        assert!(snap
+            .shards
+            .iter()
+            .flat_map(|s| &s.events)
+            .any(|e| matches!(e, FlightEvent::Submission { job: 1, .. })));
+        let _ = std::fs::remove_file(&path);
     }
 }

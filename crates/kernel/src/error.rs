@@ -74,6 +74,14 @@ pub enum KernelError {
         /// Offending job.
         job: JobId,
     },
+    /// Reconstructing an instance from recorded parts found a missing or
+    /// duplicated job id — ids must be dense `0..n` in submission order.
+    NonDenseJobIds {
+        /// The id expected at this position.
+        expected: JobId,
+        /// The id actually found.
+        actual: JobId,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -118,6 +126,12 @@ impl fmt::Display for KernelError {
             } => write!(f, "{job} overlaps {existing} on machine {machine}"),
             KernelError::DuplicateCommitment { job } => {
                 write!(f, "{job} committed more than once")
+            }
+            KernelError::NonDenseJobIds { expected, actual } => {
+                write!(
+                    f,
+                    "job ids are not dense: expected {expected}, found {actual}"
+                )
             }
         }
     }

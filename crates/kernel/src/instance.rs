@@ -24,6 +24,46 @@ pub struct Instance {
 }
 
 impl Instance {
+    /// Reassembles an instance from recorded parts — the reconstruction
+    /// path for flight-recorder replay and audit, where the jobs come
+    /// from a trace rather than a generator.
+    ///
+    /// Jobs are sorted by id, which must come out dense (`0..n`, each
+    /// exactly once): the engine assigns ids in submission order, so a
+    /// gap means the recording is incomplete and no faithful replay is
+    /// possible. Structural checks only (machine count, slack parameter,
+    /// positive processing times, non-negative releases) — deliberately
+    /// *not* the per-job slack condition, because a trace that violates
+    /// it is exactly what an auditor needs to load and report on.
+    pub fn from_parts(m: usize, eps: f64, mut jobs: Vec<Job>) -> Result<Instance, KernelError> {
+        if m == 0 {
+            return Err(KernelError::NoMachines);
+        }
+        if eps <= 0.0 || !eps.is_finite() {
+            return Err(KernelError::InvalidSlack { eps });
+        }
+        jobs.sort_by_key(|j| j.id);
+        for (idx, j) in jobs.iter().enumerate() {
+            let expected = JobId(idx as u32);
+            if j.id != expected {
+                return Err(KernelError::NonDenseJobIds {
+                    expected,
+                    actual: j.id,
+                });
+            }
+            if j.proc_time <= 0.0 || j.proc_time.is_nan() {
+                return Err(KernelError::NonPositiveProcessing {
+                    job: j.id,
+                    proc_time: j.proc_time,
+                });
+            }
+            if j.release.raw() < 0.0 {
+                return Err(KernelError::NegativeRelease { job: j.id });
+            }
+        }
+        Ok(Instance { m, eps, jobs })
+    }
+
     /// Number of machines.
     #[inline]
     pub fn machines(&self) -> usize {
@@ -322,6 +362,52 @@ mod tests {
             .unwrap();
         assert!(inst.jobs()[0].has_tight_slack(0.25));
         assert_eq!(inst.jobs()[0].deadline.raw(), 1.0 + 1.25 * 4.0);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_and_sorts_by_id() {
+        let jobs = vec![
+            Job::new(JobId(1), Time::new(2.0), 1.0, Time::new(10.0)),
+            Job::new(JobId(0), Time::ZERO, 1.0, Time::new(10.0)),
+        ];
+        let inst = Instance::from_parts(2, 0.5, jobs).unwrap();
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.jobs()[0].id, JobId(0));
+        assert_eq!(inst.jobs()[1].id, JobId(1));
+    }
+
+    #[test]
+    fn from_parts_accepts_slack_violations_but_not_structural_junk() {
+        // A slack-violating job loads fine — auditing it is the point.
+        let tight = vec![Job::new(JobId(0), Time::ZERO, 1.0, Time::new(1.2))];
+        assert!(Instance::from_parts(1, 1.0, tight).is_ok());
+
+        let gap = vec![Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0))];
+        assert!(matches!(
+            Instance::from_parts(1, 0.5, gap),
+            Err(KernelError::NonDenseJobIds { .. })
+        ));
+        let dup = vec![
+            Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)),
+            Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)),
+        ];
+        assert!(matches!(
+            Instance::from_parts(1, 0.5, dup),
+            Err(KernelError::NonDenseJobIds { .. })
+        ));
+        assert!(matches!(
+            Instance::from_parts(0, 0.5, vec![]),
+            Err(KernelError::NoMachines)
+        ));
+        assert!(matches!(
+            Instance::from_parts(1, 0.0, vec![]),
+            Err(KernelError::InvalidSlack { .. })
+        ));
+        let bad_p = vec![Job::new(JobId(0), Time::ZERO, 0.0, Time::new(9.0))];
+        assert!(matches!(
+            Instance::from_parts(1, 0.5, bad_p),
+            Err(KernelError::NonPositiveProcessing { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,901 @@
+//! The **flight recorder**: a bounded binary ring capturing the complete
+//! causal record of an engine run, snapshottable to a `.cfr` file.
+//!
+//! Three event kinds cover the paper's immediate-commitment life cycle:
+//!
+//! * [`FlightEvent::Submission`] — a job entered a shard's decision loop
+//!   (arrival order *and* shard routing are thereby recorded);
+//! * [`FlightEvent::Decision`] — the full [`DecisionEvent`] the shard
+//!   produced, including candidates, threshold and min-load;
+//! * [`FlightEvent::Commitment`] — the irrevocable `(machine, start)`
+//!   binding for an accepted job, in global machine ids.
+//!
+//! Together they are enough to *replay* the run (rebuild the per-shard
+//! submission streams, re-run the scheduler, compare decision streams
+//! bit for bit) and to *audit* it (recheck every schedule invariant and
+//! the threshold admission rule from the trace alone) — see
+//! `cslack_sim::audit`.
+//!
+//! The ring stores one compact in-memory record per decision —
+//! recording is a single bounded struct write, and with
+//! [`FlightRing::preallocate`] the ring never allocates or page-faults
+//! after setup. The submission and commitment events a snapshot carries
+//! are pure projections of the decision record, so they are synthesized
+//! at snapshot time by [`expand_decision_stream`] rather than paid for
+//! on the hot path. The fixed-size [`RECORD_SIZE`]-byte little-endian
+//! wire encoding is likewise applied only when a snapshot is serialized.
+//! When the ring is full the oldest record is overwritten and counted in
+//! [`FlightRing::dropped`] — a long run keeps the most recent window
+//! instead of stalling the shard.
+//!
+//! The `.cfr` ("cslack flight recording") container holds a header with
+//! the run parameters needed for deterministic replay (`m`, shard
+//! count, `eps`, seed, algorithm label) plus the engine's own counters,
+//! followed by one record block per shard, and ends in an FNV-1a
+//! checksum so a truncated or bit-flipped file is rejected on read.
+
+use crate::trace::{DecisionEvent, RejectCounts, RejectReason};
+use std::io::{Read, Write};
+
+/// Size in bytes of one encoded flight record.
+pub const RECORD_SIZE: usize = 96;
+
+/// Magic bytes opening a `.cfr` file.
+pub const CFR_MAGIC: &[u8; 4] = b"CFR1";
+
+/// Current `.cfr` container version.
+pub const CFR_VERSION: u32 = 1;
+
+const KIND_SUBMISSION: u8 = 0;
+const KIND_DECISION: u8 = 1;
+const KIND_COMMITMENT: u8 = 2;
+
+const FLAG_ACCEPTED: u8 = 1 << 0;
+const FLAG_THRESHOLD: u8 = 1 << 1;
+const FLAG_MIN_LOAD: u8 = 1 << 2;
+const FLAG_PLACEMENT: u8 = 1 << 3;
+const FLAG_REJECT_REASON: u8 = 1 << 4;
+
+/// One entry of the causal flight record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlightEvent {
+    /// A job entered `shard`'s decision loop as its `seq`-th submission.
+    Submission {
+        /// Per-shard arrival index (0-based).
+        seq: u64,
+        /// The deciding shard.
+        shard: u32,
+        /// Job id.
+        job: u32,
+        /// Release time `r_j`.
+        release: f64,
+        /// Processing time `p_j`.
+        proc_time: f64,
+        /// Deadline `d_j`.
+        deadline: f64,
+    },
+    /// The decision the shard produced for its `seq`-th submission.
+    Decision(DecisionEvent),
+    /// The irrevocable commitment of an accepted job.
+    Commitment {
+        /// Per-shard arrival index of the committed job.
+        seq: u64,
+        /// The committing shard.
+        shard: u32,
+        /// Job id.
+        job: u32,
+        /// Committed machine (global cluster id).
+        machine: u32,
+        /// Committed start time.
+        start: f64,
+    },
+}
+
+impl FlightEvent {
+    /// The per-shard arrival index the event belongs to.
+    pub fn seq(&self) -> u64 {
+        match self {
+            FlightEvent::Submission { seq, .. } => *seq,
+            FlightEvent::Decision(d) => d.seq,
+            FlightEvent::Commitment { seq, .. } => *seq,
+        }
+    }
+
+    /// The shard that recorded the event.
+    pub fn shard(&self) -> u32 {
+        match self {
+            FlightEvent::Submission { shard, .. } => *shard,
+            FlightEvent::Decision(d) => d.shard as u32,
+            FlightEvent::Commitment { shard, .. } => *shard,
+        }
+    }
+}
+
+fn reject_reason_code(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::ThresholdExceeded => 0,
+        RejectReason::NoFeasibleMachine => 1,
+        RejectReason::PolicyFiltered => 2,
+        RejectReason::Unattributed => 3,
+    }
+}
+
+fn reject_reason_from_code(code: u8) -> Result<RejectReason, String> {
+    Ok(match code {
+        0 => RejectReason::ThresholdExceeded,
+        1 => RejectReason::NoFeasibleMachine,
+        2 => RejectReason::PolicyFiltered,
+        3 => RejectReason::Unattributed,
+        other => return Err(format!("unknown reject-reason code {other}")),
+    })
+}
+
+/// Encodes one event into its fixed-size binary record.
+///
+/// Layout (little-endian):
+/// ```text
+/// off  len  field
+///   0    1  kind (0 submission, 1 decision, 2 commitment)
+///   1    1  flags (accepted / threshold / min_load / placement / reason)
+///   2    1  reject reason code (valid when flagged)
+///   3    1  reserved (0)
+///   4    4  shard         u32
+///   8    8  seq           u64
+///  16    4  job           u32
+///  20    4  candidates    u32
+///  24    8  release       f64
+///  32    8  proc_time     f64
+///  40    8  deadline      f64
+///  48    8  threshold     f64 (valid when flagged)
+///  56    8  min_load      f64 (valid when flagged)
+///  64    4  machine       u32 (valid when flagged)
+///  68    4  reserved (0)
+///  72    8  start         f64 (valid when flagged)
+///  80    8  latency_ns    u64
+///  88    8  queue_wait_ns u64
+/// ```
+pub fn encode_event(event: &FlightEvent) -> [u8; RECORD_SIZE] {
+    let mut rec = [0u8; RECORD_SIZE];
+    encode_event_to(&mut rec, event);
+    rec
+}
+
+fn encode_event_to(rec: &mut [u8], event: &FlightEvent) {
+    let put_u32 = |rec: &mut [u8], off: usize, v: u32| {
+        rec[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    let put_u64 = |rec: &mut [u8], off: usize, v: u64| {
+        rec[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    };
+    let put_f64 = |rec: &mut [u8], off: usize, v: f64| {
+        rec[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    };
+    match event {
+        FlightEvent::Submission {
+            seq,
+            shard,
+            job,
+            release,
+            proc_time,
+            deadline,
+        } => {
+            rec[0] = KIND_SUBMISSION;
+            put_u32(rec, 4, *shard);
+            put_u64(rec, 8, *seq);
+            put_u32(rec, 16, *job);
+            put_f64(rec, 24, *release);
+            put_f64(rec, 32, *proc_time);
+            put_f64(rec, 40, *deadline);
+        }
+        FlightEvent::Decision(d) => {
+            rec[0] = KIND_DECISION;
+            let mut flags = 0u8;
+            if d.accepted {
+                flags |= FLAG_ACCEPTED;
+            }
+            if d.threshold.is_some() {
+                flags |= FLAG_THRESHOLD;
+            }
+            if d.min_load.is_some() {
+                flags |= FLAG_MIN_LOAD;
+            }
+            if d.machine.is_some() && d.start.is_some() {
+                flags |= FLAG_PLACEMENT;
+            }
+            if let Some(reason) = d.reject_reason {
+                flags |= FLAG_REJECT_REASON;
+                rec[2] = reject_reason_code(reason);
+            }
+            rec[1] = flags;
+            put_u32(rec, 4, d.shard as u32);
+            put_u64(rec, 8, d.seq);
+            put_u32(rec, 16, d.job);
+            put_u32(rec, 20, d.candidates);
+            put_f64(rec, 24, d.release);
+            put_f64(rec, 32, d.proc_time);
+            put_f64(rec, 40, d.deadline);
+            put_f64(rec, 48, d.threshold.unwrap_or(0.0));
+            put_f64(rec, 56, d.min_load.unwrap_or(0.0));
+            put_u32(rec, 64, d.machine.unwrap_or(0));
+            put_f64(rec, 72, d.start.unwrap_or(0.0));
+            put_u64(rec, 80, d.latency_ns);
+            put_u64(rec, 88, d.queue_wait_ns);
+        }
+        FlightEvent::Commitment {
+            seq,
+            shard,
+            job,
+            machine,
+            start,
+        } => {
+            rec[0] = KIND_COMMITMENT;
+            rec[1] = FLAG_PLACEMENT;
+            put_u32(rec, 4, *shard);
+            put_u64(rec, 8, *seq);
+            put_u32(rec, 16, *job);
+            put_u32(rec, 64, *machine);
+            put_f64(rec, 72, *start);
+        }
+    }
+}
+
+/// Expands compact decision records into the full causal event stream.
+///
+/// A recorder that wants the cheapest possible hot path stores only the
+/// [`FlightEvent::Decision`] record per job: the matching `Submission`
+/// (same job fields, recorded on arrival) and `Commitment` (the accepted
+/// placement) are pure projections of it. This reinflates such a stream
+/// — each decision becomes `Submission, Decision[, Commitment]` in
+/// order, and any event that is already a `Submission` or `Commitment`
+/// (e.g. the trailing arrival a crash dump captured before its decision
+/// was made) passes through unchanged. Expanding an already-expanded
+/// stream would duplicate submissions, so callers expand exactly once,
+/// at snapshot time.
+pub fn expand_decision_stream(events: Vec<FlightEvent>) -> Vec<FlightEvent> {
+    let accepted = events
+        .iter()
+        .filter(|e| matches!(e, FlightEvent::Decision(d) if d.accepted))
+        .count();
+    let decisions = events
+        .iter()
+        .filter(|e| matches!(e, FlightEvent::Decision(_)))
+        .count();
+    let mut out = Vec::with_capacity(events.len() + decisions + accepted);
+    for event in events {
+        match event {
+            FlightEvent::Decision(d) => {
+                out.push(FlightEvent::Submission {
+                    seq: d.seq,
+                    shard: d.shard as u32,
+                    job: d.job,
+                    release: d.release,
+                    proc_time: d.proc_time,
+                    deadline: d.deadline,
+                });
+                let placement = match (d.accepted, d.machine, d.start) {
+                    (true, Some(machine), Some(start)) => {
+                        Some((d.seq, d.shard as u32, d.job, machine, start))
+                    }
+                    _ => None,
+                };
+                out.push(FlightEvent::Decision(d));
+                if let Some((seq, shard, job, machine, start)) = placement {
+                    out.push(FlightEvent::Commitment {
+                        seq,
+                        shard,
+                        job,
+                        machine,
+                        start,
+                    });
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Decodes one fixed-size binary record back into its event.
+pub fn decode_event(rec: &[u8]) -> Result<FlightEvent, String> {
+    if rec.len() != RECORD_SIZE {
+        return Err(format!(
+            "flight record must be {RECORD_SIZE} bytes, got {}",
+            rec.len()
+        ));
+    }
+    let get_u32 = |off: usize| u32::from_le_bytes(rec[off..off + 4].try_into().unwrap());
+    let get_u64 = |off: usize| u64::from_le_bytes(rec[off..off + 8].try_into().unwrap());
+    let get_f64 = |off: usize| f64::from_le_bytes(rec[off..off + 8].try_into().unwrap());
+    let flags = rec[1];
+    let shard = get_u32(4);
+    let seq = get_u64(8);
+    let job = get_u32(16);
+    Ok(match rec[0] {
+        KIND_SUBMISSION => FlightEvent::Submission {
+            seq,
+            shard,
+            job,
+            release: get_f64(24),
+            proc_time: get_f64(32),
+            deadline: get_f64(40),
+        },
+        KIND_DECISION => FlightEvent::Decision(DecisionEvent {
+            seq,
+            job,
+            shard: shard as usize,
+            release: get_f64(24),
+            proc_time: get_f64(32),
+            deadline: get_f64(40),
+            candidates: get_u32(20),
+            threshold: (flags & FLAG_THRESHOLD != 0).then(|| get_f64(48)),
+            min_load: (flags & FLAG_MIN_LOAD != 0).then(|| get_f64(56)),
+            accepted: flags & FLAG_ACCEPTED != 0,
+            machine: (flags & FLAG_PLACEMENT != 0).then(|| get_u32(64)),
+            start: (flags & FLAG_PLACEMENT != 0).then(|| get_f64(72)),
+            reject_reason: if flags & FLAG_REJECT_REASON != 0 {
+                Some(reject_reason_from_code(rec[2])?)
+            } else {
+                None
+            },
+            latency_ns: get_u64(80),
+            queue_wait_ns: get_u64(88),
+        }),
+        KIND_COMMITMENT => FlightEvent::Commitment {
+            seq,
+            shard,
+            job,
+            machine: get_u32(64),
+            start: get_f64(72),
+        },
+        other => return Err(format!("unknown flight record kind {other}")),
+    })
+}
+
+/// A bounded single-writer ring of flight records.
+///
+/// Slots hold [`FlightEvent`] values directly: recording one event is a
+/// plain struct store — no per-event allocation, no serialization (the
+/// [`RECORD_SIZE`]-byte wire encoding is paid only when a snapshot is
+/// written to a `.cfr` container), no locks (callers that share a ring
+/// across threads wrap it in a mutex, held at batch granularity). When
+/// full, the oldest record is overwritten and counted in
+/// [`FlightRing::dropped`].
+#[derive(Clone, Debug)]
+pub struct FlightRing {
+    cap: usize,
+    buf: Vec<FlightEvent>,
+    len: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl FlightRing {
+    /// A ring holding at most `capacity` records (0 disables recording:
+    /// every push is counted as dropped).
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            cap: capacity,
+            buf: Vec::new(),
+            len: 0,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, overwriting the oldest record when full.
+    ///
+    /// One struct copy into the slot — the engine's per-decision hot
+    /// path.
+    pub fn record(&mut self, event: &FlightEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.capacity() == 0 {
+            self.buf.reserve_exact(self.cap);
+        }
+        if self.len < self.cap {
+            // Slots are filled in order before any wrap, so an unseen
+            // slot is always the next append.
+            self.buf.push(event.clone());
+            self.len += 1;
+        } else {
+            self.buf[self.head] = event.clone();
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// [`FlightRing::record`] for a decision, building the
+    /// [`FlightEvent::Decision`] wrapper directly in the slot instead of
+    /// round-tripping the ~128-byte payload through a caller-side enum.
+    pub fn record_decision(&mut self, decision: &DecisionEvent) {
+        self.record_with(|| FlightEvent::Decision(decision.clone()));
+    }
+
+    /// [`FlightRing::record`] with the event built in place: `make` runs
+    /// at the insertion point, so after inlining the payload is written
+    /// once — into the slot — instead of being staged on the caller's
+    /// stack and copied over. `make` is only invoked when the ring has
+    /// capacity; a zero-capacity ring counts the drop without building
+    /// the event.
+    pub fn record_with(&mut self, make: impl FnOnce() -> FlightEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.capacity() == 0 {
+            self.buf.reserve_exact(self.cap);
+        }
+        if self.len < self.cap {
+            self.buf.push(make());
+            self.len += 1;
+        } else {
+            self.buf[self.head] = make();
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Allocates and touches the full backing buffer now.
+    ///
+    /// By default the buffer is reserved lazily on the first push; a
+    /// writer on a latency-sensitive path can call this at setup time so
+    /// the first pass over the ring doesn't page-fault its way through
+    /// megabytes of freshly mapped memory.
+    pub fn preallocate(&mut self) {
+        if self.cap > 0 && self.buf.capacity() < self.cap {
+            self.buf.reserve_exact(self.cap);
+            // Touch every page of the reservation; the vec's len stays
+            // 0, so recorded events still fill slots in order.
+            let spare = self.buf.spare_capacity_mut();
+            for slot in spare.iter_mut() {
+                slot.write(FlightEvent::Submission {
+                    seq: 0,
+                    shard: 0,
+                    job: 0,
+                    release: 0.0,
+                    proc_time: 0.0,
+                    deadline: 0.0,
+                });
+            }
+        }
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records overwritten (or discarded by a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copies the buffered records out in insertion order, leaving the
+    /// ring untouched — the live-snapshot path.
+    pub fn snapshot_events(&self) -> Vec<FlightEvent> {
+        let mut events = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            let slot = (self.head + i) % self.cap.max(1);
+            events.push(self.buf[slot].clone());
+        }
+        events
+    }
+}
+
+/// The replay/audit metadata of one recorded run.
+///
+/// Everything a reader needs to rebuild the engine configuration and
+/// re-run the schedulers deterministically, plus the engine's own
+/// counters so an auditor can cross-check them against the recomputed
+/// totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightHeader {
+    /// Cluster machine count.
+    pub m: u32,
+    /// Shard count (disjoint contiguous machine groups, engine layout).
+    pub shards: u32,
+    /// System slack `eps` the schedulers were configured with.
+    pub eps: f64,
+    /// Base RNG seed; shard `s` ran with `seed + s` (engine convention).
+    pub seed: u64,
+    /// Algorithm label in CLI vocabulary (`threshold`, `greedy`, ...).
+    pub algorithm: String,
+    /// Jobs the engine reported as submitted.
+    pub submitted: u64,
+    /// Jobs the engine reported as accepted.
+    pub accepted: u64,
+    /// Engine rejection counters by typed reason.
+    pub rejected: RejectCounts,
+}
+
+/// One shard's slice of a flight snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardFlight {
+    /// Shard index.
+    pub shard: u32,
+    /// Records the shard's bounded ring overwrote.
+    pub dropped: u64,
+    /// Buffered events in recording order.
+    pub events: Vec<FlightEvent>,
+}
+
+/// A complete flight recording: header plus one event block per shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightSnapshot {
+    /// Run metadata and engine counters.
+    pub header: FlightHeader,
+    /// Per-shard event streams, indexed by shard.
+    pub shards: Vec<ShardFlight>,
+}
+
+impl FlightSnapshot {
+    /// Total events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Whether no shard recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.events.is_empty())
+    }
+
+    /// Total records dropped by the bounded rings.
+    pub fn total_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// All decision events, in `(shard, seq)` order.
+    pub fn decisions(&self) -> Vec<&DecisionEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for event in &shard.events {
+                if let FlightEvent::Decision(d) = event {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a `.cfr` byte stream.
+    pub fn write_cfr<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut body: Vec<u8> = Vec::new();
+        let h = &self.header;
+        body.extend_from_slice(&h.m.to_le_bytes());
+        body.extend_from_slice(&h.shards.to_le_bytes());
+        body.extend_from_slice(&h.eps.to_le_bytes());
+        body.extend_from_slice(&h.seed.to_le_bytes());
+        let name = h.algorithm.as_bytes();
+        body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        body.extend_from_slice(name);
+        body.extend_from_slice(&h.submitted.to_le_bytes());
+        body.extend_from_slice(&h.accepted.to_le_bytes());
+        for reason in RejectReason::ALL {
+            body.extend_from_slice(&h.rejected.get(reason).to_le_bytes());
+        }
+        body.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for shard in &self.shards {
+            body.extend_from_slice(&shard.shard.to_le_bytes());
+            body.extend_from_slice(&shard.dropped.to_le_bytes());
+            body.extend_from_slice(&(shard.events.len() as u64).to_le_bytes());
+            for event in &shard.events {
+                body.extend_from_slice(&encode_event(event));
+            }
+        }
+        w.write_all(CFR_MAGIC)?;
+        w.write_all(&CFR_VERSION.to_le_bytes())?;
+        w.write_all(&body)?;
+        w.write_all(&fnv1a(&body).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a `.cfr` byte stream back, verifying magic, version and
+    /// checksum.
+    pub fn read_cfr<R: Read>(r: &mut R) -> Result<FlightSnapshot, String> {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+        if raw.len() < 16 || &raw[..4] != CFR_MAGIC {
+            return Err("not a .cfr flight recording (bad magic)".to_string());
+        }
+        let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        if version != CFR_VERSION {
+            return Err(format!(
+                "unsupported .cfr version {version} (expected {CFR_VERSION})"
+            ));
+        }
+        let body = &raw[8..raw.len() - 8];
+        let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(format!(
+                "corrupt .cfr: checksum {computed:#018x} != recorded {stored:#018x}"
+            ));
+        }
+        let mut cur = Cursor::new(body);
+        let m = cur.u32()?;
+        let shard_count_header = cur.u32()?;
+        let eps = cur.f64()?;
+        let seed = cur.u64()?;
+        let name_len = cur.u32()? as usize;
+        let algorithm = String::from_utf8(cur.bytes(name_len)?.to_vec())
+            .map_err(|_| "algorithm label is not UTF-8".to_string())?;
+        let submitted = cur.u64()?;
+        let accepted = cur.u64()?;
+        let mut rejected = RejectCounts::default();
+        for reason in RejectReason::ALL {
+            let n = cur.u64()?;
+            for _ in 0..n {
+                rejected.bump(reason);
+            }
+        }
+        let blocks = cur.u32()? as usize;
+        let mut shards = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            let shard = cur.u32()?;
+            let dropped = cur.u64()?;
+            let count = cur.u64()? as usize;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(decode_event(cur.bytes(RECORD_SIZE)?)?);
+            }
+            shards.push(ShardFlight {
+                shard,
+                dropped,
+                events,
+            });
+        }
+        Ok(FlightSnapshot {
+            header: FlightHeader {
+                m,
+                shards: shard_count_header,
+                eps,
+                seed,
+                algorithm,
+                submitted,
+                accepted,
+                rejected,
+            },
+            shards,
+        })
+    }
+}
+
+/// FNV-1a 64-bit checksum — cheap, dependency-free integrity check for
+/// `.cfr` payloads.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| "truncated .cfr payload".to_string())?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(seq: u64, accepted: bool) -> DecisionEvent {
+        DecisionEvent {
+            seq,
+            job: seq as u32 * 2,
+            shard: 1,
+            release: 0.25 * seq as f64,
+            proc_time: 1.5,
+            deadline: 12.5,
+            candidates: 3,
+            threshold: Some(4.75),
+            min_load: Some(0.5),
+            accepted,
+            machine: accepted.then_some(2),
+            start: accepted.then_some(3.25),
+            reject_reason: (!accepted).then_some(RejectReason::ThresholdExceeded),
+            latency_ns: 1234,
+            queue_wait_ns: 567,
+        }
+    }
+
+    fn sample_events() -> Vec<FlightEvent> {
+        vec![
+            FlightEvent::Submission {
+                seq: 0,
+                shard: 1,
+                job: 0,
+                release: 0.0,
+                proc_time: 1.5,
+                deadline: 12.5,
+            },
+            FlightEvent::Decision(decision(0, true)),
+            FlightEvent::Commitment {
+                seq: 0,
+                shard: 1,
+                job: 0,
+                machine: 2,
+                start: 3.25,
+            },
+            FlightEvent::Decision(decision(1, false)),
+        ]
+    }
+
+    #[test]
+    fn record_codec_round_trips_every_kind() {
+        for event in sample_events() {
+            let rec = encode_event(&event);
+            let back = decode_event(&rec).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn record_codec_round_trips_every_reject_reason() {
+        for reason in RejectReason::ALL {
+            let mut d = decision(7, false);
+            d.reject_reason = Some(reason);
+            let event = FlightEvent::Decision(d);
+            assert_eq!(decode_event(&encode_event(&event)).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn decision_without_optionals_round_trips() {
+        let d = DecisionEvent {
+            threshold: None,
+            min_load: None,
+            machine: None,
+            start: None,
+            reject_reason: None,
+            ..decision(3, true)
+        };
+        let event = FlightEvent::Decision(d);
+        assert_eq!(decode_event(&encode_event(&event)).unwrap(), event);
+    }
+
+    #[test]
+    fn bad_records_are_rejected() {
+        assert!(decode_event(&[0u8; 10]).is_err());
+        let mut rec = encode_event(&sample_events()[0]);
+        rec[0] = 77; // unknown kind
+        assert!(decode_event(&rec).is_err());
+        let mut rec = encode_event(&FlightEvent::Decision(decision(0, false)));
+        rec[2] = 9; // unknown reject reason
+        assert!(decode_event(&rec).is_err());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window_and_counts_drops() {
+        let mut ring = FlightRing::new(3);
+        for seq in 0..5u64 {
+            ring.record(&FlightEvent::Commitment {
+                seq,
+                shard: 0,
+                job: seq as u32,
+                machine: 0,
+                start: 0.0,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring
+            .snapshot_events()
+            .iter()
+            .map(FlightEvent::seq)
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        // Snapshot is non-destructive.
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_records_nothing() {
+        let mut ring = FlightRing::new(0);
+        ring.record(&sample_events()[0]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+        assert!(ring.snapshot_events().is_empty());
+    }
+
+    fn sample_snapshot() -> FlightSnapshot {
+        let mut rejected = RejectCounts::default();
+        rejected.bump(RejectReason::ThresholdExceeded);
+        FlightSnapshot {
+            header: FlightHeader {
+                m: 4,
+                shards: 2,
+                eps: 0.25,
+                seed: 42,
+                algorithm: "threshold".to_string(),
+                submitted: 2,
+                accepted: 1,
+                rejected,
+            },
+            shards: vec![
+                ShardFlight {
+                    shard: 0,
+                    dropped: 0,
+                    events: sample_events(),
+                },
+                ShardFlight {
+                    shard: 1,
+                    dropped: 3,
+                    events: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cfr_file_round_trips() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        snap.write_cfr(&mut buf).unwrap();
+        assert_eq!(&buf[..4], CFR_MAGIC);
+        let back = FlightSnapshot::read_cfr(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.total_dropped(), 3);
+        assert_eq!(back.decisions().len(), 2);
+    }
+
+    #[test]
+    fn cfr_detects_corruption_truncation_and_bad_magic() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        snap.write_cfr(&mut buf).unwrap();
+
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let err = FlightSnapshot::read_cfr(&mut flipped.as_slice()).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+
+        let truncated = &buf[..buf.len() - 20];
+        assert!(FlightSnapshot::read_cfr(&mut &truncated[..]).is_err());
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        let err = FlightSnapshot::read_cfr(&mut bad_magic.as_slice()).unwrap_err();
+        assert!(err.contains("magic"), "unexpected error: {err}");
+    }
+}

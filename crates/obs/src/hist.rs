@@ -117,10 +117,15 @@ impl Histogram {
         self.max
     }
 
-    /// Mean observation, or 0 when empty.
+    /// Mean observation rounded to the nearest integer, or 0 when
+    /// empty. Widening to `u128` keeps the `+ count/2` rounding bias
+    /// exact even when the sum sits near `u64::MAX`.
     #[inline]
     pub fn mean(&self) -> u64 {
-        self.sum.checked_div(self.count).unwrap_or(0)
+        if self.count == 0 {
+            return 0;
+        }
+        ((self.sum as u128 + self.count as u128 / 2) / self.count as u128) as u64
     }
 
     /// Raw bucket counts (index via [`bucket_index`]).
@@ -130,12 +135,22 @@ impl Histogram {
 
     /// The `q`-quantile (`q` in `[0, 1]`), estimated as the upper bound
     /// of the bucket containing the rank-`ceil(q * count)` observation,
-    /// clamped to the exact observed `[min, max]` range. 0 when empty.
+    /// clamped to the exact observed `[min, max]` range. The extreme
+    /// ranks are exact (`q = 0.0` returns the min, `q = 1.0` the max);
+    /// an empty histogram returns 0 for every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly — no need for a bucket
+        // estimate at q = 0.0 or q = 1.0.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -315,12 +330,60 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 1000);
-        assert_eq!(h.mean(), 500);
+        // 500500 / 1000 = 500.5 rounds to nearest, not down.
+        assert_eq!(h.mean(), 501);
         // Bucket upper bounds over-estimate, but never beyond max.
         assert!(h.quantile(0.5) >= 500 && h.quantile(0.5) <= 1000);
         assert!(h.quantile(0.999) <= 1000);
         assert_eq!(h.quantile(1.0), 1000);
         assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        // 3 / 2 = 1.5 rounds up to 2, not down to 1.
+        assert_eq!(h.mean(), 2);
+
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        // 4 / 3 ≈ 1.33 rounds down to 1.
+        assert_eq!(h.mean(), 1);
+
+        // The widened rounding arithmetic must not wrap at the top of
+        // the u64 range.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.mean(), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero_for_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn quantile_edge_q_values_hit_observed_extremes() {
+        let mut h = Histogram::new();
+        for v in [4u64, 9, 17, 1000] {
+            h.record(v);
+        }
+        // q = 0.0 clamps to rank 1: the bucket of the minimum, clamped
+        // to the observed min.
+        assert_eq!(h.quantile(0.0), h.min());
+        // q = 1.0 is the last observation's bucket, clamped to max.
+        assert_eq!(h.quantile(1.0), h.max());
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   and renders a Prometheus-style text exposition.
 //! * **Profiling spans** ([`span`], [`span!`]): `span!("route")`-style
 //!   scope timers that cost one atomic load when disabled.
+//! * **Flight recordings** ([`flight`]): bounded per-shard binary rings
+//!   capturing the complete causal record (submissions, decisions,
+//!   commitments) as fixed-size records, snapshottable to a checksummed
+//!   `.cfr` file for deterministic replay and invariant auditing.
 //!
 //! The crate sits at the bottom of the workspace graph (no cslack
 //! dependencies), so algorithms, the engine, the CLI, and benches can
@@ -24,11 +28,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 pub mod hist;
 pub mod metrics;
 pub mod span;
 pub mod trace;
 
+pub use flight::{
+    decode_event, encode_event, FlightEvent, FlightHeader, FlightRing, FlightSnapshot, ShardFlight,
+    RECORD_SIZE,
+};
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
 pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot};
 pub use span::{

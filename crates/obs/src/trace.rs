@@ -251,6 +251,10 @@ pub struct ShardTraceSummary {
     pub accepted: u64,
     /// Rejected jobs, split by reason.
     pub rejected: RejectCounts,
+    /// Events the shard's bounded ring dropped before the trace was
+    /// written, inferred from the sequence numbers: the ring keeps the
+    /// most recent window, so `max_seq + 1 - recorded` events are gone.
+    pub dropped: u64,
 }
 
 /// Aggregate view of a decision trace, reproducible from the JSONL file
@@ -264,6 +268,10 @@ pub struct TraceSummary {
     pub accepted: u64,
     /// Rejected jobs, split by reason.
     pub rejected: RejectCounts,
+    /// Events dropped by the bounded rings before the trace was
+    /// written (sum of the per-shard inferred counts). Nonzero means
+    /// the trace is a most-recent window, not the full run.
+    pub dropped: u64,
     /// Decision latency distribution rebuilt from the events.
     pub latency: crate::hist::HistogramSummary,
     /// Queue-wait distribution rebuilt from the events.
@@ -302,6 +310,19 @@ pub fn summarize(events: &[DecisionEvent]) -> TraceSummary {
         }
         latency.record(e.latency_ns);
         queue_wait.record(e.queue_wait_ns);
+    }
+    for slot in &mut out.per_shard {
+        // Seq numbers are dense per shard, so a trace recording the
+        // most recent window reveals its losses: everything up to the
+        // highest seq was once pushed.
+        let pushed = events
+            .iter()
+            .filter(|e| e.shard == slot.shard)
+            .map(|e| e.seq + 1)
+            .max()
+            .unwrap_or(0);
+        slot.dropped = pushed.saturating_sub(slot.decisions);
+        out.dropped += slot.dropped;
     }
     out.latency = latency.summary();
     out.queue_wait = queue_wait.summary();
@@ -394,6 +415,54 @@ mod tests {
         assert_eq!(s.per_shard[0].accepted, 1);
         assert_eq!(s.per_shard[1].rejected.total(), 2);
         assert_eq!(s.latency.count, 5);
+    }
+
+    #[test]
+    fn ring_wraparound_survives_jsonl_round_trip() {
+        let mut ring = DecisionRing::new(4);
+        for seq in 0..11 {
+            ring.push(event(seq, 0, seq % 2 == 0, None));
+        }
+        let (events, dropped) = ring.into_events();
+        assert_eq!(dropped, 7);
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, events);
+        let seqs: Vec<u64> = back.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        // The summary recovers the loss from the seq gap alone.
+        let s = summarize(&back);
+        assert_eq!(s.dropped, 7);
+        assert_eq!(s.per_shard[0].dropped, 7);
+    }
+
+    #[test]
+    fn every_reject_reason_round_trips_through_jsonl() {
+        let events: Vec<DecisionEvent> = RejectReason::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &reason)| event(i as u64, 0, false, Some(reason)))
+            .collect();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, events);
+        for (e, reason) in back.iter().zip(RejectReason::ALL) {
+            assert_eq!(e.reject_reason, Some(reason));
+        }
+        let s = summarize(&back);
+        for reason in RejectReason::ALL {
+            assert_eq!(s.rejected.get(reason), 1, "{}", reason.as_str());
+        }
+    }
+
+    #[test]
+    fn complete_trace_reports_zero_dropped() {
+        let events = vec![event(0, 0, true, None), event(1, 0, false, None)];
+        let s = summarize(&events);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.per_shard[0].dropped, 0);
     }
 
     #[test]

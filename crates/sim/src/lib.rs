@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod audit;
 pub mod sweep;
 
 use cslack_algorithms::{Decision, OnlineScheduler};
@@ -48,6 +49,13 @@ pub enum SimError {
     },
     /// The final schedule failed independent validation.
     InvalidSchedule(ValidationReport),
+    /// A trace-driven audit of the run found invariant violations.
+    AuditFailed {
+        /// Number of violations found.
+        violations: usize,
+        /// The first violation, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +73,12 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidSchedule(report) => {
                 write!(f, "final schedule invalid: {:?}", report.violations)
+            }
+            SimError::AuditFailed { violations, first } => {
+                write!(
+                    f,
+                    "flight audit found {violations} violation(s), first: {first}"
+                )
             }
         }
     }

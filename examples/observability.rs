@@ -1,14 +1,15 @@
 //! Observability demo: run the sharded engine with the full
 //! observability stack live — a shared metrics registry, a decision
-//! trace with typed reject reasons, and span profiling timers — then
-//! show the three export surfaces (JSONL trace, metrics snapshot,
-//! Prometheus text exposition).
+//! trace with typed reject reasons, span profiling timers, and the
+//! flight recorder — then show the export surfaces (JSONL trace,
+//! metrics snapshot, Prometheus text exposition) and close the loop by
+//! replaying and auditing the flight recording.
 //!
 //! ```text
 //! cargo run --example observability
 //! ```
 
-use cslack::engine::{Engine, EngineConfig, ObsConfig};
+use cslack::engine::{Engine, EngineConfig, FlightConfig, ObsConfig};
 use cslack::obs;
 use cslack::prelude::*;
 use cslack::workloads::WorkloadSpec;
@@ -27,6 +28,10 @@ fn main() {
     let wiring = ObsConfig {
         registry: Some(Arc::clone(&registry)),
         trace_capacity: n, // hold the entire run
+        // One compact flight record per decision; the capacity covers
+        // the whole run so the recording is complete and replayable.
+        flight: Some(FlightConfig::new(n, "threshold", eps, 11)),
+        serve_metrics: None,
     };
 
     let engine = Engine::start_observed(m, EngineConfig::new(shards), wiring, |_shard, group| {
@@ -97,4 +102,23 @@ fn main() {
             .map(|(name, h)| (*name, h.count()))
             .collect::<Vec<_>>()
     );
+
+    // 4. The flight recorder: the run's complete causal record. Replay
+    //    re-runs the recorded algorithm on the recorded submissions and
+    //    compares decision streams bit for bit; the auditor rechecks
+    //    every schedule invariant from the trace alone.
+    let flight = report.flight.as_ref().expect("flight recording");
+    let replay = cslack::sim::audit::replay_snapshot(flight, |_shard, group| {
+        Box::new(Threshold::new(group, eps)) as Box<dyn OnlineScheduler>
+    })
+    .expect("replay");
+    let audit = cslack::sim::audit::audit_snapshot(flight);
+    println!(
+        "flight: {} event(s), {} dropped; replay identical: {}, audit clean: {}",
+        flight.len(),
+        flight.total_dropped(),
+        replay.is_identical(),
+        audit.is_clean()
+    );
+    assert!(replay.is_identical() && audit.is_clean());
 }
