@@ -5,10 +5,11 @@ use cslack_adversary::{run as adversary_run, AdversaryConfig};
 use cslack_algorithms::{
     ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
 };
-use cslack_engine::{Engine, EngineConfig, EngineMetrics, ObsConfig};
+use cslack_engine::{Engine, EngineConfig, EngineMetrics, ObsConfig, ShardFailure, SubmitError};
 use cslack_kernel::Instance;
 use cslack_obs::MetricsRegistry;
 use cslack_ratio::RatioFn;
+use cslack_sim::fault::{FaultSpec, FaultyScheduler};
 use cslack_sim::simulate as run_sim;
 use cslack_workloads::{trace, WorkloadSpec};
 use serde::Serialize;
@@ -30,6 +31,7 @@ USAGE:
                    [--metrics-out <json>] [--prom-out <txt>] [--spans]
                    [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
                    [--serve-metrics <addr>] [--hold <secs>]
+                   [--inject <kind>@<n>] [--crash-out <cfr>]
   cslack trace-summary <jsonl> [--json]
   cslack replay    <run.cfr> [--json]
   cslack audit     <run.cfr> [--json]
@@ -189,6 +191,10 @@ struct ServeBenchReport {
     flight_events: usize,
     flight_dropped: u64,
     audit_violations: Option<usize>,
+    /// Submissions bounced because their shard had already failed.
+    bounced_submissions: usize,
+    /// Per-shard failure reports; empty on a fully healthy run.
+    degraded: Vec<ShardFailure>,
 }
 
 /// `cslack serve-bench` — stream a generated workload through the
@@ -209,6 +215,14 @@ struct ServeBenchReport {
 /// `/metrics`, `/healthz` and `/flight/snapshot` over HTTP while the
 /// run lasts, and `--hold <secs>` keeps the engine (and the endpoint)
 /// alive that long after the workload drains so scrapers can connect.
+///
+/// Fault injection: `--inject <kind>@<n>` wraps shard 0's scheduler in
+/// a [`FaultyScheduler`] (`panic@N`, `contract@N`, or `delay@MICROS`) —
+/// the run finishes *degraded* with the healthy shards' merged schedule
+/// and a per-shard failure report, and exits 0 so chaos harnesses can
+/// assert on the JSON. `--crash-out <cfr>` sets the crash-snapshot
+/// path: the failing shard writes it at failure time (implies flight
+/// recording) and `cslack replay` verifies it bit-identically.
 pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let m: usize = opts.require_as("m")?;
     let eps: f64 = opts.require_as("eps")?;
@@ -225,6 +239,11 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let prom_out = opts.get("prom-out");
     let flight_out = opts.get("flight-out");
     let flight_audit = opts.flag("flight-audit");
+    let crash_out = opts.get("crash-out");
+    let inject: Option<FaultSpec> = match opts.get("inject") {
+        Some(raw) => Some(raw.parse()?),
+        None => None,
+    };
     let serve_metrics: Option<std::net::SocketAddr> = match opts.get("serve-metrics") {
         Some(_) => Some(opts.require_as("serve-metrics")?),
         None => None,
@@ -246,7 +265,8 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     // commitments are synthesized from it at snapshot time) and shard
     // routing splits jobs evenly, so ceil(n / shards) per shard covers
     // any run completely.
-    let flight_wanted = flight_out.is_some() || flight_audit || serve_metrics.is_some();
+    let flight_wanted =
+        flight_out.is_some() || flight_audit || serve_metrics.is_some() || crash_out.is_some();
     let flight_capacity: usize = opts.get_or(
         "flight-cap",
         if flight_wanted {
@@ -258,6 +278,7 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let flight = (flight_capacity > 0).then(|| {
         let mut cfg = cslack_engine::FlightConfig::new(flight_capacity, algo_name, eps, seed);
         cfg.audit_on_finish = flight_audit;
+        cfg.snapshot_on_error = crash_out.map(std::path::PathBuf::from);
         cfg
     });
     let obs = ObsConfig {
@@ -274,8 +295,14 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     config.queue_capacity = opts.get_or("queue-cap", config.queue_capacity)?;
     config.batch_size = opts.get_or("batch", config.batch_size)?;
     let engine = Engine::start_observed(m, config, obs, |shard, group| {
-        build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
-            .expect("algorithm name validated above")
+        let inner = build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
+            .expect("algorithm name validated above");
+        // Fault injection targets shard 0 only: the other shards stay
+        // healthy so a degraded finish still has a schedule to merge.
+        match inject {
+            Some(spec) if shard == 0 => Box::new(FaultyScheduler::new(inner, spec)),
+            _ => inner,
+        }
     })
     .map_err(|e| e.to_string())?;
 
@@ -283,8 +310,15 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         // On stderr so `--json` consumers keep a clean stdout.
         eprintln!("serving telemetry on http://{addr} (/metrics /healthz /flight/snapshot)");
     }
+    // Keep streaming past a failed shard: its jobs bounce with
+    // `ShardFailed` while the healthy shards keep accepting.
+    let mut bounced = 0usize;
     for job in inst.jobs() {
-        engine.submit(*job).map_err(|e| e.to_string())?;
+        match engine.submit(*job) {
+            Ok(()) => {}
+            Err(SubmitError::ShardFailed(_)) => bounced += 1,
+            Err(e) => return Err(e.to_string()),
+        }
     }
     let hold: f64 = opts.get_or("hold", 0.0)?;
     if hold > 0.0 {
@@ -358,6 +392,8 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         flight_events: report.flight.as_ref().map_or(0, |s| s.len()),
         flight_dropped,
         audit_violations: report.audit.as_ref().map(|a| a.violations.len()),
+        bounced_submissions: bounced,
+        degraded: report.degraded.clone(),
     };
     if opts.flag("json") {
         println!(
@@ -386,6 +422,16 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
             },
             out.violations
         );
+        if !out.degraded.is_empty() {
+            println!(
+                "  DEGRADED: {} shard(s) failed, {} submission(s) bounced",
+                out.degraded.len(),
+                out.bounced_submissions
+            );
+            for failure in &out.degraded {
+                println!("    {failure}");
+            }
+        }
         println!(
             "  throughput: {:.0} decisions/sec over {:.3}s",
             out.metrics.decisions_per_sec, out.metrics.elapsed_secs

@@ -57,6 +57,25 @@
 //! The hot path is instrumented with `cslack_obs::span!("route")`
 //! (plus `"threshold_eval"` inside the Threshold algorithm); span
 //! timers are no-ops unless [`cslack_obs::set_spans_enabled`] is on.
+//!
+//! ## Fault containment
+//!
+//! The paper's model makes every accept irrevocable, so the service
+//! must never lose commitments it already made — including to its own
+//! bugs. Each shard's decide/commit loop runs under
+//! `std::panic::catch_unwind`: a panicking (or contract-breaking)
+//! scheduler poisons only its shard. The worker converts the fault
+//! into a typed [`ShardFailure`], writes the crash `.cfr` snapshot *at
+//! failure time* (not at finish — an abandoned engine keeps the
+//! evidence), marks itself failed in the shared health table, and
+//! parks. [`Engine::finish`] joins **all** shards unconditionally and
+//! merges the healthy ones into a degraded [`EngineReport`]
+//! (`report.degraded` lists the failures); only when every shard died
+//! does it fail terminally with [`EngineError::AllShardsFailed`].
+//! Producers observe a dead shard as [`SubmitError::ShardFailed`]
+//! (distinct from graceful [`SubmitError::Closed`]), and
+//! [`Engine::health`] / `/healthz` (503 on any failed shard) expose
+//! per-shard liveness and heartbeats.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -77,8 +96,9 @@ use serde::Serialize;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -97,15 +117,20 @@ pub fn shard_of(job: JobId, shards: usize) -> usize {
 ///
 /// Group sizes differ by at most one (`m mod shards` leading groups get
 /// the extra machine); every machine belongs to exactly one group.
-pub fn machine_groups(m: usize, shards: usize) -> Vec<Vec<MachineId>> {
-    assert!(shards >= 1 && shards <= m, "need 1 <= shards <= m");
-    (0..shards)
+/// A layout the engine would refuse (`shards == 0` or `shards > m`) is
+/// [`EngineError::BadShardCount`] here too — the same typed error
+/// [`Engine::start_observed`] returns, instead of a panic.
+pub fn machine_groups(m: usize, shards: usize) -> Result<Vec<Vec<MachineId>>, EngineError> {
+    if shards == 0 || shards > m {
+        return Err(EngineError::BadShardCount { shards, m });
+    }
+    Ok((0..shards)
         .map(|s| {
             let lo = s * m / shards;
             let hi = (s + 1) * m / shards;
             (lo..hi).map(|i| MachineId(i as u32)).collect()
         })
-        .collect()
+        .collect())
 }
 
 /// Tuning knobs for [`Engine::start`].
@@ -226,7 +251,13 @@ impl FlightConfig {
     }
 }
 
-/// What a shard thread hands back when it drains.
+/// What a shard thread hands back when it drains (or dies).
+///
+/// A failed shard still returns an outcome: the counters and
+/// histograms cover every decision it completed before the fault, so
+/// degraded reports stay consistent with the flight recording; only
+/// its schedule is discarded (`failure` is `Some`, and the merge
+/// skips it).
 struct ShardOutcome {
     schedule: Schedule,
     submitted: u64,
@@ -237,6 +268,181 @@ struct ShardOutcome {
     queue_wait: Histogram,
     events: Vec<DecisionEvent>,
     events_dropped: u64,
+    /// Nanoseconds since engine start at the last completed batch,
+    /// for the busy-window throughput measure (0 when idle).
+    last_decision_ns: u64,
+    failure: Option<ShardFailure>,
+}
+
+/// How a shard worker died.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FailureKind {
+    /// The scheduler (or the commit path) panicked.
+    Panic,
+    /// The scheduler returned a decision that violated the commitment
+    /// contract (overlap, window, duplicate id).
+    Contract,
+}
+
+impl FailureKind {
+    /// Lower-case label for logs and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Contract => "contract",
+        }
+    }
+}
+
+/// A contained shard fault: everything `finish` (and the crash
+/// snapshot) knows about why one worker died while the rest of the
+/// engine kept serving.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardFailure {
+    /// The shard whose worker died.
+    pub shard: usize,
+    /// Panic or contract violation.
+    pub kind: FailureKind,
+    /// The panic payload or contract error, rendered.
+    pub payload: String,
+    /// The job being decided when the fault hit, when known.
+    pub failing_job: Option<u32>,
+    /// The per-shard decision sequence number at the fault (equals the
+    /// number of decisions the shard completed).
+    pub seq: u64,
+    /// Jobs that were enqueued to the shard but never decided: the
+    /// rest of the failing batch plus whatever the queue still held
+    /// when the worker parked.
+    pub queued_lost: u64,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} {} after {} decision(s)",
+            self.shard,
+            match self.kind {
+                FailureKind::Panic => "panicked",
+                FailureKind::Contract => "broke the commitment contract",
+            },
+            self.seq
+        )?;
+        if let Some(job) = self.failing_job {
+            write!(f, " while deciding J{job}")?;
+        }
+        write!(f, ": {}", self.payload)
+    }
+}
+
+/// Liveness of one shard worker, as exposed by [`Engine::health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ShardState {
+    /// The worker is serving its queue.
+    Alive,
+    /// The queue has been closed (finish/drop) and the worker is
+    /// draining what is left.
+    Draining,
+    /// The worker died to a contained fault and parked.
+    Failed,
+}
+
+impl ShardState {
+    /// Lower-case label for `/healthz` and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardState::Alive => "alive",
+            ShardState::Draining => "draining",
+            ShardState::Failed => "failed",
+        }
+    }
+}
+
+/// One row of [`Engine::health`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Current liveness state.
+    pub state: ShardState,
+    /// Nanoseconds since engine start at the worker's last batch
+    /// wakeup (0 before the first batch). A stale heartbeat on an
+    /// `Alive` shard means the worker is idle — or wedged; callers
+    /// decide which with their own traffic knowledge.
+    pub heartbeat_ns: u64,
+}
+
+const STATE_ALIVE: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_FAILED: u8 = 2;
+
+/// Shared per-shard liveness table: one `(state, heartbeat)` slot per
+/// shard, written by workers (heartbeat each batch, `Failed` on fault)
+/// and by the lifecycle paths (`Draining` when the queues close), read
+/// lock-free by [`Engine::health`] and the `/healthz` endpoint.
+struct HealthState {
+    slots: Vec<HealthSlot>,
+}
+
+struct HealthSlot {
+    state: AtomicU8,
+    heartbeat_ns: AtomicU64,
+}
+
+impl HealthState {
+    fn new(shards: usize) -> HealthState {
+        HealthState {
+            slots: (0..shards)
+                .map(|_| HealthSlot {
+                    state: AtomicU8::new(STATE_ALIVE),
+                    heartbeat_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn beat(&self, shard: usize, ns: u64) {
+        self.slots[shard].heartbeat_ns.store(ns, Ordering::Relaxed);
+    }
+
+    fn mark_failed(&self, shard: usize) {
+        self.slots[shard]
+            .state
+            .store(STATE_FAILED, Ordering::Release);
+    }
+
+    /// Queues closed: every still-alive shard moves to `Draining`
+    /// (failed shards stay failed).
+    fn mark_draining_all(&self) {
+        for slot in &self.slots {
+            let _ = slot.state.compare_exchange(
+                STATE_ALIVE,
+                STATE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    fn is_failed(&self, shard: usize) -> bool {
+        self.slots[shard].state.load(Ordering::Acquire) == STATE_FAILED
+    }
+
+    fn snapshot(&self) -> Vec<ShardHealth> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| ShardHealth {
+                shard,
+                state: match slot.state.load(Ordering::Acquire) {
+                    STATE_DRAINING => ShardState::Draining,
+                    STATE_FAILED => ShardState::Failed,
+                    _ => ShardState::Alive,
+                },
+                heartbeat_ns: slot.heartbeat_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 /// Decision-latency / queue-wait summary over all shards, nanoseconds.
@@ -269,6 +475,10 @@ pub struct ShardMetrics {
     pub utilization: f64,
     /// Queue wakeups (each drains up to `batch_size` jobs).
     pub batches: u64,
+    /// `true` when the shard's worker died to a contained fault — its
+    /// counters cover the decisions completed before the fault and its
+    /// schedule was excluded from the merge.
+    pub failed: bool,
 }
 
 /// Aggregate snapshot of one engine run, serializable for reports.
@@ -293,7 +503,16 @@ pub struct EngineMetrics {
     pub accepted_load: f64,
     /// Wall-clock seconds from `start` to the end of `finish`.
     pub elapsed_secs: f64,
-    /// Decisions per wall-clock second.
+    /// The busy window: wall-clock seconds from the first enqueue to
+    /// the last completed decision batch. Unlike `elapsed_secs` this
+    /// excludes idle time before traffic and after the last decision
+    /// (e.g. a `--hold` window keeping the telemetry endpoint up), so
+    /// it is the honest denominator for throughput. 0 when no job was
+    /// ever submitted.
+    pub busy_secs: f64,
+    /// Decisions per second over the busy window (`submitted /
+    /// busy_secs`) — not wall time since start, which would dilute the
+    /// rate by every idle second.
     pub decisions_per_sec: f64,
     /// Decision-latency summary (with percentiles) across all shards.
     pub latency: LatencyStats,
@@ -325,6 +544,20 @@ pub struct EngineReport {
     /// The finish-time invariant audit of the flight recording. `None`
     /// unless [`FlightConfig::audit_on_finish`] was requested.
     pub audit: Option<AuditReport>,
+    /// Shards that died to a contained fault, in shard order. Empty on
+    /// a fully healthy run; non-empty means `schedule` is the merge of
+    /// the *healthy* shards only (degraded mode — the accepted load of
+    /// the surviving shards is preserved, honoring the commitments
+    /// already made).
+    pub degraded: Vec<ShardFailure>,
+}
+
+impl EngineReport {
+    /// `true` when at least one shard failed and the report carries
+    /// only the healthy shards' merged schedule.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
 }
 
 /// Failure modes of the engine lifecycle.
@@ -337,17 +570,12 @@ pub enum EngineError {
         /// Cluster machine count.
         m: usize,
     },
-    /// A shard's scheduler violated the commitment contract.
-    Contract {
-        /// The offending shard.
-        shard: usize,
-        /// The simulator-level contract error.
-        error: String,
-    },
-    /// A shard thread panicked.
-    ShardPanicked {
-        /// The shard whose worker died.
-        shard: usize,
+    /// Every shard failed, so there is no healthy schedule to merge —
+    /// the only fault that makes `finish` itself fail. Single-shard
+    /// faults surface as [`EngineReport::degraded`] instead.
+    AllShardsFailed {
+        /// One entry per shard, in shard order.
+        failures: Vec<ShardFailure>,
     },
     /// The merged schedule violated a kernel invariant (double commit
     /// or cross-shard overlap — shards are not trusted either).
@@ -365,11 +593,12 @@ impl fmt::Display for EngineError {
             EngineError::BadShardCount { shards, m } => {
                 write!(f, "cannot run {shards} shard(s) on {m} machine(s)")
             }
-            EngineError::Contract { shard, error } => {
-                write!(f, "shard {shard} broke the commitment contract: {error}")
-            }
-            EngineError::ShardPanicked { shard } => {
-                write!(f, "shard {shard} worker thread panicked")
+            EngineError::AllShardsFailed { failures } => {
+                write!(f, "all {} shard(s) failed", failures.len())?;
+                if let Some(first) = failures.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             EngineError::Merge(e) => write!(f, "merging shard schedules failed: {e}"),
             EngineError::Telemetry { error } => {
@@ -389,6 +618,11 @@ pub enum SubmitError {
     Full(Job),
     /// The engine is shutting down; the job is returned.
     Closed(Job),
+    /// The target shard's worker died to a contained fault; the job is
+    /// returned. Unlike [`SubmitError::Closed`] the rest of the engine
+    /// is still serving — the caller may reroute or drop the job, but
+    /// retrying the same shard is futile.
+    ShardFailed(Job),
 }
 
 impl fmt::Display for SubmitError {
@@ -396,6 +630,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Full(j) => write!(f, "queue full, {} not enqueued", j.id),
             SubmitError::Closed(j) => write!(f, "engine closed, {} not enqueued", j.id),
+            SubmitError::ShardFailed(j) => {
+                write!(f, "target shard failed, {} not enqueued", j.id)
+            }
         }
     }
 }
@@ -406,7 +643,7 @@ type Submission = (Job, Instant);
 
 struct ShardHandle {
     tx: Option<Sender<Submission>>,
-    join: JoinHandle<Result<ShardOutcome, String>>,
+    join: Option<JoinHandle<ShardOutcome>>,
     machines: Vec<MachineId>,
 }
 
@@ -423,6 +660,11 @@ pub struct Engine {
     shards: Vec<ShardHandle>,
     stalls: AtomicU64,
     started: Instant,
+    /// Nanoseconds since `started` at the first successful enqueue
+    /// (`u64::MAX` until one happens) — the left edge of the busy
+    /// window for [`EngineMetrics::busy_secs`].
+    first_enqueue_ns: AtomicU64,
+    health: Arc<HealthState>,
     flight: Option<Arc<FlightState>>,
     telemetry: Option<TelemetryHandle>,
 }
@@ -436,6 +678,11 @@ struct FlightState {
     cfg: FlightConfig,
     m: usize,
     shard_count: usize,
+    /// First-wins claim on the crash `.cfr`: the failing worker writes
+    /// the snapshot *at failure time*, and later writers (a second
+    /// failing shard, the finish/merge error path) must not overwrite
+    /// that evidence with a staler or larger window.
+    error_snapshot_written: AtomicBool,
 }
 
 impl FlightState {
@@ -492,6 +739,24 @@ impl FlightState {
             shards,
         }
     }
+
+    /// Writes the crash-dump `.cfr` if the config asked for one and no
+    /// earlier fault already claimed it. Returns `true` if this call
+    /// wrote the file — the failing worker calls this *at failure
+    /// time*, so the evidence survives even if the engine is then
+    /// abandoned or held open for hours.
+    fn write_error_snapshot(&self) -> bool {
+        let Some(path) = &self.cfg.snapshot_on_error else {
+            return false;
+        };
+        if self.error_snapshot_written.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        match std::fs::File::create(path) {
+            Ok(mut file) => self.snapshot(None).write_cfr(&mut file).is_ok(),
+            Err(_) => false,
+        }
+    }
 }
 
 /// The running telemetry endpoint: its bound address, the stop flag the
@@ -506,41 +771,108 @@ struct TelemetryHandle {
 struct TelemetryShared {
     registry: Arc<MetricsRegistry>,
     flight: Option<Arc<FlightState>>,
+    health: Arc<HealthState>,
 }
 
 /// Accept loop of the telemetry endpoint: nonblocking accept polled
 /// every 5 ms so the stop flag is honoured promptly; each connection is
 /// handled inline (scrapes are rare and tiny).
+///
+/// `WouldBlock` is the idle case; any *other* accept error is counted
+/// into the `telemetry_errors` registry counter, and consecutive real
+/// failures back off exponentially (5 ms → 500 ms cap) so a wedged
+/// listener (EMFILE, netns teardown) does not spin a core while still
+/// honouring the stop flag promptly.
 fn serve_telemetry(listener: TcpListener, shared: TelemetryShared, stop: Arc<AtomicBool>) {
+    const IDLE_POLL: Duration = Duration::from_millis(5);
+    const MAX_BACKOFF: Duration = Duration::from_millis(500);
+    let mut backoff = IDLE_POLL;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = IDLE_POLL;
                 let _ = handle_telemetry_request(stream, &shared);
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                backoff = IDLE_POLL;
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => {
+                if shared.registry.is_enabled() {
+                    shared.registry.telemetry_errors.inc();
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
         }
     }
 }
 
+/// Reads from `stream` until the HTTP header terminator (`\r\n\r\n`),
+/// bounded by `limit` bytes — a request head split across TCP segments
+/// must not be misparsed, and an unbounded or terminator-less peer must
+/// not pin the thread.
+fn read_request_head(stream: &mut TcpStream, limit: usize) -> std::io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while head.len() < limit {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(head)
+}
+
 /// Serves one HTTP/1.1 request: `/metrics` (Prometheus text format),
-/// `/healthz`, or `/flight/snapshot` (the current `.cfr` bytes).
+/// `/healthz` (503 when any shard has failed), or `/flight/snapshot`
+/// (the current `.cfr` bytes). Query strings are ignored for routing,
+/// so `GET /metrics?debug=1` still scrapes.
 fn handle_telemetry_request(
     mut stream: TcpStream,
     shared: &TelemetryShared,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let path = request.split_whitespace().nth(1).unwrap_or("/");
+    let head = read_request_head(&mut stream, 8192)?;
+    let request = String::from_utf8_lossy(&head);
+    let target = request.split_whitespace().nth(1).unwrap_or("/");
+    // Route on the path alone: strip the query string (and any
+    // fragment a sloppy client sends on the wire).
+    let path = target.split(['?', '#']).next().unwrap_or(target);
     let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             shared.registry.render_prometheus().into_bytes(),
         ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", b"ok\n".to_vec()),
+        "/healthz" => {
+            let health = shared.health.snapshot();
+            let any_failed = health.iter().any(|h| h.state == ShardState::Failed);
+            let mut body = String::new();
+            body.push_str(if any_failed { "degraded\n" } else { "ok\n" });
+            for h in &health {
+                body.push_str(&format!(
+                    "shard {} {} heartbeat_ns {}\n",
+                    h.shard,
+                    h.state.as_str(),
+                    h.heartbeat_ns
+                ));
+            }
+            (
+                if any_failed {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                },
+                "text/plain; charset=utf-8",
+                body.into_bytes(),
+            )
+        }
         "/flight/snapshot" => match &shared.flight {
             Some(state) => {
                 let mut bytes = Vec::new();
@@ -601,12 +933,10 @@ impl Engine {
     where
         F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
     {
-        if config.shards == 0 || config.shards > m {
-            return Err(EngineError::BadShardCount {
-                shards: config.shards,
-                m,
-            });
-        }
+        // Validates the shard count (zero or more shards than
+        // machines) as a side effect.
+        let groups = machine_groups(m, config.shards)?;
+        let health = Arc::new(HealthState::new(config.shards));
         if obs.serve_metrics.is_some() && obs.registry.is_none() {
             // `/metrics` with no registry would always scrape zeros;
             // give the endpoint a live one.
@@ -628,6 +958,7 @@ impl Engine {
                 cfg: cfg.clone(),
                 m,
                 shard_count: config.shards,
+                error_snapshot_written: AtomicBool::new(false),
             })
         });
         // Bind the telemetry listener before spawning workers so a bad
@@ -644,6 +975,7 @@ impl Engine {
                 let shared = TelemetryShared {
                     registry: Arc::clone(obs.registry.as_ref().expect("registry set above")),
                     flight: flight.clone(),
+                    health: Arc::clone(&health),
                 };
                 let join = std::thread::Builder::new()
                     .name("cslack-telemetry".to_string())
@@ -660,7 +992,9 @@ impl Engine {
             }
             None => None,
         };
-        let groups = machine_groups(m, config.shards);
+        // The workers compute heartbeat / busy-window timestamps as
+        // nanoseconds since this instant, so fix it before spawning.
+        let started = Instant::now();
         let mut shards = Vec::with_capacity(config.shards);
         for (index, group) in groups.into_iter().enumerate() {
             let scheduler = builder(index, group.len());
@@ -672,6 +1006,8 @@ impl Engine {
                 registry: obs.registry.clone(),
                 trace_capacity: obs.trace_capacity,
                 flight: flight.clone(),
+                health: Arc::clone(&health),
+                started,
             };
             let join = std::thread::Builder::new()
                 .name(format!("cslack-shard-{index}"))
@@ -679,7 +1015,7 @@ impl Engine {
                 .expect("failed to spawn shard worker");
             shards.push(ShardHandle {
                 tx: Some(tx),
-                join,
+                join: Some(join),
                 machines: group,
             });
         }
@@ -689,7 +1025,9 @@ impl Engine {
             obs,
             shards,
             stalls: AtomicU64::new(0),
-            started: Instant::now(),
+            started,
+            first_enqueue_ns: AtomicU64::new(u64::MAX),
+            health,
             flight,
             telemetry,
         })
@@ -729,14 +1067,40 @@ impl Engine {
         self.flight.as_ref().map(|s| s.snapshot(None))
     }
 
-    /// Writes the crash-dump `.cfr` if the flight config asked for one.
+    /// Per-shard liveness, one row per shard in shard order.
+    ///
+    /// Lock-free reads of the same table the workers beat once per
+    /// batch and the `/healthz` endpoint renders — an `Alive` entry
+    /// with a stale heartbeat is an idle (or wedged) worker, a
+    /// `Failed` one died to a contained fault and its jobs now bounce
+    /// with [`SubmitError::ShardFailed`].
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.health.snapshot()
+    }
+
+    /// Writes the crash-dump `.cfr` if the flight config asked for one
+    /// and no failing worker already wrote it at failure time.
     fn write_error_snapshot(&self) {
-        let Some(state) = &self.flight else { return };
-        let Some(path) = &state.cfg.snapshot_on_error else {
-            return;
-        };
-        if let Ok(mut file) = std::fs::File::create(path) {
-            let _ = state.snapshot(None).write_cfr(&mut file);
+        if let Some(state) = &self.flight {
+            state.write_error_snapshot();
+        }
+    }
+
+    /// Records a successful enqueue for the busy-window throughput
+    /// measure (first one wins).
+    fn note_enqueue(&self) {
+        self.first_enqueue_ns
+            .fetch_min(saturating_ns(self.started.elapsed()), Ordering::Relaxed);
+    }
+
+    /// Maps a disconnected queue to the right submit error: a failed
+    /// shard's receiver is dropped by its dying worker, which would
+    /// otherwise be indistinguishable from graceful shutdown.
+    fn closed_or_failed(&self, shard: usize, job: Job) -> SubmitError {
+        if self.health.is_failed(shard) {
+            SubmitError::ShardFailed(job)
+        } else {
+            SubmitError::Closed(job)
         }
     }
 
@@ -744,14 +1108,22 @@ impl Engine {
     ///
     /// Fails with [`SubmitError::Full`] when the target shard's queue
     /// is at capacity — the backpressure signal for callers that must
-    /// not block.
+    /// not block — and with [`SubmitError::ShardFailed`] when the
+    /// shard's worker died to a contained fault.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
         let shard = shard_of(job.id, self.shards.len());
+        if self.health.is_failed(shard) {
+            return Err(SubmitError::ShardFailed(job));
+        }
         match &self.shards[shard].tx {
-            Some(tx) => tx.try_send((job, Instant::now())).map_err(|e| match e {
-                TrySendError::Full((j, _)) => SubmitError::Full(j),
-                TrySendError::Disconnected((j, _)) => SubmitError::Closed(j),
-            }),
+            Some(tx) => match tx.try_send((job, Instant::now())) {
+                Ok(()) => {
+                    self.note_enqueue();
+                    Ok(())
+                }
+                Err(TrySendError::Full((j, _))) => Err(SubmitError::Full(j)),
+                Err(TrySendError::Disconnected((j, _))) => Err(self.closed_or_failed(shard, j)),
+            },
             None => Err(SubmitError::Closed(job)),
         }
     }
@@ -760,16 +1132,24 @@ impl Engine {
     ///
     /// A full queue is counted as a backpressure stall (metric
     /// `backpressure_stalls`) and then waited out — the job is never
-    /// dropped.
+    /// dropped. A shard that failed mid-wait disconnects the queue, so
+    /// the blocked send returns [`SubmitError::ShardFailed`] rather
+    /// than hanging.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
         let shard = shard_of(job.id, self.shards.len());
+        if self.health.is_failed(shard) {
+            return Err(SubmitError::ShardFailed(job));
+        }
         let tx = match &self.shards[shard].tx {
             Some(tx) => tx,
             None => return Err(SubmitError::Closed(job)),
         };
         let payload = match tx.try_send((job, Instant::now())) {
-            Ok(()) => return Ok(()),
-            Err(TrySendError::Disconnected((j, _))) => return Err(SubmitError::Closed(j)),
+            Ok(()) => {
+                self.note_enqueue();
+                return Ok(());
+            }
+            Err(TrySendError::Disconnected((j, _))) => return Err(self.closed_or_failed(shard, j)),
             Err(TrySendError::Full(payload)) => {
                 self.stalls.fetch_add(1, Ordering::Relaxed);
                 if let Some(reg) = &self.obs.registry {
@@ -780,14 +1160,75 @@ impl Engine {
                 payload
             }
         };
-        tx.send(payload)
-            .map_err(|e| SubmitError::Closed(e.into_inner().0))
+        match tx.send(payload) {
+            Ok(()) => {
+                self.note_enqueue();
+                Ok(())
+            }
+            Err(e) => Err(self.closed_or_failed(shard, e.into_inner().0)),
+        }
     }
 
-    /// Graceful shutdown: closes every shard queue, waits for the
-    /// workers to drain and exit, merges the shard-local schedules into
-    /// one cluster schedule, and returns it with the metrics snapshot
-    /// and the recorded decision trace.
+    /// Enqueues a job with a deadline on the *submission* (not the
+    /// job's own scheduling deadline): retries a full queue with
+    /// bounded exponential backoff (50 µs doubling to a 10 ms cap,
+    /// never past the deadline) and gives up with
+    /// [`SubmitError::Full`] once `deadline` has elapsed.
+    ///
+    /// Producers that must not block indefinitely — the paper's
+    /// admission setting is online, a job held too long is worthless —
+    /// get a bounded-latency alternative to the unboundedly blocking
+    /// [`Engine::submit`]. [`SubmitError::ShardFailed`] and
+    /// [`SubmitError::Closed`] surface immediately; backpressure is
+    /// the only condition worth waiting out.
+    pub fn submit_with_deadline(&self, job: Job, deadline: Duration) -> Result<(), SubmitError> {
+        const INITIAL_BACKOFF: Duration = Duration::from_micros(50);
+        const MAX_BACKOFF: Duration = Duration::from_millis(10);
+        let start = Instant::now();
+        let mut backoff = INITIAL_BACKOFF;
+        let mut job = job;
+        let mut stalled = false;
+        loop {
+            match self.try_submit(job) {
+                Ok(()) => return Ok(()),
+                Err(SubmitError::Full(j)) => {
+                    if !stalled {
+                        // One stall per submission, matching `submit`'s
+                        // accounting, however many retries follow.
+                        stalled = true;
+                        self.stalls.fetch_add(1, Ordering::Relaxed);
+                        if let Some(reg) = &self.obs.registry {
+                            if reg.is_enabled() {
+                                reg.backpressure_stalls.inc();
+                            }
+                        }
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= deadline {
+                        return Err(SubmitError::Full(j));
+                    }
+                    std::thread::sleep(backoff.min(deadline - elapsed));
+                    backoff = (backoff * 2).min(MAX_BACKOFF);
+                    job = j;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Graceful shutdown: closes every shard queue, waits for **all**
+    /// workers to drain and exit (even after a fault), merges the
+    /// healthy shards' schedules into one cluster schedule, and
+    /// returns it with the metrics snapshot and the recorded decision
+    /// trace.
+    ///
+    /// A shard that died to a contained fault does not sink the run:
+    /// its failure is reported in [`EngineReport::degraded`], its
+    /// pre-fault counters still feed the metrics, and only its
+    /// schedule is excluded from the merge — the commitments the
+    /// healthy shards made are preserved. `finish` itself fails only
+    /// when *every* shard died ([`EngineError::AllShardsFailed`]) or
+    /// the healthy merge breaks a kernel invariant.
     pub fn finish(mut self) -> Result<EngineReport, EngineError> {
         // Dropping the senders closes the queues; workers drain what is
         // left and return their outcomes. `take` (rather than moving
@@ -796,32 +1237,60 @@ impl Engine {
         for shard in &mut self.shards {
             shard.tx = None;
         }
+        self.health.mark_draining_all();
         let handles = std::mem::take(&mut self.shards);
         let mut outcomes = Vec::with_capacity(handles.len());
         let mut groups = Vec::with_capacity(handles.len());
-        for (index, shard) in handles.into_iter().enumerate() {
-            let outcome = match shard.join.join() {
-                Err(_) => {
-                    self.write_error_snapshot();
-                    return Err(EngineError::ShardPanicked { shard: index });
+        for (index, mut shard) in handles.into_iter().enumerate() {
+            let join = shard.join.take().expect("finish joins each shard once");
+            let outcome = match join.join() {
+                Ok(outcome) => outcome,
+                // The worker died *outside* the contained decide/commit
+                // loop (the containment net has a hole). Synthesize an
+                // empty outcome so the report still accounts for the
+                // shard.
+                Err(payload) => {
+                    self.health.mark_failed(index);
+                    let group_len = shard.machines.len();
+                    ShardOutcome {
+                        schedule: Schedule::new(group_len.max(1)),
+                        submitted: 0,
+                        accepted: 0,
+                        rejected: RejectCounts::default(),
+                        batches: 0,
+                        latency: Histogram::new(),
+                        queue_wait: Histogram::new(),
+                        events: Vec::new(),
+                        events_dropped: 0,
+                        last_decision_ns: 0,
+                        failure: Some(ShardFailure {
+                            shard: index,
+                            kind: FailureKind::Panic,
+                            payload: panic_payload_string(payload.as_ref()),
+                            failing_job: None,
+                            seq: 0,
+                            queued_lost: 0,
+                        }),
+                    }
                 }
-                Ok(Err(error)) => {
-                    self.write_error_snapshot();
-                    return Err(EngineError::Contract {
-                        shard: index,
-                        error,
-                    });
-                }
-                Ok(Ok(outcome)) => outcome,
             };
             outcomes.push(outcome);
             groups.push(shard.machines);
+        }
+        let degraded: Vec<ShardFailure> =
+            outcomes.iter().filter_map(|o| o.failure.clone()).collect();
+        if degraded.len() == outcomes.len() {
+            // No healthy schedule survives; the workers already wrote
+            // the crash snapshot at failure time (first fault wins).
+            self.write_error_snapshot();
+            return Err(EngineError::AllShardsFailed { failures: degraded });
         }
         let merged = match merge_schedules(
             self.m,
             outcomes
                 .iter()
                 .zip(&groups)
+                .filter(|(o, _)| o.failure.is_none())
                 .map(|(o, g)| (&o.schedule, g.as_slice())),
         ) {
             Ok(merged) => merged,
@@ -862,6 +1331,7 @@ impl Engine {
                 accepted_load: o.schedule.accepted_load(),
                 utilization,
                 batches: o.batches,
+                failed: o.failure.is_some(),
             });
             trace_dropped += o.events_dropped;
         }
@@ -871,6 +1341,21 @@ impl Engine {
         for o in &mut outcomes {
             trace.append(&mut o.events);
         }
+        // The busy window runs from the first successful enqueue to
+        // the newest completed decision batch across shards; idle time
+        // (pre-traffic, or a post-run `--hold` keeping telemetry up)
+        // is excluded so the throughput number is honest.
+        let first_ns = self.first_enqueue_ns.load(Ordering::Relaxed);
+        let last_ns = outcomes
+            .iter()
+            .map(|o| o.last_decision_ns)
+            .max()
+            .unwrap_or(0);
+        let busy_secs = if first_ns == u64::MAX || last_ns <= first_ns {
+            0.0
+        } else {
+            (last_ns - first_ns) as f64 / 1e9
+        };
         let metrics = EngineMetrics {
             m: self.m,
             shards: self.config.shards,
@@ -881,8 +1366,9 @@ impl Engine {
             backpressure_stalls: self.stalls.load(Ordering::Relaxed),
             accepted_load: merged.accepted_load(),
             elapsed_secs: elapsed,
-            decisions_per_sec: if elapsed > 0.0 {
-                submitted as f64 / elapsed
+            busy_secs,
+            decisions_per_sec: if busy_secs > 0.0 {
+                submitted as f64 / busy_secs
             } else {
                 0.0
             },
@@ -911,6 +1397,7 @@ impl Engine {
             trace_dropped,
             flight,
             audit,
+            degraded,
         })
     }
 }
@@ -918,11 +1405,19 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         // Close the queues so workers drain even on an abandoned engine
-        // (their outcomes are discarded), then stop and join the
-        // telemetry thread. `finish` consumes `self`, so this also runs
-        // at the end of every finish path.
+        // (their outcomes are discarded), *join* them so no detached
+        // thread outlives the handle, then stop and join the telemetry
+        // thread so the port is released. `finish` consumes `self`, so
+        // this also runs at the end of every finish path (where the
+        // shard list is already empty).
         for shard in &mut self.shards {
             shard.tx = None;
+        }
+        self.health.mark_draining_all();
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
         }
         if let Some(t) = self.telemetry.take() {
             t.stop.store(true, Ordering::Relaxed);
@@ -941,11 +1436,27 @@ struct ShardCtx {
     registry: Option<Arc<MetricsRegistry>>,
     trace_capacity: usize,
     flight: Option<Arc<FlightState>>,
+    health: Arc<HealthState>,
+    /// The engine's start instant: heartbeats and the busy-window edge
+    /// are nanoseconds since this point.
+    started: Instant,
 }
 
 #[inline]
 fn saturating_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renders a `catch_unwind` payload: panics carry `&'static str` or
+/// `String` in practice; anything else gets a placeholder.
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Shard-local accumulator for the shared [`MetricsRegistry`]: the
@@ -983,11 +1494,33 @@ impl RegistryDelta {
 
 /// One shard's worker loop: block for a job, drain a batch, decide and
 /// commit each job in arrival order, repeat until the queue closes.
+///
+/// ## Fault containment
+///
+/// The decide/commit loop of every batch runs under `catch_unwind`: a
+/// panicking scheduler (or a contract-violating decision) poisons only
+/// this shard. The worker converts the fault into a typed
+/// [`ShardFailure`], writes the crash `.cfr` snapshot *at failure
+/// time* (so the evidence survives an abandoned or long-held engine),
+/// marks itself failed in the health table, drains and counts the jobs
+/// it will never decide, and returns its partial outcome — dropping
+/// the receiver, which wakes any producer blocked on the full queue
+/// with a disconnect instead of deadlocking it.
+///
+/// Unwind safety: the closure mutates the shard-local schedule,
+/// counters, and rings. On unwind the batch's flight-ring guard is
+/// released (parking_lot mutexes do not poison) and every structure is
+/// left at its last per-decision checkpoint — decisions are applied
+/// one at a time and `out.submitted` is incremented only *after* a
+/// decision fully commits, so the counters never include the decision
+/// that died halfway. `AssertUnwindSafe` is sound because the worker
+/// stops deciding the moment a fault is observed: the possibly
+/// half-updated scheduler is never offered another job.
 fn shard_worker(
     rx: Receiver<Submission>,
     mut scheduler: Box<dyn OnlineScheduler>,
     ctx: ShardCtx,
-) -> Result<ShardOutcome, String> {
+) -> ShardOutcome {
     let group_len = ctx.group.len();
     let mut schedule = Schedule::new(group_len.max(1));
     let mut out = ShardOutcome {
@@ -1000,6 +1533,8 @@ fn shard_worker(
         queue_wait: Histogram::new(),
         events: Vec::new(),
         events_dropped: 0,
+        last_decision_ns: 0,
+        failure: None,
     };
     let mut ring = DecisionRing::new(ctx.trace_capacity);
     let mut delta = RegistryDelta::default();
@@ -1014,120 +1549,137 @@ fn shard_worker(
             }
         }
         out.batches += 1;
+        ctx.health
+            .beat(ctx.shard, saturating_ns(ctx.started.elapsed()));
         // Checked once per batch: toggling the registry mid-run takes
         // effect at the next wakeup, and the per-decision path stays
         // free of shared-state loads.
         let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
-        // The flight ring is locked once per batch and each decision
-        // encodes straight into its slot — a single write pass, no
-        // batch-local staging buffer. The guard is dropped before the
-        // next blocking recv, so live snapshot readers wait at most one
-        // batch's decision loop. Only the compact decision record is
-        // stored; submission and commitment events are synthesized from
-        // it at snapshot time.
-        let mut flight_ring = ctx
-            .flight
-            .as_deref()
-            .map(|state| state.rings[ctx.shard].lock());
-        for (job, enqueued) in batch.drain(..) {
-            let seq = out.submitted;
-            out.submitted += 1;
-            let queue_wait_ns = saturating_ns(enqueued.elapsed());
-            let t0 = Instant::now();
-            let (decision, info) = {
-                let _route = cslack_obs::span!("route");
-                scheduler.offer_explained(&job)
-            };
-            let latency_ns = saturating_ns(t0.elapsed());
-            out.latency.record(latency_ns);
-            out.queue_wait.record(queue_wait_ns);
-            if recording.is_some() {
-                delta.submitted += 1;
-                delta.latency.record(latency_ns);
-                delta.queue_wait.record(queue_wait_ns);
+        // Index of the decision currently in flight; read after an
+        // unwind to identify the failing job and the in-batch losses.
+        let mut decided = 0usize;
+        let fault: Option<(FailureKind, String)> = {
+            let unwound =
+                catch_unwind(AssertUnwindSafe(|| -> Result<(), (FailureKind, String)> {
+                    // The flight ring is locked once per batch and each
+                    // decision encodes straight into its slot — a
+                    // single write pass, no batch-local staging buffer.
+                    // The guard is dropped before the next blocking
+                    // recv (and released by the unwind on a panic), so
+                    // live snapshot readers wait at most one batch's
+                    // decision loop. Only the compact decision record
+                    // is stored; submission and commitment events are
+                    // synthesized from it at snapshot time.
+                    let mut flight_ring = ctx
+                        .flight
+                        .as_deref()
+                        .map(|state| state.rings[ctx.shard].lock());
+                    while decided < batch.len() {
+                        let (job, enqueued) = batch[decided];
+                        let seq = out.submitted;
+                        let queue_wait_ns = saturating_ns(enqueued.elapsed());
+                        let t0 = Instant::now();
+                        let (decision, info) = {
+                            let _route = cslack_obs::span!("route");
+                            scheduler.offer_explained(&job)
+                        };
+                        let latency_ns = saturating_ns(t0.elapsed());
+                        let accepted = match apply_decision(&mut schedule, &job, decision) {
+                            Ok(true) => true,
+                            Ok(false) => false,
+                            Err(e) => {
+                                return Err((FailureKind::Contract, e.to_string()));
+                            }
+                        };
+                        // The decision is committed: only now do the
+                        // counters see it, so a fault mid-decision
+                        // leaves submitted == completed decisions and
+                        // the degraded report agrees with the flight
+                        // audit.
+                        out.submitted += 1;
+                        out.latency.record(latency_ns);
+                        out.queue_wait.record(queue_wait_ns);
+                        if recording.is_some() {
+                            delta.submitted += 1;
+                            delta.latency.record(latency_ns);
+                            delta.queue_wait.record(queue_wait_ns);
+                        }
+                        if accepted {
+                            out.accepted += 1;
+                            if recording.is_some() {
+                                delta.accepted += 1;
+                            }
+                        } else {
+                            let reason = info.reject_reason.unwrap_or(RejectReason::Unattributed);
+                            out.rejected.bump(reason);
+                            if recording.is_some() {
+                                delta.rejected.bump(reason);
+                            }
+                        }
+                        if ctx.trace_capacity > 0 || ctx.flight.is_some() {
+                            let (machine, start) = match decision {
+                                cslack_algorithms::Decision::Accept { machine, start } => {
+                                    // Remap the scheduler's shard-local
+                                    // machine id to the global cluster
+                                    // id.
+                                    let global = ctx
+                                        .group
+                                        .get(machine.0 as usize)
+                                        .map(|id| id.0)
+                                        .unwrap_or(machine.0);
+                                    (Some(global), Some(start.raw()))
+                                }
+                                cslack_algorithms::Decision::Reject => (None, None),
+                            };
+                            let build = || DecisionEvent {
+                                seq,
+                                job: job.id.0,
+                                shard: ctx.shard,
+                                release: job.release.raw(),
+                                proc_time: job.proc_time,
+                                deadline: job.deadline.raw(),
+                                candidates: info.candidates,
+                                threshold: info.threshold,
+                                min_load: info.min_load,
+                                accepted,
+                                machine,
+                                start,
+                                reject_reason: info.reject_reason,
+                                latency_ns,
+                                queue_wait_ns,
+                            };
+                            if ctx.trace_capacity > 0 {
+                                let event = build();
+                                if let Some(guard) = flight_ring.as_mut() {
+                                    guard.record_decision(&event);
+                                }
+                                ring.push(event);
+                            } else if let Some(guard) = flight_ring.as_mut() {
+                                // Flight-only (the always-on
+                                // configuration): the ~140-byte record
+                                // is built straight in its ring slot,
+                                // the single write this path pays per
+                                // decision.
+                                guard.record_with(|| FlightEvent::Decision(build()));
+                            }
+                        }
+                        decided += 1;
+                    }
+                    Ok(())
+                }));
+            match unwound {
+                Ok(Ok(())) => None,
+                Ok(Err(contract)) => Some(contract),
+                Err(payload) => Some((FailureKind::Panic, panic_payload_string(payload.as_ref()))),
             }
-            let accepted = match apply_decision(&mut schedule, &job, decision) {
-                Ok(true) => {
-                    out.accepted += 1;
-                    if recording.is_some() {
-                        delta.accepted += 1;
-                    }
-                    true
-                }
-                Ok(false) => {
-                    let reason = info.reject_reason.unwrap_or(RejectReason::Unattributed);
-                    out.rejected.bump(reason);
-                    if recording.is_some() {
-                        delta.rejected.bump(reason);
-                    }
-                    false
-                }
-                Err(e) => {
-                    // Record the failing job's submission (its decision
-                    // never completed, so nothing else will carry it)
-                    // before surfacing the contract error — the error
-                    // snapshot then shows what the scheduler was
-                    // offered.
-                    if let Some(mut guard) = flight_ring {
-                        guard.record(&FlightEvent::Submission {
-                            seq,
-                            shard: ctx.shard as u32,
-                            job: job.id.0,
-                            release: job.release.raw(),
-                            proc_time: job.proc_time,
-                            deadline: job.deadline.raw(),
-                        });
-                    }
-                    return Err(e.to_string());
-                }
-            };
-            if ctx.trace_capacity > 0 || ctx.flight.is_some() {
-                let (machine, start) = match decision {
-                    cslack_algorithms::Decision::Accept { machine, start } => {
-                        // Remap the scheduler's shard-local machine id
-                        // to the global cluster id.
-                        let global = ctx
-                            .group
-                            .get(machine.0 as usize)
-                            .map(|id| id.0)
-                            .unwrap_or(machine.0);
-                        (Some(global), Some(start.raw()))
-                    }
-                    cslack_algorithms::Decision::Reject => (None, None),
-                };
-                let build = || DecisionEvent {
-                    seq,
-                    job: job.id.0,
-                    shard: ctx.shard,
-                    release: job.release.raw(),
-                    proc_time: job.proc_time,
-                    deadline: job.deadline.raw(),
-                    candidates: info.candidates,
-                    threshold: info.threshold,
-                    min_load: info.min_load,
-                    accepted,
-                    machine,
-                    start,
-                    reject_reason: info.reject_reason,
-                    latency_ns,
-                    queue_wait_ns,
-                };
-                if ctx.trace_capacity > 0 {
-                    let event = build();
-                    if let Some(guard) = flight_ring.as_mut() {
-                        guard.record_decision(&event);
-                    }
-                    ring.push(event);
-                } else if let Some(guard) = flight_ring.as_mut() {
-                    // Flight-only (the always-on configuration): the
-                    // ~140-byte record is built straight in its ring
-                    // slot, the single write this path pays per
-                    // decision.
-                    guard.record_with(|| FlightEvent::Decision(build()));
-                }
-            }
+        };
+        if let Some((kind, payload)) = fault {
+            // The partial schedule rides along for per-shard metrics
+            // (accepted load before the fault); the merge skips it.
+            out.schedule = schedule;
+            return fail_shard(rx, ctx, out, ring, delta, &batch, decided, kind, payload);
         }
-        drop(flight_ring);
+        out.last_decision_ns = saturating_ns(ctx.started.elapsed());
         if let Some(reg) = recording {
             delta.flush(reg);
         }
@@ -1136,7 +1688,77 @@ fn shard_worker(
     let (events, events_dropped) = ring.into_events();
     out.events = events;
     out.events_dropped = events_dropped;
-    Ok(out)
+    out
+}
+
+/// The contained-fault epilogue of [`shard_worker`]: converts the fault
+/// into a [`ShardFailure`], preserves the evidence, and returns the
+/// partial outcome.
+///
+/// Ordering matters here. (1) The health table is marked `Failed`
+/// first, so producers that race the teardown see `ShardFailed`, not
+/// `Closed`. (2) The failing job's submission is recorded into the
+/// flight ring (its decision never completed, so nothing else carries
+/// it) and the crash `.cfr` is written *now*, from the worker — not at
+/// some future `finish` that may never run. (3) The queue is drained
+/// and counted so the failure reports how many jobs were lost
+/// undecided. Returning then drops the receiver, waking any producer
+/// blocked on the full queue.
+#[allow(clippy::too_many_arguments)]
+fn fail_shard(
+    rx: Receiver<Submission>,
+    ctx: ShardCtx,
+    mut out: ShardOutcome,
+    ring: DecisionRing,
+    mut delta: RegistryDelta,
+    batch: &[Submission],
+    decided: usize,
+    kind: FailureKind,
+    payload: String,
+) -> ShardOutcome {
+    let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
+    ctx.health.mark_failed(ctx.shard);
+    let seq = out.submitted;
+    let failing = batch.get(decided).map(|(job, _)| *job);
+    if let Some(state) = ctx.flight.as_deref() {
+        if let Some(job) = &failing {
+            // Re-lock: the batch guard was released by the unwind (or
+            // by the contract-error return).
+            let mut guard = state.rings[ctx.shard].lock();
+            guard.record(&FlightEvent::Submission {
+                seq,
+                shard: ctx.shard as u32,
+                job: job.id.0,
+                release: job.release.raw(),
+                proc_time: job.proc_time,
+                deadline: job.deadline.raw(),
+            });
+        }
+        state.write_error_snapshot();
+    }
+    // Publish the pre-fault decisions the batch delta still holds, so
+    // live scrapes don't lose them.
+    if let Some(reg) = recording {
+        delta.flush(reg);
+    }
+    // Jobs after the failing one in this batch, plus whatever the
+    // queue still holds, will never be decided.
+    let mut queued_lost = batch.len().saturating_sub(decided + 1) as u64;
+    while rx.try_recv().is_ok() {
+        queued_lost += 1;
+    }
+    out.failure = Some(ShardFailure {
+        shard: ctx.shard,
+        kind,
+        payload,
+        failing_job: failing.map(|job| job.id.0),
+        seq,
+        queued_lost,
+    });
+    let (events, events_dropped) = ring.into_events();
+    out.events = events;
+    out.events_dropped = events_dropped;
+    out
 }
 
 #[cfg(test)]
@@ -1153,7 +1775,7 @@ mod tests {
     fn machine_groups_partition_the_cluster() {
         for m in 1..=16 {
             for s in 1..=m {
-                let groups = machine_groups(m, s);
+                let groups = machine_groups(m, s).unwrap();
                 assert_eq!(groups.len(), s);
                 let flat: Vec<u32> = groups.iter().flatten().map(|id| id.0).collect();
                 assert_eq!(flat, (0..m as u32).collect::<Vec<u32>>());
@@ -1162,6 +1784,27 @@ mod tests {
                 assert!(hi - lo <= 1, "uneven split for m={m} s={s}: {sizes:?}");
             }
         }
+    }
+
+    #[test]
+    fn machine_groups_rejects_bad_shard_counts() {
+        // The boundary cases that used to panic (shards > m) or slice
+        // nonsense (shards == 0) now error like `Engine::start` does.
+        assert!(matches!(
+            machine_groups(2, 3),
+            Err(EngineError::BadShardCount { shards: 3, m: 2 })
+        ));
+        assert!(matches!(
+            machine_groups(4, 0),
+            Err(EngineError::BadShardCount { shards: 0, m: 4 })
+        ));
+        assert!(matches!(
+            machine_groups(0, 1),
+            Err(EngineError::BadShardCount { .. })
+        ));
+        // The m == shards boundary itself is fine: one machine each.
+        let groups = machine_groups(3, 3).unwrap();
+        assert!(groups.iter().all(|g| g.len() == 1));
     }
 
     #[test]
@@ -1236,7 +1879,7 @@ mod tests {
                     saw_full = true;
                     break;
                 }
-                Err(SubmitError::Closed(_)) => panic!("engine closed early"),
+                Err(other) => panic!("engine closed early: {other}"),
             }
         }
         assert!(saw_full, "bounded queue never exerted backpressure");
@@ -1452,9 +2095,20 @@ mod tests {
         engine
             .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
             .unwrap();
+        // Single shard, so the contained contract fault is terminal.
         match engine.finish() {
-            Err(EngineError::Contract { shard: 0, error }) => {
-                assert!(error.contains("J1"), "unexpected error: {error}");
+            Err(EngineError::AllShardsFailed { failures }) => {
+                assert_eq!(failures.len(), 1);
+                let f = &failures[0];
+                assert_eq!(f.shard, 0);
+                assert_eq!(f.kind, FailureKind::Contract);
+                assert_eq!(f.failing_job, Some(1));
+                assert_eq!(f.seq, 1, "one decision completed before the fault");
+                assert!(
+                    f.payload.contains("J1"),
+                    "unexpected payload: {}",
+                    f.payload
+                );
             }
             other => panic!("expected contract violation, got {other:?}"),
         }
@@ -1488,7 +2142,7 @@ mod tests {
         // (m, shards) alone — the two formulas must stay identical.
         for m in 1..=16 {
             for s in 1..=m {
-                let groups = machine_groups(m, s);
+                let groups = machine_groups(m, s).unwrap();
                 for (shard, group) in groups.iter().enumerate() {
                     let (lo, hi) = cslack_sim::audit::shard_group_bounds(m, s, shard);
                     assert_eq!(lo, group.first().map(|id| id.0 as usize).unwrap_or(lo));
@@ -1618,12 +2272,19 @@ mod tests {
         };
         let (head, body) = get("/healthz");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert_eq!(body, b"ok\n");
+        let health = String::from_utf8(body).unwrap();
+        assert!(health.starts_with("ok\n"), "{health}");
+        assert!(health.contains("shard 0 alive"), "{health}");
+        assert!(health.contains("shard 1 alive"), "{health}");
         let (head, body) = get("/metrics");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(head.contains("text/plain; version=0.0.4"));
         let text = String::from_utf8(body).unwrap();
         assert!(text.contains("# TYPE"), "prometheus exposition: {text}");
+        // A query string must not break routing.
+        let (head, body) = get("/metrics?debug=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(String::from_utf8(body).unwrap().contains("# TYPE"));
         let (head, body) = get("/flight/snapshot");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         let snap = FlightSnapshot::read_cfr(&mut body.as_slice()).unwrap();
@@ -1670,7 +2331,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             engine.finish(),
-            Err(EngineError::Contract { shard: 0, .. })
+            Err(EngineError::AllShardsFailed { .. })
         ));
         let mut file = std::fs::File::open(&path).expect("error snapshot written");
         let snap = FlightSnapshot::read_cfr(&mut file).unwrap();

@@ -63,6 +63,9 @@ pub struct MetricsRegistry {
     pub rejected_unattributed: Counter,
     /// Submissions that found their shard queue full.
     pub backpressure_stalls: Counter,
+    /// Real (non-`WouldBlock`) accept failures in the telemetry
+    /// endpoint's serve loop.
+    pub telemetry_errors: Counter,
     /// Scheduler decision latency, nanoseconds.
     pub decision_latency: AtomicHistogram,
     /// Enqueue-to-decision wait, nanoseconds.
@@ -81,6 +84,7 @@ impl MetricsRegistry {
             rejected_policy_filtered: Counter::new(),
             rejected_unattributed: Counter::new(),
             backpressure_stalls: Counter::new(),
+            telemetry_errors: Counter::new(),
             decision_latency: AtomicHistogram::new(),
             queue_wait: AtomicHistogram::new(),
         }
@@ -132,6 +136,7 @@ impl MetricsRegistry {
             accepted: self.accepted.get(),
             rejected: self.reject_counts(),
             backpressure_stalls: self.backpressure_stalls.get(),
+            telemetry_errors: self.telemetry_errors.get(),
             decision_latency: self.decision_latency.snapshot().summary(),
             queue_wait: self.queue_wait.snapshot().summary(),
         }
@@ -177,6 +182,12 @@ impl MetricsRegistry {
             "Submissions that found their shard queue full.",
             self.backpressure_stalls.get(),
         );
+        counter(
+            &mut out,
+            "cslack_telemetry_errors_total",
+            "Real accept errors in the telemetry serve loop.",
+            self.telemetry_errors.get(),
+        );
         render_histogram(
             &mut out,
             "cslack_decision_latency_ns",
@@ -215,6 +226,8 @@ pub struct MetricsSnapshot {
     pub rejected: RejectCounts,
     /// Full-queue submission stalls.
     pub backpressure_stalls: u64,
+    /// Real accept errors in the telemetry serve loop.
+    pub telemetry_errors: u64,
     /// Decision latency summary.
     pub decision_latency: crate::hist::HistogramSummary,
     /// Queue-wait summary.

@@ -1,0 +1,277 @@
+//! Fault injection for chaos-testing the service engine.
+//!
+//! [`FaultyScheduler`] wraps any [`OnlineScheduler`] and misbehaves on
+//! cue: panic on the Nth offer, return a contract-violating commitment
+//! on the Nth offer, or delay every decision by a fixed amount. The
+//! wrapper is transparent until the trigger — decisions before job N
+//! are the inner algorithm's own, so a crash snapshot taken at the
+//! fault replays bit-identically against the clean algorithm.
+//!
+//! [`FaultSpec`] parses the CLI's `--inject <kind>@<n>` syntax:
+//!
+//! - `panic@N` — panic while deciding the shard's Nth offer (0-based),
+//! - `contract@N` — return a deadline-missing accept on the Nth offer,
+//! - `delay@MICROS` — sleep that many microseconds before every
+//!   decision (a slow shard, not a dead one).
+
+use cslack_algorithms::{Decision, DecisionInfo, OnlineScheduler};
+use cslack_kernel::{Job, MachineId, Time};
+use std::fmt;
+use std::str::FromStr;
+
+/// The kinds of misbehavior [`FaultyScheduler`] can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic while deciding the trigger offer.
+    Panic,
+    /// Return a commitment that misses the job's deadline on the
+    /// trigger offer — the engine's contract check must catch it.
+    Contract,
+    /// Sleep before every decision (the parameter is microseconds).
+    Delay,
+}
+
+impl FaultKind {
+    /// The CLI spelling of this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Contract => "contract",
+            FaultKind::Delay => "delay",
+        }
+    }
+}
+
+/// A parsed `--inject` directive: what to do and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// For [`FaultKind::Panic`] / [`FaultKind::Contract`]: the 0-based
+    /// offer index (within the wrapped scheduler) to fault on. For
+    /// [`FaultKind::Delay`]: microseconds of sleep per decision.
+    pub at: u64,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind.as_str(), self.at)
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultSpec, String> {
+        let (kind, at) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault spec `{s}` is not of the form <kind>@<n>"))?;
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "contract" => FaultKind::Contract,
+            "delay" => FaultKind::Delay,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (expected panic, contract, or delay)"
+                ))
+            }
+        };
+        let at = at
+            .parse::<u64>()
+            .map_err(|e| format!("fault spec `{s}`: bad count `{at}`: {e}"))?;
+        Ok(FaultSpec { kind, at })
+    }
+}
+
+/// An [`OnlineScheduler`] wrapper that injects the configured fault,
+/// transparent otherwise (same name, same machine count, and — until
+/// the trigger — the inner algorithm's own decisions).
+pub struct FaultyScheduler {
+    inner: Box<dyn OnlineScheduler>,
+    spec: FaultSpec,
+    offers: u64,
+}
+
+impl FaultyScheduler {
+    /// Wraps `inner` with the fault described by `spec`.
+    pub fn new(inner: Box<dyn OnlineScheduler>, spec: FaultSpec) -> FaultyScheduler {
+        FaultyScheduler {
+            inner,
+            spec,
+            offers: 0,
+        }
+    }
+
+    /// Runs the pre-decision fault hook: panics or returns the bad
+    /// decision when the trigger offer is reached, sleeps on delay.
+    fn trip(&mut self, job: &Job) -> Option<(Decision, DecisionInfo)> {
+        let n = self.offers;
+        self.offers += 1;
+        match self.spec.kind {
+            FaultKind::Panic if n == self.spec.at => {
+                panic!("injected fault: panic at offer {n} (job {})", job.id)
+            }
+            FaultKind::Contract if n == self.spec.at => {
+                // Starting past twice the deadline misses it by more
+                // than the deadline itself — a violation that scales
+                // with the job's own magnitudes, so the kernel's
+                // *relative* tolerance can never absorb it, and the
+                // trigger does not depend on prior load.
+                Some((
+                    Decision::Accept {
+                        machine: MachineId(0),
+                        start: Time::new(job.deadline.raw() * 2.0 + 1.0),
+                    },
+                    DecisionInfo::default(),
+                ))
+            }
+            FaultKind::Delay => {
+                std::thread::sleep(std::time::Duration::from_micros(self.spec.at));
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+impl OnlineScheduler for FaultyScheduler {
+    fn name(&self) -> &'static str {
+        // Transparent: a crash snapshot's header names the algorithm
+        // whose pre-fault decisions it holds, so replay rebuilds the
+        // clean inner scheduler.
+        self.inner.name()
+    }
+
+    fn machines(&self) -> usize {
+        self.inner.machines()
+    }
+
+    fn offer(&mut self, job: &Job) -> Decision {
+        match self.trip(job) {
+            Some((decision, _)) => decision,
+            None => self.inner.offer(job),
+        }
+    }
+
+    fn offer_explained(&mut self, job: &Job) -> (Decision, DecisionInfo) {
+        match self.trip(job) {
+            Some(faulted) => faulted,
+            None => self.inner.offer_explained(job),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.offers = 0;
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_decision, SimError};
+    use cslack_algorithms::Greedy;
+    use cslack_kernel::{Schedule, Time};
+
+    fn job(id: u32) -> Job {
+        Job::new(cslack_kernel::JobId(id), Time::ZERO, 1.0, Time::new(100.0))
+    }
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        assert_eq!(
+            "panic@100".parse::<FaultSpec>().unwrap(),
+            FaultSpec {
+                kind: FaultKind::Panic,
+                at: 100
+            }
+        );
+        assert_eq!(
+            "contract@3".parse::<FaultSpec>().unwrap(),
+            FaultSpec {
+                kind: FaultKind::Contract,
+                at: 3
+            }
+        );
+        assert_eq!(
+            "delay@250".parse::<FaultSpec>().unwrap().kind,
+            FaultKind::Delay
+        );
+        assert!("panic".parse::<FaultSpec>().is_err());
+        assert!("explode@5".parse::<FaultSpec>().is_err());
+        assert!("panic@many".parse::<FaultSpec>().is_err());
+        assert_eq!(
+            "panic@7".parse::<FaultSpec>().unwrap().to_string(),
+            "panic@7"
+        );
+    }
+
+    #[test]
+    fn transparent_before_the_trigger() {
+        let mut clean = Greedy::new(2);
+        let mut faulty = FaultyScheduler::new(
+            Box::new(Greedy::new(2)),
+            FaultSpec {
+                kind: FaultKind::Panic,
+                at: 5,
+            },
+        );
+        assert_eq!(faulty.name(), "greedy");
+        assert_eq!(faulty.machines(), 2);
+        for id in 0..5 {
+            let j = job(id);
+            assert_eq!(faulty.offer(&j), clean.offer(&j));
+        }
+    }
+
+    #[test]
+    fn panics_at_the_trigger_offer() {
+        let mut faulty = FaultyScheduler::new(
+            Box::new(Greedy::new(2)),
+            FaultSpec {
+                kind: FaultKind::Panic,
+                at: 2,
+            },
+        );
+        faulty.offer(&job(0));
+        faulty.offer(&job(1));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faulty.offer(&job(2))));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn contract_fault_is_caught_by_the_commitment_check() {
+        let mut faulty = FaultyScheduler::new(
+            Box::new(Greedy::new(2)),
+            FaultSpec {
+                kind: FaultKind::Contract,
+                at: 0,
+            },
+        );
+        let j = job(0);
+        let (decision, _) = faulty.offer_explained(&j);
+        let mut schedule = Schedule::new(2);
+        match apply_decision(&mut schedule, &j, decision) {
+            Err(SimError::BadCommitment { .. }) => {}
+            other => panic!("expected BadCommitment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_rearms_the_trigger() {
+        let mut faulty = FaultyScheduler::new(
+            Box::new(Greedy::new(2)),
+            FaultSpec {
+                kind: FaultKind::Contract,
+                at: 1,
+            },
+        );
+        faulty.offer(&job(0));
+        faulty.reset();
+        // After reset the next offer is offer 0 again, not the trigger.
+        let (decision, _) = faulty.offer_explained(&job(1));
+        let mut schedule = Schedule::new(2);
+        assert!(apply_decision(&mut schedule, &job(1), decision).is_ok());
+    }
+}

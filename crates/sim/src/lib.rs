@@ -20,6 +20,7 @@
 
 pub mod analysis;
 pub mod audit;
+pub mod fault;
 pub mod sweep;
 
 use cslack_algorithms::{Decision, OnlineScheduler};

@@ -50,7 +50,9 @@ fn main() {
                                 retries += 1;
                                 engine.submit(job).expect("blocking submit");
                             }
-                            Err(SubmitError::Closed(_)) => unreachable!("engine still open"),
+                            Err(SubmitError::Closed(_) | SubmitError::ShardFailed(_)) => {
+                                unreachable!("engine open and healthy")
+                            }
                         }
                     }
                     retries
