@@ -32,6 +32,14 @@ USAGE:
                    [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
                    [--serve-metrics <addr>] [--hold <secs>]
                    [--inject <kind>@<n>] [--crash-out <cfr>]
+  cslack serve     --tenants name:m:eps[:algo[:shards[:seed]]][,name2:...]
+                   [--listen <addr>] [--telemetry <addr>] [--inflight <int>]
+                   [--queue-cap <int>] [--batch <int>]
+                   [--inject <tenant>=<kind>@<n>] [--exit-when-drained]
+                   [--max-secs <float>]
+  cslack loadgen   --tenants <name>[,<name2>...] [--connect <addr>]
+                   [--conns <int>] [--rate <float>] [--n <int>] [--batch <int>]
+                   [--seed <int>] [--no-drain] [--json] [--out <file>]
   cslack trace-summary <jsonl> [--json]
   cslack replay    <run.cfr> [--json]
   cslack audit     <run.cfr> [--json]
@@ -286,6 +294,7 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         trace_capacity,
         flight,
         serve_metrics,
+        ..ObsConfig::default()
     };
 
     // Validate the algorithm name once up front (shard groups may have
@@ -294,6 +303,7 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let mut config = EngineConfig::new(shards);
     config.queue_capacity = opts.get_or("queue-cap", config.queue_capacity)?;
     config.batch_size = opts.get_or("batch", config.batch_size)?;
+    let submit_chunk = config.batch_size.max(1);
     let engine = Engine::start_observed(m, config, obs, |shard, group| {
         let inner = build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
             .expect("algorithm name validated above");
@@ -311,13 +321,17 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         eprintln!("serving telemetry on http://{addr} (/metrics /healthz /flight/snapshot)");
     }
     // Keep streaming past a failed shard: its jobs bounce with
-    // `ShardFailed` while the healthy shards keep accepting.
+    // `ShardFailed` while the healthy shards keep accepting. Batched
+    // submission amortizes one channel operation over `batch_size`
+    // jobs per shard.
     let mut bounced = 0usize;
-    for job in inst.jobs() {
-        match engine.submit(*job) {
-            Ok(()) => {}
-            Err(SubmitError::ShardFailed(_)) => bounced += 1,
-            Err(e) => return Err(e.to_string()),
+    for chunk in inst.jobs().chunks(submit_chunk) {
+        for result in engine.submit_batch(chunk) {
+            match result {
+                Ok(()) => {}
+                Err(SubmitError::ShardFailed(_)) => bounced += 1,
+                Err(e) => return Err(e.to_string()),
+            }
         }
     }
     let hold: f64 = opts.get_or("hold", 0.0)?;
@@ -494,6 +508,146 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
                 first.message
             ));
         }
+    }
+    Ok(())
+}
+
+/// `cslack serve` — host the network-facing admission service.
+///
+/// Tenants are comma-separated `name:m:eps[:algo[:shards[:seed]]]`
+/// specs; each gets its own engine, metrics, flight recorder, and
+/// in-flight quota. `--telemetry <addr>` serves `/metrics`, `/healthz`
+/// and `/flight/snapshot?tenant=NAME` over HTTP. `--inject
+/// <tenant>=<kind>@<n>` wraps that tenant's shard-0 scheduler in a
+/// [`FaultyScheduler`] for chaos drills. With `--exit-when-drained`
+/// the process exits 0 once every tenant has been drained by its
+/// clients; `--max-secs` bounds the run either way.
+pub fn serve(opts: &Opts) -> Result<(), String> {
+    use cslack_server::{Server, ServerConfig, TenantSpec};
+    let listen: std::net::SocketAddr = opts.get_or("listen", "127.0.0.1:7437".parse().unwrap())?;
+    let telemetry: Option<std::net::SocketAddr> = match opts.get("telemetry") {
+        Some(_) => Some(opts.require_as("telemetry")?),
+        None => None,
+    };
+    let mut tenants = Vec::new();
+    for spec in opts.require("tenants")?.split(',') {
+        let mut spec = TenantSpec::parse(spec)?;
+        spec.inflight_limit = opts.get_or("inflight", spec.inflight_limit)?;
+        spec.queue_capacity = opts.get_or("queue-cap", spec.queue_capacity)?;
+        spec.batch_size = opts.get_or("batch", spec.batch_size)?;
+        tenants.push(spec);
+    }
+    if let Some(raw) = opts.get("inject") {
+        let (name, fault) = raw
+            .split_once('=')
+            .ok_or_else(|| format!("--inject `{raw}` is not of the form tenant=kind@n"))?;
+        let fault: FaultSpec = fault.parse()?;
+        let tenant = tenants
+            .iter_mut()
+            .find(|t| t.name == name)
+            .ok_or_else(|| format!("--inject names unknown tenant `{name}`"))?;
+        tenant.fault = Some(fault);
+    }
+    let server = Server::start(ServerConfig {
+        listen,
+        telemetry,
+        tenants,
+    })?;
+    println!("listening on {}", server.addr());
+    if let Some(addr) = server.telemetry_addr() {
+        println!("telemetry on http://{addr} (/metrics /healthz /flight/snapshot)");
+    }
+    // The CI smoke test parses the lines above from a pipe; make sure
+    // they are not stuck in a block buffer.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let exit_when_drained = opts.flag("exit-when-drained");
+    let max_secs: f64 = opts.get_or("max-secs", 0.0)?;
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if exit_when_drained && server.all_drained() {
+            break;
+        }
+        if max_secs > 0.0 && started.elapsed().as_secs_f64() >= max_secs {
+            server.drain_all();
+            break;
+        }
+    }
+    server.shutdown();
+    println!("drained; bye");
+    Ok(())
+}
+
+/// `cslack loadgen` — open-loop load generator against a running
+/// server. Offers `--rate` jobs/sec on each of `--conns` connections
+/// per tenant, measures decision latency end to end, then drains each
+/// tenant (unless `--no-drain`) and reports offered vs achieved
+/// throughput with tail percentiles. `--out <file>` writes the JSON
+/// report (the committed benchmark artifact is `BENCH_serve.json`).
+pub fn loadgen(opts: &Opts) -> Result<(), String> {
+    use cslack_server::loadgen::{run as loadgen_run, LoadgenConfig};
+    let mut config = LoadgenConfig::default();
+    config.connect = opts.get_or("connect", config.connect)?;
+    config.tenants = opts
+        .require("tenants")?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    config.conns = opts.get_or("conns", config.conns)?;
+    config.rate = opts.get_or("rate", config.rate)?;
+    config.jobs = opts.get_or("n", config.jobs)?;
+    config.batch = opts.get_or("batch", config.batch)?;
+    config.seed = opts.get_or("seed", config.seed)?;
+    config.drain = !opts.flag("no-drain");
+    let report = loadgen_run(&config)?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, json.clone() + "\n")
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if opts.flag("json") {
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "loadgen: {} tenant(s) x {} conn(s) x {} job(s), offered {:.0}/s",
+        report.tenants, report.conns_per_tenant, report.jobs_per_conn, report.offered_rate
+    );
+    println!(
+        "  achieved {:.0} decisions/s over {:.3}s wall",
+        report.achieved_rate, report.wall_secs
+    );
+    println!(
+        "  submitted {}, decided {} (accepted {}, rejected {}), backpressured {}, \
+         errored {}, undecided {}",
+        report.submitted,
+        report.decided,
+        report.accepted,
+        report.rejected,
+        report.backpressured,
+        report.errored,
+        report.undecided
+    );
+    println!(
+        "  decision latency: p50 {} us, p99 {} us, p999 {} us, max {} us",
+        report.latency_us.p50, report.latency_us.p99, report.latency_us.p999, report.latency_us.max
+    );
+    for t in &report.per_tenant {
+        println!(
+            "  tenant {}: submitted {}, accepted {}, rejected {}, p99 {} us{}",
+            t.tenant,
+            t.submitted,
+            t.accepted,
+            t.rejected,
+            t.latency_us.p99,
+            match &t.summary {
+                Some(s) => format!(
+                    " | drained: load {:.3}, makespan {:.3}, {} failed shard(s)",
+                    s.accepted_load, s.makespan, s.failed_shards
+                ),
+                None => String::new(),
+            }
+        );
     }
     Ok(())
 }

@@ -33,7 +33,16 @@ fn main() -> ExitCode {
             }
         }
     }
-    let opts = match args::Opts::parse_with_flags(&rest, &["json", "spans", "flight-audit"]) {
+    let opts = match args::Opts::parse_with_flags(
+        &rest,
+        &[
+            "json",
+            "spans",
+            "flight-audit",
+            "exit-when-drained",
+            "no-drain",
+        ],
+    ) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -46,6 +55,8 @@ fn main() -> ExitCode {
         "generate" => cmd::generate(&opts),
         "simulate" => cmd::simulate(&opts),
         "serve-bench" => cmd::serve_bench(&opts),
+        "serve" => cmd::serve(&opts),
+        "loadgen" => cmd::loadgen(&opts),
         "trace-summary" => cmd::trace_summary(&opts),
         "replay" => cmd::replay(&opts),
         "audit" => cmd::audit(&opts),

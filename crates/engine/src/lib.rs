@@ -184,18 +184,58 @@ pub struct ObsConfig {
     /// Port 0 binds an ephemeral port — read it back with
     /// [`Engine::metrics_addr`]. When set without a registry, an
     /// enabled [`MetricsRegistry`] is created automatically so
-    /// `/metrics` has data to serve.
+    /// `/metrics` has data to serve. Which of the three endpoints the
+    /// listener answers is governed by [`ObsConfig::endpoints`] — an
+    /// embedding process that serves its own telemetry (e.g.
+    /// `cslack-server`) leaves this `None` and no port is ever bound.
     pub serve_metrics: Option<SocketAddr>,
+    /// Which endpoints the [`ObsConfig::serve_metrics`] listener
+    /// answers; disabled endpoints return 404. Ignored when no
+    /// listener is requested. Defaults to all three.
+    pub endpoints: TelemetryEndpoints,
+    /// Live decision subscription: every completed decision is sent to
+    /// this channel as a [`DecisionEvent`] (global machine ids), in
+    /// per-shard `(shard, seq)` order. Shards send concurrently, so
+    /// the receiver observes an interleaving of the per-shard streams;
+    /// within one shard the order is exactly arrival order. The
+    /// channel closes when the engine is finished (all senders
+    /// dropped), which is the receiver's drain signal. A full bounded
+    /// channel blocks the deciding worker — subscribers that cannot
+    /// keep up stall the engine rather than silently losing decisions,
+    /// so use an unbounded channel unless that backpressure is wanted.
+    pub decisions: Option<Sender<DecisionEvent>>,
 }
 
 impl ObsConfig {
     /// Tracing with per-shard capacity `trace_capacity`, no registry.
     pub fn traced(trace_capacity: usize) -> ObsConfig {
         ObsConfig {
-            registry: None,
             trace_capacity,
-            flight: None,
-            serve_metrics: None,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// Which endpoints the engine's telemetry listener serves. Each is
+/// opt-out individually so an embedding process can expose exactly the
+/// surface it wants (e.g. `/healthz` only on an internal port, with
+/// metrics scraped elsewhere); a disabled endpoint answers 404.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEndpoints {
+    /// Serve `/metrics` (Prometheus text exposition).
+    pub metrics: bool,
+    /// Serve `/healthz` (per-shard liveness; 503 on any failed shard).
+    pub healthz: bool,
+    /// Serve `/flight/snapshot` (current `.cfr` bytes).
+    pub flight: bool,
+}
+
+impl Default for TelemetryEndpoints {
+    fn default() -> TelemetryEndpoints {
+        TelemetryEndpoints {
+            metrics: true,
+            healthz: true,
+            flight: true,
         }
     }
 }
@@ -641,8 +681,30 @@ impl fmt::Display for SubmitError {
 /// attribute queue wait per job.
 type Submission = (Job, Instant);
 
+/// What travels through a shard queue: a single submission, or a batch
+/// that amortizes one channel operation over many jobs
+/// ([`Engine::submit_batch`]). A batch occupies one queue slot
+/// regardless of its length — `queue_capacity` bounds *messages*, not
+/// jobs — so batching trades strict queue-depth accounting for an
+/// ingestion path that pays the channel synchronization once per
+/// batch instead of once per job.
+enum QueueMsg {
+    One(Submission),
+    Many(Vec<Submission>),
+}
+
+/// Recovers the lead job from a bounced queue message so submit errors
+/// can hand it back to the caller. Batch messages are never empty —
+/// [`Engine::submit_batch`] skips shards with no routed jobs.
+fn msg_job(msg: QueueMsg) -> Job {
+    match msg {
+        QueueMsg::One((job, _)) => job,
+        QueueMsg::Many(batch) => batch[0].0,
+    }
+}
+
 struct ShardHandle {
-    tx: Option<Sender<Submission>>,
+    tx: Option<Sender<QueueMsg>>,
     join: Option<JoinHandle<ShardOutcome>>,
     machines: Vec<MachineId>,
 }
@@ -772,6 +834,7 @@ struct TelemetryShared {
     registry: Arc<MetricsRegistry>,
     flight: Option<Arc<FlightState>>,
     health: Arc<HealthState>,
+    endpoints: TelemetryEndpoints,
 }
 
 /// Accept loop of the telemetry endpoint: nonblocking accept polled
@@ -844,7 +907,19 @@ fn handle_telemetry_request(
     // Route on the path alone: strip the query string (and any
     // fragment a sloppy client sends on the wire).
     let path = target.split(['?', '#']).next().unwrap_or(target);
+    // Disabled endpoints fall through to the 404 arm: deployments that
+    // front the engine with their own exporter (the cslack server
+    // process) can run the listener with only the endpoints they mean
+    // to expose.
+    let disabled_404 = (
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        b"endpoint disabled\n".to_vec(),
+    );
     let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
+        "/metrics" if !shared.endpoints.metrics => disabled_404,
+        "/healthz" if !shared.endpoints.healthz => disabled_404,
+        "/flight/snapshot" if !shared.endpoints.flight => disabled_404,
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -976,6 +1051,7 @@ impl Engine {
                     registry: Arc::clone(obs.registry.as_ref().expect("registry set above")),
                     flight: flight.clone(),
                     health: Arc::clone(&health),
+                    endpoints: obs.endpoints,
                 };
                 let join = std::thread::Builder::new()
                     .name("cslack-telemetry".to_string())
@@ -998,7 +1074,7 @@ impl Engine {
         let mut shards = Vec::with_capacity(config.shards);
         for (index, group) in groups.into_iter().enumerate() {
             let scheduler = builder(index, group.len());
-            let (tx, rx) = bounded::<Submission>(config.queue_capacity.max(1));
+            let (tx, rx) = bounded::<QueueMsg>(config.queue_capacity.max(1));
             let ctx = ShardCtx {
                 shard: index,
                 group: group.clone(),
@@ -1006,6 +1082,7 @@ impl Engine {
                 registry: obs.registry.clone(),
                 trace_capacity: obs.trace_capacity,
                 flight: flight.clone(),
+                decisions: obs.decisions.clone(),
                 health: Arc::clone(&health),
                 started,
             };
@@ -1116,13 +1193,15 @@ impl Engine {
             return Err(SubmitError::ShardFailed(job));
         }
         match &self.shards[shard].tx {
-            Some(tx) => match tx.try_send((job, Instant::now())) {
+            Some(tx) => match tx.try_send(QueueMsg::One((job, Instant::now()))) {
                 Ok(()) => {
                     self.note_enqueue();
                     Ok(())
                 }
-                Err(TrySendError::Full((j, _))) => Err(SubmitError::Full(j)),
-                Err(TrySendError::Disconnected((j, _))) => Err(self.closed_or_failed(shard, j)),
+                Err(TrySendError::Full(msg)) => Err(SubmitError::Full(msg_job(msg))),
+                Err(TrySendError::Disconnected(msg)) => {
+                    Err(self.closed_or_failed(shard, msg_job(msg)))
+                }
             },
             None => Err(SubmitError::Closed(job)),
         }
@@ -1144,19 +1223,16 @@ impl Engine {
             Some(tx) => tx,
             None => return Err(SubmitError::Closed(job)),
         };
-        let payload = match tx.try_send((job, Instant::now())) {
+        let payload = match tx.try_send(QueueMsg::One((job, Instant::now()))) {
             Ok(()) => {
                 self.note_enqueue();
                 return Ok(());
             }
-            Err(TrySendError::Disconnected((j, _))) => return Err(self.closed_or_failed(shard, j)),
+            Err(TrySendError::Disconnected(msg)) => {
+                return Err(self.closed_or_failed(shard, msg_job(msg)))
+            }
             Err(TrySendError::Full(payload)) => {
-                self.stalls.fetch_add(1, Ordering::Relaxed);
-                if let Some(reg) = &self.obs.registry {
-                    if reg.is_enabled() {
-                        reg.backpressure_stalls.inc();
-                    }
-                }
+                self.note_stall();
                 payload
             }
         };
@@ -1165,7 +1241,105 @@ impl Engine {
                 self.note_enqueue();
                 Ok(())
             }
-            Err(e) => Err(self.closed_or_failed(shard, e.into_inner().0)),
+            Err(e) => Err(self.closed_or_failed(shard, msg_job(e.into_inner()))),
+        }
+    }
+
+    /// Enqueues a batch of jobs with **one channel operation per
+    /// involved shard** instead of one per job — the ingestion path
+    /// for callers that already hold many submissions (the network
+    /// server's `SubmitBatch` frames, `serve-bench`'s workload
+    /// streaming). Jobs are grouped by their deterministic shard route
+    /// with relative order preserved, so the per-shard arrival streams
+    /// — and therefore the decision streams — are identical to
+    /// submitting the same slice job-by-job through
+    /// [`Engine::submit`].
+    ///
+    /// Returns one `Result` per input job, in input order. A full
+    /// shard queue is waited out like [`Engine::submit`] (counted as
+    /// one backpressure stall per shard-group, not per job); a failed
+    /// or closed shard fails every job routed to it with
+    /// [`SubmitError::ShardFailed`] / [`SubmitError::Closed`] while
+    /// the other shards' groups still enqueue. A batched shard-group
+    /// occupies a single queue slot whatever its length, so
+    /// `queue_capacity` bounds queued *messages*, not jobs.
+    pub fn submit_batch(&self, jobs: &[Job]) -> Vec<Result<(), SubmitError>> {
+        let shards = self.shards.len();
+        let now = Instant::now();
+        let mut groups: Vec<Vec<Submission>> = vec![Vec::new(); shards];
+        for job in jobs {
+            groups[shard_of(job.id, shards)].push((*job, now));
+        }
+        // Per-shard outcome; individual results are mapped from it so
+        // each failed job carries its own copy back to the caller.
+        enum GroupOutcome {
+            Enqueued,
+            Failed,
+            Closed,
+        }
+        let mut outcomes: Vec<GroupOutcome> = Vec::with_capacity(shards);
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                outcomes.push(GroupOutcome::Enqueued);
+                continue;
+            }
+            if self.health.is_failed(shard) {
+                outcomes.push(GroupOutcome::Failed);
+                continue;
+            }
+            let Some(tx) = &self.shards[shard].tx else {
+                outcomes.push(GroupOutcome::Closed);
+                continue;
+            };
+            let payload = match tx.try_send(QueueMsg::Many(group)) {
+                Ok(()) => {
+                    self.note_enqueue();
+                    outcomes.push(GroupOutcome::Enqueued);
+                    continue;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    outcomes.push(if self.health.is_failed(shard) {
+                        GroupOutcome::Failed
+                    } else {
+                        GroupOutcome::Closed
+                    });
+                    continue;
+                }
+                Err(TrySendError::Full(payload)) => {
+                    self.note_stall();
+                    payload
+                }
+            };
+            outcomes.push(match tx.send(payload) {
+                Ok(()) => {
+                    self.note_enqueue();
+                    GroupOutcome::Enqueued
+                }
+                Err(_) => {
+                    if self.health.is_failed(shard) {
+                        GroupOutcome::Failed
+                    } else {
+                        GroupOutcome::Closed
+                    }
+                }
+            });
+        }
+        jobs.iter()
+            .map(|job| match outcomes[shard_of(job.id, shards)] {
+                GroupOutcome::Enqueued => Ok(()),
+                GroupOutcome::Failed => Err(SubmitError::ShardFailed(*job)),
+                GroupOutcome::Closed => Err(SubmitError::Closed(*job)),
+            })
+            .collect()
+    }
+
+    /// Counts one backpressure stall (report counter + live registry).
+    fn note_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = &self.obs.registry {
+            if reg.is_enabled() {
+                reg.backpressure_stalls.inc();
+            }
         }
     }
 
@@ -1277,6 +1451,16 @@ impl Engine {
             outcomes.push(outcome);
             groups.push(shard.machines);
         }
+        // Drop the decision-stream sender now that every worker has
+        // exited: subscribers treat the channel close as the drain
+        // signal, and it must fire before the (possibly slow) merge and
+        // audit below, not at `Drop` time.
+        self.obs.decisions = None;
+        // Release the telemetry port as soon as the workers are done —
+        // callers that rebind the address (test harnesses, a respawning
+        // supervisor) must not race the `Drop` of the report-holding
+        // engine value.
+        self.stop_telemetry();
         let degraded: Vec<ShardFailure> =
             outcomes.iter().filter_map(|o| o.failure.clone()).collect();
         if degraded.len() == outcomes.len() {
@@ -1400,6 +1584,19 @@ impl Engine {
             degraded,
         })
     }
+
+    /// Stops the telemetry listener and joins its thread, releasing the
+    /// bound port immediately. Idempotent; [`Engine::finish`] calls it
+    /// as soon as the workers are joined so the address is free for
+    /// rebinding without waiting on the `Drop` of the engine value (the
+    /// report may be held, inspected, or serialized for a long time
+    /// after the run ends).
+    pub fn stop_telemetry(&mut self) {
+        if let Some(t) = self.telemetry.take() {
+            t.stop.store(true, Ordering::Relaxed);
+            let _ = t.join.join();
+        }
+    }
 }
 
 impl Drop for Engine {
@@ -1436,6 +1633,10 @@ struct ShardCtx {
     registry: Option<Arc<MetricsRegistry>>,
     trace_capacity: usize,
     flight: Option<Arc<FlightState>>,
+    /// Live decision-stream subscriber ([`ObsConfig::decisions`]); the
+    /// worker sends every built [`DecisionEvent`] here in (shard, seq)
+    /// order.
+    decisions: Option<Sender<DecisionEvent>>,
     health: Arc<HealthState>,
     /// The engine's start instant: heartbeats and the busy-window edge
     /// are nanoseconds since this point.
@@ -1517,7 +1718,7 @@ impl RegistryDelta {
 /// stops deciding the moment a fault is observed: the possibly
 /// half-updated scheduler is never offered another job.
 fn shard_worker(
-    rx: Receiver<Submission>,
+    rx: Receiver<QueueMsg>,
     mut scheduler: Box<dyn OnlineScheduler>,
     ctx: ShardCtx,
 ) -> ShardOutcome {
@@ -1539,12 +1740,19 @@ fn shard_worker(
     let mut ring = DecisionRing::new(ctx.trace_capacity);
     let mut delta = RegistryDelta::default();
     let mut batch: Vec<Submission> = Vec::with_capacity(ctx.batch_size);
+    let extend = |batch: &mut Vec<Submission>, msg: QueueMsg| match msg {
+        QueueMsg::One(sub) => batch.push(sub),
+        QueueMsg::Many(subs) => batch.extend(subs),
+    };
     while let Ok(first) = rx.recv() {
         batch.clear();
-        batch.push(first);
+        extend(&mut batch, first);
+        // Keep draining messages until the decision batch is at least
+        // `batch_size` jobs; a `Many` payload may overshoot the target,
+        // which is fine — it was one queue slot either way.
         while batch.len() < ctx.batch_size {
             match rx.try_recv() {
-                Ok(job) => batch.push(job),
+                Ok(msg) => extend(&mut batch, msg),
                 Err(_) => break,
             }
         }
@@ -1616,7 +1824,8 @@ fn shard_worker(
                                 delta.rejected.bump(reason);
                             }
                         }
-                        if ctx.trace_capacity > 0 || ctx.flight.is_some() {
+                        if ctx.trace_capacity > 0 || ctx.flight.is_some() || ctx.decisions.is_some()
+                        {
                             let (machine, start) = match decision {
                                 cslack_algorithms::Decision::Accept { machine, start } => {
                                     // Remap the scheduler's shard-local
@@ -1648,12 +1857,21 @@ fn shard_worker(
                                 latency_ns,
                                 queue_wait_ns,
                             };
-                            if ctx.trace_capacity > 0 {
+                            if ctx.trace_capacity > 0 || ctx.decisions.is_some() {
                                 let event = build();
                                 if let Some(guard) = flight_ring.as_mut() {
                                     guard.record_decision(&event);
                                 }
-                                ring.push(event);
+                                if let Some(tx) = &ctx.decisions {
+                                    // A closed subscriber is not a
+                                    // shard fault: the engine keeps
+                                    // deciding and only the live
+                                    // stream goes dark.
+                                    let _ = tx.send(event.clone());
+                                }
+                                if ctx.trace_capacity > 0 {
+                                    ring.push(event);
+                                }
                             } else if let Some(guard) = flight_ring.as_mut() {
                                 // Flight-only (the always-on
                                 // configuration): the ~140-byte record
@@ -1706,7 +1924,7 @@ fn shard_worker(
 /// blocked on the full queue.
 #[allow(clippy::too_many_arguments)]
 fn fail_shard(
-    rx: Receiver<Submission>,
+    rx: Receiver<QueueMsg>,
     ctx: ShardCtx,
     mut out: ShardOutcome,
     ring: DecisionRing,
@@ -1744,8 +1962,11 @@ fn fail_shard(
     // Jobs after the failing one in this batch, plus whatever the
     // queue still holds, will never be decided.
     let mut queued_lost = batch.len().saturating_sub(decided + 1) as u64;
-    while rx.try_recv().is_ok() {
-        queued_lost += 1;
+    while let Ok(msg) = rx.try_recv() {
+        queued_lost += match msg {
+            QueueMsg::One(_) => 1,
+            QueueMsg::Many(subs) => subs.len() as u64,
+        };
     }
     out.failure = Some(ShardFailure {
         shard: ctx.shard,
@@ -2292,6 +2513,134 @@ mod tests {
         let (head, _) = get("/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
         engine.finish().unwrap();
+    }
+
+    /// The semantic content of a decision stream: everything except the
+    /// wall-clock timings, which legitimately differ between runs.
+    fn decision_keys(snap: &FlightSnapshot) -> Vec<(u64, u32, usize, bool, Option<u32>)> {
+        snap.decisions()
+            .iter()
+            .map(|d| (d.seq, d.job, d.shard, d.accepted, d.machine))
+            .collect()
+    }
+
+    #[test]
+    fn submit_batch_matches_job_by_job_submission() {
+        let eps = 0.5;
+        let jobs = flight_workload(200);
+        let run = |batched: bool| {
+            let obs = ObsConfig {
+                flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
+                ..ObsConfig::default()
+            };
+            let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
+                Box::new(Threshold::new(g, eps))
+            })
+            .unwrap();
+            if batched {
+                // Chunk size is coprime with the shard count, so
+                // batches straddle shards in every alignment.
+                for chunk in jobs.chunks(17) {
+                    for result in engine.submit_batch(chunk) {
+                        result.unwrap();
+                    }
+                }
+            } else {
+                for job in &jobs {
+                    engine.submit(*job).unwrap();
+                }
+            }
+            engine.finish().unwrap()
+        };
+        let (one, many) = (run(false), run(true));
+        assert_eq!(one.metrics.submitted, many.metrics.submitted);
+        assert_eq!(one.metrics.accepted, many.metrics.accepted);
+        let (a, b) = (one.flight.unwrap(), many.flight.unwrap());
+        assert_eq!(
+            decision_keys(&a),
+            decision_keys(&b),
+            "batched submission changed the decision stream"
+        );
+    }
+
+    #[test]
+    fn decision_channel_streams_every_decision_and_closes_on_finish() {
+        let (tx, rx) = crossbeam::channel::unbounded::<DecisionEvent>();
+        let obs = ObsConfig {
+            decisions: Some(tx),
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, greedy_builder).unwrap();
+        let jobs = flight_workload(100);
+        for result in engine.submit_batch(&jobs) {
+            result.unwrap();
+        }
+        let report = engine.finish().unwrap();
+        // `finish` dropped the engine's sender clone and the `tx` we
+        // moved into ObsConfig, so the iterator terminates — that close
+        // is the subscriber's drain signal.
+        let events: Vec<DecisionEvent> = rx.iter().collect();
+        assert_eq!(events.len() as u64, report.metrics.submitted);
+        // Per-shard substreams arrive in (seq) order even though the
+        // interleaving across shards is arbitrary.
+        let mut last_seq = [None::<u64>; 2];
+        for event in &events {
+            if let Some(prev) = last_seq[event.shard] {
+                assert!(prev < event.seq, "shard {} reordered", event.shard);
+            }
+            last_seq[event.shard] = Some(event.seq);
+        }
+        // Every submitted job id appears exactly once.
+        let mut ids: Vec<u32> = events.iter().map(|e| e.job).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn disabled_telemetry_endpoints_return_404() {
+        use std::io::{Read as _, Write as _};
+        let obs = ObsConfig {
+            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
+            endpoints: TelemetryEndpoints {
+                metrics: false,
+                healthz: true,
+                flight: false,
+            },
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(2, EngineConfig::new(1), obs, greedy_builder).unwrap();
+        let addr = engine.metrics_addr().expect("endpoint bound");
+        let get = |path: &str| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).unwrap();
+            raw
+        };
+        assert!(get("/metrics").starts_with("HTTP/1.1 404"));
+        assert!(get("/flight/snapshot").starts_with("HTTP/1.1 404"));
+        assert!(get("/healthz").starts_with("HTTP/1.1 200"));
+        engine.finish().unwrap();
+    }
+
+    #[test]
+    fn finish_releases_the_telemetry_port_before_returning() {
+        let obs = ObsConfig {
+            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
+            ..ObsConfig::default()
+        };
+        let engine = Engine::start_observed(2, EngineConfig::new(1), obs, greedy_builder).unwrap();
+        let addr = engine.metrics_addr().expect("endpoint bound");
+        // Hold the report alive past the rebind: the port must be free
+        // the moment `finish` returns, not when the report is dropped.
+        let _report = engine.finish().unwrap();
+        let rebound = TcpListener::bind(addr);
+        assert!(
+            rebound.is_ok(),
+            "telemetry port still held after finish: {rebound:?}"
+        );
     }
 
     #[test]

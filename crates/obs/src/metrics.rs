@@ -146,62 +146,11 @@ impl MetricsRegistry {
     /// every span histogram registered in the process.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
-        };
-        counter(
-            &mut out,
-            "cslack_submitted_total",
-            "Jobs offered to the admission service.",
-            self.submitted.get(),
-        );
-        counter(
-            &mut out,
-            "cslack_accepted_total",
-            "Jobs admitted with a commitment.",
-            self.accepted.get(),
-        );
-        let _ = writeln!(
-            out,
-            "# HELP cslack_rejected_total Jobs rejected, by typed reason."
-        );
-        let _ = writeln!(out, "# TYPE cslack_rejected_total counter");
-        for reason in RejectReason::ALL {
-            let _ = writeln!(
-                out,
-                "cslack_rejected_total{{reason=\"{}\"}} {}",
-                reason.as_str(),
-                self.rejected(reason).get()
-            );
-        }
-        counter(
-            &mut out,
-            "cslack_backpressure_stalls_total",
-            "Submissions that found their shard queue full.",
-            self.backpressure_stalls.get(),
-        );
-        counter(
-            &mut out,
-            "cslack_telemetry_errors_total",
-            "Real accept errors in the telemetry serve loop.",
-            self.telemetry_errors.get(),
-        );
-        render_histogram(
-            &mut out,
-            "cslack_decision_latency_ns",
-            "Scheduler decision latency in nanoseconds.",
-            &[],
-            &self.decision_latency.snapshot(),
-        );
-        render_histogram(
-            &mut out,
-            "cslack_queue_wait_ns",
-            "Enqueue-to-decision wait in nanoseconds.",
-            &[],
-            &self.queue_wait.snapshot(),
-        );
+        self.render_prometheus_into(&mut out, &[]);
+        // Span timers are process-wide statics, not per-registry state,
+        // so they belong to the unlabeled (whole-process) exposition
+        // only — a labeled render would wrongly attribute them to one
+        // tenant.
         for (name, hist) in span_snapshot() {
             render_histogram(
                 &mut out,
@@ -212,6 +161,86 @@ impl MetricsRegistry {
             );
         }
         out
+    }
+
+    /// Appends this registry's metric families to `out` with `labels`
+    /// on every series — the multi-registry exposition path: a process
+    /// holding one registry per tenant renders them all into one page
+    /// with `[("tenant", name)]` labels, and HELP/TYPE headers are
+    /// emitted once per family across the whole page.
+    pub fn render_prometheus_into(&self, out: &mut String, labels: &[(&str, &str)]) {
+        let label_set = |extra: Option<(&str, &str)>| -> String {
+            let mut parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            if !out.contains(&format!("# TYPE {name} ")) {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+            }
+            let _ = writeln!(out, "{name}{} {v}", label_set(None));
+        };
+        counter(
+            out,
+            "cslack_submitted_total",
+            "Jobs offered to the admission service.",
+            self.submitted.get(),
+        );
+        counter(
+            out,
+            "cslack_accepted_total",
+            "Jobs admitted with a commitment.",
+            self.accepted.get(),
+        );
+        if !out.contains("# TYPE cslack_rejected_total ") {
+            let _ = writeln!(
+                out,
+                "# HELP cslack_rejected_total Jobs rejected, by typed reason."
+            );
+            let _ = writeln!(out, "# TYPE cslack_rejected_total counter");
+        }
+        for reason in RejectReason::ALL {
+            let _ = writeln!(
+                out,
+                "cslack_rejected_total{} {}",
+                label_set(Some(("reason", reason.as_str()))),
+                self.rejected(reason).get()
+            );
+        }
+        counter(
+            out,
+            "cslack_backpressure_stalls_total",
+            "Submissions that found their shard queue full.",
+            self.backpressure_stalls.get(),
+        );
+        counter(
+            out,
+            "cslack_telemetry_errors_total",
+            "Real accept errors in the telemetry serve loop.",
+            self.telemetry_errors.get(),
+        );
+        render_histogram(
+            out,
+            "cslack_decision_latency_ns",
+            "Scheduler decision latency in nanoseconds.",
+            labels,
+            &self.decision_latency.snapshot(),
+        );
+        render_histogram(
+            out,
+            "cslack_queue_wait_ns",
+            "Enqueue-to-decision wait in nanoseconds.",
+            labels,
+            &self.queue_wait.snapshot(),
+        );
     }
 }
 
@@ -335,6 +364,26 @@ mod tests {
         assert!(text.contains("cslack_decision_latency_ns_sum 999"));
         assert!(text.contains("cslack_decision_latency_ns_count 1"));
         assert!(text.contains("cslack_backpressure_stalls_total 0"));
+    }
+
+    #[test]
+    fn labeled_exposition_dedups_headers_across_registries() {
+        let (a, b) = (MetricsRegistry::enabled(), MetricsRegistry::enabled());
+        a.submitted.add(3);
+        b.submitted.add(7);
+        b.rejected(RejectReason::PolicyFiltered).inc();
+        let mut out = String::new();
+        a.render_prometheus_into(&mut out, &[("tenant", "alpha")]);
+        b.render_prometheus_into(&mut out, &[("tenant", "beta")]);
+        assert!(out.contains("cslack_submitted_total{tenant=\"alpha\"} 3"));
+        assert!(out.contains("cslack_submitted_total{tenant=\"beta\"} 7"));
+        assert!(out.contains("cslack_rejected_total{tenant=\"beta\",reason=\"policy_filtered\"} 1"));
+        // One HELP/TYPE header per family for the whole page, however
+        // many registries rendered into it.
+        assert_eq!(out.matches("# TYPE cslack_submitted_total ").count(), 1);
+        assert_eq!(out.matches("# TYPE cslack_decision_latency_ns ").count(), 1);
+        // Labeled pages carry no span series (process-wide state).
+        assert!(!out.contains("cslack_span_duration_ns"));
     }
 
     #[test]

@@ -119,6 +119,14 @@ pub mod channel {
         }
     }
 
+    // Real crossbeam renders channel halves opaquely; match it so
+    // structs embedding a Sender can keep `#[derive(Debug)]`.
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
     impl<T> Sender<T> {
         /// Sends a message, blocking while a bounded channel is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
@@ -150,6 +158,12 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
         }
     }
 

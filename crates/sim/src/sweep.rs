@@ -61,6 +61,39 @@ impl AlgoKind {
         }
     }
 
+    /// The CLI-vocabulary name of the algorithm — the same strings
+    /// `cslack` commands accept and the flight-recorder header records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlgoKind::Threshold => "threshold",
+            AlgoKind::Greedy => "greedy",
+            AlgoKind::LeeClassify => "lee",
+            AlgoKind::RandomizedClassifySelect => "randomized",
+            AlgoKind::ThresholdK1 => "threshold-k1",
+            AlgoKind::ThresholdKm => "threshold-km",
+            AlgoKind::ThresholdConstantF => "threshold-constant-f",
+            AlgoKind::ThresholdWorstFit => "threshold-worst-fit",
+            AlgoKind::ThresholdLatestStart => "threshold-latest-start",
+        }
+    }
+
+    /// Parses a CLI-vocabulary algorithm name (the inverse of
+    /// [`AlgoKind::as_str`]).
+    pub fn parse(name: &str) -> Option<AlgoKind> {
+        let all = [
+            AlgoKind::Threshold,
+            AlgoKind::Greedy,
+            AlgoKind::LeeClassify,
+            AlgoKind::RandomizedClassifySelect,
+            AlgoKind::ThresholdK1,
+            AlgoKind::ThresholdKm,
+            AlgoKind::ThresholdConstantF,
+            AlgoKind::ThresholdWorstFit,
+            AlgoKind::ThresholdLatestStart,
+        ];
+        all.into_iter().find(|k| k.as_str() == name)
+    }
+
     /// All deterministic multi-machine algorithms.
     pub fn baselines() -> &'static [AlgoKind] {
         &[AlgoKind::Threshold, AlgoKind::Greedy, AlgoKind::LeeClassify]

@@ -32,6 +32,7 @@ fn main() {
         // the whole run so the recording is complete and replayable.
         flight: Some(FlightConfig::new(n, "threshold", eps, 11)),
         serve_metrics: None,
+        ..ObsConfig::default()
     };
 
     let engine = Engine::start_observed(m, EngineConfig::new(shards), wiring, |_shard, group| {
