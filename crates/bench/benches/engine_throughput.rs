@@ -227,12 +227,13 @@ struct FlightArtifact {
     /// Baseline: no recorder.
     dark: ObsSide,
     /// Flight recorder on, ring sized to hold the whole run (one
-    /// compact record per decision). The observability budget asks for
-    /// < 5% below `dark`; on the single-core CI container — producer
-    /// and all shard workers time-slicing one CPU, so every recorded
-    /// byte is paid serially against the decision path — the recorder
-    /// lands around 10%. See `flight_overhead_pct` for the measured
-    /// value.
+    /// compact record per decision, timeline stamps included). The
+    /// observability budget asks for < 5% below `dark` even on the
+    /// single-core CI container — producer and all shard workers
+    /// time-slicing one CPU, so every recorded byte is paid serially
+    /// against the decision path. The per-shard single-writer rings
+    /// (`SharedFlightRing`: direct-encode, relaxed stores, no locks)
+    /// keep the measured value under that; see `flight_overhead_pct`.
     flight: ObsSide,
     /// Relative throughput cost of `flight` vs `dark`, percent
     /// (positive = slower). Median of per-pair ratios over `rounds`
@@ -259,7 +260,10 @@ struct FlightArtifact {
 /// Knobs: `CSLACK_BENCH_QUICK=1` shrinks the workload for the CI smoke
 /// check; `CSLACK_BENCH_FLIGHT_OUT` overrides the output path.
 fn write_flight_artifact() {
-    let (n, rounds) = if quick_mode() { (2_000, 5) } else { (N, 25) };
+    // Odd round counts give a true median pair; 61 pairs (~2 s of
+    // engine lifecycles) is what it takes for the median ratio to
+    // stabilize on a time-sliced single-core container.
+    let (n, rounds) = if quick_mode() { (2_000, 5) } else { (N, 61) };
     let shards = 4;
     let instance = WorkloadSpec::default_spec(M, EPS, n, 42)
         .generate()
@@ -269,6 +273,14 @@ fn write_flight_artifact() {
         flight: Some(FlightConfig::new(n.div_ceil(shards), "threshold", EPS, 42)),
         ..ObsConfig::default()
     };
+    // Warm the code paths before measuring: the first engine lifecycles
+    // after process start page in the binary and fault in fresh ring
+    // memory on cold caches, and that cost lands entirely on one side
+    // of the first pair if it isn't burned off here.
+    for _ in 0..2 {
+        run_engine(&instance, shards, ObsConfig::default());
+        run_engine(&instance, shards, flight_obs());
+    }
     // Run the two sides back to back so machine-load drift hits both
     // halves of each pair equally, and score each pair by its own
     // ratio rather than pooling throughputs across the whole session.

@@ -7,7 +7,9 @@ use cslack_algorithms::{
 };
 use cslack_engine::{Engine, EngineConfig, EngineMetrics, ObsConfig, ShardFailure, SubmitError};
 use cslack_kernel::Instance;
-use cslack_obs::MetricsRegistry;
+use cslack_obs::{
+    FlightEvent, HistogramSummary, MetricsRegistry, StageBreakdown, TraceSummary, STAGE_SPANS,
+};
 use cslack_ratio::RatioFn;
 use cslack_sim::fault::{FaultSpec, FaultyScheduler};
 use cslack_sim::simulate as run_sim;
@@ -40,9 +42,11 @@ USAGE:
   cslack loadgen   --tenants <name>[,<name2>...] [--connect <addr>]
                    [--conns <int>] [--rate <float>] [--n <int>] [--batch <int>]
                    [--seed <int>] [--no-drain] [--json] [--out <file>]
-  cslack trace-summary <jsonl> [--json]
+  cslack trace-summary <jsonl|run.cfr> [--json]
   cslack replay    <run.cfr> [--json]
   cslack audit     <run.cfr> [--json]
+  cslack latency   (<run.cfr> | --url http://<addr>/flight/snapshot[?tenant=NAME])
+                   [--top <int>] [--json]
   cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
   cslack opt       --trace <file> [--exact-limit <int>]
   cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
@@ -768,19 +772,338 @@ pub fn audit(opts: &Opts) -> Result<(), String> {
     }
 }
 
-/// `cslack trace-summary` — aggregate a decision-trace JSONL file back
-/// into counters and latency distributions. The totals reproduce the
-/// engine's own metrics exactly when the trace captured every event.
-pub fn trace_summary(opts: &Opts) -> Result<(), String> {
-    let path = opts.require("in")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
-    let events = cslack_obs::read_jsonl(BufReader::new(file))?;
-    let summary = cslack_obs::summarize(&events);
+/// One stage's span distribution in a latency waterfall.
+#[derive(Serialize)]
+struct StageStats {
+    stage: &'static str,
+    summary: HistogramSummary,
+}
+
+/// One shard's slice of the waterfall.
+#[derive(Serialize)]
+struct ShardLatency {
+    shard: u32,
+    stamped: u64,
+    end_to_end: HistogramSummary,
+    stages: Vec<StageStats>,
+}
+
+/// One span of a slow job's timeline (`None`: a hop never stamped).
+#[derive(Serialize)]
+struct SlowSpan {
+    stage: &'static str,
+    ns: Option<u64>,
+}
+
+/// A top-k slowest job with its full per-stage timeline.
+#[derive(Serialize)]
+struct SlowJob {
+    job: u32,
+    shard: u32,
+    accepted: bool,
+    end_to_end_ns: u64,
+    spans: Vec<SlowSpan>,
+}
+
+/// The full `cslack latency --json` report.
+#[derive(Serialize)]
+struct LatencyReport {
+    source: String,
+    algorithm: String,
+    m: u32,
+    shards: u32,
+    eps: f64,
+    decisions: u64,
+    stamped: u64,
+    unstamped: u64,
+    dropped: u64,
+    stages: Vec<StageStats>,
+    end_to_end: HistogramSummary,
+    per_shard: Vec<ShardLatency>,
+    slowest: Vec<SlowJob>,
+}
+
+fn breakdown_rows(b: &StageBreakdown) -> Vec<StageStats> {
+    STAGE_SPANS
+        .iter()
+        .zip(b.spans.iter())
+        .map(|(&(name, _, _), h)| StageStats {
+            stage: name,
+            summary: h.summary(),
+        })
+        .collect()
+}
+
+/// Minimal HTTP/1.1 GET over plain TCP (std only) — enough to fetch
+/// `/flight/snapshot` from the engine's or server's telemetry endpoint.
+fn http_get_bytes(url: &str) -> Result<Vec<u8>, String> {
+    use std::io::{Read as _, Write as _};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("`{url}`: only http:// URLs are supported"))?;
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let mut stream = std::net::TcpStream::connect(host)
+        .map_err(|e| format!("cannot connect to `{host}`: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("reading response from `{host}`: {e}"))?;
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("malformed HTTP response (no header/body split)")?;
+    let head = String::from_utf8_lossy(&response[..split]);
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200") {
+        return Err(format!("GET {url} failed: {status}"));
+    }
+    Ok(response[split + 4..].to_vec())
+}
+
+/// `cslack latency` — the stage-resolved waterfall of a run. Reads a
+/// `.cfr` flight recording (positional or `--in`) or fetches a live
+/// one from a telemetry endpoint (`--url
+/// http://<addr>/flight/snapshot[?tenant=NAME]`), then reports per-span
+/// p50/p90/p99/p999 overall and per shard, plus the `--top` slowest
+/// jobs with their complete timelines. Pre-v2 recordings degrade to an
+/// explicit "no timeline data" note instead of an empty waterfall.
+pub fn latency(opts: &Opts) -> Result<(), String> {
+    let top: usize = opts.get_or("top", 5)?;
+    let (source, snap) = match opts.get("url") {
+        Some(url) => {
+            let body = http_get_bytes(url)?;
+            (
+                url.to_string(),
+                cslack_obs::FlightSnapshot::read_cfr(&mut body.as_slice())?,
+            )
+        }
+        None => {
+            let path = opts.require("in")?;
+            (path.to_string(), read_cfr_file(path)?)
+        }
+    };
+
+    let mut total = StageBreakdown::new();
+    let mut per_shard = Vec::new();
+    let mut slowest = Vec::new();
+    for block in &snap.shards {
+        let mut b = StageBreakdown::new();
+        for event in &block.events {
+            if let FlightEvent::Decision(d) = event {
+                b.record(&d.stamps);
+                if let Some(e2e) = d.stamps.server_end_to_end() {
+                    slowest.push(SlowJob {
+                        job: d.job,
+                        shard: block.shard,
+                        accepted: d.accepted,
+                        end_to_end_ns: e2e,
+                        spans: STAGE_SPANS
+                            .iter()
+                            .map(|&(name, from, to)| SlowSpan {
+                                stage: name,
+                                ns: d.stamps.span(from, to),
+                            })
+                            .collect(),
+                    });
+                }
+            }
+        }
+        per_shard.push(ShardLatency {
+            shard: block.shard,
+            stamped: b.stamped,
+            end_to_end: b.end_to_end.summary(),
+            stages: breakdown_rows(&b),
+        });
+        total.merge(&b);
+    }
+    slowest.sort_by(|a, b| {
+        b.end_to_end_ns
+            .cmp(&a.end_to_end_ns)
+            .then(a.job.cmp(&b.job))
+    });
+    slowest.truncate(top);
+
+    let report = LatencyReport {
+        source,
+        algorithm: snap.header.algorithm.clone(),
+        m: snap.header.m,
+        shards: snap.header.shards,
+        eps: snap.header.eps,
+        decisions: total.stamped + total.unstamped,
+        stamped: total.stamped,
+        unstamped: total.unstamped,
+        dropped: snap.total_dropped(),
+        stages: breakdown_rows(&total),
+        end_to_end: total.end_to_end.summary(),
+        per_shard,
+        slowest,
+    };
     if opts.flag("json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
         );
+        return Ok(());
+    }
+
+    println!(
+        "latency {}: algo {}, m = {}, shards = {}, eps = {}",
+        report.source, report.algorithm, report.m, report.shards, report.eps
+    );
+    println!(
+        "  {} decision(s): {} stamped, {} unstamped, {} dropped record(s)",
+        report.decisions, report.stamped, report.unstamped, report.dropped
+    );
+    if !total.has_timeline() {
+        println!("  no timeline data (pre-v2 recording: stamps absent)");
+        return Ok(());
+    }
+    let e2e_mean = total.end_to_end.mean().max(1);
+    println!(
+        "  {:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}  waterfall",
+        "stage", "count", "p50 ns", "p90 ns", "p99 ns", "p999 ns", "max ns"
+    );
+    for row in &report.stages {
+        let s = &row.summary;
+        // Bar length = this span's share of the end-to-end mean.
+        let share = s.mean_ns as f64 / e2e_mean as f64;
+        let bar = "#".repeat(((share * 24.0).round() as usize).min(24));
+        println!(
+            "  {:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}  |{bar:<24}| {:.1}%",
+            row.stage,
+            s.count,
+            s.p50_ns,
+            s.p90_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.max_ns,
+            100.0 * share
+        );
+    }
+    let e = &report.end_to_end;
+    println!(
+        "  {:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "end-to-end", e.count, e.p50_ns, e.p90_ns, e.p99_ns, e.p999_ns, e.max_ns
+    );
+    for s in &report.per_shard {
+        println!(
+            "  shard {}: {} stamped, e2e p50 {} ns, p99 {} ns, max {} ns (queue p99 {} ns, \
+             decide p99 {} ns)",
+            s.shard,
+            s.stamped,
+            s.end_to_end.p50_ns,
+            s.end_to_end.p99_ns,
+            s.end_to_end.max_ns,
+            s.stages[2].summary.p99_ns,
+            s.stages[3].summary.p99_ns
+        );
+    }
+    if !report.slowest.is_empty() {
+        println!("  slowest end-to-end job(s):");
+        for j in &report.slowest {
+            let spans = j
+                .spans
+                .iter()
+                .map(|s| match s.ns {
+                    Some(ns) => format!("{} {ns}", s.stage),
+                    None => format!("{} -", s.stage),
+                })
+                .collect::<Vec<_>>()
+                .join(" | ");
+            println!(
+                "    J{} shard {} {}: e2e {} ns  ({spans})",
+                j.job,
+                j.shard,
+                if j.accepted { "accepted" } else { "rejected" },
+                j.end_to_end_ns
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The timeline section a v2 `.cfr` adds to `trace-summary --json`.
+#[derive(Serialize)]
+struct TimelineSection {
+    /// Decisions that carried at least one stamp.
+    stamped: u64,
+    /// Decisions with all-zero stamps (pre-v2 data).
+    unstamped: u64,
+    /// Per-stage span distributions, [`STAGE_SPANS`] order.
+    stages: Vec<StageStats>,
+    /// Server-side end-to-end distribution.
+    end_to_end: HistogramSummary,
+}
+
+/// `trace-summary --json` output for a `.cfr` input: the JSONL-shaped
+/// summary plus the timeline section when the recording carries stamps.
+#[derive(Serialize)]
+struct CfrTraceSummary {
+    summary: TraceSummary,
+    timeline: Option<TimelineSection>,
+}
+
+fn timeline_section(b: &StageBreakdown) -> Option<TimelineSection> {
+    b.has_timeline().then(|| TimelineSection {
+        stamped: b.stamped,
+        unstamped: b.unstamped,
+        stages: breakdown_rows(b),
+        end_to_end: b.end_to_end.summary(),
+    })
+}
+
+/// `cslack trace-summary` — aggregate a decision trace back into
+/// counters and latency distributions. Accepts either a JSONL decision
+/// trace or a `.cfr` flight recording (detected by magic); the totals
+/// reproduce the engine's own metrics exactly when the trace captured
+/// every event. Format-v2 recordings additionally get a per-stage
+/// timeline section; pre-v2 recordings and JSONL traces degrade to an
+/// explicit "no timeline data" note.
+pub fn trace_summary(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("in")?;
+    let mut magic = [0u8; 4];
+    {
+        use std::io::Read as _;
+        let mut file =
+            std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        // A short file simply fails the magic check and falls through
+        // to the JSONL parser (which reports its own error).
+        let _ = file.read(&mut magic);
+    }
+    let is_cfr = &magic == cslack_obs::flight::CFR_MAGIC;
+    let (events, breakdown) = if is_cfr {
+        let snap = read_cfr_file(path)?;
+        let mut b = StageBreakdown::new();
+        let mut events = Vec::new();
+        for d in snap.stamped_decisions() {
+            b.record(&d.stamps);
+            events.push(d.event.clone());
+        }
+        (events, Some(b))
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        (cslack_obs::read_jsonl(BufReader::new(file))?, None)
+    };
+    let summary = cslack_obs::summarize(&events);
+    if opts.flag("json") {
+        // JSONL inputs keep the bare TraceSummary shape existing
+        // consumers parse; `.cfr` inputs wrap it with the timeline.
+        let json = match &breakdown {
+            Some(b) => serde_json::to_string_pretty(&CfrTraceSummary {
+                summary,
+                timeline: timeline_section(b),
+            }),
+            None => serde_json::to_string_pretty(&summary),
+        };
+        println!("{}", json.map_err(|e| e.to_string())?);
         return Ok(());
     }
     println!(
@@ -825,6 +1148,32 @@ pub fn trace_summary(opts: &Opts) -> Result<(), String> {
             s.rejected.total(),
             s.dropped
         );
+    }
+    match &breakdown {
+        Some(b) if b.has_timeline() => {
+            println!(
+                "  timeline (per-stage means over {} stamped decision(s)):",
+                b.stamped
+            );
+            for (&(name, _, _), h) in STAGE_SPANS.iter().zip(b.spans.iter()) {
+                println!(
+                    "    {name:<10} mean {:>9} ns  (p99 {} ns, {} sample(s))",
+                    h.mean(),
+                    h.quantile(0.99),
+                    h.count()
+                );
+            }
+            let e = &b.end_to_end;
+            println!(
+                "    {:<10} mean {:>9} ns  (p99 {} ns, {} sample(s))",
+                "end-to-end",
+                e.mean(),
+                e.quantile(0.99),
+                e.count()
+            );
+        }
+        Some(_) => println!("  no timeline data (pre-v2 recording: stamps absent)"),
+        None => println!("  no timeline data (JSONL traces carry no stage stamps)"),
     }
     Ok(())
 }

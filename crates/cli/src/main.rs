@@ -17,16 +17,22 @@ mod args;
 mod cmd;
 
 fn main() -> ExitCode {
+    // Pin the uptime base before any work so every subcommand's
+    // `/metrics` exposition reports uptime from process start.
+    cslack_obs::metrics::mark_process_start();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
     };
-    // `trace-summary`, `replay` and `audit` take their input file as a
-    // positional argument (`cslack replay run.cfr`); rewrite it to
-    // `--in`.
+    // `trace-summary`, `replay`, `audit` and `latency` take their input
+    // file as a positional argument (`cslack replay run.cfr`); rewrite
+    // it to `--in`.
     let mut rest: Vec<String> = rest.to_vec();
-    if matches!(command.as_str(), "trace-summary" | "replay" | "audit") {
+    if matches!(
+        command.as_str(),
+        "trace-summary" | "replay" | "audit" | "latency"
+    ) {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 rest.insert(0, "--in".to_string());
@@ -60,6 +66,7 @@ fn main() -> ExitCode {
         "trace-summary" => cmd::trace_summary(&opts),
         "replay" => cmd::replay(&opts),
         "audit" => cmd::audit(&opts),
+        "latency" => cmd::latency(&opts),
         "adversary" => cmd::adversary(&opts),
         "opt" => cmd::opt(&opts),
         "import-swf" => cmd::import_swf(&opts),

@@ -84,14 +84,15 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use cslack_algorithms::OnlineScheduler;
 use cslack_kernel::{merge_schedules, Job, JobId, KernelError, MachineId, Schedule};
 use cslack_obs::flight::{
-    expand_decision_stream, FlightEvent, FlightHeader, FlightRing, FlightSnapshot, ShardFlight,
+    expand_decision_stream, FlightEvent, FlightHeader, FlightSnapshot, ShardFlight,
+    SharedFlightRing, StampedDecision,
 };
+use cslack_obs::timeline::{ClockBase, Stage, TimelineStamps, STAGE_SPANS};
 use cslack_obs::{
     DecisionEvent, DecisionRing, Histogram, MetricsRegistry, RejectCounts, RejectReason,
 };
 use cslack_sim::apply_decision;
 use cslack_sim::audit::{audit_snapshot, AuditReport};
-use parking_lot::Mutex;
 use serde::Serialize;
 use std::fmt;
 use std::io::{Read, Write};
@@ -194,16 +195,23 @@ pub struct ObsConfig {
     /// listener is requested. Defaults to all three.
     pub endpoints: TelemetryEndpoints,
     /// Live decision subscription: every completed decision is sent to
-    /// this channel as a [`DecisionEvent`] (global machine ids), in
-    /// per-shard `(shard, seq)` order. Shards send concurrently, so
-    /// the receiver observes an interleaving of the per-shard streams;
-    /// within one shard the order is exactly arrival order. The
-    /// channel closes when the engine is finished (all senders
-    /// dropped), which is the receiver's drain signal. A full bounded
-    /// channel blocks the deciding worker — subscribers that cannot
-    /// keep up stall the engine rather than silently losing decisions,
-    /// so use an unbounded channel unless that backpressure is wanted.
-    pub decisions: Option<Sender<DecisionEvent>>,
+    /// this channel as a [`StampedDecision`] (a [`DecisionEvent`] with
+    /// global machine ids plus its timeline stamps), in per-shard
+    /// `(shard, seq)` order. Shards send concurrently, so the receiver
+    /// observes an interleaving of the per-shard streams; within one
+    /// shard the order is exactly arrival order. The channel closes
+    /// when the engine is finished (all senders dropped), which is the
+    /// receiver's drain signal. A full bounded channel blocks the
+    /// deciding worker — subscribers that cannot keep up stall the
+    /// engine rather than silently losing decisions, so use an
+    /// unbounded channel unless that backpressure is wanted.
+    pub decisions: Option<Sender<StampedDecision>>,
+    /// The monotonic clock base timeline stamps are measured against.
+    /// An embedding process that stamps hops *outside* the engine (the
+    /// cslack server stamps frame decode and dispatch, and every tenant
+    /// engine must agree on the axis) passes its own shared clock;
+    /// `None` gives the engine a private one.
+    pub clock: Option<Arc<ClockBase>>,
 }
 
 impl ObsConfig {
@@ -245,11 +253,14 @@ impl Default for TelemetryEndpoints {
 /// The recorder captures the complete causal record of the run —
 /// submissions (arrival order + shard routing), full decisions, and
 /// irrevocable commitments — in bounded per-shard binary rings
-/// ([`FlightRing`]). Workers buffer encoded records batch-locally and
-/// flush under a per-shard mutex once per drained batch, so the
-/// per-decision path takes no locks while live readers
-/// (`/flight/snapshot`, error snapshots) can still see everything up to
-/// the last completed batch.
+/// ([`SharedFlightRing`]). Each shard's worker is its ring's single
+/// writer: a decision is encoded straight into its slot with relaxed
+/// atomic word stores and one release publish, so the per-decision
+/// path takes no locks at all while live readers (`/flight/snapshot`,
+/// error snapshots) take seqlock-validated copies at any time without
+/// ever stalling a worker. Records carry the decision's
+/// [`TimelineStamps`], so snapshots double as the stage-latency
+/// evidence `cslack latency` aggregates.
 #[derive(Clone, Debug)]
 pub struct FlightConfig {
     /// Per-shard ring capacity in records; `0` disables recording.
@@ -677,9 +688,11 @@ impl fmt::Display for SubmitError {
     }
 }
 
-/// Queue payload: the job plus its enqueue instant, so the worker can
-/// attribute queue wait per job.
-type Submission = (Job, Instant);
+/// Queue payload: the job plus the timeline stamps accumulated up to —
+/// and including — its enqueue. The worker reads queue wait straight
+/// off the enqueue stamp and keeps stamping the later hops into the
+/// same array.
+type Submission = (Job, TimelineStamps);
 
 /// What travels through a shard queue: a single submission, or a batch
 /// that amortizes one channel operation over many jobs
@@ -729,14 +742,20 @@ pub struct Engine {
     health: Arc<HealthState>,
     flight: Option<Arc<FlightState>>,
     telemetry: Option<TelemetryHandle>,
+    /// Shared monotonic base for every timeline stamp (submit paths
+    /// stamp `Enqueue` here; workers stamp `Dequeue`/`Decide`).
+    clock: Arc<ClockBase>,
 }
 
 /// Shared flight-recorder state: one bounded binary ring per shard plus
-/// the run metadata the `.cfr` header needs. Workers flush encoded
-/// batches under the per-shard mutex; snapshot readers (finish, the
-/// telemetry endpoint, error dumps) lock one shard at a time.
+/// the run metadata the `.cfr` header needs. Each ring is a lock-free
+/// [`SharedFlightRing`]: the shard worker is its single writer (a
+/// wait-free encoded append per decision — no mutex, no batch
+/// staging), while snapshot readers (finish, the telemetry endpoint,
+/// error dumps) take seqlock-validated copies without ever stalling
+/// the writer.
 struct FlightState {
-    rings: Vec<Mutex<FlightRing>>,
+    rings: Vec<SharedFlightRing>,
     cfg: FlightConfig,
     m: usize,
     shard_count: usize,
@@ -757,12 +776,7 @@ impl FlightState {
     fn snapshot(&self, counters: Option<(u64, u64, RejectCounts)>) -> FlightSnapshot {
         let mut shards = Vec::with_capacity(self.rings.len());
         for (index, ring) in self.rings.iter().enumerate() {
-            let guard = ring.lock();
-            let dropped = guard.dropped();
-            let compact = guard.snapshot_events();
-            drop(guard);
-            // Expansion allocates and copies outside the lock so the
-            // shard worker is never stalled behind it.
+            let (compact, dropped) = ring.snapshot_events();
             shards.push(ShardFlight {
                 shard: index as u32,
                 dropped,
@@ -1019,16 +1033,12 @@ impl Engine {
         }
         let flight = obs.flight.as_ref().filter(|f| f.capacity > 0).map(|cfg| {
             Arc::new(FlightState {
+                // SharedFlightRing::new touches every word of the
+                // backing buffer on this (the caller's) thread, so a
+                // shard's first pass over its ring never page-faults
+                // inside the decision loop.
                 rings: (0..config.shards)
-                    .map(|_| {
-                        // Touch the full ring now, on the caller's
-                        // thread: a shard's first pass over a lazily
-                        // reserved multi-megabyte buffer would otherwise
-                        // page-fault inside the decision loop.
-                        let mut ring = FlightRing::new(cfg.capacity);
-                        ring.preallocate();
-                        Mutex::new(ring)
-                    })
+                    .map(|_| SharedFlightRing::new(cfg.capacity))
                     .collect(),
                 cfg: cfg.clone(),
                 m,
@@ -1036,6 +1046,13 @@ impl Engine {
                 error_snapshot_written: AtomicBool::new(false),
             })
         });
+        // One monotonic clock base for every stamp this engine (and an
+        // embedding server sharing it) takes: cross-thread stage deltas
+        // are only meaningful on a single axis.
+        let clock = obs
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(ClockBase::new()));
         // Bind the telemetry listener before spawning workers so a bad
         // address fails the start instead of leaking shard threads.
         let telemetry = match obs.serve_metrics {
@@ -1085,6 +1102,7 @@ impl Engine {
                 decisions: obs.decisions.clone(),
                 health: Arc::clone(&health),
                 started,
+                clock: Arc::clone(&clock),
             };
             let join = std::thread::Builder::new()
                 .name(format!("cslack-shard-{index}"))
@@ -1107,7 +1125,15 @@ impl Engine {
             health,
             flight,
             telemetry,
+            clock,
         })
+    }
+
+    /// The monotonic clock base this engine stamps timelines against —
+    /// share it ([`ObsConfig::clock`]) with every component that stamps
+    /// hops for the same jobs.
+    pub fn clock(&self) -> &Arc<ClockBase> {
+        &self.clock
     }
 
     /// Cluster machine count.
@@ -1170,6 +1196,21 @@ impl Engine {
             .fetch_min(saturating_ns(self.started.elapsed()), Ordering::Relaxed);
     }
 
+    /// Timeline stamps for an in-process submission: one clock read,
+    /// with the server-side network hops (frame decode, dispatch)
+    /// coinciding with the enqueue — a direct caller has no wire
+    /// between itself and the queue, so those spans are honestly zero
+    /// rather than absent. Client send stays absent: only a real
+    /// client can stamp its own clock domain.
+    fn inprocess_stamps(&self) -> TimelineStamps {
+        let now = self.clock.now_ns();
+        let mut stamps = TimelineStamps::empty();
+        stamps.set(Stage::FrameDecode, now);
+        stamps.set(Stage::Dispatch, now);
+        stamps.set(Stage::Enqueue, now);
+        stamps
+    }
+
     /// Maps a disconnected queue to the right submit error: a failed
     /// shard's receiver is dropped by its dying worker, which would
     /// otherwise be indistinguishable from graceful shutdown.
@@ -1193,7 +1234,7 @@ impl Engine {
             return Err(SubmitError::ShardFailed(job));
         }
         match &self.shards[shard].tx {
-            Some(tx) => match tx.try_send(QueueMsg::One((job, Instant::now()))) {
+            Some(tx) => match tx.try_send(QueueMsg::One((job, self.inprocess_stamps()))) {
                 Ok(()) => {
                     self.note_enqueue();
                     Ok(())
@@ -1223,7 +1264,7 @@ impl Engine {
             Some(tx) => tx,
             None => return Err(SubmitError::Closed(job)),
         };
-        let payload = match tx.try_send(QueueMsg::One((job, Instant::now()))) {
+        let payload = match tx.try_send(QueueMsg::One((job, self.inprocess_stamps()))) {
             Ok(()) => {
                 self.note_enqueue();
                 return Ok(());
@@ -1264,11 +1305,34 @@ impl Engine {
     /// occupies a single queue slot whatever its length, so
     /// `queue_capacity` bounds queued *messages*, not jobs.
     pub fn submit_batch(&self, jobs: &[Job]) -> Vec<Result<(), SubmitError>> {
+        self.submit_batch_stamped(jobs, TimelineStamps::empty())
+    }
+
+    /// [`Engine::submit_batch`] with caller-provided timeline stamps —
+    /// the wire-ingestion path. `stamps` carries the hops that happened
+    /// *before* the engine saw the batch (client send from the frame,
+    /// frame decode, dispatcher route); the engine stamps `Enqueue`
+    /// itself (one clock read for the whole batch) and fills a missing
+    /// frame-decode/dispatch stamp with it, so every server-side stage
+    /// is always present downstream. A zero client-send stamp is left
+    /// absent — it belongs to the client's clock domain and cannot be
+    /// synthesized here.
+    pub fn submit_batch_stamped(
+        &self,
+        jobs: &[Job],
+        mut stamps: TimelineStamps,
+    ) -> Vec<Result<(), SubmitError>> {
         let shards = self.shards.len();
-        let now = Instant::now();
+        let now = self.clock.now_ns();
+        for stage in [Stage::FrameDecode, Stage::Dispatch] {
+            if stamps.get(stage) == 0 {
+                stamps.set(stage, now);
+            }
+        }
+        stamps.set(Stage::Enqueue, now);
         let mut groups: Vec<Vec<Submission>> = vec![Vec::new(); shards];
         for job in jobs {
-            groups[shard_of(job.id, shards)].push((*job, now));
+            groups[shard_of(job.id, shards)].push((*job, stamps));
         }
         // Per-shard outcome; individual results are mapped from it so
         // each failed job carries its own copy back to the caller.
@@ -1634,13 +1698,16 @@ struct ShardCtx {
     trace_capacity: usize,
     flight: Option<Arc<FlightState>>,
     /// Live decision-stream subscriber ([`ObsConfig::decisions`]); the
-    /// worker sends every built [`DecisionEvent`] here in (shard, seq)
-    /// order.
-    decisions: Option<Sender<DecisionEvent>>,
+    /// worker sends every built [`StampedDecision`] here in (shard,
+    /// seq) order.
+    decisions: Option<Sender<StampedDecision>>,
     health: Arc<HealthState>,
     /// The engine's start instant: heartbeats and the busy-window edge
     /// are nanoseconds since this point.
     started: Instant,
+    /// Shared stamp clock: dequeue/decide stamps are read off it so
+    /// they line up with the submit-side enqueue stamps.
+    clock: Arc<ClockBase>,
 }
 
 #[inline]
@@ -1672,11 +1739,28 @@ struct RegistryDelta {
     rejected: RejectCounts,
     latency: Histogram,
     queue_wait: Histogram,
+    /// Per-stage span samples in [`STAGE_SPANS`] order. The worker
+    /// only ever populates the first four (dispatch, enqueue, queue,
+    /// decide); the delivery span is recorded by whoever actually
+    /// delivers the decision (the server's dispatcher), so it is never
+    /// double counted here.
+    stages: [Histogram; STAGE_SPANS.len()],
+    /// Flight records dropped since the last flush.
+    flight_dropped: u64,
 }
 
 impl RegistryDelta {
+    /// Folds the worker-side stage spans of one decision in.
+    fn record_stages(&mut self, stamps: &TimelineStamps) {
+        for (slot, &(_, from, to)) in self.stages.iter_mut().take(4).zip(STAGE_SPANS.iter()) {
+            if let Some(ns) = stamps.span(from, to) {
+                slot.record(ns);
+            }
+        }
+    }
+
     fn flush(&mut self, reg: &MetricsRegistry) {
-        if self.submitted == 0 {
+        if self.submitted == 0 && self.flight_dropped == 0 {
             return;
         }
         reg.submitted.add(self.submitted);
@@ -1689,6 +1773,10 @@ impl RegistryDelta {
         }
         reg.decision_latency.merge_histogram(&self.latency);
         reg.queue_wait.merge_histogram(&self.queue_wait);
+        for (hist, delta) in reg.stage_durations.iter().zip(self.stages.iter()) {
+            hist.merge_histogram(delta);
+        }
+        reg.flight_dropped.add(self.flight_dropped);
         *self = RegistryDelta::default();
     }
 }
@@ -1709,8 +1797,8 @@ impl RegistryDelta {
 /// with a disconnect instead of deadlocking it.
 ///
 /// Unwind safety: the closure mutates the shard-local schedule,
-/// counters, and rings. On unwind the batch's flight-ring guard is
-/// released (parking_lot mutexes do not poison) and every structure is
+/// counters, and rings. The flight ring is lock-free (single-writer
+/// atomics, nothing to poison) and every structure is
 /// left at its last per-decision checkpoint — decisions are applied
 /// one at a time and `out.submitted` is incremented only *after* a
 /// decision fully commits, so the counters never include the decision
@@ -1739,6 +1827,9 @@ fn shard_worker(
     };
     let mut ring = DecisionRing::new(ctx.trace_capacity);
     let mut delta = RegistryDelta::default();
+    // High-water mark of the flight ring's dropped counter already
+    // published to the registry.
+    let mut flight_dropped_flushed = 0u64;
     let mut batch: Vec<Submission> = Vec::with_capacity(ctx.batch_size);
     let extend = |batch: &mut Vec<Submission>, msg: QueueMsg| match msg {
         QueueMsg::One(sub) => batch.push(sub),
@@ -1769,29 +1860,36 @@ fn shard_worker(
         let fault: Option<(FailureKind, String)> = {
             let unwound =
                 catch_unwind(AssertUnwindSafe(|| -> Result<(), (FailureKind, String)> {
-                    // The flight ring is locked once per batch and each
-                    // decision encodes straight into its slot — a
-                    // single write pass, no batch-local staging buffer.
-                    // The guard is dropped before the next blocking
-                    // recv (and released by the unwind on a panic), so
-                    // live snapshot readers wait at most one batch's
-                    // decision loop. Only the compact decision record
-                    // is stored; submission and commitment events are
-                    // synthesized from it at snapshot time.
-                    let mut flight_ring = ctx
-                        .flight
-                        .as_deref()
-                        .map(|state| state.rings[ctx.shard].lock());
+                    // The worker is the ring's single writer, so flight
+                    // recording takes no lock at all: each decision
+                    // encodes straight into its slot with relaxed word
+                    // stores and one release publish. Live snapshot
+                    // readers never wait on the decision loop. Only the
+                    // compact decision record is stored; submission and
+                    // commitment events are synthesized from it at
+                    // snapshot time.
+                    let flight_ring = ctx.flight.as_deref().map(|state| &state.rings[ctx.shard]);
                     while decided < batch.len() {
-                        let (job, enqueued) = batch[decided];
+                        let (job, mut stamps) = batch[decided];
                         let seq = out.submitted;
-                        let queue_wait_ns = saturating_ns(enqueued.elapsed());
-                        let t0 = Instant::now();
+                        // One clock read before the offer and one after:
+                        // dequeue and decide stamps, from which the
+                        // queue-wait and decision-latency metrics also
+                        // fall out — no extra `Instant` reads per hop.
+                        let dequeue_ns = ctx.clock.now_ns();
+                        stamps.set(Stage::Dequeue, dequeue_ns);
+                        let queue_wait_ns = dequeue_ns.saturating_sub(stamps.get(Stage::Enqueue));
                         let (decision, info) = {
                             let _route = cslack_obs::span!("route");
                             scheduler.offer_explained(&job)
                         };
-                        let latency_ns = saturating_ns(t0.elapsed());
+                        let decide_ns = ctx.clock.now_ns();
+                        stamps.set(Stage::Decide, decide_ns);
+                        // In-process the decision is "delivered" the
+                        // moment it is made; the server's dispatcher
+                        // overwrites this stamp at actual route time.
+                        stamps.set(Stage::Delivery, decide_ns);
+                        let latency_ns = decide_ns.saturating_sub(dequeue_ns);
                         let accepted = match apply_decision(&mut schedule, &job, decision) {
                             Ok(true) => true,
                             Ok(false) => false,
@@ -1811,6 +1909,7 @@ fn shard_worker(
                             delta.submitted += 1;
                             delta.latency.record(latency_ns);
                             delta.queue_wait.record(queue_wait_ns);
+                            delta.record_stages(&stamps);
                         }
                         if accepted {
                             out.accepted += 1;
@@ -1859,26 +1958,26 @@ fn shard_worker(
                             };
                             if ctx.trace_capacity > 0 || ctx.decisions.is_some() {
                                 let event = build();
-                                if let Some(guard) = flight_ring.as_mut() {
-                                    guard.record_decision(&event);
+                                if let Some(flight) = flight_ring {
+                                    flight.record_decision(&event, &stamps);
                                 }
                                 if let Some(tx) = &ctx.decisions {
                                     // A closed subscriber is not a
                                     // shard fault: the engine keeps
                                     // deciding and only the live
                                     // stream goes dark.
-                                    let _ = tx.send(event.clone());
+                                    let _ = tx.send(StampedDecision::new(event.clone(), stamps));
                                 }
                                 if ctx.trace_capacity > 0 {
                                     ring.push(event);
                                 }
-                            } else if let Some(guard) = flight_ring.as_mut() {
+                            } else if let Some(flight) = flight_ring {
                                 // Flight-only (the always-on
-                                // configuration): the ~140-byte record
-                                // is built straight in its ring slot,
-                                // the single write this path pays per
-                                // decision.
-                                guard.record_with(|| FlightEvent::Decision(build()));
+                                // configuration): the record is encoded
+                                // straight from the decision's parts —
+                                // no event wrapper, one pass of relaxed
+                                // stores into the shard's own ring.
+                                flight.record_decision(&build(), &stamps);
                             }
                         }
                         decided += 1;
@@ -1899,6 +1998,14 @@ fn shard_worker(
         }
         out.last_decision_ns = saturating_ns(ctx.started.elapsed());
         if let Some(reg) = recording {
+            // Overwritten flight records are surfaced as a counter
+            // delta so a live scrape sees ring churn, not just the
+            // snapshot-time dropped field.
+            if let Some(state) = ctx.flight.as_deref() {
+                let dropped = state.rings[ctx.shard].dropped();
+                delta.flight_dropped = dropped - flight_dropped_flushed;
+                flight_dropped_flushed = dropped;
+            }
             delta.flush(reg);
         }
     }
@@ -1940,10 +2047,9 @@ fn fail_shard(
     let failing = batch.get(decided).map(|(job, _)| *job);
     if let Some(state) = ctx.flight.as_deref() {
         if let Some(job) = &failing {
-            // Re-lock: the batch guard was released by the unwind (or
-            // by the contract-error return).
-            let mut guard = state.rings[ctx.shard].lock();
-            guard.record(&FlightEvent::Submission {
+            // The worker thread is still the ring's only writer, so
+            // the failing job's submission can be appended directly.
+            state.rings[ctx.shard].record(&FlightEvent::Submission {
                 seq,
                 shard: ctx.shard as u32,
                 job: job.id.0,
@@ -2565,7 +2671,7 @@ mod tests {
 
     #[test]
     fn decision_channel_streams_every_decision_and_closes_on_finish() {
-        let (tx, rx) = crossbeam::channel::unbounded::<DecisionEvent>();
+        let (tx, rx) = crossbeam::channel::unbounded::<StampedDecision>();
         let obs = ObsConfig {
             decisions: Some(tx),
             ..ObsConfig::default()
@@ -2579,8 +2685,21 @@ mod tests {
         // `finish` dropped the engine's sender clone and the `tx` we
         // moved into ObsConfig, so the iterator terminates — that close
         // is the subscriber's drain signal.
-        let events: Vec<DecisionEvent> = rx.iter().collect();
+        let events: Vec<StampedDecision> = rx.iter().collect();
         assert_eq!(events.len() as u64, report.metrics.submitted);
+        // Every streamed decision carries a monotone server timeline
+        // with the pipeline stages stamped.
+        for event in &events {
+            assert!(event.stamps.server_monotone(), "stamps out of order");
+            for stage in [
+                Stage::Enqueue,
+                Stage::Dequeue,
+                Stage::Decide,
+                Stage::Delivery,
+            ] {
+                assert_ne!(event.stamps.get(stage), 0, "{stage:?} unstamped");
+            }
+        }
         // Per-shard substreams arrive in (seq) order even though the
         // interleaving across shards is arbitrary.
         let mut last_seq = [None::<u64>; 2];

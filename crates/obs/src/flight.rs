@@ -34,17 +34,27 @@
 //! followed by one record block per shard, and ends in an FNV-1a
 //! checksum so a truncated or bit-flipped file is rejected on read.
 
+use crate::timeline::{TimelineStamps, STAGES};
 use crate::trace::{DecisionEvent, RejectCounts, RejectReason};
 use std::io::{Read, Write};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
-/// Size in bytes of one encoded flight record.
-pub const RECORD_SIZE: usize = 96;
+/// Size in bytes of one encoded flight record (format v2: the v1 layout
+/// plus one u64 timeline stamp per [`crate::timeline::Stage`]).
+pub const RECORD_SIZE: usize = RECORD_SIZE_V1 + STAGES * 8;
 
-/// Magic bytes opening a `.cfr` file.
+/// Size in bytes of one v1 record (no timeline stamps).
+pub const RECORD_SIZE_V1: usize = 96;
+
+/// Magic bytes opening a `.cfr` file (unchanged across versions).
 pub const CFR_MAGIC: &[u8; 4] = b"CFR1";
 
-/// Current `.cfr` container version.
-pub const CFR_VERSION: u32 = 1;
+/// Current `.cfr` container version (v2 = stage-stamped records).
+pub const CFR_VERSION: u32 = 2;
+
+/// Oldest `.cfr` container version still readable.
+pub const CFR_MIN_VERSION: u32 = 1;
 
 const KIND_SUBMISSION: u8 = 0;
 const KIND_DECISION: u8 = 1;
@@ -55,6 +65,55 @@ const FLAG_THRESHOLD: u8 = 1 << 1;
 const FLAG_MIN_LOAD: u8 = 1 << 2;
 const FLAG_PLACEMENT: u8 = 1 << 3;
 const FLAG_REJECT_REASON: u8 = 1 << 4;
+
+/// A [`DecisionEvent`] plus its per-stage timeline stamps.
+///
+/// The stamps are a recording-side extension: the decision itself (and
+/// therefore replay, JSONL traces and the audit's bit-identity checks)
+/// is unchanged, so `StampedDecision` derefs to its [`DecisionEvent`] —
+/// read sites keep saying `d.accepted`, `d.threshold`, and so on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StampedDecision {
+    /// The decision the shard produced.
+    pub event: DecisionEvent,
+    /// Nanosecond stamps per pipeline stage (all zero on v1 records).
+    pub stamps: TimelineStamps,
+}
+
+impl StampedDecision {
+    /// Pairs a decision with its stamps.
+    pub fn new(event: DecisionEvent, stamps: TimelineStamps) -> StampedDecision {
+        StampedDecision { event, stamps }
+    }
+
+    /// A decision with no timeline data (pre-v2 sources).
+    pub fn unstamped(event: DecisionEvent) -> StampedDecision {
+        StampedDecision {
+            event,
+            stamps: TimelineStamps::empty(),
+        }
+    }
+}
+
+impl From<DecisionEvent> for StampedDecision {
+    fn from(event: DecisionEvent) -> StampedDecision {
+        StampedDecision::unstamped(event)
+    }
+}
+
+impl Deref for StampedDecision {
+    type Target = DecisionEvent;
+
+    fn deref(&self) -> &DecisionEvent {
+        &self.event
+    }
+}
+
+impl DerefMut for StampedDecision {
+    fn deref_mut(&mut self) -> &mut DecisionEvent {
+        &mut self.event
+    }
+}
 
 /// One entry of the causal flight record.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,8 +133,9 @@ pub enum FlightEvent {
         /// Deadline `d_j`.
         deadline: f64,
     },
-    /// The decision the shard produced for its `seq`-th submission.
-    Decision(DecisionEvent),
+    /// The decision the shard produced for its `seq`-th submission,
+    /// with its stage-resolved timeline stamps.
+    Decision(StampedDecision),
     /// The irrevocable commitment of an accepted job.
     Commitment {
         /// Per-shard arrival index of the committed job.
@@ -153,7 +213,11 @@ fn reject_reason_from_code(code: u8) -> Result<RejectReason, String> {
 ///  72    8  start         f64 (valid when flagged)
 ///  80    8  latency_ns    u64
 ///  88    8  queue_wait_ns u64
+///  96   56  timeline stamps, 7 × u64 ns in stage order (v2; 0 = absent)
 /// ```
+///
+/// Bytes 0–95 are exactly the v1 record: a v2 reader decodes a v1
+/// record by treating the missing stamp block as all-absent.
 pub fn encode_event(event: &FlightEvent) -> [u8; RECORD_SIZE] {
     let mut rec = [0u8; RECORD_SIZE];
     encode_event_to(&mut rec, event);
@@ -187,40 +251,7 @@ fn encode_event_to(rec: &mut [u8], event: &FlightEvent) {
             put_f64(rec, 32, *proc_time);
             put_f64(rec, 40, *deadline);
         }
-        FlightEvent::Decision(d) => {
-            rec[0] = KIND_DECISION;
-            let mut flags = 0u8;
-            if d.accepted {
-                flags |= FLAG_ACCEPTED;
-            }
-            if d.threshold.is_some() {
-                flags |= FLAG_THRESHOLD;
-            }
-            if d.min_load.is_some() {
-                flags |= FLAG_MIN_LOAD;
-            }
-            if d.machine.is_some() && d.start.is_some() {
-                flags |= FLAG_PLACEMENT;
-            }
-            if let Some(reason) = d.reject_reason {
-                flags |= FLAG_REJECT_REASON;
-                rec[2] = reject_reason_code(reason);
-            }
-            rec[1] = flags;
-            put_u32(rec, 4, d.shard as u32);
-            put_u64(rec, 8, d.seq);
-            put_u32(rec, 16, d.job);
-            put_u32(rec, 20, d.candidates);
-            put_f64(rec, 24, d.release);
-            put_f64(rec, 32, d.proc_time);
-            put_f64(rec, 40, d.deadline);
-            put_f64(rec, 48, d.threshold.unwrap_or(0.0));
-            put_f64(rec, 56, d.min_load.unwrap_or(0.0));
-            put_u32(rec, 64, d.machine.unwrap_or(0));
-            put_f64(rec, 72, d.start.unwrap_or(0.0));
-            put_u64(rec, 80, d.latency_ns);
-            put_u64(rec, 88, d.queue_wait_ns);
-        }
+        FlightEvent::Decision(sd) => encode_decision_to(rec, &sd.event, &sd.stamps),
         FlightEvent::Commitment {
             seq,
             shard,
@@ -236,6 +267,58 @@ fn encode_event_to(rec: &mut [u8], event: &FlightEvent) {
             put_u32(rec, 64, *machine);
             put_f64(rec, 72, *start);
         }
+    }
+}
+
+/// Encodes a decision record from its parts — the hot-path encoder
+/// behind both [`encode_event`] and
+/// [`SharedFlightRing::record_decision`] (which skips building the
+/// [`FlightEvent`] wrapper entirely).
+#[inline]
+fn encode_decision_to(rec: &mut [u8], d: &DecisionEvent, stamps: &TimelineStamps) {
+    let put_u32 = |rec: &mut [u8], off: usize, v: u32| {
+        rec[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    let put_u64 = |rec: &mut [u8], off: usize, v: u64| {
+        rec[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    };
+    let put_f64 = |rec: &mut [u8], off: usize, v: f64| {
+        rec[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    };
+    rec[0] = KIND_DECISION;
+    let mut flags = 0u8;
+    if d.accepted {
+        flags |= FLAG_ACCEPTED;
+    }
+    if d.threshold.is_some() {
+        flags |= FLAG_THRESHOLD;
+    }
+    if d.min_load.is_some() {
+        flags |= FLAG_MIN_LOAD;
+    }
+    if d.machine.is_some() && d.start.is_some() {
+        flags |= FLAG_PLACEMENT;
+    }
+    if let Some(reason) = d.reject_reason {
+        flags |= FLAG_REJECT_REASON;
+        rec[2] = reject_reason_code(reason);
+    }
+    rec[1] = flags;
+    put_u32(rec, 4, d.shard as u32);
+    put_u64(rec, 8, d.seq);
+    put_u32(rec, 16, d.job);
+    put_u32(rec, 20, d.candidates);
+    put_f64(rec, 24, d.release);
+    put_f64(rec, 32, d.proc_time);
+    put_f64(rec, 40, d.deadline);
+    put_f64(rec, 48, d.threshold.unwrap_or(0.0));
+    put_f64(rec, 56, d.min_load.unwrap_or(0.0));
+    put_u32(rec, 64, d.machine.unwrap_or(0));
+    put_f64(rec, 72, d.start.unwrap_or(0.0));
+    put_u64(rec, 80, d.latency_ns);
+    put_u64(rec, 88, d.queue_wait_ns);
+    for (i, &stamp) in stamps.0.iter().enumerate() {
+        put_u64(rec, RECORD_SIZE_V1 + i * 8, stamp);
     }
 }
 
@@ -296,10 +379,14 @@ pub fn expand_decision_stream(events: Vec<FlightEvent>) -> Vec<FlightEvent> {
 }
 
 /// Decodes one fixed-size binary record back into its event.
+///
+/// Accepts both record widths: a [`RECORD_SIZE_V1`]-byte v1 record
+/// decodes with all-absent timeline stamps, a [`RECORD_SIZE`]-byte v2
+/// record carries them.
 pub fn decode_event(rec: &[u8]) -> Result<FlightEvent, String> {
-    if rec.len() != RECORD_SIZE {
+    if rec.len() != RECORD_SIZE && rec.len() != RECORD_SIZE_V1 {
         return Err(format!(
-            "flight record must be {RECORD_SIZE} bytes, got {}",
+            "flight record must be {RECORD_SIZE} (v2) or {RECORD_SIZE_V1} (v1) bytes, got {}",
             rec.len()
         ));
     }
@@ -319,27 +406,38 @@ pub fn decode_event(rec: &[u8]) -> Result<FlightEvent, String> {
             proc_time: get_f64(32),
             deadline: get_f64(40),
         },
-        KIND_DECISION => FlightEvent::Decision(DecisionEvent {
-            seq,
-            job,
-            shard: shard as usize,
-            release: get_f64(24),
-            proc_time: get_f64(32),
-            deadline: get_f64(40),
-            candidates: get_u32(20),
-            threshold: (flags & FLAG_THRESHOLD != 0).then(|| get_f64(48)),
-            min_load: (flags & FLAG_MIN_LOAD != 0).then(|| get_f64(56)),
-            accepted: flags & FLAG_ACCEPTED != 0,
-            machine: (flags & FLAG_PLACEMENT != 0).then(|| get_u32(64)),
-            start: (flags & FLAG_PLACEMENT != 0).then(|| get_f64(72)),
-            reject_reason: if flags & FLAG_REJECT_REASON != 0 {
-                Some(reject_reason_from_code(rec[2])?)
-            } else {
-                None
-            },
-            latency_ns: get_u64(80),
-            queue_wait_ns: get_u64(88),
-        }),
+        KIND_DECISION => {
+            let mut stamps = TimelineStamps::empty();
+            if rec.len() == RECORD_SIZE {
+                for (i, slot) in stamps.0.iter_mut().enumerate() {
+                    *slot = get_u64(RECORD_SIZE_V1 + i * 8);
+                }
+            }
+            FlightEvent::Decision(StampedDecision {
+                event: DecisionEvent {
+                    seq,
+                    job,
+                    shard: shard as usize,
+                    release: get_f64(24),
+                    proc_time: get_f64(32),
+                    deadline: get_f64(40),
+                    candidates: get_u32(20),
+                    threshold: (flags & FLAG_THRESHOLD != 0).then(|| get_f64(48)),
+                    min_load: (flags & FLAG_MIN_LOAD != 0).then(|| get_f64(56)),
+                    accepted: flags & FLAG_ACCEPTED != 0,
+                    machine: (flags & FLAG_PLACEMENT != 0).then(|| get_u32(64)),
+                    start: (flags & FLAG_PLACEMENT != 0).then(|| get_f64(72)),
+                    reject_reason: if flags & FLAG_REJECT_REASON != 0 {
+                        Some(reject_reason_from_code(rec[2])?)
+                    } else {
+                        None
+                    },
+                    latency_ns: get_u64(80),
+                    queue_wait_ns: get_u64(88),
+                },
+                stamps,
+            })
+        }
         KIND_COMMITMENT => FlightEvent::Commitment {
             seq,
             shard,
@@ -410,7 +508,12 @@ impl FlightRing {
     /// [`FlightEvent::Decision`] wrapper directly in the slot instead of
     /// round-tripping the ~128-byte payload through a caller-side enum.
     pub fn record_decision(&mut self, decision: &DecisionEvent) {
-        self.record_with(|| FlightEvent::Decision(decision.clone()));
+        self.record_with(|| FlightEvent::Decision(StampedDecision::unstamped(decision.clone())));
+    }
+
+    /// [`FlightRing::record_decision`] with timeline stamps attached.
+    pub fn record_stamped(&mut self, decision: &DecisionEvent, stamps: TimelineStamps) {
+        self.record_with(|| FlightEvent::Decision(StampedDecision::new(decision.clone(), stamps)));
     }
 
     /// [`FlightRing::record`] with the event built in place: `make` runs
@@ -489,6 +592,223 @@ impl FlightRing {
     }
 }
 
+const RECORD_WORDS: usize = RECORD_SIZE / 8;
+
+/// How many times a snapshot re-reads a wrapping ring before it settles
+/// for a best-effort (lenient) decode.
+const SNAPSHOT_RETRIES: usize = 64;
+
+/// A bounded **single-writer, lock-free** ring of encoded flight
+/// records, snapshottable from any thread without stopping the writer.
+///
+/// This is the shape the engine's hot path wants: the shard worker owns
+/// the write side exclusively and appends with plain relaxed word
+/// stores — no mutex, no CAS loop, no allocation (the whole buffer is
+/// one `Box<[AtomicU64]>`, written once at construction so every page
+/// is touched before the first decision). Records are stored in their
+/// [`RECORD_SIZE`]-byte wire encoding, [`RECORD_WORDS`] words per slot.
+///
+/// Two publication regimes keep concurrent snapshots consistent:
+///
+/// * **Append** (`len < cap`): the writer fills the slot's words, then
+///   publishes with `len.store(len + 1, Release)`. A reader loads `len`
+///   with `Acquire` and only reads slots below it — published slots are
+///   never mutated again until the ring wraps, so appends are wait-free
+///   for both sides.
+/// * **Wrap** (`len == cap`): overwriting the oldest slot mutates data
+///   a reader may be copying, so the writer brackets the overwrite in a
+///   seqlock: `wrap_seq` goes odd, the slot (and `head`/`dropped`) are
+///   updated, `wrap_seq` goes even again. A reader validates that
+///   `wrap_seq` was even and unchanged across its copy and retries
+///   otherwise.
+///
+/// If the writer wraps continuously a reader could retry forever, so
+/// after [`SNAPSHOT_RETRIES`] attempts the snapshot downgrades to a
+/// *lenient* pass: it copies once without validating and skips any slot
+/// that no longer decodes. That recording has `dropped > 0` — it was
+/// already only a most-recent window, unusable for replay — so a
+/// best-effort event list is the right answer there.
+#[derive(Debug)]
+pub struct SharedFlightRing {
+    cap: usize,
+    /// Published record count (monotone until the ring is full).
+    len: AtomicUsize,
+    /// Oldest slot once wrapped (writer-owned; readers see it via the
+    /// seqlock bracket).
+    head: AtomicUsize,
+    /// Records overwritten or discarded.
+    dropped: AtomicU64,
+    /// Seqlock word guarding wrap-path overwrites: odd while the writer
+    /// is inside a slot.
+    wrap_seq: AtomicU64,
+    buf: Box<[AtomicU64]>,
+}
+
+impl SharedFlightRing {
+    /// A ring holding at most `capacity` records (0 disables recording:
+    /// every push is counted as dropped). Allocates — and touches — the
+    /// full backing buffer up front.
+    pub fn new(capacity: usize) -> SharedFlightRing {
+        SharedFlightRing {
+            cap: capacity,
+            len: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            wrap_seq: AtomicU64::new(0),
+            buf: (0..capacity * RECORD_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records currently published.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records overwritten (or discarded by a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn store_slot(&self, slot: usize, rec: &[u8; RECORD_SIZE]) {
+        let base = slot * RECORD_WORDS;
+        let words = &self.buf[base..base + RECORD_WORDS];
+        for (word, chunk) in words.iter().zip(rec.chunks_exact(8)) {
+            word.store(
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Writes one encoded record into the ring — the shared tail of
+    /// [`SharedFlightRing::record`] and
+    /// [`SharedFlightRing::record_decision`].
+    fn push_record(&self, rec: &[u8; RECORD_SIZE]) {
+        let len = self.len.load(Ordering::Relaxed);
+        if len < self.cap {
+            self.store_slot(len, rec);
+            self.len.store(len + 1, Ordering::Release);
+        } else {
+            let head = self.head.load(Ordering::Relaxed);
+            let seq = self.wrap_seq.load(Ordering::Relaxed);
+            self.wrap_seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.store_slot(head, rec);
+            self.head.store((head + 1) % self.cap, Ordering::Relaxed);
+            self.wrap_seq.store(seq.wrapping_add(2), Ordering::Release);
+        }
+    }
+
+    /// Appends one event. **Single-writer**: exactly one thread may call
+    /// this (and [`SharedFlightRing::record_with`]) per ring — the
+    /// engine gives each shard worker its own ring. Wait-free on the
+    /// append path; the wrap path is a short seqlock write.
+    pub fn record(&self, event: &FlightEvent) {
+        if self.cap == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.push_record(&encode_event(event));
+    }
+
+    /// Records a decision straight from its parts: no [`FlightEvent`]
+    /// wrapper, no [`StampedDecision`] copy — one stack-buffer encode
+    /// and one pass of relaxed stores. This is the per-decision write
+    /// on the engine's hot path, where the whole flight tax has to fit
+    /// the < 5% observability budget.
+    pub fn record_decision(&self, event: &DecisionEvent, stamps: &TimelineStamps) {
+        if self.cap == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut rec = [0u8; RECORD_SIZE];
+        encode_decision_to(&mut rec, event, stamps);
+        self.push_record(&rec);
+    }
+
+    /// [`SharedFlightRing::record`] with the event built lazily: `make`
+    /// is only invoked when the ring has capacity.
+    pub fn record_with(&self, make: impl FnOnce() -> FlightEvent) {
+        if self.cap == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.record(&make());
+    }
+
+    /// Copies one consistent pass of `(len, head, slot words)` out.
+    /// Returns `None` when a wrap raced the copy.
+    fn try_copy(&self) -> Option<(usize, usize, Vec<u8>)> {
+        let s1 = self.wrap_seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let (len, head, raw) = self.copy_unvalidated();
+        fence(Ordering::Acquire);
+        (self.wrap_seq.load(Ordering::Relaxed) == s1).then_some((len, head, raw))
+    }
+
+    fn copy_unvalidated(&self) -> (usize, usize, Vec<u8>) {
+        let len = self.len.load(Ordering::Acquire).min(self.cap);
+        let head = self.head.load(Ordering::Relaxed) % self.cap.max(1);
+        let mut raw = Vec::with_capacity(len * RECORD_SIZE);
+        for i in 0..len {
+            let base = ((head + i) % self.cap) * RECORD_WORDS;
+            for w in 0..RECORD_WORDS {
+                raw.extend_from_slice(&self.buf[base + w].load(Ordering::Relaxed).to_le_bytes());
+            }
+        }
+        (len, head, raw)
+    }
+
+    /// Decodes the buffered records in insertion order without stopping
+    /// the writer — the live-snapshot path. Returns the events and the
+    /// drop counter observed in the same pass.
+    pub fn snapshot_events(&self) -> (Vec<FlightEvent>, u64) {
+        if self.cap == 0 {
+            return (Vec::new(), self.dropped());
+        }
+        for _ in 0..SNAPSHOT_RETRIES {
+            if let Some((len, _, raw)) = self.try_copy() {
+                let mut events = Vec::with_capacity(len);
+                for rec in raw.chunks_exact(RECORD_SIZE) {
+                    match decode_event(rec) {
+                        Ok(event) => events.push(event),
+                        // A validated copy always decodes; tolerate
+                        // rather than panic a telemetry path.
+                        Err(_) => continue,
+                    }
+                }
+                return (events, self.dropped());
+            }
+            std::thread::yield_now();
+        }
+        // The writer is wrapping faster than we can copy: take one
+        // unvalidated pass and keep whatever still decodes. dropped > 0
+        // here by construction, so the recording was already a lossy
+        // window.
+        let (_, _, raw) = self.copy_unvalidated();
+        let events = raw
+            .chunks_exact(RECORD_SIZE)
+            .filter_map(|rec| decode_event(rec).ok())
+            .collect();
+        (events, self.dropped())
+    }
+}
+
 /// The replay/audit metadata of one recorded run.
 ///
 /// Everything a reader needs to rebuild the engine configuration and
@@ -557,6 +877,20 @@ impl FlightSnapshot {
         for shard in &self.shards {
             for event in &shard.events {
                 if let FlightEvent::Decision(d) = event {
+                    out.push(&d.event);
+                }
+            }
+        }
+        out
+    }
+
+    /// All decisions with their timeline stamps, in `(shard, seq)`
+    /// order.
+    pub fn stamped_decisions(&self) -> Vec<&StampedDecision> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for event in &shard.events {
+                if let FlightEvent::Decision(d) = event {
                     out.push(d);
                 }
             }
@@ -605,11 +939,16 @@ impl FlightSnapshot {
             return Err("not a .cfr flight recording (bad magic)".to_string());
         }
         let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
-        if version != CFR_VERSION {
+        if !(CFR_MIN_VERSION..=CFR_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported .cfr version {version} (expected {CFR_VERSION})"
+                "unsupported .cfr version {version} (expected {CFR_MIN_VERSION}..={CFR_VERSION})"
             ));
         }
+        let record_size = if version == 1 {
+            RECORD_SIZE_V1
+        } else {
+            RECORD_SIZE
+        };
         let body = &raw[8..raw.len() - 8];
         let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
         let computed = fnv1a(body);
@@ -643,7 +982,7 @@ impl FlightSnapshot {
             let count = cur.u64()? as usize;
             let mut events = Vec::with_capacity(count);
             for _ in 0..count {
-                events.push(decode_event(cur.bytes(RECORD_SIZE)?)?);
+                events.push(decode_event(cur.bytes(record_size)?)?);
             }
             shards.push(ShardFlight {
                 shard,
@@ -747,7 +1086,10 @@ mod tests {
                 proc_time: 1.5,
                 deadline: 12.5,
             },
-            FlightEvent::Decision(decision(0, true)),
+            FlightEvent::Decision(StampedDecision::new(
+                decision(0, true),
+                TimelineStamps([11, 12, 13, 14, 15, 16, 17]),
+            )),
             FlightEvent::Commitment {
                 seq: 0,
                 shard: 1,
@@ -755,7 +1097,7 @@ mod tests {
                 machine: 2,
                 start: 3.25,
             },
-            FlightEvent::Decision(decision(1, false)),
+            FlightEvent::Decision(decision(1, false).into()),
         ]
     }
 
@@ -773,7 +1115,7 @@ mod tests {
         for reason in RejectReason::ALL {
             let mut d = decision(7, false);
             d.reject_reason = Some(reason);
-            let event = FlightEvent::Decision(d);
+            let event = FlightEvent::Decision(d.into());
             assert_eq!(decode_event(&encode_event(&event)).unwrap(), event);
         }
     }
@@ -788,8 +1130,26 @@ mod tests {
             reject_reason: None,
             ..decision(3, true)
         };
-        let event = FlightEvent::Decision(d);
+        let event = FlightEvent::Decision(d.into());
         assert_eq!(decode_event(&encode_event(&event)).unwrap(), event);
+    }
+
+    #[test]
+    fn v1_record_decodes_with_absent_stamps() {
+        let stamped = FlightEvent::Decision(StampedDecision::new(
+            decision(4, true),
+            TimelineStamps([1, 2, 3, 4, 5, 6, 7]),
+        ));
+        let rec = encode_event(&stamped);
+        // A v1 reader-era record is exactly the first 96 bytes.
+        let back = decode_event(&rec[..RECORD_SIZE_V1]).unwrap();
+        match back {
+            FlightEvent::Decision(sd) => {
+                assert_eq!(sd.event, decision(4, true));
+                assert_eq!(sd.stamps, TimelineStamps::empty());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]
@@ -798,7 +1158,7 @@ mod tests {
         let mut rec = encode_event(&sample_events()[0]);
         rec[0] = 77; // unknown kind
         assert!(decode_event(&rec).is_err());
-        let mut rec = encode_event(&FlightEvent::Decision(decision(0, false)));
+        let mut rec = encode_event(&FlightEvent::Decision(decision(0, false).into()));
         rec[2] = 9; // unknown reject reason
         assert!(decode_event(&rec).is_err());
     }
@@ -876,6 +1236,177 @@ mod tests {
         assert_eq!(back.len(), 4);
         assert_eq!(back.total_dropped(), 3);
         assert_eq!(back.decisions().len(), 2);
+    }
+
+    /// Serializes a snapshot the way the v1 writer did: version word 1,
+    /// 96-byte records.
+    fn write_cfr_v1(snap: &FlightSnapshot) -> Vec<u8> {
+        let mut body: Vec<u8> = Vec::new();
+        let h = &snap.header;
+        body.extend_from_slice(&h.m.to_le_bytes());
+        body.extend_from_slice(&h.shards.to_le_bytes());
+        body.extend_from_slice(&h.eps.to_le_bytes());
+        body.extend_from_slice(&h.seed.to_le_bytes());
+        let name = h.algorithm.as_bytes();
+        body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        body.extend_from_slice(name);
+        body.extend_from_slice(&h.submitted.to_le_bytes());
+        body.extend_from_slice(&h.accepted.to_le_bytes());
+        for reason in RejectReason::ALL {
+            body.extend_from_slice(&h.rejected.get(reason).to_le_bytes());
+        }
+        body.extend_from_slice(&(snap.shards.len() as u32).to_le_bytes());
+        for shard in &snap.shards {
+            body.extend_from_slice(&shard.shard.to_le_bytes());
+            body.extend_from_slice(&shard.dropped.to_le_bytes());
+            body.extend_from_slice(&(shard.events.len() as u64).to_le_bytes());
+            for event in &shard.events {
+                body.extend_from_slice(&encode_event(event)[..RECORD_SIZE_V1]);
+            }
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CFR_MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v1_cfr_file_still_reads() {
+        let snap = sample_snapshot();
+        let buf = write_cfr_v1(&snap);
+        let back = FlightSnapshot::read_cfr(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.header, snap.header);
+        assert_eq!(back.len(), snap.len());
+        // Every decision is there, just without timeline data.
+        let decisions = back.stamped_decisions();
+        assert_eq!(decisions.len(), 2);
+        for sd in decisions {
+            assert_eq!(sd.stamps, TimelineStamps::empty());
+        }
+        assert_eq!(back.decisions(), snap.decisions());
+    }
+
+    #[test]
+    fn unknown_cfr_version_is_rejected() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        snap.write_cfr(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = FlightSnapshot::read_cfr(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("version"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn shared_ring_keeps_most_recent_window_and_counts_drops() {
+        let ring = SharedFlightRing::new(3);
+        for seq in 0..5u64 {
+            ring.record(&FlightEvent::Commitment {
+                seq,
+                shard: 0,
+                job: seq as u32,
+                machine: 0,
+                start: 0.0,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let (events, dropped) = ring.snapshot_events();
+        let seqs: Vec<u64> = events.iter().map(FlightEvent::seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(dropped, 2);
+        // Snapshot is non-destructive.
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn shared_ring_zero_capacity_records_nothing() {
+        let ring = SharedFlightRing::new(0);
+        ring.record(&sample_events()[0]);
+        ring.record_with(|| unreachable!("must not build for a zero-capacity ring"));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2);
+        assert!(ring.snapshot_events().0.is_empty());
+    }
+
+    #[test]
+    fn shared_ring_round_trips_stamps() {
+        let ring = SharedFlightRing::new(8);
+        let event = FlightEvent::Decision(StampedDecision::new(
+            decision(0, true),
+            TimelineStamps([11, 12, 13, 14, 15, 16, 17]),
+        ));
+        ring.record(&event);
+        let (events, _) = ring.snapshot_events();
+        assert_eq!(events, vec![event]);
+    }
+
+    fn commitment(seq: u64) -> FlightEvent {
+        FlightEvent::Commitment {
+            seq,
+            shard: 0,
+            job: seq as u32,
+            machine: 0,
+            start: 0.0,
+        }
+    }
+
+    #[test]
+    fn shared_ring_append_snapshots_are_exact_prefixes() {
+        use std::sync::Arc;
+
+        // Never wraps, so every snapshot takes the validated path and
+        // must be an exact prefix 0..len of the recorded stream.
+        let ring = Arc::new(SharedFlightRing::new(20_000));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for seq in 0..20_000u64 {
+                    ring.record(&commitment(seq));
+                }
+            })
+        };
+        for _ in 0..200 {
+            let (events, dropped) = ring.snapshot_events();
+            assert_eq!(dropped, 0);
+            for (i, event) in events.iter().enumerate() {
+                assert_eq!(event, &commitment(i as u64));
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(ring.snapshot_events().0.len(), 20_000);
+    }
+
+    #[test]
+    fn shared_ring_wrapping_writer_never_breaks_a_snapshot() {
+        use std::sync::Arc;
+
+        // A tiny ring under a fast writer exercises the seqlock retry
+        // and lenient-fallback paths: snapshots may be best-effort but
+        // must stay bounded and decodable, and the final quiesced
+        // snapshot is exact.
+        let ring = Arc::new(SharedFlightRing::new(64));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for seq in 0..20_000u64 {
+                    ring.record(&commitment(seq));
+                }
+            })
+        };
+        for _ in 0..100 {
+            let (events, _) = ring.snapshot_events();
+            assert!(events.len() <= 64);
+            for event in &events {
+                assert!(matches!(event, FlightEvent::Commitment { .. }));
+            }
+        }
+        writer.join().unwrap();
+        let (events, dropped) = ring.snapshot_events();
+        let expected: Vec<FlightEvent> = (20_000 - 64..20_000).map(commitment).collect();
+        assert_eq!(events, expected);
+        assert_eq!(dropped, 20_000 - 64);
     }
 
     #[test]

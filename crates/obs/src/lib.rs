@@ -19,7 +19,13 @@
 //! * **Flight recordings** ([`flight`]): bounded per-shard binary rings
 //!   capturing the complete causal record (submissions, decisions,
 //!   commitments) as fixed-size records, snapshottable to a checksummed
-//!   `.cfr` file for deterministic replay and invariant auditing.
+//!   `.cfr` file for deterministic replay and invariant auditing. The
+//!   lock-free [`SharedFlightRing`] variant lets a single writer record
+//!   while any thread snapshots.
+//! * **Latency timelines** ([`timeline`]): stage-resolved stamps —
+//!   client send, frame decode, dispatch, enqueue, dequeue, decide,
+//!   delivery — on one shared monotonic [`ClockBase`], riding in the
+//!   v2 flight record, aggregated into per-stage waterfalls.
 //!
 //! The crate sits at the bottom of the workspace graph (no cslack
 //! dependencies), so algorithms, the engine, the CLI, and benches can
@@ -32,17 +38,19 @@ pub mod flight;
 pub mod hist;
 pub mod metrics;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use flight::{
     decode_event, encode_event, FlightEvent, FlightHeader, FlightRing, FlightSnapshot, ShardFlight,
-    RECORD_SIZE,
+    SharedFlightRing, StampedDecision, RECORD_SIZE, RECORD_SIZE_V1,
 };
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
 pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot};
 pub use span::{
     reset_spans, set_spans_enabled, span_histogram, span_snapshot, spans_enabled, SpanGuard,
 };
+pub use timeline::{ClockBase, Stage, StageBreakdown, TimelineStamps, STAGES, STAGE_SPANS};
 pub use trace::{
     read_jsonl, summarize, write_jsonl, DecisionEvent, DecisionRing, RejectCounts, RejectReason,
     ShardTraceSummary, TraceSummary,

@@ -9,10 +9,13 @@
 
 use crate::hist::{bucket_upper_bound, AtomicHistogram, Histogram, BUCKETS};
 use crate::span::span_snapshot;
+use crate::timeline::STAGE_SPANS;
 use crate::trace::{RejectCounts, RejectReason};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// A monotonically increasing counter (relaxed atomic).
 #[derive(Debug, Default)]
@@ -70,6 +73,13 @@ pub struct MetricsRegistry {
     pub decision_latency: AtomicHistogram,
     /// Enqueue-to-decision wait, nanoseconds.
     pub queue_wait: AtomicHistogram,
+    /// Flight records dropped (overwritten by a full ring or discarded
+    /// by a disabled one).
+    pub flight_dropped: Counter,
+    /// Per-stage pipeline span durations, one histogram per
+    /// [`STAGE_SPANS`] entry (dispatch, enqueue, queue, decide,
+    /// delivery), nanoseconds.
+    pub stage_durations: [AtomicHistogram; STAGE_SPANS.len()],
 }
 
 impl MetricsRegistry {
@@ -87,6 +97,14 @@ impl MetricsRegistry {
             telemetry_errors: Counter::new(),
             decision_latency: AtomicHistogram::new(),
             queue_wait: AtomicHistogram::new(),
+            flight_dropped: Counter::new(),
+            stage_durations: [
+                AtomicHistogram::new(),
+                AtomicHistogram::new(),
+                AtomicHistogram::new(),
+                AtomicHistogram::new(),
+                AtomicHistogram::new(),
+            ],
         }
     }
 
@@ -160,6 +178,7 @@ impl MetricsRegistry {
                 &hist,
             );
         }
+        render_process_lines(&mut out);
         out
     }
 
@@ -241,7 +260,68 @@ impl MetricsRegistry {
             labels,
             &self.queue_wait.snapshot(),
         );
+        counter(
+            out,
+            "cslack_flight_dropped_total",
+            "Flight records overwritten by a full ring or discarded by a disabled one.",
+            self.flight_dropped.get(),
+        );
+        for (i, (stage, _, _)) in STAGE_SPANS.iter().enumerate() {
+            let mut stage_labels: Vec<(&str, &str)> = labels.to_vec();
+            stage_labels.push(("stage", stage));
+            render_histogram(
+                out,
+                "cslack_stage_duration_ns",
+                "Pipeline stage span duration in nanoseconds, labeled by the later stage.",
+                &stage_labels,
+                &self.stage_durations[i].snapshot(),
+            );
+        }
     }
+}
+
+/// The instant uptime is measured from. Pinned by the first caller —
+/// [`mark_process_start`] from a server/CLI entry point, or lazily by
+/// the first exposition render.
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Pins the process-start instant for `cslack_process_uptime_seconds`.
+/// Idempotent; call early in `main` so uptime covers the whole run.
+pub fn mark_process_start() {
+    process_start();
+}
+
+/// Appends the process-wide info lines — `cslack_build_info` (version,
+/// git sha when baked in at compile time, build profile) and
+/// `cslack_process_uptime_seconds` — to a Prometheus exposition page.
+/// Process-wide state: render once per page, not once per tenant.
+pub fn render_process_lines(out: &mut String) {
+    let version = env!("CARGO_PKG_VERSION");
+    let git_sha = option_env!("CSLACK_GIT_SHA").unwrap_or("unknown");
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let _ = writeln!(
+        out,
+        "# HELP cslack_build_info Build metadata; the value is always 1."
+    );
+    let _ = writeln!(out, "# TYPE cslack_build_info gauge");
+    let _ = writeln!(
+        out,
+        "cslack_build_info{{version=\"{version}\",git_sha=\"{git_sha}\",profile=\"{profile}\"}} 1"
+    );
+    let uptime = process_start().elapsed().as_secs_f64();
+    let _ = writeln!(
+        out,
+        "# HELP cslack_process_uptime_seconds Seconds since process start."
+    );
+    let _ = writeln!(out, "# TYPE cslack_process_uptime_seconds gauge");
+    let _ = writeln!(out, "cslack_process_uptime_seconds {uptime:.3}");
 }
 
 /// Serializable snapshot of a [`MetricsRegistry`].
@@ -364,6 +444,27 @@ mod tests {
         assert!(text.contains("cslack_decision_latency_ns_sum 999"));
         assert!(text.contains("cslack_decision_latency_ns_count 1"));
         assert!(text.contains("cslack_backpressure_stalls_total 0"));
+        assert!(text.contains("cslack_flight_dropped_total 0"));
+        assert!(text.contains("cslack_build_info{version=\""));
+        assert!(text.contains("# TYPE cslack_process_uptime_seconds gauge"));
+        assert!(text.contains("cslack_process_uptime_seconds "));
+    }
+
+    #[test]
+    fn stage_histograms_render_with_stage_labels() {
+        let r = MetricsRegistry::enabled();
+        r.stage_durations[2].record(1500); // queue span
+        r.stage_durations[3].record(200); // decide span
+        let mut out = String::new();
+        r.render_prometheus_into(&mut out, &[("tenant", "alpha")]);
+        assert!(out.contains("# TYPE cslack_stage_duration_ns histogram"));
+        assert!(out.contains("cslack_stage_duration_ns_count{tenant=\"alpha\",stage=\"queue\"} 1"));
+        assert!(out.contains("cslack_stage_duration_ns_sum{tenant=\"alpha\",stage=\"decide\"} 200"));
+        assert!(
+            out.contains("cslack_stage_duration_ns_count{tenant=\"alpha\",stage=\"dispatch\"} 0")
+        );
+        // Process-wide lines are not part of the per-tenant render.
+        assert!(!out.contains("cslack_build_info"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use cslack_obs::hist::{bucket_index, BUCKETS};
 use cslack_obs::trace::{RejectCounts, RejectReason};
-use cslack_obs::Histogram;
+use cslack_obs::{AtomicHistogram, Histogram, STAGE_SPANS};
 use proptest::prelude::*;
 
 fn hist_of(values: &[u64]) -> Histogram {
@@ -113,5 +113,91 @@ proptest! {
         ba.merge(&ca);
         prop_assert_eq!(ab, ba);
         prop_assert_eq!(ab.total(), (a.len() + b.len()) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merge law under a live writer
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case spawns writer threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The registry's per-shard stage histograms are `AtomicHistogram`s
+    /// snapshotted while shard workers keep stamping. The merge law
+    /// must hold through that: (1) a merge of mid-flight snapshots is a
+    /// self-consistent histogram (quantiles inside its own observed
+    /// range, bucket counts summing to its count), and (2) once the
+    /// writers are done, merging the per-shard stage snapshots is
+    /// bit-identical to re-aggregating every observation serially.
+    #[test]
+    fn concurrent_stage_merge_matches_serial_reaggregation(
+        per_shard in prop::collection::vec(
+            prop::collection::vec((0u64..1024, 0u32..60, 0usize..STAGE_SPANS.len()), 1..64),
+            1..4,
+        ),
+    ) {
+        use std::sync::Arc;
+
+        let spans = STAGE_SPANS.len();
+        // One stage-histogram array per shard, exactly like
+        // `MetricsRegistry::stage_durations` but private to the test.
+        let shards: Vec<Arc<Vec<AtomicHistogram>>> = per_shard
+            .iter()
+            .map(|_| Arc::new((0..spans).map(|_| AtomicHistogram::new()).collect()))
+            .collect();
+        let writers: Vec<_> = per_shard
+            .iter()
+            .zip(shards.iter())
+            .map(|(values, hists)| {
+                let values = values.clone();
+                let hists = Arc::clone(hists);
+                std::thread::spawn(move || {
+                    for (v, shift, stage) in values {
+                        hists[stage].record(v << (shift % 54));
+                    }
+                })
+            })
+            .collect();
+
+        // Mid-flight: merge whatever the snapshots catch. The writers
+        // race these reads, so only self-consistency can be asserted.
+        for _ in 0..4 {
+            for stage in 0..spans {
+                let mut merged = Histogram::new();
+                for hists in &shards {
+                    merged.merge(&hists[stage].snapshot());
+                }
+                let bucket_total: u64 = merged.buckets().iter().sum();
+                prop_assert_eq!(bucket_total, merged.count());
+                if merged.count() > 0 {
+                    let p50 = merged.quantile(0.5);
+                    prop_assert!(p50 >= merged.min() && p50 <= merged.max());
+                }
+            }
+        }
+        for w in writers {
+            w.join().expect("writer thread panicked");
+        }
+
+        // Quiesced: merged per-shard snapshots == serial re-aggregation,
+        // exactly — counts, sum, min/max, buckets, hence every quantile.
+        for stage in 0..spans {
+            let mut merged = Histogram::new();
+            let mut serial = Histogram::new();
+            for (values, hists) in per_shard.iter().zip(shards.iter()) {
+                merged.merge(&hists[stage].snapshot());
+                for &(v, shift, s) in values {
+                    if s == stage {
+                        serial.record(v << (shift % 54));
+                    }
+                }
+            }
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                prop_assert_eq!(merged.quantile(q), serial.quantile(q));
+            }
+            prop_assert_eq!(&merged, &serial);
+        }
     }
 }

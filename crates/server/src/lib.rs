@@ -33,7 +33,8 @@ pub mod proto;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use cslack_engine::{Engine, EngineConfig, FlightConfig, ObsConfig, ShardState, SubmitError};
 use cslack_kernel::{Job, JobId, Time};
-use cslack_obs::trace::DecisionEvent;
+use cslack_obs::flight::StampedDecision;
+use cslack_obs::timeline::{ClockBase, Stage, TimelineStamps};
 use cslack_obs::MetricsRegistry;
 use cslack_sim::fault::{FaultSpec, FaultyScheduler};
 use cslack_sim::sweep::AlgoKind;
@@ -168,9 +169,9 @@ struct Tenant {
 }
 
 impl Tenant {
-    fn start(spec: TenantSpec) -> Result<Arc<Tenant>, String> {
+    fn start(spec: TenantSpec, clock: Arc<ClockBase>) -> Result<Arc<Tenant>, String> {
         let registry = Arc::new(MetricsRegistry::enabled());
-        let (decision_tx, decision_rx) = unbounded::<DecisionEvent>();
+        let (decision_tx, decision_rx) = unbounded::<StampedDecision>();
         let obs = ObsConfig {
             registry: Some(Arc::clone(&registry)),
             flight: Some(FlightConfig::new(
@@ -180,6 +181,9 @@ impl Tenant {
                 spec.seed,
             )),
             decisions: Some(decision_tx),
+            // Every tenant stamps on the process-wide clock so
+            // cross-tenant timelines share one axis.
+            clock: Some(Arc::clone(&clock)),
             ..ObsConfig::default()
         };
         let mut config = EngineConfig::new(spec.shards);
@@ -199,13 +203,25 @@ impl Tenant {
         let pending: Arc<Mutex<HashMap<u32, Sender<Frame>>>> = Arc::new(Mutex::new(HashMap::new()));
         let dispatcher = {
             let pending = Arc::clone(&pending);
+            let clock = Arc::clone(&clock);
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name(format!("cslack-dispatch-{}", spec.name))
                 .spawn(move || {
                     // Runs until the engine drops its sender (finish or
                     // teardown). Events arrive in per-shard (shard,
                     // seq) order; routing preserves it per connection.
-                    for event in decision_rx.iter() {
+                    for mut event in decision_rx.iter() {
+                        // The engine stamped delivery at decide time
+                        // (its best in-process estimate); route time is
+                        // the real delivery hop, so overwrite it here
+                        // and feed the span histogram — the worker
+                        // deliberately leaves that slot to us.
+                        event.stamps.set(Stage::Delivery, clock.now_ns());
+                        if let Some(ns) = event.stamps.span(Stage::Decide, Stage::Delivery) {
+                            // STAGE_SPANS[4] is decide -> delivery.
+                            registry.stage_durations[4].record(ns);
+                        }
                         let outbox = pending.lock().remove(&event.job);
                         if let Some(tx) = outbox {
                             // A closed outbox means the submitting
@@ -231,8 +247,15 @@ impl Tenant {
     /// Admits (or refuses) one `SubmitBatch`. Returns the frames to
     /// queue on the submitting connection's outbox *now* — per-job
     /// `Reject`s and batch-level `Backpressure`; decisions arrive
-    /// later via the dispatcher.
-    fn handle_batch(&self, outbox: &Sender<Frame>, jobs: &[proto::WireJob]) -> Vec<Frame> {
+    /// later via the dispatcher. `stamps` carries the client-send and
+    /// frame-decode stamps the connection reader took; the dispatch
+    /// stamp is added here, right before the engine hand-off.
+    fn handle_batch(
+        &self,
+        outbox: &Sender<Frame>,
+        jobs: &[proto::WireJob],
+        mut stamps: TimelineStamps,
+    ) -> Vec<Frame> {
         let mut replies = Vec::new();
         if jobs.is_empty() {
             replies.push(Frame::Reject {
@@ -285,7 +308,11 @@ impl Tenant {
         let guard = self.engine.read();
         match guard.as_ref() {
             Some(engine) => {
-                for (job, result) in valid.iter().zip(engine.submit_batch(&valid)) {
+                stamps.set(Stage::Dispatch, engine.clock().now_ns());
+                for (job, result) in valid
+                    .iter()
+                    .zip(engine.submit_batch_stamped(&valid, stamps))
+                {
                     let code = match result {
                         Ok(()) => continue,
                         Err(SubmitError::ShardFailed(_)) => RejectCode::ShardFailed,
@@ -450,6 +477,9 @@ fn validate_job(job: &proto::WireJob) -> Option<&'static str> {
 
 struct ServerInner {
     tenants: BTreeMap<String, Arc<Tenant>>,
+    /// The process-wide monotonic stamp clock every tenant engine and
+    /// connection reader shares.
+    clock: Arc<ClockBase>,
 }
 
 /// The running admission service. Dropping the handle stops the accept
@@ -468,17 +498,22 @@ impl Server {
     /// Binds the listeners, starts every tenant's engine, and begins
     /// accepting connections.
     pub fn start(config: ServerConfig) -> Result<Server, String> {
+        cslack_obs::metrics::mark_process_start();
+        let clock = Arc::new(ClockBase::new());
         let mut tenants = BTreeMap::new();
         for spec in &config.tenants {
             if tenants.contains_key(&spec.name) {
                 return Err(format!("duplicate tenant name `{}`", spec.name));
             }
-            tenants.insert(spec.name.clone(), Tenant::start(spec.clone())?);
+            tenants.insert(
+                spec.name.clone(),
+                Tenant::start(spec.clone(), Arc::clone(&clock))?,
+            );
         }
         if tenants.is_empty() {
             return Err("a server needs at least one tenant".into());
         }
-        let inner = Arc::new(ServerInner { tenants });
+        let inner = Arc::new(ServerInner { tenants, clock });
         let stop = Arc::new(AtomicBool::new(false));
         let listener =
             TcpListener::bind(config.listen).map_err(|e| format!("bind {}: {e}", config.listen))?;
@@ -614,6 +649,10 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
     let mut tenant: Option<Arc<Tenant>> = None;
     let mut outbox: Option<Sender<Frame>> = None;
     let mut writer_join: Option<JoinHandle<()>> = None;
+    // Echo the peer's protocol version on everything we send; latched
+    // from each successfully decoded frame (a v1 client keeps getting
+    // v1 answers).
+    let mut peer_version = proto::VERSION;
     // Answers before the outbox exists (pre-`Hello` errors) are
     // written straight to the stream; afterwards everything goes
     // through the outbox to keep a single writer.
@@ -637,8 +676,11 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
             }
             Err(_) => break,
         }
-        let frame = match proto::read_frame(&mut reader) {
-            Ok(frame) => frame,
+        let frame = match proto::read_frame_v(&mut reader) {
+            Ok((version, frame)) => {
+                peer_version = version;
+                frame
+            }
             Err(ProtoError::Eof) => break,
             Err(e) => {
                 let reject = Frame::Reject {
@@ -651,7 +693,7 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
                         let _ = tx.send(reject);
                     }
                     (None, Some(w)) => {
-                        let _ = proto::write_frame(w, &reject);
+                        let _ = proto::write_frame_v(w, &reject, peer_version);
                     }
                     _ => {}
                 }
@@ -661,6 +703,9 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
                 continue;
             }
         };
+        // Stage stamp: the frame is fully decoded at this instant. One
+        // clock read per frame, used only by SubmitBatch.
+        let frame_decode_ns = inner.clock.now_ns();
         match frame {
             Frame::Hello { tenant: name } => {
                 if tenant.is_some() {
@@ -690,9 +735,10 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
                 let Some(write_stream) = direct.take() else {
                     break;
                 };
+                let writer_version = peer_version;
                 writer_join = std::thread::Builder::new()
                     .name("cslack-conn-writer".into())
-                    .spawn(move || writer_loop(write_stream, rx))
+                    .spawn(move || writer_loop(write_stream, rx, writer_version))
                     .ok();
                 let spec = &found.spec;
                 let _ = tx.send(Frame::HelloAck {
@@ -707,9 +753,18 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
                 tenant = Some(Arc::clone(found));
                 outbox = Some(tx);
             }
-            Frame::SubmitBatch { jobs } => match (&tenant, &outbox) {
+            Frame::SubmitBatch {
+                jobs,
+                client_send_ns,
+            } => match (&tenant, &outbox) {
                 (Some(tenant), Some(tx)) => {
-                    for reply in tenant.handle_batch(tx, &jobs) {
+                    let mut stamps = TimelineStamps::empty();
+                    // The client stamp stays in the client's clock
+                    // domain; it is carried verbatim, never compared
+                    // to server stamps.
+                    stamps.set(Stage::ClientSend, client_send_ns);
+                    stamps.set(Stage::FrameDecode, frame_decode_ns);
+                    for reply in tenant.handle_batch(tx, &jobs, stamps) {
                         let _ = tx.send(reply);
                     }
                 }
@@ -759,15 +814,16 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
 }
 
 /// Writer half of one connection: drains the outbox, batches writes,
-/// flushes when the queue momentarily empties.
-fn writer_loop(stream: TcpStream, rx: Receiver<Frame>) {
+/// flushes when the queue momentarily empties. Frames go out in the
+/// protocol version the client's `Hello` arrived with.
+fn writer_loop(stream: TcpStream, rx: Receiver<Frame>, version: u8) {
     let mut w = BufWriter::new(stream);
     'outer: while let Ok(frame) = rx.recv() {
-        if proto::write_frame(&mut w, &frame).is_err() {
+        if proto::write_frame_v(&mut w, &frame, version).is_err() {
             break;
         }
         while let Ok(more) = rx.try_recv() {
-            if proto::write_frame(&mut w, &more).is_err() {
+            if proto::write_frame_v(&mut w, &more, version).is_err() {
                 break 'outer;
             }
         }
@@ -824,6 +880,9 @@ fn serve_http(mut stream: TcpStream, inner: &ServerInner) -> std::io::Result<()>
                     .registry
                     .render_prometheus_into(&mut out, &[("tenant", name)]);
             }
+            // Process-wide families (build info, uptime) render once
+            // per page, not once per tenant.
+            cslack_obs::metrics::render_process_lines(&mut out);
             (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",

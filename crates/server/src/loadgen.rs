@@ -10,6 +10,7 @@
 
 use crate::client::Connection;
 use crate::proto::{Frame, ProtoError, TenantSummary, WireJob};
+use cslack_obs::timeline::{ClockBase, Stage};
 use cslack_obs::Histogram;
 use cslack_workloads::WorkloadSpec;
 use serde::Serialize;
@@ -91,6 +92,24 @@ impl LatencyUs {
     }
 }
 
+/// Where each decided job's end-to-end time went, split using the
+/// server stage stamps echoed on v2 `Decision` frames. Client and
+/// server clocks are never compared directly: the server span is
+/// measured on the server's clock, subtracted from the client-measured
+/// end-to-end to estimate the network share.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyBreakdown {
+    /// End-to-end minus the server span: wire transit both ways plus
+    /// buffering outside the engine.
+    pub network_us: LatencyUs,
+    /// Frame decode to decision delivery on the server.
+    pub server_us: LatencyUs,
+    /// Shard queue wait (enqueue to dequeue).
+    pub queue_us: LatencyUs,
+    /// Scheduler decision time (dequeue to decide).
+    pub decide_us: LatencyUs,
+}
+
 /// Per-tenant slice of the report.
 #[derive(Clone, Debug, Serialize)]
 pub struct TenantReport {
@@ -150,8 +169,38 @@ pub struct LoadgenReport {
     pub undecided: u64,
     /// Aggregate decision latency percentiles.
     pub latency_us: LatencyUs,
+    /// Aggregate split of where the end-to-end time went (network vs
+    /// server vs queue vs decide), from the v2 stage stamps.
+    pub latency_breakdown: LatencyBreakdown,
     /// Per-tenant breakdown.
     pub per_tenant: Vec<TenantReport>,
+}
+
+/// Stage-span histograms one reader accumulates from decision frames.
+#[derive(Default)]
+struct SpanHists {
+    network: Histogram,
+    server: Histogram,
+    queue: Histogram,
+    decide: Histogram,
+}
+
+impl SpanHists {
+    fn merge(&mut self, other: &SpanHists) {
+        self.network.merge(&other.network);
+        self.server.merge(&other.server);
+        self.queue.merge(&other.queue);
+        self.decide.merge(&other.decide);
+    }
+
+    fn breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            network_us: LatencyUs::from_ns_histogram(&self.network),
+            server_us: LatencyUs::from_ns_histogram(&self.server),
+            queue_us: LatencyUs::from_ns_histogram(&self.queue),
+            decide_us: LatencyUs::from_ns_histogram(&self.decide),
+        }
+    }
 }
 
 /// What one connection's worker pair observed.
@@ -164,6 +213,7 @@ struct ConnOutcome {
     errored: u64,
     undecided: u64,
     latency: Histogram,
+    spans: SpanHists,
     /// Seconds from the global start to this connection's last outcome.
     last_outcome_secs: f64,
 }
@@ -269,6 +319,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         errored: 0,
         undecided: 0,
         latency: Histogram::new(),
+        spans: SpanHists::default(),
         last_outcome_secs: 0.0,
     };
     for tenant in &config.tenants {
@@ -295,6 +346,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             t.errored += c.errored;
             t.undecided += c.undecided;
             latency.merge(&c.latency);
+            total.spans.merge(&c.spans);
             total.last_outcome_secs = total.last_outcome_secs.max(c.last_outcome_secs);
         }
         t.latency_us = LatencyUs::from_ns_histogram(&latency);
@@ -326,6 +378,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         errored: total.errored,
         undecided: total.undecided,
         latency_us: LatencyUs::from_ns_histogram(&total.latency),
+        latency_breakdown: total.spans.breakdown(),
         per_tenant,
     })
 }
@@ -381,6 +434,9 @@ fn run_connection(
     // Open-loop pacing: batch i is due at start + i*batch/rate, no
     // matter how far behind the server is.
     let mut submitted = 0u64;
+    // The client's own stamp clock: `client_send_ns` values travel the
+    // wire so server-side recordings carry the client domain too.
+    let clock = ClockBase::new();
     let pace_start = Instant::now();
     for (i, chunk) in jobs.chunks(batch).enumerate() {
         let due = pace_start + Duration::from_secs_f64((i * batch) as f64 / config.rate);
@@ -400,6 +456,7 @@ fn run_connection(
             .fetch_add(chunk.len() as i64, Ordering::SeqCst);
         conn.send(&Frame::SubmitBatch {
             jobs: chunk.to_vec(),
+            client_send_ns: clock.now_ns(),
         })
         .map_err(|e| format!("submit: {e}"))?;
         submitted += chunk.len() as u64;
@@ -411,7 +468,7 @@ fn run_connection(
         std::thread::sleep(Duration::from_millis(2));
     }
     shared.stop.store(true, Ordering::SeqCst);
-    let (latency, last_outcome_secs) = reader
+    let (latency, spans, last_outcome_secs) = reader
         .join()
         .map_err(|_| "reader panicked".to_string())?
         .map_err(|e| format!("reader: {e}"))?;
@@ -429,24 +486,27 @@ fn run_connection(
         errored: shared.errored.load(Ordering::SeqCst),
         undecided,
         latency,
+        spans,
         last_outcome_secs,
     })
 }
 
-/// Consumes server frames until told to stop, recording latencies.
+/// Consumes server frames until told to stop, recording end-to-end
+/// latencies (client clock) and stage spans (server stamps).
 fn reader_loop(
     mut conn: Connection,
     shared: Arc<ConnShared>,
     global_start: Instant,
-) -> Result<(Histogram, f64), String> {
+) -> Result<(Histogram, SpanHists, f64), String> {
     let mut latency = Histogram::new();
+    let mut spans = SpanHists::default();
     let mut last_outcome_secs = 0.0_f64;
     loop {
         match conn.poll_ready() {
             Ok(true) => {}
             Ok(false) => {
                 if shared.stop.load(Ordering::SeqCst) {
-                    return Ok((latency, last_outcome_secs));
+                    return Ok((latency, spans, last_outcome_secs));
                 }
                 continue;
             }
@@ -454,7 +514,7 @@ fn reader_loop(
         }
         let frame = match conn.recv() {
             Ok(frame) => frame,
-            Err(ProtoError::Eof) => return Ok((latency, last_outcome_secs)),
+            Err(ProtoError::Eof) => return Ok((latency, spans, last_outcome_secs)),
             Err(e) => return Err(format!("recv: {e}")),
         };
         let now = Instant::now();
@@ -462,7 +522,21 @@ fn reader_loop(
             Frame::Decision(event) => {
                 let sent = shared.inflight.lock().unwrap().remove(&event.job);
                 if let Some(sent) = sent {
-                    latency.record(now.duration_since(sent).as_nanos() as u64);
+                    let e2e_ns = now.duration_since(sent).as_nanos() as u64;
+                    latency.record(e2e_ns);
+                    // Server spans from the echoed stamps; the network
+                    // share is what the server span cannot explain.
+                    if let Some(server_ns) = event.stamps.span(Stage::FrameDecode, Stage::Delivery)
+                    {
+                        spans.server.record(server_ns);
+                        spans.network.record(e2e_ns.saturating_sub(server_ns));
+                    }
+                    if let Some(ns) = event.stamps.span(Stage::Enqueue, Stage::Dequeue) {
+                        spans.queue.record(ns);
+                    }
+                    if let Some(ns) = event.stamps.span(Stage::Dequeue, Stage::Decide) {
+                        spans.decide.record(ns);
+                    }
                     shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                     last_outcome_secs = now.duration_since(global_start).as_secs_f64();
                     if event.accepted {

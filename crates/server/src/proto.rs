@@ -23,6 +23,8 @@
 //! typed [`ProtoError`], never a panic, and trailing bytes after a
 //! well-formed payload are an error (no smuggling).
 
+use cslack_obs::flight::StampedDecision;
+use cslack_obs::timeline::{TimelineStamps, STAGES};
 use cslack_obs::trace::{DecisionEvent, RejectReason};
 use serde::Serialize;
 use std::fmt;
@@ -31,8 +33,17 @@ use std::io::{Read, Write};
 /// Frame magic: `0xC57A` ("cslack admission", little-endian on the
 /// wire as `7A C5`).
 pub const MAGIC: u16 = 0xC57A;
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks by default.
+///
+/// Version 2 is a minor revision of version 1: `SubmitBatch` gains a
+/// trailing client-send timestamp and `Decision` gains the server's
+/// stage timeline. Both sides accept any version in
+/// [`MIN_VERSION`]`..=`[`VERSION`] on read, and the server echoes the
+/// version a client's `Hello` arrived with, so v1 clients keep
+/// working unchanged.
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this build still decodes and encodes.
+pub const MIN_VERSION: u8 = 1;
 /// Hard cap on a frame's payload length. A `SubmitBatch` of maximum
 /// size is ~28 B per job, so this admits batches of ~500k jobs while
 /// bounding what a hostile length field can make the server allocate.
@@ -202,11 +213,16 @@ pub enum Frame {
     SubmitBatch {
         /// The jobs; the whole batch shares one quota check.
         jobs: Vec<WireJob>,
+        /// The client's monotonic send stamp, in the *client's* clock
+        /// domain (never comparable to server stamps); `0` means
+        /// unset. v1 peers do not carry the field and decode as `0`.
+        client_send_ns: u64,
     },
     /// Server → client: one admission decision, streamed as the engine
     /// makes it. Carries `(shard, seq)` so the client can reconstruct
-    /// the deterministic per-shard order.
-    Decision(DecisionEvent),
+    /// the deterministic per-shard order, plus (v2) the server's stage
+    /// timeline for the job — v1 peers see only the decision.
+    Decision(StampedDecision),
     /// Server → client: the batch was refused because it would exceed
     /// the tenant's in-flight quota. Retryable — resubmit after
     /// decisions drain the quota.
@@ -358,7 +374,7 @@ fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
     }
 }
 
-fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+fn encode_payload(frame: &Frame, out: &mut Vec<u8>, version: u8) {
     match frame {
         Frame::Hello { tenant } => put_str(out, tenant),
         Frame::HelloAck {
@@ -378,7 +394,15 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_str(out, algorithm);
             put_u32(out, *inflight_limit);
         }
-        Frame::SubmitBatch { jobs } => {
+        Frame::SubmitBatch {
+            jobs,
+            client_send_ns,
+        } => {
+            // v2 leads with the client's send stamp; a v1 encoding
+            // simply drops it (the field is advisory).
+            if version >= 2 {
+                put_u64(out, *client_send_ns);
+            }
             put_u32(out, jobs.len() as u32);
             for job in jobs {
                 put_u32(out, job.id);
@@ -409,6 +433,12 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             }
             put_u64(out, d.latency_ns);
             put_u64(out, d.queue_wait_ns);
+            // v2 appends the stage timeline; a v1 encoding drops it.
+            if version >= 2 {
+                for i in 0..STAGES {
+                    put_u64(out, d.stamps.0[i]);
+                }
+            }
         }
         Frame::Backpressure {
             inflight,
@@ -459,14 +489,22 @@ fn reason_from_u8(v: u8) -> Option<RejectReason> {
 }
 
 /// Encodes a frame into its full wire representation (header, payload,
-/// checksum).
+/// checksum) at the current [`VERSION`].
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_v(frame, VERSION)
+}
+
+/// Encodes a frame at a specific protocol version (the server answers
+/// a v1 client in v1). `version` must be in
+/// [`MIN_VERSION`]`..=`[`VERSION`]; out-of-range values are clamped.
+pub fn encode_frame_v(frame: &Frame, version: u8) -> Vec<u8> {
+    let version = version.clamp(MIN_VERSION, VERSION);
     let mut buf = Vec::with_capacity(64);
     put_u16(&mut buf, MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(frame.type_byte());
     put_u32(&mut buf, 0); // payload length backpatched below
-    encode_payload(frame, &mut buf);
+    encode_payload(frame, &mut buf, version);
     let len = (buf.len() - HEADER_LEN) as u32;
     buf[4..8].copy_from_slice(&len.to_le_bytes());
     let sum = fnv1a32(&buf);
@@ -474,10 +512,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     buf
 }
 
-/// Encodes and writes a frame. One `write_all`, no interleaving hazard
-/// for a single writer.
+/// Encodes and writes a frame at the current [`VERSION`]. One
+/// `write_all`, no interleaving hazard for a single writer.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&encode_frame(frame))
+}
+
+/// Encodes and writes a frame at a specific protocol version.
+pub fn write_frame_v(w: &mut impl Write, frame: &Frame, version: u8) -> std::io::Result<()> {
+    w.write_all(&encode_frame_v(frame, version))
 }
 
 // ---------------------------------------------------------------------
@@ -564,7 +607,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+fn decode_payload(type_byte: u8, payload: &[u8], version: u8) -> Result<Frame, ProtoError> {
     let mut c = Cursor::new(payload);
     let frame = match type_byte {
         TYPE_HELLO => Frame::Hello {
@@ -580,6 +623,7 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             inflight_limit: c.u32()?,
         },
         TYPE_SUBMIT_BATCH => {
+            let client_send_ns = if version >= 2 { c.u64()? } else { 0 };
             let count = c.u32()? as usize;
             // 28 bytes per encoded job: a count the remaining payload
             // cannot hold is rejected before any allocation sized by it.
@@ -595,7 +639,10 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                     deadline: c.f64()?,
                 });
             }
-            Frame::SubmitBatch { jobs }
+            Frame::SubmitBatch {
+                jobs,
+                client_send_ns,
+            }
         }
         TYPE_DECISION => {
             let seq = c.u64()?;
@@ -618,7 +665,7 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 ),
                 _ => return Err(ProtoError::Malformed("bad option tag")),
             };
-            Frame::Decision(DecisionEvent {
+            let event = DecisionEvent {
                 seq,
                 job,
                 shard,
@@ -634,7 +681,14 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 reject_reason,
                 latency_ns: c.u64()?,
                 queue_wait_ns: c.u64()?,
-            })
+            };
+            let mut stamps = TimelineStamps::empty();
+            if version >= 2 {
+                for slot in stamps.0.iter_mut() {
+                    *slot = c.u64()?;
+                }
+            }
+            Frame::Decision(StampedDecision::new(event, stamps))
         }
         TYPE_BACKPRESSURE => Frame::Backpressure {
             inflight: c.u32()?,
@@ -696,13 +750,21 @@ fn read_exactly(r: &mut impl Read, buf: &mut [u8], clean_eof: bool) -> Result<()
     Ok(())
 }
 
-/// Reads and decodes one frame from `r`.
+/// Reads and decodes one frame from `r`, discarding its version. See
+/// [`read_frame_v`] when the caller needs to answer in the peer's
+/// version.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    read_frame_v(r).map(|(_, frame)| frame)
+}
+
+/// Reads and decodes one frame from `r`, returning the protocol
+/// version it arrived with.
 ///
 /// Every failure is a typed [`ProtoError`]; malformed or hostile input
-/// never panics. The header is validated (magic, version, length cap)
-/// before the payload is read, and the checksum before the payload is
-/// interpreted.
-pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+/// never panics. The header is validated (magic, version in
+/// [`MIN_VERSION`]`..=`[`VERSION`], length cap) before the payload is
+/// read, and the checksum before the payload is interpreted.
+pub fn read_frame_v(r: &mut impl Read) -> Result<(u8, Frame), ProtoError> {
     let mut header = [0u8; HEADER_LEN];
     read_exactly(r, &mut header, true)?;
     let magic = u16::from_le_bytes([header[0], header[1]]);
@@ -710,7 +772,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
         return Err(ProtoError::BadMagic(magic));
     }
     let version = header[2];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let type_byte = header[3];
@@ -728,7 +790,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
     if fnv1a32(&hashed) != sent_sum {
         return Err(ProtoError::BadChecksum);
     }
-    decode_payload(type_byte, payload)
+    decode_payload(type_byte, payload, version).map(|frame| (version, frame))
 }
 
 #[cfg(test)]
@@ -773,5 +835,98 @@ mod tests {
         assert_eq!(read_frame(&mut (&[][..])), Err(ProtoError::Eof));
         let bytes = encode_frame(&Frame::Drain);
         assert_eq!(read_frame(&mut &bytes[..3]), Err(ProtoError::Truncated));
+    }
+
+    fn stamped() -> Frame {
+        Frame::Decision(StampedDecision::new(
+            DecisionEvent {
+                seq: 7,
+                job: 42,
+                shard: 1,
+                release: 0.0,
+                proc_time: 2.0,
+                deadline: 9.0,
+                candidates: 3,
+                threshold: Some(1.5),
+                min_load: Some(0.5),
+                accepted: true,
+                machine: Some(2),
+                start: Some(0.25),
+                reject_reason: None,
+                latency_ns: 111,
+                queue_wait_ns: 222,
+            },
+            TimelineStamps([10, 20, 30, 40, 50, 60, 70]),
+        ))
+    }
+
+    #[test]
+    fn v2_frames_round_trip_stamps_and_client_send() {
+        let batch = Frame::SubmitBatch {
+            jobs: vec![WireJob {
+                id: 1,
+                release: 0.0,
+                proc_time: 1.0,
+                deadline: 3.0,
+            }],
+            client_send_ns: 12_345,
+        };
+        for frame in [batch, stamped()] {
+            let bytes = encode_frame(&frame);
+            let (version, back) = read_frame_v(&mut bytes.as_slice()).unwrap();
+            assert_eq!(version, VERSION);
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn v1_encoding_drops_the_v2_fields_and_still_decodes() {
+        // A v1 peer never sees stamps or the client send field; this
+        // build reads its frames back with those fields zeroed.
+        let batch = Frame::SubmitBatch {
+            jobs: vec![WireJob {
+                id: 1,
+                release: 0.0,
+                proc_time: 1.0,
+                deadline: 3.0,
+            }],
+            client_send_ns: 99,
+        };
+        let bytes = encode_frame_v(&batch, 1);
+        let (version, back) = read_frame_v(&mut bytes.as_slice()).unwrap();
+        assert_eq!(version, 1);
+        match back {
+            Frame::SubmitBatch {
+                jobs,
+                client_send_ns,
+            } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(client_send_ns, 0);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        let bytes = encode_frame_v(&stamped(), 1);
+        let (_, back) = read_frame_v(&mut bytes.as_slice()).unwrap();
+        match (back, stamped()) {
+            (Frame::Decision(got), Frame::Decision(sent)) => {
+                assert_eq!(got.event, sent.event);
+                assert_eq!(got.stamps, TimelineStamps::empty());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Drain);
+        bytes[2] = VERSION + 1;
+        // Checksum covers the header, so repair it after the bump.
+        let len = bytes.len();
+        let sum = fnv1a32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut bytes.as_slice()),
+            Err(ProtoError::BadVersion(VERSION + 1))
+        );
     }
 }

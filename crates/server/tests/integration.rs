@@ -4,7 +4,8 @@
 //! touch another tenant.
 
 use cslack_engine::{Engine, EngineConfig, ObsConfig};
-use cslack_obs::trace::DecisionEvent;
+use cslack_obs::flight::StampedDecision;
+use cslack_obs::timeline::Stage;
 use cslack_server::client::Connection;
 use cslack_server::proto::{Frame, RejectCode, TenantSummary, WireJob};
 use cslack_server::{Server, ServerConfig, TenantSpec};
@@ -44,7 +45,7 @@ fn wire_jobs(m: usize, eps: f64, n: usize, seed: u64) -> Vec<WireJob> {
 /// What one connection saw while pushing a workload through a tenant.
 #[derive(Default)]
 struct RunOutcome {
-    decisions: Vec<DecisionEvent>,
+    decisions: Vec<StampedDecision>,
     rejects: Vec<(Option<u32>, RejectCode)>,
     backpressured: u64,
     summary: Option<TenantSummary>,
@@ -56,6 +57,7 @@ fn push_and_drain(conn: &mut Connection, jobs: &[WireJob], batch: usize) -> RunO
     for chunk in jobs.chunks(batch) {
         conn.send(&Frame::SubmitBatch {
             jobs: chunk.to_vec(),
+            client_send_ns: 7_777,
         })
         .expect("submit");
     }
@@ -81,7 +83,7 @@ fn push_and_drain(conn: &mut Connection, jobs: &[WireJob], batch: usize) -> RunO
 /// wall-clock latency legitimately differs between runs.
 type DecisionKey = (usize, u64, u32, bool, Option<u32>, Option<f64>);
 
-fn keys(mut events: Vec<DecisionEvent>) -> Vec<DecisionKey> {
+fn keys(mut events: Vec<StampedDecision>) -> Vec<DecisionKey> {
     events.sort_by_key(|e| (e.shard, e.seq));
     events
         .into_iter()
@@ -143,8 +145,26 @@ fn wire_decision_stream_matches_in_process_engine() {
     assert_eq!(summary.failed_shards, 0);
     assert!(summary.accepted > 0);
 
+    // The wire stamps carry the full pipeline: the client's own send
+    // stamp echoed back verbatim, every server stage stamped, and the
+    // server-side stages in pipeline order.
+    for d in &outcome.decisions {
+        assert_eq!(d.stamps.get(Stage::ClientSend), 7_777, "client stamp echo");
+        for stage in [
+            Stage::FrameDecode,
+            Stage::Dispatch,
+            Stage::Enqueue,
+            Stage::Dequeue,
+            Stage::Decide,
+            Stage::Delivery,
+        ] {
+            assert_ne!(d.stamps.get(stage), 0, "{stage:?} unstamped on J{}", d.job);
+        }
+        assert!(d.stamps.server_monotone(), "J{} stamps reordered", d.job);
+    }
+
     // Reference: the same engine geometry driven in-process.
-    let (tx, rx) = crossbeam::channel::unbounded::<DecisionEvent>();
+    let (tx, rx) = crossbeam::channel::unbounded::<StampedDecision>();
     let obs = ObsConfig {
         decisions: Some(tx),
         ..ObsConfig::default()
@@ -160,7 +180,7 @@ fn wire_decision_stream_matches_in_process_engine() {
         result.expect("in-process submit");
     }
     let report = engine.finish().expect("in-process finish");
-    let reference: Vec<DecisionEvent> = rx.iter().collect();
+    let reference: Vec<StampedDecision> = rx.iter().collect();
 
     assert_eq!(keys(outcome.decisions), keys(reference));
     assert_eq!(summary.accepted, report.metrics.accepted);
@@ -210,10 +230,12 @@ fn decisions_route_to_the_submitting_connection() {
     for (chunk_a, chunk_b) in first_half.chunks(10).zip(second_half.chunks(10)) {
         a.send(&Frame::SubmitBatch {
             jobs: chunk_a.to_vec(),
+            client_send_ns: 0,
         })
         .unwrap();
         b.send(&Frame::SubmitBatch {
             jobs: chunk_b.to_vec(),
+            client_send_ns: 0,
         })
         .unwrap();
     }
@@ -260,6 +282,7 @@ fn a_failed_shard_is_contained_to_its_tenant() {
     for chunk in jobs.chunks(20) {
         conn.send(&Frame::SubmitBatch {
             jobs: chunk.to_vec(),
+            client_send_ns: 0,
         })
         .unwrap();
         std::thread::sleep(Duration::from_millis(5));
@@ -357,6 +380,7 @@ fn quota_pressure_is_typed_and_tenant_scoped() {
     // 17 > 16: refused wholesale, nothing enters the engine.
     conn.send(&Frame::SubmitBatch {
         jobs: jobs[..17].to_vec(),
+        client_send_ns: 0,
     })
     .unwrap();
     match conn.recv().expect("typed refusal") {
@@ -420,6 +444,7 @@ fn malformed_and_duplicate_jobs_get_typed_rejects() {
             },
             WireJob { ..good }, // duplicate of id 1, same batch
         ],
+        client_send_ns: 0,
     })
     .unwrap();
 
@@ -506,6 +531,7 @@ fn stats_track_the_run_and_drain_is_idempotent_across_connections() {
             proc_time: 1.0,
             deadline: 9.0,
         }],
+        client_send_ns: 0,
     })
     .unwrap();
     match conn.recv().expect("typed answer") {

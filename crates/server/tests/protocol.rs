@@ -3,6 +3,8 @@
 //! bytes, hostile headers — produces a typed [`ProtoError`], never a
 //! panic and never a silently wrong frame.
 
+use cslack_obs::flight::StampedDecision;
+use cslack_obs::timeline::TimelineStamps;
 use cslack_obs::trace::{DecisionEvent, RejectReason};
 use cslack_server::proto::{
     self, encode_frame, read_frame, Frame, ProtoError, RejectCode, TenantStats, TenantSummary,
@@ -129,8 +131,16 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     inflight_limit,
                 }
             ),
-        prop::collection::vec(arb_wire_job(), 0..20).prop_map(|jobs| Frame::SubmitBatch { jobs }),
-        arb_decision().prop_map(Frame::Decision),
+        (prop::collection::vec(arb_wire_job(), 0..20), any::<u64>()).prop_map(
+            |(jobs, client_send_ns)| Frame::SubmitBatch {
+                jobs,
+                client_send_ns,
+            }
+        ),
+        (arb_decision(), prop::collection::vec(any::<u64>(), 7)).prop_map(|(event, stamps)| {
+            let stamps: [u64; 7] = stamps.try_into().unwrap();
+            Frame::Decision(StampedDecision::new(event, TimelineStamps(stamps)))
+        }),
         (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(inflight, limit, refused)| {
             Frame::Backpressure {
                 inflight,
@@ -319,9 +329,13 @@ fn unknown_frame_type_is_recoverable() {
 
 #[test]
 fn hostile_submit_count_is_rejected_before_allocation() {
-    // A SubmitBatch claiming u32::MAX jobs with a 4-byte payload: the
-    // count sanity check must fire before `Vec::with_capacity`.
-    let bytes = forge(VERSION, 0x03, &u32::MAX.to_le_bytes());
+    // A SubmitBatch claiming u32::MAX jobs right after its v2 client
+    // stamp: the count sanity check must fire before
+    // `Vec::with_capacity`.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes()); // client_send_ns
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    let bytes = forge(VERSION, 0x03, &payload);
     assert_eq!(
         read_frame(&mut bytes.as_slice()),
         Err(ProtoError::Malformed("job count exceeds payload"))
@@ -393,6 +407,7 @@ fn back_to_back_frames_stream_in_order() {
                 proc_time: 1.0,
                 deadline: 3.0,
             }],
+            client_send_ns: 0,
         },
         Frame::StatsRequest,
         Frame::Drain,

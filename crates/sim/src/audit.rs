@@ -182,7 +182,7 @@ where
             .events
             .iter()
             .filter_map(|e| match e {
-                FlightEvent::Decision(d) => Some(d),
+                FlightEvent::Decision(d) => Some(&d.event),
                 _ => None,
             })
             .collect();
@@ -277,7 +277,7 @@ where
 #[derive(Clone, Debug, Serialize)]
 pub struct AuditViolation {
     /// Which check failed (`commitment`, `slack`, `threshold`,
-    /// `ctable`, `consistency`, `counters`).
+    /// `ctable`, `consistency`, `counters`, `stamps`).
     pub check: &'static str,
     /// The shard the offending event came from (`None` for run-level
     /// checks such as counters).
@@ -429,6 +429,20 @@ pub fn audit_snapshot(snap: &FlightSnapshot) -> AuditReport {
                             .bump(d.reject_reason.unwrap_or(RejectReason::Unattributed));
                     }
                     audit_decision(d, block.shard, lo, eps, f_last, &mut report);
+                    // Stage stamps, when present, must respect pipeline
+                    // order on the server's clock. v1 recordings carry
+                    // no stamps and pass vacuously.
+                    if !d.stamps.server_monotone() {
+                        report.violations.push(AuditViolation {
+                            check: "stamps",
+                            shard: Some(block.shard),
+                            job: Some(d.job),
+                            message: format!(
+                                "J{} timeline stamps are not monotone: {:?}",
+                                d.job, d.stamps.0
+                            ),
+                        });
+                    }
                 }
                 FlightEvent::Commitment {
                     job,
@@ -709,9 +723,8 @@ mod tests {
             } else {
                 rejected.bump(info.reject_reason.unwrap_or(RejectReason::Unattributed));
             }
-            blocks[shard]
-                .events
-                .push(FlightEvent::Decision(DecisionEvent {
+            blocks[shard].events.push(FlightEvent::Decision(
+                DecisionEvent {
                     seq,
                     job: id as u32,
                     shard,
@@ -727,7 +740,9 @@ mod tests {
                     reject_reason: info.reject_reason,
                     latency_ns: 5,
                     queue_wait_ns: 1,
-                }));
+                }
+                .into(),
+            ));
             if let (Some(machine), Some(start)) = (machine, start) {
                 blocks[shard].events.push(FlightEvent::Commitment {
                     seq,
