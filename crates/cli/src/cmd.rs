@@ -5,7 +5,10 @@ use cslack_adversary::{run as adversary_run, AdversaryConfig};
 use cslack_algorithms::{
     ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
 };
-use cslack_engine::{Engine, EngineConfig, EngineMetrics, ObsConfig, ShardFailure, SubmitError};
+use cslack_engine::{
+    Engine, EngineConfig, EngineMetrics, IngestConfig, IngestMode, ObsConfig, ShardFailure,
+    SubmitError,
+};
 use cslack_kernel::Instance;
 use cslack_obs::{
     FlightEvent, HistogramSummary, MetricsRegistry, StageBreakdown, TraceSummary, STAGE_SPANS,
@@ -29,6 +32,8 @@ USAGE:
   cslack simulate  --algo <name> (--trace <file> | --m <int> --eps <float> --n <int> [--seed <int>]) [--json]
   cslack serve-bench --algo <name> --shards <int> --m <int> --eps <float> --n <int>
                    [--seed <int>] [--queue-cap <int>] [--batch <int>] [--json]
+                   [--ingest ring|channel] [--ring-cap <jobs>]
+                   [--pin-workers] [--pin-offset <int>]
                    [--trace-out <jsonl>] [--trace-cap <int>]
                    [--metrics-out <json>] [--prom-out <txt>] [--spans]
                    [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
@@ -37,6 +42,8 @@ USAGE:
   cslack serve     --tenants name:m:eps[:algo[:shards[:seed]]][,name2:...]
                    [--listen <addr>] [--telemetry <addr>] [--inflight <int>]
                    [--queue-cap <int>] [--batch <int>]
+                   [--ingest ring|channel] [--ring-cap <jobs>]
+                   [--pin-workers] [--pin-offset <int>]
                    [--inject <tenant>=<kind>@<n>] [--exit-when-drained]
                    [--max-secs <float>]
   cslack loadgen   --tenants <name>[,<name2>...] [--connect <addr>]
@@ -209,6 +216,29 @@ struct ServeBenchReport {
     degraded: Vec<ShardFailure>,
 }
 
+/// Parses the shared ingestion-plane flags: `--ingest ring|channel`
+/// (transport selection, ring by default), `--ring-cap <jobs>` (ring
+/// slot-pool size, power-of-two rounded; defaults to the queue
+/// capacity), `--pin-workers` and `--pin-offset <int>` (best-effort
+/// shard-worker CPU affinity).
+fn parse_ingest(opts: &Opts) -> Result<IngestConfig, String> {
+    let mode = match opts.get("ingest") {
+        None | Some("ring") => IngestMode::Ring,
+        Some("channel") => IngestMode::Channel,
+        Some(other) => return Err(format!("--ingest `{other}` is not `ring` or `channel`")),
+    };
+    let mut ingest = IngestConfig {
+        mode,
+        ..IngestConfig::default()
+    };
+    if opts.get("ring-cap").is_some() {
+        ingest.ring_capacity = Some(opts.require_as("ring-cap")?);
+    }
+    ingest.pin_workers = opts.flag("pin-workers");
+    ingest.pin_offset = opts.get_or("pin-offset", 0)?;
+    Ok(ingest)
+}
+
 /// `cslack serve-bench` — stream a generated workload through the
 /// sharded admission-control engine and report throughput plus the
 /// competitive ratio against a cheap offline upper bound.
@@ -307,8 +337,9 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let mut config = EngineConfig::new(shards);
     config.queue_capacity = opts.get_or("queue-cap", config.queue_capacity)?;
     config.batch_size = opts.get_or("batch", config.batch_size)?;
+    let ingest = parse_ingest(opts)?;
     let submit_chunk = config.batch_size.max(1);
-    let engine = Engine::start_observed(m, config, obs, |shard, group| {
+    let engine = Engine::start_with_ingest(m, config, ingest, obs, |shard, group| {
         let inner = build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
             .expect("algorithm name validated above");
         // Fault injection targets shard 0 only: the other shards stay
@@ -326,15 +357,17 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     }
     // Keep streaming past a failed shard: its jobs bounce with
     // `ShardFailed` while the healthy shards keep accepting. Batched
-    // submission amortizes one channel operation over `batch_size`
-    // jobs per shard.
+    // submission amortizes one ring publish (or channel operation)
+    // over `batch_size` jobs per shard; the `_into` path makes the
+    // all-accepted case allocation-free.
     let mut bounced = 0usize;
+    let mut failures = Vec::new();
     for chunk in inst.jobs().chunks(submit_chunk) {
-        for result in engine.submit_batch(chunk) {
-            match result {
-                Ok(()) => {}
-                Err(SubmitError::ShardFailed(_)) => bounced += 1,
-                Err(e) => return Err(e.to_string()),
+        engine.submit_batch_into(chunk, &mut failures);
+        for err in &failures {
+            match err {
+                SubmitError::ShardFailed(_) => bounced += 1,
+                e => return Err(e.to_string()),
             }
         }
     }
@@ -533,12 +566,14 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         Some(_) => Some(opts.require_as("telemetry")?),
         None => None,
     };
+    let ingest = parse_ingest(opts)?;
     let mut tenants = Vec::new();
     for spec in opts.require("tenants")?.split(',') {
         let mut spec = TenantSpec::parse(spec)?;
         spec.inflight_limit = opts.get_or("inflight", spec.inflight_limit)?;
         spec.queue_capacity = opts.get_or("queue-cap", spec.queue_capacity)?;
         spec.batch_size = opts.get_or("batch", spec.batch_size)?;
+        spec.ingest = ingest;
         tenants.push(spec);
     }
     if let Some(raw) = opts.get("inject") {

@@ -47,6 +47,7 @@ fn main() -> ExitCode {
             "flight-audit",
             "exit-when-drained",
             "no-drain",
+            "pin-workers",
         ],
     ) {
         Ok(opts) => opts,

@@ -1,0 +1,254 @@
+//! Engine tuning and observability configuration types.
+
+use crossbeam::channel::Sender;
+use cslack_obs::flight::StampedDecision;
+use cslack_obs::timeline::ClockBase;
+use cslack_obs::MetricsRegistry;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Tuning knobs for [`Engine::start`](crate::Engine::start).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shards (worker threads / scheduler instances).
+    pub shards: usize,
+    /// Bounded capacity of each shard's submission queue; a full queue
+    /// makes [`Engine::try_submit`](crate::Engine::try_submit) fail and
+    /// [`Engine::submit`](crate::Engine::submit) block. In the default
+    /// ring ingestion mode this bounds queued *jobs* (rounded up to a
+    /// power of two); in legacy channel mode it bounds queued
+    /// *messages*, where one batch message may carry many jobs.
+    pub queue_capacity: usize,
+    /// Maximum jobs a shard drains from its queue per wakeup.
+    pub batch_size: usize,
+}
+
+impl EngineConfig {
+    /// A config with `shards` shards and default queue/batch sizing.
+    pub fn new(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            queue_capacity: 1024,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Which transport carries submissions from producers to the shard
+/// workers. See the [`queue`](crate::queue) module docs for the layout
+/// and protocol of each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Per-shard ingestion rings: whole routed batches published with
+    /// one lock acquisition and one release store, lock-free consumer,
+    /// preallocated slots (no per-submission allocation). The default.
+    Ring,
+    /// The legacy bounded MPSC channel, kept as the reference path for
+    /// A/B benchmarking and the CI decision-stream divergence check.
+    Channel,
+}
+
+/// Ingestion-plane knobs for
+/// [`Engine::start_with_ingest`](crate::Engine::start_with_ingest).
+///
+/// Lives outside [`EngineConfig`] so existing exhaustive
+/// `EngineConfig { .. }` literals keep compiling; the plain
+/// [`Engine::start`](crate::Engine::start) /
+/// [`Engine::start_observed`](crate::Engine::start_observed)
+/// constructors use the default (ring mode, ring capacity =
+/// `queue_capacity`, no pinning).
+#[derive(Clone, Copy, Debug)]
+pub struct IngestConfig {
+    /// Transport selection; defaults to [`IngestMode::Ring`].
+    pub mode: IngestMode,
+    /// Ring capacity in jobs (rounded up to a power of two); `None`
+    /// uses [`EngineConfig::queue_capacity`]. Ignored in channel mode.
+    pub ring_capacity: Option<usize>,
+    /// Pin each shard worker to a CPU (`(pin_offset + shard) mod
+    /// available_parallelism`). Best-effort: on platforms without a
+    /// raw `sched_setaffinity` path, or when the kernel refuses, the
+    /// worker simply runs unpinned. Off by default — pinning helps
+    /// steady-state cache locality on dedicated multi-core hosts and
+    /// does nothing (or harms fairness) on shared or single-core
+    /// boxes.
+    pub pin_workers: bool,
+    /// First CPU index used when `pin_workers` is set; lets several
+    /// engines (or an embedding server's tenants) interleave onto
+    /// disjoint CPUs.
+    pub pin_offset: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            mode: IngestMode::Ring,
+            ring_capacity: None,
+            pin_workers: false,
+            pin_offset: 0,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// The legacy channel transport with default sizing.
+    pub fn channel() -> IngestConfig {
+        IngestConfig {
+            mode: IngestMode::Channel,
+            ..IngestConfig::default()
+        }
+    }
+}
+
+/// Observability wiring for
+/// [`Engine::start_observed`](crate::Engine::start_observed).
+///
+/// The default is fully dark: no registry, no trace, and the built-in
+/// histograms still populate [`EngineMetrics`](crate::EngineMetrics)
+/// (they are shard-local, contention-free, and cheap).
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Shared metrics registry the workers stream counters and
+    /// histogram samples into while running (only when the registry is
+    /// [enabled](MetricsRegistry::is_enabled)). Workers accumulate
+    /// shard-locally and flush once per drained batch, so a live
+    /// registry adds no per-decision contention; scraped values trail
+    /// the truth by at most one batch. `None` skips registry writes
+    /// entirely.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Per-shard decision-trace ring capacity; `0` disables tracing.
+    /// When a shard decides more jobs than this, the oldest events are
+    /// overwritten and counted in
+    /// [`EngineReport::trace_dropped`](crate::EngineReport::trace_dropped).
+    pub trace_capacity: usize,
+    /// Flight-recorder wiring; `None` records nothing. See
+    /// [`FlightConfig`].
+    pub flight: Option<FlightConfig>,
+    /// Bind address for the live telemetry HTTP endpoint serving
+    /// `/metrics` (Prometheus text), `/healthz`, and `/flight/snapshot`
+    /// (the current `.cfr` bytes, when a flight recorder is active).
+    /// Port 0 binds an ephemeral port — read it back with
+    /// [`Engine::metrics_addr`](crate::Engine::metrics_addr). When set
+    /// without a registry, an enabled [`MetricsRegistry`] is created
+    /// automatically so `/metrics` has data to serve. Which of the
+    /// three endpoints the listener answers is governed by
+    /// [`ObsConfig::endpoints`] — an embedding process that serves its
+    /// own telemetry (e.g. `cslack-server`) leaves this `None` and no
+    /// port is ever bound.
+    pub serve_metrics: Option<SocketAddr>,
+    /// Which endpoints the [`ObsConfig::serve_metrics`] listener
+    /// answers; disabled endpoints return 404. Ignored when no
+    /// listener is requested. Defaults to all three.
+    pub endpoints: TelemetryEndpoints,
+    /// Live decision subscription: every completed decision is sent to
+    /// this channel as a [`StampedDecision`] (a
+    /// [`DecisionEvent`](cslack_obs::DecisionEvent) with global machine
+    /// ids plus its timeline stamps), in per-shard `(shard, seq)`
+    /// order. Shards send concurrently, so the receiver observes an
+    /// interleaving of the per-shard streams; within one shard the
+    /// order is exactly arrival order. The channel closes when the
+    /// engine is finished (all senders dropped), which is the
+    /// receiver's drain signal. A full bounded channel blocks the
+    /// deciding worker — subscribers that cannot keep up stall the
+    /// engine rather than silently losing decisions, so use an
+    /// unbounded channel unless that backpressure is wanted.
+    pub decisions: Option<Sender<StampedDecision>>,
+    /// The monotonic clock base timeline stamps are measured against.
+    /// An embedding process that stamps hops *outside* the engine (the
+    /// cslack server stamps frame decode and dispatch, and every tenant
+    /// engine must agree on the axis) passes its own shared clock;
+    /// `None` gives the engine a private one.
+    pub clock: Option<Arc<ClockBase>>,
+}
+
+impl ObsConfig {
+    /// Tracing with per-shard capacity `trace_capacity`, no registry.
+    pub fn traced(trace_capacity: usize) -> ObsConfig {
+        ObsConfig {
+            trace_capacity,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// Which endpoints the engine's telemetry listener serves. Each is
+/// opt-out individually so an embedding process can expose exactly the
+/// surface it wants (e.g. `/healthz` only on an internal port, with
+/// metrics scraped elsewhere); a disabled endpoint answers 404.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEndpoints {
+    /// Serve `/metrics` (Prometheus text exposition).
+    pub metrics: bool,
+    /// Serve `/healthz` (per-shard liveness; 503 on any failed shard).
+    pub healthz: bool,
+    /// Serve `/flight/snapshot` (current `.cfr` bytes).
+    pub flight: bool,
+}
+
+impl Default for TelemetryEndpoints {
+    fn default() -> TelemetryEndpoints {
+        TelemetryEndpoints {
+            metrics: true,
+            healthz: true,
+            flight: true,
+        }
+    }
+}
+
+/// Flight-recorder wiring for
+/// [`Engine::start_observed`](crate::Engine::start_observed).
+///
+/// The recorder captures the complete causal record of the run —
+/// submissions (arrival order + shard routing), full decisions, and
+/// irrevocable commitments — in bounded per-shard binary rings
+/// ([`SharedFlightRing`](cslack_obs::flight::SharedFlightRing)). Each
+/// shard's worker is its ring's single writer: a decision is encoded
+/// straight into its slot with relaxed atomic word stores and one
+/// release publish, so the per-decision path takes no locks at all
+/// while live readers (`/flight/snapshot`, error snapshots) take
+/// seqlock-validated copies at any time without ever stalling a
+/// worker. Records carry the decision's
+/// [`TimelineStamps`](cslack_obs::timeline::TimelineStamps), so
+/// snapshots double as the stage-latency evidence `cslack latency`
+/// aggregates.
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Per-shard ring capacity in records; `0` disables recording.
+    /// Each decision costs exactly one record — the submission and
+    /// commitment events in a snapshot are synthesized from it.
+    pub capacity: usize,
+    /// Algorithm label written into the `.cfr` header, in the CLI
+    /// vocabulary (`threshold`, `greedy`, ...) — replay rebuilds the
+    /// schedulers from it, and the auditor gates the `c(eps, m)` check
+    /// on it.
+    pub algorithm: String,
+    /// System slack the schedulers were configured with.
+    pub eps: f64,
+    /// Base RNG seed (shard `s` derives `seed + s` by convention).
+    pub seed: u64,
+    /// Write a `.cfr` snapshot here when
+    /// [`Engine::finish`](crate::Engine::finish) fails with a contract
+    /// violation, a shard panic, or a merge error — the crash-dump
+    /// path.
+    pub snapshot_on_error: Option<PathBuf>,
+    /// Run the trace-driven invariant auditor over the final snapshot
+    /// inside [`Engine::finish`](crate::Engine::finish); the result
+    /// lands in [`EngineReport::audit`](crate::EngineReport::audit).
+    pub audit_on_finish: bool,
+}
+
+impl FlightConfig {
+    /// A recorder of `capacity` records per shard describing a run of
+    /// `algorithm` under `eps`/`seed`, with no error snapshot and no
+    /// finish-time audit.
+    pub fn new(capacity: usize, algorithm: impl Into<String>, eps: f64, seed: u64) -> FlightConfig {
+        FlightConfig {
+            capacity,
+            algorithm: algorithm.into(),
+            eps,
+            seed,
+            snapshot_on_error: None,
+            audit_on_finish: false,
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The shared per-shard liveness table behind
+//! [`Engine::health`](crate::Engine::health) and `/healthz`.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Liveness of one shard worker, as exposed by
+/// [`Engine::health`](crate::Engine::health).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ShardState {
+    /// The worker is serving its queue.
+    Alive,
+    /// The queue has been closed (finish/drop) and the worker is
+    /// draining what is left.
+    Draining,
+    /// The worker died to a contained fault and parked.
+    Failed,
+}
+
+impl ShardState {
+    /// Lower-case label for `/healthz` and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardState::Alive => "alive",
+            ShardState::Draining => "draining",
+            ShardState::Failed => "failed",
+        }
+    }
+}
+
+/// One row of [`Engine::health`](crate::Engine::health).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Current liveness state.
+    pub state: ShardState,
+    /// Nanoseconds since engine start at the worker's last batch
+    /// wakeup (0 before the first batch). A stale heartbeat on an
+    /// `Alive` shard means the worker is idle — or wedged; callers
+    /// decide which with their own traffic knowledge.
+    pub heartbeat_ns: u64,
+}
+
+const STATE_ALIVE: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_FAILED: u8 = 2;
+
+/// Shared per-shard liveness table: one `(state, heartbeat)` slot per
+/// shard, written by workers (heartbeat each batch, `Failed` on fault)
+/// and by the lifecycle paths (`Draining` when the queues close), read
+/// lock-free by [`Engine::health`](crate::Engine::health) and the
+/// `/healthz` endpoint.
+pub(crate) struct HealthState {
+    slots: Vec<HealthSlot>,
+}
+
+struct HealthSlot {
+    state: AtomicU8,
+    heartbeat_ns: AtomicU64,
+}
+
+impl HealthState {
+    pub(crate) fn new(shards: usize) -> HealthState {
+        HealthState {
+            slots: (0..shards)
+                .map(|_| HealthSlot {
+                    state: AtomicU8::new(STATE_ALIVE),
+                    heartbeat_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn beat(&self, shard: usize, ns: u64) {
+        self.slots[shard].heartbeat_ns.store(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mark_failed(&self, shard: usize) {
+        self.slots[shard]
+            .state
+            .store(STATE_FAILED, Ordering::Release);
+    }
+
+    /// Queues closed: every still-alive shard moves to `Draining`
+    /// (failed shards stay failed).
+    pub(crate) fn mark_draining_all(&self) {
+        for slot in &self.slots {
+            let _ = slot.state.compare_exchange(
+                STATE_ALIVE,
+                STATE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    pub(crate) fn is_failed(&self, shard: usize) -> bool {
+        self.slots[shard].state.load(Ordering::Acquire) == STATE_FAILED
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<ShardHealth> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| ShardHealth {
+                shard,
+                state: match slot.state.load(Ordering::Acquire) {
+                    STATE_DRAINING => ShardState::Draining,
+                    STATE_FAILED => ShardState::Failed,
+                    _ => ShardState::Alive,
+                },
+                heartbeat_ns: slot.heartbeat_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}

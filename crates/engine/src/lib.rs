@@ -1,17 +1,17 @@
 //! # cslack-engine
 //!
 //! A sharded, thread-safe admission-control *service* wrapping any
-//! [`OnlineScheduler`] behind a submission API — the paper's
-//! immediate-commitment model lifted from a replayed trace to a
-//! concurrent server.
+//! [`OnlineScheduler`](cslack_algorithms::OnlineScheduler) behind a
+//! submission API — the paper's immediate-commitment model lifted from
+//! a replayed trace to a concurrent server.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!               try_submit / submit (bounded MPSC, backpressure)
+//!             try_submit / submit / submit_batch (backpressure-typed)
 //!  producers ──────────────┬─────────────────┬──────────────────┐
 //!                          v                 v                  v
-//!                   [queue shard 0]   [queue shard 1]  …  [queue shard S-1]
+//!                   [ingest ring 0]   [ingest ring 1]  …  [ingest ring S-1]
 //!                          │                 │                  │
 //!                   worker thread 0   worker thread 1     worker thread S-1
 //!                   scheduler shard   scheduler shard     scheduler shard
@@ -30,26 +30,41 @@
 //!   modulo shard count), so a given instance always lands on the same
 //!   shards in the same per-shard order — the accepted set is
 //!   reproducible across runs regardless of thread scheduling.
+//! * Submissions travel through the **ingestion plane** (the [`queue`]
+//!   module): by default one preallocated lock-free-consumer ring per
+//!   shard, into which producers publish whole routed batches with one
+//!   lock acquisition and one release store — no per-job allocation,
+//!   no channel hop. The legacy bounded MPSC channel remains available
+//!   ([`IngestMode::Channel`]) for A/B benchmarking; the per-shard
+//!   arrival streams (and therefore the decision streams) are
+//!   identical on either transport.
 //! * Each shard drains its queue in batches, asks its scheduler for an
-//!   irrevocable [`Decision`] per job, and commits accepts to a
-//!   shard-local [`Schedule`] through the same contract-check the
-//!   sequential simulator uses ([`cslack_sim::apply_decision`]).
+//!   irrevocable [`Decision`](cslack_algorithms::Decision) per job,
+//!   and commits accepts to a shard-local
+//!   [`Schedule`](cslack_kernel::Schedule) through the same
+//!   contract-check the sequential simulator uses
+//!   ([`cslack_sim::apply_decision`]). Workers can optionally be
+//!   pinned to CPUs ([`IngestConfig::pin_workers`]).
 //! * [`Engine::finish`] closes the queues, joins every worker, and
-//!   merges the shard schedules into one cluster-wide [`Schedule`];
-//!   the merge re-validates every commitment, so shards can never
-//!   silently double-commit a job or overlap a lane.
+//!   merges the shard schedules into one cluster-wide
+//!   [`Schedule`](cslack_kernel::Schedule); the merge re-validates
+//!   every commitment, so shards can never silently double-commit a
+//!   job or overlap a lane.
 //!
 //! ## Observability
 //!
 //! Every decision is measured into log-bucketed [`cslack_obs`]
 //! histograms (decision latency and enqueue-to-decision queue wait) and
-//! every rejection carries a typed [`RejectReason`] obtained through
-//! [`OnlineScheduler::offer_explained`]. Pass an [`ObsConfig`] to
-//! [`Engine::start_observed`] to additionally:
+//! every rejection carries a typed
+//! [`RejectReason`](cslack_obs::RejectReason) obtained through
+//! [`OnlineScheduler::offer_explained`](cslack_algorithms::OnlineScheduler::offer_explained).
+//! Pass an [`ObsConfig`] to [`Engine::start_observed`] to additionally:
 //!
 //! * stream live counters/histograms into a shared
-//!   [`MetricsRegistry`] (Prometheus-exposable; flushed shard-locally
-//!   once per batch so the hot path never contends on it), and
+//!   [`MetricsRegistry`](cslack_obs::MetricsRegistry)
+//!   (Prometheus-exposable; flushed shard-locally once per batch so the
+//!   hot path never contends on it — including a per-shard
+//!   `cslack_queue_depth` gauge fed from both ends of the ring), and
 //! * record a bounded per-shard decision trace
 //!   ([`cslack_obs::DecisionEvent`] ring buffers) returned in
 //!   [`EngineReport::trace`], drainable as JSONL.
@@ -80,29 +95,30 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use cslack_algorithms::OnlineScheduler;
-use cslack_kernel::{merge_schedules, Job, JobId, KernelError, MachineId, Schedule};
-use cslack_obs::flight::{
-    expand_decision_stream, FlightEvent, FlightHeader, FlightSnapshot, ShardFlight,
-    SharedFlightRing, StampedDecision,
+use cslack_kernel::{JobId, MachineId};
+
+mod config;
+#[allow(clippy::module_inception)]
+mod engine;
+mod error;
+mod flight_state;
+mod health;
+mod pin;
+pub(crate) mod queue;
+mod report;
+mod submit;
+mod telemetry;
+#[cfg(test)]
+mod tests;
+mod worker;
+
+pub use config::{
+    EngineConfig, FlightConfig, IngestConfig, IngestMode, ObsConfig, TelemetryEndpoints,
 };
-use cslack_obs::timeline::{ClockBase, Stage, TimelineStamps, STAGE_SPANS};
-use cslack_obs::{
-    DecisionEvent, DecisionRing, Histogram, MetricsRegistry, RejectCounts, RejectReason,
-};
-use cslack_sim::apply_decision;
-use cslack_sim::audit::{audit_snapshot, AuditReport};
-use serde::Serialize;
-use std::fmt;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+pub use engine::Engine;
+pub use error::{EngineError, FailureKind, ShardFailure, SubmitError};
+pub use health::{ShardHealth, ShardState};
+pub use report::{EngineMetrics, EngineReport, LatencyStats, ShardMetrics};
 
 /// Deterministic shard routing: the shard a job is offered to.
 ///
@@ -132,2684 +148,4 @@ pub fn machine_groups(m: usize, shards: usize) -> Result<Vec<Vec<MachineId>>, En
             (lo..hi).map(|i| MachineId(i as u32)).collect()
         })
         .collect())
-}
-
-/// Tuning knobs for [`Engine::start`].
-#[derive(Clone, Copy, Debug)]
-pub struct EngineConfig {
-    /// Number of shards (worker threads / scheduler instances).
-    pub shards: usize,
-    /// Bounded capacity of each shard's submission queue; a full queue
-    /// makes [`Engine::try_submit`] fail and [`Engine::submit`] block.
-    pub queue_capacity: usize,
-    /// Maximum jobs a shard drains from its queue per wakeup.
-    pub batch_size: usize,
-}
-
-impl EngineConfig {
-    /// A config with `shards` shards and default queue/batch sizing.
-    pub fn new(shards: usize) -> EngineConfig {
-        EngineConfig {
-            shards,
-            queue_capacity: 1024,
-            batch_size: 64,
-        }
-    }
-}
-
-/// Observability wiring for [`Engine::start_observed`].
-///
-/// The default is fully dark: no registry, no trace, and the built-in
-/// histograms still populate [`EngineMetrics`] (they are shard-local,
-/// contention-free, and cheap).
-#[derive(Clone, Debug, Default)]
-pub struct ObsConfig {
-    /// Shared metrics registry the workers stream counters and
-    /// histogram samples into while running (only when the registry is
-    /// [enabled](MetricsRegistry::is_enabled)). Workers accumulate
-    /// shard-locally and flush once per drained batch, so a live
-    /// registry adds no per-decision contention; scraped values trail
-    /// the truth by at most one batch. `None` skips registry writes
-    /// entirely.
-    pub registry: Option<Arc<MetricsRegistry>>,
-    /// Per-shard decision-trace ring capacity; `0` disables tracing.
-    /// When a shard decides more jobs than this, the oldest events are
-    /// overwritten and counted in [`EngineReport::trace_dropped`].
-    pub trace_capacity: usize,
-    /// Flight-recorder wiring; `None` records nothing. See
-    /// [`FlightConfig`].
-    pub flight: Option<FlightConfig>,
-    /// Bind address for the live telemetry HTTP endpoint serving
-    /// `/metrics` (Prometheus text), `/healthz`, and `/flight/snapshot`
-    /// (the current `.cfr` bytes, when a flight recorder is active).
-    /// Port 0 binds an ephemeral port — read it back with
-    /// [`Engine::metrics_addr`]. When set without a registry, an
-    /// enabled [`MetricsRegistry`] is created automatically so
-    /// `/metrics` has data to serve. Which of the three endpoints the
-    /// listener answers is governed by [`ObsConfig::endpoints`] — an
-    /// embedding process that serves its own telemetry (e.g.
-    /// `cslack-server`) leaves this `None` and no port is ever bound.
-    pub serve_metrics: Option<SocketAddr>,
-    /// Which endpoints the [`ObsConfig::serve_metrics`] listener
-    /// answers; disabled endpoints return 404. Ignored when no
-    /// listener is requested. Defaults to all three.
-    pub endpoints: TelemetryEndpoints,
-    /// Live decision subscription: every completed decision is sent to
-    /// this channel as a [`StampedDecision`] (a [`DecisionEvent`] with
-    /// global machine ids plus its timeline stamps), in per-shard
-    /// `(shard, seq)` order. Shards send concurrently, so the receiver
-    /// observes an interleaving of the per-shard streams; within one
-    /// shard the order is exactly arrival order. The channel closes
-    /// when the engine is finished (all senders dropped), which is the
-    /// receiver's drain signal. A full bounded channel blocks the
-    /// deciding worker — subscribers that cannot keep up stall the
-    /// engine rather than silently losing decisions, so use an
-    /// unbounded channel unless that backpressure is wanted.
-    pub decisions: Option<Sender<StampedDecision>>,
-    /// The monotonic clock base timeline stamps are measured against.
-    /// An embedding process that stamps hops *outside* the engine (the
-    /// cslack server stamps frame decode and dispatch, and every tenant
-    /// engine must agree on the axis) passes its own shared clock;
-    /// `None` gives the engine a private one.
-    pub clock: Option<Arc<ClockBase>>,
-}
-
-impl ObsConfig {
-    /// Tracing with per-shard capacity `trace_capacity`, no registry.
-    pub fn traced(trace_capacity: usize) -> ObsConfig {
-        ObsConfig {
-            trace_capacity,
-            ..ObsConfig::default()
-        }
-    }
-}
-
-/// Which endpoints the engine's telemetry listener serves. Each is
-/// opt-out individually so an embedding process can expose exactly the
-/// surface it wants (e.g. `/healthz` only on an internal port, with
-/// metrics scraped elsewhere); a disabled endpoint answers 404.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct TelemetryEndpoints {
-    /// Serve `/metrics` (Prometheus text exposition).
-    pub metrics: bool,
-    /// Serve `/healthz` (per-shard liveness; 503 on any failed shard).
-    pub healthz: bool,
-    /// Serve `/flight/snapshot` (current `.cfr` bytes).
-    pub flight: bool,
-}
-
-impl Default for TelemetryEndpoints {
-    fn default() -> TelemetryEndpoints {
-        TelemetryEndpoints {
-            metrics: true,
-            healthz: true,
-            flight: true,
-        }
-    }
-}
-
-/// Flight-recorder wiring for [`Engine::start_observed`].
-///
-/// The recorder captures the complete causal record of the run —
-/// submissions (arrival order + shard routing), full decisions, and
-/// irrevocable commitments — in bounded per-shard binary rings
-/// ([`SharedFlightRing`]). Each shard's worker is its ring's single
-/// writer: a decision is encoded straight into its slot with relaxed
-/// atomic word stores and one release publish, so the per-decision
-/// path takes no locks at all while live readers (`/flight/snapshot`,
-/// error snapshots) take seqlock-validated copies at any time without
-/// ever stalling a worker. Records carry the decision's
-/// [`TimelineStamps`], so snapshots double as the stage-latency
-/// evidence `cslack latency` aggregates.
-#[derive(Clone, Debug)]
-pub struct FlightConfig {
-    /// Per-shard ring capacity in records; `0` disables recording.
-    /// Each decision costs exactly one record — the submission and
-    /// commitment events in a snapshot are synthesized from it.
-    pub capacity: usize,
-    /// Algorithm label written into the `.cfr` header, in the CLI
-    /// vocabulary (`threshold`, `greedy`, ...) — replay rebuilds the
-    /// schedulers from it, and the auditor gates the `c(eps, m)` check
-    /// on it.
-    pub algorithm: String,
-    /// System slack the schedulers were configured with.
-    pub eps: f64,
-    /// Base RNG seed (shard `s` derives `seed + s` by convention).
-    pub seed: u64,
-    /// Write a `.cfr` snapshot here when [`Engine::finish`] fails with
-    /// a contract violation, a shard panic, or a merge error — the
-    /// crash-dump path.
-    pub snapshot_on_error: Option<PathBuf>,
-    /// Run the trace-driven invariant auditor over the final snapshot
-    /// inside [`Engine::finish`]; the result lands in
-    /// [`EngineReport::audit`].
-    pub audit_on_finish: bool,
-}
-
-impl FlightConfig {
-    /// A recorder of `capacity` records per shard describing a run of
-    /// `algorithm` under `eps`/`seed`, with no error snapshot and no
-    /// finish-time audit.
-    pub fn new(capacity: usize, algorithm: impl Into<String>, eps: f64, seed: u64) -> FlightConfig {
-        FlightConfig {
-            capacity,
-            algorithm: algorithm.into(),
-            eps,
-            seed,
-            snapshot_on_error: None,
-            audit_on_finish: false,
-        }
-    }
-}
-
-/// What a shard thread hands back when it drains (or dies).
-///
-/// A failed shard still returns an outcome: the counters and
-/// histograms cover every decision it completed before the fault, so
-/// degraded reports stay consistent with the flight recording; only
-/// its schedule is discarded (`failure` is `Some`, and the merge
-/// skips it).
-struct ShardOutcome {
-    schedule: Schedule,
-    submitted: u64,
-    accepted: u64,
-    rejected: RejectCounts,
-    batches: u64,
-    latency: Histogram,
-    queue_wait: Histogram,
-    events: Vec<DecisionEvent>,
-    events_dropped: u64,
-    /// Nanoseconds since engine start at the last completed batch,
-    /// for the busy-window throughput measure (0 when idle).
-    last_decision_ns: u64,
-    failure: Option<ShardFailure>,
-}
-
-/// How a shard worker died.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
-pub enum FailureKind {
-    /// The scheduler (or the commit path) panicked.
-    Panic,
-    /// The scheduler returned a decision that violated the commitment
-    /// contract (overlap, window, duplicate id).
-    Contract,
-}
-
-impl FailureKind {
-    /// Lower-case label for logs and reports.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            FailureKind::Panic => "panic",
-            FailureKind::Contract => "contract",
-        }
-    }
-}
-
-/// A contained shard fault: everything `finish` (and the crash
-/// snapshot) knows about why one worker died while the rest of the
-/// engine kept serving.
-#[derive(Clone, Debug, Serialize)]
-pub struct ShardFailure {
-    /// The shard whose worker died.
-    pub shard: usize,
-    /// Panic or contract violation.
-    pub kind: FailureKind,
-    /// The panic payload or contract error, rendered.
-    pub payload: String,
-    /// The job being decided when the fault hit, when known.
-    pub failing_job: Option<u32>,
-    /// The per-shard decision sequence number at the fault (equals the
-    /// number of decisions the shard completed).
-    pub seq: u64,
-    /// Jobs that were enqueued to the shard but never decided: the
-    /// rest of the failing batch plus whatever the queue still held
-    /// when the worker parked.
-    pub queued_lost: u64,
-}
-
-impl fmt::Display for ShardFailure {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "shard {} {} after {} decision(s)",
-            self.shard,
-            match self.kind {
-                FailureKind::Panic => "panicked",
-                FailureKind::Contract => "broke the commitment contract",
-            },
-            self.seq
-        )?;
-        if let Some(job) = self.failing_job {
-            write!(f, " while deciding J{job}")?;
-        }
-        write!(f, ": {}", self.payload)
-    }
-}
-
-/// Liveness of one shard worker, as exposed by [`Engine::health`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
-pub enum ShardState {
-    /// The worker is serving its queue.
-    Alive,
-    /// The queue has been closed (finish/drop) and the worker is
-    /// draining what is left.
-    Draining,
-    /// The worker died to a contained fault and parked.
-    Failed,
-}
-
-impl ShardState {
-    /// Lower-case label for `/healthz` and logs.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            ShardState::Alive => "alive",
-            ShardState::Draining => "draining",
-            ShardState::Failed => "failed",
-        }
-    }
-}
-
-/// One row of [`Engine::health`].
-#[derive(Clone, Copy, Debug, Serialize)]
-pub struct ShardHealth {
-    /// Shard index.
-    pub shard: usize,
-    /// Current liveness state.
-    pub state: ShardState,
-    /// Nanoseconds since engine start at the worker's last batch
-    /// wakeup (0 before the first batch). A stale heartbeat on an
-    /// `Alive` shard means the worker is idle — or wedged; callers
-    /// decide which with their own traffic knowledge.
-    pub heartbeat_ns: u64,
-}
-
-const STATE_ALIVE: u8 = 0;
-const STATE_DRAINING: u8 = 1;
-const STATE_FAILED: u8 = 2;
-
-/// Shared per-shard liveness table: one `(state, heartbeat)` slot per
-/// shard, written by workers (heartbeat each batch, `Failed` on fault)
-/// and by the lifecycle paths (`Draining` when the queues close), read
-/// lock-free by [`Engine::health`] and the `/healthz` endpoint.
-struct HealthState {
-    slots: Vec<HealthSlot>,
-}
-
-struct HealthSlot {
-    state: AtomicU8,
-    heartbeat_ns: AtomicU64,
-}
-
-impl HealthState {
-    fn new(shards: usize) -> HealthState {
-        HealthState {
-            slots: (0..shards)
-                .map(|_| HealthSlot {
-                    state: AtomicU8::new(STATE_ALIVE),
-                    heartbeat_ns: AtomicU64::new(0),
-                })
-                .collect(),
-        }
-    }
-
-    fn beat(&self, shard: usize, ns: u64) {
-        self.slots[shard].heartbeat_ns.store(ns, Ordering::Relaxed);
-    }
-
-    fn mark_failed(&self, shard: usize) {
-        self.slots[shard]
-            .state
-            .store(STATE_FAILED, Ordering::Release);
-    }
-
-    /// Queues closed: every still-alive shard moves to `Draining`
-    /// (failed shards stay failed).
-    fn mark_draining_all(&self) {
-        for slot in &self.slots {
-            let _ = slot.state.compare_exchange(
-                STATE_ALIVE,
-                STATE_DRAINING,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            );
-        }
-    }
-
-    fn is_failed(&self, shard: usize) -> bool {
-        self.slots[shard].state.load(Ordering::Acquire) == STATE_FAILED
-    }
-
-    fn snapshot(&self) -> Vec<ShardHealth> {
-        self.slots
-            .iter()
-            .enumerate()
-            .map(|(shard, slot)| ShardHealth {
-                shard,
-                state: match slot.state.load(Ordering::Acquire) {
-                    STATE_DRAINING => ShardState::Draining,
-                    STATE_FAILED => ShardState::Failed,
-                    _ => ShardState::Alive,
-                },
-                heartbeat_ns: slot.heartbeat_ns.load(Ordering::Relaxed),
-            })
-            .collect()
-    }
-}
-
-/// Decision-latency / queue-wait summary over all shards, nanoseconds.
-///
-/// Rebuilt from exact log-bucketed histogram merges, so the quantiles
-/// are the same whether one shard or sixteen recorded the samples. An
-/// engine that decided zero jobs reports all-zero stats (not garbage
-/// minima).
-pub type LatencyStats = cslack_obs::HistogramSummary;
-
-/// Per-shard slice of an [`EngineMetrics`] snapshot.
-#[derive(Clone, Debug, Serialize)]
-pub struct ShardMetrics {
-    /// Shard index, `0..shards`.
-    pub shard: usize,
-    /// Machines in this shard's group.
-    pub machines: usize,
-    /// Jobs routed to this shard.
-    pub submitted: u64,
-    /// Jobs the shard's scheduler admitted.
-    pub accepted: u64,
-    /// Jobs the shard's scheduler rejected.
-    pub rejected: u64,
-    /// Rejections split by typed reason.
-    pub rejected_by_reason: RejectCounts,
-    /// Committed processing volume on this shard.
-    pub accepted_load: f64,
-    /// Busy fraction of the shard's machines over its own makespan
-    /// (`accepted_load / (machines * makespan)`), 0 when idle.
-    pub utilization: f64,
-    /// Queue wakeups (each drains up to `batch_size` jobs).
-    pub batches: u64,
-    /// `true` when the shard's worker died to a contained fault — its
-    /// counters cover the decisions completed before the fault and its
-    /// schedule was excluded from the merge.
-    pub failed: bool,
-}
-
-/// Aggregate snapshot of one engine run, serializable for reports.
-#[derive(Clone, Debug, Serialize)]
-pub struct EngineMetrics {
-    /// Machines in the cluster.
-    pub m: usize,
-    /// Shard count.
-    pub shards: usize,
-    /// Total jobs submitted (and decided — the engine drains fully).
-    pub submitted: u64,
-    /// Total accepted jobs.
-    pub accepted: u64,
-    /// Total rejected jobs.
-    pub rejected: u64,
-    /// Rejections split by typed [`RejectReason`].
-    pub rejected_by_reason: RejectCounts,
-    /// Blocking submissions that found their shard queue full and had
-    /// to wait (no job is ever lost to backpressure).
-    pub backpressure_stalls: u64,
-    /// Objective value `sum p_j (1 - U_j)` of the merged schedule.
-    pub accepted_load: f64,
-    /// Wall-clock seconds from `start` to the end of `finish`.
-    pub elapsed_secs: f64,
-    /// The busy window: wall-clock seconds from the first enqueue to
-    /// the last completed decision batch. Unlike `elapsed_secs` this
-    /// excludes idle time before traffic and after the last decision
-    /// (e.g. a `--hold` window keeping the telemetry endpoint up), so
-    /// it is the honest denominator for throughput. 0 when no job was
-    /// ever submitted.
-    pub busy_secs: f64,
-    /// Decisions per second over the busy window (`submitted /
-    /// busy_secs`) — not wall time since start, which would dilute the
-    /// rate by every idle second.
-    pub decisions_per_sec: f64,
-    /// Decision-latency summary (with percentiles) across all shards.
-    pub latency: LatencyStats,
-    /// Enqueue-to-decision wait summary across all shards.
-    pub queue_wait: LatencyStats,
-    /// Per-shard breakdown.
-    pub per_shard: Vec<ShardMetrics>,
-}
-
-/// The result of a drained engine: the merged cluster schedule plus the
-/// metrics snapshot and the recorded decision trace.
-#[derive(Debug)]
-pub struct EngineReport {
-    /// The cluster-wide merged schedule (all invariants re-validated).
-    pub schedule: Schedule,
-    /// Metrics snapshot for the run.
-    pub metrics: EngineMetrics,
-    /// Decision events recorded by the per-shard trace rings, ordered
-    /// by `(shard, seq)`. Empty unless [`ObsConfig::trace_capacity`]
-    /// was non-zero.
-    pub trace: Vec<DecisionEvent>,
-    /// Events the bounded rings overwrote (0 when the capacity covered
-    /// the whole run).
-    pub trace_dropped: u64,
-    /// The flight recording of the run, with header counters taken from
-    /// the engine's own metrics. `None` unless [`ObsConfig::flight`]
-    /// was set with a nonzero capacity.
-    pub flight: Option<FlightSnapshot>,
-    /// The finish-time invariant audit of the flight recording. `None`
-    /// unless [`FlightConfig::audit_on_finish`] was requested.
-    pub audit: Option<AuditReport>,
-    /// Shards that died to a contained fault, in shard order. Empty on
-    /// a fully healthy run; non-empty means `schedule` is the merge of
-    /// the *healthy* shards only (degraded mode — the accepted load of
-    /// the surviving shards is preserved, honoring the commitments
-    /// already made).
-    pub degraded: Vec<ShardFailure>,
-}
-
-impl EngineReport {
-    /// `true` when at least one shard failed and the report carries
-    /// only the healthy shards' merged schedule.
-    pub fn is_degraded(&self) -> bool {
-        !self.degraded.is_empty()
-    }
-}
-
-/// Failure modes of the engine lifecycle.
-#[derive(Debug)]
-pub enum EngineError {
-    /// `shards` was zero or exceeded the machine count.
-    BadShardCount {
-        /// Requested shard count.
-        shards: usize,
-        /// Cluster machine count.
-        m: usize,
-    },
-    /// Every shard failed, so there is no healthy schedule to merge —
-    /// the only fault that makes `finish` itself fail. Single-shard
-    /// faults surface as [`EngineReport::degraded`] instead.
-    AllShardsFailed {
-        /// One entry per shard, in shard order.
-        failures: Vec<ShardFailure>,
-    },
-    /// The merged schedule violated a kernel invariant (double commit
-    /// or cross-shard overlap — shards are not trusted either).
-    Merge(KernelError),
-    /// The live telemetry endpoint could not be started.
-    Telemetry {
-        /// The bind/spawn error, rendered.
-        error: String,
-    },
-}
-
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::BadShardCount { shards, m } => {
-                write!(f, "cannot run {shards} shard(s) on {m} machine(s)")
-            }
-            EngineError::AllShardsFailed { failures } => {
-                write!(f, "all {} shard(s) failed", failures.len())?;
-                if let Some(first) = failures.first() {
-                    write!(f, "; first: {first}")?;
-                }
-                Ok(())
-            }
-            EngineError::Merge(e) => write!(f, "merging shard schedules failed: {e}"),
-            EngineError::Telemetry { error } => {
-                write!(f, "telemetry endpoint failed to start: {error}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Why a submission was not enqueued.
-#[derive(Debug)]
-pub enum SubmitError {
-    /// The target shard's queue is at capacity (backpressure); the job
-    /// is returned so the caller can retry or drop it.
-    Full(Job),
-    /// The engine is shutting down; the job is returned.
-    Closed(Job),
-    /// The target shard's worker died to a contained fault; the job is
-    /// returned. Unlike [`SubmitError::Closed`] the rest of the engine
-    /// is still serving — the caller may reroute or drop the job, but
-    /// retrying the same shard is futile.
-    ShardFailed(Job),
-}
-
-impl fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SubmitError::Full(j) => write!(f, "queue full, {} not enqueued", j.id),
-            SubmitError::Closed(j) => write!(f, "engine closed, {} not enqueued", j.id),
-            SubmitError::ShardFailed(j) => {
-                write!(f, "target shard failed, {} not enqueued", j.id)
-            }
-        }
-    }
-}
-
-/// Queue payload: the job plus the timeline stamps accumulated up to —
-/// and including — its enqueue. The worker reads queue wait straight
-/// off the enqueue stamp and keeps stamping the later hops into the
-/// same array.
-type Submission = (Job, TimelineStamps);
-
-/// What travels through a shard queue: a single submission, or a batch
-/// that amortizes one channel operation over many jobs
-/// ([`Engine::submit_batch`]). A batch occupies one queue slot
-/// regardless of its length — `queue_capacity` bounds *messages*, not
-/// jobs — so batching trades strict queue-depth accounting for an
-/// ingestion path that pays the channel synchronization once per
-/// batch instead of once per job.
-enum QueueMsg {
-    One(Submission),
-    Many(Vec<Submission>),
-}
-
-/// Recovers the lead job from a bounced queue message so submit errors
-/// can hand it back to the caller. Batch messages are never empty —
-/// [`Engine::submit_batch`] skips shards with no routed jobs.
-fn msg_job(msg: QueueMsg) -> Job {
-    match msg {
-        QueueMsg::One((job, _)) => job,
-        QueueMsg::Many(batch) => batch[0].0,
-    }
-}
-
-struct ShardHandle {
-    tx: Option<Sender<QueueMsg>>,
-    join: Option<JoinHandle<ShardOutcome>>,
-    machines: Vec<MachineId>,
-}
-
-/// A running sharded admission-control service.
-///
-/// Submissions are routed to shard queues; worker threads decide and
-/// commit. `&Engine` is `Sync`, so many producer threads can submit
-/// concurrently. Shut down with [`Engine::finish`], which drains every
-/// queue, joins the workers, and merges the shard schedules.
-pub struct Engine {
-    m: usize,
-    config: EngineConfig,
-    obs: ObsConfig,
-    shards: Vec<ShardHandle>,
-    stalls: AtomicU64,
-    started: Instant,
-    /// Nanoseconds since `started` at the first successful enqueue
-    /// (`u64::MAX` until one happens) — the left edge of the busy
-    /// window for [`EngineMetrics::busy_secs`].
-    first_enqueue_ns: AtomicU64,
-    health: Arc<HealthState>,
-    flight: Option<Arc<FlightState>>,
-    telemetry: Option<TelemetryHandle>,
-    /// Shared monotonic base for every timeline stamp (submit paths
-    /// stamp `Enqueue` here; workers stamp `Dequeue`/`Decide`).
-    clock: Arc<ClockBase>,
-}
-
-/// Shared flight-recorder state: one bounded binary ring per shard plus
-/// the run metadata the `.cfr` header needs. Each ring is a lock-free
-/// [`SharedFlightRing`]: the shard worker is its single writer (a
-/// wait-free encoded append per decision — no mutex, no batch
-/// staging), while snapshot readers (finish, the telemetry endpoint,
-/// error dumps) take seqlock-validated copies without ever stalling
-/// the writer.
-struct FlightState {
-    rings: Vec<SharedFlightRing>,
-    cfg: FlightConfig,
-    m: usize,
-    shard_count: usize,
-    /// First-wins claim on the crash `.cfr`: the failing worker writes
-    /// the snapshot *at failure time*, and later writers (a second
-    /// failing shard, the finish/merge error path) must not overwrite
-    /// that evidence with a staler or larger window.
-    error_snapshot_written: AtomicBool,
-}
-
-impl FlightState {
-    /// Assembles a [`FlightSnapshot`] from the current ring contents.
-    ///
-    /// `counters` carries the engine's own totals when they are known
-    /// (the finish path); live and error snapshots pass `None` and the
-    /// header counters are recomputed from the buffered decisions, so
-    /// they stay consistent with the (possibly partial) event window.
-    fn snapshot(&self, counters: Option<(u64, u64, RejectCounts)>) -> FlightSnapshot {
-        let mut shards = Vec::with_capacity(self.rings.len());
-        for (index, ring) in self.rings.iter().enumerate() {
-            let (compact, dropped) = ring.snapshot_events();
-            shards.push(ShardFlight {
-                shard: index as u32,
-                dropped,
-                events: expand_decision_stream(compact),
-            });
-        }
-        let (submitted, accepted, rejected) = counters.unwrap_or_else(|| {
-            let mut submitted = 0u64;
-            let mut accepted = 0u64;
-            let mut rejected = RejectCounts::default();
-            for shard in &shards {
-                for event in &shard.events {
-                    if let FlightEvent::Decision(d) = event {
-                        submitted += 1;
-                        if d.accepted {
-                            accepted += 1;
-                        } else if let Some(reason) = d.reject_reason {
-                            rejected.bump(reason);
-                        }
-                    }
-                }
-            }
-            (submitted, accepted, rejected)
-        });
-        FlightSnapshot {
-            header: FlightHeader {
-                m: self.m as u32,
-                shards: self.shard_count as u32,
-                eps: self.cfg.eps,
-                seed: self.cfg.seed,
-                algorithm: self.cfg.algorithm.clone(),
-                submitted,
-                accepted,
-                rejected,
-            },
-            shards,
-        }
-    }
-
-    /// Writes the crash-dump `.cfr` if the config asked for one and no
-    /// earlier fault already claimed it. Returns `true` if this call
-    /// wrote the file — the failing worker calls this *at failure
-    /// time*, so the evidence survives even if the engine is then
-    /// abandoned or held open for hours.
-    fn write_error_snapshot(&self) -> bool {
-        let Some(path) = &self.cfg.snapshot_on_error else {
-            return false;
-        };
-        if self.error_snapshot_written.swap(true, Ordering::AcqRel) {
-            return false;
-        }
-        match std::fs::File::create(path) {
-            Ok(mut file) => self.snapshot(None).write_cfr(&mut file).is_ok(),
-            Err(_) => false,
-        }
-    }
-}
-
-/// The running telemetry endpoint: its bound address, the stop flag the
-/// accept loop polls, and the thread to join on shutdown.
-struct TelemetryHandle {
-    stop: Arc<AtomicBool>,
-    addr: SocketAddr,
-    join: JoinHandle<()>,
-}
-
-/// Read-only state the telemetry thread serves from.
-struct TelemetryShared {
-    registry: Arc<MetricsRegistry>,
-    flight: Option<Arc<FlightState>>,
-    health: Arc<HealthState>,
-    endpoints: TelemetryEndpoints,
-}
-
-/// Accept loop of the telemetry endpoint: nonblocking accept polled
-/// every 5 ms so the stop flag is honoured promptly; each connection is
-/// handled inline (scrapes are rare and tiny).
-///
-/// `WouldBlock` is the idle case; any *other* accept error is counted
-/// into the `telemetry_errors` registry counter, and consecutive real
-/// failures back off exponentially (5 ms → 500 ms cap) so a wedged
-/// listener (EMFILE, netns teardown) does not spin a core while still
-/// honouring the stop flag promptly.
-fn serve_telemetry(listener: TcpListener, shared: TelemetryShared, stop: Arc<AtomicBool>) {
-    const IDLE_POLL: Duration = Duration::from_millis(5);
-    const MAX_BACKOFF: Duration = Duration::from_millis(500);
-    let mut backoff = IDLE_POLL;
-    while !stop.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                backoff = IDLE_POLL;
-                let _ = handle_telemetry_request(stream, &shared);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                backoff = IDLE_POLL;
-                std::thread::sleep(IDLE_POLL);
-            }
-            Err(_) => {
-                if shared.registry.is_enabled() {
-                    shared.registry.telemetry_errors.inc();
-                }
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
-            }
-        }
-    }
-}
-
-/// Reads from `stream` until the HTTP header terminator (`\r\n\r\n`),
-/// bounded by `limit` bytes — a request head split across TCP segments
-/// must not be misparsed, and an unbounded or terminator-less peer must
-/// not pin the thread.
-fn read_request_head(stream: &mut TcpStream, limit: usize) -> std::io::Result<Vec<u8>> {
-    let mut head = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    while head.len() < limit {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&chunk[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    Ok(head)
-}
-
-/// Serves one HTTP/1.1 request: `/metrics` (Prometheus text format),
-/// `/healthz` (503 when any shard has failed), or `/flight/snapshot`
-/// (the current `.cfr` bytes). Query strings are ignored for routing,
-/// so `GET /metrics?debug=1` still scrapes.
-fn handle_telemetry_request(
-    mut stream: TcpStream,
-    shared: &TelemetryShared,
-) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let head = read_request_head(&mut stream, 8192)?;
-    let request = String::from_utf8_lossy(&head);
-    let target = request.split_whitespace().nth(1).unwrap_or("/");
-    // Route on the path alone: strip the query string (and any
-    // fragment a sloppy client sends on the wire).
-    let path = target.split(['?', '#']).next().unwrap_or(target);
-    // Disabled endpoints fall through to the 404 arm: deployments that
-    // front the engine with their own exporter (the cslack server
-    // process) can run the listener with only the endpoints they mean
-    // to expose.
-    let disabled_404 = (
-        "404 Not Found",
-        "text/plain; charset=utf-8",
-        b"endpoint disabled\n".to_vec(),
-    );
-    let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
-        "/metrics" if !shared.endpoints.metrics => disabled_404,
-        "/healthz" if !shared.endpoints.healthz => disabled_404,
-        "/flight/snapshot" if !shared.endpoints.flight => disabled_404,
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            shared.registry.render_prometheus().into_bytes(),
-        ),
-        "/healthz" => {
-            let health = shared.health.snapshot();
-            let any_failed = health.iter().any(|h| h.state == ShardState::Failed);
-            let mut body = String::new();
-            body.push_str(if any_failed { "degraded\n" } else { "ok\n" });
-            for h in &health {
-                body.push_str(&format!(
-                    "shard {} {} heartbeat_ns {}\n",
-                    h.shard,
-                    h.state.as_str(),
-                    h.heartbeat_ns
-                ));
-            }
-            (
-                if any_failed {
-                    "503 Service Unavailable"
-                } else {
-                    "200 OK"
-                },
-                "text/plain; charset=utf-8",
-                body.into_bytes(),
-            )
-        }
-        "/flight/snapshot" => match &shared.flight {
-            Some(state) => {
-                let mut bytes = Vec::new();
-                state.snapshot(None).write_cfr(&mut bytes)?;
-                ("200 OK", "application/octet-stream", bytes)
-            }
-            None => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                b"no flight recorder configured\n".to_vec(),
-            ),
-        },
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            b"not found\n".to_vec(),
-        ),
-    };
-    let header = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(&body)?;
-    stream.flush()
-}
-
-impl Engine {
-    /// Starts the service with observability dark (no registry, no
-    /// trace): spawns one worker thread per shard, each owning a
-    /// scheduler built by `builder` for its machine group.
-    ///
-    /// `builder` receives `(shard index, machines in the shard's
-    /// group)` and returns the scheduler instance that shard runs; the
-    /// scheduler's machine ids are shard-local (`0..group size`) and
-    /// are remapped to the global group on merge.
-    pub fn start<F>(m: usize, config: EngineConfig, builder: F) -> Result<Engine, EngineError>
-    where
-        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
-    {
-        Engine::start_observed(m, config, ObsConfig::default(), builder)
-    }
-
-    /// Starts the service with explicit observability wiring: a shared
-    /// [`MetricsRegistry`] to stream into and/or a per-shard decision
-    /// trace (see [`ObsConfig`]).
-    ///
-    /// `builder` runs sequentially on the calling thread, one shard at
-    /// a time: threshold-style schedulers that solve for their ratio
-    /// parameters hit the process-wide `cslack_ratio::table` cache, so
-    /// the first shard pays for the solve and the rest reuse it.
-    pub fn start_observed<F>(
-        m: usize,
-        config: EngineConfig,
-        mut obs: ObsConfig,
-        builder: F,
-    ) -> Result<Engine, EngineError>
-    where
-        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
-    {
-        // Validates the shard count (zero or more shards than
-        // machines) as a side effect.
-        let groups = machine_groups(m, config.shards)?;
-        let health = Arc::new(HealthState::new(config.shards));
-        if obs.serve_metrics.is_some() && obs.registry.is_none() {
-            // `/metrics` with no registry would always scrape zeros;
-            // give the endpoint a live one.
-            obs.registry = Some(Arc::new(MetricsRegistry::enabled()));
-        }
-        let flight = obs.flight.as_ref().filter(|f| f.capacity > 0).map(|cfg| {
-            Arc::new(FlightState {
-                // SharedFlightRing::new touches every word of the
-                // backing buffer on this (the caller's) thread, so a
-                // shard's first pass over its ring never page-faults
-                // inside the decision loop.
-                rings: (0..config.shards)
-                    .map(|_| SharedFlightRing::new(cfg.capacity))
-                    .collect(),
-                cfg: cfg.clone(),
-                m,
-                shard_count: config.shards,
-                error_snapshot_written: AtomicBool::new(false),
-            })
-        });
-        // One monotonic clock base for every stamp this engine (and an
-        // embedding server sharing it) takes: cross-thread stage deltas
-        // are only meaningful on a single axis.
-        let clock = obs
-            .clock
-            .clone()
-            .unwrap_or_else(|| Arc::new(ClockBase::new()));
-        // Bind the telemetry listener before spawning workers so a bad
-        // address fails the start instead of leaking shard threads.
-        let telemetry = match obs.serve_metrics {
-            Some(addr) => {
-                let telemetry_err = |e: std::io::Error| EngineError::Telemetry {
-                    error: e.to_string(),
-                };
-                let listener = TcpListener::bind(addr).map_err(telemetry_err)?;
-                listener.set_nonblocking(true).map_err(telemetry_err)?;
-                let local = listener.local_addr().map_err(telemetry_err)?;
-                let stop = Arc::new(AtomicBool::new(false));
-                let shared = TelemetryShared {
-                    registry: Arc::clone(obs.registry.as_ref().expect("registry set above")),
-                    flight: flight.clone(),
-                    health: Arc::clone(&health),
-                    endpoints: obs.endpoints,
-                };
-                let join = std::thread::Builder::new()
-                    .name("cslack-telemetry".to_string())
-                    .spawn({
-                        let stop = Arc::clone(&stop);
-                        move || serve_telemetry(listener, shared, stop)
-                    })
-                    .map_err(telemetry_err)?;
-                Some(TelemetryHandle {
-                    stop,
-                    addr: local,
-                    join,
-                })
-            }
-            None => None,
-        };
-        // The workers compute heartbeat / busy-window timestamps as
-        // nanoseconds since this instant, so fix it before spawning.
-        let started = Instant::now();
-        let mut shards = Vec::with_capacity(config.shards);
-        for (index, group) in groups.into_iter().enumerate() {
-            let scheduler = builder(index, group.len());
-            let (tx, rx) = bounded::<QueueMsg>(config.queue_capacity.max(1));
-            let ctx = ShardCtx {
-                shard: index,
-                group: group.clone(),
-                batch_size: config.batch_size.max(1),
-                registry: obs.registry.clone(),
-                trace_capacity: obs.trace_capacity,
-                flight: flight.clone(),
-                decisions: obs.decisions.clone(),
-                health: Arc::clone(&health),
-                started,
-                clock: Arc::clone(&clock),
-            };
-            let join = std::thread::Builder::new()
-                .name(format!("cslack-shard-{index}"))
-                .spawn(move || shard_worker(rx, scheduler, ctx))
-                .expect("failed to spawn shard worker");
-            shards.push(ShardHandle {
-                tx: Some(tx),
-                join: Some(join),
-                machines: group,
-            });
-        }
-        Ok(Engine {
-            m,
-            config,
-            obs,
-            shards,
-            stalls: AtomicU64::new(0),
-            started,
-            first_enqueue_ns: AtomicU64::new(u64::MAX),
-            health,
-            flight,
-            telemetry,
-            clock,
-        })
-    }
-
-    /// The monotonic clock base this engine stamps timelines against —
-    /// share it ([`ObsConfig::clock`]) with every component that stamps
-    /// hops for the same jobs.
-    pub fn clock(&self) -> &Arc<ClockBase> {
-        &self.clock
-    }
-
-    /// Cluster machine count.
-    pub fn machines(&self) -> usize {
-        self.m
-    }
-
-    /// Shard count.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The global machine group owned by `shard`.
-    pub fn shard_machines(&self, shard: usize) -> &[MachineId] {
-        &self.shards[shard].machines
-    }
-
-    /// Blocking submissions that found their queue full so far.
-    pub fn backpressure_stalls(&self) -> u64 {
-        self.stalls.load(Ordering::Relaxed)
-    }
-
-    /// The bound address of the live telemetry endpoint, if one was
-    /// requested via [`ObsConfig::serve_metrics`]. With port 0 this is
-    /// the ephemeral port the listener actually got.
-    pub fn metrics_addr(&self) -> Option<SocketAddr> {
-        self.telemetry.as_ref().map(|t| t.addr)
-    }
-
-    /// A live snapshot of the flight recording — what `/flight/snapshot`
-    /// serves — with header counters recomputed from the buffered
-    /// window. `None` unless a recorder is active.
-    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
-        self.flight.as_ref().map(|s| s.snapshot(None))
-    }
-
-    /// Per-shard liveness, one row per shard in shard order.
-    ///
-    /// Lock-free reads of the same table the workers beat once per
-    /// batch and the `/healthz` endpoint renders — an `Alive` entry
-    /// with a stale heartbeat is an idle (or wedged) worker, a
-    /// `Failed` one died to a contained fault and its jobs now bounce
-    /// with [`SubmitError::ShardFailed`].
-    pub fn health(&self) -> Vec<ShardHealth> {
-        self.health.snapshot()
-    }
-
-    /// Writes the crash-dump `.cfr` if the flight config asked for one
-    /// and no failing worker already wrote it at failure time.
-    fn write_error_snapshot(&self) {
-        if let Some(state) = &self.flight {
-            state.write_error_snapshot();
-        }
-    }
-
-    /// Records a successful enqueue for the busy-window throughput
-    /// measure (first one wins).
-    fn note_enqueue(&self) {
-        self.first_enqueue_ns
-            .fetch_min(saturating_ns(self.started.elapsed()), Ordering::Relaxed);
-    }
-
-    /// Timeline stamps for an in-process submission: one clock read,
-    /// with the server-side network hops (frame decode, dispatch)
-    /// coinciding with the enqueue — a direct caller has no wire
-    /// between itself and the queue, so those spans are honestly zero
-    /// rather than absent. Client send stays absent: only a real
-    /// client can stamp its own clock domain.
-    fn inprocess_stamps(&self) -> TimelineStamps {
-        let now = self.clock.now_ns();
-        let mut stamps = TimelineStamps::empty();
-        stamps.set(Stage::FrameDecode, now);
-        stamps.set(Stage::Dispatch, now);
-        stamps.set(Stage::Enqueue, now);
-        stamps
-    }
-
-    /// Maps a disconnected queue to the right submit error: a failed
-    /// shard's receiver is dropped by its dying worker, which would
-    /// otherwise be indistinguishable from graceful shutdown.
-    fn closed_or_failed(&self, shard: usize, job: Job) -> SubmitError {
-        if self.health.is_failed(shard) {
-            SubmitError::ShardFailed(job)
-        } else {
-            SubmitError::Closed(job)
-        }
-    }
-
-    /// Enqueues a job without blocking.
-    ///
-    /// Fails with [`SubmitError::Full`] when the target shard's queue
-    /// is at capacity — the backpressure signal for callers that must
-    /// not block — and with [`SubmitError::ShardFailed`] when the
-    /// shard's worker died to a contained fault.
-    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
-        let shard = shard_of(job.id, self.shards.len());
-        if self.health.is_failed(shard) {
-            return Err(SubmitError::ShardFailed(job));
-        }
-        match &self.shards[shard].tx {
-            Some(tx) => match tx.try_send(QueueMsg::One((job, self.inprocess_stamps()))) {
-                Ok(()) => {
-                    self.note_enqueue();
-                    Ok(())
-                }
-                Err(TrySendError::Full(msg)) => Err(SubmitError::Full(msg_job(msg))),
-                Err(TrySendError::Disconnected(msg)) => {
-                    Err(self.closed_or_failed(shard, msg_job(msg)))
-                }
-            },
-            None => Err(SubmitError::Closed(job)),
-        }
-    }
-
-    /// Enqueues a job, blocking while the target shard's queue is full.
-    ///
-    /// A full queue is counted as a backpressure stall (metric
-    /// `backpressure_stalls`) and then waited out — the job is never
-    /// dropped. A shard that failed mid-wait disconnects the queue, so
-    /// the blocked send returns [`SubmitError::ShardFailed`] rather
-    /// than hanging.
-    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        let shard = shard_of(job.id, self.shards.len());
-        if self.health.is_failed(shard) {
-            return Err(SubmitError::ShardFailed(job));
-        }
-        let tx = match &self.shards[shard].tx {
-            Some(tx) => tx,
-            None => return Err(SubmitError::Closed(job)),
-        };
-        let payload = match tx.try_send(QueueMsg::One((job, self.inprocess_stamps()))) {
-            Ok(()) => {
-                self.note_enqueue();
-                return Ok(());
-            }
-            Err(TrySendError::Disconnected(msg)) => {
-                return Err(self.closed_or_failed(shard, msg_job(msg)))
-            }
-            Err(TrySendError::Full(payload)) => {
-                self.note_stall();
-                payload
-            }
-        };
-        match tx.send(payload) {
-            Ok(()) => {
-                self.note_enqueue();
-                Ok(())
-            }
-            Err(e) => Err(self.closed_or_failed(shard, msg_job(e.into_inner()))),
-        }
-    }
-
-    /// Enqueues a batch of jobs with **one channel operation per
-    /// involved shard** instead of one per job — the ingestion path
-    /// for callers that already hold many submissions (the network
-    /// server's `SubmitBatch` frames, `serve-bench`'s workload
-    /// streaming). Jobs are grouped by their deterministic shard route
-    /// with relative order preserved, so the per-shard arrival streams
-    /// — and therefore the decision streams — are identical to
-    /// submitting the same slice job-by-job through
-    /// [`Engine::submit`].
-    ///
-    /// Returns one `Result` per input job, in input order. A full
-    /// shard queue is waited out like [`Engine::submit`] (counted as
-    /// one backpressure stall per shard-group, not per job); a failed
-    /// or closed shard fails every job routed to it with
-    /// [`SubmitError::ShardFailed`] / [`SubmitError::Closed`] while
-    /// the other shards' groups still enqueue. A batched shard-group
-    /// occupies a single queue slot whatever its length, so
-    /// `queue_capacity` bounds queued *messages*, not jobs.
-    pub fn submit_batch(&self, jobs: &[Job]) -> Vec<Result<(), SubmitError>> {
-        self.submit_batch_stamped(jobs, TimelineStamps::empty())
-    }
-
-    /// [`Engine::submit_batch`] with caller-provided timeline stamps —
-    /// the wire-ingestion path. `stamps` carries the hops that happened
-    /// *before* the engine saw the batch (client send from the frame,
-    /// frame decode, dispatcher route); the engine stamps `Enqueue`
-    /// itself (one clock read for the whole batch) and fills a missing
-    /// frame-decode/dispatch stamp with it, so every server-side stage
-    /// is always present downstream. A zero client-send stamp is left
-    /// absent — it belongs to the client's clock domain and cannot be
-    /// synthesized here.
-    pub fn submit_batch_stamped(
-        &self,
-        jobs: &[Job],
-        mut stamps: TimelineStamps,
-    ) -> Vec<Result<(), SubmitError>> {
-        let shards = self.shards.len();
-        let now = self.clock.now_ns();
-        for stage in [Stage::FrameDecode, Stage::Dispatch] {
-            if stamps.get(stage) == 0 {
-                stamps.set(stage, now);
-            }
-        }
-        stamps.set(Stage::Enqueue, now);
-        let mut groups: Vec<Vec<Submission>> = vec![Vec::new(); shards];
-        for job in jobs {
-            groups[shard_of(job.id, shards)].push((*job, stamps));
-        }
-        // Per-shard outcome; individual results are mapped from it so
-        // each failed job carries its own copy back to the caller.
-        enum GroupOutcome {
-            Enqueued,
-            Failed,
-            Closed,
-        }
-        let mut outcomes: Vec<GroupOutcome> = Vec::with_capacity(shards);
-        for (shard, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                outcomes.push(GroupOutcome::Enqueued);
-                continue;
-            }
-            if self.health.is_failed(shard) {
-                outcomes.push(GroupOutcome::Failed);
-                continue;
-            }
-            let Some(tx) = &self.shards[shard].tx else {
-                outcomes.push(GroupOutcome::Closed);
-                continue;
-            };
-            let payload = match tx.try_send(QueueMsg::Many(group)) {
-                Ok(()) => {
-                    self.note_enqueue();
-                    outcomes.push(GroupOutcome::Enqueued);
-                    continue;
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    outcomes.push(if self.health.is_failed(shard) {
-                        GroupOutcome::Failed
-                    } else {
-                        GroupOutcome::Closed
-                    });
-                    continue;
-                }
-                Err(TrySendError::Full(payload)) => {
-                    self.note_stall();
-                    payload
-                }
-            };
-            outcomes.push(match tx.send(payload) {
-                Ok(()) => {
-                    self.note_enqueue();
-                    GroupOutcome::Enqueued
-                }
-                Err(_) => {
-                    if self.health.is_failed(shard) {
-                        GroupOutcome::Failed
-                    } else {
-                        GroupOutcome::Closed
-                    }
-                }
-            });
-        }
-        jobs.iter()
-            .map(|job| match outcomes[shard_of(job.id, shards)] {
-                GroupOutcome::Enqueued => Ok(()),
-                GroupOutcome::Failed => Err(SubmitError::ShardFailed(*job)),
-                GroupOutcome::Closed => Err(SubmitError::Closed(*job)),
-            })
-            .collect()
-    }
-
-    /// Counts one backpressure stall (report counter + live registry).
-    fn note_stall(&self) {
-        self.stalls.fetch_add(1, Ordering::Relaxed);
-        if let Some(reg) = &self.obs.registry {
-            if reg.is_enabled() {
-                reg.backpressure_stalls.inc();
-            }
-        }
-    }
-
-    /// Enqueues a job with a deadline on the *submission* (not the
-    /// job's own scheduling deadline): retries a full queue with
-    /// bounded exponential backoff (50 µs doubling to a 10 ms cap,
-    /// never past the deadline) and gives up with
-    /// [`SubmitError::Full`] once `deadline` has elapsed.
-    ///
-    /// Producers that must not block indefinitely — the paper's
-    /// admission setting is online, a job held too long is worthless —
-    /// get a bounded-latency alternative to the unboundedly blocking
-    /// [`Engine::submit`]. [`SubmitError::ShardFailed`] and
-    /// [`SubmitError::Closed`] surface immediately; backpressure is
-    /// the only condition worth waiting out.
-    pub fn submit_with_deadline(&self, job: Job, deadline: Duration) -> Result<(), SubmitError> {
-        const INITIAL_BACKOFF: Duration = Duration::from_micros(50);
-        const MAX_BACKOFF: Duration = Duration::from_millis(10);
-        let start = Instant::now();
-        let mut backoff = INITIAL_BACKOFF;
-        let mut job = job;
-        let mut stalled = false;
-        loop {
-            match self.try_submit(job) {
-                Ok(()) => return Ok(()),
-                Err(SubmitError::Full(j)) => {
-                    if !stalled {
-                        // One stall per submission, matching `submit`'s
-                        // accounting, however many retries follow.
-                        stalled = true;
-                        self.stalls.fetch_add(1, Ordering::Relaxed);
-                        if let Some(reg) = &self.obs.registry {
-                            if reg.is_enabled() {
-                                reg.backpressure_stalls.inc();
-                            }
-                        }
-                    }
-                    let elapsed = start.elapsed();
-                    if elapsed >= deadline {
-                        return Err(SubmitError::Full(j));
-                    }
-                    std::thread::sleep(backoff.min(deadline - elapsed));
-                    backoff = (backoff * 2).min(MAX_BACKOFF);
-                    job = j;
-                }
-                Err(other) => return Err(other),
-            }
-        }
-    }
-
-    /// Graceful shutdown: closes every shard queue, waits for **all**
-    /// workers to drain and exit (even after a fault), merges the
-    /// healthy shards' schedules into one cluster schedule, and
-    /// returns it with the metrics snapshot and the recorded decision
-    /// trace.
-    ///
-    /// A shard that died to a contained fault does not sink the run:
-    /// its failure is reported in [`EngineReport::degraded`], its
-    /// pre-fault counters still feed the metrics, and only its
-    /// schedule is excluded from the merge — the commitments the
-    /// healthy shards made are preserved. `finish` itself fails only
-    /// when *every* shard died ([`EngineError::AllShardsFailed`]) or
-    /// the healthy merge breaks a kernel invariant.
-    pub fn finish(mut self) -> Result<EngineReport, EngineError> {
-        // Dropping the senders closes the queues; workers drain what is
-        // left and return their outcomes. `take` (rather than moving
-        // out of `self`) keeps `self` whole for the error-snapshot
-        // writer and the `Drop` impl that stops the telemetry thread.
-        for shard in &mut self.shards {
-            shard.tx = None;
-        }
-        self.health.mark_draining_all();
-        let handles = std::mem::take(&mut self.shards);
-        let mut outcomes = Vec::with_capacity(handles.len());
-        let mut groups = Vec::with_capacity(handles.len());
-        for (index, mut shard) in handles.into_iter().enumerate() {
-            let join = shard.join.take().expect("finish joins each shard once");
-            let outcome = match join.join() {
-                Ok(outcome) => outcome,
-                // The worker died *outside* the contained decide/commit
-                // loop (the containment net has a hole). Synthesize an
-                // empty outcome so the report still accounts for the
-                // shard.
-                Err(payload) => {
-                    self.health.mark_failed(index);
-                    let group_len = shard.machines.len();
-                    ShardOutcome {
-                        schedule: Schedule::new(group_len.max(1)),
-                        submitted: 0,
-                        accepted: 0,
-                        rejected: RejectCounts::default(),
-                        batches: 0,
-                        latency: Histogram::new(),
-                        queue_wait: Histogram::new(),
-                        events: Vec::new(),
-                        events_dropped: 0,
-                        last_decision_ns: 0,
-                        failure: Some(ShardFailure {
-                            shard: index,
-                            kind: FailureKind::Panic,
-                            payload: panic_payload_string(payload.as_ref()),
-                            failing_job: None,
-                            seq: 0,
-                            queued_lost: 0,
-                        }),
-                    }
-                }
-            };
-            outcomes.push(outcome);
-            groups.push(shard.machines);
-        }
-        // Drop the decision-stream sender now that every worker has
-        // exited: subscribers treat the channel close as the drain
-        // signal, and it must fire before the (possibly slow) merge and
-        // audit below, not at `Drop` time.
-        self.obs.decisions = None;
-        // Release the telemetry port as soon as the workers are done —
-        // callers that rebind the address (test harnesses, a respawning
-        // supervisor) must not race the `Drop` of the report-holding
-        // engine value.
-        self.stop_telemetry();
-        let degraded: Vec<ShardFailure> =
-            outcomes.iter().filter_map(|o| o.failure.clone()).collect();
-        if degraded.len() == outcomes.len() {
-            // No healthy schedule survives; the workers already wrote
-            // the crash snapshot at failure time (first fault wins).
-            self.write_error_snapshot();
-            return Err(EngineError::AllShardsFailed { failures: degraded });
-        }
-        let merged = match merge_schedules(
-            self.m,
-            outcomes
-                .iter()
-                .zip(&groups)
-                .filter(|(o, _)| o.failure.is_none())
-                .map(|(o, g)| (&o.schedule, g.as_slice())),
-        ) {
-            Ok(merged) => merged,
-            Err(e) => {
-                self.write_error_snapshot();
-                return Err(EngineError::Merge(e));
-            }
-        };
-        let elapsed = self.started.elapsed().as_secs_f64();
-
-        let mut latency = Histogram::new();
-        let mut queue_wait = Histogram::new();
-        let mut rejected_by_reason = RejectCounts::default();
-        let (mut submitted, mut accepted) = (0u64, 0u64);
-        let mut per_shard = Vec::with_capacity(outcomes.len());
-        let mut trace = Vec::new();
-        let mut trace_dropped = 0u64;
-        for (index, o) in outcomes.iter().enumerate() {
-            latency.merge(&o.latency);
-            queue_wait.merge(&o.queue_wait);
-            rejected_by_reason.merge(&o.rejected);
-            submitted += o.submitted;
-            accepted += o.accepted;
-            let g = groups[index].len();
-            let makespan = o.schedule.makespan().raw();
-            let utilization = if makespan > 0.0 {
-                o.schedule.accepted_load() / (g as f64 * makespan)
-            } else {
-                0.0
-            };
-            per_shard.push(ShardMetrics {
-                shard: index,
-                machines: g,
-                submitted: o.submitted,
-                accepted: o.accepted,
-                rejected: o.rejected.total(),
-                rejected_by_reason: o.rejected,
-                accepted_load: o.schedule.accepted_load(),
-                utilization,
-                batches: o.batches,
-                failed: o.failure.is_some(),
-            });
-            trace_dropped += o.events_dropped;
-        }
-        // Shards are visited in index order and each ring is already in
-        // per-shard arrival order, so the concatenation is sorted by
-        // (shard, seq).
-        for o in &mut outcomes {
-            trace.append(&mut o.events);
-        }
-        // The busy window runs from the first successful enqueue to
-        // the newest completed decision batch across shards; idle time
-        // (pre-traffic, or a post-run `--hold` keeping telemetry up)
-        // is excluded so the throughput number is honest.
-        let first_ns = self.first_enqueue_ns.load(Ordering::Relaxed);
-        let last_ns = outcomes
-            .iter()
-            .map(|o| o.last_decision_ns)
-            .max()
-            .unwrap_or(0);
-        let busy_secs = if first_ns == u64::MAX || last_ns <= first_ns {
-            0.0
-        } else {
-            (last_ns - first_ns) as f64 / 1e9
-        };
-        let metrics = EngineMetrics {
-            m: self.m,
-            shards: self.config.shards,
-            submitted,
-            accepted,
-            rejected: rejected_by_reason.total(),
-            rejected_by_reason,
-            backpressure_stalls: self.stalls.load(Ordering::Relaxed),
-            accepted_load: merged.accepted_load(),
-            elapsed_secs: elapsed,
-            busy_secs,
-            decisions_per_sec: if busy_secs > 0.0 {
-                submitted as f64 / busy_secs
-            } else {
-                0.0
-            },
-            latency: latency.summary(),
-            queue_wait: queue_wait.summary(),
-            per_shard,
-        };
-        // The final snapshot carries the engine's own counters (not the
-        // window-recomputed ones), so the auditor can cross-check them
-        // against what the trace implies.
-        let flight = self.flight.as_ref().map(|state| {
-            state.snapshot(Some((
-                metrics.submitted,
-                metrics.accepted,
-                metrics.rejected_by_reason,
-            )))
-        });
-        let audit = match (&self.flight, &flight) {
-            (Some(state), Some(snap)) if state.cfg.audit_on_finish => Some(audit_snapshot(snap)),
-            _ => None,
-        };
-        Ok(EngineReport {
-            schedule: merged,
-            metrics,
-            trace,
-            trace_dropped,
-            flight,
-            audit,
-            degraded,
-        })
-    }
-
-    /// Stops the telemetry listener and joins its thread, releasing the
-    /// bound port immediately. Idempotent; [`Engine::finish`] calls it
-    /// as soon as the workers are joined so the address is free for
-    /// rebinding without waiting on the `Drop` of the engine value (the
-    /// report may be held, inspected, or serialized for a long time
-    /// after the run ends).
-    pub fn stop_telemetry(&mut self) {
-        if let Some(t) = self.telemetry.take() {
-            t.stop.store(true, Ordering::Relaxed);
-            let _ = t.join.join();
-        }
-    }
-}
-
-impl Drop for Engine {
-    fn drop(&mut self) {
-        // Close the queues so workers drain even on an abandoned engine
-        // (their outcomes are discarded), *join* them so no detached
-        // thread outlives the handle, then stop and join the telemetry
-        // thread so the port is released. `finish` consumes `self`, so
-        // this also runs at the end of every finish path (where the
-        // shard list is already empty).
-        for shard in &mut self.shards {
-            shard.tx = None;
-        }
-        self.health.mark_draining_all();
-        for shard in &mut self.shards {
-            if let Some(join) = shard.join.take() {
-                let _ = join.join();
-            }
-        }
-        if let Some(t) = self.telemetry.take() {
-            t.stop.store(true, Ordering::Relaxed);
-            let _ = t.join.join();
-        }
-    }
-}
-
-/// Everything a shard worker needs besides its queue and scheduler.
-struct ShardCtx {
-    shard: usize,
-    /// Global machine ids of this shard's group, for remapping the
-    /// scheduler's shard-local machine ids in trace events.
-    group: Vec<MachineId>,
-    batch_size: usize,
-    registry: Option<Arc<MetricsRegistry>>,
-    trace_capacity: usize,
-    flight: Option<Arc<FlightState>>,
-    /// Live decision-stream subscriber ([`ObsConfig::decisions`]); the
-    /// worker sends every built [`StampedDecision`] here in (shard,
-    /// seq) order.
-    decisions: Option<Sender<StampedDecision>>,
-    health: Arc<HealthState>,
-    /// The engine's start instant: heartbeats and the busy-window edge
-    /// are nanoseconds since this point.
-    started: Instant,
-    /// Shared stamp clock: dequeue/decide stamps are read off it so
-    /// they line up with the submit-side enqueue stamps.
-    clock: Arc<ClockBase>,
-}
-
-#[inline]
-fn saturating_ns(d: Duration) -> u64 {
-    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
-}
-
-/// Renders a `catch_unwind` payload: panics carry `&'static str` or
-/// `String` in practice; anything else gets a placeholder.
-fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
-    }
-}
-
-/// Shard-local accumulator for the shared [`MetricsRegistry`]: the
-/// worker records every decision here (plain, contention-free) and
-/// publishes the delta once per drained batch, so concurrent shards
-/// never fight over the registry's cache lines on the per-decision
-/// path. Live readers see counters at most one batch behind.
-#[derive(Default)]
-struct RegistryDelta {
-    submitted: u64,
-    accepted: u64,
-    rejected: RejectCounts,
-    latency: Histogram,
-    queue_wait: Histogram,
-    /// Per-stage span samples in [`STAGE_SPANS`] order. The worker
-    /// only ever populates the first four (dispatch, enqueue, queue,
-    /// decide); the delivery span is recorded by whoever actually
-    /// delivers the decision (the server's dispatcher), so it is never
-    /// double counted here.
-    stages: [Histogram; STAGE_SPANS.len()],
-    /// Flight records dropped since the last flush.
-    flight_dropped: u64,
-}
-
-impl RegistryDelta {
-    /// Folds the worker-side stage spans of one decision in.
-    fn record_stages(&mut self, stamps: &TimelineStamps) {
-        for (slot, &(_, from, to)) in self.stages.iter_mut().take(4).zip(STAGE_SPANS.iter()) {
-            if let Some(ns) = stamps.span(from, to) {
-                slot.record(ns);
-            }
-        }
-    }
-
-    fn flush(&mut self, reg: &MetricsRegistry) {
-        if self.submitted == 0 && self.flight_dropped == 0 {
-            return;
-        }
-        reg.submitted.add(self.submitted);
-        reg.accepted.add(self.accepted);
-        for reason in RejectReason::ALL {
-            let n = self.rejected.get(reason);
-            if n > 0 {
-                reg.rejected(reason).add(n);
-            }
-        }
-        reg.decision_latency.merge_histogram(&self.latency);
-        reg.queue_wait.merge_histogram(&self.queue_wait);
-        for (hist, delta) in reg.stage_durations.iter().zip(self.stages.iter()) {
-            hist.merge_histogram(delta);
-        }
-        reg.flight_dropped.add(self.flight_dropped);
-        *self = RegistryDelta::default();
-    }
-}
-
-/// One shard's worker loop: block for a job, drain a batch, decide and
-/// commit each job in arrival order, repeat until the queue closes.
-///
-/// ## Fault containment
-///
-/// The decide/commit loop of every batch runs under `catch_unwind`: a
-/// panicking scheduler (or a contract-violating decision) poisons only
-/// this shard. The worker converts the fault into a typed
-/// [`ShardFailure`], writes the crash `.cfr` snapshot *at failure
-/// time* (so the evidence survives an abandoned or long-held engine),
-/// marks itself failed in the health table, drains and counts the jobs
-/// it will never decide, and returns its partial outcome — dropping
-/// the receiver, which wakes any producer blocked on the full queue
-/// with a disconnect instead of deadlocking it.
-///
-/// Unwind safety: the closure mutates the shard-local schedule,
-/// counters, and rings. The flight ring is lock-free (single-writer
-/// atomics, nothing to poison) and every structure is
-/// left at its last per-decision checkpoint — decisions are applied
-/// one at a time and `out.submitted` is incremented only *after* a
-/// decision fully commits, so the counters never include the decision
-/// that died halfway. `AssertUnwindSafe` is sound because the worker
-/// stops deciding the moment a fault is observed: the possibly
-/// half-updated scheduler is never offered another job.
-fn shard_worker(
-    rx: Receiver<QueueMsg>,
-    mut scheduler: Box<dyn OnlineScheduler>,
-    ctx: ShardCtx,
-) -> ShardOutcome {
-    let group_len = ctx.group.len();
-    let mut schedule = Schedule::new(group_len.max(1));
-    let mut out = ShardOutcome {
-        schedule: Schedule::new(group_len.max(1)),
-        submitted: 0,
-        accepted: 0,
-        rejected: RejectCounts::default(),
-        batches: 0,
-        latency: Histogram::new(),
-        queue_wait: Histogram::new(),
-        events: Vec::new(),
-        events_dropped: 0,
-        last_decision_ns: 0,
-        failure: None,
-    };
-    let mut ring = DecisionRing::new(ctx.trace_capacity);
-    let mut delta = RegistryDelta::default();
-    // High-water mark of the flight ring's dropped counter already
-    // published to the registry.
-    let mut flight_dropped_flushed = 0u64;
-    let mut batch: Vec<Submission> = Vec::with_capacity(ctx.batch_size);
-    let extend = |batch: &mut Vec<Submission>, msg: QueueMsg| match msg {
-        QueueMsg::One(sub) => batch.push(sub),
-        QueueMsg::Many(subs) => batch.extend(subs),
-    };
-    while let Ok(first) = rx.recv() {
-        batch.clear();
-        extend(&mut batch, first);
-        // Keep draining messages until the decision batch is at least
-        // `batch_size` jobs; a `Many` payload may overshoot the target,
-        // which is fine — it was one queue slot either way.
-        while batch.len() < ctx.batch_size {
-            match rx.try_recv() {
-                Ok(msg) => extend(&mut batch, msg),
-                Err(_) => break,
-            }
-        }
-        out.batches += 1;
-        ctx.health
-            .beat(ctx.shard, saturating_ns(ctx.started.elapsed()));
-        // Checked once per batch: toggling the registry mid-run takes
-        // effect at the next wakeup, and the per-decision path stays
-        // free of shared-state loads.
-        let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
-        // Index of the decision currently in flight; read after an
-        // unwind to identify the failing job and the in-batch losses.
-        let mut decided = 0usize;
-        let fault: Option<(FailureKind, String)> = {
-            let unwound =
-                catch_unwind(AssertUnwindSafe(|| -> Result<(), (FailureKind, String)> {
-                    // The worker is the ring's single writer, so flight
-                    // recording takes no lock at all: each decision
-                    // encodes straight into its slot with relaxed word
-                    // stores and one release publish. Live snapshot
-                    // readers never wait on the decision loop. Only the
-                    // compact decision record is stored; submission and
-                    // commitment events are synthesized from it at
-                    // snapshot time.
-                    let flight_ring = ctx.flight.as_deref().map(|state| &state.rings[ctx.shard]);
-                    while decided < batch.len() {
-                        let (job, mut stamps) = batch[decided];
-                        let seq = out.submitted;
-                        // One clock read before the offer and one after:
-                        // dequeue and decide stamps, from which the
-                        // queue-wait and decision-latency metrics also
-                        // fall out — no extra `Instant` reads per hop.
-                        let dequeue_ns = ctx.clock.now_ns();
-                        stamps.set(Stage::Dequeue, dequeue_ns);
-                        let queue_wait_ns = dequeue_ns.saturating_sub(stamps.get(Stage::Enqueue));
-                        let (decision, info) = {
-                            let _route = cslack_obs::span!("route");
-                            scheduler.offer_explained(&job)
-                        };
-                        let decide_ns = ctx.clock.now_ns();
-                        stamps.set(Stage::Decide, decide_ns);
-                        // In-process the decision is "delivered" the
-                        // moment it is made; the server's dispatcher
-                        // overwrites this stamp at actual route time.
-                        stamps.set(Stage::Delivery, decide_ns);
-                        let latency_ns = decide_ns.saturating_sub(dequeue_ns);
-                        let accepted = match apply_decision(&mut schedule, &job, decision) {
-                            Ok(true) => true,
-                            Ok(false) => false,
-                            Err(e) => {
-                                return Err((FailureKind::Contract, e.to_string()));
-                            }
-                        };
-                        // The decision is committed: only now do the
-                        // counters see it, so a fault mid-decision
-                        // leaves submitted == completed decisions and
-                        // the degraded report agrees with the flight
-                        // audit.
-                        out.submitted += 1;
-                        out.latency.record(latency_ns);
-                        out.queue_wait.record(queue_wait_ns);
-                        if recording.is_some() {
-                            delta.submitted += 1;
-                            delta.latency.record(latency_ns);
-                            delta.queue_wait.record(queue_wait_ns);
-                            delta.record_stages(&stamps);
-                        }
-                        if accepted {
-                            out.accepted += 1;
-                            if recording.is_some() {
-                                delta.accepted += 1;
-                            }
-                        } else {
-                            let reason = info.reject_reason.unwrap_or(RejectReason::Unattributed);
-                            out.rejected.bump(reason);
-                            if recording.is_some() {
-                                delta.rejected.bump(reason);
-                            }
-                        }
-                        if ctx.trace_capacity > 0 || ctx.flight.is_some() || ctx.decisions.is_some()
-                        {
-                            let (machine, start) = match decision {
-                                cslack_algorithms::Decision::Accept { machine, start } => {
-                                    // Remap the scheduler's shard-local
-                                    // machine id to the global cluster
-                                    // id.
-                                    let global = ctx
-                                        .group
-                                        .get(machine.0 as usize)
-                                        .map(|id| id.0)
-                                        .unwrap_or(machine.0);
-                                    (Some(global), Some(start.raw()))
-                                }
-                                cslack_algorithms::Decision::Reject => (None, None),
-                            };
-                            let build = || DecisionEvent {
-                                seq,
-                                job: job.id.0,
-                                shard: ctx.shard,
-                                release: job.release.raw(),
-                                proc_time: job.proc_time,
-                                deadline: job.deadline.raw(),
-                                candidates: info.candidates,
-                                threshold: info.threshold,
-                                min_load: info.min_load,
-                                accepted,
-                                machine,
-                                start,
-                                reject_reason: info.reject_reason,
-                                latency_ns,
-                                queue_wait_ns,
-                            };
-                            if ctx.trace_capacity > 0 || ctx.decisions.is_some() {
-                                let event = build();
-                                if let Some(flight) = flight_ring {
-                                    flight.record_decision(&event, &stamps);
-                                }
-                                if let Some(tx) = &ctx.decisions {
-                                    // A closed subscriber is not a
-                                    // shard fault: the engine keeps
-                                    // deciding and only the live
-                                    // stream goes dark.
-                                    let _ = tx.send(StampedDecision::new(event.clone(), stamps));
-                                }
-                                if ctx.trace_capacity > 0 {
-                                    ring.push(event);
-                                }
-                            } else if let Some(flight) = flight_ring {
-                                // Flight-only (the always-on
-                                // configuration): the record is encoded
-                                // straight from the decision's parts —
-                                // no event wrapper, one pass of relaxed
-                                // stores into the shard's own ring.
-                                flight.record_decision(&build(), &stamps);
-                            }
-                        }
-                        decided += 1;
-                    }
-                    Ok(())
-                }));
-            match unwound {
-                Ok(Ok(())) => None,
-                Ok(Err(contract)) => Some(contract),
-                Err(payload) => Some((FailureKind::Panic, panic_payload_string(payload.as_ref()))),
-            }
-        };
-        if let Some((kind, payload)) = fault {
-            // The partial schedule rides along for per-shard metrics
-            // (accepted load before the fault); the merge skips it.
-            out.schedule = schedule;
-            return fail_shard(rx, ctx, out, ring, delta, &batch, decided, kind, payload);
-        }
-        out.last_decision_ns = saturating_ns(ctx.started.elapsed());
-        if let Some(reg) = recording {
-            // Overwritten flight records are surfaced as a counter
-            // delta so a live scrape sees ring churn, not just the
-            // snapshot-time dropped field.
-            if let Some(state) = ctx.flight.as_deref() {
-                let dropped = state.rings[ctx.shard].dropped();
-                delta.flight_dropped = dropped - flight_dropped_flushed;
-                flight_dropped_flushed = dropped;
-            }
-            delta.flush(reg);
-        }
-    }
-    out.schedule = schedule;
-    let (events, events_dropped) = ring.into_events();
-    out.events = events;
-    out.events_dropped = events_dropped;
-    out
-}
-
-/// The contained-fault epilogue of [`shard_worker`]: converts the fault
-/// into a [`ShardFailure`], preserves the evidence, and returns the
-/// partial outcome.
-///
-/// Ordering matters here. (1) The health table is marked `Failed`
-/// first, so producers that race the teardown see `ShardFailed`, not
-/// `Closed`. (2) The failing job's submission is recorded into the
-/// flight ring (its decision never completed, so nothing else carries
-/// it) and the crash `.cfr` is written *now*, from the worker — not at
-/// some future `finish` that may never run. (3) The queue is drained
-/// and counted so the failure reports how many jobs were lost
-/// undecided. Returning then drops the receiver, waking any producer
-/// blocked on the full queue.
-#[allow(clippy::too_many_arguments)]
-fn fail_shard(
-    rx: Receiver<QueueMsg>,
-    ctx: ShardCtx,
-    mut out: ShardOutcome,
-    ring: DecisionRing,
-    mut delta: RegistryDelta,
-    batch: &[Submission],
-    decided: usize,
-    kind: FailureKind,
-    payload: String,
-) -> ShardOutcome {
-    let recording = ctx.registry.as_deref().filter(|reg| reg.is_enabled());
-    ctx.health.mark_failed(ctx.shard);
-    let seq = out.submitted;
-    let failing = batch.get(decided).map(|(job, _)| *job);
-    if let Some(state) = ctx.flight.as_deref() {
-        if let Some(job) = &failing {
-            // The worker thread is still the ring's only writer, so
-            // the failing job's submission can be appended directly.
-            state.rings[ctx.shard].record(&FlightEvent::Submission {
-                seq,
-                shard: ctx.shard as u32,
-                job: job.id.0,
-                release: job.release.raw(),
-                proc_time: job.proc_time,
-                deadline: job.deadline.raw(),
-            });
-        }
-        state.write_error_snapshot();
-    }
-    // Publish the pre-fault decisions the batch delta still holds, so
-    // live scrapes don't lose them.
-    if let Some(reg) = recording {
-        delta.flush(reg);
-    }
-    // Jobs after the failing one in this batch, plus whatever the
-    // queue still holds, will never be decided.
-    let mut queued_lost = batch.len().saturating_sub(decided + 1) as u64;
-    while let Ok(msg) = rx.try_recv() {
-        queued_lost += match msg {
-            QueueMsg::One(_) => 1,
-            QueueMsg::Many(subs) => subs.len() as u64,
-        };
-    }
-    out.failure = Some(ShardFailure {
-        shard: ctx.shard,
-        kind,
-        payload,
-        failing_job: failing.map(|job| job.id.0),
-        seq,
-        queued_lost,
-    });
-    let (events, events_dropped) = ring.into_events();
-    out.events = events;
-    out.events_dropped = events_dropped;
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cslack_algorithms::{Decision, Greedy, Threshold};
-    use cslack_kernel::{InstanceBuilder, Time};
-
-    fn greedy_builder(_shard: usize, g: usize) -> Box<dyn OnlineScheduler> {
-        Box::new(Greedy::new(g))
-    }
-
-    #[test]
-    fn machine_groups_partition_the_cluster() {
-        for m in 1..=16 {
-            for s in 1..=m {
-                let groups = machine_groups(m, s).unwrap();
-                assert_eq!(groups.len(), s);
-                let flat: Vec<u32> = groups.iter().flatten().map(|id| id.0).collect();
-                assert_eq!(flat, (0..m as u32).collect::<Vec<u32>>());
-                let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
-                let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
-                assert!(hi - lo <= 1, "uneven split for m={m} s={s}: {sizes:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn machine_groups_rejects_bad_shard_counts() {
-        // The boundary cases that used to panic (shards > m) or slice
-        // nonsense (shards == 0) now error like `Engine::start` does.
-        assert!(matches!(
-            machine_groups(2, 3),
-            Err(EngineError::BadShardCount { shards: 3, m: 2 })
-        ));
-        assert!(matches!(
-            machine_groups(4, 0),
-            Err(EngineError::BadShardCount { shards: 0, m: 4 })
-        ));
-        assert!(matches!(
-            machine_groups(0, 1),
-            Err(EngineError::BadShardCount { .. })
-        ));
-        // The m == shards boundary itself is fine: one machine each.
-        let groups = machine_groups(3, 3).unwrap();
-        assert!(groups.iter().all(|g| g.len() == 1));
-    }
-
-    #[test]
-    fn shard_routing_is_total_and_deterministic() {
-        for shards in 1..=5 {
-            for id in 0..100u32 {
-                let s = shard_of(JobId(id), shards);
-                assert!(s < shards);
-                assert_eq!(s, shard_of(JobId(id), shards));
-            }
-        }
-    }
-
-    #[test]
-    fn single_shard_engine_matches_sequential_simulation() {
-        let inst = InstanceBuilder::new(2, 0.5)
-            .tight_job(Time::ZERO, 1.0)
-            .tight_job(Time::ZERO, 1.0)
-            .tight_job(Time::ZERO, 1.0)
-            .job(Time::new(0.5), 2.0, Time::new(10.0))
-            .build()
-            .unwrap();
-        let engine = Engine::start(2, EngineConfig::new(1), greedy_builder).unwrap();
-        for job in inst.jobs() {
-            engine.submit(*job).unwrap();
-        }
-        let report = engine.finish().unwrap();
-        let sequential = cslack_sim::simulate(&inst, &mut Greedy::new(2)).unwrap();
-        assert_eq!(report.schedule.accepted_load(), sequential.accepted_load());
-        assert_eq!(report.schedule.len(), sequential.accepted_count());
-        assert_eq!(report.metrics.submitted, inst.len() as u64);
-        assert!(cslack_kernel::validate_schedule(&inst, &report.schedule).is_valid());
-    }
-
-    #[test]
-    fn backpressure_surfaces_as_full() {
-        // A deliberately slow scheduler so the tiny queue fills faster
-        // than the worker drains it.
-        struct Slow(Greedy);
-        impl OnlineScheduler for Slow {
-            fn name(&self) -> &'static str {
-                "slow"
-            }
-            fn machines(&self) -> usize {
-                self.0.machines()
-            }
-            fn offer(&mut self, job: &Job) -> Decision {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                self.0.offer(job)
-            }
-            fn reset(&mut self) {
-                self.0.reset()
-            }
-        }
-        let engine = Engine::start(
-            1,
-            EngineConfig {
-                shards: 1,
-                queue_capacity: 1,
-                batch_size: 1,
-            },
-            |_, g| Box::new(Slow(Greedy::new(g))),
-        )
-        .unwrap();
-        let mut saw_full = false;
-        for id in 0..10_000u32 {
-            let job = Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9));
-            match engine.try_submit(job) {
-                Ok(()) => {}
-                Err(SubmitError::Full(j)) => {
-                    assert_eq!(j.id, JobId(id));
-                    saw_full = true;
-                    break;
-                }
-                Err(other) => panic!("engine closed early: {other}"),
-            }
-        }
-        assert!(saw_full, "bounded queue never exerted backpressure");
-        engine.finish().unwrap();
-    }
-
-    #[test]
-    fn blocking_submit_counts_stalls_and_loses_nothing() {
-        // Slow scheduler + capacity-1 queue: blocking submissions must
-        // stall (and be counted) but every job still gets decided.
-        struct Slow(Greedy);
-        impl OnlineScheduler for Slow {
-            fn name(&self) -> &'static str {
-                "slow"
-            }
-            fn machines(&self) -> usize {
-                self.0.machines()
-            }
-            fn offer(&mut self, job: &Job) -> Decision {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-                self.0.offer(job)
-            }
-            fn reset(&mut self) {
-                self.0.reset()
-            }
-        }
-        let registry = Arc::new(MetricsRegistry::enabled());
-        let obs = ObsConfig {
-            registry: Some(Arc::clone(&registry)),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(
-            1,
-            EngineConfig {
-                shards: 1,
-                queue_capacity: 1,
-                batch_size: 1,
-            },
-            obs,
-            |_, g| Box::new(Slow(Greedy::new(g))),
-        )
-        .unwrap();
-        let n = 50u32;
-        for id in 0..n {
-            let job = Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9));
-            engine.submit(job).unwrap();
-        }
-        assert!(
-            engine.backpressure_stalls() > 0,
-            "capacity-1 queue with a slow worker must stall blocking submits"
-        );
-        let report = engine.finish().unwrap();
-        assert_eq!(report.metrics.submitted, n as u64, "no submission lost");
-        assert_eq!(
-            report.metrics.accepted + report.metrics.rejected,
-            n as u64,
-            "every submission decided"
-        );
-        assert!(report.metrics.backpressure_stalls > 0);
-        assert_eq!(
-            report.metrics.backpressure_stalls,
-            registry.backpressure_stalls.get(),
-            "registry and report must agree on stalls"
-        );
-    }
-
-    #[test]
-    fn zero_submissions_yield_all_zero_latency_stats() {
-        let engine = Engine::start(2, EngineConfig::new(2), greedy_builder).unwrap();
-        let report = engine.finish().unwrap();
-        assert_eq!(report.metrics.submitted, 0);
-        assert_eq!(report.metrics.latency, LatencyStats::default());
-        assert_eq!(report.metrics.queue_wait, LatencyStats::default());
-        assert_eq!(report.metrics.latency.min_ns, 0, "no garbage minima");
-        assert!(report.trace.is_empty());
-    }
-
-    #[test]
-    fn trace_reproduces_counters_and_types_every_rejection() {
-        // Tight unit jobs on a small threshold cluster: a healthy mix
-        // of accepts and threshold rejections.
-        let n = 400u32;
-        let registry = Arc::new(MetricsRegistry::enabled());
-        let obs = ObsConfig {
-            registry: Some(Arc::clone(&registry)),
-            trace_capacity: n as usize,
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
-            Box::new(Threshold::new(g, 0.5))
-        })
-        .unwrap();
-        for id in 0..n {
-            let job = Job::tight(JobId(id), Time::new((id / 8) as f64 * 0.1), 1.0, 0.5);
-            engine.submit(job).unwrap();
-        }
-        let report = engine.finish().unwrap();
-        assert_eq!(report.trace_dropped, 0);
-        assert_eq!(report.trace.len(), n as usize);
-        // Trace is ordered by (shard, seq).
-        for pair in report.trace.windows(2) {
-            assert!(
-                (pair[0].shard, pair[0].seq) < (pair[1].shard, pair[1].seq),
-                "trace must be sorted by (shard, seq)"
-            );
-        }
-        let summary = cslack_obs::summarize(&report.trace);
-        assert_eq!(summary.decisions, report.metrics.submitted);
-        assert_eq!(summary.accepted, report.metrics.accepted);
-        assert_eq!(summary.rejected, report.metrics.rejected_by_reason);
-        assert_eq!(summary.rejected.total(), report.metrics.rejected);
-        assert!(report.metrics.rejected > 0, "instance should reject some");
-        for event in &report.trace {
-            if event.accepted {
-                assert!(event.reject_reason.is_none());
-                assert!(event.machine.is_some() && event.start.is_some());
-                assert!(
-                    event.machine.unwrap() < 4,
-                    "machine ids in the trace are global"
-                );
-            } else {
-                assert!(
-                    event.reject_reason.is_some(),
-                    "every rejection must carry a typed reason"
-                );
-                assert_eq!(
-                    event.reject_reason,
-                    Some(RejectReason::ThresholdExceeded),
-                    "threshold is the only reject cause for paper params"
-                );
-                assert!(event.threshold.is_some(), "threshold value recorded");
-            }
-        }
-        // The live registry saw the same totals.
-        assert_eq!(registry.submitted.get(), report.metrics.submitted);
-        assert_eq!(registry.accepted.get(), report.metrics.accepted);
-        assert_eq!(registry.reject_counts(), report.metrics.rejected_by_reason);
-        assert_eq!(
-            registry.decision_latency.snapshot().count(),
-            report.metrics.submitted
-        );
-    }
-
-    #[test]
-    fn trace_ring_bounds_memory_and_counts_drops() {
-        let obs = ObsConfig::traced(8);
-        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
-        for id in 0..32u32 {
-            engine
-                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
-                .unwrap();
-        }
-        let report = engine.finish().unwrap();
-        assert_eq!(report.trace.len(), 8, "ring caps the trace");
-        assert_eq!(report.trace_dropped, 24);
-        // The kept window is the most recent one.
-        let seqs: Vec<u64> = report.trace.iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, (24..32).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn disabled_registry_records_nothing() {
-        let registry = Arc::new(MetricsRegistry::new()); // not enabled
-        let obs = ObsConfig {
-            registry: Some(Arc::clone(&registry)),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
-        engine
-            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        let report = engine.finish().unwrap();
-        assert_eq!(report.metrics.submitted, 1);
-        assert_eq!(registry.submitted.get(), 0, "disabled registry stays dark");
-        assert_eq!(registry.decision_latency.snapshot().count(), 0);
-    }
-
-    #[test]
-    fn bad_shard_count_is_rejected() {
-        assert!(matches!(
-            Engine::start(2, EngineConfig::new(0), greedy_builder),
-            Err(EngineError::BadShardCount { .. })
-        ));
-        assert!(matches!(
-            Engine::start(2, EngineConfig::new(3), greedy_builder),
-            Err(EngineError::BadShardCount { .. })
-        ));
-    }
-
-    #[test]
-    fn contract_violation_is_reported_not_merged() {
-        struct Liar;
-        impl OnlineScheduler for Liar {
-            fn name(&self) -> &'static str {
-                "liar"
-            }
-            fn machines(&self) -> usize {
-                1
-            }
-            fn offer(&mut self, _job: &Job) -> Decision {
-                Decision::Accept {
-                    machine: MachineId(0),
-                    start: Time::ZERO,
-                }
-            }
-            fn reset(&mut self) {}
-        }
-        let engine = Engine::start(1, EngineConfig::new(1), |_, _| Box::new(Liar)).unwrap();
-        // Two overlapping accepts at t = 0 on the same machine.
-        engine
-            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        engine
-            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        // Single shard, so the contained contract fault is terminal.
-        match engine.finish() {
-            Err(EngineError::AllShardsFailed { failures }) => {
-                assert_eq!(failures.len(), 1);
-                let f = &failures[0];
-                assert_eq!(f.shard, 0);
-                assert_eq!(f.kind, FailureKind::Contract);
-                assert_eq!(f.failing_job, Some(1));
-                assert_eq!(f.seq, 1, "one decision completed before the fault");
-                assert!(
-                    f.payload.contains("J1"),
-                    "unexpected payload: {}",
-                    f.payload
-                );
-            }
-            other => panic!("expected contract violation, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn metrics_serialize_to_json() {
-        let engine = Engine::start(2, EngineConfig::new(2), greedy_builder).unwrap();
-        engine
-            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        engine
-            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        let report = engine.finish().unwrap();
-        let json = serde_json::to_string(&report.metrics).unwrap();
-        assert!(json.contains("\"decisions_per_sec\""));
-        assert!(json.contains("\"per_shard\""));
-        assert!(json.contains("\"latency\""));
-        assert!(json.contains("\"p99_ns\""));
-        assert!(json.contains("\"queue_wait\""));
-        assert!(json.contains("\"rejected_by_reason\""));
-        assert!(json.contains("\"backpressure_stalls\""));
-        assert_eq!(report.metrics.accepted, 2);
-        assert_eq!(report.metrics.per_shard.len(), 2);
-    }
-
-    #[test]
-    fn shard_group_bounds_match_engine_machine_groups() {
-        // The auditor reconstructs the engine's machine layout from
-        // (m, shards) alone — the two formulas must stay identical.
-        for m in 1..=16 {
-            for s in 1..=m {
-                let groups = machine_groups(m, s).unwrap();
-                for (shard, group) in groups.iter().enumerate() {
-                    let (lo, hi) = cslack_sim::audit::shard_group_bounds(m, s, shard);
-                    assert_eq!(lo, group.first().map(|id| id.0 as usize).unwrap_or(lo));
-                    assert_eq!(hi - lo, group.len(), "m={m} s={s} shard={shard}");
-                }
-            }
-        }
-    }
-
-    fn flight_workload(n: u32) -> Vec<Job> {
-        (0..n)
-            .map(|id| Job::tight(JobId(id), Time::new((id / 8) as f64 * 0.1), 1.0, 0.5))
-            .collect()
-    }
-
-    #[test]
-    fn flight_recording_replays_bit_identically_and_audits_clean() {
-        for shards in [1usize, 2, 4] {
-            let eps = 0.5;
-            let obs = ObsConfig {
-                flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
-                ..ObsConfig::default()
-            };
-            let engine = Engine::start_observed(4, EngineConfig::new(shards), obs, |_, g| {
-                Box::new(Threshold::new(g, eps))
-            })
-            .unwrap();
-            for job in flight_workload(200) {
-                engine.submit(job).unwrap();
-            }
-            let report = engine.finish().unwrap();
-            let snap = report.flight.expect("flight recording present");
-            assert_eq!(snap.header.submitted, report.metrics.submitted);
-            assert_eq!(snap.header.accepted, report.metrics.accepted);
-            assert_eq!(snap.total_dropped(), 0);
-            let replay =
-                cslack_sim::audit::replay_snapshot(&snap, |_, g| Box::new(Threshold::new(g, eps)))
-                    .unwrap();
-            assert!(
-                replay.is_identical(),
-                "shards={shards} diverged: {:?}",
-                replay.divergence
-            );
-            assert_eq!(replay.decisions_replayed, report.metrics.submitted);
-            let audit = cslack_sim::audit::audit_snapshot(&snap);
-            assert!(audit.is_clean(), "shards={shards}: {:?}", audit.violations);
-            assert!(audit.counters_checked);
-        }
-    }
-
-    #[test]
-    fn audit_on_finish_lands_in_the_report() {
-        let eps = 0.5;
-        let mut flight = FlightConfig::new(4096, "threshold", eps, 0);
-        flight.audit_on_finish = true;
-        let obs = ObsConfig {
-            flight: Some(flight),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, move |_, g| {
-            Box::new(Threshold::new(g, eps))
-        })
-        .unwrap();
-        for job in flight_workload(100) {
-            engine.submit(job).unwrap();
-        }
-        let report = engine.finish().unwrap();
-        let audit = report.audit.expect("audit requested");
-        assert!(audit.is_clean(), "{:?}", audit.violations);
-        assert_eq!(audit.decisions_checked, report.metrics.submitted);
-    }
-
-    #[test]
-    fn flight_ring_bounds_memory_and_counts_drops() {
-        let obs = ObsConfig {
-            flight: Some(FlightConfig::new(8, "greedy", 0.5, 0)),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(1, EngineConfig::new(1), obs, greedy_builder).unwrap();
-        for id in 0..32u32 {
-            engine
-                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
-                .unwrap();
-        }
-        let report = engine.finish().unwrap();
-        let snap = report.flight.unwrap();
-        // The ring kept the last 8 decision records; each expands to
-        // submission + decision + commitment in the snapshot.
-        assert_eq!(snap.len(), 24, "ring caps the recording");
-        // 32 accepted jobs produce 32 decision records; the ring kept 8.
-        assert_eq!(snap.total_dropped(), 24);
-        // The header still carries the engine's true totals.
-        assert_eq!(snap.header.submitted, 32);
-        assert_eq!(snap.header.accepted, 32);
-    }
-
-    #[test]
-    fn telemetry_endpoint_serves_metrics_health_and_flight() {
-        use std::io::{Read as _, Write as _};
-        let obs = ObsConfig {
-            flight: Some(FlightConfig::new(1024, "greedy", 0.5, 0)),
-            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(2, EngineConfig::new(2), obs, greedy_builder).unwrap();
-        for id in 0..16u32 {
-            engine
-                .submit(Job::new(JobId(id), Time::ZERO, 1.0, Time::new(1e9)))
-                .unwrap();
-        }
-        let addr = engine.metrics_addr().expect("endpoint bound");
-        let get = |path: &str| -> (String, Vec<u8>) {
-            let mut stream = TcpStream::connect(addr).unwrap();
-            stream
-                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-                .unwrap();
-            let mut raw = Vec::new();
-            stream.read_to_end(&mut raw).unwrap();
-            let split = raw
-                .windows(4)
-                .position(|w| w == b"\r\n\r\n")
-                .expect("header terminator");
-            (
-                String::from_utf8_lossy(&raw[..split]).to_string(),
-                raw[split + 4..].to_vec(),
-            )
-        };
-        let (head, body) = get("/healthz");
-        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        let health = String::from_utf8(body).unwrap();
-        assert!(health.starts_with("ok\n"), "{health}");
-        assert!(health.contains("shard 0 alive"), "{health}");
-        assert!(health.contains("shard 1 alive"), "{health}");
-        let (head, body) = get("/metrics");
-        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert!(head.contains("text/plain; version=0.0.4"));
-        let text = String::from_utf8(body).unwrap();
-        assert!(text.contains("# TYPE"), "prometheus exposition: {text}");
-        // A query string must not break routing.
-        let (head, body) = get("/metrics?debug=1");
-        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert!(String::from_utf8(body).unwrap().contains("# TYPE"));
-        let (head, body) = get("/flight/snapshot");
-        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        let snap = FlightSnapshot::read_cfr(&mut body.as_slice()).unwrap();
-        assert_eq!(snap.header.m, 2);
-        let (head, _) = get("/nope");
-        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
-        engine.finish().unwrap();
-    }
-
-    /// The semantic content of a decision stream: everything except the
-    /// wall-clock timings, which legitimately differ between runs.
-    fn decision_keys(snap: &FlightSnapshot) -> Vec<(u64, u32, usize, bool, Option<u32>)> {
-        snap.decisions()
-            .iter()
-            .map(|d| (d.seq, d.job, d.shard, d.accepted, d.machine))
-            .collect()
-    }
-
-    #[test]
-    fn submit_batch_matches_job_by_job_submission() {
-        let eps = 0.5;
-        let jobs = flight_workload(200);
-        let run = |batched: bool| {
-            let obs = ObsConfig {
-                flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
-                ..ObsConfig::default()
-            };
-            let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
-                Box::new(Threshold::new(g, eps))
-            })
-            .unwrap();
-            if batched {
-                // Chunk size is coprime with the shard count, so
-                // batches straddle shards in every alignment.
-                for chunk in jobs.chunks(17) {
-                    for result in engine.submit_batch(chunk) {
-                        result.unwrap();
-                    }
-                }
-            } else {
-                for job in &jobs {
-                    engine.submit(*job).unwrap();
-                }
-            }
-            engine.finish().unwrap()
-        };
-        let (one, many) = (run(false), run(true));
-        assert_eq!(one.metrics.submitted, many.metrics.submitted);
-        assert_eq!(one.metrics.accepted, many.metrics.accepted);
-        let (a, b) = (one.flight.unwrap(), many.flight.unwrap());
-        assert_eq!(
-            decision_keys(&a),
-            decision_keys(&b),
-            "batched submission changed the decision stream"
-        );
-    }
-
-    #[test]
-    fn decision_channel_streams_every_decision_and_closes_on_finish() {
-        let (tx, rx) = crossbeam::channel::unbounded::<StampedDecision>();
-        let obs = ObsConfig {
-            decisions: Some(tx),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, greedy_builder).unwrap();
-        let jobs = flight_workload(100);
-        for result in engine.submit_batch(&jobs) {
-            result.unwrap();
-        }
-        let report = engine.finish().unwrap();
-        // `finish` dropped the engine's sender clone and the `tx` we
-        // moved into ObsConfig, so the iterator terminates — that close
-        // is the subscriber's drain signal.
-        let events: Vec<StampedDecision> = rx.iter().collect();
-        assert_eq!(events.len() as u64, report.metrics.submitted);
-        // Every streamed decision carries a monotone server timeline
-        // with the pipeline stages stamped.
-        for event in &events {
-            assert!(event.stamps.server_monotone(), "stamps out of order");
-            for stage in [
-                Stage::Enqueue,
-                Stage::Dequeue,
-                Stage::Decide,
-                Stage::Delivery,
-            ] {
-                assert_ne!(event.stamps.get(stage), 0, "{stage:?} unstamped");
-            }
-        }
-        // Per-shard substreams arrive in (seq) order even though the
-        // interleaving across shards is arbitrary.
-        let mut last_seq = [None::<u64>; 2];
-        for event in &events {
-            if let Some(prev) = last_seq[event.shard] {
-                assert!(prev < event.seq, "shard {} reordered", event.shard);
-            }
-            last_seq[event.shard] = Some(event.seq);
-        }
-        // Every submitted job id appears exactly once.
-        let mut ids: Vec<u32> = events.iter().map(|e| e.job).collect();
-        ids.sort_unstable();
-        assert_eq!(ids, (0..100).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn disabled_telemetry_endpoints_return_404() {
-        use std::io::{Read as _, Write as _};
-        let obs = ObsConfig {
-            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
-            endpoints: TelemetryEndpoints {
-                metrics: false,
-                healthz: true,
-                flight: false,
-            },
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(2, EngineConfig::new(1), obs, greedy_builder).unwrap();
-        let addr = engine.metrics_addr().expect("endpoint bound");
-        let get = |path: &str| -> String {
-            let mut stream = TcpStream::connect(addr).unwrap();
-            stream
-                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-                .unwrap();
-            let mut raw = String::new();
-            stream.read_to_string(&mut raw).unwrap();
-            raw
-        };
-        assert!(get("/metrics").starts_with("HTTP/1.1 404"));
-        assert!(get("/flight/snapshot").starts_with("HTTP/1.1 404"));
-        assert!(get("/healthz").starts_with("HTTP/1.1 200"));
-        engine.finish().unwrap();
-    }
-
-    #[test]
-    fn finish_releases_the_telemetry_port_before_returning() {
-        let obs = ObsConfig {
-            serve_metrics: Some("127.0.0.1:0".parse().unwrap()),
-            ..ObsConfig::default()
-        };
-        let engine = Engine::start_observed(2, EngineConfig::new(1), obs, greedy_builder).unwrap();
-        let addr = engine.metrics_addr().expect("endpoint bound");
-        // Hold the report alive past the rebind: the port must be free
-        // the moment `finish` returns, not when the report is dropped.
-        let _report = engine.finish().unwrap();
-        let rebound = TcpListener::bind(addr);
-        assert!(
-            rebound.is_ok(),
-            "telemetry port still held after finish: {rebound:?}"
-        );
-    }
-
-    #[test]
-    fn contract_violation_writes_error_snapshot() {
-        struct Liar;
-        impl OnlineScheduler for Liar {
-            fn name(&self) -> &'static str {
-                "liar"
-            }
-            fn machines(&self) -> usize {
-                1
-            }
-            fn offer(&mut self, _job: &Job) -> Decision {
-                Decision::Accept {
-                    machine: MachineId(0),
-                    start: Time::ZERO,
-                }
-            }
-            fn reset(&mut self) {}
-        }
-        let path =
-            std::env::temp_dir().join(format!("cslack-flight-error-{}.cfr", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        let mut flight = FlightConfig::new(1024, "liar", 0.5, 0);
-        flight.snapshot_on_error = Some(path.clone());
-        let obs = ObsConfig {
-            flight: Some(flight),
-            ..ObsConfig::default()
-        };
-        let engine =
-            Engine::start_observed(1, EngineConfig::new(1), obs, |_, _| Box::new(Liar)).unwrap();
-        engine
-            .submit(Job::new(JobId(0), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        engine
-            .submit(Job::new(JobId(1), Time::ZERO, 1.0, Time::new(9.0)))
-            .unwrap();
-        assert!(matches!(
-            engine.finish(),
-            Err(EngineError::AllShardsFailed { .. })
-        ));
-        let mut file = std::fs::File::open(&path).expect("error snapshot written");
-        let snap = FlightSnapshot::read_cfr(&mut file).unwrap();
-        // The overlapping job that broke the contract left its
-        // submission in the dump even though its batch never completed.
-        assert!(snap
-            .shards
-            .iter()
-            .flat_map(|s| &s.events)
-            .any(|e| matches!(e, FlightEvent::Submission { job: 1, .. })));
-        let _ = std::fs::remove_file(&path);
-    }
 }

@@ -1,0 +1,171 @@
+//! The engine's live telemetry HTTP listener: `/metrics`, `/healthz`,
+//! `/flight/snapshot`.
+
+use crate::config::TelemetryEndpoints;
+use crate::flight_state::FlightState;
+use crate::health::{HealthState, ShardState};
+use cslack_obs::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The running telemetry endpoint: its bound address, the stop flag the
+/// accept loop polls, and the thread to join on shutdown.
+pub(crate) struct TelemetryHandle {
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) join: JoinHandle<()>,
+}
+
+/// Read-only state the telemetry thread serves from.
+pub(crate) struct TelemetryShared {
+    pub(crate) registry: Arc<MetricsRegistry>,
+    pub(crate) flight: Option<Arc<FlightState>>,
+    pub(crate) health: Arc<HealthState>,
+    pub(crate) endpoints: TelemetryEndpoints,
+}
+
+/// Accept loop of the telemetry endpoint: nonblocking accept polled
+/// every 5 ms so the stop flag is honoured promptly; each connection is
+/// handled inline (scrapes are rare and tiny).
+///
+/// `WouldBlock` is the idle case; any *other* accept error is counted
+/// into the `telemetry_errors` registry counter, and consecutive real
+/// failures back off exponentially (5 ms → 500 ms cap) so a wedged
+/// listener (EMFILE, netns teardown) does not spin a core while still
+/// honouring the stop flag promptly.
+pub(crate) fn serve_telemetry(
+    listener: TcpListener,
+    shared: TelemetryShared,
+    stop: Arc<AtomicBool>,
+) {
+    const IDLE_POLL: Duration = Duration::from_millis(5);
+    const MAX_BACKOFF: Duration = Duration::from_millis(500);
+    let mut backoff = IDLE_POLL;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = IDLE_POLL;
+                let _ = handle_telemetry_request(stream, &shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                backoff = IDLE_POLL;
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => {
+                if shared.registry.is_enabled() {
+                    shared.registry.telemetry_errors.inc();
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+    }
+}
+
+/// Reads from `stream` until the HTTP header terminator (`\r\n\r\n`),
+/// bounded by `limit` bytes — a request head split across TCP segments
+/// must not be misparsed, and an unbounded or terminator-less peer must
+/// not pin the thread.
+fn read_request_head(stream: &mut TcpStream, limit: usize) -> std::io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while head.len() < limit {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(head)
+}
+
+/// Serves one HTTP/1.1 request: `/metrics` (Prometheus text format),
+/// `/healthz` (503 when any shard has failed), or `/flight/snapshot`
+/// (the current `.cfr` bytes). Query strings are ignored for routing,
+/// so `GET /metrics?debug=1` still scrapes.
+fn handle_telemetry_request(
+    mut stream: TcpStream,
+    shared: &TelemetryShared,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let head = read_request_head(&mut stream, 8192)?;
+    let request = String::from_utf8_lossy(&head);
+    let target = request.split_whitespace().nth(1).unwrap_or("/");
+    // Route on the path alone: strip the query string (and any
+    // fragment a sloppy client sends on the wire).
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    // Disabled endpoints fall through to the 404 arm: deployments that
+    // front the engine with their own exporter (the cslack server
+    // process) can run the listener with only the endpoints they mean
+    // to expose.
+    let disabled_404 = (
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        b"endpoint disabled\n".to_vec(),
+    );
+    let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
+        "/metrics" if !shared.endpoints.metrics => disabled_404,
+        "/healthz" if !shared.endpoints.healthz => disabled_404,
+        "/flight/snapshot" if !shared.endpoints.flight => disabled_404,
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.registry.render_prometheus().into_bytes(),
+        ),
+        "/healthz" => {
+            let health = shared.health.snapshot();
+            let any_failed = health.iter().any(|h| h.state == ShardState::Failed);
+            let mut body = String::new();
+            body.push_str(if any_failed { "degraded\n" } else { "ok\n" });
+            for h in &health {
+                body.push_str(&format!(
+                    "shard {} {} heartbeat_ns {}\n",
+                    h.shard,
+                    h.state.as_str(),
+                    h.heartbeat_ns
+                ));
+            }
+            (
+                if any_failed {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                },
+                "text/plain; charset=utf-8",
+                body.into_bytes(),
+            )
+        }
+        "/flight/snapshot" => match &shared.flight {
+            Some(state) => {
+                let mut bytes = Vec::new();
+                state.snapshot(None).write_cfr(&mut bytes)?;
+                ("200 OK", "application/octet-stream", bytes)
+            }
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                b"no flight recorder configured\n".to_vec(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            b"not found\n".to_vec(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
+}

@@ -46,6 +46,67 @@ impl Counter {
     }
 }
 
+/// Per-shard queue-depth gauge: how many jobs sit in each shard's
+/// ingestion queue right now.
+///
+/// The slot array is sized lazily by [`QueueDepthGauge::register`]
+/// (the engine calls it at startup with its shard count) so the
+/// registry itself keeps a `const` constructor. Writes are relaxed
+/// stores from both ends of the queue — producers after an enqueue,
+/// the worker after each drained batch — so a scrape sees a depth at
+/// most one publish stale from either direction. Until `register`
+/// runs (or for transports that cannot count jobs exactly, like the
+/// legacy channel), nothing is rendered / the value stays 0.
+#[derive(Debug, Default)]
+pub struct QueueDepthGauge {
+    shards: OnceLock<Box<[AtomicU64]>>,
+}
+
+impl QueueDepthGauge {
+    /// An unregistered gauge (renders nothing).
+    pub const fn new() -> QueueDepthGauge {
+        QueueDepthGauge {
+            shards: OnceLock::new(),
+        }
+    }
+
+    /// Sizes the gauge to `shards` slots, all zero. First registration
+    /// wins; later calls (a second engine sharing the registry) are
+    /// ignored.
+    pub fn register(&self, shards: usize) {
+        let _ = self
+            .shards
+            .set((0..shards).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    /// Sets shard `shard`'s depth. A no-op before [`register`] or for
+    /// an out-of-range shard — recording must never panic.
+    ///
+    /// [`register`]: QueueDepthGauge::register
+    #[inline]
+    pub fn set(&self, shard: usize, depth: u64) {
+        if let Some(slots) = self.shards.get() {
+            if let Some(slot) = slots.get(shard) {
+                slot.store(depth, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current depth of shard `shard`; `None` before registration or
+    /// out of range.
+    pub fn get(&self, shard: usize) -> Option<u64> {
+        self.shards
+            .get()
+            .and_then(|slots| slots.get(shard))
+            .map(|slot| slot.load(Ordering::Relaxed))
+    }
+
+    /// Registered shard count (0 before registration).
+    pub fn shard_count(&self) -> usize {
+        self.shards.get().map(|slots| slots.len()).unwrap_or(0)
+    }
+}
+
 /// The engine-facing metric family: submission counters, rejection
 /// counters by [`RejectReason`], backpressure stalls, and latency /
 /// queue-wait histograms.
@@ -80,6 +141,9 @@ pub struct MetricsRegistry {
     /// [`STAGE_SPANS`] entry (dispatch, enqueue, queue, decide,
     /// delivery), nanoseconds.
     pub stage_durations: [AtomicHistogram; STAGE_SPANS.len()],
+    /// Jobs currently queued per shard ingestion ring (gauge; sized by
+    /// the engine at startup via [`QueueDepthGauge::register`]).
+    pub queue_depth: QueueDepthGauge,
 }
 
 impl MetricsRegistry {
@@ -105,6 +169,7 @@ impl MetricsRegistry {
                 AtomicHistogram::new(),
                 AtomicHistogram::new(),
             ],
+            queue_depth: QueueDepthGauge::new(),
         }
     }
 
@@ -260,6 +325,24 @@ impl MetricsRegistry {
             labels,
             &self.queue_wait.snapshot(),
         );
+        if self.queue_depth.shard_count() > 0 {
+            if !out.contains("# TYPE cslack_queue_depth ") {
+                let _ = writeln!(
+                    out,
+                    "# HELP cslack_queue_depth Jobs currently queued in each shard's ingestion ring."
+                );
+                let _ = writeln!(out, "# TYPE cslack_queue_depth gauge");
+            }
+            for shard in 0..self.queue_depth.shard_count() {
+                let id = shard.to_string();
+                let _ = writeln!(
+                    out,
+                    "cslack_queue_depth{} {}",
+                    label_set(Some(("shard", &id))),
+                    self.queue_depth.get(shard).unwrap_or(0)
+                );
+            }
+        }
         counter(
             out,
             "cslack_flight_dropped_total",
@@ -485,6 +568,37 @@ mod tests {
         assert_eq!(out.matches("# TYPE cslack_decision_latency_ns ").count(), 1);
         // Labeled pages carry no span series (process-wide state).
         assert!(!out.contains("cslack_span_duration_ns"));
+    }
+
+    #[test]
+    fn queue_depth_gauge_registers_once_and_renders_per_shard() {
+        let r = MetricsRegistry::enabled();
+        // Unregistered: silent no-op sets, no family in the exposition.
+        r.queue_depth.set(0, 99);
+        assert_eq!(r.queue_depth.get(0), None);
+        assert!(!r.render_prometheus().contains("cslack_queue_depth"));
+
+        r.queue_depth.register(3);
+        r.queue_depth.set(0, 5);
+        r.queue_depth.set(2, 11);
+        r.queue_depth.set(7, 1); // out of range: ignored
+        assert_eq!(r.queue_depth.get(0), Some(5));
+        assert_eq!(r.queue_depth.get(1), Some(0));
+        assert_eq!(r.queue_depth.get(7), None);
+
+        // First registration wins; a second engine cannot shrink it.
+        r.queue_depth.register(1);
+        assert_eq!(r.queue_depth.shard_count(), 3);
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE cslack_queue_depth gauge"));
+        assert!(text.contains("cslack_queue_depth{shard=\"0\"} 5"));
+        assert!(text.contains("cslack_queue_depth{shard=\"1\"} 0"));
+        assert!(text.contains("cslack_queue_depth{shard=\"2\"} 11"));
+
+        let mut out = String::new();
+        r.render_prometheus_into(&mut out, &[("tenant", "alpha")]);
+        assert!(out.contains("cslack_queue_depth{tenant=\"alpha\",shard=\"2\"} 11"));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod loadgen;
 pub mod proto;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use cslack_engine::{Engine, EngineConfig, FlightConfig, ObsConfig, ShardState, SubmitError};
+use cslack_engine::{
+    Engine, EngineConfig, FlightConfig, IngestConfig, ObsConfig, ShardState, SubmitError,
+};
 use cslack_kernel::{Job, JobId, Time};
 use cslack_obs::flight::StampedDecision;
 use cslack_obs::timeline::{ClockBase, Stage, TimelineStamps};
@@ -72,6 +74,9 @@ pub struct TenantSpec {
     pub queue_capacity: usize,
     /// Engine per-wakeup batch size.
     pub batch_size: usize,
+    /// Ingestion plane: transport (ring vs legacy channel), ring
+    /// capacity override, and worker CPU pinning.
+    pub ingest: IngestConfig,
     /// Chaos hook: wrap shard 0's scheduler in a
     /// [`FaultyScheduler`] with this spec.
     pub fault: Option<FaultSpec>,
@@ -92,6 +97,7 @@ impl TenantSpec {
             flight_capacity: 1 << 16,
             queue_capacity: 1024,
             batch_size: 64,
+            ingest: IngestConfig::default(),
             fault: None,
         }
     }
@@ -190,16 +196,17 @@ impl Tenant {
         config.queue_capacity = spec.queue_capacity;
         config.batch_size = spec.batch_size;
         let (algo, eps, seed, fault) = (spec.algo, spec.eps, spec.seed, spec.fault);
-        let engine = Engine::start_observed(spec.m, config, obs, move |shard, group| {
-            let inner = algo.build(group, eps, seed.wrapping_add(shard as u64));
-            // Chaos targets shard 0 only, so a degraded tenant still
-            // has healthy shards to demonstrate isolation with.
-            match fault {
-                Some(spec) if shard == 0 => Box::new(FaultyScheduler::new(inner, spec)),
-                _ => inner,
-            }
-        })
-        .map_err(|e| format!("tenant `{}`: {e}", spec.name))?;
+        let engine =
+            Engine::start_with_ingest(spec.m, config, spec.ingest, obs, move |shard, group| {
+                let inner = algo.build(group, eps, seed.wrapping_add(shard as u64));
+                // Chaos targets shard 0 only, so a degraded tenant still
+                // has healthy shards to demonstrate isolation with.
+                match fault {
+                    Some(spec) if shard == 0 => Box::new(FaultyScheduler::new(inner, spec)),
+                    _ => inner,
+                }
+            })
+            .map_err(|e| format!("tenant `{}`: {e}", spec.name))?;
         let pending: Arc<Mutex<HashMap<u32, Sender<Frame>>>> = Arc::new(Mutex::new(HashMap::new()));
         let dispatcher = {
             let pending = Arc::clone(&pending);
@@ -309,23 +316,30 @@ impl Tenant {
         match guard.as_ref() {
             Some(engine) => {
                 stamps.set(Stage::Dispatch, engine.clock().now_ns());
-                for (job, result) in valid
-                    .iter()
-                    .zip(engine.submit_batch_stamped(&valid, stamps))
-                {
-                    let code = match result {
-                        Ok(()) => continue,
-                        Err(SubmitError::ShardFailed(_)) => RejectCode::ShardFailed,
-                        Err(_) => RejectCode::Closed,
-                    };
-                    // The job never reached a queue; the decision
-                    // stream will not answer for it.
-                    self.pending.lock().remove(&job.id.0);
-                    replies.push(Frame::Reject {
-                        job: Some(job.id.0),
-                        code,
-                        detail: "not enqueued".into(),
-                    });
+                // The compact path: the all-enqueued case (every batch
+                // in steady state) returns a count and never allocates;
+                // only actual failures materialize as errors, each
+                // carrying its job back to us.
+                let mut failures = Vec::new();
+                engine.submit_batch_stamped_into(&valid, stamps, &mut failures);
+                if !failures.is_empty() {
+                    let mut pending = self.pending.lock();
+                    for err in failures {
+                        let (job, code) = match err {
+                            SubmitError::ShardFailed(job) => (job, RejectCode::ShardFailed),
+                            SubmitError::Full(job) | SubmitError::Closed(job) => {
+                                (job, RejectCode::Closed)
+                            }
+                        };
+                        // The job never reached a queue; the decision
+                        // stream will not answer for it.
+                        pending.remove(&job.id.0);
+                        replies.push(Frame::Reject {
+                            job: Some(job.id.0),
+                            code,
+                            detail: "not enqueued".into(),
+                        });
+                    }
                 }
             }
             None => {
