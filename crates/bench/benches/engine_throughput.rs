@@ -18,7 +18,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cslack_algorithms::threshold::{RankingMode, ThresholdEngine, ThresholdPolicy};
 use cslack_algorithms::{OnlineScheduler, Threshold};
-use cslack_engine::{Engine, EngineConfig, EngineReport, FlightConfig, ObsConfig};
+use cslack_engine::{
+    Engine, EngineConfig, EngineReport, FlightConfig, ObsConfig, ObservatoryConfig,
+};
 use cslack_kernel::Instance;
 use cslack_obs::MetricsRegistry;
 use cslack_workloads::WorkloadSpec;
@@ -53,6 +55,12 @@ fn flight_only() -> bool {
     std::env::var("CSLACK_BENCH_FLIGHT_ONLY").is_ok_and(|v| v == "1")
 }
 
+/// `CSLACK_BENCH_OBS_ONLY=1` runs the full-size observability artifact
+/// (baseline generation) without the criterion sweep.
+fn obs_only() -> bool {
+    std::env::var("CSLACK_BENCH_OBS_ONLY").is_ok_and(|v| v == "1")
+}
+
 fn run_engine(instance: &Instance, shards: usize, obs: ObsConfig) -> EngineReport {
     let builder =
         |_shard: usize, g: usize| -> Box<dyn OnlineScheduler> { Box::new(Threshold::new(g, EPS)) };
@@ -68,6 +76,7 @@ fn engine_throughput(c: &mut Criterion) {
     if quick_mode() {
         write_refactor_artifact();
         write_flight_artifact();
+        write_obs_artifact();
         return;
     }
     if refactor_only() {
@@ -76,6 +85,10 @@ fn engine_throughput(c: &mut Criterion) {
     }
     if flight_only() {
         write_flight_artifact();
+        return;
+    }
+    if obs_only() {
+        write_obs_artifact();
         return;
     }
     let instance = bench_workload();
@@ -112,7 +125,7 @@ fn engine_throughput(c: &mut Criterion) {
     }
     group.finish();
 
-    write_obs_artifact(&instance);
+    write_obs_artifact();
     write_refactor_artifact();
     write_flight_artifact();
 }
@@ -148,28 +161,67 @@ struct ObsArtifact {
     rounds: usize,
     /// Baseline: no registry, no trace.
     dark: ObsSide,
-    /// Live enabled `MetricsRegistry`, no trace — the steady-state
-    /// monitoring configuration. Budget: < 5% below `dark`.
+    /// Live enabled `MetricsRegistry` (cumulative counters plus the
+    /// windowed bucket-ring panel it now registers), no trace — the
+    /// steady-state monitoring configuration. Budget: < 5% below
+    /// `dark`.
     registry: ObsSide,
     /// Registry plus a decision-trace ring holding the whole run — the
     /// debugging configuration (pays one event struct per decision).
     full_trace: ObsSide,
+    /// Registry + flight ring + the quality observatory thread scoring
+    /// release windows with the flow relaxation while the run is live —
+    /// the full quality-tracking configuration.
+    observatory: ObsSide,
     /// Relative throughput cost of `registry` vs `dark`, percent
     /// (positive = slower). Best round on each side.
     registry_overhead_pct: f64,
     /// Relative throughput cost of `full_trace` vs `dark`, percent.
     full_trace_overhead_pct: f64,
+    /// Incremental cost of the quality layer: observatory + window
+    /// scoring on vs off, atop the identical registry + flight
+    /// configuration it rides on. Median of per-pair ratios over
+    /// back-to-back (off, on) pairs — same denoising as the flight
+    /// artifact. Budget: < 2% (the observatory runs off the hot path;
+    /// workers only pay the flight stores both sides already pay).
+    observatory_overhead_pct: f64,
+    /// Aggregate release windows the observatory scored during the
+    /// measured run (must be > 0 for the comparison to mean anything).
+    observatory_windows_closed: u64,
 }
 
-/// Measures the observability tax outside criterion (best-of-`rounds`
-/// on each side to denoise) and writes `BENCH_obs.json` at the
-/// workspace root.
-fn write_obs_artifact(instance: &Instance) {
+/// Measures the observability tax outside criterion and writes
+/// `BENCH_obs.json` (override with `CSLACK_BENCH_OBS_OUT`). The
+/// cumulative sides are best-of-`rounds`; the observatory increment is
+/// a median of back-to-back pair ratios. `CSLACK_BENCH_QUICK=1`
+/// shrinks the workload for the CI smoke/gate.
+fn write_obs_artifact() {
+    let (n, rounds) = if quick_mode() { (2_000, 5) } else { (N, 31) };
     let shards = 4;
-    let rounds = 5;
+    let instance = WorkloadSpec::default_spec(M, EPS, n, 42)
+        .generate()
+        .expect("obs workload");
+    // ~16 release-time units per window: a Poisson(m) arrival stream
+    // closes a window every ~128 jobs, so even the quick run scores
+    // double-digit windows.
+    let observatory_obs = || {
+        let registry = Arc::new(MetricsRegistry::enabled());
+        let obs = ObsConfig {
+            registry: Some(Arc::clone(&registry)),
+            flight: Some(FlightConfig::new(n.div_ceil(shards), "threshold", EPS, 42)),
+            observatory: Some(ObservatoryConfig::new(16.0)),
+            ..ObsConfig::default()
+        };
+        (registry, obs)
+    };
+    let observatory_base = || ObsConfig {
+        registry: Some(Arc::new(MetricsRegistry::enabled())),
+        flight: Some(FlightConfig::new(n.div_ceil(shards), "threshold", EPS, 42)),
+        ..ObsConfig::default()
+    };
     let best = |mk_obs: &dyn Fn() -> ObsConfig| -> EngineReport {
         (0..rounds)
-            .map(|_| run_engine(instance, shards, mk_obs()))
+            .map(|_| run_engine(&instance, shards, mk_obs()))
             .max_by(|a, b| {
                 a.metrics
                     .decisions_per_sec
@@ -184,9 +236,35 @@ fn write_obs_artifact(instance: &Instance) {
     });
     let full_trace = best(&|| ObsConfig {
         registry: Some(Arc::new(MetricsRegistry::enabled())),
-        trace_capacity: N,
+        trace_capacity: n,
         ..ObsConfig::default()
     });
+    // Warm both observatory sides, then run them back to back so
+    // machine-load drift cancels within each pair.
+    run_engine(&instance, shards, observatory_base());
+    run_engine(&instance, shards, observatory_obs().1);
+    let mut pair_taxes = Vec::with_capacity(rounds);
+    let mut observatory_runs = Vec::with_capacity(rounds);
+    let mut windows_closed = 0u64;
+    for _ in 0..rounds {
+        let base = run_engine(&instance, shards, observatory_base());
+        let (obs_registry, obs_cfg) = observatory_obs();
+        let on = run_engine(&instance, shards, obs_cfg);
+        windows_closed = windows_closed.max(obs_registry.quality.windows_closed.get());
+        pair_taxes.push(
+            1.0 - on.metrics.decisions_per_sec
+                / base.metrics.decisions_per_sec.max(f64::MIN_POSITIVE),
+        );
+        observatory_runs.push(on);
+    }
+    pair_taxes.sort_by(|a, b| a.total_cmp(b));
+    let observatory_tax = pair_taxes[pair_taxes.len() / 2];
+    observatory_runs.sort_by(|a, b| {
+        a.metrics
+            .decisions_per_sec
+            .total_cmp(&b.metrics.decisions_per_sec)
+    });
+    let observatory = observatory_runs.remove(observatory_runs.len() / 2);
     let overhead = |side: &EngineReport| -> f64 {
         100.0 * (dark.metrics.decisions_per_sec - side.metrics.decisions_per_sec)
             / dark.metrics.decisions_per_sec.max(f64::MIN_POSITIVE)
@@ -194,25 +272,33 @@ fn write_obs_artifact(instance: &Instance) {
     let artifact = ObsArtifact {
         m: M,
         eps: EPS,
-        n: N,
+        n,
         shards,
         rounds,
         registry_overhead_pct: overhead(&registry),
         full_trace_overhead_pct: overhead(&full_trace),
+        observatory_overhead_pct: 100.0 * observatory_tax,
+        observatory_windows_closed: windows_closed,
         dark: ObsSide::from_report(&dark),
         registry: ObsSide::from_report(&registry),
         full_trace: ObsSide::from_report(&full_trace),
+        observatory: ObsSide::from_report(&observatory),
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let path = std::env::var("CSLACK_BENCH_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_string()
+    });
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
-    std::fs::write(path, json + "\n").expect("write BENCH_obs.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_obs.json");
     println!(
-        "observability tax vs dark {:.0}/s: registry {:+.2}%, registry+trace {:+.2}%; p99 {} ns -> {} ns [BENCH_obs.json]",
+        "observability tax vs dark {:.0}/s: registry {:+.2}%, registry+trace {:+.2}%; observatory increment {:+.2}% ({} windows); p99 {} ns -> {} ns [{}]",
         artifact.dark.decisions_per_sec,
         artifact.registry_overhead_pct,
         artifact.full_trace_overhead_pct,
+        artifact.observatory_overhead_pct,
+        artifact.observatory_windows_closed,
         artifact.dark.latency_p99_ns,
         artifact.registry.latency_p99_ns,
+        path,
     );
 }
 

@@ -37,7 +37,7 @@ USAGE:
                    [--trace-out <jsonl>] [--trace-cap <int>]
                    [--metrics-out <json>] [--prom-out <txt>] [--spans]
                    [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
-                   [--serve-metrics <addr>] [--hold <secs>]
+                   [--serve-metrics <addr>] [--hold <secs>] [--window <float>]
                    [--inject <kind>@<n>] [--crash-out <cfr>]
   cslack serve     --tenants name:m:eps[:algo[:shards[:seed]]][,name2:...]
                    [--listen <addr>] [--telemetry <addr>] [--inflight <int>]
@@ -54,6 +54,10 @@ USAGE:
   cslack audit     <run.cfr> [--json]
   cslack latency   (<run.cfr> | --url http://<addr>/flight/snapshot[?tenant=NAME])
                    [--top <int>] [--json]
+                   [--follow [--every <secs>] [--polls <int>]]
+  cslack watch     (--url http://<addr>/metrics | <run.cfr>)
+                   [--every <secs>] [--once] [--json]
+                   [--window <float>] [--max-window-jobs <int>]
   cslack adversary --algo <name> --m <int> --eps <float> [--beta <float>]
   cslack opt       --trace <file> [--exact-limit <int>]
   cslack import-swf --file <swf> --m <int> --eps <float> --out <file>
@@ -323,11 +327,21 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         cfg.snapshot_on_error = crash_out.map(std::path::PathBuf::from);
         cfg
     });
+    // The quality observatory needs a flight ring to drain and a
+    // registry to publish into; when both are on (any metrics output or
+    // a telemetry endpoint), score release windows live so `/metrics`
+    // carries `cslack_empirical_ratio` for `cslack watch`. `--window 0`
+    // disables it.
+    let window: f64 = opts.get_or("window", 16.0)?;
+    let observatory =
+        (flight_capacity > 0 && (registry.is_some() || serve_metrics.is_some()) && window > 0.0)
+            .then(|| cslack_engine::ObservatoryConfig::new(window));
     let obs = ObsConfig {
         registry: registry.clone(),
         trace_capacity,
         flight,
         serve_metrics,
+        observatory,
         ..ObsConfig::default()
     };
 
@@ -692,7 +706,7 @@ pub fn loadgen(opts: &Opts) -> Result<(), String> {
 }
 
 /// Reads and checksums a `.cfr` flight recording.
-fn read_cfr_file(path: &str) -> Result<cslack_obs::FlightSnapshot, String> {
+pub(crate) fn read_cfr_file(path: &str) -> Result<cslack_obs::FlightSnapshot, String> {
     let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
     cslack_obs::FlightSnapshot::read_cfr(&mut file)
 }
@@ -871,7 +885,7 @@ fn breakdown_rows(b: &StageBreakdown) -> Vec<StageStats> {
 
 /// Minimal HTTP/1.1 GET over plain TCP (std only) — enough to fetch
 /// `/flight/snapshot` from the engine's or server's telemetry endpoint.
-fn http_get_bytes(url: &str) -> Result<Vec<u8>, String> {
+pub(crate) fn http_get_bytes(url: &str) -> Result<Vec<u8>, String> {
     use std::io::{Read as _, Write as _};
     let rest = url
         .strip_prefix("http://")
@@ -903,6 +917,126 @@ fn http_get_bytes(url: &str) -> Result<Vec<u8>, String> {
     Ok(response[split + 4..].to_vec())
 }
 
+/// One stage's row in a `latency --follow` poll: p99 over the
+/// decisions new in this poll, and over the trailing 60 s window.
+#[derive(Serialize)]
+struct FollowStage {
+    stage: &'static str,
+    new_p99_ns: u64,
+    p99_60s_ns: u64,
+}
+
+/// One `latency --follow` poll, emitted as a JSON line with `--json`.
+#[derive(Serialize)]
+struct FollowSample {
+    poll: u64,
+    new_decisions: u64,
+    end_to_end_new: HistogramSummary,
+    end_to_end_60s: HistogramSummary,
+    stages: Vec<FollowStage>,
+}
+
+/// `cslack latency --follow` — re-polls a live `/flight/snapshot`
+/// every `--every` seconds and prints per-stage latency of only the
+/// decisions that are *new* since the previous poll (per-shard `seq`
+/// watermarks), alongside a trailing-60s windowed view fed through the
+/// same bucket rings the engine's window panel uses. Cumulative
+/// since-boot numbers — what repeated plain `latency` calls would show
+/// — never appear.
+fn latency_follow(opts: &Opts) -> Result<(), String> {
+    use cslack_obs::WindowedHistogram;
+    use std::collections::HashMap;
+
+    let url = opts
+        .get("url")
+        .ok_or("`--follow` needs `--url http://<addr>/flight/snapshot`")?;
+    let every: f64 = opts.get_or("every", 2.0)?;
+    if !(every.is_finite() && every > 0.0) {
+        return Err("`--every` must be positive".to_string());
+    }
+    let polls: u64 = opts.get_or("polls", 0)?; // 0 = follow forever
+    let json = opts.flag("json");
+
+    // Trailing-window rings driven by this process's own monotonic
+    // clock: absolute bucket indexing makes the "60s" column an honest
+    // sliding window even though polls arrive in bursts.
+    let start = std::time::Instant::now();
+    let stage_windows: Vec<WindowedHistogram> = STAGE_SPANS
+        .iter()
+        .map(|_| WindowedHistogram::seconds())
+        .collect();
+    let e2e_window = WindowedHistogram::seconds();
+    let mut next_seq: HashMap<u32, u64> = HashMap::new();
+    let mut poll_no = 0u64;
+    loop {
+        poll_no += 1;
+        let body = http_get_bytes(url)?;
+        let snap = cslack_obs::FlightSnapshot::read_cfr(&mut body.as_slice())?;
+        let now_ns = start.elapsed().as_nanos() as u64;
+        let mut delta = StageBreakdown::new();
+        for block in &snap.shards {
+            let watermark = next_seq.entry(block.shard).or_insert(0);
+            for event in &block.events {
+                if let FlightEvent::Decision(d) = event {
+                    if d.seq < *watermark {
+                        continue;
+                    }
+                    *watermark = d.seq + 1;
+                    delta.record(&d.stamps);
+                    for (i, &(_, from, to)) in STAGE_SPANS.iter().enumerate() {
+                        if let Some(ns) = d.stamps.span(from, to) {
+                            stage_windows[i].record(now_ns, ns);
+                        }
+                    }
+                    if let Some(e2e) = d.stamps.server_end_to_end() {
+                        e2e_window.record(now_ns, e2e);
+                    }
+                }
+            }
+        }
+        let sample = FollowSample {
+            poll: poll_no,
+            new_decisions: delta.stamped + delta.unstamped,
+            end_to_end_new: delta.end_to_end.summary(),
+            end_to_end_60s: e2e_window.aggregate_last(now_ns, 60).summary(),
+            stages: STAGE_SPANS
+                .iter()
+                .zip(delta.spans.iter())
+                .zip(stage_windows.iter())
+                .map(|((&(name, _, _), new_h), win)| FollowStage {
+                    stage: name,
+                    new_p99_ns: new_h.summary().p99_ns,
+                    p99_60s_ns: win.aggregate_last(now_ns, 60).summary().p99_ns,
+                })
+                .collect(),
+        };
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&sample).map_err(|e| e.to_string())?
+            );
+        } else {
+            let stages = sample
+                .stages
+                .iter()
+                .map(|s| format!("{} {}/{}", s.stage, s.new_p99_ns, s.p99_60s_ns))
+                .collect::<Vec<_>>()
+                .join("  ");
+            println!(
+                "poll {} (+{} new)  e2e p99 {}/{} ns  [stage p99 new/60s ns] {stages}",
+                sample.poll,
+                sample.new_decisions,
+                sample.end_to_end_new.p99_ns,
+                sample.end_to_end_60s.p99_ns,
+            );
+        }
+        if polls != 0 && poll_no >= polls {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(every));
+    }
+}
+
 /// `cslack latency` — the stage-resolved waterfall of a run. Reads a
 /// `.cfr` flight recording (positional or `--in`) or fetches a live
 /// one from a telemetry endpoint (`--url
@@ -910,7 +1044,11 @@ fn http_get_bytes(url: &str) -> Result<Vec<u8>, String> {
 /// p50/p90/p99/p999 overall and per shard, plus the `--top` slowest
 /// jobs with their complete timelines. Pre-v2 recordings degrade to an
 /// explicit "no timeline data" note instead of an empty waterfall.
+/// With `--follow`, switches to the windowed live poller instead.
 pub fn latency(opts: &Opts) -> Result<(), String> {
+    if opts.flag("follow") {
+        return latency_follow(opts);
+    }
     let top: usize = opts.get_or("top", 5)?;
     let (source, snap) = match opts.get("url") {
         Some(url) => {

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 mod args;
 mod cmd;
+mod watch;
 
 fn main() -> ExitCode {
     // Pin the uptime base before any work so every subcommand's
@@ -25,13 +26,13 @@ fn main() -> ExitCode {
         eprintln!("{}", cmd::USAGE);
         return ExitCode::FAILURE;
     };
-    // `trace-summary`, `replay`, `audit` and `latency` take their input
-    // file as a positional argument (`cslack replay run.cfr`); rewrite
-    // it to `--in`.
+    // `trace-summary`, `replay`, `audit`, `latency` and `watch` take
+    // their input file as a positional argument (`cslack replay
+    // run.cfr`); rewrite it to `--in`.
     let mut rest: Vec<String> = rest.to_vec();
     if matches!(
         command.as_str(),
-        "trace-summary" | "replay" | "audit" | "latency"
+        "trace-summary" | "replay" | "audit" | "latency" | "watch"
     ) {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
@@ -48,6 +49,8 @@ fn main() -> ExitCode {
             "exit-when-drained",
             "no-drain",
             "pin-workers",
+            "once",
+            "follow",
         ],
     ) {
         Ok(opts) => opts,
@@ -68,6 +71,7 @@ fn main() -> ExitCode {
         "replay" => cmd::replay(&opts),
         "audit" => cmd::audit(&opts),
         "latency" => cmd::latency(&opts),
+        "watch" => watch::watch(&opts),
         "adversary" => cmd::adversary(&opts),
         "opt" => cmd::opt(&opts),
         "import-swf" => cmd::import_swf(&opts),

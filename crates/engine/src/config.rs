@@ -1,5 +1,6 @@
 //! Engine tuning and observability configuration types.
 
+use crate::observatory::ObservatoryConfig;
 use crossbeam::channel::Sender;
 use cslack_obs::flight::StampedDecision;
 use cslack_obs::timeline::ClockBase;
@@ -153,6 +154,15 @@ pub struct ObsConfig {
     /// engine rather than silently losing decisions, so use an
     /// unbounded channel unless that backpressure is wanted.
     pub decisions: Option<Sender<StampedDecision>>,
+    /// Quality-observatory wiring: a background thread slicing the
+    /// flight-recorded decision stream into release-time windows and
+    /// scoring each against the max-flow OPT bound — the
+    /// `cslack_empirical_ratio` gauges. Needs both a flight recorder
+    /// ([`ObsConfig::flight`]) to read decisions from and a registry to
+    /// publish into (one is created automatically when
+    /// [`ObsConfig::serve_metrics`] is set); with either missing the
+    /// knob is ignored. `None` (the default) runs no observatory.
+    pub observatory: Option<ObservatoryConfig>,
     /// The monotonic clock base timeline stamps are measured against.
     /// An embedding process that stamps hops *outside* the engine (the
     /// cslack server stamps frame decode and dispatch, and every tenant

@@ -7,6 +7,7 @@ use crate::error::{EngineError, FailureKind, ShardFailure};
 use crate::flight_state::FlightState;
 use crate::health::{HealthState, ShardHealth};
 use crate::machine_groups;
+use crate::observatory::{spawn_observatory, ObservatoryHandle};
 use crate::queue::{IngestRing, QueueMsg, RingConsumer, ShardQueue, ShardSource};
 use crate::report::{EngineMetrics, EngineReport, ShardMetrics, ShardOutcome};
 use crate::telemetry::{serve_telemetry, TelemetryHandle, TelemetryShared};
@@ -52,6 +53,7 @@ pub struct Engine {
     pub(crate) health: Arc<HealthState>,
     pub(crate) flight: Option<Arc<FlightState>>,
     pub(crate) telemetry: Option<TelemetryHandle>,
+    pub(crate) observatory: Option<ObservatoryHandle>,
     /// Shared monotonic base for every timeline stamp (submit paths
     /// stamp `Enqueue` here; workers stamp `Dequeue`/`Decide`).
     pub(crate) clock: Arc<ClockBase>,
@@ -150,6 +152,12 @@ impl Engine {
             .clock
             .clone()
             .unwrap_or_else(|| Arc::new(ClockBase::new()));
+        if let Some(reg) = &obs.registry {
+            // Arm the rolling-window panel on the same clock the
+            // timeline stamps use, so window buckets and stage spans
+            // share one time axis.
+            reg.windows.register(Arc::clone(&clock));
+        }
         // Bind the telemetry listener before spawning workers so a bad
         // address fails the start instead of leaking shard threads.
         let telemetry = match obs.serve_metrics {
@@ -181,6 +189,34 @@ impl Engine {
                 })
             }
             None => None,
+        };
+        // The quality observatory needs decisions to read (the flight
+        // rings) and somewhere to publish (the registry); with either
+        // missing the knob is inert. Spawned only after the fallible
+        // telemetry bind so an early error return leaks no thread.
+        let observatory = match (&obs.observatory, &flight, &obs.registry) {
+            (Some(ocfg), Some(fl), Some(reg)) if ocfg.window > 0.0 => {
+                // The alert floor comes from the paper's guarantee: an
+                // algorithm meeting c(eps, m) keeps every window's
+                // ratio above floor_fraction / c at fraction 1.0.
+                let eps = fl.cfg.eps;
+                let c = if eps > 0.0 {
+                    cslack_ratio::RatioFn::new(m).eval(eps).c
+                } else {
+                    1.0
+                };
+                reg.quality
+                    .register(config.shards, ocfg.window, ocfg.floor_fraction / c);
+                let group_sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+                Some(spawn_observatory(
+                    ocfg.clone(),
+                    m,
+                    group_sizes,
+                    Arc::clone(fl),
+                    Arc::clone(reg),
+                ))
+            }
+            _ => None,
         };
         // Pin targets wrap around the host's CPUs: more shards than
         // cores shares cores rather than failing.
@@ -243,6 +279,7 @@ impl Engine {
             health,
             flight,
             telemetry,
+            observatory,
             clock,
         })
     }
@@ -369,6 +406,11 @@ impl Engine {
             outcomes.push(outcome);
             groups.push(shard.machines);
         }
+        // Every worker has exited, so the flight rings are final: stop
+        // the observatory, whose last poll + drain scores and publishes
+        // every window still open before the gauges are read below or
+        // by a post-finish scrape of a shared registry.
+        self.stop_observatory();
         // Drop the decision-stream sender now that every worker has
         // exited: subscribers treat the channel close as the drain
         // signal, and it must fire before the (possibly slow) merge and
@@ -515,6 +557,16 @@ impl Engine {
             let _ = t.join.join();
         }
     }
+
+    /// Stops the quality observatory and joins its thread; its final
+    /// drain closes and publishes every window still open. Idempotent;
+    /// called once the workers are joined (so the flight rings are
+    /// final) in both [`Engine::finish`] and `Drop`.
+    fn stop_observatory(&mut self) {
+        if let Some(mut o) = self.observatory.take() {
+            o.stop();
+        }
+    }
 }
 
 impl Drop for Engine {
@@ -532,6 +584,7 @@ impl Drop for Engine {
                 let _ = join.join();
             }
         }
+        self.stop_observatory();
         if let Some(t) = self.telemetry.take() {
             t.stop.store(true, Ordering::Relaxed);
             let _ = t.join.join();

@@ -103,6 +103,7 @@ mod engine;
 mod error;
 mod flight_state;
 mod health;
+mod observatory;
 mod pin;
 pub(crate) mod queue;
 mod report;
@@ -118,6 +119,7 @@ pub use config::{
 pub use engine::Engine;
 pub use error::{EngineError, FailureKind, ShardFailure, SubmitError};
 pub use health::{ShardHealth, ShardState};
+pub use observatory::{window_quality, ObservatoryConfig, WindowQuality};
 pub use report::{EngineMetrics, EngineReport, LatencyStats, ShardMetrics};
 
 /// Deterministic shard routing: the shard a job is offered to.

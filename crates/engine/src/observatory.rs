@@ -1,0 +1,500 @@
+//! The quality observatory: a background thread that slices the
+//! flight-recorded decision stream into release-time windows, scores
+//! each closed window against the max-flow OPT relaxation
+//! ([`cslack_opt::flow`]) **off the hot path**, and publishes the
+//! results as `cslack_window_admitted_load` /
+//! `cslack_window_opt_upper_bound` / `cslack_empirical_ratio` gauges
+//! through the registry's [`QualityPanel`](cslack_obs::QualityPanel).
+//!
+//! ## How windows close
+//!
+//! The observatory polls each shard's lock-free flight ring
+//! ([`SharedFlightRing::snapshot_events`](cslack_obs::SharedFlightRing::snapshot_events))
+//! and keeps a per-shard `seq` watermark, so every decision is consumed
+//! exactly once (records the ring overwrote before a poll are simply
+//! missed — quality tracking is best-effort by design and never stalls
+//! a worker). Decisions are bucketed by `floor(release / window)`.
+//! Workload generators emit jobs in release order and the engine
+//! preserves per-shard arrival order, so when a shard produces a
+//! decision in window `w` every window `< w` it still holds is
+//! complete: the shard's slice is scored (admitted load vs the flow
+//! bound over the shard's machine group) and folded into the aggregate
+//! window. The aggregate publishes once **every** shard's watermark has
+//! passed it — and unconditionally at the final drain, which runs after
+//! the workers have joined, so idle shards can only delay a window's
+//! aggregate, never lose it. A straggler that decides a job for an
+//! already-closed window folds into the aggregate if it has not
+//! published yet and is dropped otherwise.
+//!
+//! ## Alerting
+//!
+//! The empirical ratio is `admitted / bound` (`1.0` for an empty
+//! window: nothing to admit is not a quality failure). The aggregate
+//! ratio is compared against a floor derived from the paper's
+//! guarantee: `floor_fraction / c(eps, m)` — an algorithm meeting its
+//! proven ratio should never alert at `floor_fraction = 1.0`, and
+//! operators tighten the fraction to watch for regressions well above
+//! the proof's worst case. Alerts bump `cslack_ratio_alerts_total`.
+
+use crate::flight_state::FlightState;
+use cslack_obs::flight::FlightEvent;
+use cslack_obs::quality::QualityPanel;
+use cslack_obs::{DecisionEvent, MetricsRegistry};
+use cslack_opt::flow::triples_load_bound;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Quality-observatory knobs ([`ObsConfig::observatory`](crate::ObsConfig::observatory)).
+#[derive(Clone, Debug)]
+pub struct ObservatoryConfig {
+    /// Release-time window width (in the instance's time units) jobs
+    /// are bucketed into. Must be positive; a non-positive width
+    /// disables the observatory.
+    pub window: f64,
+    /// How often the observatory polls the shard flight rings. Each
+    /// poll is a seqlock snapshot per shard — the workers never wait.
+    pub poll: Duration,
+    /// The alert floor as a fraction of the guaranteed ratio: the
+    /// aggregate window alerts when `ratio < floor_fraction / c(eps,
+    /// m)`. `1.0` alerts only below the paper's proven bound.
+    pub floor_fraction: f64,
+    /// Windows holding more jobs than this are scored with the O(n)
+    /// capacity bound `min(total load, m * busy span)` instead of the
+    /// max-flow relaxation, bounding the observatory's CPU burst on
+    /// pathological windows. Both are upper bounds on OPT, so the
+    /// ratio stays a sound lower estimate of quality either way.
+    pub max_window_jobs: usize,
+}
+
+impl ObservatoryConfig {
+    /// An observatory slicing at `window` time units with default
+    /// polling (25ms), the proof-level alert floor, and a 1024-job
+    /// flow-scoring cap.
+    pub fn new(window: f64) -> ObservatoryConfig {
+        ObservatoryConfig {
+            window,
+            poll: Duration::from_millis(25),
+            floor_fraction: 1.0,
+            max_window_jobs: 1024,
+        }
+    }
+}
+
+/// One scored release-time window: what was admitted vs what any
+/// clairvoyant preemptive scheduler could have admitted.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct WindowQuality {
+    /// Window index (`floor(release / window)`).
+    pub index: u64,
+    /// Window start (`index * window`).
+    pub start: f64,
+    /// Window end (exclusive).
+    pub end: f64,
+    /// Decisions whose job released inside the window.
+    pub jobs: usize,
+    /// How many of them were accepted.
+    pub accepted: usize,
+    /// Total processing volume of the accepted jobs.
+    pub admitted_load: f64,
+    /// The max-flow OPT upper bound over every job (accepted or not)
+    /// released in the window.
+    pub opt_bound: f64,
+    /// `admitted_load / opt_bound` (`1.0` for an empty bound).
+    pub ratio: f64,
+}
+
+/// Slices a decision stream into release-time windows of width
+/// `window` and scores each one — the pure core of the observatory,
+/// reused by `cslack watch` on captured `.cfr` files and by the tests
+/// that cross-check the live gauges against an offline recomputation.
+///
+/// Windows are returned in index order; windows no decision released
+/// in are skipped. `m` is the machine count the bound is computed for;
+/// `max_window_jobs` selects the capacity fallback exactly as the live
+/// observatory does (see [`ObservatoryConfig::max_window_jobs`]).
+pub fn window_quality(
+    decisions: &[DecisionEvent],
+    window: f64,
+    m: usize,
+    max_window_jobs: usize,
+) -> Vec<WindowQuality> {
+    if !window.is_finite() || window <= 0.0 || m == 0 {
+        return Vec::new();
+    }
+    let mut buckets: BTreeMap<u64, Bucket> = BTreeMap::new();
+    for d in decisions {
+        let idx = window_index(d.release, window);
+        let b = buckets.entry(idx).or_default();
+        b.push(d);
+    }
+    buckets
+        .into_iter()
+        .map(|(idx, b)| {
+            let bound = score_window(&b.triples, m, max_window_jobs);
+            WindowQuality {
+                index: idx,
+                start: idx as f64 * window,
+                end: (idx + 1) as f64 * window,
+                jobs: b.triples.len(),
+                accepted: b.accepted,
+                admitted_load: b.admitted,
+                opt_bound: bound,
+                ratio: QualityPanel::ratio_of(b.admitted, bound),
+            }
+        })
+        .collect()
+}
+
+/// The window a release time falls into. Non-finite or negative
+/// releases clamp to window 0 so a corrupt record cannot allocate an
+/// absurd index.
+fn window_index(release: f64, window: f64) -> u64 {
+    if !release.is_finite() || release <= 0.0 {
+        return 0;
+    }
+    (release / window).floor() as u64
+}
+
+/// Upper-bounds OPT's admitted load for one window's jobs: the flow
+/// relaxation when the window is small enough, the capacity bound
+/// otherwise.
+fn score_window(triples: &[(f64, f64, f64)], m: usize, max_jobs: usize) -> f64 {
+    if triples.is_empty() {
+        return 0.0;
+    }
+    if triples.len() <= max_jobs {
+        return triples_load_bound(triples, m);
+    }
+    // Capacity fallback: no schedule can exceed the total offered load,
+    // nor run `m` machines for longer than the window's busy span.
+    // Infinite deadlines are capped at `horizon + total load`, matching
+    // the flow relaxation, so the two bounds agree on degenerate input.
+    let total: f64 = triples.iter().map(|t| t.1).sum();
+    let min_r = triples.iter().map(|t| t.0).fold(f64::INFINITY, f64::min);
+    let horizon = triples
+        .iter()
+        .map(|t| if t.2.is_finite() { t.2 } else { t.0 })
+        .fold(min_r, f64::max);
+    let cap = horizon + total;
+    let max_d = triples
+        .iter()
+        .map(|t| if t.2.is_finite() { t.2 } else { cap })
+        .fold(min_r, f64::max);
+    total.min(m as f64 * (max_d - min_r).max(0.0))
+}
+
+/// One open window's accumulator.
+#[derive(Default)]
+struct Bucket {
+    triples: Vec<(f64, f64, f64)>,
+    admitted: f64,
+    accepted: usize,
+}
+
+impl Bucket {
+    fn push(&mut self, d: &DecisionEvent) {
+        self.triples.push((d.release, d.proc_time, d.deadline));
+        if d.accepted {
+            self.admitted += d.proc_time;
+            self.accepted += 1;
+        }
+    }
+
+    fn absorb(&mut self, mut other: Bucket) {
+        self.triples.append(&mut other.triples);
+        self.admitted += other.admitted;
+        self.accepted += other.accepted;
+    }
+}
+
+/// The running observatory thread: stop flag plus join handle.
+pub(crate) struct ObservatoryHandle {
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) join: Option<JoinHandle<()>>,
+}
+
+impl ObservatoryHandle {
+    /// Signals the thread to run its final drain and joins it.
+    /// Idempotent.
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns the observatory thread. `group_sizes[s]` is the machine
+/// count of shard `s`'s group (its per-shard bounds are computed for
+/// that group); `m` is the cluster machine count the aggregate bound
+/// uses.
+pub(crate) fn spawn_observatory(
+    cfg: ObservatoryConfig,
+    m: usize,
+    group_sizes: Vec<usize>,
+    flight: Arc<FlightState>,
+    registry: Arc<MetricsRegistry>,
+) -> ObservatoryHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let join = std::thread::Builder::new()
+        .name("cslack-observatory".to_string())
+        .spawn({
+            let stop = Arc::clone(&stop);
+            move || observe(cfg, m, group_sizes, flight, registry, stop)
+        })
+        .expect("failed to spawn observatory thread");
+    ObservatoryHandle {
+        stop,
+        join: Some(join),
+    }
+}
+
+/// One shard's consumption state.
+struct ShardTracker {
+    /// The next flight `seq` this shard has not consumed yet.
+    next_seq: u64,
+    /// Open windows, keyed by window index.
+    open: BTreeMap<u64, Bucket>,
+    /// Every window `< closed_below` is closed for this shard.
+    closed_below: u64,
+}
+
+/// The observatory loop: poll, close, score, publish; final drain on
+/// stop.
+fn observe(
+    cfg: ObservatoryConfig,
+    m: usize,
+    group_sizes: Vec<usize>,
+    flight: Arc<FlightState>,
+    registry: Arc<MetricsRegistry>,
+    stop: Arc<AtomicBool>,
+) {
+    let shards = group_sizes.len();
+    let mut trackers: Vec<ShardTracker> = (0..shards)
+        .map(|_| ShardTracker {
+            next_seq: 0,
+            open: BTreeMap::new(),
+            closed_below: 0,
+        })
+        .collect();
+    let mut agg: BTreeMap<u64, Bucket> = BTreeMap::new();
+    loop {
+        // Read the flag *before* polling: a poll that started after the
+        // stop request is guaranteed to see every decision the joined
+        // workers wrote, so breaking afterwards loses nothing.
+        let stopping = stop.load(Ordering::Acquire);
+        for s in 0..shards {
+            poll_shard(
+                s,
+                &cfg,
+                group_sizes[s],
+                &flight,
+                &registry,
+                &mut trackers[s],
+                &mut agg,
+            );
+        }
+        publish_ready(&cfg, m, &registry, &trackers, &mut agg);
+        if stopping {
+            break;
+        }
+        std::thread::sleep(cfg.poll);
+    }
+    // Final drain: the engine stops the observatory only after the
+    // workers have joined, so everything still open is complete.
+    for (s, tracker) in trackers.iter_mut().enumerate() {
+        let open = std::mem::take(&mut tracker.open);
+        for (idx, bucket) in open {
+            close_shard_window(&cfg, s, group_sizes[s], &registry, idx, bucket, &mut agg);
+        }
+    }
+    for (idx, bucket) in std::mem::take(&mut agg) {
+        let bound = score_window(&bucket.triples, m, cfg.max_window_jobs);
+        registry
+            .quality
+            .publish_aggregate(idx, bucket.admitted, bound);
+    }
+}
+
+/// Consumes one shard's new flight decisions, closing windows its
+/// stream has moved past.
+fn poll_shard(
+    shard: usize,
+    cfg: &ObservatoryConfig,
+    group_size: usize,
+    flight: &FlightState,
+    registry: &MetricsRegistry,
+    tracker: &mut ShardTracker,
+    agg: &mut BTreeMap<u64, Bucket>,
+) {
+    let (events, _dropped) = flight.rings[shard].snapshot_events();
+    for event in events {
+        let FlightEvent::Decision(d) = event else {
+            continue;
+        };
+        if d.seq < tracker.next_seq {
+            continue;
+        }
+        tracker.next_seq = d.seq + 1;
+        let idx = window_index(d.release, cfg.window);
+        if idx < tracker.closed_below {
+            // A straggler released before the shard's stream moved on:
+            // fold it into the aggregate if that window is still
+            // pending, otherwise the published number stands.
+            if let Some(bucket) = agg.get_mut(&idx) {
+                bucket.push(&d);
+            }
+            continue;
+        }
+        // Releases arrive in non-decreasing order per shard, so every
+        // open window older than this decision's is complete.
+        let done: Vec<u64> = tracker.open.range(..idx).map(|(&i, _)| i).collect();
+        for i in done {
+            let bucket = tracker.open.remove(&i).expect("key from range");
+            close_shard_window(cfg, shard, group_size, registry, i, bucket, agg);
+        }
+        tracker.closed_below = tracker.closed_below.max(idx);
+        tracker.open.entry(idx).or_default().push(&d);
+    }
+}
+
+/// Scores and publishes one shard's closed window, then folds it into
+/// the pending aggregate.
+fn close_shard_window(
+    cfg: &ObservatoryConfig,
+    shard: usize,
+    group_size: usize,
+    registry: &MetricsRegistry,
+    idx: u64,
+    bucket: Bucket,
+    agg: &mut BTreeMap<u64, Bucket>,
+) {
+    let bound = score_window(&bucket.triples, group_size, cfg.max_window_jobs);
+    registry
+        .quality
+        .publish_shard(shard, idx, bucket.admitted, bound);
+    agg.entry(idx).or_default().absorb(bucket);
+}
+
+/// Publishes every aggregate window all shards have moved past.
+fn publish_ready(
+    cfg: &ObservatoryConfig,
+    m: usize,
+    registry: &MetricsRegistry,
+    trackers: &[ShardTracker],
+    agg: &mut BTreeMap<u64, Bucket>,
+) {
+    let ready_below = trackers.iter().map(|t| t.closed_below).min().unwrap_or(0);
+    let done: Vec<u64> = agg.range(..ready_below).map(|(&i, _)| i).collect();
+    for idx in done {
+        let bucket = agg.remove(&idx).expect("key from range");
+        let bound = score_window(&bucket.triples, m, cfg.max_window_jobs);
+        registry
+            .quality
+            .publish_aggregate(idx, bucket.admitted, bound);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    fn decision(seq: u64, release: f64, p: f64, d: f64, accepted: bool) -> DecisionEvent {
+        DecisionEvent {
+            seq,
+            job: seq as u32,
+            shard: 0,
+            release,
+            proc_time: p,
+            deadline: d,
+            candidates: 0,
+            threshold: None,
+            min_load: None,
+            accepted,
+            machine: accepted.then_some(0),
+            start: accepted.then_some(release),
+            reject_reason: None,
+            latency_ns: 0,
+            queue_wait_ns: 0,
+        }
+    }
+
+    #[test]
+    fn windows_partition_by_release() {
+        let decisions = vec![
+            decision(0, 0.5, 1.0, 3.0, true),
+            decision(1, 1.5, 2.0, 6.0, false),
+            decision(2, 2.5, 1.0, 5.0, true),
+        ];
+        let windows = window_quality(&decisions, 2.0, 2, 1024);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[0].jobs, 2);
+        assert_eq!(windows[0].accepted, 1);
+        assert!((windows[0].admitted_load - 1.0).abs() < 1e-12);
+        assert_eq!(windows[1].index, 1);
+        assert_eq!(windows[1].jobs, 1);
+        // Both windows' bounds must cover their admitted load.
+        for w in &windows {
+            assert!(w.opt_bound + 1e-9 >= w.admitted_load);
+            assert!(w.ratio <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_stream_and_degenerate_params_yield_nothing() {
+        assert!(window_quality(&[], 2.0, 2, 1024).is_empty());
+        let d = [decision(0, 1.0, 1.0, 3.0, true)];
+        assert!(window_quality(&d, 0.0, 2, 1024).is_empty());
+        assert!(window_quality(&d, -1.0, 2, 1024).is_empty());
+        assert!(window_quality(&d, 2.0, 0, 1024).is_empty());
+    }
+
+    #[test]
+    fn capacity_fallback_still_upper_bounds_admitted_load() {
+        // 8 unit jobs, all admitted, in one window; cap the flow
+        // scoring at 4 jobs so the fallback path runs.
+        let decisions: Vec<DecisionEvent> = (0..8)
+            .map(|i| decision(i, 0.1 * i as f64, 1.0, 10.0, true))
+            .collect();
+        let windows = window_quality(&decisions, 10.0, 2, 4);
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert!((w.admitted_load - 8.0).abs() < 1e-12);
+        assert!(w.opt_bound + 1e-9 >= w.admitted_load);
+        // The capacity bound is min(total, m * span) = min(8, 2 * 9.3).
+        assert!((w.opt_bound - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_and_flow_agree_on_containment() {
+        // Same stream scored both ways: the flow bound is tighter (or
+        // equal), never larger than the capacity bound.
+        let decisions: Vec<DecisionEvent> = (0..6)
+            .map(|i| decision(i, i as f64, 1.5, i as f64 + 4.0, i % 2 == 0))
+            .collect();
+        let flow = window_quality(&decisions, 100.0, 2, 1024);
+        let cap = window_quality(&decisions, 100.0, 2, 1);
+        assert_eq!(flow.len(), 1);
+        assert_eq!(cap.len(), 1);
+        assert!(flow[0].opt_bound <= cap[0].opt_bound + 1e-9);
+        assert!(flow[0].opt_bound + 1e-9 >= flow[0].admitted_load);
+    }
+
+    #[test]
+    fn nonpositive_releases_clamp_to_window_zero() {
+        let decisions = vec![
+            decision(0, -5.0, 1.0, 3.0, true),
+            decision(1, f64::NAN, 1.0, 3.0, false),
+            decision(2, 0.5, 1.0, 3.0, true),
+        ];
+        let windows = window_quality(&decisions, 2.0, 1, 1024);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[0].jobs, 3);
+    }
+}

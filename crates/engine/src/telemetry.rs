@@ -10,7 +10,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The running telemetry endpoint: its bound address, the stop flag the
 /// accept loop polls, and the thread to join on shutdown.
@@ -26,6 +26,42 @@ pub(crate) struct TelemetryShared {
     pub(crate) flight: Option<Arc<FlightState>>,
     pub(crate) health: Arc<HealthState>,
     pub(crate) endpoints: TelemetryEndpoints,
+}
+
+/// How long a rendered `/metrics` page is reused before the exposition
+/// is rebuilt. Scrape storms (several Prometheus replicas, a dashboard
+/// *and* an alerter on short intervals) then cost one render per TTL
+/// instead of one per request; staleness is bounded far below any sane
+/// scrape interval.
+const SCRAPE_CACHE_TTL: Duration = Duration::from_millis(250);
+
+/// The rendered-page cache for `/metrics`. The telemetry thread handles
+/// connections inline, so the cache is plain mutable state — no lock.
+pub(crate) struct ScrapeCache {
+    page: Vec<u8>,
+    rendered_at: Option<Instant>,
+}
+
+impl ScrapeCache {
+    pub(crate) fn new() -> ScrapeCache {
+        ScrapeCache {
+            page: Vec::new(),
+            rendered_at: None,
+        }
+    }
+
+    /// The current page, re-rendered via `render` only when the cached
+    /// copy is older than [`SCRAPE_CACHE_TTL`].
+    pub(crate) fn page(&mut self, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+        let fresh = self
+            .rendered_at
+            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL);
+        if !fresh {
+            self.page = render();
+            self.rendered_at = Some(Instant::now());
+        }
+        self.page.clone()
+    }
 }
 
 /// Accept loop of the telemetry endpoint: nonblocking accept polled
@@ -45,11 +81,12 @@ pub(crate) fn serve_telemetry(
     const IDLE_POLL: Duration = Duration::from_millis(5);
     const MAX_BACKOFF: Duration = Duration::from_millis(500);
     let mut backoff = IDLE_POLL;
+    let mut cache = ScrapeCache::new();
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 backoff = IDLE_POLL;
-                let _ = handle_telemetry_request(stream, &shared);
+                let _ = handle_telemetry_request(stream, &shared, &mut cache);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 backoff = IDLE_POLL;
@@ -93,6 +130,7 @@ fn read_request_head(stream: &mut TcpStream, limit: usize) -> std::io::Result<Ve
 fn handle_telemetry_request(
     mut stream: TcpStream,
     shared: &TelemetryShared,
+    cache: &mut ScrapeCache,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
@@ -115,11 +153,17 @@ fn handle_telemetry_request(
         "/metrics" if !shared.endpoints.metrics => disabled_404,
         "/healthz" if !shared.endpoints.healthz => disabled_404,
         "/flight/snapshot" if !shared.endpoints.flight => disabled_404,
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            shared.registry.render_prometheus().into_bytes(),
-        ),
+        "/metrics" => {
+            // Every request counts as a scrape, served from cache or
+            // not — the counter tracks client demand, the cache bounds
+            // render cost.
+            cslack_obs::metrics::count_scrape();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                cache.page(|| shared.registry.render_prometheus().into_bytes()),
+            )
+        }
         "/healthz" => {
             let health = shared.health.snapshot();
             let any_failed = health.iter().any(|h| h.state == ShardState::Failed);

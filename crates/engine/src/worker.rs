@@ -114,6 +114,17 @@ impl RegistryDelta {
             hist.merge_histogram(delta);
         }
         reg.flight_dropped.add(self.flight_dropped);
+        // The same batch delta feeds the rolling-window panel: one call
+        // per flush (not per decision), so the windowed gauges cost the
+        // hot path nothing beyond this mutex-guarded fold.
+        reg.windows.record_batch(
+            self.submitted,
+            self.accepted,
+            &self.rejected,
+            &self.latency,
+            &self.queue_wait,
+            &self.stages,
+        );
         *self = RegistryDelta::default();
     }
 }
@@ -195,6 +206,7 @@ pub(crate) fn shard_worker(
             // edge on enqueue, so scrapes see depth bounded-stale from
             // both directions.
             reg.queue_depth.set(ctx.shard, depth);
+            reg.windows.record_queue_depth(depth);
         }
         // Index of the decision currently in flight; read after an
         // unwind to identify the failing job and the in-batch losses.

@@ -133,11 +133,15 @@ impl Histogram {
         &self.buckets
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), estimated as the upper bound
-    /// of the bucket containing the rank-`ceil(q * count)` observation,
-    /// clamped to the exact observed `[min, max]` range. The extreme
-    /// ranks are exact (`q = 0.0` returns the min, `q = 1.0` the max);
-    /// an empty histogram returns 0 for every `q`.
+    /// The `q`-quantile (`q` in `[0, 1]`), estimated by locating the
+    /// bucket containing the rank-`ceil(q * count)` observation and
+    /// interpolating linearly within it (observations are assumed
+    /// uniform inside a bucket), clamped to the exact observed
+    /// `[min, max]` range. Interpolation keeps reported quantiles off
+    /// the bucket edges — a uniform distribution yields interior values
+    /// instead of pinning every percentile to a power-of-two boundary.
+    /// The extreme ranks are exact (`q = 0.0` returns the min,
+    /// `q = 1.0` the max); an empty histogram returns 0 for every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -155,7 +159,14 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper_bound(i).clamp(self.min, self.max);
+                // `pos` of the `n` observations in this bucket sit at or
+                // below the target rank; spread them uniformly across the
+                // bucket's value range.
+                let pos = rank - (seen - n);
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+                let hi = bucket_upper_bound(i);
+                let est = lo as f64 + (hi - lo) as f64 * pos as f64 / n as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
             }
         }
         self.max
@@ -189,7 +200,7 @@ pub struct HistogramSummary {
     pub mean_ns: u64,
     /// Largest observation.
     pub max_ns: u64,
-    /// Median (bucket upper bound, clamped to observed range).
+    /// Median (interpolated within its bucket, clamped to observed range).
     pub p50_ns: u64,
     /// 90th percentile.
     pub p90_ns: u64,
@@ -337,6 +348,42 @@ mod tests {
         assert!(h.quantile(0.999) <= 1000);
         assert_eq!(h.quantile(1.0), 1000);
         assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn uniform_distribution_yields_interior_quantiles() {
+        // The queue-wait saturation symptom: a uniform distribution over
+        // [0, 2^20 - 1] used to report p99 == 1048575, pinned to the
+        // bucket's upper edge. Interpolation must land in the interior.
+        let mut h = Histogram::new();
+        for v in 0..(1u64 << 20) {
+            h.record(v);
+        }
+        let p99 = h.quantile(0.99);
+        assert!(p99 < (1 << 20) - 1, "p99 pinned to bucket edge: {p99}");
+        assert!(p99 > (1 << 19), "p99 below its bucket's lower edge: {p99}");
+        // True p99 of uniform [0, 1048575] is ~1038090; interpolation
+        // should land within a fraction of a percent of it.
+        let true_p99 = 0.99 * ((1u64 << 20) - 1) as f64;
+        assert!((p99 as f64 - true_p99).abs() / true_p99 < 0.01);
+        // p50 similarly interior, near 2^19.
+        let p50 = h.quantile(0.5);
+        assert!(p50 > (1 << 18) && p50 < (1 << 20) - 1);
+        assert!((p50 as f64 - ((1u64 << 19) as f64)).abs() / ((1u64 << 19) as f64) < 0.01);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 5, 90, 90, 91, 4096, 70000] {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= last, "quantile not monotone at q={i}%: {v} < {last}");
+            last = v;
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   `.cfr` file for deterministic replay and invariant auditing. The
 //!   lock-free [`SharedFlightRing`] variant lets a single writer record
 //!   while any thread snapshots.
+//! * **Rolling windows** ([`window`]): fixed-width bucket rings
+//!   (`WindowedCounter`, `WindowedHistogram`) with lazy rotation and
+//!   exact cross-shard merge, mirroring every registry metric at
+//!   1s/10s/60s resolutions as `cslack_window_*` gauges.
+//! * **Quality gauges** ([`quality`]): windowed admitted load vs the
+//!   max-flow OPT bound — `cslack_empirical_ratio` — published by the
+//!   engine's observatory thread, with a ratio-floor alert counter.
 //! * **Latency timelines** ([`timeline`]): stage-resolved stamps —
 //!   client send, frame decode, dispatch, enqueue, dequeue, decide,
 //!   delivery — on one shared monotonic [`ClockBase`], riding in the
@@ -37,9 +44,11 @@
 pub mod flight;
 pub mod hist;
 pub mod metrics;
+pub mod quality;
 pub mod span;
 pub mod timeline;
 pub mod trace;
+pub mod window;
 
 pub use flight::{
     decode_event, encode_event, FlightEvent, FlightHeader, FlightRing, FlightSnapshot, ShardFlight,
@@ -47,6 +56,7 @@ pub use flight::{
 };
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
 pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot};
+pub use quality::QualityPanel;
 pub use span::{
     reset_spans, set_spans_enabled, span_histogram, span_snapshot, spans_enabled, SpanGuard,
 };
@@ -54,4 +64,8 @@ pub use timeline::{ClockBase, Stage, StageBreakdown, TimelineStamps, STAGES, STA
 pub use trace::{
     read_jsonl, summarize, write_jsonl, DecisionEvent, DecisionRing, RejectCounts, RejectReason,
     ShardTraceSummary, TraceSummary,
+};
+pub use window::{
+    WindowPanel, WindowSlot, WindowSnapshot, WindowedCounter, WindowedHistogram, BUCKET_WIDTH_NS,
+    RESOLUTIONS, WINDOW_SLOTS,
 };

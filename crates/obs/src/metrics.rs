@@ -8,9 +8,11 @@
 //! close to nothing.
 
 use crate::hist::{bucket_upper_bound, AtomicHistogram, Histogram, BUCKETS};
+use crate::quality::QualityPanel;
 use crate::span::span_snapshot;
 use crate::timeline::STAGE_SPANS;
 use crate::trace::{RejectCounts, RejectReason};
+use crate::window::WindowPanel;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -144,6 +146,12 @@ pub struct MetricsRegistry {
     /// Jobs currently queued per shard ingestion ring (gauge; sized by
     /// the engine at startup via [`QueueDepthGauge::register`]).
     pub queue_depth: QueueDepthGauge,
+    /// Rolling 1s/10s/60s windowed mirrors of the families above
+    /// (armed by the engine via [`WindowPanel::register`]).
+    pub windows: WindowPanel,
+    /// Windowed admitted-load vs OPT-bound quality gauges (armed when
+    /// an observatory is configured).
+    pub quality: QualityPanel,
 }
 
 impl MetricsRegistry {
@@ -170,6 +178,8 @@ impl MetricsRegistry {
                 AtomicHistogram::new(),
             ],
             queue_depth: QueueDepthGauge::new(),
+            windows: WindowPanel::new(),
+            quality: QualityPanel::new(),
         }
     }
 
@@ -360,6 +370,8 @@ impl MetricsRegistry {
                 &self.stage_durations[i].snapshot(),
             );
         }
+        self.windows.render_into(out, labels);
+        self.quality.render_into(out, labels);
     }
 }
 
@@ -375,6 +387,23 @@ fn process_start() -> Instant {
 /// Idempotent; call early in `main` so uptime covers the whole run.
 pub fn mark_process_start() {
     process_start();
+}
+
+/// Process-wide `/metrics` scrape counter. Process-wide (not
+/// per-registry) because a multi-tenant page is one scrape however
+/// many registries render into it.
+static SCRAPES: Counter = Counter::new();
+
+/// Counts one `/metrics` scrape. Telemetry listeners call this per
+/// request — including requests answered from the rendered-page cache,
+/// which is exactly the traffic the cache exists to absorb.
+pub fn count_scrape() {
+    SCRAPES.inc();
+}
+
+/// Scrapes counted so far.
+pub fn scrapes_total() -> u64 {
+    SCRAPES.get()
 }
 
 /// Appends the process-wide info lines — `cslack_build_info` (version,
@@ -405,6 +434,12 @@ pub fn render_process_lines(out: &mut String) {
     );
     let _ = writeln!(out, "# TYPE cslack_process_uptime_seconds gauge");
     let _ = writeln!(out, "cslack_process_uptime_seconds {uptime:.3}");
+    let _ = writeln!(
+        out,
+        "# HELP cslack_scrapes_total Metrics scrapes served by this process."
+    );
+    let _ = writeln!(out, "# TYPE cslack_scrapes_total counter");
+    let _ = writeln!(out, "cslack_scrapes_total {}", scrapes_total());
 }
 
 /// Serializable snapshot of a [`MetricsRegistry`].

@@ -178,6 +178,78 @@ pub fn preemptive_load_bound(instance: &Instance) -> f64 {
     net.max_flow(source, sink)
 }
 
+/// The same preemptive upper bound as [`preemptive_load_bound`], but
+/// over raw `(release, proc_time, deadline)` triples. This is the entry
+/// point for windowed quality tracking: the live observatory slices the
+/// flight-recorded decision stream into release-time windows and has no
+/// dense-JobId [`Instance`] at hand. Non-finite deadlines are capped at
+/// the finite horizon plus the total load (room to run everything
+/// serially), matching the instance path; jobs with non-positive or
+/// non-finite processing time contribute nothing.
+pub fn triples_load_bound(jobs: &[(f64, f64, f64)], m: usize) -> f64 {
+    let jobs: Vec<(f64, f64, f64)> = jobs
+        .iter()
+        .copied()
+        .filter(|&(r, p, _)| r.is_finite() && p.is_finite() && p > 0.0)
+        .collect();
+    let n = jobs.len();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let total_load: f64 = jobs.iter().map(|&(_, p, _)| p).sum();
+    let horizon = jobs
+        .iter()
+        .flat_map(|&(r, _, d)| [r, if d.is_finite() { d } else { r }])
+        .fold(0.0f64, f64::max);
+    let infinite_cap = horizon + total_load;
+    let deadline_of = |d: f64| if d.is_finite() { d } else { infinite_cap };
+
+    let mut events: Vec<f64> = Vec::with_capacity(2 * n);
+    for &(r, _, d) in &jobs {
+        events.push(r);
+        events.push(deadline_of(d));
+    }
+    events.sort_by(|a, b| a.total_cmp(b));
+    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(1.0).max(b.abs()));
+    let intervals: Vec<(f64, f64)> = events.windows(2).map(|w| (w[0], w[1])).collect();
+    let k = intervals.len();
+
+    let source = 0;
+    let job_node = |j: usize| 1 + j;
+    let iv_node = |i: usize| 1 + n + i;
+    let sink = 1 + n + k;
+    let mut net = Dinic::new(sink + 1);
+
+    for (jidx, &(r, p, d)) in jobs.iter().enumerate() {
+        net.add_edge(source, job_node(jidx), p);
+        let d = deadline_of(d);
+        for (i, &(a, b)) in intervals.iter().enumerate() {
+            if a >= r - 1e-12 && b <= d + 1e-12 {
+                net.add_edge(job_node(jidx), iv_node(i), b - a);
+            }
+        }
+    }
+    for (i, &(a, b)) in intervals.iter().enumerate() {
+        net.add_edge(iv_node(i), sink, m as f64 * (b - a));
+    }
+    net.max_flow(source, sink)
+}
+
+/// The preemptive upper bound restricted to the jobs *released* in
+/// `[start, end)` — the instance-slicing companion of
+/// [`triples_load_bound`] for offline window-by-window audits: slicing
+/// a whole instance by release windows and bounding each slice mirrors
+/// exactly what the live observatory computes from the flight ring.
+pub fn window_load_bound(instance: &Instance, start: f64, end: f64) -> f64 {
+    let triples: Vec<(f64, f64, f64)> = instance
+        .jobs()
+        .iter()
+        .filter(|j| j.release.raw() >= start && j.release.raw() < end)
+        .map(|j| (j.release.raw(), j.proc_time, j.deadline.raw()))
+        .collect();
+    triples_load_bound(&triples, instance.machines())
+}
+
 /// A pending piece of work for the feasibility/planning API: remaining
 /// processing time and absolute deadline.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -475,6 +547,71 @@ mod tests {
         assert!((f - 3.0).abs() < 1e-9);
         assert!((net.flow_on(0) - 3.0).abs() < 1e-9);
         assert!((net.flow_on(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triples_bound_matches_instance_bound() {
+        let mut b = InstanceBuilder::new(2, 0.5);
+        b.push(Time::ZERO, 2.0, Time::new(3.0));
+        b.push(Time::new(1.0), 1.0, Time::new(2.5));
+        b.push(Time::new(0.5), 4.0, Time::new(9.0));
+        b.push_tight(Time::new(2.0), 1.5);
+        let inst = b.build().unwrap();
+        let triples: Vec<(f64, f64, f64)> = inst
+            .jobs()
+            .iter()
+            .map(|j| (j.release.raw(), j.proc_time, j.deadline.raw()))
+            .collect();
+        let direct = preemptive_load_bound(&inst);
+        let via_triples = triples_load_bound(&triples, inst.machines());
+        assert!(
+            (direct - via_triples).abs() < 1e-9,
+            "{direct} != {via_triples}"
+        );
+    }
+
+    #[test]
+    fn triples_bound_ignores_degenerate_jobs() {
+        assert_eq!(triples_load_bound(&[], 4), 0.0);
+        assert_eq!(triples_load_bound(&[(0.0, 1.0, 2.0)], 0), 0.0);
+        let clean = triples_load_bound(&[(0.0, 1.0, 2.0)], 1);
+        let noisy = triples_load_bound(
+            &[
+                (0.0, 1.0, 2.0),
+                (0.0, 0.0, 5.0),
+                (f64::NAN, 1.0, 2.0),
+                (0.0, f64::INFINITY, 9.0),
+            ],
+            1,
+        );
+        assert!((clean - noisy).abs() < 1e-9);
+        assert!((clean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triples_bound_caps_infinite_deadlines() {
+        let bound = triples_load_bound(&[(0.0, 1.0, f64::INFINITY), (0.0, 1.0, 1.5)], 1);
+        assert!((bound - 2.0).abs() < 1e-9, "bound={bound}");
+    }
+
+    #[test]
+    fn window_slices_partition_the_bound_for_disjoint_windows() {
+        // Two release clusters with non-overlapping execution windows:
+        // slicing by release window recovers each cluster's bound, and
+        // the slices sum to the whole-instance bound.
+        let inst = InstanceBuilder::new(1, 1.0)
+            .job(Time::ZERO, 1.0, Time::new(2.0))
+            .job(Time::new(0.5), 1.0, Time::new(2.5))
+            .job(Time::new(5.0), 1.0, Time::new(7.0))
+            .build()
+            .unwrap();
+        let w0 = window_load_bound(&inst, 0.0, 4.0);
+        let w1 = window_load_bound(&inst, 4.0, 8.0);
+        assert!((w0 - 2.0).abs() < 1e-9, "w0={w0}");
+        assert!((w1 - 1.0).abs() < 1e-9, "w1={w1}");
+        assert!((w0 + w1 - preemptive_load_bound(&inst)).abs() < 1e-9);
+        // An empty slice bounds nothing.
+        assert_eq!(window_load_bound(&inst, 10.0, 20.0), 0.0);
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod proto;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use cslack_engine::{
-    Engine, EngineConfig, FlightConfig, IngestConfig, ObsConfig, ShardState, SubmitError,
+    Engine, EngineConfig, FlightConfig, IngestConfig, ObsConfig, ObservatoryConfig, ShardState,
+    SubmitError,
 };
 use cslack_kernel::{Job, JobId, Time};
 use cslack_obs::flight::StampedDecision;
@@ -48,7 +49,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One tenant's namespace configuration.
 #[derive(Clone, Debug)]
@@ -80,6 +81,10 @@ pub struct TenantSpec {
     /// Chaos hook: wrap shard 0's scheduler in a
     /// [`FaultyScheduler`] with this spec.
     pub fault: Option<FaultSpec>,
+    /// Quality-observatory knobs; every tenant runs one by default
+    /// (their engines always record flight), so `/metrics` carries
+    /// tenant-labeled `cslack_empirical_ratio` gauges. `None` disables.
+    pub observatory: Option<ObservatoryConfig>,
 }
 
 impl TenantSpec {
@@ -99,6 +104,10 @@ impl TenantSpec {
             batch_size: 64,
             ingest: IngestConfig::default(),
             fault: None,
+            // 16 release-time units per window: tens of jobs per
+            // window at the default Poisson(m) arrival rate — enough
+            // signal per window, many windows per run.
+            observatory: Some(ObservatoryConfig::new(16.0)),
         }
     }
 
@@ -187,6 +196,7 @@ impl Tenant {
                 spec.seed,
             )),
             decisions: Some(decision_tx),
+            observatory: spec.observatory.clone(),
             // Every tenant stamps on the process-wide clock so
             // cross-tenant timelines share one axis.
             clock: Some(Arc::clone(&clock)),
@@ -228,6 +238,7 @@ impl Tenant {
                         if let Some(ns) = event.stamps.span(Stage::Decide, Stage::Delivery) {
                             // STAGE_SPANS[4] is decide -> delivery.
                             registry.stage_durations[4].record(ns);
+                            registry.windows.record_stage(4, ns);
                         }
                         let outbox = pending.lock().remove(&event.job);
                         if let Some(tx) = outbox {
@@ -852,11 +863,39 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Frame>, version: u8) {
 // Telemetry HTTP
 // ---------------------------------------------------------------------
 
+/// How long a rendered `/metrics` page is reused before the multi-
+/// tenant exposition is rebuilt; scrape storms pay one render per TTL.
+const SCRAPE_CACHE_TTL: Duration = Duration::from_millis(250);
+
+/// The `/metrics` page cache. The telemetry thread serves connections
+/// inline, so plain mutable state suffices.
+struct ScrapeCache {
+    page: Vec<u8>,
+    rendered_at: Option<Instant>,
+}
+
+impl ScrapeCache {
+    fn page(&mut self, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+        let fresh = self
+            .rendered_at
+            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL);
+        if !fresh {
+            self.page = render();
+            self.rendered_at = Some(Instant::now());
+        }
+        self.page.clone()
+    }
+}
+
 fn telemetry_loop(listener: TcpListener, inner: Arc<ServerInner>, stop: Arc<AtomicBool>) {
+    let mut cache = ScrapeCache {
+        page: Vec::new(),
+        rendered_at: None,
+    };
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = serve_http(stream, &inner);
+                let _ = serve_http(stream, &inner, &mut cache);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -866,7 +905,11 @@ fn telemetry_loop(listener: TcpListener, inner: Arc<ServerInner>, stop: Arc<Atom
     }
 }
 
-fn serve_http(mut stream: TcpStream, inner: &ServerInner) -> std::io::Result<()> {
+fn serve_http(
+    mut stream: TcpStream,
+    inner: &ServerInner,
+    cache: &mut ScrapeCache,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -888,20 +931,22 @@ fn serve_http(mut stream: TcpStream, inner: &ServerInner) -> std::io::Result<()>
     };
     let (status, content_type, body): (&str, &str, Vec<u8>) = match path {
         "/metrics" => {
-            let mut out = String::new();
-            for (name, tenant) in &inner.tenants {
-                tenant
-                    .registry
-                    .render_prometheus_into(&mut out, &[("tenant", name)]);
-            }
-            // Process-wide families (build info, uptime) render once
-            // per page, not once per tenant.
-            cslack_obs::metrics::render_process_lines(&mut out);
-            (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                out.into_bytes(),
-            )
+            // One multi-tenant page is one scrape, cached or not — the
+            // counter tracks client demand, the cache bounds renders.
+            cslack_obs::metrics::count_scrape();
+            let body = cache.page(|| {
+                let mut out = String::new();
+                for (name, tenant) in &inner.tenants {
+                    tenant
+                        .registry
+                        .render_prometheus_into(&mut out, &[("tenant", name)]);
+                }
+                // Process-wide families (build info, uptime, scrape
+                // count) render once per page, not once per tenant.
+                cslack_obs::metrics::render_process_lines(&mut out);
+                out.into_bytes()
+            });
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
         }
         "/healthz" => {
             let mut any_failed = false;
