@@ -6,8 +6,8 @@ use cslack_algorithms::{
     ablation, Greedy, LeeClassify, OnlineScheduler, RandomizedClassifySelect, Threshold,
 };
 use cslack_engine::{
-    Engine, EngineConfig, EngineMetrics, IngestConfig, IngestMode, ObsConfig, ShardFailure,
-    SubmitError,
+    Engine, EngineConfig, EngineMetrics, IngestConfig, IngestMode, ObsConfig, RecoveryStats,
+    ShardFailure, ShardState, SubmitError,
 };
 use cslack_kernel::Instance;
 use cslack_obs::{
@@ -20,6 +20,7 @@ use cslack_workloads::{trace, WorkloadSpec};
 use serde::Serialize;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Top-level usage text.
@@ -38,13 +39,13 @@ USAGE:
                    [--metrics-out <json>] [--prom-out <txt>] [--spans]
                    [--flight-out <cfr>] [--flight-cap <int>] [--flight-audit]
                    [--serve-metrics <addr>] [--hold <secs>] [--window <float>]
-                   [--inject <kind>@<n>] [--crash-out <cfr>]
+                   [--inject <kind>@<n>] [--crash-out <cfr>] [--recover]
   cslack serve     --tenants name:m:eps[:algo[:shards[:seed]]][,name2:...]
                    [--listen <addr>] [--telemetry <addr>] [--inflight <int>]
                    [--queue-cap <int>] [--batch <int>]
                    [--ingest ring|channel] [--ring-cap <jobs>]
                    [--pin-workers] [--pin-offset <int>]
-                   [--inject <tenant>=<kind>@<n>] [--exit-when-drained]
+                   [--inject <tenant>=<kind>@<n>] [--recover] [--exit-when-drained]
                    [--max-secs <float>]
   cslack loadgen   --tenants <name>[,<name2>...] [--connect <addr>]
                    [--conns <int>] [--rate <float>] [--n <int>] [--batch <int>]
@@ -216,7 +217,15 @@ struct ServeBenchReport {
     audit_violations: Option<usize>,
     /// Submissions bounced because their shard had already failed.
     bounced_submissions: usize,
-    /// Per-shard failure reports; empty on a fully healthy run.
+    /// Bounced submissions successfully re-offered after `--recover`
+    /// resurrected their shard.
+    resubmitted: usize,
+    /// Restart counters and the four-way job conservation ledger; all
+    /// zero unless `--recover` resurrected a shard.
+    recovery: RecoveryStats,
+    /// Per-shard failure reports; empty on a fully healthy run (a
+    /// successfully resurrected shard finishes healthy and does not
+    /// appear here).
     degraded: Vec<ShardFailure>,
 }
 
@@ -269,6 +278,15 @@ fn parse_ingest(opts: &Opts) -> Result<IngestConfig, String> {
 /// assert on the JSON. `--crash-out <cfr>` sets the crash-snapshot
 /// path: the failing shard writes it at failure time (implies flight
 /// recording) and `cslack replay` verifies it bit-identically.
+///
+/// `--recover` turns the drill into a resurrection exercise: when a
+/// submission bounces with `ShardFailed`, the failed shard is rebuilt
+/// in place ([`Engine::restart_shard`] replays its flight ring through
+/// a fresh scheduler, bit-identically), the bounced job is re-offered,
+/// and the injected fault is one-shot so the replacement runs clean.
+/// The report then carries the restart count and the four-way job
+/// conservation ledger (recovered-committed / re-admitted /
+/// re-rejected / lost).
 pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     let m: usize = opts.require_as("m")?;
     let eps: f64 = opts.require_as("eps")?;
@@ -290,6 +308,7 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         Some(raw) => Some(raw.parse()?),
         None => None,
     };
+    let recover = opts.flag("recover");
     let serve_metrics: Option<std::net::SocketAddr> = match opts.get("serve-metrics") {
         Some(_) => Some(opts.require_as("serve-metrics")?),
         None => None,
@@ -311,12 +330,21 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     // commitments are synthesized from it at snapshot time) and shard
     // routing splits jobs evenly, so ceil(n / shards) per shard covers
     // any run completely.
-    let flight_wanted =
-        flight_out.is_some() || flight_audit || serve_metrics.is_some() || crash_out.is_some();
+    // `--recover` implies flight recording: resurrection replays the
+    // failed shard's decision stream out of its flight ring.
+    let flight_wanted = flight_out.is_some()
+        || flight_audit
+        || serve_metrics.is_some()
+        || crash_out.is_some()
+        || recover;
     let flight_capacity: usize = opts.get_or(
         "flight-cap",
         if flight_wanted {
-            n.max(1).div_ceil(shards.max(1))
+            // A failing shard appends one extra submission record (the
+            // job that tripped it) on top of its per-decision share, so
+            // recovery drills get headroom — a lapped ring would make
+            // the ring unreplayable for any later restart.
+            n.max(1).div_ceil(shards.max(1)) + if recover { 8 } else { 0 }
         } else {
             0
         },
@@ -353,13 +381,22 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     config.batch_size = opts.get_or("batch", config.batch_size)?;
     let ingest = parse_ingest(opts)?;
     let submit_chunk = config.batch_size.max(1);
-    let engine = Engine::start_with_ingest(m, config, ingest, obs, |shard, group| {
-        let inner = build_algo(algo_name, group, eps, seed.wrapping_add(shard as u64))
+    // The builder outlives this call (restart_shard re-invokes it to
+    // construct the replacement scheduler), so it owns its inputs.
+    let algo = algo_name.to_string();
+    let armed = Arc::new(AtomicBool::new(true));
+    let engine = Engine::start_with_ingest(m, config, ingest, obs, move |shard, group| {
+        let inner = build_algo(&algo, group, eps, seed.wrapping_add(shard as u64))
             .expect("algorithm name validated above");
         // Fault injection targets shard 0 only: the other shards stay
         // healthy so a degraded finish still has a schedule to merge.
+        // With `--recover` the wrapper is one-shot — the replacement
+        // build after a restart gets the bare scheduler, so replay and
+        // resumed serving run clean instead of re-tripping the fault.
         match inject {
-            Some(spec) if shard == 0 => Box::new(FaultyScheduler::new(inner, spec)),
+            Some(spec) if shard == 0 && (!recover || armed.swap(false, Ordering::SeqCst)) => {
+                Box::new(FaultyScheduler::new(inner, spec))
+            }
             _ => inner,
         }
     })
@@ -375,16 +412,70 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
     // over `batch_size` jobs per shard; the `_into` path makes the
     // all-accepted case allocation-free.
     let mut bounced = 0usize;
+    let mut resubmitted = 0usize;
+    let mut restart_refused = false;
     let mut failures = Vec::new();
     for chunk in inst.jobs().chunks(submit_chunk) {
         engine.submit_batch_into(chunk, &mut failures);
-        for err in &failures {
+        for err in failures.drain(..) {
             match err {
-                SubmitError::ShardFailed(_) => bounced += 1,
+                SubmitError::ShardFailed(job) => {
+                    bounced += 1;
+                    if recover && !restart_refused {
+                        // Resurrect whatever the health table reports
+                        // failed, then re-offer the bounced job on the
+                        // rebuilt shard. A refused restart (lossy
+                        // flight ring, replay divergence) leaves the
+                        // shard down for good — stop retrying so the
+                        // rest of the run degrades quietly.
+                        for h in engine.health() {
+                            if h.state == ShardState::Failed {
+                                if let Err(e) = engine.restart_shard(h.shard) {
+                                    eprintln!("warning: restart of shard {} refused: {e}", h.shard);
+                                    restart_refused = true;
+                                }
+                            }
+                        }
+                        if !restart_refused && engine.submit(job).is_ok() {
+                            resubmitted += 1;
+                        }
+                    }
+                }
                 e => return Err(e.to_string()),
             }
         }
     }
+    if recover && inject.is_some() && !restart_refused {
+        // Failure detection is asynchronous — the worker marks the
+        // health table from its own thread while it dies — so a fault
+        // that trips after the producer finished enqueueing never
+        // bounces a submission. Sweep the health table briefly and
+        // resurrect whatever settles into `Failed`; a fault that never
+        // trips (e.g. `delay@N`) just times the grace window out.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(1500);
+        loop {
+            let failed: Vec<usize> = engine
+                .health()
+                .into_iter()
+                .filter(|h| h.state == ShardState::Failed)
+                .map(|h| h.shard)
+                .collect();
+            if !failed.is_empty() {
+                for shard in failed {
+                    if let Err(e) = engine.restart_shard(shard) {
+                        eprintln!("warning: restart of shard {shard} refused: {e}");
+                        restart_refused = true;
+                    }
+                }
+                break;
+            }
+            if engine.recovery_stats().restarts > 0 || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    let _ = restart_refused;
     let hold: f64 = opts.get_or("hold", 0.0)?;
     if hold > 0.0 {
         std::thread::sleep(std::time::Duration::from_secs_f64(hold));
@@ -458,6 +549,8 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
         flight_dropped,
         audit_violations: report.audit.as_ref().map(|a| a.violations.len()),
         bounced_submissions: bounced,
+        resubmitted,
+        recovery: report.recovery,
         degraded: report.degraded.clone(),
     };
     if opts.flag("json") {
@@ -496,6 +589,19 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
             for failure in &out.degraded {
                 println!("    {failure}");
             }
+        }
+        if !out.recovery.is_empty() {
+            let r = &out.recovery;
+            println!(
+                "  recovery: {} restart(s) — {} recovered-committed, {} re-admitted, \
+                 {} re-rejected, {} lost ({} bounced submission(s) re-offered)",
+                r.restarts,
+                r.recovered_committed,
+                r.re_admitted,
+                r.re_rejected,
+                r.lost,
+                out.resubmitted
+            );
         }
         println!(
             "  throughput: {:.0} decisions/sec over {:.3}s",
@@ -570,9 +676,14 @@ pub fn serve_bench(opts: &Opts) -> Result<(), String> {
 /// in-flight quota. `--telemetry <addr>` serves `/metrics`, `/healthz`
 /// and `/flight/snapshot?tenant=NAME` over HTTP. `--inject
 /// <tenant>=<kind>@<n>` wraps that tenant's shard-0 scheduler in a
-/// [`FaultyScheduler`] for chaos drills. With `--exit-when-drained`
-/// the process exits 0 once every tenant has been drained by its
-/// clients; `--max-secs` bounds the run either way.
+/// [`FaultyScheduler`] for chaos drills. `--recover` arms every
+/// tenant's recovery watcher: a failed shard is resurrected in place
+/// (flight-ring replay, bit-identical), submissions caught mid-failure
+/// get a transient `Retry` frame instead of a terminal reject, and the
+/// injected fault fires only on the first build so the replacement
+/// serves clean. With `--exit-when-drained` the process exits 0 once
+/// every tenant has been drained by its clients; `--max-secs` bounds
+/// the run either way.
 pub fn serve(opts: &Opts) -> Result<(), String> {
     use cslack_server::{Server, ServerConfig, TenantSpec};
     let listen: std::net::SocketAddr = opts.get_or("listen", "127.0.0.1:7437".parse().unwrap())?;
@@ -588,6 +699,7 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         spec.queue_capacity = opts.get_or("queue-cap", spec.queue_capacity)?;
         spec.batch_size = opts.get_or("batch", spec.batch_size)?;
         spec.ingest = ingest;
+        spec.recover = opts.flag("recover");
         tenants.push(spec);
     }
     if let Some(raw) = opts.get("inject") {

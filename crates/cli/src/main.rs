@@ -51,6 +51,7 @@ fn main() -> ExitCode {
             "pin-workers",
             "once",
             "follow",
+            "recover",
         ],
     ) {
         Ok(opts) => opts,

@@ -96,6 +96,11 @@ struct TenantView {
     queue_depth_max: Option<f64>,
     /// Live per-shard queue depth gauge (shard label -> jobs).
     queue_depth: BTreeMap<String, f64>,
+    /// Shard resurrections performed so far.
+    shard_restarts: Option<f64>,
+    /// Jobs carried across those restarts (replayed commitments plus
+    /// re-admitted re-offers).
+    recovered_jobs: Option<f64>,
 }
 
 /// The full `cslack watch --json` snapshot.
@@ -165,6 +170,8 @@ fn build_snapshot(source: &str, samples: &[Sample]) -> WatchSnapshot {
                     view.queue_depth.insert(shard.to_string(), s.value);
                 }
             }
+            "cslack_shard_restarts_total" => view.shard_restarts = Some(s.value),
+            "cslack_recovered_jobs_total" => view.recovered_jobs = Some(s.value),
             _ => {}
         }
     }
@@ -261,6 +268,17 @@ fn render_snapshot(snap: &WatchSnapshot, every: f64) -> String {
         }
         if !health.is_empty() {
             let _ = writeln!(out, "  shards      {}", health.join("   "));
+        }
+        if let Some(r) = t.shard_restarts {
+            if r > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  recovery    restarts {r:.0}  recovered jobs {}",
+                    t.recovered_jobs
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
         }
     }
     if let Some(s) = snap.scrapes_total {
@@ -402,13 +420,15 @@ cslack_window_stage_p99_ns{tenant=\"alpha\",window=\"10s\",stage=\"decide\"} 890
 cslack_window_queue_wait_p99_ns{tenant=\"alpha\",window=\"10s\"} 1234
 cslack_window_queue_depth_max{tenant=\"alpha\",window=\"10s\"} 37
 cslack_queue_depth{tenant=\"alpha\",shard=\"0\"} 12
+cslack_shard_restarts_total{tenant=\"alpha\"} 1
+cslack_recovered_jobs_total{tenant=\"alpha\"} 58
 cslack_scrapes_total 7
 ";
 
     #[test]
     fn parses_labeled_samples() {
         let samples = parse_prometheus(PAGE);
-        assert_eq!(samples.len(), 15);
+        assert_eq!(samples.len(), 17);
         let s = &samples[0];
         assert_eq!(s.name, "cslack_window_decisions_per_sec");
         assert_eq!(s.label("tenant"), Some("alpha"));
@@ -429,6 +449,8 @@ cslack_scrapes_total 7
         assert_eq!(t.decisions_per_sec.get("1s"), Some(&1500.0));
         assert_eq!(t.stage_p99_ns.get("decide"), Some(&890.0));
         assert_eq!(t.queue_depth.get("0"), Some(&12.0));
+        assert_eq!(t.shard_restarts, Some(1.0));
+        assert_eq!(t.recovered_jobs, Some(58.0));
     }
 
     #[test]
@@ -440,6 +462,8 @@ cslack_scrapes_total 7
         assert!(text.contains("floor 0.417"));
         assert!(text.contains("1500.0/s"));
         assert!(!text.contains("BELOW FLOOR"));
+        assert!(text.contains("restarts 1"));
+        assert!(text.contains("recovered jobs 58"));
         assert!(text.contains("scrapes 7"));
     }
 

@@ -9,6 +9,7 @@ use crate::health::{HealthState, ShardHealth};
 use crate::machine_groups;
 use crate::observatory::{spawn_observatory, ObservatoryHandle};
 use crate::queue::{IngestRing, QueueMsg, RingConsumer, ShardQueue, ShardSource};
+use crate::recovery::RecoveryLedger;
 use crate::report::{EngineMetrics, EngineReport, ShardMetrics, ShardOutcome};
 use crate::telemetry::{serve_telemetry, TelemetryHandle, TelemetryShared};
 use crate::worker::{panic_payload_string, shard_worker, ShardCtx};
@@ -21,16 +22,47 @@ use cslack_obs::{Histogram, MetricsRegistry, RejectCounts};
 use cslack_sim::audit::audit_snapshot;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One shard's producer-side handles: the queue (taken on shutdown),
-/// the worker's join handle, and the global machine group it owns.
-pub(crate) struct ShardHandle {
+/// The scheduler factory the engine keeps for the lifetime of the run:
+/// startup builds one scheduler per shard through it, and shard
+/// recovery builds the replacement replay scheduler through the *same*
+/// closure — which is what makes the replayed stream bit-identical by
+/// construction.
+pub(crate) type SchedulerBuilder =
+    Box<dyn Fn(usize, usize) -> Box<dyn OnlineScheduler> + Send + Sync>;
+
+/// The swappable half of a shard's handles: the producer queue and the
+/// worker's join handle. Behind a `RwLock` so a failed shard can be
+/// resurrected (`Engine::restart_shard` write-locks, swaps in a fresh
+/// transport and worker) while concurrent producers read-lock on the
+/// submit paths.
+pub(crate) struct ShardSlot {
     pub(crate) queue: Option<ShardQueue>,
     pub(crate) join: Option<JoinHandle<ShardOutcome>>,
+    /// A dead worker's outcome, parked here when a restart attempt
+    /// joined the worker but then refused to proceed (lossy recording,
+    /// replay divergence) — `finish` reports it like any other failed
+    /// shard's outcome.
+    pub(crate) parked: Option<ShardOutcome>,
+}
+
+/// One shard's producer-side handles: the swappable queue/join slot
+/// and the (immutable) global machine group it owns.
+pub(crate) struct ShardHandle {
+    pub(crate) slot: RwLock<ShardSlot>,
     pub(crate) machines: Vec<MachineId>,
+}
+
+impl ShardHandle {
+    /// Read access for the submit paths. Lock poisoning is ignored:
+    /// the slot's contents are always valid (a panicking restart left
+    /// at worst a dead shard, which the submit paths already handle).
+    pub(crate) fn read_slot(&self) -> std::sync::RwLockReadGuard<'_, ShardSlot> {
+        self.slot.read().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A running sharded admission-control service.
@@ -57,18 +89,28 @@ pub struct Engine {
     /// Shared monotonic base for every timeline stamp (submit paths
     /// stamp `Enqueue` here; workers stamp `Dequeue`/`Decide`).
     pub(crate) clock: Arc<ClockBase>,
+    /// The scheduler factory, retained so [`Engine::restart_shard`] can
+    /// rebuild a dead shard's scheduler for replay.
+    pub(crate) builder: SchedulerBuilder,
+    /// The ingestion-plane wiring, retained so recovery can construct
+    /// a replacement transport matching the original.
+    pub(crate) ingest: IngestConfig,
+    /// The shared recovery ledger: restart count and the four-way job
+    /// conservation counters, written by [`Engine::restart_shard`] and
+    /// by replacement workers deciding re-offered jobs.
+    pub(crate) ledger: Arc<RecoveryLedger>,
 }
 
 /// The consumer half of a shard's transport, created on the spawning
 /// thread and claimed *on the worker thread* (a ring must register the
 /// worker as its consumer so producers can unpark it).
-enum ConsumerSeed {
+pub(crate) enum ConsumerSeed {
     Channel(Receiver<QueueMsg>),
     Ring(Arc<IngestRing>),
 }
 
 impl ConsumerSeed {
-    fn into_source(self) -> ShardSource {
+    pub(crate) fn into_source(self) -> ShardSource {
         match self {
             ConsumerSeed::Channel(rx) => ShardSource::Channel(rx),
             ConsumerSeed::Ring(ring) => ShardSource::Ring(RingConsumer::new(ring)),
@@ -87,7 +129,7 @@ impl Engine {
     /// are remapped to the global group on merge.
     pub fn start<F>(m: usize, config: EngineConfig, builder: F) -> Result<Engine, EngineError>
     where
-        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
+        F: Fn(usize, usize) -> Box<dyn OnlineScheduler> + Send + Sync + 'static,
     {
         Engine::start_observed(m, config, ObsConfig::default(), builder)
     }
@@ -108,7 +150,7 @@ impl Engine {
         builder: F,
     ) -> Result<Engine, EngineError>
     where
-        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
+        F: Fn(usize, usize) -> Box<dyn OnlineScheduler> + Send + Sync + 'static,
     {
         Engine::start_with_ingest(m, config, IngestConfig::default(), obs, builder)
     }
@@ -124,8 +166,9 @@ impl Engine {
         builder: F,
     ) -> Result<Engine, EngineError>
     where
-        F: Fn(usize, usize) -> Box<dyn OnlineScheduler>,
+        F: Fn(usize, usize) -> Box<dyn OnlineScheduler> + Send + Sync + 'static,
     {
+        let builder: SchedulerBuilder = Box::new(builder);
         // Validates the shard count (zero or more shards than
         // machines) as a side effect.
         let groups = machine_groups(m, config.shards)?;
@@ -260,11 +303,14 @@ impl Engine {
             };
             let join = std::thread::Builder::new()
                 .name(format!("cslack-shard-{index}"))
-                .spawn(move || shard_worker(seed.into_source(), scheduler, ctx))
+                .spawn(move || shard_worker(seed.into_source(), scheduler, ctx, None))
                 .expect("failed to spawn shard worker");
             shards.push(ShardHandle {
-                queue: Some(queue),
-                join: Some(join),
+                slot: RwLock::new(ShardSlot {
+                    queue: Some(queue),
+                    join: Some(join),
+                    parked: None,
+                }),
                 machines: group,
             });
         }
@@ -281,6 +327,9 @@ impl Engine {
             telemetry,
             observatory,
             clock,
+            builder,
+            ingest,
+            ledger: Arc::new(RecoveryLedger::default()),
         })
     }
 
@@ -336,12 +385,28 @@ impl Engine {
         self.health.snapshot()
     }
 
+    /// Live snapshot of the recovery ledger: restarts so far and the
+    /// four-way job conservation counters (all zero until a failed
+    /// shard is resurrected via [`Engine::restart_shard`]).
+    pub fn recovery_stats(&self) -> crate::report::RecoveryStats {
+        self.ledger.snapshot()
+    }
+
+    /// Monotone count of shard state *transitions* (fail, recover,
+    /// drain) — never bumped by mere heartbeats. Telemetry caches in
+    /// front of this engine key on it so a page rendered before a
+    /// transition is never served after it.
+    pub fn health_generation(&self) -> u64 {
+        self.health.generation()
+    }
+
     /// Closes every shard's queue so the workers drain and exit. The
     /// channel transport closes by dropping its sender; the ring flips
     /// its closed flag and wakes both sides.
     fn close_queues(&mut self) {
         for shard in &mut self.shards {
-            if let Some(queue) = shard.queue.take() {
+            let slot = shard.slot.get_mut().unwrap_or_else(PoisonError::into_inner);
+            if let Some(queue) = slot.queue.take() {
                 queue.close();
             }
         }
@@ -370,37 +435,50 @@ impl Engine {
         let handles = std::mem::take(&mut self.shards);
         let mut outcomes = Vec::with_capacity(handles.len());
         let mut groups = Vec::with_capacity(handles.len());
-        for (index, mut shard) in handles.into_iter().enumerate() {
-            let join = shard.join.take().expect("finish joins each shard once");
-            let outcome = match join.join() {
-                Ok(outcome) => outcome,
-                // The worker died *outside* the contained decide/commit
-                // loop (the containment net has a hole). Synthesize an
-                // empty outcome so the report still accounts for the
-                // shard.
-                Err(payload) => {
-                    self.health.mark_failed(index);
-                    let group_len = shard.machines.len();
-                    ShardOutcome {
-                        schedule: Schedule::new(group_len.max(1)),
-                        submitted: 0,
-                        accepted: 0,
-                        rejected: RejectCounts::default(),
-                        batches: 0,
-                        latency: Histogram::new(),
-                        queue_wait: Histogram::new(),
-                        events: Vec::new(),
-                        events_dropped: 0,
-                        last_decision_ns: 0,
-                        failure: Some(ShardFailure {
-                            shard: index,
-                            kind: FailureKind::Panic,
-                            payload: panic_payload_string(payload.as_ref()),
-                            failing_job: None,
-                            seq: 0,
-                            queued_lost: 0,
-                        }),
+        for (index, shard) in handles.into_iter().enumerate() {
+            let slot = shard
+                .slot
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            let group_len = shard.machines.len();
+            // An outcome that accounts for a worker that died outside
+            // the contained decide/commit loop (the containment net has
+            // a hole): empty, with a synthesized failure.
+            let escaped = |payload: String| ShardOutcome {
+                schedule: Schedule::new(group_len.max(1)),
+                submitted: 0,
+                accepted: 0,
+                rejected: RejectCounts::default(),
+                batches: 0,
+                latency: Histogram::new(),
+                queue_wait: Histogram::new(),
+                events: Vec::new(),
+                events_dropped: 0,
+                last_decision_ns: 0,
+                failure: Some(ShardFailure {
+                    shard: index,
+                    kind: FailureKind::Panic,
+                    payload,
+                    failing_job: None,
+                    seq: 0,
+                    queued_lost: 0,
+                }),
+                undecided: Vec::new(),
+            };
+            let outcome = match (slot.join, slot.parked) {
+                (Some(join), _) => match join.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        self.health.mark_failed(index);
+                        escaped(panic_payload_string(payload.as_ref()))
                     }
+                },
+                // A refused restart already joined the dead worker and
+                // parked its outcome for us.
+                (None, Some(parked)) => parked,
+                (None, None) => {
+                    self.health.mark_failed(index);
+                    escaped("shard worker vanished without an outcome".to_string())
                 }
             };
             outcomes.push(outcome);
@@ -542,6 +620,7 @@ impl Engine {
             flight,
             audit,
             degraded,
+            recovery: self.ledger.snapshot(),
         })
     }
 
@@ -580,7 +659,8 @@ impl Drop for Engine {
         self.close_queues();
         self.health.mark_draining_all();
         for shard in &mut self.shards {
-            if let Some(join) = shard.join.take() {
+            let slot = shard.slot.get_mut().unwrap_or_else(PoisonError::into_inner);
+            if let Some(join) = slot.join.take() {
                 let _ = join.join();
             }
         }

@@ -92,6 +92,17 @@ pub enum EngineError {
         /// The bind/spawn error, rendered.
         error: String,
     },
+    /// A shard restart could not proceed — the shard is not failed,
+    /// the flight recording needed for replay is missing or lossy, or
+    /// the replayed schedule diverged from the recorded stream. The
+    /// shard stays in whatever state it was in; no jobs are lost by a
+    /// refused restart.
+    Recovery {
+        /// The shard whose restart was refused.
+        shard: usize,
+        /// Why the restart could not proceed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -110,6 +121,9 @@ impl fmt::Display for EngineError {
             EngineError::Merge(e) => write!(f, "merging shard schedules failed: {e}"),
             EngineError::Telemetry { error } => {
                 write!(f, "telemetry endpoint failed to start: {error}")
+            }
+            EngineError::Recovery { shard, reason } => {
+                write!(f, "shard {shard} cannot be restarted: {reason}")
             }
         }
     }

@@ -53,6 +53,10 @@ const STATE_FAILED: u8 = 2;
 /// `/healthz` endpoint.
 pub(crate) struct HealthState {
     slots: Vec<HealthSlot>,
+    /// Bumped on every state *transition* (fail, recover, drain) — not
+    /// on heartbeats. Telemetry caches key on this so a cached page can
+    /// never misreport liveness across a transition.
+    generation: AtomicU64,
 }
 
 struct HealthSlot {
@@ -69,6 +73,7 @@ impl HealthState {
                     heartbeat_ns: AtomicU64::new(0),
                 })
                 .collect(),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -80,6 +85,15 @@ impl HealthState {
         self.slots[shard]
             .state
             .store(STATE_FAILED, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// A replacement worker took over the shard: `Failed` → `Alive`.
+    pub(crate) fn mark_recovered(&self, shard: usize) {
+        self.slots[shard]
+            .state
+            .store(STATE_ALIVE, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Queues closed: every still-alive shard moves to `Draining`
@@ -93,6 +107,15 @@ impl HealthState {
                 Ordering::Relaxed,
             );
         }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotone count of state transitions — the cache key that makes
+    /// a 250 ms-cached health page safe: any fail/recover/drain bumps
+    /// it, so a page rendered before the transition can never be
+    /// served after it.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     pub(crate) fn is_failed(&self, shard: usize) -> bool {

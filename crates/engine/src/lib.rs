@@ -106,6 +106,7 @@ mod health;
 mod observatory;
 mod pin;
 pub(crate) mod queue;
+mod recovery;
 mod report;
 mod submit;
 mod telemetry;
@@ -120,7 +121,7 @@ pub use engine::Engine;
 pub use error::{EngineError, FailureKind, ShardFailure, SubmitError};
 pub use health::{ShardHealth, ShardState};
 pub use observatory::{window_quality, ObservatoryConfig, WindowQuality};
-pub use report::{EngineMetrics, EngineReport, LatencyStats, ShardMetrics};
+pub use report::{EngineMetrics, EngineReport, LatencyStats, RecoveryStats, ShardMetrics};
 
 /// Deterministic shard routing: the shard a job is offered to.
 ///

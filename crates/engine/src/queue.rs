@@ -457,35 +457,30 @@ impl ShardSource {
         }
     }
 
-    /// Fault-path drain: counts every queued submission that will never
-    /// be decided. The ring is poisoned first (`consumer_exit`) so
-    /// producers stop publishing into the count.
-    pub(crate) fn drain_count(&self) -> u64 {
+    /// Fault-path drain: collects every queued submission that will
+    /// never be decided into `out`, in arrival order, and returns how
+    /// many were drained. The ring is poisoned first (`consumer_exit`)
+    /// so producers stop publishing into the drain. Collecting (rather
+    /// than counting) is what makes recovery possible: the drained
+    /// submissions are exactly the jobs a replacement worker can
+    /// re-offer.
+    pub(crate) fn drain_into(&self, out: &mut Vec<Submission>) -> u64 {
+        let before = out.len();
         match self {
             ShardSource::Channel(rx) => {
-                let mut lost = 0u64;
                 while let Ok(msg) = rx.try_recv() {
-                    lost += match msg {
-                        QueueMsg::One(_) => 1,
-                        QueueMsg::Many(subs) => subs.len() as u64,
-                    };
+                    match msg {
+                        QueueMsg::One(sub) => out.push(sub),
+                        QueueMsg::Many(subs) => out.extend(subs),
+                    }
                 }
-                lost
             }
             ShardSource::Ring(consumer) => {
                 consumer.ring.consumer_exit();
-                let mut scratch = Vec::new();
-                let mut lost = 0u64;
-                loop {
-                    scratch.clear();
-                    let n = consumer.ring.pop_into(&mut scratch, usize::MAX);
-                    if n == 0 {
-                        return lost;
-                    }
-                    lost += n as u64;
-                }
+                while consumer.ring.pop_into(out, usize::MAX) > 0 {}
             }
         }
+        (out.len() - before) as u64
     }
 }
 

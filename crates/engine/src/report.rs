@@ -2,6 +2,7 @@
 //! report.
 
 use crate::error::ShardFailure;
+use crate::queue::Submission;
 use cslack_obs::flight::FlightSnapshot;
 use cslack_obs::{DecisionEvent, Histogram, RejectCounts};
 use cslack_sim::audit::AuditReport;
@@ -28,6 +29,11 @@ pub(crate) struct ShardOutcome {
     /// for the busy-window throughput measure (0 when idle).
     pub(crate) last_decision_ns: u64,
     pub(crate) failure: Option<ShardFailure>,
+    /// Jobs the shard received but never decided, in arrival order:
+    /// the failing job itself (first), the rest of its batch, and
+    /// whatever the queue still held when the worker parked. Empty on
+    /// a healthy exit. Recovery re-offers exactly these.
+    pub(crate) undecided: Vec<Submission>,
 }
 
 /// Decision-latency / queue-wait summary over all shards, nanoseconds.
@@ -107,6 +113,49 @@ pub struct EngineMetrics {
     pub per_shard: Vec<ShardMetrics>,
 }
 
+/// What happened across every shard restart of a run: the four-way
+/// conservation ledger of jobs touched by a failure that was later
+/// recovered.
+///
+/// Conservation identity: every job a failed-then-restarted shard ever
+/// received lands in exactly one bucket —
+/// `recovered_committed + re_admitted + re_rejected + lost ==
+/// decisions replayed + jobs re-offered` (and rejected-before-crash
+/// jobs stay in the ordinary rejected counters; they were decided,
+/// not lost).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RecoveryStats {
+    /// Shard workers restarted via replay-driven recovery.
+    pub restarts: u64,
+    /// Commitments made before the crash and preserved bit-identical
+    /// by the replay rebuild. These jobs were never re-offered — a
+    /// commitment, once made, stands.
+    pub recovered_committed: u64,
+    /// Bounced/undecided jobs re-offered to the replacement worker and
+    /// admitted (their commitment point `d_j - (1+eps)p_j` had not
+    /// passed, so admission was still legal).
+    pub re_admitted: u64,
+    /// Bounced/undecided jobs re-offered and rejected — typically
+    /// because the crash outage consumed their slack.
+    pub re_rejected: u64,
+    /// Jobs bounced by the failure that could not be re-offered at all
+    /// (replacement queue refused them). 0 on every healthy recovery.
+    pub lost: u64,
+}
+
+impl RecoveryStats {
+    /// `true` when no restart ever happened (the field renders as
+    /// absent-equivalent in reports).
+    pub fn is_empty(&self) -> bool {
+        self.restarts == 0
+    }
+
+    /// Jobs accounted for across the four recovery buckets.
+    pub fn conserved_total(&self) -> u64 {
+        self.recovered_committed + self.re_admitted + self.re_rejected + self.lost
+    }
+}
+
 /// The result of a drained engine: the merged cluster schedule plus the
 /// metrics snapshot and the recorded decision trace.
 #[derive(Debug)]
@@ -137,8 +186,14 @@ pub struct EngineReport {
     /// a fully healthy run; non-empty means `schedule` is the merge of
     /// the *healthy* shards only (degraded mode — the accepted load of
     /// the surviving shards is preserved, honoring the commitments
-    /// already made).
+    /// already made). A shard that failed and was then successfully
+    /// restarted does **not** appear here — its recovered worker
+    /// drained healthy and its ledger lives in `recovery`.
     pub degraded: Vec<ShardFailure>,
+    /// The recovery ledger: restart count and the four-way job
+    /// conservation across every replay-driven shard restart of the
+    /// run. All-zero when no shard was ever restarted.
+    pub recovery: RecoveryStats,
 }
 
 impl EngineReport {

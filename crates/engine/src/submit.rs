@@ -104,7 +104,8 @@ impl Engine {
         if self.health.is_failed(shard) {
             return Err(SubmitError::ShardFailed(job));
         }
-        match &self.shards[shard].queue {
+        let slot = self.shards[shard].read_slot();
+        match &slot.queue {
             Some(ShardQueue::Ring(ring)) => match ring.try_push((job, self.inprocess_stamps())) {
                 Ok(()) => {
                     self.note_enqueue();
@@ -142,7 +143,8 @@ impl Engine {
         if self.health.is_failed(shard) {
             return Err(SubmitError::ShardFailed(job));
         }
-        match &self.shards[shard].queue {
+        let slot = self.shards[shard].read_slot();
+        match &slot.queue {
             Some(ShardQueue::Ring(ring)) => {
                 let sub = (job, self.inprocess_stamps());
                 match ring.push_batch_blocking(std::slice::from_ref(&sub)) {
@@ -354,7 +356,11 @@ impl Engine {
                 err: Some(GroupErr::Failed),
             };
         }
-        let Some(queue) = &self.shards[shard].queue else {
+        // Holding the read guard for the whole publish keeps a
+        // concurrent `restart_shard` (write lock) from swapping the
+        // transport out from under a partially pushed group.
+        let slot = self.shards[shard].read_slot();
+        let Some(queue) = slot.queue.as_ref() else {
             return GroupResult {
                 pushed: 0,
                 err: Some(GroupErr::Closed),

@@ -37,9 +37,16 @@ const SCRAPE_CACHE_TTL: Duration = Duration::from_millis(250);
 
 /// The rendered-page cache for `/metrics`. The telemetry thread handles
 /// connections inline, so the cache is plain mutable state — no lock.
+///
+/// Besides the TTL, the cache keys on the health-table *generation*:
+/// any shard state transition (fail, recover, drain) bumps it and
+/// forces a re-render, so a page rendered before a failure — or before
+/// a recovery bumped `cslack_shard_restarts_total` — is never served
+/// after it, however fast the transition happened.
 pub(crate) struct ScrapeCache {
     page: Vec<u8>,
     rendered_at: Option<Instant>,
+    generation: u64,
 }
 
 impl ScrapeCache {
@@ -47,18 +54,22 @@ impl ScrapeCache {
         ScrapeCache {
             page: Vec::new(),
             rendered_at: None,
+            generation: 0,
         }
     }
 
-    /// The current page, re-rendered via `render` only when the cached
-    /// copy is older than [`SCRAPE_CACHE_TTL`].
-    pub(crate) fn page(&mut self, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+    /// The current page, re-rendered via `render` when the cached copy
+    /// is older than [`SCRAPE_CACHE_TTL`] *or* was rendered under a
+    /// different health-table generation.
+    pub(crate) fn page(&mut self, generation: u64, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
         let fresh = self
             .rendered_at
-            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL);
+            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL)
+            && self.generation == generation;
         if !fresh {
             self.page = render();
             self.rendered_at = Some(Instant::now());
+            self.generation = generation;
         }
         self.page.clone()
     }
@@ -161,7 +172,9 @@ fn handle_telemetry_request(
             (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                cache.page(|| shared.registry.render_prometheus().into_bytes()),
+                cache.page(shared.health.generation(), || {
+                    shared.registry.render_prometheus().into_bytes()
+                }),
             )
         }
         "/healthz" => {

@@ -409,7 +409,7 @@ fn flight_recording_replays_bit_identically_and_audits_clean() {
             flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
             ..ObsConfig::default()
         };
-        let engine = Engine::start_observed(4, EngineConfig::new(shards), obs, |_, g| {
+        let engine = Engine::start_observed(4, EngineConfig::new(shards), obs, move |_, g| {
             Box::new(Threshold::new(g, eps))
         })
         .unwrap();
@@ -555,7 +555,7 @@ fn submit_batch_matches_job_by_job_submission() {
             flight: Some(FlightConfig::new(4096, "threshold", eps, 0)),
             ..ObsConfig::default()
         };
-        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, |_, g| {
+        let engine = Engine::start_observed(4, EngineConfig::new(2), obs, move |_, g| {
             Box::new(Threshold::new(g, eps))
         })
         .unwrap();

@@ -5,6 +5,7 @@ use crate::error::{FailureKind, ShardFailure};
 use crate::flight_state::FlightState;
 use crate::health::HealthState;
 use crate::queue::{ShardSource, Submission};
+use crate::recovery::RecoveryLedger;
 use crate::report::ShardOutcome;
 use crossbeam::channel::Sender;
 use cslack_algorithms::OnlineScheduler;
@@ -45,6 +46,25 @@ pub(crate) struct ShardCtx {
     /// pinning was requested via
     /// [`IngestConfig::pin_workers`](crate::IngestConfig::pin_workers).
     pub(crate) pin_cpu: Option<usize>,
+}
+
+/// What a replacement worker inherits when it takes over a failed
+/// shard: the replay-rebuilt schedule, the dead worker's outcome (its
+/// counters, histograms, and trace keep accumulating — the decision
+/// stream is one continuous sequence across the restart), how many of
+/// the first incoming jobs are re-offers of bounced work, and the
+/// engine-wide recovery ledger those re-offers are accounted into.
+pub(crate) struct ResumeState {
+    /// The shard-local schedule rebuilt bit-identical by replay.
+    pub(crate) schedule: Schedule,
+    /// The dead worker's outcome with `failure` cleared; `submitted`
+    /// is exactly the next decision seq, so flight/observatory
+    /// watermarks stay contiguous across the restart.
+    pub(crate) outcome: ShardOutcome,
+    /// The first `readmit` jobs this worker decides are re-offered
+    /// bounced jobs: their verdicts land in the recovery ledger.
+    pub(crate) readmit: u64,
+    pub(crate) ledger: Arc<RecoveryLedger>,
 }
 
 #[inline]
@@ -162,25 +182,36 @@ pub(crate) fn shard_worker(
     source: ShardSource,
     mut scheduler: Box<dyn OnlineScheduler>,
     ctx: ShardCtx,
+    resume: Option<ResumeState>,
 ) -> ShardOutcome {
     if let Some(cpu) = ctx.pin_cpu {
         // Best-effort: a refused affinity call just runs unpinned.
         let _ = crate::pin::pin_current_thread(cpu);
     }
     let group_len = ctx.group.len();
-    let mut schedule = Schedule::new(group_len.max(1));
-    let mut out = ShardOutcome {
-        schedule: Schedule::new(group_len.max(1)),
-        submitted: 0,
-        accepted: 0,
-        rejected: RejectCounts::default(),
-        batches: 0,
-        latency: Histogram::new(),
-        queue_wait: Histogram::new(),
-        events: Vec::new(),
-        events_dropped: 0,
-        last_decision_ns: 0,
-        failure: None,
+    // A replacement worker continues the dead worker's schedule,
+    // counters, and decision sequence; a fresh worker starts at zero.
+    let (mut schedule, mut out, mut readmit_left, ledger) = match resume {
+        Some(r) => (r.schedule, r.outcome, r.readmit, Some(r.ledger)),
+        None => (
+            Schedule::new(group_len.max(1)),
+            ShardOutcome {
+                schedule: Schedule::new(group_len.max(1)),
+                submitted: 0,
+                accepted: 0,
+                rejected: RejectCounts::default(),
+                batches: 0,
+                latency: Histogram::new(),
+                queue_wait: Histogram::new(),
+                events: Vec::new(),
+                events_dropped: 0,
+                last_decision_ns: 0,
+                failure: None,
+                undecided: Vec::new(),
+            },
+            0,
+            None,
+        ),
     };
     let mut ring = DecisionRing::new(ctx.trace_capacity);
     let mut delta = RegistryDelta::default();
@@ -277,6 +308,24 @@ pub(crate) fn shard_worker(
                                 delta.rejected.bump(reason);
                             }
                         }
+                        // The first `readmit` decisions of a
+                        // replacement worker are re-offers of bounced
+                        // jobs: their verdicts feed the recovery
+                        // ledger (re-admitted or re-rejected) on top
+                        // of the ordinary counters above.
+                        if readmit_left > 0 {
+                            readmit_left -= 1;
+                            if let Some(ledger) = ledger.as_deref() {
+                                if accepted {
+                                    ledger.re_admitted.inc();
+                                    if let Some(reg) = recording {
+                                        reg.recovered_jobs.inc();
+                                    }
+                                } else {
+                                    ledger.re_rejected.inc();
+                                }
+                            }
+                        }
                         if ctx.trace_capacity > 0 || ctx.flight.is_some() || ctx.decisions.is_some()
                         {
                             let (machine, start) = match decision {
@@ -371,9 +420,12 @@ pub(crate) fn shard_worker(
         reg.queue_depth.set(ctx.shard, 0);
     }
     out.schedule = schedule;
+    // Extend, not assign: a resumed worker's outcome already carries
+    // the pre-crash trace events (their seqs precede ours, so the
+    // combined stream stays seq-sorted).
     let (events, events_dropped) = ring.into_events();
-    out.events = events;
-    out.events_dropped = events_dropped;
+    out.events.extend(events);
+    out.events_dropped += events_dropped;
     out
 }
 
@@ -387,10 +439,12 @@ pub(crate) fn shard_worker(
 /// flight ring (its decision never completed, so nothing else carries
 /// it) and the crash `.cfr` is written *now*, from the worker — not at
 /// some future `finish` that may never run. (3) The queue is drained
-/// and counted so the failure reports how many jobs were lost
-/// undecided (the ring transport is poisoned first so producers stop
-/// publishing into the count). Returning then drops the source, waking
-/// any producer blocked on the full queue.
+/// and *collected* — the failing job, the rest of its batch, and the
+/// queued remainder ride back on the outcome as `undecided`, which is
+/// both the loss accounting (`queued_lost`) and the recovery manifest
+/// a replacement worker re-offers (the ring transport is poisoned
+/// first so producers stop publishing into the drain). Returning then
+/// drops the source, waking any producer blocked on the full queue.
 #[allow(clippy::too_many_arguments)]
 fn fail_shard(
     source: ShardSource,
@@ -427,9 +481,22 @@ fn fail_shard(
     if let Some(reg) = recording {
         delta.flush(reg);
     }
-    // Jobs after the failing one in this batch, plus whatever the
-    // queue still holds, will never be decided.
-    let queued_lost = batch.len().saturating_sub(decided + 1) as u64 + source.drain_count();
+    // Collect every job this shard received but never decided, in
+    // arrival order: the failing job itself, the rest of its batch,
+    // then the drained queue (the ring transport is poisoned inside
+    // `drain_into` so producers stop publishing into the drain). The
+    // conservation identity is explicit — with `submitted` counting
+    // only fully committed decisions,
+    //
+    //   received == out.submitted + failing + queued_lost
+    //
+    // where `queued_lost` is exactly `undecided.len() - failing`, so
+    // the failing job is never double counted whatever its batch
+    // position and however the transport drains.
+    let mut undecided: Vec<Submission> = batch[decided.min(batch.len())..].to_vec();
+    source.drain_into(&mut undecided);
+    let failing_count = failing.is_some() as u64;
+    let queued_lost = undecided.len() as u64 - failing_count;
     if let Some(reg) = recording {
         reg.queue_depth.set(ctx.shard, 0);
     }
@@ -442,7 +509,8 @@ fn fail_shard(
         queued_lost,
     });
     let (events, events_dropped) = ring.into_events();
-    out.events = events;
-    out.events_dropped = events_dropped;
+    out.events.extend(events);
+    out.events_dropped += events_dropped;
+    out.undecided = undecided;
     out
 }

@@ -140,11 +140,23 @@ impl Histogram {
     /// `[min, max]` range. Interpolation keeps reported quantiles off
     /// the bucket edges — a uniform distribution yields interior values
     /// instead of pinning every percentile to a power-of-two boundary.
-    /// The extreme ranks are exact (`q = 0.0` returns the min,
-    /// `q = 1.0` the max); an empty histogram returns 0 for every `q`.
+    /// Degenerate shapes are exact rather than interpolated: an empty
+    /// histogram returns 0 for every `q`, a single observation (or any
+    /// all-equal stream) returns that observation, and the extreme
+    /// ranks return the tracked min/max. The interpolation range of the
+    /// located bucket is intersected with the observed `[min, max]`, so
+    /// estimates never extrapolate past recorded bounds — in particular
+    /// the top bucket (`[2^63, u64::MAX]`) interpolates over the values
+    /// actually seen, not the astronomically wide bucket span.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        // A single sample — or a constant stream — has exactly one
+        // observed value; interpolating inside its bucket would invent
+        // a value that was never recorded.
+        if self.count == 1 || self.min == self.max {
+            return self.max;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         // The extreme ranks are tracked exactly — no need for a bucket
@@ -161,10 +173,14 @@ impl Histogram {
             if seen >= rank {
                 // `pos` of the `n` observations in this bucket sit at or
                 // below the target rank; spread them uniformly across the
-                // bucket's value range.
+                // bucket's value range, narrowed to the observed bounds
+                // so the estimate never leaves `[min, max]`.
                 let pos = rank - (seen - n);
-                let lo = if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
-                let hi = bucket_upper_bound(i);
+                let lo = (if i == 0 { 0 } else { 1u64 << (i - 1).min(63) }).max(self.min);
+                let hi = bucket_upper_bound(i).min(self.max);
+                if hi <= lo {
+                    return lo;
+                }
                 let est = lo as f64 + (hi - lo) as f64 * pos as f64 / n as f64;
                 return (est.round() as u64).clamp(self.min, self.max);
             }
@@ -415,6 +431,55 @@ mod tests {
             assert_eq!(h.quantile(q), 0);
         }
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // One observation: every quantile IS that observation. The
+        // interpolation path would report a value off the bucket grid
+        // (e.g. 1536 for a sample of 1000) — it must not run.
+        let mut h = Histogram::new();
+        h.record(1000);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1000, "q={q}");
+        }
+        assert_eq!(h.summary().p50_ns, 1000);
+        assert_eq!(h.summary().p999_ns, 1000);
+    }
+
+    #[test]
+    fn constant_stream_quantiles_are_exact() {
+        // Many copies of one value share a bucket; interpolation across
+        // the bucket span would invent values never recorded.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        for q in [0.0, 0.5, 0.75, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 700, "q={q}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_mass_never_interpolates_past_observed_bounds() {
+        // All mass in the widest bucket [2^63, u64::MAX]: the naive
+        // interpolation span is ~9.2e18 wide, so a mid-rank estimate
+        // could land far outside the handful of values actually seen.
+        let mut h = Histogram::new();
+        let lo = 1u64 << 63;
+        for v in [lo, lo + 10, lo + 20, lo + 30] {
+            h.record(v);
+        }
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(
+                (lo..=lo + 30).contains(&v),
+                "q={}% escaped observed range: {v}",
+                i
+            );
+        }
+        assert_eq!(h.quantile(0.0), lo);
+        assert_eq!(h.quantile(1.0), lo + 30);
     }
 
     #[test]

@@ -139,6 +139,13 @@ pub struct MetricsRegistry {
     /// Flight records dropped (overwritten by a full ring or discarded
     /// by a disabled one).
     pub flight_dropped: Counter,
+    /// Shard workers restarted after a failure (replay-driven
+    /// recovery).
+    pub shard_restarts: Counter,
+    /// Jobs carried across a shard restart: committed jobs whose
+    /// schedule was rebuilt by replay plus bounced jobs re-admitted by
+    /// the replacement worker.
+    pub recovered_jobs: Counter,
     /// Per-stage pipeline span durations, one histogram per
     /// [`STAGE_SPANS`] entry (dispatch, enqueue, queue, decide,
     /// delivery), nanoseconds.
@@ -170,6 +177,8 @@ impl MetricsRegistry {
             decision_latency: AtomicHistogram::new(),
             queue_wait: AtomicHistogram::new(),
             flight_dropped: Counter::new(),
+            shard_restarts: Counter::new(),
+            recovered_jobs: Counter::new(),
             stage_durations: [
                 AtomicHistogram::new(),
                 AtomicHistogram::new(),
@@ -358,6 +367,18 @@ impl MetricsRegistry {
             "cslack_flight_dropped_total",
             "Flight records overwritten by a full ring or discarded by a disabled one.",
             self.flight_dropped.get(),
+        );
+        counter(
+            out,
+            "cslack_shard_restarts_total",
+            "Shard workers restarted after a failure.",
+            self.shard_restarts.get(),
+        );
+        counter(
+            out,
+            "cslack_recovered_jobs_total",
+            "Jobs carried across shard restarts (replayed commitments plus re-admissions).",
+            self.recovered_jobs.get(),
         );
         for (i, (stage, _, _)) in STAGE_SPANS.iter().enumerate() {
             let mut stage_labels: Vec<(&str, &str)> = labels.to_vec();
@@ -563,6 +584,8 @@ mod tests {
         assert!(text.contains("cslack_decision_latency_ns_count 1"));
         assert!(text.contains("cslack_backpressure_stalls_total 0"));
         assert!(text.contains("cslack_flight_dropped_total 0"));
+        assert!(text.contains("cslack_shard_restarts_total 0"));
+        assert!(text.contains("cslack_recovered_jobs_total 0"));
         assert!(text.contains("cslack_build_info{version=\""));
         assert!(text.contains("# TYPE cslack_process_uptime_seconds gauge"));
         assert!(text.contains("cslack_process_uptime_seconds "));

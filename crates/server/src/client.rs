@@ -126,9 +126,13 @@ impl Connection {
         loop {
             match self.recv().map_err(|e| format!("await summary: {e}"))? {
                 Frame::Summary(summary) => return Ok(summary),
-                // Decisions or rejections for jobs still in flight may
-                // legitimately arrive before the summary.
-                Frame::Decision(_) | Frame::Reject { .. } | Frame::Backpressure { .. } => {}
+                // Decisions, rejections, or transient retries for jobs
+                // still in flight may legitimately arrive before the
+                // summary.
+                Frame::Decision(_)
+                | Frame::Reject { .. }
+                | Frame::Backpressure { .. }
+                | Frame::Retry { .. } => {}
                 other => return Err(format!("unexpected reply to drain: {other:?}")),
             }
         }

@@ -81,6 +81,13 @@ pub struct TenantSpec {
     /// Chaos hook: wrap shard 0's scheduler in a
     /// [`FaultyScheduler`] with this spec.
     pub fault: Option<FaultSpec>,
+    /// Shard resurrection: run a watcher that replays and restarts any
+    /// failed shard ([`Engine::restart_shard`]), and answer submissions
+    /// that hit a failed shard with a transient [`Frame::Retry`]
+    /// instead of a terminal `ShardFailed` reject. When set, an
+    /// injected `fault` fires only on the shard's *first* scheduler
+    /// build, so the replay and the replacement run clean.
+    pub recover: bool,
     /// Quality-observatory knobs; every tenant runs one by default
     /// (their engines always record flight), so `/metrics` carries
     /// tenant-labeled `cslack_empirical_ratio` gauges. `None` disables.
@@ -104,6 +111,7 @@ impl TenantSpec {
             batch_size: 64,
             ingest: IngestConfig::default(),
             fault: None,
+            recover: false,
             // 16 release-time units per window: tens of jobs per
             // window at the default Poisson(m) arrival rate — enough
             // signal per window, many windows per run.
@@ -181,6 +189,10 @@ struct Tenant {
     pending: Arc<Mutex<HashMap<u32, Sender<Frame>>>>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
     done: Mutex<Option<DrainOutcome>>,
+    /// The shard-resurrection watcher (`spec.recover`), stopped and
+    /// joined before drain so it never races the engine take-down.
+    watcher: Mutex<Option<JoinHandle<()>>>,
+    watcher_stop: Arc<AtomicBool>,
 }
 
 impl Tenant {
@@ -206,13 +218,24 @@ impl Tenant {
         config.queue_capacity = spec.queue_capacity;
         config.batch_size = spec.batch_size;
         let (algo, eps, seed, fault) = (spec.algo, spec.eps, spec.seed, spec.fault);
+        // With recovery on, the injected fault is one-shot: the *first*
+        // build of shard 0 gets the faulty wrapper, and the rebuilds
+        // recovery performs (the replay scheduler, which becomes the
+        // replacement) come out clean — otherwise the replay would
+        // re-fire the fault at the same offer index.
+        let armed = Arc::new(AtomicBool::new(true));
+        let recover = spec.recover;
         let engine =
             Engine::start_with_ingest(spec.m, config, spec.ingest, obs, move |shard, group| {
                 let inner = algo.build(group, eps, seed.wrapping_add(shard as u64));
                 // Chaos targets shard 0 only, so a degraded tenant still
                 // has healthy shards to demonstrate isolation with.
                 match fault {
-                    Some(spec) if shard == 0 => Box::new(FaultyScheduler::new(inner, spec)),
+                    Some(spec)
+                        if shard == 0 && (!recover || armed.swap(false, Ordering::SeqCst)) =>
+                    {
+                        Box::new(FaultyScheduler::new(inner, spec))
+                    }
                     _ => inner,
                 }
             })
@@ -252,14 +275,36 @@ impl Tenant {
                 })
                 .map_err(|e| format!("tenant `{}`: spawn dispatcher: {e}", spec.name))?
         };
-        Ok(Arc::new(Tenant {
+        let tenant = Arc::new(Tenant {
             spec,
             registry,
             engine: RwLock::new(Some(engine)),
             pending,
             dispatcher: Mutex::new(Some(dispatcher)),
             done: Mutex::new(None),
-        }))
+            watcher: Mutex::new(None),
+            watcher_stop: Arc::new(AtomicBool::new(false)),
+        });
+        if tenant.spec.recover {
+            let weak = Arc::downgrade(&tenant);
+            let stop = Arc::clone(&tenant.watcher_stop);
+            let join = std::thread::Builder::new()
+                .name(format!("cslack-recover-{}", tenant.spec.name))
+                .spawn(move || recovery_watcher(weak, stop))
+                .map_err(|e| format!("spawn recovery watcher: {e}"))?;
+            *tenant.watcher.lock() = Some(join);
+        }
+        Ok(tenant)
+    }
+
+    /// Stops and joins the resurrection watcher (idempotent). Must run
+    /// before the engine is taken for drain so the watcher cannot race
+    /// the take-down with a restart.
+    fn stop_watcher(&self) {
+        self.watcher_stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.watcher.lock().take() {
+            let _ = join.join();
+        }
     }
 
     /// Admits (or refuses) one `SubmitBatch`. Returns the frames to
@@ -336,20 +381,34 @@ impl Tenant {
                 if !failures.is_empty() {
                     let mut pending = self.pending.lock();
                     for err in failures {
-                        let (job, code) = match err {
-                            SubmitError::ShardFailed(job) => (job, RejectCode::ShardFailed),
-                            SubmitError::Full(job) | SubmitError::Closed(job) => {
-                                (job, RejectCode::Closed)
-                            }
-                        };
                         // The job never reached a queue; the decision
                         // stream will not answer for it.
-                        pending.remove(&job.id.0);
-                        replies.push(Frame::Reject {
-                            job: Some(job.id.0),
-                            code,
-                            detail: "not enqueued".into(),
-                        });
+                        let reply = match err {
+                            // While resurrection is in flight the
+                            // failure is transient: the client should
+                            // resubmit, not write the job off.
+                            SubmitError::ShardFailed(job) if self.spec.recover => {
+                                pending.remove(&job.id.0);
+                                Frame::Retry { job: job.id.0 }
+                            }
+                            SubmitError::ShardFailed(job) => {
+                                pending.remove(&job.id.0);
+                                Frame::Reject {
+                                    job: Some(job.id.0),
+                                    code: RejectCode::ShardFailed,
+                                    detail: "not enqueued".into(),
+                                }
+                            }
+                            SubmitError::Full(job) | SubmitError::Closed(job) => {
+                                pending.remove(&job.id.0);
+                                Frame::Reject {
+                                    job: Some(job.id.0),
+                                    code: RejectCode::Closed,
+                                    detail: "not enqueued".into(),
+                                }
+                            }
+                        };
+                        replies.push(reply);
                     }
                 }
             }
@@ -394,6 +453,10 @@ impl Tenant {
     /// outcome. Queued-but-undecided jobs are answered with typed
     /// `Undecided` rejections through their submitting connections.
     fn drain(&self) -> DrainOutcome {
+        // The watcher must be gone before the engine is: a restart
+        // racing the drain would resurrect a shard the drain is about
+        // to join.
+        self.stop_watcher();
         let engine = self.engine.write().take();
         let Some(engine) = engine else {
             // Another connection is draining (or already drained):
@@ -474,13 +537,41 @@ impl Tenant {
 
 impl Drop for Tenant {
     fn drop(&mut self) {
-        // Tear down in dependency order: dropping the engine closes the
+        // Tear down in dependency order: the watcher first (it reads
+        // the engine), then the engine — dropping it closes the
         // decision channel, which lets the dispatcher exit for the
         // join. Without the join the dispatcher could outlive the
         // process's other state.
+        self.stop_watcher();
         drop(self.engine.write().take());
         if let Some(join) = self.dispatcher.lock().take() {
             let _ = join.join();
+        }
+    }
+}
+
+/// The shard-resurrection loop of a `recover`-enabled tenant: polls
+/// the engine's health table and replays/restarts any failed shard.
+/// Holds only a `Weak` on the tenant so it never keeps a dropped
+/// tenant alive; exits when the tenant is gone, drained, or stopped.
+fn recovery_watcher(tenant: std::sync::Weak<Tenant>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(POLL);
+        let Some(tenant) = tenant.upgrade() else {
+            return;
+        };
+        let guard = tenant.engine.read();
+        let Some(engine) = guard.as_ref() else {
+            return;
+        };
+        for h in engine.health() {
+            if h.state == ShardState::Failed {
+                // A refused restart (lossy recording, replay
+                // divergence) parks the shard for good; the next poll
+                // sees it still failed and the retry is a cheap
+                // typed error, not a spin.
+                let _ = engine.restart_shard(h.shard);
+            }
         }
     }
 }
@@ -816,7 +907,8 @@ fn handle_connection(stream: TcpStream, inner: Arc<ServerInner>, stop: Arc<Atomi
             | Frame::Backpressure { .. }
             | Frame::Reject { .. }
             | Frame::Stats(_)
-            | Frame::Summary(_) => {
+            | Frame::Summary(_)
+            | Frame::Retry { .. } => {
                 if let Some(tx) = &outbox {
                     let _ = tx.send(Frame::Reject {
                         job: None,
@@ -869,28 +961,55 @@ const SCRAPE_CACHE_TTL: Duration = Duration::from_millis(250);
 
 /// The `/metrics` page cache. The telemetry thread serves connections
 /// inline, so plain mutable state suffices.
+///
+/// Besides the TTL, the cache keys on the combined health *generation*
+/// of every hosted tenant: any shard transition (fail, recover, drain)
+/// changes the key and forces a re-render, so a page rendered before a
+/// failure — or before a recovery bumped `cslack_shard_restarts_total`
+/// — is never served after it.
 struct ScrapeCache {
     page: Vec<u8>,
     rendered_at: Option<Instant>,
+    generation: u64,
 }
 
 impl ScrapeCache {
-    fn page(&mut self, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+    fn page(&mut self, generation: u64, render: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
         let fresh = self
             .rendered_at
-            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL);
+            .is_some_and(|at| at.elapsed() < SCRAPE_CACHE_TTL)
+            && self.generation == generation;
         if !fresh {
             self.page = render();
             self.rendered_at = Some(Instant::now());
+            self.generation = generation;
         }
         self.page.clone()
     }
+}
+
+/// The combined cache key: every tenant's health generation (offset by
+/// one so the drained state differs from a fresh generation-zero
+/// engine), summed — any single transition anywhere changes the sum.
+fn health_generation_sum(inner: &ServerInner) -> u64 {
+    inner
+        .tenants
+        .values()
+        .map(|t| {
+            t.engine
+                .read()
+                .as_ref()
+                .map(|e| e.health_generation().wrapping_add(1))
+                .unwrap_or(0)
+        })
+        .fold(0u64, u64::wrapping_add)
 }
 
 fn telemetry_loop(listener: TcpListener, inner: Arc<ServerInner>, stop: Arc<AtomicBool>) {
     let mut cache = ScrapeCache {
         page: Vec::new(),
         rendered_at: None,
+        generation: 0,
     };
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -934,7 +1053,7 @@ fn serve_http(
             // One multi-tenant page is one scrape, cached or not — the
             // counter tracks client demand, the cache bounds renders.
             cslack_obs::metrics::count_scrape();
-            let body = cache.page(|| {
+            let body = cache.page(health_generation_sum(inner), || {
                 let mut out = String::new();
                 for (name, tenant) in &inner.tenants {
                     tenant

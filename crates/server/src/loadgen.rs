@@ -128,6 +128,9 @@ pub struct TenantReport {
     /// Typed per-job `Reject` frames (malformed, duplicate, shard
     /// failure, ...).
     pub errored: u64,
+    /// Transient `Retry` frames (the job's shard was being resurrected
+    /// at submit time) — not failures; the job may be resubmitted.
+    pub retried: u64,
     /// Jobs never answered within the settle timeout.
     pub undecided: u64,
     /// Decision latency percentiles for this tenant.
@@ -165,6 +168,8 @@ pub struct LoadgenReport {
     pub backpressured: u64,
     /// Total typed per-job rejects.
     pub errored: u64,
+    /// Total transient `Retry` frames.
+    pub retried: u64,
     /// Total never answered.
     pub undecided: u64,
     /// Aggregate decision latency percentiles.
@@ -211,6 +216,7 @@ struct ConnOutcome {
     rejected: u64,
     backpressured: u64,
     errored: u64,
+    retried: u64,
     undecided: u64,
     latency: Histogram,
     spans: SpanHists,
@@ -229,6 +235,7 @@ struct ConnShared {
     rejected: AtomicU64,
     backpressured: AtomicU64,
     errored: AtomicU64,
+    retried: AtomicU64,
     /// Set by the writer once it gives up waiting; tells the reader to
     /// exit its idle poll.
     stop: AtomicBool,
@@ -243,6 +250,7 @@ impl ConnShared {
             rejected: AtomicU64::new(0),
             backpressured: AtomicU64::new(0),
             errored: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         }
     }
@@ -317,6 +325,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         rejected: 0,
         backpressured: 0,
         errored: 0,
+        retried: 0,
         undecided: 0,
         latency: Histogram::new(),
         spans: SpanHists::default(),
@@ -332,6 +341,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             rejected: 0,
             backpressured: 0,
             errored: 0,
+            retried: 0,
             undecided: 0,
             latency_us: LatencyUs::default(),
             summary: summaries.remove(tenant),
@@ -344,6 +354,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             t.rejected += c.rejected;
             t.backpressured += c.backpressured;
             t.errored += c.errored;
+            t.retried += c.retried;
             t.undecided += c.undecided;
             latency.merge(&c.latency);
             total.spans.merge(&c.spans);
@@ -356,6 +367,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         total.rejected += t.rejected;
         total.backpressured += t.backpressured;
         total.errored += t.errored;
+        total.retried += t.retried;
         total.undecided += t.undecided;
         total.latency.merge(&latency);
         per_tenant.push(t);
@@ -376,6 +388,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         rejected: total.rejected,
         backpressured: total.backpressured,
         errored: total.errored,
+        retried: total.retried,
         undecided: total.undecided,
         latency_us: LatencyUs::from_ns_histogram(&total.latency),
         latency_breakdown: total.spans.breakdown(),
@@ -484,6 +497,7 @@ fn run_connection(
         rejected: shared.rejected.load(Ordering::SeqCst),
         backpressured: shared.backpressured.load(Ordering::SeqCst),
         errored: shared.errored.load(Ordering::SeqCst),
+        retried: shared.retried.load(Ordering::SeqCst),
         undecided,
         latency,
         spans,
@@ -551,6 +565,14 @@ fn reader_loop(
             {
                 shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                 shared.errored.fetch_add(1, Ordering::SeqCst);
+                last_outcome_secs = now.duration_since(global_start).as_secs_f64();
+            }
+            // Transient: the job's shard was mid-resurrection. The job
+            // is answered (not undecided) but neither decided nor
+            // errored — a real client would resubmit it.
+            Frame::Retry { job } if shared.inflight.lock().unwrap().remove(&job).is_some() => {
+                shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+                shared.retried.fetch_add(1, Ordering::SeqCst);
                 last_outcome_secs = now.duration_since(global_start).as_secs_f64();
             }
             Frame::Backpressure { refused, .. } => {

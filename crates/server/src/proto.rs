@@ -37,11 +37,13 @@ pub const MAGIC: u16 = 0xC57A;
 ///
 /// Version 2 is a minor revision of version 1: `SubmitBatch` gains a
 /// trailing client-send timestamp and `Decision` gains the server's
-/// stage timeline. Both sides accept any version in
-/// [`MIN_VERSION`]`..=`[`VERSION`] on read, and the server echoes the
-/// version a client's `Hello` arrived with, so v1 clients keep
-/// working unchanged.
-pub const VERSION: u8 = 2;
+/// stage timeline. Version 3 adds the `Retry` frame (a transiently
+/// refused job whose shard is being resurrected); encoding it for an
+/// older peer degrades to a typed `ShardFailed` reject. Both sides
+/// accept any version in [`MIN_VERSION`]`..=`[`VERSION`] on read, and
+/// the server echoes the version a client's `Hello` arrived with, so
+/// v1/v2 clients keep working unchanged.
+pub const VERSION: u8 = 3;
 /// Oldest protocol version this build still decodes and encodes.
 pub const MIN_VERSION: u8 = 1;
 /// Hard cap on a frame's payload length. A `SubmitBatch` of maximum
@@ -253,6 +255,15 @@ pub enum Frame {
     Drain,
     /// Server → client: the tenant's final schedule summary.
     Summary(TenantSummary),
+    /// Server → client (v3): the job was *not* decided because its
+    /// target shard failed and is being resurrected — resubmit it. A
+    /// transient condition, unlike the terminal `ShardFailed` reject a
+    /// non-recovering server sends; pre-v3 peers receive that reject
+    /// instead.
+    Retry {
+        /// The job to resubmit.
+        job: u32,
+    },
 }
 
 const TYPE_HELLO: u8 = 0x01;
@@ -265,6 +276,7 @@ const TYPE_STATS_REQUEST: u8 = 0x07;
 const TYPE_STATS: u8 = 0x08;
 const TYPE_DRAIN: u8 = 0x09;
 const TYPE_SUMMARY: u8 = 0x0A;
+const TYPE_RETRY: u8 = 0x0B;
 
 impl Frame {
     fn type_byte(&self) -> u8 {
@@ -279,6 +291,7 @@ impl Frame {
             Frame::Stats(_) => TYPE_STATS,
             Frame::Drain => TYPE_DRAIN,
             Frame::Summary(_) => TYPE_SUMMARY,
+            Frame::Retry { .. } => TYPE_RETRY,
         }
     }
 }
@@ -474,6 +487,7 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>, version: u8) {
             put_u32(out, s.machines);
             put_u32(out, s.failed_shards);
         }
+        Frame::Retry { job } => put_u32(out, *job),
     }
 }
 
@@ -499,6 +513,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 /// [`MIN_VERSION`]`..=`[`VERSION`]; out-of-range values are clamped.
 pub fn encode_frame_v(frame: &Frame, version: u8) -> Vec<u8> {
     let version = version.clamp(MIN_VERSION, VERSION);
+    // A pre-v3 peer has no `Retry` type; it gets the closest older
+    // truth — a typed `ShardFailed` reject (which such clients already
+    // treat as job-scoped and terminal-per-submission).
+    if version < 3 {
+        if let Frame::Retry { job } = frame {
+            return encode_frame_v(
+                &Frame::Reject {
+                    job: Some(*job),
+                    code: RejectCode::ShardFailed,
+                    detail: "shard recovering; resubmit".into(),
+                },
+                version,
+            );
+        }
+    }
     let mut buf = Vec::with_capacity(64);
     put_u16(&mut buf, MAGIC);
     buf.push(version);
@@ -712,6 +741,7 @@ fn decode_payload(type_byte: u8, payload: &[u8], version: u8) -> Result<Frame, P
             drained: c.bool()?,
         }),
         TYPE_DRAIN => Frame::Drain,
+        TYPE_RETRY => Frame::Retry { job: c.u32()? },
         TYPE_SUMMARY => Frame::Summary(TenantSummary {
             tenant: c.string()?,
             submitted: c.u64()?,
@@ -810,6 +840,7 @@ mod tests {
                 limit: 8,
                 refused: 5,
             },
+            Frame::Retry { job: 17 },
         ] {
             let bytes = encode_frame(&frame);
             let back = read_frame(&mut bytes.as_slice()).unwrap();
@@ -913,6 +944,22 @@ mod tests {
                 assert_eq!(got.stamps, TimelineStamps::empty());
             }
             _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn retry_degrades_to_a_shard_failed_reject_for_old_peers() {
+        for old in [1u8, 2] {
+            let bytes = encode_frame_v(&Frame::Retry { job: 9 }, old);
+            let (version, back) = read_frame_v(&mut bytes.as_slice()).unwrap();
+            assert_eq!(version, old);
+            match back {
+                Frame::Reject { job, code, .. } => {
+                    assert_eq!(job, Some(9));
+                    assert_eq!(code, RejectCode::ShardFailed);
+                }
+                other => panic!("expected a reject, got {other:?}"),
+            }
         }
     }
 

@@ -169,7 +169,7 @@ fn wire_decision_stream_matches_in_process_engine() {
         decisions: Some(tx),
         ..ObsConfig::default()
     };
-    let engine = Engine::start_observed(m, EngineConfig::new(shards), obs, |shard, group| {
+    let engine = Engine::start_observed(m, EngineConfig::new(shards), obs, move |shard, group| {
         AlgoKind::Threshold.build(group, eps, seed.wrapping_add(shard as u64))
     })
     .expect("engine starts");
@@ -360,6 +360,124 @@ fn a_failed_shard_is_contained_to_its_tenant() {
     assert!(outcome.rejects.is_empty());
     assert_eq!(outcome.summary.unwrap().failed_shards, 0);
     server.shutdown();
+}
+
+/// Recovery drill: with `recover` on, a mid-stream shard panic never
+/// surfaces as a terminal `ShardFailed` reject — submissions caught in
+/// the failure window get a transient `Retry` frame, the tenant's
+/// watcher resurrects the shard by flight-ring replay, resubmitted
+/// jobs get real decisions, and the tenant finishes with zero failed
+/// shards and `cslack_shard_restarts_total` at 1.
+///
+/// The Retry window is the gap between the panic landing and the
+/// watcher's next poll (≤ 10 ms), so catching a Retry in flight is
+/// timing-dependent; the drill repeats with fresh servers until one
+/// attempt observes it. Every other invariant is asserted on every
+/// attempt.
+#[test]
+fn recovery_turns_shard_failure_into_transient_retries() {
+    let mut total_retried = 0u64;
+    for attempt in 0..5u64 {
+        let mut spec = TenantSpec::new("phoenix", 4, 0.5);
+        spec.shards = 2;
+        spec.seed = 7 + attempt;
+        spec.inflight_limit = 4096;
+        spec.fault = Some("panic@5".parse::<FaultSpec>().unwrap());
+        spec.recover = true;
+        let server = start_server(vec![spec], true);
+
+        let n = 2000;
+        let jobs = wire_jobs(4, 0.5, n, 7);
+        let mut conn = Connection::connect(server.addr()).expect("connect");
+        conn.hello("phoenix").expect("hello");
+        // Pound the stream so some batch lands between the panic and
+        // the watcher's restart.
+        for chunk in jobs.chunks(50) {
+            conn.send(&Frame::SubmitBatch {
+                jobs: chunk.to_vec(),
+                client_send_ns: 0,
+            })
+            .unwrap();
+        }
+
+        let mut answered = 0usize;
+        let mut retried = 0u64;
+        let mut rejects = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while answered < n {
+            assert!(Instant::now() < deadline, "jobs never fully answered");
+            match conn.recv().expect("stream stays whole") {
+                Frame::Decision(_) => answered += 1,
+                Frame::Reject { job, code, .. } => {
+                    rejects.push((job, code));
+                    answered += 1;
+                }
+                Frame::Retry { job } => {
+                    retried += 1;
+                    // Transient by contract: give the watcher a beat,
+                    // then resubmit and expect a real decision.
+                    std::thread::sleep(Duration::from_millis(10));
+                    let wire = *jobs
+                        .iter()
+                        .find(|w| w.id == job)
+                        .expect("retry names a submitted job");
+                    conn.send(&Frame::SubmitBatch {
+                        jobs: vec![wire],
+                        client_send_ns: 0,
+                    })
+                    .unwrap();
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(
+            rejects
+                .iter()
+                .all(|(_, code)| !matches!(code, RejectCode::ShardFailed)),
+            "recover tenants never see terminal ShardFailed: {rejects:?}"
+        );
+
+        // Post-recovery, pre-drain: health is green again and the
+        // restart counter is up — exactly one resurrection, because
+        // the injected fault is one-shot under `recover`.
+        let telemetry = server.telemetry_addr().unwrap();
+        let (status, _) = http_get(telemetry, "/healthz");
+        assert!(status.contains("200"), "healthz after recovery: {status}");
+        let (status, body) = http_get(telemetry, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        let page = String::from_utf8_lossy(&body);
+        assert!(
+            page.contains("cslack_shard_restarts_total{tenant=\"phoenix\"} 1"),
+            "restart counter missing:\n{page}"
+        );
+        assert!(
+            !page.contains("NaN"),
+            "non-finite metric published:\n{page}"
+        );
+
+        conn.send(&Frame::Drain).unwrap();
+        let summary = loop {
+            match conn.recv().expect("summary") {
+                Frame::Summary(s) => break s,
+                Frame::Decision(_) | Frame::Reject { .. } | Frame::Retry { .. } => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+        };
+        assert_eq!(
+            summary.failed_shards, 0,
+            "the resurrected shard finishes healthy"
+        );
+        server.shutdown();
+
+        total_retried += retried;
+        if total_retried > 0 {
+            break;
+        }
+    }
+    assert!(
+        total_retried > 0,
+        "five drills never caught a submission in the retry window"
+    );
 }
 
 /// A batch that would exceed the tenant's in-flight quota is refused

@@ -148,6 +148,133 @@ fn render<T: std::fmt::Debug>(v: &T) -> String {
     format!("{v:?}")
 }
 
+/// Bit-exact comparison of one recorded decision against a freshly
+/// regenerated one (f64 fields via `to_bits`). `machine`/`start` are
+/// the regenerated placement already remapped to global machine ids.
+/// Returns the first differing field, `None` when identical.
+fn compare_decision(
+    shard: u32,
+    rec: &DecisionEvent,
+    accepted: bool,
+    machine: Option<u32>,
+    start: Option<f64>,
+    info: &cslack_algorithms::DecisionInfo,
+) -> Option<ReplayDivergence> {
+    let diverge = |field: &'static str, recorded: String, regenerated: String| ReplayDivergence {
+        shard,
+        seq: rec.seq,
+        job: rec.job,
+        field,
+        recorded,
+        regenerated,
+    };
+    if rec.accepted != accepted {
+        Some(diverge(
+            "accepted",
+            render(&rec.accepted),
+            render(&accepted),
+        ))
+    } else if rec.machine != machine {
+        Some(diverge("machine", render(&rec.machine), render(&machine)))
+    } else if opt_bits(rec.start) != opt_bits(start) {
+        Some(diverge("start", render(&rec.start), render(&start)))
+    } else if opt_bits(rec.threshold) != opt_bits(info.threshold) {
+        Some(diverge(
+            "threshold",
+            render(&rec.threshold),
+            render(&info.threshold),
+        ))
+    } else if opt_bits(rec.min_load) != opt_bits(info.min_load) {
+        Some(diverge(
+            "min_load",
+            render(&rec.min_load),
+            render(&info.min_load),
+        ))
+    } else if rec.candidates != info.candidates {
+        Some(diverge(
+            "candidates",
+            render(&rec.candidates),
+            render(&info.candidates),
+        ))
+    } else if rec.reject_reason != info.reject_reason {
+        Some(diverge(
+            "reject_reason",
+            render(&rec.reject_reason),
+            render(&info.reject_reason),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Replays one shard's recorded event stream through a fresh scheduler
+/// and rebuilds the shard-local committed schedule — the state-handoff
+/// primitive behind shard recovery: a replacement worker calls this
+/// with the dead shard's flight ring contents and a scheduler built by
+/// the same builder the original run used.
+///
+/// Verifies the regenerated decision stream is **bit-identical** to
+/// the recording (the same comparison [`replay_snapshot`] uses); any
+/// divergence — or a gap in the seq stream — is an error, because a
+/// schedule rebuilt from a diverging replay would not match the
+/// commitments the dead worker actually made. On success the returned
+/// schedule holds exactly the pre-crash accepts (machine ids
+/// shard-local, as the worker keeps them) and the scheduler's internal
+/// load state matches the dead worker's at the instant of the crash,
+/// so it can keep deciding from decision `seq = decisions` onward.
+///
+/// `group_lo` is the shard's first global machine id (recorded
+/// placements are global; the rebuild maps them back).
+pub fn rebuild_shard_state(
+    events: &[FlightEvent],
+    shard: u32,
+    group_lo: usize,
+    group_len: usize,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<(Schedule, u64), String> {
+    let mut decisions: Vec<&DecisionEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            FlightEvent::Decision(d) => Some(&d.event),
+            _ => None,
+        })
+        .collect();
+    decisions.sort_by_key(|d| d.seq);
+    let mut schedule = Schedule::new(group_len.max(1));
+    for (i, rec) in decisions.iter().enumerate() {
+        if rec.seq != i as u64 {
+            return Err(format!(
+                "shard {shard} decision stream has a gap at seq {i} (found {}); \
+                 recovery requires a complete recording",
+                rec.seq
+            ));
+        }
+        let job = Job::new(
+            JobId(rec.job),
+            Time::new(rec.release),
+            rec.proc_time,
+            Time::new(rec.deadline),
+        );
+        let (decision, info) = scheduler.offer_explained(&job);
+        let (accepted, machine, start) = match decision {
+            cslack_algorithms::Decision::Accept { machine, start } => {
+                (true, Some(group_lo as u32 + machine.0), Some(start.raw()))
+            }
+            cslack_algorithms::Decision::Reject => (false, None, None),
+        };
+        if let Some(d) = compare_decision(shard, rec, accepted, machine, start, &info) {
+            return Err(format!(
+                "replay diverged at shard {} seq {} (J{}): field {} recorded {} \
+                 but regenerated {}",
+                d.shard, d.seq, d.job, d.field, d.recorded, d.regenerated
+            ));
+        }
+        crate::apply_decision(&mut schedule, &job, decision)
+            .map_err(|e| format!("replayed decision failed to re-commit: {e}"))?;
+    }
+    Ok((schedule, decisions.len() as u64))
+}
+
 /// Re-runs the recorded run and compares decision streams bit for bit.
 ///
 /// `builder(shard, group_size)` must construct the scheduler exactly as
@@ -209,53 +336,7 @@ where
                 cslack_algorithms::Decision::Reject => (false, None, None),
             };
             replayed += 1;
-            let diverge =
-                |field: &'static str, recorded: String, regenerated: String| ReplayDivergence {
-                    shard: block.shard,
-                    seq: rec.seq,
-                    job: rec.job,
-                    field,
-                    recorded,
-                    regenerated,
-                };
-            let divergence = if rec.accepted != accepted {
-                Some(diverge(
-                    "accepted",
-                    render(&rec.accepted),
-                    render(&accepted),
-                ))
-            } else if rec.machine != machine {
-                Some(diverge("machine", render(&rec.machine), render(&machine)))
-            } else if opt_bits(rec.start) != opt_bits(start) {
-                Some(diverge("start", render(&rec.start), render(&start)))
-            } else if opt_bits(rec.threshold) != opt_bits(info.threshold) {
-                Some(diverge(
-                    "threshold",
-                    render(&rec.threshold),
-                    render(&info.threshold),
-                ))
-            } else if opt_bits(rec.min_load) != opt_bits(info.min_load) {
-                Some(diverge(
-                    "min_load",
-                    render(&rec.min_load),
-                    render(&info.min_load),
-                ))
-            } else if rec.candidates != info.candidates {
-                Some(diverge(
-                    "candidates",
-                    render(&rec.candidates),
-                    render(&info.candidates),
-                ))
-            } else if rec.reject_reason != info.reject_reason {
-                Some(diverge(
-                    "reject_reason",
-                    render(&rec.reject_reason),
-                    render(&info.reject_reason),
-                ))
-            } else {
-                None
-            };
-            if let Some(d) = divergence {
+            if let Some(d) = compare_decision(block.shard, rec, accepted, machine, start, &info) {
                 return Ok(ReplayReport {
                     decisions_replayed: replayed,
                     divergence: Some(d),
@@ -810,6 +891,60 @@ mod tests {
             assert_eq!(j.proc_time, p);
             assert_eq!(j.deadline.raw(), d);
         }
+    }
+
+    #[test]
+    fn rebuild_shard_state_recommits_exactly_the_recorded_accepts() {
+        let snap = record_run(4, 2, 0.5, &workload());
+        for block in &snap.shards {
+            let shard = block.shard as usize;
+            let (lo, hi) = shard_group_bounds(4, 2, shard);
+            let mut scheduler = Threshold::new(hi - lo, 0.5);
+            let (schedule, replayed) =
+                rebuild_shard_state(&block.events, block.shard, lo, hi - lo, &mut scheduler)
+                    .expect("clean recording rebuilds");
+            assert_eq!(replayed, 20);
+            let accepts = block
+                .events
+                .iter()
+                .filter(|e| matches!(e, FlightEvent::Decision(d) if d.accepted))
+                .count();
+            assert_eq!(schedule.len(), accepts);
+        }
+    }
+
+    #[test]
+    fn rebuild_shard_state_rejects_divergence_and_gaps() {
+        let mut snap = record_run(4, 1, 0.5, &workload());
+        // Tampered accept: the rebuild must refuse to fabricate state.
+        if let Some(d) = snap.shards[0].events.iter_mut().find_map(|e| match e {
+            FlightEvent::Decision(d) if d.accepted => Some(d),
+            _ => None,
+        }) {
+            d.accepted = false;
+            d.machine = None;
+            d.start = None;
+        }
+        let mut scheduler = Threshold::new(4, 0.5);
+        let err = rebuild_shard_state(&snap.shards[0].events, 0, 0, 4, &mut scheduler)
+            .expect_err("tampering must be detected");
+        assert!(err.contains("diverged"), "unexpected error: {err}");
+
+        // A seq gap is equally fatal.
+        let snap = record_run(4, 1, 0.5, &workload());
+        let gappy: Vec<FlightEvent> = snap.shards[0]
+            .events
+            .iter()
+            .filter(|e| match e {
+                FlightEvent::Decision(d) => d.seq != 3,
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        let mut scheduler = Threshold::new(4, 0.5);
+        let err = rebuild_shard_state(&gappy, 0, 0, 4, &mut scheduler)
+            .expect_err("gaps must be detected");
+        assert!(err.contains("gap"), "unexpected error: {err}");
     }
 
     #[test]

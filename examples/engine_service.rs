@@ -19,7 +19,7 @@ fn main() {
         .expect("workload");
 
     // One Threshold instance per shard, each sized to its machine group.
-    let builder = |_shard: usize, group: usize| -> Box<dyn OnlineScheduler> {
+    let builder = move |_shard: usize, group: usize| -> Box<dyn OnlineScheduler> {
         Box::new(Threshold::new(group, eps))
     };
     let engine = Engine::start(m, EngineConfig::new(shards), builder).expect("engine start");

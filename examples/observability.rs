@@ -35,9 +35,12 @@ fn main() {
         ..ObsConfig::default()
     };
 
-    let engine = Engine::start_observed(m, EngineConfig::new(shards), wiring, |_shard, group| {
-        Box::new(Threshold::new(group, eps)) as Box<dyn OnlineScheduler>
-    })
+    let engine = Engine::start_observed(
+        m,
+        EngineConfig::new(shards),
+        wiring,
+        move |_shard, group| Box::new(Threshold::new(group, eps)) as Box<dyn OnlineScheduler>,
+    )
     .expect("engine start");
     for job in inst.jobs() {
         engine.submit(*job).expect("submit");
